@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Ablation: lag spacing (the paper's choice) vs. batch means (the classic
+ * alternative) for interval estimation over autocorrelated output.
+ *
+ * Both are fed the *same* M/M/1 response-time streams. Lag spacing keeps
+ * every l-th observation and treats the survivors as i.i.d.; batch means
+ * averages disjoint windows of b observations and treats the window means
+ * as i.i.d. For each method the bench reports achieved 95% CI coverage of
+ * the true mean and the effective sample per observation consumed —
+ * quantifying what the paper gave up (or not) by choosing lag spacing,
+ * whose other virtue is that lag-spaced observations also feed the
+ * *histogram* (quantiles), which batch means cannot provide.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "base/math_utils.hh"
+#include "core/report.hh"
+#include "distribution/basic.hh"
+#include "queueing/server.hh"
+#include "queueing/source.hh"
+#include "sim/engine.hh"
+#include "stats/batch_means.hh"
+#include "stats/runs_test.hh"
+
+using namespace bighouse;
+
+namespace {
+
+/** Collect one fixed-length stream of M/M/1 response times. */
+std::vector<double>
+responseStream(double rho, std::size_t count, std::uint64_t seed)
+{
+    Engine sim;
+    Server server(sim, 1);
+    std::vector<double> stream;
+    stream.reserve(count);
+    server.setCompletionHandler([&](const Task& task) {
+        if (stream.size() < count)
+            stream.push_back(task.responseTime());
+        else
+            sim.stop();
+    });
+    Source source(sim, server, std::make_unique<Exponential>(rho),
+                  std::make_unique<Exponential>(1.0), Rng(seed));
+    source.start();
+    while (stream.size() < count)
+        sim.run(100000);
+    return stream;
+}
+
+struct Coverage
+{
+    int covered = 0;
+    int total = 0;
+    double meanEffective = 0.0;  ///< effective i.i.d. sample size used
+};
+
+} // namespace
+
+int
+main()
+{
+    constexpr double kRho = 0.7;
+    constexpr std::size_t kWarmup = 5000;
+    constexpr std::size_t kStream = 60000;   // post-warmup observations
+    constexpr int kRuns = 40;
+    const double trueMean = 1.0 / (1.0 - kRho);
+    const double z = normalCritical(0.95);
+
+    std::printf("=== Ablation: lag spacing vs. batch means ===\n");
+    std::printf("M/M/1 at rho = %.1f; %d replications of %zu observations "
+                "each; 95%% CI for the mean\n\n",
+                kRho, kRuns, kStream);
+
+    Coverage lagCoverage, batchCoverage;
+    double lagSum = 0.0;
+    for (int r = 0; r < kRuns; ++r) {
+        const auto full = responseStream(
+            kRho, kWarmup + kStream, 0xBA7C + static_cast<std::uint64_t>(r));
+        const std::vector<double> stream(full.begin() + kWarmup,
+                                         full.end());
+
+        // --- Lag spacing: calibrate l on the first 5000, keep every
+        //     l-th of the rest.
+        const std::vector<double> calibration(stream.begin(),
+                                              stream.begin() + 5000);
+        const LagResult lag = findLag(calibration, 64, 0.05, 500);
+        lagSum += static_cast<double>(lag.lag);
+        std::vector<double> spaced;
+        for (std::size_t i = 5000 + lag.lag - 1; i < stream.size();
+             i += lag.lag) {
+            spaced.push_back(stream[i]);
+        }
+        const double lagMean = sampleMean(spaced);
+        const double lagHalf =
+            z * sampleStddev(spaced)
+            / std::sqrt(static_cast<double>(spaced.size()));
+        lagCoverage.covered += std::abs(lagMean - trueMean) <= lagHalf;
+        ++lagCoverage.total;
+        lagCoverage.meanEffective += static_cast<double>(spaced.size());
+
+        // --- Batch means over the same post-calibration observations.
+        constexpr std::uint64_t kBatch = 500;
+        BatchMeans batches(kBatch);
+        for (std::size_t i = 5000; i < stream.size(); ++i)
+            batches.add(stream[i]);
+        const double bmHalf =
+            z * batches.stddevOfMeans()
+            / std::sqrt(static_cast<double>(batches.batches()));
+        batchCoverage.covered +=
+            std::abs(batches.mean() - trueMean) <= bmHalf;
+        ++batchCoverage.total;
+        batchCoverage.meanEffective +=
+            static_cast<double>(batches.batches());
+    }
+
+    TextTable table({"method", "CI coverage %", "target",
+                     "effective samples", "quantiles?"});
+    table.addRow({"lag spacing (runs-up)",
+                  formatG(100.0 * lagCoverage.covered / lagCoverage.total,
+                          3),
+                  "95",
+                  formatG(lagCoverage.meanEffective / kRuns, 4), "yes"});
+    table.addRow({"batch means (b=500)",
+                  formatG(100.0 * batchCoverage.covered
+                              / batchCoverage.total,
+                          3),
+                  "95",
+                  formatG(batchCoverage.meanEffective / kRuns, 4), "no"});
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("(mean calibrated lag was %.1f)\n\n", lagSum / kRuns);
+    std::printf("Reading: with long batches, batch means yields honest "
+                "(often conservative) intervals from fewer effective "
+                "samples, while lag spacing preserves per-observation "
+                "values — which the SQS histogram needs for quantile "
+                "metrics like the 95th-percentile latency BigHouse "
+                "reports. That requirement, plus mergeability across "
+                "slaves, is why the paper samples by spacing rather than "
+                "batching.\n");
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation: how aggressively should an idle-state governor demote?
+ *
+ * The paper's canonical "extend the server model" example is ACPI power
+ * modes. This bench sweeps the demotion-timeout scale of a three-state
+ * ladder (C1/C6/S3-like) on a server at 30% utilization and reports
+ * average power against mean and p95 latency — the energy/latency
+ * frontier that any idle-state policy (including PowerNap and
+ * DreamWeaver, which collapse it to one deep state) navigates.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "base/math_utils.hh"
+#include "core/report.hh"
+#include "distribution/fit.hh"
+#include "power/acpi.hh"
+#include "queueing/source.hh"
+#include "sim/engine.hh"
+#include "workload/workload.hh"
+
+using namespace bighouse;
+
+namespace {
+
+constexpr unsigned kCores = 4;
+constexpr double kUtilization = 0.3;
+constexpr Time kHorizon = 500.0;
+
+struct Point
+{
+    double averageWatts;
+    double meanLatencyMs;
+    double p95LatencyMs;
+    std::vector<Time> residency;
+};
+
+Point
+runWithTimeoutScale(double scale)
+{
+    AcpiLadder ladder = AcpiLadder::typicalServer();
+    for (IdleState& state : ladder.states)
+        state.entryTimeout *= scale;
+
+    Engine sim;
+    AcpiGovernor governor(sim, kCores, ladder);
+    std::vector<double> latencies;
+    governor.setCompletionHandler([&latencies](const Task& task) {
+        latencies.push_back(task.responseTime());
+    });
+
+    Workload workload;
+    workload.name = "interactive";
+    workload.interarrival = fitMeanCv(0.01, 1.0);
+    workload.service = fitMeanCv(0.01, 1.2);
+    workload = scaledToLoad(workload, kCores, kUtilization);
+    Source source(sim, governor, workload.interarrival->clone(),
+                  workload.service->clone(), Rng(99));
+    source.start();
+    sim.runUntil(kHorizon);
+
+    std::sort(latencies.begin(), latencies.end());
+    Point point;
+    point.averageWatts = governor.averageWatts();
+    point.meanLatencyMs = sampleMean(latencies) * 1e3;
+    point.p95LatencyMs =
+        latencies[static_cast<std::size_t>(0.95 * (latencies.size() - 1))]
+        * 1e3;
+    point.residency = governor.stateResidency();
+    return point;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: ACPI idle-state demotion aggressiveness "
+                "===\n");
+    std::printf("%u-core server, interactive workload (10 ms tasks) at "
+                "%.0f%% utilization; timeout scale 1.0 = C1 now / C6 at "
+                "200us / S3 at 10ms\n\n",
+                kCores, 100.0 * kUtilization);
+
+    TextTable table({"timeout scale", "avg power (W)", "mean lat (ms)",
+                     "p95 lat (ms)", "C1 s", "C6 s", "S3 s"});
+    for (const double scale : {0.1, 1.0, 10.0, 100.0, 1000.0}) {
+        const Point point = runWithTimeoutScale(scale);
+        table.addRow({formatG(scale, 4), formatG(point.averageWatts, 4),
+                      formatG(point.meanLatencyMs, 4),
+                      formatG(point.p95LatencyMs, 4),
+                      formatG(point.residency[0], 3),
+                      formatG(point.residency[1], 3),
+                      formatG(point.residency[2], 3)});
+    }
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("Reading: aggressive demotion (small scale) pushes "
+                "residency into the deep state and cuts average power "
+                "toward the S3 floor, but every arrival then pays the "
+                "1 ms deep wake — visible in mean and p95 latency. "
+                "Conservative timeouts invert the trade. PowerNap and "
+                "DreamWeaver are the two endpoints of this frontier with "
+                "scheduling added on top.\n");
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Ablation: is the runs-up-test lag spacing actually necessary?
+ *
+ * The SQS convergence formulas (Eqs. 2-3) assume independent
+ * observations. Successive response times from a queue are autocorrelated
+ * (Sec. 2.3), so a naive sampler that keeps every observation computes a
+ * confidence interval that is too narrow and *stops too early*.
+ *
+ * The bench runs K independent replications of an M/M/1 simulation two
+ * ways — naive (lag forced to 1) and calibrated (runs-up lag) — and
+ * reports the achieved coverage: how often the reported 95% confidence
+ * interval contains the true mean 1/(mu - lambda). Calibrated sampling
+ * should cover ~95%; naive sampling should undercover badly. The price
+ * of calibration (events per run) is printed next to it.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/report.hh"
+#include "core/sqs.hh"
+#include "distribution/basic.hh"
+#include "queueing/server.hh"
+#include "queueing/source.hh"
+
+using namespace bighouse;
+
+namespace {
+
+struct CoverageResult
+{
+    int covered = 0;
+    int runs = 0;
+    double meanLag = 0.0;
+    double meanEvents = 0.0;
+};
+
+CoverageResult
+replicate(bool calibratedLag, int runs, double rho)
+{
+    const double trueMean = 1.0 / (1.0 - rho);
+    CoverageResult out;
+    out.runs = runs;
+    for (int r = 0; r < runs; ++r) {
+        SqsConfig config;
+        config.accuracy = 0.05;
+        config.quantiles = {};
+        config.warmupSamples = 5000;  // heavy traffic needs a long warm-up
+        SqsSimulation sim(config,
+                          0xAB1A + static_cast<std::uint64_t>(r) * 7919);
+        MetricSpec spec = sim.defaultMetricSpec("response_time");
+        if (!calibratedLag)
+            spec.maxLag = 1;  // naive: keep every observation
+        const auto id = sim.addMetric(spec);
+
+        auto server = std::make_shared<Server>(sim.engine(), 1);
+        StatsCollection& stats = sim.stats();
+        server->setCompletionHandler([&stats, id](const Task& task) {
+            stats.record(id, task.responseTime());
+        });
+        auto source = std::make_shared<Source>(
+            sim.engine(), *server, std::make_unique<Exponential>(rho),
+            std::make_unique<Exponential>(1.0), sim.rootRng().split());
+        source->start();
+        sim.holdModel(server);
+        sim.holdModel(source);
+
+        const SqsResult result = sim.run();
+        const MetricEstimate& est = result.estimates[0];
+        if (std::abs(est.mean - trueMean) <= est.meanHalfWidth)
+            ++out.covered;
+        out.meanLag += static_cast<double>(est.lag);
+        out.meanEvents += static_cast<double>(result.events);
+    }
+    out.meanLag /= runs;
+    out.meanEvents /= runs;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr int kRuns = 40;
+    std::printf("=== Ablation: runs-up lag spacing vs. naive sampling "
+                "===\n");
+    std::printf("M/M/1, target 95%% CI at E = 5%%, %d replications per "
+                "cell\n\n",
+                kRuns);
+
+    TextTable table({"rho", "sampler", "CI coverage %", "target",
+                     "mean lag", "mean events/run"});
+    for (const double rho : {0.3, 0.5, 0.7}) {
+        const CoverageResult naive = replicate(false, kRuns, rho);
+        const CoverageResult calibrated = replicate(true, kRuns, rho);
+        table.addRow({formatG(rho, 2), "naive (lag = 1)",
+                      formatG(100.0 * naive.covered / naive.runs, 3),
+                      "95", formatG(naive.meanLag, 3),
+                      formatG(naive.meanEvents, 4)});
+        table.addRow({formatG(rho, 2), "calibrated (runs-up)",
+                      formatG(100.0 * calibrated.covered / calibrated.runs,
+                              3),
+                      "95", formatG(calibrated.meanLag, 3),
+                      formatG(calibrated.meanEvents, 4)});
+    }
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("Reading: the naive sampler computes its CI from "
+                "correlated observations, so the interval is too narrow "
+                "and it stops too early — coverage collapses as load "
+                "(and autocorrelation) grows. Calibrated lag spacing "
+                "restores most of the nominal coverage at the cost of "
+                "roughly l-times more events (Sec. 2.3). The residual "
+                "shortfall at high rho is expected: spaced observations "
+                "retain some long-range correlation and the sequential "
+                "stopping rule biases the width — the paper's own caveat "
+                "('this method often increases sample variance, further "
+                "increasing n').\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Regenerates paper Fig. 5: the inter-arrival distribution has a large
+ * effect on tail latency.
+ *
+ * Three arrival processes at the same mean rate drive the same Google
+ * service distribution over QPS 65-80%:
+ *   - "Low Cv"      near-uniform arrivals (Cv = 0.1), like load testers;
+ *   - "Exponential" Poisson arrivals, the pen-and-paper assumption;
+ *   - "Empirical"   the Table-1 google arrival process (Cv ~ 1.18,
+ *                   heavier than exponential), materialized as an
+ *                   empirical histogram the way BigHouse loads traces.
+ * Reported: 95th-percentile latency normalized to the mean service time
+ * (the paper's 1/mu normalization).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "base/random.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "distribution/empirical.hh"
+#include "distribution/fit.hh"
+#include "workload/library.hh"
+
+using namespace bighouse;
+
+int
+main()
+{
+    constexpr unsigned kCores = 4;
+    const double serviceMean = table1Stats("google").serviceMean;
+
+    std::printf("=== Fig. 5: inter-arrival distribution vs. tail latency "
+                "===\n");
+    std::printf("p95 latency (normalized to 1/mu = mean service time) "
+                "vs. QPS; E = 2.5%%\n\n");
+
+    // Build the three arrival models once, at the base rate; load scaling
+    // adjusts the rate per point while preserving shape.
+    Rng rng(0xF16'5);
+    const Workload googleBase = makeWorkload("google");
+    Workload empiricalBase = googleBase.clone();
+    empiricalBase.interarrival = std::make_unique<EmpiricalDistribution>(
+        EmpiricalDistribution::fromDistribution(*googleBase.interarrival,
+                                                rng, 300000, 3000));
+
+    struct Scenario
+    {
+        const char* name;
+        Workload base;
+    };
+    std::vector<Scenario> scenarios;
+    {
+        Workload lowCv = googleBase.clone();
+        lowCv.interarrival =
+            fitMeanCv(googleBase.interarrival->mean(), 0.1);
+        scenarios.push_back({"LowCv(0.1)", std::move(lowCv)});
+        Workload expo = googleBase.clone();
+        expo.interarrival =
+            fitMeanCv(googleBase.interarrival->mean(), 1.0);
+        scenarios.push_back({"Exponential", std::move(expo)});
+        scenarios.push_back({"Empirical", std::move(empiricalBase)});
+    }
+
+    TextTable table({"QPS %", "LowCv(0.1)", "Exponential",
+                     "Empirical(Cv~1.2)"});
+    for (const double qps : {65.0, 70.0, 75.0, 80.0}) {
+        std::vector<std::string> row{formatG(qps, 3)};
+        for (const Scenario& scenario : scenarios) {
+            ExperimentSpec spec;
+            spec.workload =
+                scaledToLoad(scenario.base, kCores, qps / 100.0);
+            spec.coresPerServer = kCores;
+            spec.sqs.accuracy = 0.025;
+            const SqsResult result =
+                Experiment(std::move(spec))
+                    .run(5000 + static_cast<std::uint64_t>(qps));
+            const double p95 = result.estimates[0].quantiles[0].value;
+            row.push_back(formatG(p95 / serviceMean, 4));
+        }
+        table.addRow(std::move(row));
+    }
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("csv:\n%s\n", table.toCsv().c_str());
+    std::printf("Shape check vs. the paper: low-Cv (load-tester) arrivals "
+                "are consistently optimistic, and the heavier empirical "
+                "process pulls away from the exponential assumption as "
+                "load rises. The paper's hardware-measured gap is larger "
+                "still, because live traffic also carries burst "
+                "correlations that no i.i.d. redraw (theirs or ours) can "
+                "represent — the Sec. 2.2 caveat.\n");
+    return 0;
+}

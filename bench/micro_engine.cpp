@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for end-to-end DES throughput:
+ * events/second of a running M/M/k station and of a power-capped
+ * cluster — the numbers behind Fig. 7's wall-clock points.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "distribution/basic.hh"
+#include "policy/power_capping.hh"
+#include "queueing/server.hh"
+#include "queueing/source.hh"
+#include "sim/engine.hh"
+
+namespace {
+
+using namespace bighouse;
+
+void
+BM_Mmk(benchmark::State& state)
+{
+    const auto cores = static_cast<unsigned>(state.range(0));
+    Engine sim;
+    Server server(sim, cores);
+    // 70% utilization regardless of core count.
+    Source source(sim, server,
+                  std::make_unique<Exponential>(0.7 * cores),
+                  std::make_unique<Exponential>(1.0), Rng(1));
+    source.start();
+    std::uint64_t events = 0;
+    for (auto _ : state)
+        events += sim.run(10000);
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_Mmk)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_CappedCluster(benchmark::State& state)
+{
+    const auto serverCount = static_cast<std::size_t>(state.range(0));
+    Engine sim;
+    std::vector<std::unique_ptr<Server>> servers;
+    std::vector<std::unique_ptr<Source>> sources;
+    std::vector<Server*> pointers;
+    Rng rng(2);
+    for (std::size_t i = 0; i < serverCount; ++i) {
+        servers.push_back(std::make_unique<Server>(sim, 4));
+        sources.push_back(std::make_unique<Source>(
+            sim, *servers.back(), std::make_unique<Exponential>(2.0),
+            std::make_unique<Exponential>(1.0), rng.split(),
+            static_cast<std::uint32_t>(i)));
+        sources.back()->start();
+        pointers.push_back(servers.back().get());
+    }
+    PowerCappingSpec spec;
+    spec.budgetFraction = 0.6;
+    spec.dvfs = DvfsModel(ServerPowerSpec{150.0, 150.0, 5.0}, 0.9, 0.5);
+    PowerCappingCoordinator coordinator(sim, pointers, spec);
+    coordinator.start();
+
+    std::uint64_t events = 0;
+    for (auto _ : state)
+        events += sim.run(10000);
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_CappedCluster)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

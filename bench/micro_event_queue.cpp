@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the event queue — the hot path
+ * of the DES kernel; Fig. 7's linear scaling rests on these costs staying
+ * near-constant as the pending set grows.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/random.hh"
+#include "sim/event_queue.hh"
+
+namespace {
+
+using bighouse::EventQueue;
+using bighouse::Rng;
+
+void
+BM_PushPopRandom(benchmark::State& state)
+{
+    const auto depth = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    EventQueue queue;
+    double clock = 0.0;
+    for (std::size_t i = 0; i < depth; ++i)
+        queue.push(clock + rng.uniform(0.0, 100.0), [] {});
+    for (auto _ : state) {
+        auto [time, fn] = queue.pop();
+        clock = time;
+        benchmark::DoNotOptimize(fn);
+        queue.push(clock + rng.uniform(0.0, 100.0), [] {});
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PushPopRandom)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void
+BM_PushPopFifoTies(benchmark::State& state)
+{
+    // Same-timestamp storm: exercises the sequence tie-break.
+    EventQueue queue;
+    for (int i = 0; i < 1024; ++i)
+        queue.push(1.0, [] {});
+    for (auto _ : state) {
+        auto [time, fn] = queue.pop();
+        benchmark::DoNotOptimize(time);
+        queue.push(1.0, [] {});
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PushPopFifoTies);
+
+void
+BM_CancelHeavy(benchmark::State& state)
+{
+    // The DVFS/sleep paths cancel completions constantly; measure a
+    // push+cancel+pop mix.
+    Rng rng(2);
+    EventQueue queue;
+    double clock = 0.0;
+    for (int i = 0; i < 4096; ++i)
+        queue.push(clock + rng.uniform(0.0, 10.0), [] {});
+    for (auto _ : state) {
+        const bighouse::EventId id =
+            queue.push(clock + rng.uniform(0.0, 10.0), [] {});
+        queue.cancel(id);
+        auto [time, fn] = queue.pop();
+        clock = time;
+        queue.push(clock + rng.uniform(0.0, 10.0), [] {});
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CancelHeavy);
+
+} // namespace
+
+BENCHMARK_MAIN();

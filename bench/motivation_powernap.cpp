@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Regenerates the *motivation* behind the Sec. 3.2 case study: PowerNap
+ * exploits full-system idle periods, but as core counts grow the chance
+ * that every core is simultaneously idle collapses — so a plain PowerNap
+ * server loses nearly all sleep opportunity, while DreamWeaver's
+ * scheduling re-creates it by aligning idle periods (at a bounded latency
+ * cost).
+ *
+ * For core counts 1-32 at fixed 30% per-core utilization, the bench
+ * reports the sleep fraction of (a) PowerNap alone and (b) DreamWeaver
+ * with a 100 ms delay budget, plus each one's mean latency penalty vs. an
+ * always-on server.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "base/math_utils.hh"
+#include "core/report.hh"
+#include "distribution/fit.hh"
+#include "policy/dreamweaver.hh"
+#include "policy/powernap.hh"
+#include "queueing/source.hh"
+#include "sim/engine.hh"
+#include "workload/workload.hh"
+
+using namespace bighouse;
+
+namespace {
+
+constexpr double kUtilization = 0.3;
+constexpr Time kWakeLatency = 1.0 * kMilliSecond;
+constexpr Time kHorizon = 400.0;
+
+Workload
+solrLike()
+{
+    Workload workload;
+    workload.name = "solr";
+    workload.interarrival = fitMeanCv(0.05, 1.0);
+    workload.service = fitMeanCv(0.05, 1.2);
+    return workload;
+}
+
+struct RunStats
+{
+    double idleFraction;
+    double meanLatencyMs;
+};
+
+template <typename ServerT>
+RunStats
+runWith(ServerT& server, TaskAcceptor& acceptor, Engine& sim,
+        unsigned cores, double& idleOut)
+{
+    std::vector<double> latencies;
+    server.setCompletionHandler([&latencies](const Task& task) {
+        latencies.push_back(task.responseTime());
+    });
+    const Workload workload = scaledToLoad(solrLike(), cores, kUtilization);
+    Source source(sim, acceptor, workload.interarrival->clone(),
+                  workload.service->clone(), Rng(42));
+    source.start();
+    sim.runUntil(kHorizon);
+    idleOut = server.idleFraction();
+    return RunStats{server.idleFraction(),
+                    sampleMean(latencies) * 1e3};
+}
+
+RunStats
+powerNapRun(unsigned cores)
+{
+    Engine sim;
+    PowerNapServer server(sim, cores, SleepSpec{kWakeLatency});
+    double idle = 0.0;
+    return runWith(server, server, sim, cores, idle);
+}
+
+RunStats
+dreamWeaverRun(unsigned cores)
+{
+    Engine sim;
+    DreamWeaverSpec spec;
+    spec.delayBudget = 100.0 * kMilliSecond;
+    spec.sleep.wakeLatency = kWakeLatency;
+    DreamWeaverServer server(sim, cores, spec);
+    double idle = 0.0;
+    return runWith(server, server, sim, cores, idle);
+}
+
+double
+baselineLatencyMs(unsigned cores)
+{
+    Engine sim;
+    Server server(sim, cores);
+    std::vector<double> latencies;
+    server.setCompletionHandler([&latencies](const Task& task) {
+        latencies.push_back(task.responseTime());
+    });
+    const Workload workload = scaledToLoad(solrLike(), cores, kUtilization);
+    Source source(sim, server, workload.interarrival->clone(),
+                  workload.service->clone(), Rng(42));
+    source.start();
+    sim.runUntil(kHorizon);
+    return sampleMean(latencies) * 1e3;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Motivation for scheduling-for-idleness (Sec. 3.2) "
+                "===\n");
+    std::printf("fixed %.0f%% per-core utilization; sleep fraction and "
+                "mean latency vs. core count\n\n",
+                100.0 * kUtilization);
+
+    TextTable table({"cores", "always-on lat (ms)", "PowerNap sleep",
+                     "PowerNap lat (ms)", "DreamWeaver sleep",
+                     "DreamWeaver lat (ms)"});
+    for (const unsigned cores : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        const double base = baselineLatencyMs(cores);
+        const RunStats nap = powerNapRun(cores);
+        const RunStats dw = dreamWeaverRun(cores);
+        table.addRow({std::to_string(cores), formatG(base, 4),
+                      formatG(nap.idleFraction, 3),
+                      formatG(nap.meanLatencyMs, 4),
+                      formatG(dw.idleFraction, 3),
+                      formatG(dw.meanLatencyMs, 4)});
+    }
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("Reading: PowerNap's sleep fraction collapses toward zero "
+                "as cores grow (full-system idleness becomes "
+                "combinatorially rare at fixed utilization), while "
+                "DreamWeaver holds sleep near (1 - utilization) by "
+                "coalescing idle periods — paying a bounded latency "
+                "increase. This is exactly why the Sec. 3.2 mechanism "
+                "exists.\n");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Power capping under a diurnal load cycle.
+ *
+ * Combines the ModulatedSource (day/night arrival envelope) with the
+ * Sec. 4.1 power-capping coordinator: as the load swells toward the
+ * daily peak, per-server power pushes past the budget and the
+ * coordinator throttles; at night the cluster runs uncapped. The example
+ * prints an hour-by-hour trace of utilization, frequency, capping level
+ * and latency — a fixed-horizon (non-SQS) study, since a diurnal system
+ * has no steady state to converge to.
+ *
+ * Run:  ./diurnal_capping
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "base/math_utils.hh"
+#include "core/report.hh"
+#include "distribution/fit.hh"
+#include "policy/power_capping.hh"
+#include "queueing/modulated_source.hh"
+#include "sim/engine.hh"
+#include "workload/library.hh"
+
+using namespace bighouse;
+
+int
+main()
+{
+    constexpr std::size_t kServers = 20;
+    constexpr unsigned kCores = 4;
+    constexpr Time kDay = 24.0 * kHour;
+    // Compressed day: simulate 24 "hours" of 60 s each so the example
+    // finishes quickly; the dynamics are rate-invariant.
+    constexpr Time kCompressedDay = 24.0 * 60.0;
+
+    Engine sim;
+    std::vector<std::unique_ptr<Server>> servers;
+    std::vector<std::unique_ptr<ModulatedSource>> sources;
+    std::vector<Server*> pointers;
+    std::vector<double> latencyWindow;
+    Rng root(0xD1A);
+
+    // Web-like workload at 35% mean utilization, swinging +-60% over the
+    // day — peak demand exceeds what a 0.7-peak budget can power.
+    Workload workload = scaledToLoad(makeWorkload("web"), kCores, 0.35);
+    for (std::size_t i = 0; i < kServers; ++i) {
+        servers.push_back(std::make_unique<Server>(sim, kCores));
+        servers.back()->setCompletionHandler([&](const Task& task) {
+            latencyWindow.push_back(task.responseTime());
+        });
+        sources.push_back(std::make_unique<ModulatedSource>(
+            sim, *servers.back(), workload.interarrival->clone(),
+            workload.service->clone(),
+            diurnalEnvelope(0.6, kCompressedDay,
+                            0.25 * kCompressedDay),
+            root.split(), static_cast<std::uint32_t>(i)));
+        sources.back()->start();
+        pointers.push_back(servers.back().get());
+    }
+
+    PowerCappingSpec spec;
+    spec.budgetFraction = 0.7;
+    spec.epoch = 1.0;
+    spec.dvfs = DvfsModel(ServerPowerSpec{150.0, 150.0, 5.0}, 0.9, 0.5);
+    PowerCappingCoordinator coordinator(sim, pointers, spec);
+
+    // Average the coordinator's per-epoch observations per hour.
+    struct HourAccumulator
+    {
+        double utilization = 0.0;
+        double frequency = 0.0;
+        double capping = 0.0;
+        double power = 0.0;
+        std::uint64_t count = 0;
+    } hour;
+    coordinator.setObserver(
+        [&hour](std::size_t, const CappingObservation& obs) {
+            hour.utilization += obs.utilization;
+            hour.frequency += obs.frequency;
+            hour.capping += obs.cappingWatts;
+            hour.power += obs.powerWatts;
+            ++hour.count;
+        });
+    coordinator.start();
+
+    std::printf("diurnal power capping: %zu servers x %u cores, budget "
+                "%.0f%% of peak, load swing +-60%% over a (compressed) "
+                "day\n\n",
+                kServers, kCores, 100.0 * spec.budgetFraction);
+
+    TextTable table({"hour", "avg util", "avg freq", "avg capping (W)",
+                     "avg power (W)", "mean latency (ms)"});
+    for (int h = 0; h < 24; ++h) {
+        hour = HourAccumulator{};
+        latencyWindow.clear();
+        sim.runUntil(static_cast<Time>(h + 1) * kCompressedDay / 24.0);
+        const double n = std::max<double>(1.0, hour.count);
+        table.addRow({std::to_string(h),
+                      formatG(hour.utilization / n, 3),
+                      formatG(hour.frequency / n, 3),
+                      formatG(hour.capping / n, 3),
+                      formatG(hour.power / n, 4),
+                      formatG(sampleMean(latencyWindow) * 1e3, 4)});
+    }
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("Reading: through the night the cluster runs at f = 1 "
+                "with zero capping; as load crests mid-day, utilization "
+                "pushes uncapped demand past the budget, the coordinator "
+                "throttles frequency, and latency rises — the classic "
+                "reason capping is paired with diurnal provisioning. "
+                "(One real day = %s; compressed here 1440:1.)\n",
+                formatTime(kDay).c_str());
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * DreamWeaver idleness scheduling (paper Sec. 3.2 / Fig. 6).
+ *
+ * Models a many-core search node (Solr-like: the Table-1 Web workload)
+ * governed by the DreamWeaver mechanism, sweeps the per-task delay
+ * threshold, and reports the latency-for-idleness trade-off: fraction of
+ * time the whole server sleeps vs. 99th-percentile latency.
+ *
+ * Run:  ./dreamweaver [utilization]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/report.hh"
+#include "core/sqs.hh"
+#include "distribution/fit.hh"
+#include "policy/dreamweaver.hh"
+#include "queueing/source.hh"
+#include "workload/workload.hh"
+
+using namespace bighouse;
+
+namespace {
+
+/**
+ * Solr-like search workload: the paper's validation ran Solr over a
+ * Wikipedia index with the AOL query set. Those traces are not shipped;
+ * this stand-in uses a 50 ms mean, Cv = 1.2 service distribution (search
+ * over an in-memory index is near-exponential with a modest tail) and
+ * Poisson arrivals. See DESIGN.md substitution #1.
+ */
+Workload
+makeSolrWorkload()
+{
+    Workload workload;
+    workload.name = "solr";
+    workload.interarrival = fitMeanCv(0.05, 1.0);
+    workload.service = fitMeanCv(0.05, 1.2);
+    return workload;
+}
+
+struct SweepPoint
+{
+    double budgetMs;
+    double p99Ms;
+    double idleFraction;
+    std::uint64_t naps;
+};
+
+SweepPoint
+runPoint(double utilization, Time budget, unsigned cores)
+{
+    SqsConfig config;
+    config.accuracy = 0.05;
+    config.quantiles = {0.99};
+    SqsSimulation sim(config, 7);
+    const auto latencyId = sim.addMetric("response_time");
+
+    DreamWeaverSpec dwSpec;
+    dwSpec.delayBudget = budget;
+    dwSpec.sleep.wakeLatency = 1.0 * kMilliSecond;  // PowerNap-class
+    auto server = std::make_shared<DreamWeaverServer>(sim.engine(), cores,
+                                                      dwSpec);
+    StatsCollection& stats = sim.stats();
+    server->setCompletionHandler([&stats, latencyId](const Task& task) {
+        stats.record(latencyId, task.responseTime());
+    });
+
+    const Workload workload =
+        scaledToLoad(makeSolrWorkload(), cores, utilization);
+    auto source = std::make_shared<Source>(
+        sim.engine(), *server, workload.interarrival->clone(),
+        workload.service->clone(), sim.rootRng().split());
+    source->start();
+    sim.holdModel(server);
+    sim.holdModel(source);
+
+    const SqsResult result = sim.run();
+    return SweepPoint{budget / kMilliSecond,
+                      result.estimates[0].quantiles[0].value * 1e3,
+                      server->idleFraction(), server->napCount()};
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const double utilization = argc > 1 ? std::atof(argv[1]) : 0.3;
+    if (utilization <= 0.0 || utilization >= 1.0) {
+        std::fprintf(stderr, "usage: %s [utilization in (0,1)]\n",
+                     argv[0]);
+        return 1;
+    }
+    constexpr unsigned kCores = 16;
+    std::printf("DreamWeaver on a %u-core server, Solr-like workload at "
+                "%.0f%% utilization\n",
+                kCores, 100.0 * utilization);
+    std::printf("sweeping the per-task delay threshold "
+                "(the Fig. 6 tuning knob)\n\n");
+
+    TextTable table({"delay budget (ms)", "p99 latency (ms)",
+                     "idle fraction", "naps"});
+    for (const double budgetMs : {10.0, 25.0, 50.0, 100.0, 250.0, 500.0}) {
+        const SweepPoint point =
+            runPoint(utilization, budgetMs * kMilliSecond, kCores);
+        table.addRow({formatG(point.budgetMs, 4), formatG(point.p99Ms, 4),
+                      formatG(point.idleFraction, 3),
+                      std::to_string(point.naps)});
+    }
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("Expectation (paper Fig. 6): idle fraction and p99 both "
+                "rise with the threshold — latency buys sleep.\n");
+    return 0;
+}

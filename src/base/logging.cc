@@ -1,0 +1,53 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bighouse {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Info;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+namespace detail {
+
+void
+emit(LogLevel level, std::string_view tag, const std::string& message)
+{
+    if (static_cast<int>(level) < static_cast<int>(globalLevel))
+        return;
+    std::fprintf(stderr, "[%.*s] %s\n", static_cast<int>(tag.size()),
+                 tag.data(), message.c_str());
+}
+
+void
+fatalExit(const std::string& message)
+{
+    std::fprintf(stderr, "[fatal] %s\n", message.c_str());
+    std::exit(1);
+}
+
+void
+panicAbort(const std::string& message)
+{
+    std::fprintf(stderr, "[panic] %s\n", message.c_str());
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace bighouse

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Logging and error-handling discipline for BigHouse.
+ *
+ * Follows the gem5 convention:
+ *  - fatal():  the simulation cannot continue because of a *user* error
+ *              (bad configuration, invalid argument). Exits with code 1.
+ *  - panic():  an internal invariant was violated (a simulator bug).
+ *              Calls std::abort() so a core dump / debugger is available.
+ *  - warn():   something may be modeled imperfectly but the run continues.
+ *  - inform(): normal status output.
+ *
+ * All entry points accept a variadic list of arguments which are
+ * stream-formatted in order, e.g. fatal("bad rate: ", rate).
+ */
+
+#ifndef BIGHOUSE_BASE_LOGGING_HH
+#define BIGHOUSE_BASE_LOGGING_HH
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace bighouse {
+
+/** Verbosity threshold for inform()/debug() output. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+/** Set the global verbosity threshold; messages below it are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity threshold. */
+LogLevel logLevel();
+
+namespace detail {
+
+/** Emit one formatted log line to stderr if `level` passes the threshold. */
+void emit(LogLevel level, std::string_view tag, const std::string& message);
+
+/** Terminate due to a user error (exit code 1). */
+[[noreturn]] void fatalExit(const std::string& message);
+
+/** Terminate due to an internal bug (abort). */
+[[noreturn]] void panicAbort(const std::string& message);
+
+/** Stream-concatenate a variadic argument pack into a string. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream oss;
+    ((oss << std::forward<Args>(args)), ...);
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Report an unrecoverable user error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    detail::fatalExit(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a violated internal invariant and abort(). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    detail::panicAbort(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Warn about questionable-but-survivable conditions. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::emit(LogLevel::Warn, "warn", detail::concat(args...));
+}
+
+/** Print a normal status message. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::emit(LogLevel::Info, "info", detail::concat(args...));
+}
+
+/** Print a debug message (dropped unless the level is Debug). */
+template <typename... Args>
+void
+debugLog(Args&&... args)
+{
+    detail::emit(LogLevel::Debug, "debug", detail::concat(args...));
+}
+
+/**
+ * Check an internal invariant; panics with the stringified condition and
+ * any extra context on failure. Active in all build types: the simulator's
+ * statistical guarantees depend on these holding.
+ */
+#define BH_ASSERT(cond, ...)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::bighouse::panic("assertion failed: " #cond " at ", __FILE__,  \
+                              ":", __LINE__, " " __VA_ARGS__);               \
+        }                                                                    \
+    } while (0)
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_BASE_LOGGING_HH

@@ -1,0 +1,121 @@
+#include "base/math_utils.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+double
+normalQuantile(double p)
+{
+    BH_ASSERT(p > 0.0 && p < 1.0, "normalQuantile needs p in (0,1)");
+
+    // Coefficients for Acklam's inverse-normal rational approximation.
+    static constexpr double a[] = {
+        -3.969683028665376e+01, 2.209460984245205e+02,
+        -2.759285104469687e+02, 1.383577518672690e+02,
+        -3.066479806614716e+01, 2.506628277459239e+00};
+    static constexpr double b[] = {
+        -5.447609879822406e+01, 1.615858368580409e+02,
+        -1.556989798598866e+02, 6.680131188771972e+01,
+        -1.328068155288572e+01};
+    static constexpr double c[] = {
+        -7.784894002430293e-03, -3.223964580411365e-01,
+        -2.400758277161838e+00, -2.549732539343734e+00,
+        4.374664141464968e+00,  2.938163982698783e+00};
+    static constexpr double d[] = {
+        7.784695709041462e-03, 3.224671290700398e-01,
+        2.445134137142996e+00, 3.754408661907416e+00};
+
+    constexpr double pLow = 0.02425;
+    constexpr double pHigh = 1.0 - pLow;
+
+    if (p < pLow) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                + c[5])
+               / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > pHigh) {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                 + c[5])
+               / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+            + a[5])
+           * q
+           / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r
+              + 1.0);
+}
+
+double
+normalCritical(double confidence)
+{
+    BH_ASSERT(confidence > 0.0 && confidence < 1.0,
+              "confidence must be in (0,1)");
+    const double alpha = 1.0 - confidence;
+    return normalQuantile(1.0 - alpha / 2.0);
+}
+
+double
+chiSquareQuantile(double p, int df)
+{
+    BH_ASSERT(df >= 1, "chiSquareQuantile needs df >= 1");
+    BH_ASSERT(p > 0.0 && p < 1.0, "chiSquareQuantile needs p in (0,1)");
+    const double z = normalQuantile(p);
+    const double k = static_cast<double>(df);
+    const double term = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+    return k * term * term * term;
+}
+
+double
+sampleMean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    KahanSum sum;
+    for (double x : xs)
+        sum.add(x);
+    return sum.value() / static_cast<double>(xs.size());
+}
+
+double
+sampleVariance(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double mean = sampleMean(xs);
+    KahanSum sum;
+    for (double x : xs)
+        sum.add((x - mean) * (x - mean));
+    return sum.value() / static_cast<double>(xs.size() - 1);
+}
+
+double
+sampleStddev(std::span<const double> xs)
+{
+    return std::sqrt(sampleVariance(xs));
+}
+
+double
+sampleCv(std::span<const double> xs)
+{
+    const double mean = sampleMean(xs);
+    if (mean == 0.0)
+        return 0.0;
+    return sampleStddev(xs) / mean;
+}
+
+bool
+nearlyEqual(double a, double b, double tol)
+{
+    return std::abs(a - b)
+           <= tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+} // namespace bighouse

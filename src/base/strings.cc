@@ -1,0 +1,127 @@
+#include "base/strings.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace bighouse {
+
+std::vector<std::string>
+split(std::string_view text, char delim)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = text.find(delim, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            return out;
+        }
+        out.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::vector<std::string>
+splitWhitespace(std::string_view text)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        while (i < text.size()
+               && std::isspace(static_cast<unsigned char>(text[i]))) {
+            ++i;
+        }
+        const std::size_t start = i;
+        while (i < text.size()
+               && !std::isspace(static_cast<unsigned char>(text[i]))) {
+            ++i;
+        }
+        if (i > start)
+            out.emplace_back(text.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string_view
+trim(std::string_view text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end
+           && std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    while (end > begin
+           && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size()
+           && text.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view text, std::string_view suffix)
+{
+    return text.size() >= suffix.size()
+           && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string
+toLower(std::string_view text)
+{
+    std::string out(text);
+    for (char& c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::optional<double>
+parseDouble(std::string_view text)
+{
+    const std::string_view trimmed = trim(text);
+    if (trimmed.empty())
+        return std::nullopt;
+    const std::string buf(trimmed);
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(buf.c_str(), &end);
+    if (errno != 0 || end != buf.c_str() + buf.size())
+        return std::nullopt;
+    return value;
+}
+
+std::optional<long long>
+parseInt(std::string_view text)
+{
+    const std::string_view trimmed = trim(text);
+    if (trimmed.empty())
+        return std::nullopt;
+    const std::string buf(trimmed);
+    char* end = nullptr;
+    errno = 0;
+    const long long value = std::strtoll(buf.c_str(), &end, 10);
+    if (errno != 0 || end != buf.c_str() + buf.size())
+        return std::nullopt;
+    return value;
+}
+
+std::string
+join(const std::vector<std::string>& items, std::string_view separator)
+{
+    std::string out;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0)
+            out += separator;
+        out += items[i];
+    }
+    return out;
+}
+
+} // namespace bighouse

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Small string helpers used by the config parser, workload file I/O, and
+ * report formatting.
+ */
+
+#ifndef BIGHOUSE_BASE_STRINGS_HH
+#define BIGHOUSE_BASE_STRINGS_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bighouse {
+
+/** Split on a delimiter character; empty fields are preserved. */
+std::vector<std::string> split(std::string_view text, char delim);
+
+/** Split on runs of whitespace; empty fields are dropped. */
+std::vector<std::string> splitWhitespace(std::string_view text);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view text);
+
+/** True when `text` begins with `prefix`. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** True when `text` ends with `suffix`. */
+bool endsWith(std::string_view text, std::string_view suffix);
+
+/** Lower-cased copy (ASCII). */
+std::string toLower(std::string_view text);
+
+/** Parse a double; nullopt when the text is not exactly one number. */
+std::optional<double> parseDouble(std::string_view text);
+
+/** Parse a signed 64-bit integer; nullopt on any trailing garbage. */
+std::optional<long long> parseInt(std::string_view text);
+
+/** Join items with a separator. */
+std::string join(const std::vector<std::string>& items,
+                 std::string_view separator);
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_BASE_STRINGS_HH

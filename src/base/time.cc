@@ -1,0 +1,30 @@
+#include "base/time.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bighouse {
+
+std::string
+formatTime(Time t)
+{
+    char buf[48];
+    const double at = std::abs(t);
+    if (at >= kHour)
+        std::snprintf(buf, sizeof(buf), "%.2fh", t / kHour);
+    else if (at >= kMinute)
+        std::snprintf(buf, sizeof(buf), "%.2fmin", t / kMinute);
+    else if (at >= kSecond)
+        std::snprintf(buf, sizeof(buf), "%.3fs", t);
+    else if (at >= kMilliSecond)
+        std::snprintf(buf, sizeof(buf), "%.3fms", t / kMilliSecond);
+    else if (at >= kMicroSecond)
+        std::snprintf(buf, sizeof(buf), "%.3fus", t / kMicroSecond);
+    else if (at > 0)
+        std::snprintf(buf, sizeof(buf), "%.3fns", t / kNanoSecond);
+    else
+        std::snprintf(buf, sizeof(buf), "0s");
+    return buf;
+}
+
+} // namespace bighouse

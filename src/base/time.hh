@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Simulated-time conventions. BigHouse models continuous time in seconds
+ * as a double; a converged run spans at most ~1e9 task events, far inside
+ * the 2^53 integer-exact range of double at sub-microsecond resolution.
+ */
+
+#ifndef BIGHOUSE_BASE_TIME_HH
+#define BIGHOUSE_BASE_TIME_HH
+
+#include <string>
+
+namespace bighouse {
+
+/** Simulated time, in seconds. */
+using Time = double;
+
+/// Unit multipliers for building Time literals, e.g. 5 * kMilliSecond.
+inline constexpr Time kSecond = 1.0;
+inline constexpr Time kMilliSecond = 1e-3;
+inline constexpr Time kMicroSecond = 1e-6;
+inline constexpr Time kNanoSecond = 1e-9;
+inline constexpr Time kMinute = 60.0;
+inline constexpr Time kHour = 3600.0;
+
+/** Sentinel for "no scheduled time". */
+inline constexpr Time kTimeNever = -1.0;
+
+/** Human-readable rendering, e.g. "3.20ms", "2.5h". */
+std::string formatTime(Time t);
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_BASE_TIME_HH

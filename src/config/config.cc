@@ -1,0 +1,173 @@
+#include "config/config.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+
+namespace bighouse {
+
+Config::Config(JsonValue root)
+    : tree(std::move(root))
+{
+}
+
+Config
+Config::fromFile(const std::string& path)
+{
+    return Config(parseJsonFile(path));
+}
+
+Config
+Config::fromString(std::string_view text)
+{
+    JsonParseResult result = parseJson(text);
+    if (!result.ok)
+        fatal("JSON error: ", result.error);
+    return Config(std::move(result.value));
+}
+
+const JsonValue*
+Config::resolve(std::string_view path) const
+{
+    const JsonValue* node = &tree;
+    for (const auto& part : split(path, '.')) {
+        node = node->find(part);
+        if (node == nullptr)
+            return nullptr;
+    }
+    return node;
+}
+
+bool
+Config::has(std::string_view path) const
+{
+    return resolve(path) != nullptr;
+}
+
+std::optional<double>
+Config::getDouble(std::string_view path) const
+{
+    const JsonValue* node = resolve(path);
+    if (node == nullptr)
+        return std::nullopt;
+    if (!node->isNumber())
+        fatal("config key '", path, "' is not a number");
+    return node->asNumber();
+}
+
+std::optional<long long>
+Config::getInt(std::string_view path) const
+{
+    const auto value = getDouble(path);
+    if (!value)
+        return std::nullopt;
+    if (*value != std::floor(*value))
+        fatal("config key '", path, "' is not an integer: ", *value);
+    return static_cast<long long>(*value);
+}
+
+std::optional<bool>
+Config::getBool(std::string_view path) const
+{
+    const JsonValue* node = resolve(path);
+    if (node == nullptr)
+        return std::nullopt;
+    if (!node->isBool())
+        fatal("config key '", path, "' is not a boolean");
+    return node->asBool();
+}
+
+std::optional<std::string>
+Config::getString(std::string_view path) const
+{
+    const JsonValue* node = resolve(path);
+    if (node == nullptr)
+        return std::nullopt;
+    if (!node->isString())
+        fatal("config key '", path, "' is not a string");
+    return node->asString();
+}
+
+double
+Config::getDouble(std::string_view path, double fallback) const
+{
+    return getDouble(path).value_or(fallback);
+}
+
+long long
+Config::getInt(std::string_view path, long long fallback) const
+{
+    return getInt(path).value_or(fallback);
+}
+
+bool
+Config::getBool(std::string_view path, bool fallback) const
+{
+    return getBool(path).value_or(fallback);
+}
+
+std::string
+Config::getString(std::string_view path, std::string_view fallback) const
+{
+    const auto value = getString(path);
+    return value ? *value : std::string(fallback);
+}
+
+double
+Config::requireDouble(std::string_view path) const
+{
+    const auto value = getDouble(path);
+    if (!value)
+        fatal("missing required config key '", path, "'");
+    return *value;
+}
+
+long long
+Config::requireInt(std::string_view path) const
+{
+    const auto value = getInt(path);
+    if (!value)
+        fatal("missing required config key '", path, "'");
+    return *value;
+}
+
+std::string
+Config::requireString(std::string_view path) const
+{
+    const auto value = getString(path);
+    if (!value)
+        fatal("missing required config key '", path, "'");
+    return *value;
+}
+
+std::vector<double>
+Config::requireDoubleArray(std::string_view path) const
+{
+    const JsonValue* node = resolve(path);
+    if (node == nullptr)
+        fatal("missing required config key '", path, "'");
+    if (!node->isArray())
+        fatal("config key '", path, "' is not an array");
+    std::vector<double> out;
+    out.reserve(node->asArray().size());
+    for (const auto& element : node->asArray()) {
+        if (!element.isNumber())
+            fatal("config key '", path, "' has a non-numeric element");
+        out.push_back(element.asNumber());
+    }
+    return out;
+}
+
+Config
+Config::requireSection(std::string_view path) const
+{
+    const JsonValue* node = resolve(path);
+    if (node == nullptr)
+        fatal("missing required config section '", path, "'");
+    if (!node->isObject())
+        fatal("config key '", path, "' is not an object");
+    return Config(*node);
+}
+
+} // namespace bighouse

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Typed, dotted-path access over a JSON experiment description.
+ *
+ * Config wraps a JsonValue and resolves paths like
+ * "cluster.server.cores"; every getter either returns the value with the
+ * requested type, the caller's default, or (for the require* forms) calls
+ * fatal() with the full path — configuration mistakes are user errors.
+ */
+
+#ifndef BIGHOUSE_CONFIG_CONFIG_HH
+#define BIGHOUSE_CONFIG_CONFIG_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/json.hh"
+
+namespace bighouse {
+
+/** Read-only view over a parsed configuration tree. */
+class Config
+{
+  public:
+    /** Wrap an already-parsed document (copied). */
+    explicit Config(JsonValue root);
+
+    /** Parse `path` and wrap it; fatal() on error. */
+    static Config fromFile(const std::string& path);
+
+    /** Parse a JSON string; fatal() on error. */
+    static Config fromString(std::string_view text);
+
+    /** True when the dotted path resolves to any value. */
+    bool has(std::string_view path) const;
+
+    /// Optional getters: nullopt when the path is absent. Present-but-
+    /// wrong-type is a user error and fatal()s.
+    std::optional<double> getDouble(std::string_view path) const;
+    std::optional<long long> getInt(std::string_view path) const;
+    std::optional<bool> getBool(std::string_view path) const;
+    std::optional<std::string> getString(std::string_view path) const;
+
+    /// Defaulted getters.
+    double getDouble(std::string_view path, double fallback) const;
+    long long getInt(std::string_view path, long long fallback) const;
+    bool getBool(std::string_view path, bool fallback) const;
+    std::string getString(std::string_view path,
+                          std::string_view fallback) const;
+
+    /// Required getters: fatal() when absent.
+    double requireDouble(std::string_view path) const;
+    long long requireInt(std::string_view path) const;
+    std::string requireString(std::string_view path) const;
+
+    /** Array of numbers at the path; fatal() when absent or mistyped. */
+    std::vector<double> requireDoubleArray(std::string_view path) const;
+
+    /** Sub-configuration rooted at the path; fatal() when absent. */
+    Config requireSection(std::string_view path) const;
+
+    /** Raw JSON node at a path; nullptr when absent. */
+    const JsonValue* resolve(std::string_view path) const;
+
+    /** The wrapped document. */
+    const JsonValue& root() const { return tree; }
+
+  private:
+    JsonValue tree;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_CONFIG_CONFIG_HH

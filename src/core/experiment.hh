@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Experiment — the declarative, config-file-driven layer over
+ * SqsSimulation ("configuration files describe how BigHouse should
+ * instantiate and connect these objects and supply parameters such as
+ * number of cores, peak power, etc.").
+ *
+ * An ExperimentSpec describes a homogeneous cluster: N servers of k cores,
+ * each driven by its own arrival source for one workload, optionally
+ * governed by the global power-capping coordinator; the standard output
+ * metrics are response time, waiting time, and per-epoch capping level
+ * (the metric sets swept in Fig. 9).
+ */
+
+#ifndef BIGHOUSE_CORE_EXPERIMENT_HH
+#define BIGHOUSE_CORE_EXPERIMENT_HH
+
+#include <optional>
+#include <string>
+
+#include "config/config.hh"
+#include "core/sqs.hh"
+#include "datacenter/load_balancer.hh"
+#include "policy/dreamweaver.hh"
+#include "policy/power_capping.hh"
+#include "power/sleep_state.hh"
+#include "workload/workload.hh"
+
+namespace bighouse {
+
+/** Canonical metric names registered by Experiment. */
+inline constexpr const char* kResponseTimeMetric = "response_time";
+inline constexpr const char* kWaitingTimeMetric = "waiting_time";
+inline constexpr const char* kCappingLevelMetric = "capping_level";
+inline constexpr const char* kServerPowerMetric = "server_power";
+
+/** Which station model each server in the cluster uses. */
+enum class ServerModel
+{
+    Fcfs,              ///< stock k-core FCFS Server
+    ProcessorSharing,  ///< PsServer (limited PS)
+    DreamWeaver,       ///< idleness-scheduled (Sec. 3.2)
+    PowerNap,          ///< nap-on-full-idle baseline
+};
+
+/** Parse "fcfs" | "ps" | "dreamweaver" | "powernap"; fatal() otherwise. */
+ServerModel parseServerModel(std::string_view name);
+
+/** Full description of a cluster experiment. */
+struct ExperimentSpec
+{
+    Workload workload;           ///< per-server workload
+    std::size_t servers = 1;
+    unsigned coresPerServer = 4;
+    ServerModel serverModel = ServerModel::Fcfs;
+    /// DreamWeaver tuning (used when serverModel == DreamWeaver).
+    DreamWeaverSpec dreamweaver;
+    /// PowerNap sleep transition (used when serverModel == PowerNap).
+    SleepSpec powernap;
+    /// Present -> one central source feeds a balancer with this
+    /// discipline; absent -> one source per server. FCFS servers only.
+    std::optional<Dispatch> dispatch;
+    /// Arrival-rate multiplier applied to every source (load knob).
+    double loadFactor = 1.0;
+    /// Fixed service slowdown (SCPU of Fig. 4); 1.0 = nominal.
+    /// FCFS/PS only (sleep policies own their server's speed).
+    double cpuSlowdown = 1.0;
+    bool recordResponseTime = true;
+    bool recordWaitingTime = false;
+    /// Present -> power capping runs and (optionally) its level metric.
+    std::optional<PowerCappingSpec> capping;
+    bool recordCappingLevel = false;
+    /// Per-epoch cluster-average server power (watts) — the "Power"
+    /// output of the paper's Fig. 1. Requires a capping block (it
+    /// supplies the Eq. 4-6 power model).
+    bool recordServerPower = false;
+    SqsConfig sqs;
+
+    /** Deep copy (distributions cloned). */
+    ExperimentSpec clone() const;
+};
+
+/** Builds and runs one ExperimentSpec. */
+class Experiment
+{
+  public:
+    explicit Experiment(ExperimentSpec spec);
+
+    /**
+     * Parse a spec from a JSON config (see docs/ and examples/ for the
+     * schema): workload by Table-1 name or explicit mean/cv moments,
+     * cluster shape, metric switches, sqs block, capping block.
+     */
+    static ExperimentSpec specFromConfig(const Config& config);
+
+    /** Construct the model and metrics inside an existing simulation. */
+    void buildInto(SqsSimulation& sim) const;
+
+    /** Build a fresh simulation, run to convergence, return the result. */
+    SqsResult run(std::uint64_t seed) const;
+
+    const ExperimentSpec& specification() const { return spec; }
+
+  private:
+    ExperimentSpec spec;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_CORE_EXPERIMENT_HH

@@ -1,0 +1,96 @@
+#include "core/replications.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/math_utils.hh"
+#include "base/random.hh"
+#include "stats/accumulator.hh"
+
+namespace bighouse {
+
+double
+studentTCritical(double confidence, std::size_t dof)
+{
+    if (confidence <= 0.0 || confidence >= 1.0)
+        fatal("confidence must be in (0,1), got ", confidence);
+    if (dof == 0)
+        fatal("studentTCritical needs dof >= 1");
+    const double p = 1.0 - (1.0 - confidence) / 2.0;
+    // Exact closed forms where the asymptotic expansion diverges.
+    if (dof == 1)
+        return std::tan(M_PI * (p - 0.5));  // Cauchy quantile
+    if (dof == 2) {
+        const double u = 2.0 * p - 1.0;
+        return u * std::sqrt(2.0 / (1.0 - u * u));
+    }
+    const double z = normalCritical(confidence);
+    const auto v = static_cast<double>(dof);
+    // Cornish-Fisher expansion of t in terms of the normal quantile.
+    const double z3 = z * z * z;
+    const double z5 = z3 * z * z;
+    const double z7 = z5 * z * z;
+    return z + (z3 + z) / (4.0 * v)
+           + (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * v * v)
+           + (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z)
+                 / (384.0 * v * v * v);
+}
+
+ReplicatedResult
+runReplicated(const Experiment& experiment, std::size_t replications,
+              std::uint64_t rootSeed, double confidence)
+{
+    if (replications < 2)
+        fatal("runReplicated needs at least 2 replications, got ",
+              replications);
+
+    ReplicatedResult result;
+    Rng seeder(rootSeed);
+    std::vector<Accumulator> means;
+    std::vector<Accumulator> quantiles;
+    std::vector<std::string> names;
+    std::vector<double> qs;
+
+    for (std::size_t r = 0; r < replications; ++r) {
+        const SqsResult run = experiment.run(seeder.next());
+        result.allConverged = result.allConverged && run.converged;
+        result.totalEvents += run.events;
+        if (r == 0) {
+            means.resize(run.estimates.size());
+            quantiles.resize(run.estimates.size());
+            for (const MetricEstimate& est : run.estimates) {
+                names.push_back(est.name);
+                qs.push_back(est.quantiles.empty() ? 0.0
+                                                   : est.quantiles[0].q);
+            }
+        }
+        BH_ASSERT(run.estimates.size() == means.size(),
+                  "metric count changed across replications");
+        for (std::size_t m = 0; m < run.estimates.size(); ++m) {
+            means[m].add(run.estimates[m].mean);
+            if (!run.estimates[m].quantiles.empty())
+                quantiles[m].add(run.estimates[m].quantiles[0].value);
+        }
+    }
+
+    const double t = studentTCritical(confidence, replications - 1);
+    const double rootN = std::sqrt(static_cast<double>(replications));
+    result.metrics.reserve(means.size());
+    for (std::size_t m = 0; m < means.size(); ++m) {
+        ReplicatedMetric metric;
+        metric.name = names[m];
+        metric.replications = replications;
+        metric.mean = means[m].mean();
+        metric.halfWidth = t * means[m].stddev() / rootN;
+        metric.q = qs[m];
+        if (quantiles[m].count() > 0) {
+            metric.quantileMean = quantiles[m].mean();
+            metric.quantileHalfWidth =
+                t * quantiles[m].stddev() / rootN;
+        }
+        result.metrics.push_back(std::move(metric));
+    }
+    return result;
+}
+
+} // namespace bighouse

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Independent replications: the third classical route to confidence
+ * intervals from simulation (besides the paper's lag spacing and batch
+ * means) — run the whole experiment K times with independent seeds and
+ * interval the between-replication means with a Student-t critical value.
+ *
+ * Replications sidestep autocorrelation entirely (each replication is one
+ * i.i.d. observation) at the price of paying warm-up and calibration K
+ * times — the same cost structure that makes the paper's parallel slaves
+ * (Fig. 3) Amdahl-limited. Provided both as a methodology cross-check
+ * (tests validate SQS point estimates against replication intervals) and
+ * as a user-facing tool for experiments whose outputs converge badly.
+ */
+
+#ifndef BIGHOUSE_CORE_REPLICATIONS_HH
+#define BIGHOUSE_CORE_REPLICATIONS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/sqs.hh"
+
+namespace bighouse {
+
+/** Between-replication summary for one metric. */
+struct ReplicatedMetric
+{
+    std::string name;
+    std::size_t replications = 0;
+    double mean = 0.0;            ///< mean of per-replication means
+    double halfWidth = 0.0;       ///< t-based CI half-width of that mean
+    double quantileMean = 0.0;    ///< mean of per-replication quantiles
+    double quantileHalfWidth = 0.0;
+    double q = 0.0;               ///< which quantile (first registered)
+};
+
+/** Outcome of a replicated study. */
+struct ReplicatedResult
+{
+    bool allConverged = true;     ///< every replication converged
+    std::uint64_t totalEvents = 0;
+    std::vector<ReplicatedMetric> metrics;
+};
+
+/**
+ * Two-sided Student-t critical value t_{1-alpha/2, dof} via the standard
+ * Cornish-Fisher expansion of the normal quantile (exact as dof -> inf,
+ * good to ~1% for dof >= 3).
+ */
+double studentTCritical(double confidence, std::size_t dof);
+
+/**
+ * Run `replications` independent copies of the experiment (seeds derived
+ * from rootSeed) and interval the per-replication estimates.
+ *
+ * @pre replications >= 2 (you cannot interval one observation)
+ */
+ReplicatedResult runReplicated(const Experiment& experiment,
+                               std::size_t replications,
+                               std::uint64_t rootSeed,
+                               double confidence = 0.95);
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_CORE_REPLICATIONS_HH

@@ -1,0 +1,103 @@
+#include "core/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/time.hh"
+
+namespace bighouse {
+
+TextTable::TextTable(std::vector<std::string> headerColumns)
+    : header(std::move(headerColumns))
+{
+    if (header.empty())
+        fatal("TextTable needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header.size())
+        fatal("TextTable row has ", row.size(), " cells, expected ",
+              header.size());
+    rows.push_back(std::move(row));
+}
+
+void
+TextTable::addNumericRow(const std::vector<double>& row)
+{
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (double value : row)
+        cells.push_back(formatG(value));
+    addRow(std::move(cells));
+}
+
+std::string
+TextTable::toText() const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto& row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream oss;
+    auto emitRow = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            oss << (c == 0 ? "" : "  ");
+            oss << cells[c];
+            oss << std::string(widths[c] - cells[c].size(), ' ');
+        }
+        oss << "\n";
+    };
+    emitRow(header);
+    // Line length: cells plus the two-space gaps between columns.
+    std::size_t total = 2 * (header.size() - 1);
+    for (std::size_t w : widths)
+        total += w;
+    oss << std::string(total, '-') << "\n";
+    for (const auto& row : rows)
+        emitRow(row);
+    return oss.str();
+}
+
+std::string
+TextTable::toCsv() const
+{
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            oss << (c == 0 ? "" : ",") << cells[c];
+        oss << "\n";
+    };
+    emit(header);
+    for (const auto& row : rows)
+        emit(row);
+    return oss.str();
+}
+
+std::string
+formatG(double value, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    return buf;
+}
+
+std::string
+summarizeRun(const SqsResult& result)
+{
+    std::ostringstream oss;
+    oss << (result.converged ? "converged" : "NOT converged") << " after "
+        << result.events << " events (simulated "
+        << formatTime(result.simulatedTime) << ", wall "
+        << formatG(result.wallSeconds, 3) << "s)";
+    return oss.str();
+}
+
+} // namespace bighouse

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Result rendering for examples and benchmark harnesses: a small aligned
+ * text-table builder plus CSV emission, so every bench prints the same
+ * rows/series the paper's tables and figures report.
+ */
+
+#ifndef BIGHOUSE_CORE_REPORT_HH
+#define BIGHOUSE_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/sqs.hh"
+
+namespace bighouse {
+
+/** Column-aligned text table with a CSV twin. */
+class TextTable
+{
+  public:
+    /** @param header column names */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row (must match the header width). */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with %.6g and append. */
+    void addNumericRow(const std::vector<double>& row);
+
+    /** Aligned, human-readable rendering. */
+    std::string toText() const;
+
+    /** Comma-separated rendering (header first). */
+    std::string toCsv() const;
+
+    std::size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with %.*g. */
+std::string formatG(double value, int precision = 6);
+
+/** One-paragraph summary of an SQS run (convergence, events, wall time). */
+std::string summarizeRun(const SqsResult& result);
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_CORE_REPORT_HH

@@ -1,0 +1,166 @@
+#include "core/results_io.hh"
+
+#include <fstream>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+namespace {
+
+JsonValue
+quantileToJson(const QuantileEstimate& qe)
+{
+    JsonValue::Object obj;
+    obj.emplace("q", JsonValue(qe.q));
+    obj.emplace("value", JsonValue(qe.value));
+    obj.emplace("lower", JsonValue(qe.lower));
+    obj.emplace("upper", JsonValue(qe.upper));
+    return JsonValue(std::move(obj));
+}
+
+JsonValue
+estimateToJson(const MetricEstimate& est)
+{
+    JsonValue::Object obj;
+    obj.emplace("name", JsonValue(est.name));
+    obj.emplace("phase", JsonValue(std::string(phaseName(est.phase))));
+    obj.emplace("converged", JsonValue(est.converged));
+    obj.emplace("accepted", JsonValue(static_cast<double>(est.accepted)));
+    obj.emplace("offered", JsonValue(static_cast<double>(est.offered)));
+    obj.emplace("lag", JsonValue(static_cast<double>(est.lag)));
+    obj.emplace("required", JsonValue(static_cast<double>(est.required)));
+    obj.emplace("mean", JsonValue(est.mean));
+    obj.emplace("meanHalfWidth", JsonValue(est.meanHalfWidth));
+    obj.emplace("relativeHalfWidth", JsonValue(est.relativeHalfWidth));
+    obj.emplace("stddev", JsonValue(est.stddev));
+    obj.emplace("min", JsonValue(est.min));
+    obj.emplace("max", JsonValue(est.max));
+    JsonValue::Array quantiles;
+    for (const QuantileEstimate& qe : est.quantiles)
+        quantiles.push_back(quantileToJson(qe));
+    obj.emplace("quantiles", JsonValue(std::move(quantiles)));
+    return JsonValue(std::move(obj));
+}
+
+Phase
+phaseFromName(const std::string& name)
+{
+    if (name == "warmup")
+        return Phase::Warmup;
+    if (name == "calibration")
+        return Phase::Calibration;
+    if (name == "measurement")
+        return Phase::Measurement;
+    if (name == "converged")
+        return Phase::Converged;
+    fatal("unknown phase name '", name, "' in result JSON");
+}
+
+double
+requireNumber(const JsonValue& obj, const char* key)
+{
+    const JsonValue* node = obj.find(key);
+    if (node == nullptr || !node->isNumber())
+        fatal("result JSON missing numeric field '", key, "'");
+    return node->asNumber();
+}
+
+MetricEstimate
+estimateFromJson(const JsonValue& json)
+{
+    MetricEstimate est;
+    const JsonValue* name = json.find("name");
+    const JsonValue* phase = json.find("phase");
+    if (name == nullptr || !name->isString() || phase == nullptr
+        || !phase->isString()) {
+        fatal("result JSON estimate missing name/phase");
+    }
+    est.name = name->asString();
+    est.phase = phaseFromName(phase->asString());
+    const JsonValue* converged = json.find("converged");
+    est.converged = converged != nullptr && converged->isBool()
+                        ? converged->asBool()
+                        : est.phase == Phase::Converged;
+    est.accepted =
+        static_cast<std::uint64_t>(requireNumber(json, "accepted"));
+    est.offered =
+        static_cast<std::uint64_t>(requireNumber(json, "offered"));
+    est.lag = static_cast<std::size_t>(requireNumber(json, "lag"));
+    est.required =
+        static_cast<std::uint64_t>(requireNumber(json, "required"));
+    est.mean = requireNumber(json, "mean");
+    est.meanHalfWidth = requireNumber(json, "meanHalfWidth");
+    est.relativeHalfWidth = requireNumber(json, "relativeHalfWidth");
+    est.stddev = requireNumber(json, "stddev");
+    est.min = requireNumber(json, "min");
+    est.max = requireNumber(json, "max");
+    const JsonValue* quantiles = json.find("quantiles");
+    if (quantiles != nullptr && quantiles->isArray()) {
+        for (const JsonValue& entry : quantiles->asArray()) {
+            QuantileEstimate qe;
+            qe.q = requireNumber(entry, "q");
+            qe.value = requireNumber(entry, "value");
+            qe.lower = requireNumber(entry, "lower");
+            qe.upper = requireNumber(entry, "upper");
+            est.quantiles.push_back(qe);
+        }
+    }
+    return est;
+}
+
+} // namespace
+
+JsonValue
+resultToJson(const SqsResult& result)
+{
+    JsonValue::Object obj;
+    obj.emplace("converged", JsonValue(result.converged));
+    obj.emplace("events", JsonValue(static_cast<double>(result.events)));
+    obj.emplace("simulatedTime", JsonValue(result.simulatedTime));
+    obj.emplace("wallSeconds", JsonValue(result.wallSeconds));
+    JsonValue::Array estimates;
+    for (const MetricEstimate& est : result.estimates)
+        estimates.push_back(estimateToJson(est));
+    obj.emplace("estimates", JsonValue(std::move(estimates)));
+    return JsonValue(std::move(obj));
+}
+
+SqsResult
+resultFromJson(const JsonValue& json)
+{
+    SqsResult result;
+    const JsonValue* converged = json.find("converged");
+    if (converged == nullptr || !converged->isBool())
+        fatal("result JSON missing 'converged'");
+    result.converged = converged->asBool();
+    result.events =
+        static_cast<std::uint64_t>(requireNumber(json, "events"));
+    result.simulatedTime = requireNumber(json, "simulatedTime");
+    result.wallSeconds = requireNumber(json, "wallSeconds");
+    const JsonValue* estimates = json.find("estimates");
+    if (estimates == nullptr || !estimates->isArray())
+        fatal("result JSON missing 'estimates' array");
+    for (const JsonValue& entry : estimates->asArray())
+        result.estimates.push_back(estimateFromJson(entry));
+    return result;
+}
+
+void
+writeResult(const std::string& path, const SqsResult& result)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open ", path, " for writing");
+    out << resultToJson(result).dump(2) << "\n";
+    if (!out)
+        fatal("write error on ", path);
+}
+
+SqsResult
+readResult(const std::string& path)
+{
+    return resultFromJson(parseJsonFile(path));
+}
+
+} // namespace bighouse

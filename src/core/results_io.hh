@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Results export/import: serialize an SqsResult to JSON so downstream
+ * tooling (plotting scripts, result archives, CI dashboards) can consume
+ * converged estimates without parsing console tables.
+ */
+
+#ifndef BIGHOUSE_CORE_RESULTS_IO_HH
+#define BIGHOUSE_CORE_RESULTS_IO_HH
+
+#include <string>
+
+#include "config/json.hh"
+#include "core/sqs.hh"
+
+namespace bighouse {
+
+/** Full-fidelity JSON rendering of a result. */
+JsonValue resultToJson(const SqsResult& result);
+
+/** Inverse of resultToJson(); fatal() on schema violations. */
+SqsResult resultFromJson(const JsonValue& json);
+
+/** Write a result to a .json file (pretty-printed). */
+void writeResult(const std::string& path, const SqsResult& result);
+
+/** Read a result written by writeResult(). */
+SqsResult readResult(const std::string& path);
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_CORE_RESULTS_IO_HH

@@ -1,0 +1,106 @@
+#include "core/sqs.hh"
+
+#include <chrono>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+SqsSimulation::SqsSimulation(SqsConfig config, std::uint64_t seed)
+    : cfg(config), root(seed)
+{
+    if (cfg.batchEvents == 0)
+        fatal("SqsConfig batchEvents must be >= 1");
+}
+
+MetricSpec
+SqsSimulation::defaultMetricSpec(std::string name) const
+{
+    MetricSpec spec;
+    spec.name = std::move(name);
+    spec.warmupSamples = cfg.warmupSamples;
+    spec.calibrationSamples = cfg.calibrationSamples;
+    spec.target = ConfidenceSpec{cfg.accuracy, cfg.confidence};
+    spec.quantiles = cfg.quantiles;
+    spec.histogramBins = cfg.histogramBins;
+    return spec;
+}
+
+StatsCollection::MetricId
+SqsSimulation::addMetric(std::string name)
+{
+    return collection.addMetric(defaultMetricSpec(std::move(name)));
+}
+
+StatsCollection::MetricId
+SqsSimulation::addMetric(MetricSpec spec)
+{
+    return collection.addMetric(std::move(spec));
+}
+
+void
+SqsSimulation::holdModel(std::shared_ptr<void> m)
+{
+    model.push_back(std::move(m));
+}
+
+std::uint64_t
+SqsSimulation::runBatch(std::uint64_t events)
+{
+    return sim.run(events);
+}
+
+SqsResult
+SqsSimulation::snapshot() const
+{
+    SqsResult result;
+    result.converged = collection.allConverged();
+    result.events = sim.eventsExecuted();
+    result.simulatedTime = sim.now();
+    result.estimates = collection.estimates();
+    return result;
+}
+
+SqsResult
+SqsSimulation::run()
+{
+    BH_ASSERT(!ran, "SqsSimulation::run() may only be called once");
+    BH_ASSERT(collection.metricCount() > 0,
+              "run() with no output metrics registered");
+    ran = true;
+
+    const auto wallStart = std::chrono::steady_clock::now();
+    std::uint64_t executed = 0;
+    bool converged = false;
+    while (true) {
+        const std::uint64_t ran_now = sim.run(cfg.batchEvents);
+        executed += ran_now;
+        if (collection.allConverged()) {
+            converged = true;
+            break;
+        }
+        if (ran_now == 0) {
+            warn("event queue drained before convergence; the model has "
+                 "no more work to generate");
+            break;
+        }
+        if (cfg.maxEvents != 0 && executed >= cfg.maxEvents) {
+            warn("maxEvents safety valve tripped before convergence");
+            break;
+        }
+        if (cfg.maxSimTime != 0 && sim.now() >= cfg.maxSimTime) {
+            warn("maxSimTime safety valve tripped before convergence");
+            break;
+        }
+    }
+    const auto wallEnd = std::chrono::steady_clock::now();
+
+    SqsResult result = snapshot();
+    result.converged = converged;
+    result.events = executed;
+    result.wallSeconds =
+        std::chrono::duration<double>(wallEnd - wallStart).count();
+    return result;
+}
+
+} // namespace bighouse

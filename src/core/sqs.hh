@@ -1,0 +1,113 @@
+/**
+ * @file
+ * SqsSimulation — the stochastic queuing simulation runner, BigHouse's
+ * primary contribution: a discrete-event simulation whose *length is
+ * decided statistically*. The runner owns an Engine, a StatsCollection,
+ * and a root Rng; user model code builds a queuing network over them, and
+ * run() exercises the network until every registered output metric has
+ * converged to its target confidence interval (or a safety valve trips).
+ */
+
+#ifndef BIGHOUSE_CORE_SQS_HH
+#define BIGHOUSE_CORE_SQS_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "sim/engine.hh"
+#include "stats/collection.hh"
+
+namespace bighouse {
+
+/** Sampling defaults and safety valves for one SQS run. */
+struct SqsConfig
+{
+    /// Defaults applied by defaultMetricSpec(); individual metrics may
+    /// override any of them.
+    std::uint64_t warmupSamples = 1000;
+    std::uint64_t calibrationSamples = 5000;  ///< the paper's figure
+    double accuracy = 0.05;                   ///< E of Eq. 1
+    double confidence = 0.95;
+    std::vector<double> quantiles = {0.95};
+    std::size_t histogramBins = 10000;
+
+    /// Convergence is polled every `batchEvents` simulated events.
+    std::uint64_t batchEvents = 20000;
+    /// Hard ceilings; 0 disables. A healthy run converges first.
+    std::uint64_t maxEvents = 0;
+    Time maxSimTime = 0;
+};
+
+/** Outcome of an SQS run. */
+struct SqsResult
+{
+    bool converged = false;
+    std::uint64_t events = 0;       ///< events executed by run()
+    Time simulatedTime = 0;         ///< final simulated clock
+    double wallSeconds = 0;         ///< host time spent inside run()
+    std::vector<MetricEstimate> estimates;
+};
+
+/** One simulation instance (the master's, or one slave's). */
+class SqsSimulation
+{
+  public:
+    /**
+     * @param config sampling defaults and safety valves
+     * @param seed root seed; every stochastic component should draw its
+     *        stream from rootRng().split() so instances with different
+     *        seeds are statistically independent (Fig. 3's requirement)
+     */
+    SqsSimulation(SqsConfig config, std::uint64_t seed);
+
+    Engine& engine() { return sim; }
+    StatsCollection& stats() { return collection; }
+    Rng& rootRng() { return root; }
+    const SqsConfig& config() const { return cfg; }
+
+    /** A MetricSpec pre-filled with this run's configured defaults. */
+    MetricSpec defaultMetricSpec(std::string name) const;
+
+    /** Shorthand: register a metric with the default spec. */
+    StatsCollection::MetricId addMetric(std::string name);
+    StatsCollection::MetricId addMetric(MetricSpec spec);
+
+    /**
+     * Keep any model objects (servers, sources, policies) alive for the
+     * simulation's lifetime.
+     */
+    void holdModel(std::shared_ptr<void> model);
+
+    /**
+     * Drive the event loop until every metric converges or a safety
+     * valve (maxEvents / maxSimTime) trips. May be called once.
+     */
+    SqsResult run();
+
+    /**
+     * Execute up to `events` events (no convergence logic) — the
+     * building block the parallel harness uses to drive slaves in
+     * batches. @return events actually executed (< requested when the
+     * queue drained).
+     */
+    std::uint64_t runBatch(std::uint64_t events);
+
+    /** Snapshot of the current estimates. */
+    SqsResult snapshot() const;
+
+  private:
+    SqsConfig cfg;
+    Engine sim;
+    StatsCollection collection;
+    Rng root;
+    std::vector<std::shared_ptr<void>> model;
+    bool ran = false;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_CORE_SQS_HH

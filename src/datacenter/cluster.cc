@@ -1,0 +1,77 @@
+#include "datacenter/cluster.hh"
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+Cluster::Cluster(Engine& engine, ClusterSpec spec, Rng rng)
+    : spec(spec)
+{
+    if (spec.serverCount == 0)
+        fatal("Cluster needs at least one server");
+    servers.reserve(spec.serverCount);
+    for (std::size_t i = 0; i < spec.serverCount; ++i) {
+        servers.push_back(
+            std::make_unique<Server>(engine, spec.coresPerServer));
+    }
+    balancer = std::make_unique<LoadBalancer>(serverPointers(),
+                                              spec.dispatch, rng);
+}
+
+Server&
+Cluster::server(std::size_t index)
+{
+    BH_ASSERT(index < servers.size(), "server index out of range");
+    return *servers[index];
+}
+
+std::vector<Server*>
+Cluster::serverPointers()
+{
+    std::vector<Server*> pointers;
+    pointers.reserve(servers.size());
+    for (const auto& server : servers)
+        pointers.push_back(server.get());
+    return pointers;
+}
+
+void
+Cluster::setCompletionHandler(const Server::CompletionHandler& handler)
+{
+    for (const auto& server : servers)
+        server->setCompletionHandler(handler);
+}
+
+std::uint64_t
+Cluster::totalCompleted() const
+{
+    std::uint64_t total = 0;
+    for (const auto& server : servers)
+        total += server->completedCount();
+    return total;
+}
+
+std::size_t
+Cluster::totalOutstanding() const
+{
+    std::size_t total = 0;
+    for (const auto& server : servers)
+        total += server->outstanding();
+    return total;
+}
+
+double
+Cluster::averageUtilization(Time elapsed)
+{
+    if (elapsed <= 0)
+        return 0.0;
+    double occupied = 0.0;
+    for (const auto& server : servers)
+        occupied += server->occupiedCoreSeconds();
+    const double capacity = static_cast<double>(servers.size())
+                            * static_cast<double>(spec.coresPerServer)
+                            * elapsed;
+    return occupied / capacity;
+}
+
+} // namespace bighouse

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cluster: the aggregate object of the BigHouse hierarchy ("an
+ * object-oriented hierarchy to represent various parts of the data center
+ * such as servers, racks, etc."). Owns N identical servers and,
+ * optionally, a front-end load balancer.
+ */
+
+#ifndef BIGHOUSE_DATACENTER_CLUSTER_HH
+#define BIGHOUSE_DATACENTER_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "datacenter/load_balancer.hh"
+#include "queueing/server.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+
+/** Shape of a homogeneous cluster. */
+struct ClusterSpec
+{
+    std::size_t serverCount = 1;
+    unsigned coresPerServer = 4;  ///< the Sec. 4.1 study uses quad-cores
+    Dispatch dispatch = Dispatch::Random;
+};
+
+/** N identical servers behind one dispatch point. */
+class Cluster
+{
+  public:
+    /**
+     * @param engine simulation the servers live in
+     * @param spec shape
+     * @param rng stream for the balancer's random dispatch
+     */
+    Cluster(Engine& engine, ClusterSpec spec, Rng rng);
+
+    /** Front door: the balancer as a TaskAcceptor. */
+    TaskAcceptor& intake() { return *balancer; }
+
+    /** Number of servers. */
+    std::size_t size() const { return servers.size(); }
+
+    Server& server(std::size_t index);
+
+    /** Non-owning pointers to all servers (coordinator wiring). */
+    std::vector<Server*> serverPointers();
+
+    /** Install one completion handler on every server. */
+    void setCompletionHandler(const Server::CompletionHandler& handler);
+
+    /** Sum of completed tasks across servers. */
+    std::uint64_t totalCompleted() const;
+
+    /** Sum of outstanding tasks across servers. */
+    std::size_t totalOutstanding() const;
+
+    /** Cluster-average utilization since t=0 (occupied / capacity). */
+    double averageUtilization(Time elapsed);
+
+  private:
+    std::vector<std::unique_ptr<Server>> servers;
+    std::unique_ptr<LoadBalancer> balancer;
+    ClusterSpec spec;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_DATACENTER_CLUSTER_HH

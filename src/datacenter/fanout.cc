@@ -1,0 +1,77 @@
+#include "datacenter/fanout.hh"
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+FanOutCluster::FanOutCluster(Engine& engine, unsigned leafCount,
+                             unsigned coresPerLeaf, DistPtr service,
+                             Rng rng)
+    : engine(engine), leafService(std::move(service)), rng(rng)
+{
+    if (leafCount == 0)
+        fatal("FanOutCluster needs at least one leaf");
+    if (!leafService)
+        fatal("FanOutCluster needs a leaf service distribution");
+    leaves.reserve(leafCount);
+    for (unsigned i = 0; i < leafCount; ++i) {
+        leaves.push_back(std::make_unique<Server>(engine, coresPerLeaf));
+        leaves.back()->setCompletionHandler(
+            [this](const Task& subTask) { leafCompleted(subTask.id); });
+    }
+}
+
+Server&
+FanOutCluster::leaf(std::size_t index)
+{
+    BH_ASSERT(index < leaves.size(), "leaf index out of range");
+    return *leaves[index];
+}
+
+void
+FanOutCluster::setCompletionHandler(Server::CompletionHandler handler)
+{
+    onComplete = std::move(handler);
+}
+
+void
+FanOutCluster::accept(Task request)
+{
+    ++arrivedRequests;
+    const std::uint64_t id = request.id;
+    BH_ASSERT(pending.find(id) == pending.end(),
+              "duplicate in-flight request id ", id);
+    pending.emplace(
+        id, PendingRequest{std::move(request),
+                           static_cast<unsigned>(leaves.size())});
+    // Every leaf gets an independent shard of the query; sub-tasks carry
+    // the parent id so completions can be matched back.
+    for (const auto& leafServer : leaves) {
+        Task subTask;
+        subTask.id = id;
+        subTask.arrivalTime = engine.now();
+        subTask.size = leafService->sample(rng);
+        subTask.remaining = subTask.size;
+        leafServer->accept(std::move(subTask));
+    }
+}
+
+void
+FanOutCluster::leafCompleted(std::uint64_t requestId)
+{
+    const auto it = pending.find(requestId);
+    BH_ASSERT(it != pending.end(), "leaf response for unknown request ",
+              requestId);
+    if (--it->second.remainingLeaves > 0)
+        return;
+    Task done = std::move(it->second.request);
+    pending.erase(it);
+    done.finishTime = engine.now();
+    if (done.startTime == kTimeNever)
+        done.startTime = done.arrivalTime;
+    ++completedRequests;
+    if (onComplete)
+        onComplete(done);
+}
+
+} // namespace bighouse

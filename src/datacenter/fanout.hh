@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Partition/aggregate (fan-out) request topology.
+ *
+ * The paper's shipped workloads "all model simple client-server roundtrip
+ * interactions. The BigHouse object model must be extended if a user
+ * wishes to model a workload with more complicated communication
+ * patterns" — this is that extension for the most important pattern in
+ * the paper's own domain: a Web-search front-end fans each query out to
+ * every leaf and can only respond when the *slowest* leaf replies, so
+ * tail latency amplifies with cluster width ("tail at scale").
+ */
+
+#ifndef BIGHOUSE_DATACENTER_FANOUT_HH
+#define BIGHOUSE_DATACENTER_FANOUT_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/random.hh"
+#include "distribution/distribution.hh"
+#include "queueing/server.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+
+/** A front-end over N leaf servers with all-leaf fan-out per request. */
+class FanOutCluster : public TaskAcceptor
+{
+  public:
+    /**
+     * @param engine simulation to build in
+     * @param leaves number of leaf servers
+     * @param coresPerLeaf cores per leaf
+     * @param leafService per-leaf sub-task demand distribution (each leaf
+     *        draws independently — shards do unequal work)
+     * @param rng stream for the per-leaf demand draws
+     */
+    FanOutCluster(Engine& engine, unsigned leaves, unsigned coresPerLeaf,
+                  DistPtr leafService, Rng rng);
+
+    /**
+     * Accept a front-end request: one sub-task per leaf; the request
+     * completes when every leaf's sub-task does. The request's own
+     * `size` is ignored (leaf demands are drawn per leaf).
+     */
+    void accept(Task request) override;
+
+    /** Fires once per request, when its last leaf response arrives. */
+    void setCompletionHandler(Server::CompletionHandler handler);
+
+    unsigned leafCount() const { return static_cast<unsigned>(leaves.size()); }
+
+    Server& leaf(std::size_t index);
+
+    /** Requests fully answered. */
+    std::uint64_t completedCount() const { return completedRequests; }
+
+    /** Requests accepted. */
+    std::uint64_t arrivedCount() const { return arrivedRequests; }
+
+    /** Requests still waiting on at least one leaf. */
+    std::size_t inFlight() const { return pending.size(); }
+
+  private:
+    struct PendingRequest
+    {
+        Task request;
+        unsigned remainingLeaves;
+    };
+
+    /** One leaf finished a sub-task belonging to `requestId`. */
+    void leafCompleted(std::uint64_t requestId);
+
+    Engine& engine;
+    std::vector<std::unique_ptr<Server>> leaves;
+    DistPtr leafService;
+    Rng rng;
+    Server::CompletionHandler onComplete;
+    std::unordered_map<std::uint64_t, PendingRequest> pending;
+    std::uint64_t arrivedRequests = 0;
+    std::uint64_t completedRequests = 0;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_DATACENTER_FANOUT_HH

@@ -1,0 +1,89 @@
+#include "datacenter/load_balancer.hh"
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "queueing/server.hh"
+
+namespace bighouse {
+
+Dispatch
+parseDispatch(std::string_view name)
+{
+    const std::string key = toLower(name);
+    if (key == "random")
+        return Dispatch::Random;
+    if (key == "roundrobin" || key == "round-robin" || key == "rr")
+        return Dispatch::RoundRobin;
+    if (key == "jsq" || key == "shortest" || key == "joinshortestqueue")
+        return Dispatch::JoinShortestQueue;
+    if (key == "p2c" || key == "poweroftwo" || key == "power-of-two")
+        return Dispatch::PowerOfTwo;
+    fatal("unknown dispatch policy '", std::string(name), "'");
+}
+
+LoadBalancer::LoadBalancer(std::vector<Server*> serverList, Dispatch policy,
+                           Rng rng)
+    : servers(std::move(serverList)), policy(policy), rng(rng)
+{
+    if (servers.empty())
+        fatal("LoadBalancer needs at least one server");
+    for (Server* server : servers) {
+        if (server == nullptr)
+            fatal("LoadBalancer given a null server");
+    }
+    counts.assign(servers.size(), 0);
+}
+
+std::size_t
+LoadBalancer::pick()
+{
+    switch (policy) {
+      case Dispatch::Random:
+        return static_cast<std::size_t>(rng.below(servers.size()));
+      case Dispatch::RoundRobin: {
+        const std::size_t index = nextIndex;
+        nextIndex = (nextIndex + 1) % servers.size();
+        return index;
+      }
+      case Dispatch::JoinShortestQueue: {
+        std::size_t best = 0;
+        std::size_t bestDepth = servers[0]->outstanding();
+        for (std::size_t i = 1; i < servers.size(); ++i) {
+            const std::size_t depth = servers[i]->outstanding();
+            if (depth < bestDepth) {
+                best = i;
+                bestDepth = depth;
+            }
+        }
+        return best;
+      }
+      case Dispatch::PowerOfTwo: {
+        const std::size_t first =
+            static_cast<std::size_t>(rng.below(servers.size()));
+        std::size_t second =
+            static_cast<std::size_t>(rng.below(servers.size()));
+        if (servers.size() > 1) {
+            while (second == first) {
+                second =
+                    static_cast<std::size_t>(rng.below(servers.size()));
+            }
+        }
+        return servers[first]->outstanding()
+                       <= servers[second]->outstanding()
+                   ? first
+                   : second;
+      }
+    }
+    panic("unreachable dispatch policy");
+}
+
+void
+LoadBalancer::accept(Task task)
+{
+    const std::size_t target = pick();
+    ++routed;
+    ++counts[target];
+    servers[target]->accept(std::move(task));
+}
+
+} // namespace bighouse

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Task routing across a set of servers. BigHouse is "best suited for
+ * studies investigating load balancing, power management, resource
+ * allocation, hardware provisioning" — the balancer is the load-balancing
+ * building block: random, round-robin, or join-shortest-queue dispatch.
+ */
+
+#ifndef BIGHOUSE_DATACENTER_LOAD_BALANCER_HH
+#define BIGHOUSE_DATACENTER_LOAD_BALANCER_HH
+
+#include <string_view>
+#include <vector>
+
+#include "base/random.hh"
+#include "queueing/task.hh"
+
+namespace bighouse {
+
+class Server;
+
+/**
+ * Dispatch disciplines. PowerOfTwo samples two servers uniformly and
+ * routes to the less-loaded one — Mitzenmacher's "power of two choices",
+ * which captures most of JSQ's benefit with O(1) state probes.
+ */
+enum class Dispatch { Random, RoundRobin, JoinShortestQueue, PowerOfTwo };
+
+/** Parse "random" | "roundrobin" | "jsq" | "p2c"; fatal() otherwise. */
+Dispatch parseDispatch(std::string_view name);
+
+/** Routes arriving tasks to one of several servers. */
+class LoadBalancer : public TaskAcceptor
+{
+  public:
+    /**
+     * @param servers non-owning targets (must outlive the balancer)
+     * @param policy dispatch discipline
+     * @param rng stream for Random dispatch
+     */
+    LoadBalancer(std::vector<Server*> servers, Dispatch policy, Rng rng);
+
+    void accept(Task task) override;
+
+    /** Tasks routed so far. */
+    std::uint64_t routedCount() const { return routed; }
+
+    /** Per-server routed counts (same order as construction). */
+    const std::vector<std::uint64_t>& perServerCounts() const
+    {
+        return counts;
+    }
+
+  private:
+    std::size_t pick();
+
+    std::vector<Server*> servers;
+    Dispatch policy;
+    Rng rng;
+    std::size_t nextIndex = 0;
+    std::uint64_t routed = 0;
+    std::vector<std::uint64_t> counts;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_DATACENTER_LOAD_BALANCER_HH

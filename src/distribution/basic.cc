@@ -1,0 +1,98 @@
+#include "distribution/basic.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+Deterministic::Deterministic(double value)
+    : value(value)
+{
+    if (value < 0)
+        fatal("Deterministic distribution value must be >= 0, got ", value);
+}
+
+double
+Deterministic::sample(Rng& rng) const
+{
+    (void)rng;
+    return value;
+}
+
+std::string
+Deterministic::describe() const
+{
+    std::ostringstream oss;
+    oss << "Deterministic(" << value << ")";
+    return oss.str();
+}
+
+DistPtr
+Deterministic::clone() const
+{
+    return std::make_unique<Deterministic>(*this);
+}
+
+Uniform::Uniform(double lo, double hi)
+    : lo(lo), hi(hi)
+{
+    if (lo < 0 || hi < lo)
+        fatal("Uniform requires 0 <= lo <= hi, got [", lo, ", ", hi, "]");
+}
+
+double
+Uniform::sample(Rng& rng) const
+{
+    return rng.uniform(lo, hi);
+}
+
+double
+Uniform::variance() const
+{
+    const double width = hi - lo;
+    return width * width / 12.0;
+}
+
+std::string
+Uniform::describe() const
+{
+    std::ostringstream oss;
+    oss << "Uniform(" << lo << ", " << hi << ")";
+    return oss.str();
+}
+
+DistPtr
+Uniform::clone() const
+{
+    return std::make_unique<Uniform>(*this);
+}
+
+Exponential::Exponential(double rate)
+    : rate(rate)
+{
+    if (rate <= 0)
+        fatal("Exponential rate must be > 0, got ", rate);
+}
+
+double
+Exponential::sample(Rng& rng) const
+{
+    return rng.exponential(rate);
+}
+
+std::string
+Exponential::describe() const
+{
+    std::ostringstream oss;
+    oss << "Exponential(rate=" << rate << ")";
+    return oss.str();
+}
+
+DistPtr
+Exponential::clone() const
+{
+    return std::make_unique<Exponential>(*this);
+}
+
+} // namespace bighouse

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Elementary distributions: Deterministic, Uniform, Exponential.
+ *
+ * Exponential arrivals are the "pen-and-paper" baseline the paper's Fig. 5
+ * contrasts against empirical traffic; Deterministic/Uniform provide the
+ * "Low Cv" near-constant arrival process used by load testers.
+ */
+
+#ifndef BIGHOUSE_DISTRIBUTION_BASIC_HH
+#define BIGHOUSE_DISTRIBUTION_BASIC_HH
+
+#include "distribution/distribution.hh"
+
+namespace bighouse {
+
+/** A point mass: always returns `value`. Cv = 0. */
+class Deterministic : public Distribution
+{
+  public:
+    explicit Deterministic(double value);
+
+    double sample(Rng& rng) const override;
+    double mean() const override { return value; }
+    double variance() const override { return 0.0; }
+    std::string describe() const override;
+    DistPtr clone() const override;
+
+  private:
+    double value;
+};
+
+/** Uniform on [lo, hi]. */
+class Uniform : public Distribution
+{
+  public:
+    Uniform(double lo, double hi);
+
+    double sample(Rng& rng) const override;
+    double mean() const override { return 0.5 * (lo + hi); }
+    double variance() const override;
+    std::string describe() const override;
+    DistPtr clone() const override;
+
+  private:
+    double lo;
+    double hi;
+};
+
+/** Exponential with the given rate; mean = 1/rate, Cv = 1. */
+class Exponential : public Distribution
+{
+  public:
+    explicit Exponential(double rate);
+
+    /** Convenience: exponential with a target mean. */
+    static Exponential fromMean(double mean) { return Exponential(1.0 / mean); }
+
+    double sample(Rng& rng) const override;
+    double mean() const override { return 1.0 / rate; }
+    double variance() const override { return 1.0 / (rate * rate); }
+    double rateParam() const { return rate; }
+    std::string describe() const override;
+    DistPtr clone() const override;
+
+  private:
+    double rate;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_DISTRIBUTION_BASIC_HH

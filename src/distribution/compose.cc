@@ -1,0 +1,150 @@
+#include "distribution/compose.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+Mixture::Mixture(std::vector<Component> comps)
+    : components(std::move(comps))
+{
+    if (components.empty())
+        fatal("Mixture needs at least one component");
+    double total = 0.0;
+    for (const auto& c : components) {
+        if (c.weight < 0 || !c.dist)
+            fatal("Mixture component needs weight >= 0 and a distribution");
+        total += c.weight;
+    }
+    if (total <= 0)
+        fatal("Mixture total weight must be > 0");
+    cumulativeWeight.resize(components.size());
+    double running = 0.0;
+    for (std::size_t i = 0; i < components.size(); ++i) {
+        running += components[i].weight / total;
+        cumulativeWeight[i] = running;
+    }
+    cumulativeWeight.back() = 1.0;
+}
+
+Mixture::Mixture(const Mixture& other)
+    : cumulativeWeight(other.cumulativeWeight)
+{
+    components.reserve(other.components.size());
+    for (const auto& c : other.components)
+        components.push_back({c.weight, c.dist->clone()});
+}
+
+double
+Mixture::sample(Rng& rng) const
+{
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(cumulativeWeight.begin(),
+                                     cumulativeWeight.end(), u);
+    const auto idx = static_cast<std::size_t>(
+        std::distance(cumulativeWeight.begin(), it));
+    return components[std::min(idx, components.size() - 1)].dist->sample(rng);
+}
+
+double
+Mixture::mean() const
+{
+    double m = 0.0;
+    double prev = 0.0;
+    for (std::size_t i = 0; i < components.size(); ++i) {
+        const double p = cumulativeWeight[i] - prev;
+        prev = cumulativeWeight[i];
+        m += p * components[i].dist->mean();
+    }
+    return m;
+}
+
+double
+Mixture::variance() const
+{
+    // Law of total variance over the component index.
+    double secondMoment = 0.0;
+    double prev = 0.0;
+    for (std::size_t i = 0; i < components.size(); ++i) {
+        const double p = cumulativeWeight[i] - prev;
+        prev = cumulativeWeight[i];
+        const double cm = components[i].dist->mean();
+        secondMoment += p * (components[i].dist->variance() + cm * cm);
+    }
+    const double m = mean();
+    return secondMoment - m * m;
+}
+
+std::string
+Mixture::describe() const
+{
+    std::ostringstream oss;
+    oss << "Mixture(" << components.size() << " components)";
+    return oss.str();
+}
+
+DistPtr
+Mixture::clone() const
+{
+    return std::make_unique<Mixture>(*this);
+}
+
+Affine::Affine(DistPtr inner, double scale, double shift)
+    : inner(std::move(inner)), scale(scale), shift(shift)
+{
+    if (!this->inner)
+        fatal("Affine needs an inner distribution");
+    if (scale <= 0)
+        fatal("Affine scale must be > 0, got ", scale);
+    if (shift < 0)
+        fatal("Affine shift must be >= 0 to keep values non-negative");
+}
+
+Affine::Affine(const Affine& other)
+    : inner(other.inner->clone()), scale(other.scale), shift(other.shift)
+{
+}
+
+double
+Affine::sample(Rng& rng) const
+{
+    return scale * inner->sample(rng) + shift;
+}
+
+double
+Affine::mean() const
+{
+    return scale * inner->mean() + shift;
+}
+
+double
+Affine::variance() const
+{
+    return scale * scale * inner->variance();
+}
+
+std::string
+Affine::describe() const
+{
+    std::ostringstream oss;
+    oss << "Affine(" << scale << " * " << inner->describe() << " + " << shift
+        << ")";
+    return oss.str();
+}
+
+DistPtr
+Affine::clone() const
+{
+    return std::make_unique<Affine>(*this);
+}
+
+DistPtr
+scaled(const Distribution& dist, double factor)
+{
+    return std::make_unique<Affine>(dist.clone(), factor, 0.0);
+}
+
+} // namespace bighouse

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Composition of distributions: finite mixtures and affine transforms.
+ *
+ * Scaled distributions implement the paper's load scaling ("load can be
+ * varied by scaling the inter-arrival distribution") and DVFS slowdown
+ * (service times stretched by SCPU); mixtures build multi-modal empirical
+ * stand-ins.
+ */
+
+#ifndef BIGHOUSE_DISTRIBUTION_COMPOSE_HH
+#define BIGHOUSE_DISTRIBUTION_COMPOSE_HH
+
+#include <vector>
+
+#include "distribution/distribution.hh"
+
+namespace bighouse {
+
+/** Finite mixture: draws component i with probability weight_i / sum. */
+class Mixture : public Distribution
+{
+  public:
+    struct Component
+    {
+        double weight;
+        DistPtr dist;
+    };
+
+    explicit Mixture(std::vector<Component> components);
+
+    Mixture(const Mixture& other);
+    Mixture& operator=(const Mixture&) = delete;
+
+    double sample(Rng& rng) const override;
+    double mean() const override;
+    double variance() const override;
+    std::string describe() const override;
+    DistPtr clone() const override;
+
+  private:
+    std::vector<Component> components;
+    std::vector<double> cumulativeWeight; ///< normalized CDF over components
+};
+
+/** Affine transform scale * X + shift of an inner distribution. */
+class Affine : public Distribution
+{
+  public:
+    Affine(DistPtr inner, double scale, double shift = 0.0);
+
+    Affine(const Affine& other);
+    Affine& operator=(const Affine&) = delete;
+
+    double sample(Rng& rng) const override;
+    double mean() const override;
+    double variance() const override;
+    std::string describe() const override;
+    DistPtr clone() const override;
+
+  private:
+    DistPtr inner;
+    double scale;
+    double shift;
+};
+
+/** Convenience: scaled copy of a distribution (shift = 0). */
+DistPtr scaled(const Distribution& dist, double factor);
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_DISTRIBUTION_COMPOSE_HH

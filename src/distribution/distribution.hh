@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Abstract interface for the random variables BigHouse workloads are built
+ * from: task inter-arrival times, service times, and any other per-task
+ * parameter ("random variables that describe their length, resource
+ * requirements, arrival distribution, or other relevant properties").
+ *
+ * All concrete distributions report exact analytic moments so that tests
+ * and the moment-fitting helpers can verify a sampled stream against the
+ * distribution it came from.
+ */
+
+#ifndef BIGHOUSE_DISTRIBUTION_DISTRIBUTION_HH
+#define BIGHOUSE_DISTRIBUTION_DISTRIBUTION_HH
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "base/random.hh"
+
+namespace bighouse {
+
+/**
+ * A non-negative continuous random variable.
+ *
+ * Implementations must be immutable after construction: sample() draws all
+ * randomness from the caller-supplied Rng, so a Distribution may be shared
+ * by many simulation components (and across parallel slaves) without
+ * synchronization.
+ */
+class Distribution
+{
+  public:
+    virtual ~Distribution() = default;
+
+    /** Draw one value using the caller's stream. */
+    virtual double sample(Rng& rng) const = 0;
+
+    /** Analytic mean. */
+    virtual double mean() const = 0;
+
+    /** Analytic variance. */
+    virtual double variance() const = 0;
+
+    /** Standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Coefficient of variation sigma/mu (0 when the mean is 0). */
+    double
+    cv() const
+    {
+        const double m = mean();
+        return m == 0.0 ? 0.0 : stddev() / m;
+    }
+
+    /** Short human-readable description, e.g. "Exponential(rate=2)". */
+    virtual std::string describe() const = 0;
+
+    /** Deep copy. */
+    virtual std::unique_ptr<Distribution> clone() const = 0;
+};
+
+/** Owning handle used throughout the workload and queueing layers. */
+using DistPtr = std::unique_ptr<Distribution>;
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_DISTRIBUTION_DISTRIBUTION_HH

@@ -1,0 +1,36 @@
+#include "distribution/fit.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "distribution/basic.hh"
+#include "distribution/heavy_tail.hh"
+#include "distribution/phase_type.hh"
+
+namespace bighouse {
+
+DistPtr
+fitMeanCv(double mean, double cv)
+{
+    if (mean <= 0)
+        fatal("fitMeanCv needs mean > 0, got ", mean);
+    if (cv < 0)
+        fatal("fitMeanCv needs cv >= 0, got ", cv);
+
+    if (cv == 0.0)
+        return std::make_unique<Deterministic>(mean);
+    if (std::abs(cv - 1.0) < 1e-9)
+        return std::make_unique<Exponential>(1.0 / mean);
+    if (cv < 1.0)
+        return std::make_unique<Gamma>(Gamma::fromMeanCv(mean, cv));
+    return std::make_unique<HyperExponential>(
+        HyperExponential::fromMeanCv(mean, cv));
+}
+
+DistPtr
+fitLogNormalMeanCv(double mean, double cv)
+{
+    return std::make_unique<LogNormal>(LogNormal::fromMeanCv(mean, cv));
+}
+
+} // namespace bighouse

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Two-moment fitting: construct a distribution with a prescribed mean and
+ * coefficient of variation.
+ *
+ * This is how the repo realizes the paper's controlled sweeps — the
+ * "Low Cv" / "Exponential" / high-variance arrival processes of Fig. 5 and
+ * the service-Cv sensitivity of Fig. 8 — and synthesizes stand-ins for the
+ * five Table-1 workloads (whose original traces are not public).
+ */
+
+#ifndef BIGHOUSE_DISTRIBUTION_FIT_HH
+#define BIGHOUSE_DISTRIBUTION_FIT_HH
+
+#include "distribution/distribution.hh"
+
+namespace bighouse {
+
+/**
+ * Standard queueing-practice two-moment fit:
+ *  - cv == 0          -> Deterministic(mean)
+ *  - 0 < cv < 1       -> Gamma (shape 1/cv^2; Erlang for integer shapes)
+ *  - cv == 1 (±1e-9)  -> Exponential(1/mean)
+ *  - cv > 1           -> balanced-means HyperExponential
+ */
+DistPtr fitMeanCv(double mean, double cv);
+
+/** LogNormal alternative (heavier tail than H2 at the same moments). */
+DistPtr fitLogNormalMeanCv(double mean, double cv);
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_DISTRIBUTION_FIT_HH

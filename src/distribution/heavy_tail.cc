@@ -1,0 +1,156 @@
+#include "distribution/heavy_tail.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+LogNormal::LogNormal(double mu, double sigma)
+    : mu(mu), sigma(sigma)
+{
+    if (sigma < 0)
+        fatal("LogNormal sigma must be >= 0, got ", sigma);
+}
+
+LogNormal
+LogNormal::fromMeanCv(double mean, double cv)
+{
+    if (mean <= 0 || cv <= 0)
+        fatal("LogNormal::fromMeanCv needs mean > 0 and cv > 0");
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return LogNormal(mu, std::sqrt(sigma2));
+}
+
+double
+LogNormal::sample(Rng& rng) const
+{
+    return std::exp(mu + sigma * rng.gaussian());
+}
+
+double
+LogNormal::mean() const
+{
+    return std::exp(mu + 0.5 * sigma * sigma);
+}
+
+double
+LogNormal::variance() const
+{
+    const double s2 = sigma * sigma;
+    return (std::exp(s2) - 1.0) * std::exp(2.0 * mu + s2);
+}
+
+std::string
+LogNormal::describe() const
+{
+    std::ostringstream oss;
+    oss << "LogNormal(mu=" << mu << ", sigma=" << sigma << ")";
+    return oss.str();
+}
+
+DistPtr
+LogNormal::clone() const
+{
+    return std::make_unique<LogNormal>(*this);
+}
+
+Weibull::Weibull(double shape, double scale)
+    : shape(shape), scale(scale)
+{
+    if (shape <= 0 || scale <= 0)
+        fatal("Weibull shape and scale must be > 0");
+}
+
+double
+Weibull::sample(Rng& rng) const
+{
+    return scale * std::pow(-std::log(rng.uniform01()), 1.0 / shape);
+}
+
+double
+Weibull::mean() const
+{
+    return scale * std::tgamma(1.0 + 1.0 / shape);
+}
+
+double
+Weibull::variance() const
+{
+    const double g1 = std::tgamma(1.0 + 1.0 / shape);
+    const double g2 = std::tgamma(1.0 + 2.0 / shape);
+    return scale * scale * (g2 - g1 * g1);
+}
+
+std::string
+Weibull::describe() const
+{
+    std::ostringstream oss;
+    oss << "Weibull(shape=" << shape << ", scale=" << scale << ")";
+    return oss.str();
+}
+
+DistPtr
+Weibull::clone() const
+{
+    return std::make_unique<Weibull>(*this);
+}
+
+BoundedPareto::BoundedPareto(double alpha, double lo, double hi)
+    : alpha(alpha), lo(lo), hi(hi)
+{
+    if (alpha <= 0 || lo <= 0 || hi <= lo)
+        fatal("BoundedPareto requires alpha > 0 and 0 < lo < hi");
+}
+
+double
+BoundedPareto::sample(Rng& rng) const
+{
+    const double u = rng.uniform01();
+    const double ratio = std::pow(lo / hi, alpha);
+    return lo * std::pow(1.0 - u * (1.0 - ratio), -1.0 / alpha);
+}
+
+double
+BoundedPareto::rawMoment(int k) const
+{
+    // Normalization C of the density C * x^-(alpha+1) on [lo, hi].
+    const double ratio = std::pow(lo / hi, alpha);
+    const double c = alpha * std::pow(lo, alpha) / (1.0 - ratio);
+    const double ex = static_cast<double>(k) - alpha;
+    if (std::abs(ex) < 1e-12)
+        return c * std::log(hi / lo);
+    return c * (std::pow(hi, ex) - std::pow(lo, ex)) / ex;
+}
+
+double
+BoundedPareto::mean() const
+{
+    return rawMoment(1);
+}
+
+double
+BoundedPareto::variance() const
+{
+    const double m1 = rawMoment(1);
+    return rawMoment(2) - m1 * m1;
+}
+
+std::string
+BoundedPareto::describe() const
+{
+    std::ostringstream oss;
+    oss << "BoundedPareto(alpha=" << alpha << ", lo=" << lo << ", hi=" << hi
+        << ")";
+    return oss.str();
+}
+
+DistPtr
+BoundedPareto::clone() const
+{
+    return std::make_unique<BoundedPareto>(*this);
+}
+
+} // namespace bighouse

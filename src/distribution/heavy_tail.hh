@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Skewed / heavy-tailed distributions: LogNormal, Weibull, BoundedPareto.
+ *
+ * Internet-service service times are well known to be heavy-tailed (the
+ * paper's Shell workload has Cv = 15); these families let workload models
+ * and sensitivity sweeps (Fig. 8) realize high-variance behavior.
+ */
+
+#ifndef BIGHOUSE_DISTRIBUTION_HEAVY_TAIL_HH
+#define BIGHOUSE_DISTRIBUTION_HEAVY_TAIL_HH
+
+#include "distribution/distribution.hh"
+
+namespace bighouse {
+
+/** LogNormal: exp(mu + sigma * Z). */
+class LogNormal : public Distribution
+{
+  public:
+    LogNormal(double mu, double sigma);
+
+    /** Fit mu/sigma so the distribution has the given mean and Cv. */
+    static LogNormal fromMeanCv(double mean, double cv);
+
+    double sample(Rng& rng) const override;
+    double mean() const override;
+    double variance() const override;
+    std::string describe() const override;
+    DistPtr clone() const override;
+
+  private:
+    double mu;
+    double sigma;
+};
+
+/** Weibull with shape k and scale lambda. */
+class Weibull : public Distribution
+{
+  public:
+    Weibull(double shape, double scale);
+
+    double sample(Rng& rng) const override;
+    double mean() const override;
+    double variance() const override;
+    std::string describe() const override;
+    DistPtr clone() const override;
+
+  private:
+    double shape;
+    double scale;
+};
+
+/**
+ * Pareto truncated to [lo, hi]: density proportional to x^-(alpha+1) on the
+ * interval. Bounding keeps all moments finite, which the SQS convergence
+ * criterion (Eq. 2) requires.
+ */
+class BoundedPareto : public Distribution
+{
+  public:
+    BoundedPareto(double alpha, double lo, double hi);
+
+    double sample(Rng& rng) const override;
+    double mean() const override;
+    double variance() const override;
+    std::string describe() const override;
+    DistPtr clone() const override;
+
+  private:
+    /** E[X^k] for the truncated Pareto. */
+    double rawMoment(int k) const;
+
+    double alpha;
+    double lo;
+    double hi;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_DISTRIBUTION_HEAVY_TAIL_HH

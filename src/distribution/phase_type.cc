@@ -1,0 +1,132 @@
+#include "distribution/phase_type.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+Gamma::Gamma(double shape, double scale)
+    : shape(shape), scale(scale)
+{
+    if (shape <= 0 || scale <= 0)
+        fatal("Gamma shape and scale must be > 0");
+}
+
+Gamma
+Gamma::fromMeanCv(double mean, double cv)
+{
+    if (mean <= 0 || cv <= 0)
+        fatal("Gamma::fromMeanCv needs mean > 0 and cv > 0");
+    const double shape = 1.0 / (cv * cv);
+    return Gamma(shape, mean / shape);
+}
+
+double
+Gamma::sampleShapeGe1(Rng& rng, double k) const
+{
+    // Marsaglia & Tsang (2000) squeeze method.
+    const double d = k - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    while (true) {
+        double x, v;
+        do {
+            x = rng.gaussian();
+            v = 1.0 + c * x;
+        } while (v <= 0.0);
+        v = v * v * v;
+        const double u = rng.uniform01();
+        const double x2 = x * x;
+        if (u < 1.0 - 0.0331 * x2 * x2)
+            return d * v;
+        if (std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v)))
+            return d * v;
+    }
+}
+
+double
+Gamma::sample(Rng& rng) const
+{
+    if (shape >= 1.0)
+        return scale * sampleShapeGe1(rng, shape);
+    // Boost for shape < 1: Gamma(k) = Gamma(k+1) * U^(1/k).
+    const double g = sampleShapeGe1(rng, shape + 1.0);
+    return scale * g * std::pow(rng.uniform01(), 1.0 / shape);
+}
+
+std::string
+Gamma::describe() const
+{
+    std::ostringstream oss;
+    oss << "Gamma(shape=" << shape << ", scale=" << scale << ")";
+    return oss.str();
+}
+
+DistPtr
+Gamma::clone() const
+{
+    return std::make_unique<Gamma>(*this);
+}
+
+HyperExponential::HyperExponential(double p1, double rate1, double rate2)
+    : p1(p1), rate1(rate1), rate2(rate2)
+{
+    if (p1 < 0 || p1 > 1)
+        fatal("HyperExponential branch probability must be in [0,1], got ",
+              p1);
+    if (rate1 <= 0 || rate2 <= 0)
+        fatal("HyperExponential rates must be > 0");
+}
+
+HyperExponential
+HyperExponential::fromMeanCv(double mean, double cv)
+{
+    if (mean <= 0)
+        fatal("HyperExponential::fromMeanCv needs mean > 0");
+    if (cv < 1.0)
+        fatal("HyperExponential can only realize cv >= 1, requested ", cv);
+    // Balanced-means fit: p1/r1 = p2/r2 = mean/2.
+    const double c2 = cv * cv;
+    const double p = 0.5 * (1.0 + std::sqrt((c2 - 1.0) / (c2 + 1.0)));
+    return HyperExponential(p, 2.0 * p / mean, 2.0 * (1.0 - p) / mean);
+}
+
+double
+HyperExponential::sample(Rng& rng) const
+{
+    const double rate = rng.bernoulli(p1) ? rate1 : rate2;
+    return rng.exponential(rate);
+}
+
+double
+HyperExponential::mean() const
+{
+    return p1 / rate1 + (1.0 - p1) / rate2;
+}
+
+double
+HyperExponential::variance() const
+{
+    const double m2 =
+        2.0 * (p1 / (rate1 * rate1) + (1.0 - p1) / (rate2 * rate2));
+    const double m1 = mean();
+    return m2 - m1 * m1;
+}
+
+std::string
+HyperExponential::describe() const
+{
+    std::ostringstream oss;
+    oss << "HyperExponential(p1=" << p1 << ", r1=" << rate1
+        << ", r2=" << rate2 << ")";
+    return oss.str();
+}
+
+DistPtr
+HyperExponential::clone() const
+{
+    return std::make_unique<HyperExponential>(*this);
+}
+
+} // namespace bighouse

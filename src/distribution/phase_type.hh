@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Phase-type distributions: Gamma/Erlang and two-branch HyperExponential.
+ *
+ * These are the standard two-moment matching families in queueing practice:
+ * an Erlang-k realizes any Cv <= 1, a balanced-means hyperexponential any
+ * Cv >= 1. The fit helpers (fit.hh) use them to synthesize the workload
+ * stand-ins for Table 1 and the Cv sweeps of Figs. 5 and 8.
+ */
+
+#ifndef BIGHOUSE_DISTRIBUTION_PHASE_TYPE_HH
+#define BIGHOUSE_DISTRIBUTION_PHASE_TYPE_HH
+
+#include "distribution/distribution.hh"
+
+namespace bighouse {
+
+/** Gamma with shape k (any positive real) and scale theta. */
+class Gamma : public Distribution
+{
+  public:
+    Gamma(double shape, double scale);
+
+    /**
+     * Moment fit: shape = 1/cv^2, scale = mean * cv^2. Exact for any
+     * cv > 0; integer shapes degenerate to Erlang.
+     */
+    static Gamma fromMeanCv(double mean, double cv);
+
+    double sample(Rng& rng) const override;
+    double mean() const override { return shape * scale; }
+    double variance() const override { return shape * scale * scale; }
+    std::string describe() const override;
+    DistPtr clone() const override;
+
+  private:
+    /** Marsaglia-Tsang draw for shape >= 1. */
+    double sampleShapeGe1(Rng& rng, double k) const;
+
+    double shape;
+    double scale;
+};
+
+/**
+ * Two-branch hyperexponential H2: with probability p1 an Exponential(r1)
+ * draw, otherwise Exponential(r2). The balanced-means fit realizes any
+ * Cv >= 1 at a given mean.
+ */
+class HyperExponential : public Distribution
+{
+  public:
+    HyperExponential(double p1, double rate1, double rate2);
+
+    /** Balanced-means two-moment fit: requires cv >= 1. */
+    static HyperExponential fromMeanCv(double mean, double cv);
+
+    double sample(Rng& rng) const override;
+    double mean() const override;
+    double variance() const override;
+    std::string describe() const override;
+    DistPtr clone() const override;
+
+  private:
+    double p1;
+    double rate1;
+    double rate2;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_DISTRIBUTION_PHASE_TYPE_HH

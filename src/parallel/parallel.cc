@@ -1,0 +1,216 @@
+#include "parallel/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "base/logging.hh"
+#include "stats/confidence.hh"
+
+namespace bighouse {
+
+double
+ParallelResult::modeledSpeedup(std::uint64_t serialEvents) const
+{
+    std::uint64_t slowestSlave = 0;
+    for (std::uint64_t events : slaveTotalEvents)
+        slowestSlave = std::max(slowestSlave, events);
+    const std::uint64_t parallelCritical =
+        masterCalibrationEvents + slowestSlave;
+    if (parallelCritical == 0)
+        return 0.0;
+    return static_cast<double>(serialEvents)
+           / static_cast<double>(parallelCritical);
+}
+
+ParallelRunner::ParallelRunner(ModelBuilder modelBuilder,
+                               ParallelConfig config)
+    : builder(std::move(modelBuilder)), cfg(config)
+{
+    if (!builder)
+        fatal("ParallelRunner needs a model builder");
+    if (cfg.slaves == 0)
+        fatal("ParallelRunner needs at least one slave");
+}
+
+namespace {
+
+/** Advance a simulation until every metric finished calibration. */
+std::uint64_t
+runToMeasurement(SqsSimulation& sim, std::uint64_t batch)
+{
+    std::uint64_t events = 0;
+    while (true) {
+        bool allMeasuring = true;
+        StatsCollection& stats = sim.stats();
+        for (std::size_t i = 0; i < stats.metricCount(); ++i) {
+            const Phase phase = stats.metric(i).phase();
+            if (phase == Phase::Calibration || phase == Phase::Warmup) {
+                allMeasuring = false;
+                break;
+            }
+        }
+        if (!stats.warmedUp())
+            allMeasuring = false;
+        if (allMeasuring)
+            return events;
+        const std::uint64_t ran = sim.runBatch(batch);
+        if (ran == 0)
+            fatal("model drained before completing calibration");
+        events += ran;
+    }
+}
+
+/** Published per-slave progress snapshot. */
+struct SlaveProgress
+{
+    std::vector<Accumulator> perMetric;
+};
+
+} // namespace
+
+ParallelResult
+ParallelRunner::run(std::uint64_t rootSeed)
+{
+    const auto wallStart = std::chrono::steady_clock::now();
+    ParallelResult result;
+
+    // --- Phase 1: master warm-up + calibration fixes the bin schemes.
+    Rng seeder(rootSeed);
+    SqsSimulation master(cfg.sqs, seeder.next());
+    builder(master);
+    const std::size_t metricCount = master.stats().metricCount();
+    BH_ASSERT(metricCount > 0, "parallel run with no metrics");
+    result.masterCalibrationEvents =
+        runToMeasurement(master, cfg.sqs.batchEvents);
+
+    // The broadcast payload: one serialized scheme per metric (the same
+    // bytes a networked deployment would ship to remote slaves).
+    std::vector<std::string> broadcast;
+    broadcast.reserve(metricCount);
+    for (std::size_t i = 0; i < metricCount; ++i) {
+        broadcast.push_back(
+            master.stats().metric(i).histogram().scheme().serialize());
+    }
+
+    // --- Phase 2: construct slaves with unique seeds + adopted schemes.
+    std::vector<std::unique_ptr<SqsSimulation>> slaves;
+    slaves.reserve(cfg.slaves);
+    for (std::size_t s = 0; s < cfg.slaves; ++s) {
+        auto slave =
+            std::make_unique<SqsSimulation>(cfg.sqs, seeder.next());
+        builder(*slave);
+        if (slave->stats().metricCount() != metricCount)
+            fatal("model builder is not deterministic: slave registered ",
+                  slave->stats().metricCount(), " metrics, master ",
+                  metricCount);
+        for (std::size_t i = 0; i < metricCount; ++i) {
+            slave->stats().metric(i).adoptBinScheme(
+                BinScheme::deserialize(broadcast[i]));
+            slave->stats().metric(i).disableSelfConvergence();
+        }
+        slaves.push_back(std::move(slave));
+    }
+
+    // --- Phase 3: slaves measure; the master monitors aggregate size.
+    std::atomic<bool> stop{false};
+    std::mutex progressMutex;
+    std::vector<SlaveProgress> progress(cfg.slaves);
+    for (auto& p : progress)
+        p.perMetric.resize(metricCount);
+    std::vector<std::uint64_t> calibrationEvents(cfg.slaves, 0);
+    std::vector<std::uint64_t> totalEvents(cfg.slaves, 0);
+
+    // Aggregate-convergence predicate (Eqs. 2-3 over the merged sample).
+    // Evaluated under progressMutex. Slaves run it right after publishing
+    // a snapshot so the cluster stops within one batch of sufficiency;
+    // the master's poll below is only a liveness fallback.
+    const double z = ConfidenceSpec{cfg.sqs.accuracy, cfg.sqs.confidence}
+                         .critical();
+    auto aggregateSatisfied = [&]() {
+        for (std::size_t i = 0; i < metricCount; ++i) {
+            Accumulator merged;
+            for (std::size_t s = 0; s < cfg.slaves; ++s)
+                merged.merge(progress[s].perMetric[i]);
+            const MetricSpec& spec =
+                master.stats().metric(i).specification();
+            std::uint64_t required = requiredSamplesMean(
+                z, merged.mean(), merged.stddev(), spec.target.accuracy);
+            for (double q : spec.quantiles) {
+                required = std::max(
+                    required,
+                    requiredSamplesQuantile(z, q, spec.target.accuracy));
+            }
+            if (merged.count() < required)
+                return false;
+        }
+        return true;
+    };
+
+    std::atomic<std::size_t> activeSlaves{cfg.slaves};
+    auto slaveMain = [&](std::size_t index) {
+        SqsSimulation& sim = *slaves[index];
+        calibrationEvents[index] =
+            runToMeasurement(sim, cfg.slaveBatchEvents);
+        std::uint64_t events = calibrationEvents[index];
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::uint64_t ran = sim.runBatch(cfg.slaveBatchEvents);
+            events += ran;
+            if (ran == 0)
+                break;
+            std::lock_guard<std::mutex> lock(progressMutex);
+            for (std::size_t i = 0; i < metricCount; ++i) {
+                progress[index].perMetric[i] =
+                    sim.stats().metric(i).sampleAccumulator();
+            }
+            if (aggregateSatisfied())
+                stop.store(true, std::memory_order_relaxed);
+        }
+        totalEvents[index] = events;
+        activeSlaves.fetch_sub(1, std::memory_order_relaxed);
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(cfg.slaves);
+    for (std::size_t s = 0; s < cfg.slaves; ++s)
+        threads.emplace_back(slaveMain, s);
+
+    // Master monitor (liveness fallback — slaves normally detect
+    // sufficiency themselves right after publishing).
+    while (!stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        // A drained (closed) model can end every slave early; don't spin.
+        if (activeSlaves.load(std::memory_order_relaxed) == 0)
+            break;
+        std::lock_guard<std::mutex> lock(progressMutex);
+        if (aggregateSatisfied())
+            stop.store(true, std::memory_order_relaxed);
+    }
+    for (auto& thread : threads)
+        thread.join();
+
+    // --- Phase 4: merge slave histograms into the master's estimate.
+    for (std::size_t i = 0; i < metricCount; ++i) {
+        OutputMetric& masterMetric = master.stats().metric(i);
+        for (const auto& slave : slaves)
+            masterMetric.absorb(slave->stats().metric(i));
+        masterMetric.evaluateConvergence();
+    }
+
+    result.converged = master.stats().allConverged();
+    result.estimates = master.stats().estimates();
+    result.slaveCalibrationEvents = calibrationEvents;
+    result.slaveTotalEvents = totalEvents;
+    result.totalEvents = result.masterCalibrationEvents;
+    for (std::uint64_t events : totalEvents)
+        result.totalEvents += events;
+    result.wallSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - wallStart)
+                             .count();
+    return result;
+}
+
+} // namespace bighouse

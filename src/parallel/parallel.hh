@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Distributed (master/slave) stochastic queuing simulation — the Fig. 3
+ * protocol:
+ *
+ *  1. the master executes just the warm-up and calibration phases and
+ *     fixes the histogram bin scheme,
+ *  2. the bin scheme is broadcast; each slave runs its own warm-up and
+ *     calibration (own lag) with a unique random seed,
+ *  3. slaves measure; the master monitors aggregate sample size and
+ *     signals convergence when it suffices across the whole cluster,
+ *  4. slave histograms are merged into a single estimate.
+ *
+ * "In a number of ways, the master-slave relationship resembles the
+ * MapReduce framework" — slaves are embarrassingly parallel, sharing only
+ * the stop flag and periodic sample-count snapshots.
+ *
+ * Here slaves are std::threads in one process; the protocol (including
+ * the serialized bin-scheme broadcast) is the same one a multi-host
+ * deployment would speak.
+ */
+
+#ifndef BIGHOUSE_PARALLEL_PARALLEL_HH
+#define BIGHOUSE_PARALLEL_PARALLEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/sqs.hh"
+
+namespace bighouse {
+
+/** Builds a model (metrics + network) inside a fresh simulation.
+ *  Must be deterministic in registration order: master and slaves rely on
+ *  identical metric ids. */
+using ModelBuilder = std::function<void(SqsSimulation&)>;
+
+/** Cluster shape of a parallel run. */
+struct ParallelConfig
+{
+    std::size_t slaves = 4;
+    SqsConfig sqs;
+    /// Events a slave executes between sample-count publications.
+    std::uint64_t slaveBatchEvents = 20000;
+};
+
+/** Outcome of a parallel run, including the Fig. 10 phase accounting. */
+struct ParallelResult
+{
+    bool converged = false;
+    std::vector<MetricEstimate> estimates;  ///< merged across slaves
+
+    /// Events the master spent reaching end-of-calibration (serial part).
+    std::uint64_t masterCalibrationEvents = 0;
+    /// Per-slave events spent in warm-up + calibration (parallel but
+    /// unsharded — every slave pays it; the Amdahl term of Fig. 10).
+    std::vector<std::uint64_t> slaveCalibrationEvents;
+    /// Per-slave total events (calibration + measurement share).
+    std::vector<std::uint64_t> slaveTotalEvents;
+    std::uint64_t totalEvents = 0;
+    double wallSeconds = 0.0;
+
+    /**
+     * Modeled speedup over a serial run that needed `serialEvents`
+     * events: T(k) ~ masterCal + max_s(slaveTotal_s) when event cost is
+     * uniform. Provided by the Fig. 10 bench.
+     */
+    double modeledSpeedup(std::uint64_t serialEvents) const;
+};
+
+/** Orchestrates one master and N slave simulations. */
+class ParallelRunner
+{
+  public:
+    ParallelRunner(ModelBuilder builder, ParallelConfig config);
+
+    /**
+     * Execute the full Fig. 3 protocol.
+     * @param rootSeed seeds the master; slave s uses a distinct stream
+     *        derived from it.
+     */
+    ParallelResult run(std::uint64_t rootSeed);
+
+  private:
+    ModelBuilder builder;
+    ParallelConfig cfg;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_PARALLEL_PARALLEL_HH

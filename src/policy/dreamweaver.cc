@@ -1,0 +1,166 @@
+#include "policy/dreamweaver.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+DreamWeaverServer::DreamWeaverServer(Engine& engine, unsigned cores,
+                                     DreamWeaverSpec spec)
+    : engine(engine),
+      inner(engine, cores),
+      controller(engine, inner, spec.sleep),
+      spec(spec),
+      constructionTime(engine.now())
+{
+    if (spec.delayBudget < 0)
+        fatal("DreamWeaver delayBudget must be >= 0");
+    inner.setStartHandler([this](const Task& task) { handleStart(task); });
+    inner.setCompletionHandler(
+        [this](const Task& task) { handleCompletion(task); });
+    // A fresh server has zero outstanding tasks (< cores): nap at once.
+    maybeNap();
+    controller.setAwakeHandler([this] {
+        // Wake transition finished: tasks sitting on cores execute again,
+        // so their stall clocks stop. Queued tasks keep stalling until
+        // they reach a core (handleStart).
+        const Time now = this->engine.now();
+        for (auto& [id, stall] : stalls) {
+            if (stall.stallingSince != kTimeNever && stall.onCore) {
+                stall.accumulated += now - stall.stallingSince;
+                stall.stallingSince = kTimeNever;
+            }
+        }
+    });
+}
+
+Time
+DreamWeaverServer::accumulatedNow(const Stall& stall) const
+{
+    Time total = stall.accumulated;
+    if (stall.stallingSince != kTimeNever)
+        total += engine.now() - stall.stallingSince;
+    return total;
+}
+
+Time
+DreamWeaverServer::maxAccumulatedStall() const
+{
+    Time worst = 0.0;
+    for (const auto& [id, stall] : stalls)
+        worst = std::max(worst, accumulatedNow(stall));
+    return worst;
+}
+
+void
+DreamWeaverServer::accept(Task task)
+{
+    const std::uint64_t id = task.id;
+    stalls[id] = Stall{0.0, engine.now(), false};
+    inner.accept(std::move(task));  // may synchronously call handleStart
+
+    if (controller.state() == SleepController::State::Sleeping) {
+        // Enough outstanding work to fill every core ends the nap early.
+        if (inner.outstanding() >= inner.coreCount()) {
+            forceWake();
+        } else if (!wakeTimerArmed) {
+            // First task of this nap starts the budget clock.
+            wakeTimerArmed = true;
+            wakeTimer = engine.scheduleAfter(spec.delayBudget,
+                                             [this] { budgetExhausted(); });
+        }
+    }
+}
+
+void
+DreamWeaverServer::handleStart(const Task& task)
+{
+    auto it = stalls.find(task.id);
+    BH_ASSERT(it != stalls.end(), "start of an unknown task");
+    Stall& stall = it->second;
+    stall.onCore = true;
+    if (controller.state() == SleepController::State::Active
+        && stall.stallingSince != kTimeNever) {
+        stall.accumulated += engine.now() - stall.stallingSince;
+        stall.stallingSince = kTimeNever;
+    }
+    // While Sleeping/Waking the core is paused: the task keeps stalling.
+}
+
+void
+DreamWeaverServer::handleCompletion(const Task& task)
+{
+    stalls.erase(task.id);
+    if (userHandler)
+        userHandler(task);
+    // Defer the nap decision by a zero-delay event: completions scheduled
+    // for this same instant must fire first, or napping would preempt a
+    // task with zero remaining work and stall it for a whole budget.
+    if (!napDecisionPending) {
+        napDecisionPending = true;
+        engine.scheduleAfter(0.0, [this] {
+            napDecisionPending = false;
+            maybeNap();
+        });
+    }
+}
+
+void
+DreamWeaverServer::maybeNap()
+{
+    if (controller.state() != SleepController::State::Active)
+        return;
+    if (inner.outstanding() >= inner.coreCount())
+        return;
+    // A task that already exhausted its budget pins the server awake.
+    if (!stalls.empty() && maxAccumulatedStall() >= spec.delayBudget)
+        return;
+
+    controller.requestSleep();
+    const Time now = engine.now();
+    Time worst = 0.0;
+    for (auto& [id, stall] : stalls) {
+        if (stall.stallingSince == kTimeNever)
+            stall.stallingSince = now;
+        worst = std::max(worst, stall.accumulated);
+    }
+    if (!stalls.empty()) {
+        wakeTimerArmed = true;
+        wakeTimer = engine.scheduleAfter(spec.delayBudget - worst,
+                                         [this] { budgetExhausted(); });
+    }
+}
+
+void
+DreamWeaverServer::budgetExhausted()
+{
+    wakeTimerArmed = false;
+    if (controller.state() == SleepController::State::Sleeping)
+        forceWake();
+}
+
+void
+DreamWeaverServer::forceWake()
+{
+    if (wakeTimerArmed) {
+        engine.cancel(wakeTimer);
+        wakeTimerArmed = false;
+    }
+    controller.requestWake();
+}
+
+void
+DreamWeaverServer::setCompletionHandler(Server::CompletionHandler handler)
+{
+    userHandler = std::move(handler);
+}
+
+double
+DreamWeaverServer::idleFraction()
+{
+    const Time elapsed = engine.now() - constructionTime;
+    return elapsed > 0 ? controller.sleepSeconds() / elapsed : 0.0;
+}
+
+} // namespace bighouse

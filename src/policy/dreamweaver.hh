@@ -1,0 +1,113 @@
+/**
+ * @file
+ * DreamWeaver-style idleness-coalescing scheduler (paper Sec. 3.2).
+ *
+ * "The essence of the scheduling mechanism is to preempt execution and
+ * enter deep sleep if there are fewer outstanding tasks than cores.
+ * However, if any task is delayed by more than a pre-specified threshold,
+ * the system wakes up and execution resumes even if some [cores] remain
+ * idle. In essence, the technique trades per-request latency to create
+ * opportunities for deep sleep."
+ *
+ * Each task carries a stall budget (the delay threshold). A task's stall
+ * clock runs whenever it is not executing: while queued behind busy cores,
+ * and — crucially — while the whole server sleeps with work preserved.
+ * The wake timer fires when the most-stalled outstanding task exhausts its
+ * budget.
+ */
+
+#ifndef BIGHOUSE_POLICY_DREAMWEAVER_HH
+#define BIGHOUSE_POLICY_DREAMWEAVER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "power/sleep_state.hh"
+#include "queueing/server.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+
+/** Tuning of the DreamWeaver mechanism. */
+struct DreamWeaverSpec
+{
+    /// Maximum total stall a task may accumulate before forcing a wake —
+    /// the tuning knob swept in Fig. 6.
+    Time delayBudget = 10.0 * kMilliSecond;
+    SleepSpec sleep;
+};
+
+/**
+ * A many-core server governed by the DreamWeaver scheduling mechanism.
+ * Drop-in TaskAcceptor: arrivals may be absorbed while asleep, and the
+ * wrapped server's completion handler still fires for metric recording.
+ */
+class DreamWeaverServer : public TaskAcceptor
+{
+  public:
+    DreamWeaverServer(Engine& engine, unsigned cores, DreamWeaverSpec spec);
+
+    /** Deliver a task (possibly while asleep). */
+    void accept(Task task) override;
+
+    /** Completion callback for metric recording. */
+    void setCompletionHandler(Server::CompletionHandler handler);
+
+    /** Fraction of elapsed time spent in deep sleep since construction. */
+    double idleFraction();
+
+    /** Total deep-sleep seconds. */
+    Time sleepSeconds() { return controller.sleepSeconds(); }
+
+    /** Completed nap episodes. */
+    std::uint64_t napCount() const { return controller.napCount(); }
+
+    /** Access to the wrapped server (tests and power models). */
+    Server& server() { return inner; }
+    const SleepController& sleep() const { return controller; }
+
+  private:
+    /// Per-outstanding-task stall bookkeeping.
+    struct Stall
+    {
+        Time accumulated = 0.0;
+        Time stallingSince = kTimeNever;  ///< kTimeNever = not stalling
+        bool onCore = false;              ///< placed on a core already
+    };
+
+    /** Stall accumulated by `stall` as of now. */
+    Time accumulatedNow(const Stall& stall) const;
+
+    /** Called by the inner server when a task lands on a core. */
+    void handleStart(const Task& task);
+
+    /** Called by the inner server on completion. */
+    void handleCompletion(const Task& task);
+
+    /** Nap if allowed; schedule the budget-exhaustion wake timer. */
+    void maybeNap();
+
+    /** Begin waking (idempotent while Waking). */
+    void forceWake();
+
+    /** The scheduled wake-timer body. */
+    void budgetExhausted();
+
+    /** Largest accumulated stall over outstanding tasks, as of now. */
+    Time maxAccumulatedStall() const;
+
+    Engine& engine;
+    Server inner;
+    SleepController controller;
+    DreamWeaverSpec spec;
+    std::unordered_map<std::uint64_t, Stall> stalls;
+    Server::CompletionHandler userHandler;
+    EventId wakeTimer{};
+    bool wakeTimerArmed = false;
+    bool napDecisionPending = false;
+    Time constructionTime;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_POLICY_DREAMWEAVER_HH

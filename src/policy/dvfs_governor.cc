@@ -1,0 +1,21 @@
+#include "policy/dvfs_governor.hh"
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+void
+applyCpuSlowdown(Server& server, double scpu)
+{
+    if (scpu < 1.0)
+        fatal("SCPU is a slowdown and must be >= 1, got ", scpu);
+    server.setSpeed(1.0 / scpu);
+}
+
+void
+applyDvfsSetting(Server& server, const DvfsModel& model, double f)
+{
+    server.setSpeed(model.speedAt(f));
+}
+
+} // namespace bighouse

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * A static DVFS governor: pins a server at one performance setting.
+ *
+ * This is the system model of the Google Web Search case study (Sec. 3.1 /
+ * Fig. 4): the study sweeps fixed processor performance settings (SCPU is
+ * the relative slowdown) and measures tail latency across load. Here the
+ * setting is applied either as a direct service-time stretch (SCPU) or as
+ * a DVFS frequency mapped through Eq. 6.
+ */
+
+#ifndef BIGHOUSE_POLICY_DVFS_GOVERNOR_HH
+#define BIGHOUSE_POLICY_DVFS_GOVERNOR_HH
+
+#include "power/power_model.hh"
+#include "queueing/server.hh"
+
+namespace bighouse {
+
+/** Pin a server's speed to a fixed relative slowdown SCPU (>= 1). */
+void applyCpuSlowdown(Server& server, double scpu);
+
+/** Pin a server at DVFS frequency f through the model's Eq. 6 speed. */
+void applyDvfsSetting(Server& server, const DvfsModel& model, double f);
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_POLICY_DVFS_GOVERNOR_HH

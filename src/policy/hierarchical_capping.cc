@@ -1,0 +1,137 @@
+#include "policy/hierarchical_capping.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+HierarchicalCappingCoordinator::HierarchicalCappingCoordinator(
+    Engine& engine, std::vector<std::vector<Server*>> rackList,
+    HierarchicalCappingSpec spec)
+    : engine(engine), racks(std::move(rackList)), spec(spec)
+{
+    if (racks.empty())
+        fatal("hierarchical capping needs at least one rack");
+    for (const auto& rack : racks) {
+        if (rack.empty())
+            fatal("hierarchical capping: empty rack");
+        for (Server* server : rack) {
+            if (server == nullptr)
+                fatal("hierarchical capping: null server");
+        }
+        totalServers += rack.size();
+    }
+    if (spec.budgetFraction <= 0 || spec.budgetFraction > 1.0)
+        fatal("budgetFraction must be in (0,1], got ", spec.budgetFraction);
+    if (spec.epoch <= 0)
+        fatal("capping epoch must be > 0");
+    totalBudget = spec.budgetFraction * spec.dvfs.spec().peakWatts()
+                  * static_cast<double>(totalServers);
+    occupiedSnapshot.resize(racks.size());
+    for (std::size_t r = 0; r < racks.size(); ++r)
+        occupiedSnapshot[r].assign(racks[r].size(), 0.0);
+}
+
+void
+HierarchicalCappingCoordinator::setObserver(RackObserver observer)
+{
+    onRack = std::move(observer);
+}
+
+void
+HierarchicalCappingCoordinator::start()
+{
+    for (std::size_t r = 0; r < racks.size(); ++r) {
+        for (std::size_t s = 0; s < racks[r].size(); ++s)
+            occupiedSnapshot[r][s] = racks[r][s]->occupiedCoreSeconds();
+    }
+    engine.scheduleAfter(spec.epoch, [this] { runEpoch(); });
+}
+
+std::vector<double>
+HierarchicalCappingCoordinator::proportionalSplit(
+    double budget, const std::vector<double>& weights,
+    const std::vector<double>& floors) const
+{
+    BH_ASSERT(weights.size() == floors.size(),
+              "weights/floors size mismatch");
+    constexpr double kShareFloor = 1e-3;
+    const auto n = static_cast<double>(weights.size());
+    double floorTotal = 0.0;
+    for (double f : floors)
+        floorTotal += f;
+    const double headroom = budget - floorTotal;
+    double weightTotal = kShareFloor * n;
+    for (double w : weights)
+        weightTotal += w;
+    std::vector<double> shares(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double share = (weights[i] + kShareFloor) / weightTotal;
+        shares[i] = headroom > 0.0 ? floors[i] + share * headroom
+                                   : share * budget;
+    }
+    return shares;
+}
+
+void
+HierarchicalCappingCoordinator::runEpoch()
+{
+    ++epochs;
+    const double idleWatts = spec.dvfs.spec().idleWatts;
+
+    // --- Level 1: measure per-server utilization; roll up rack sums.
+    std::vector<std::vector<double>> utilization(racks.size());
+    std::vector<double> rackUtilizationSum(racks.size(), 0.0);
+    for (std::size_t r = 0; r < racks.size(); ++r) {
+        utilization[r].resize(racks[r].size());
+        for (std::size_t s = 0; s < racks[r].size(); ++s) {
+            Server* server = racks[r][s];
+            const double occupied = server->occupiedCoreSeconds();
+            const double capacity =
+                static_cast<double>(server->coreCount()) * spec.epoch;
+            utilization[r][s] = std::clamp(
+                (occupied - occupiedSnapshot[r][s]) / capacity, 0.0, 1.0);
+            occupiedSnapshot[r][s] = occupied;
+            rackUtilizationSum[r] += utilization[r][s];
+        }
+    }
+
+    // --- Level 2: facility budget -> rack budgets (floored at rack idle).
+    // The root only sees one number per rack — the scalability point.
+    std::vector<double> rackFloor(racks.size());
+    std::vector<double> rackWeights(racks.size());
+    for (std::size_t r = 0; r < racks.size(); ++r) {
+        rackFloor[r] = idleWatts * static_cast<double>(racks[r].size());
+        rackWeights[r] = rackUtilizationSum[r];
+    }
+    std::vector<double> rackBudgets =
+        proportionalSplit(totalBudget, rackWeights, rackFloor);
+
+    // --- Level 3: rack budgets -> server budgets -> DVFS settings.
+    for (std::size_t r = 0; r < racks.size(); ++r) {
+        const std::vector<double> serverFloors(racks[r].size(),
+                                               idleWatts);
+        const std::vector<double> serverBudgets = proportionalSplit(
+            rackBudgets[r], utilization[r], serverFloors);
+        RackObservation obs;
+        obs.budgetWatts = rackBudgets[r];
+        for (std::size_t s = 0; s < racks[r].size(); ++s) {
+            const double u = utilization[r][s];
+            const double f =
+                spec.dvfs.frequencyForBudget(serverBudgets[s], u);
+            racks[r][s]->setSpeed(spec.dvfs.speedAt(f));
+            obs.utilization += u;
+            obs.powerWatts += spec.dvfs.power(u, f);
+            obs.cappingWatts +=
+                std::max(0.0, spec.dvfs.uncappedPower(u)
+                                  - serverBudgets[s]);
+        }
+        obs.utilization /= static_cast<double>(racks[r].size());
+        if (onRack)
+            onRack(r, obs);
+    }
+    engine.scheduleAfter(spec.epoch, [this] { runEpoch(); });
+}
+
+} // namespace bighouse

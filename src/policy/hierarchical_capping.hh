@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Hierarchical power capping: data-center budget -> per-rack budgets ->
+ * per-server budgets, mirroring SHIP-style scalable hierarchical power
+ * control ([35] in the paper) over the object hierarchy the paper sketches
+ * ("servers, racks, etc.").
+ *
+ * Each epoch the root divides the facility budget across racks in
+ * proportion to rack utilization (floored at each rack's aggregate idle
+ * power); each rack then budgets its servers with the same proportional
+ * rule and throttles via DVFS, exactly like the flat coordinator. The
+ * hierarchy bounds the information any single controller touches — the
+ * property that makes the scheme scale to warehouse size.
+ */
+
+#ifndef BIGHOUSE_POLICY_HIERARCHICAL_CAPPING_HH
+#define BIGHOUSE_POLICY_HIERARCHICAL_CAPPING_HH
+
+#include <functional>
+#include <vector>
+
+#include "power/power_model.hh"
+#include "queueing/server.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+
+/** Configuration of the hierarchical coordinator. */
+struct HierarchicalCappingSpec
+{
+    /// Facility budget as a fraction of total peak power.
+    double budgetFraction = 0.7;
+    Time epoch = 1.0 * kSecond;
+    DvfsModel dvfs{ServerPowerSpec{}};
+};
+
+/** Per-epoch, per-rack summary observation. */
+struct RackObservation
+{
+    double utilization = 0.0;   ///< rack-average utilization
+    double budgetWatts = 0.0;   ///< rack budget this epoch
+    double powerWatts = 0.0;    ///< modeled rack draw after throttling
+    double cappingWatts = 0.0;  ///< uncapped demand above the rack budget
+};
+
+/** Two-level (cluster -> racks -> servers) capping coordinator. */
+class HierarchicalCappingCoordinator
+{
+  public:
+    using RackObserver =
+        std::function<void(std::size_t rackIndex, const RackObservation&)>;
+
+    /**
+     * @param engine simulation to schedule epochs in
+     * @param racks servers grouped by rack (non-owning; racks may have
+     *        different sizes; no rack may be empty)
+     * @param spec budgeting configuration
+     */
+    HierarchicalCappingCoordinator(
+        Engine& engine, std::vector<std::vector<Server*>> racks,
+        HierarchicalCappingSpec spec);
+
+    /** Begin the epoch cycle. */
+    void start();
+
+    /** Register the per-rack metrics callback. */
+    void setObserver(RackObserver observer);
+
+    double facilityBudgetWatts() const { return totalBudget; }
+    std::size_t rackCount() const { return racks.size(); }
+    std::uint64_t epochCount() const { return epochs; }
+
+  private:
+    void runEpoch();
+
+    /**
+     * Proportional split of `budget` across `weights`, flooring each
+     * share at its entry in `floors` (idle power cannot be budgeted
+     * away). Falls back to a pure proportional split when the budget
+     * cannot even cover the floors.
+     */
+    std::vector<double> proportionalSplit(
+        double budget, const std::vector<double>& weights,
+        const std::vector<double>& floors) const;
+
+    Engine& engine;
+    std::vector<std::vector<Server*>> racks;
+    HierarchicalCappingSpec spec;
+    RackObserver onRack;
+    double totalBudget = 0.0;
+    std::size_t totalServers = 0;
+    /// occupiedCoreSeconds() snapshots, indexed [rack][server].
+    std::vector<std::vector<double>> occupiedSnapshot;
+    std::uint64_t epochs = 0;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_POLICY_HIERARCHICAL_CAPPING_HH

@@ -1,0 +1,94 @@
+#include "policy/power_capping.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+PowerCappingCoordinator::PowerCappingCoordinator(
+    Engine& engine, std::vector<Server*> serverList, PowerCappingSpec spec)
+    : engine(engine), servers(std::move(serverList)), spec(spec)
+{
+    if (servers.empty())
+        fatal("PowerCappingCoordinator needs at least one server");
+    for (Server* server : servers) {
+        if (server == nullptr)
+            fatal("PowerCappingCoordinator given a null server");
+    }
+    if (spec.budgetFraction <= 0 || spec.budgetFraction > 1.0)
+        fatal("budgetFraction must be in (0,1], got ", spec.budgetFraction);
+    if (spec.epoch <= 0)
+        fatal("capping epoch must be > 0");
+    totalBudget = spec.budgetFraction * spec.dvfs.spec().peakWatts()
+                  * static_cast<double>(servers.size());
+    occupiedSnapshot.assign(servers.size(), 0.0);
+}
+
+void
+PowerCappingCoordinator::setObserver(EpochObserver observer)
+{
+    onEpoch = std::move(observer);
+}
+
+void
+PowerCappingCoordinator::start()
+{
+    for (std::size_t i = 0; i < servers.size(); ++i)
+        occupiedSnapshot[i] = servers[i]->occupiedCoreSeconds();
+    engine.scheduleAfter(spec.epoch, [this] { runEpoch(); });
+}
+
+void
+PowerCappingCoordinator::runEpoch()
+{
+    ++epochs;
+    const std::size_t n = servers.size();
+
+    // Measure epoch-average utilization of every server.
+    std::vector<double> utilization(n);
+    double utilizationSum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double occupied = servers[i]->occupiedCoreSeconds();
+        const double coreSeconds =
+            static_cast<double>(servers[i]->coreCount()) * spec.epoch;
+        utilization[i] = std::clamp(
+            (occupied - occupiedSnapshot[i]) / coreSeconds, 0.0, 1.0);
+        occupiedSnapshot[i] = occupied;
+        utilizationSum += utilization[i];
+    }
+
+    // Fair proportional budgets: idle power is unavoidable, so each
+    // server's budget is floored at P_idle and only the *dynamic*
+    // headroom is divided in proportion to last-epoch utilization
+    // (with a small floor so a momentarily idle server is not starved).
+    constexpr double kShareFloor = 1e-3;
+    const double idleFloor =
+        spec.dvfs.spec().idleWatts * static_cast<double>(n);
+    const double headroom = std::max(0.0, totalBudget - idleFloor);
+    const double shareTotal =
+        utilizationSum + kShareFloor * static_cast<double>(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double share = (utilization[i] + kShareFloor) / shareTotal;
+        const double budget =
+            headroom > 0.0
+                ? spec.dvfs.spec().idleWatts + share * headroom
+                : share * totalBudget;
+        const double uncapped = spec.dvfs.uncappedPower(utilization[i]);
+
+        CappingObservation obs;
+        obs.utilization = utilization[i];
+        obs.budgetWatts = budget;
+        obs.cappingWatts = std::max(0.0, uncapped - budget);
+        obs.frequency =
+            spec.dvfs.frequencyForBudget(budget, utilization[i]);
+        obs.powerWatts = spec.dvfs.power(utilization[i], obs.frequency);
+        servers[i]->setSpeed(spec.dvfs.speedAt(obs.frequency));
+        if (onEpoch)
+            onEpoch(i, obs);
+    }
+    engine.scheduleAfter(spec.epoch, [this] { runEpoch(); });
+}
+
+} // namespace bighouse

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Dynamic, cluster-wide power capping (paper Sec. 4.1).
+ *
+ * "Servers are assigned a power budget, the maximum power they may draw
+ * over a given interval. We use a fair, proportional budgeting mechanism
+ * such that every server gets a budget in proportion to its utilization in
+ * the previous budgeting interval. Budgets are calculated every second.
+ * At each budgeting epoch, the capping level can be observed and is
+ * defined as how much more power a server would draw, beyond its budget,
+ * without a cap. We assume idealized DVFS as the power-performance
+ * throttling mechanism."
+ *
+ * The coordinator is deliberately *global*: all server models interact
+ * each simulated second, which is the property that stresses simulator
+ * scalability in Figs. 7 and 9.
+ */
+
+#ifndef BIGHOUSE_POLICY_POWER_CAPPING_HH
+#define BIGHOUSE_POLICY_POWER_CAPPING_HH
+
+#include <functional>
+#include <vector>
+
+#include "power/power_model.hh"
+#include "queueing/server.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+
+/** Configuration of the capping coordinator. */
+struct PowerCappingSpec
+{
+    /// Cluster-wide budget as a fraction of the sum of server peak power
+    /// (< 1.0 provokes capping; the point of over-subscription).
+    double budgetFraction = 0.7;
+    Time epoch = 1.0 * kSecond;
+    DvfsModel dvfs{ServerPowerSpec{}};
+};
+
+/** Per-epoch observation delivered to the metrics layer. */
+struct CappingObservation
+{
+    double utilization = 0.0;   ///< epoch-average utilization of a server
+    double budgetWatts = 0.0;   ///< budget assigned for the next epoch
+    double cappingWatts = 0.0;  ///< uncapped draw minus budget, floored at 0
+    double frequency = 1.0;     ///< DVFS setting chosen
+    double powerWatts = 0.0;    ///< modeled draw at the chosen setting
+};
+
+/** Global proportional power-capping coordinator over a set of servers. */
+class PowerCappingCoordinator
+{
+  public:
+    /** Invoked once per server per epoch with that server's observation. */
+    using EpochObserver = std::function<void(std::size_t serverIndex,
+                                             const CappingObservation&)>;
+
+    /**
+     * @param engine simulation to schedule epochs in
+     * @param servers the cluster (non-owning; must outlive the coordinator)
+     * @param spec budgeting configuration
+     */
+    PowerCappingCoordinator(Engine& engine,
+                            std::vector<Server*> servers,
+                            PowerCappingSpec spec);
+
+    /** Begin the epoch cycle (first budgeting one epoch from now). */
+    void start();
+
+    /** Register the per-epoch metrics callback. */
+    void setObserver(EpochObserver observer);
+
+    /** Total cluster budget in watts. */
+    double clusterBudgetWatts() const { return totalBudget; }
+
+    /** Epochs executed so far. */
+    std::uint64_t epochCount() const { return epochs; }
+
+  private:
+    /** One budgeting epoch: measure, budget, throttle. */
+    void runEpoch();
+
+    Engine& engine;
+    std::vector<Server*> servers;
+    PowerCappingSpec spec;
+    EpochObserver onEpoch;
+    double totalBudget;
+    /// occupiedCoreSeconds() snapshot per server at the last epoch edge.
+    std::vector<double> occupiedSnapshot;
+    std::uint64_t epochs = 0;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_POLICY_POWER_CAPPING_HH

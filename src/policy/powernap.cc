@@ -1,0 +1,54 @@
+#include "policy/powernap.hh"
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+PowerNapServer::PowerNapServer(Engine& engine, unsigned cores,
+                               SleepSpec sleep)
+    : engine(engine),
+      inner(engine, cores),
+      controller(engine, inner, sleep),
+      constructionTime(engine.now())
+{
+    inner.setCompletionHandler(
+        [this](const Task& task) { handleCompletion(task); });
+    // A fresh server is idle: nap immediately.
+    controller.requestSleep();
+}
+
+void
+PowerNapServer::setCompletionHandler(Server::CompletionHandler handler)
+{
+    userHandler = std::move(handler);
+}
+
+void
+PowerNapServer::accept(Task task)
+{
+    inner.accept(std::move(task));
+    // Work arrived: begin waking at once (PowerNap has no delay knob).
+    if (controller.state() == SleepController::State::Sleeping)
+        controller.requestWake();
+}
+
+void
+PowerNapServer::handleCompletion(const Task& task)
+{
+    if (userHandler)
+        userHandler(task);
+    // Nap the instant the system drains completely.
+    if (inner.outstanding() == 0
+        && controller.state() == SleepController::State::Active) {
+        controller.requestSleep();
+    }
+}
+
+double
+PowerNapServer::idleFraction()
+{
+    const Time elapsed = engine.now() - constructionTime;
+    return elapsed > 0 ? controller.sleepSeconds() / elapsed : 0.0;
+}
+
+} // namespace bighouse

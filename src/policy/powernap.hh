@@ -1,0 +1,54 @@
+/**
+ * @file
+ * PowerNap-style full-system idle low-power mode [23]: sleep whenever the
+ * server is completely idle, wake (paying a transition latency) as soon
+ * as work arrives.
+ *
+ * This is the baseline DreamWeaver builds on: on a single-core server
+ * full-system idle periods are plentiful, but "naturally idle" time
+ * vanishes combinatorially as cores are added — the motivation for
+ * idleness *scheduling* in Sec. 3.2. The motivation bench compares the
+ * two across core counts.
+ */
+
+#ifndef BIGHOUSE_POLICY_POWERNAP_HH
+#define BIGHOUSE_POLICY_POWERNAP_HH
+
+#include "power/sleep_state.hh"
+#include "queueing/server.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+
+/** A server that naps during every fully idle interval. */
+class PowerNapServer : public TaskAcceptor
+{
+  public:
+    PowerNapServer(Engine& engine, unsigned cores, SleepSpec sleep);
+
+    /** Deliver a task; wakes the server if it was napping. */
+    void accept(Task task) override;
+
+    void setCompletionHandler(Server::CompletionHandler handler);
+
+    /** Fraction of elapsed time spent asleep. */
+    double idleFraction();
+
+    Time sleepSeconds() { return controller.sleepSeconds(); }
+    std::uint64_t napCount() const { return controller.napCount(); }
+
+    Server& server() { return inner; }
+
+  private:
+    void handleCompletion(const Task& task);
+
+    Engine& engine;
+    Server inner;
+    SleepController controller;
+    Server::CompletionHandler userHandler;
+    Time constructionTime;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_POLICY_POWERNAP_HH

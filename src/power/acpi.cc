@@ -1,0 +1,191 @@
+#include "power/acpi.hh"
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+AcpiLadder
+AcpiLadder::typicalServer()
+{
+    AcpiLadder ladder;
+    ladder.activeWatts = 300.0;
+    ladder.states = {
+        // name, watts, wakeLatency, entryTimeout
+        {"C1", 150.0, 2.0 * kMicroSecond, 0.0},
+        {"C6", 75.0, 50.0 * kMicroSecond, 200.0 * kMicroSecond},
+        {"S3", 10.0, 1.0 * kMilliSecond, 10.0 * kMilliSecond},
+    };
+    return ladder;
+}
+
+void
+AcpiLadder::validate() const
+{
+    if (states.empty())
+        fatal("AcpiLadder needs at least one idle state");
+    if (activeWatts <= 0)
+        fatal("AcpiLadder activeWatts must be > 0");
+    double previousWatts = activeWatts;
+    Time previousLatency = -1.0;
+    Time previousTimeout = -1.0;
+    for (const IdleState& state : states) {
+        if (state.watts >= previousWatts)
+            fatal("idle state '", state.name,
+                  "' must draw less power than the state above it");
+        if (state.wakeLatency < previousLatency)
+            fatal("idle state '", state.name,
+                  "' must not wake faster than a shallower state");
+        if (state.entryTimeout <= previousTimeout)
+            fatal("idle state '", state.name,
+                  "' must have a later entry timeout than a shallower "
+                  "state");
+        previousWatts = state.watts;
+        previousLatency = state.wakeLatency;
+        previousTimeout = state.entryTimeout;
+    }
+}
+
+AcpiGovernor::AcpiGovernor(Engine& engine, unsigned cores,
+                           AcpiLadder ladderIn)
+    : engine(engine),
+      inner(engine, cores),
+      ladder(std::move(ladderIn)),
+      meter(engine, ladder.activeWatts)
+{
+    ladder.validate();
+    residency.assign(ladder.states.size(), 0.0);
+    inner.setCompletionHandler([this](const Task& task) {
+        if (userHandler)
+            userHandler(task);
+        if (inner.outstanding() == 0)
+            becomeIdle();
+    });
+    becomeIdle();  // a fresh server is idle
+}
+
+void
+AcpiGovernor::setCompletionHandler(Server::CompletionHandler handler)
+{
+    userHandler = std::move(handler);
+}
+
+void
+AcpiGovernor::becomeIdle()
+{
+    BH_ASSERT(stateIndex == -1 && !waking, "becomeIdle while not active");
+    inner.setSpeed(0.0);
+    parked = true;
+    const Time firstTimeout = ladder.states.front().entryTimeout;
+    if (firstTimeout <= 0.0) {
+        demoteTo(0);
+    } else {
+        demotionArmed = true;
+        demotionTimer =
+            engine.scheduleAfter(firstTimeout, [this] {
+                demotionArmed = false;
+                demoteTo(0);
+            });
+    }
+}
+
+void
+AcpiGovernor::settleResidency()
+{
+    if (stateIndex >= 0) {
+        residency[static_cast<std::size_t>(stateIndex)] +=
+            engine.now() - stateEntered;
+        stateEntered = engine.now();
+    }
+}
+
+void
+AcpiGovernor::demoteTo(std::size_t index)
+{
+    BH_ASSERT(index < ladder.states.size(), "demotion past the ladder");
+    settleResidency();
+    parked = false;
+    stateIndex = static_cast<int>(index);
+    stateEntered = engine.now();
+    meter.setPower(ladder.states[index].watts);
+    if (index + 1 < ladder.states.size()) {
+        const Time delta = ladder.states[index + 1].entryTimeout
+                           - ladder.states[index].entryTimeout;
+        demotionArmed = true;
+        demotionTimer = engine.scheduleAfter(delta, [this, index] {
+            demotionArmed = false;
+            demoteTo(index + 1);
+        });
+    }
+}
+
+void
+AcpiGovernor::accept(Task task)
+{
+    inner.accept(std::move(task));
+    if (waking)
+        return;  // wake already in progress
+    if (stateIndex >= 0) {
+        wake();
+    } else if (parked) {
+        // C0 idle: resume instantly, no transition cost.
+        if (demotionArmed) {
+            engine.cancel(demotionTimer);
+            demotionArmed = false;
+        }
+        parked = false;
+        inner.setSpeed(1.0);
+    }
+}
+
+void
+AcpiGovernor::wake()
+{
+    BH_ASSERT(stateIndex >= 0, "wake from outside the ladder");
+    if (demotionArmed) {
+        engine.cancel(demotionTimer);
+        demotionArmed = false;
+    }
+    settleResidency();
+    const Time latency =
+        ladder.states[static_cast<std::size_t>(stateIndex)].wakeLatency;
+    stateIndex = -1;
+    waking = true;
+    // The wake transition itself burns active-level power.
+    meter.setPower(ladder.activeWatts);
+    if (latency <= 0.0) {
+        finishWake();
+    } else {
+        engine.scheduleAfter(latency, [this] { finishWake(); });
+    }
+}
+
+void
+AcpiGovernor::finishWake()
+{
+    BH_ASSERT(waking, "finishWake while not waking");
+    waking = false;
+    inner.setSpeed(1.0);
+}
+
+std::vector<Time>
+AcpiGovernor::stateResidency()
+{
+    std::vector<Time> snapshot = residency;
+    if (stateIndex >= 0) {
+        snapshot[static_cast<std::size_t>(stateIndex)] +=
+            engine.now() - stateEntered;
+    }
+    return snapshot;
+}
+
+std::vector<std::string>
+AcpiGovernor::stateNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(ladder.states.size());
+    for (const IdleState& state : ladder.states)
+        names.push_back(state.name);
+    return names;
+}
+
+} // namespace bighouse

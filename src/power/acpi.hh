@@ -1,0 +1,121 @@
+/**
+ * @file
+ * ACPI-style multi-level idle states with a timeout demotion governor.
+ *
+ * The paper's example of extending the server model: "the server model
+ * might be subclassed or extended to include state variables for various
+ * ACPI power modes, which modulate task run time, control ACPI state
+ * transitions, and output power/energy estimates." This module provides
+ * exactly that: a ladder of idle states of decreasing power and
+ * increasing wake latency (C1 -> C3 -> C6 -> PowerNap-style S-state), a
+ * governor that demotes an idle server down the ladder as idleness
+ * persists, and per-state residency/energy accounting.
+ */
+
+#ifndef BIGHOUSE_POWER_ACPI_HH
+#define BIGHOUSE_POWER_ACPI_HH
+
+#include <string>
+#include <vector>
+
+#include "power/energy_meter.hh"
+#include "queueing/server.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+
+/** One idle state in the ladder. */
+struct IdleState
+{
+    std::string name;     ///< e.g. "C1"
+    double watts = 0.0;   ///< draw while resident
+    Time wakeLatency = 0; ///< delay from wake request to service resume
+    /// Idle time after which the governor demotes into this state
+    /// (measured from the moment the server went fully idle).
+    Time entryTimeout = 0;
+};
+
+/** A ladder of idle states, shallowest first. */
+struct AcpiLadder
+{
+    /// Power while any core is active (the active/busy state).
+    double activeWatts = 300.0;
+    /// States ordered by increasing depth: watts must decrease and both
+    /// wakeLatency and entryTimeout must increase down the ladder.
+    std::vector<IdleState> states;
+
+    /** A typical server ladder: C1 (immediate), C6, PowerNap-like S3. */
+    static AcpiLadder typicalServer();
+
+    /** Validate ordering invariants; fatal() on violations. */
+    void validate() const;
+};
+
+/**
+ * Timeout-demotion governor over a Server: when the server goes fully
+ * idle it enters the shallowest state immediately at its timeout (0 for
+ * C1-style states), then demotes deeper as timeouts elapse; work arrival
+ * triggers a wake paying the *current* state's latency.
+ */
+class AcpiGovernor : public TaskAcceptor
+{
+  public:
+    AcpiGovernor(Engine& engine, unsigned cores, AcpiLadder ladder);
+
+    /** Deliver a task (wakes the server when idle). */
+    void accept(Task task) override;
+
+    void setCompletionHandler(Server::CompletionHandler handler);
+
+    /** Total time resident in each state (settled to now). */
+    std::vector<Time> stateResidency();
+
+    /** Names matching stateResidency() order. */
+    std::vector<std::string> stateNames() const;
+
+    /** Energy consumed so far (joules, settled to now). */
+    double joules() { return meter.joules(); }
+
+    /** Average power since construction. */
+    double averageWatts() { return meter.averageWatts(); }
+
+    /** Index into the ladder; -1 while active or waking. */
+    int currentState() const { return stateIndex; }
+
+    Server& server() { return inner; }
+
+  private:
+    /** The server just went fully idle. */
+    void becomeIdle();
+
+    /** Demote into ladder state `index` (idle-timer event body). */
+    void demoteTo(std::size_t index);
+
+    /** Work arrived: leave the ladder, pay the wake latency. */
+    void wake();
+
+    /** Wake transition finished. */
+    void finishWake();
+
+    /** Settle residency for the state being exited. */
+    void settleResidency();
+
+    Engine& engine;
+    Server inner;
+    AcpiLadder ladder;
+    EnergyMeter meter;
+    Server::CompletionHandler userHandler;
+    int stateIndex = -1;      ///< -1 = active, parked, or waking
+    bool waking = false;
+    /// Fully idle but not yet demoted into the ladder (C0 idle):
+    /// speed 0, active power, costless exit.
+    bool parked = false;
+    Time stateEntered = 0.0;
+    std::vector<Time> residency;
+    EventId demotionTimer{};
+    bool demotionArmed = false;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_POWER_ACPI_HH

@@ -1,0 +1,49 @@
+#include "power/energy_meter.hh"
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+EnergyMeter::EnergyMeter(Engine& engine, double initialWatts)
+    : engine(engine),
+      currentWatts(initialWatts),
+      startTime(engine.now()),
+      lastSettled(engine.now())
+{
+    if (initialWatts < 0)
+        fatal("EnergyMeter power must be >= 0");
+}
+
+void
+EnergyMeter::settle()
+{
+    const Time now = engine.now();
+    joulesAccumulated += currentWatts * (now - lastSettled);
+    lastSettled = now;
+}
+
+void
+EnergyMeter::setPower(double watts)
+{
+    if (watts < 0)
+        fatal("EnergyMeter power must be >= 0, got ", watts);
+    settle();
+    currentWatts = watts;
+}
+
+double
+EnergyMeter::joules()
+{
+    settle();
+    return joulesAccumulated;
+}
+
+double
+EnergyMeter::averageWatts()
+{
+    settle();
+    const Time elapsed = lastSettled - startTime;
+    return elapsed > 0 ? joulesAccumulated / elapsed : 0.0;
+}
+
+} // namespace bighouse

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Piecewise-constant power integration: system models report a power level
+ * whenever it changes; the meter integrates watts over simulated time into
+ * joules. Used for per-server and cluster-wide energy output metrics.
+ */
+
+#ifndef BIGHOUSE_POWER_ENERGY_METER_HH
+#define BIGHOUSE_POWER_ENERGY_METER_HH
+
+#include "sim/engine.hh"
+
+namespace bighouse {
+
+/** Integrates a piecewise-constant power signal over simulated time. */
+class EnergyMeter
+{
+  public:
+    /** @param initialWatts power level from t = now. */
+    explicit EnergyMeter(Engine& engine, double initialWatts = 0.0);
+
+    /** Change the current power level (settles the integral first). */
+    void setPower(double watts);
+
+    /** Current power level. */
+    double watts() const { return currentWatts; }
+
+    /** Energy accumulated so far (settled to now). */
+    double joules();
+
+    /** Average power since construction (0 before any time passes). */
+    double averageWatts();
+
+  private:
+    void settle();
+
+    Engine& engine;
+    double currentWatts;
+    double joulesAccumulated = 0.0;
+    Time startTime;
+    Time lastSettled;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_POWER_ENERGY_METER_HH

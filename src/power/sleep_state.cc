@@ -1,0 +1,63 @@
+#include "power/sleep_state.hh"
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+SleepController::SleepController(Engine& engine, Server& server,
+                                 SleepSpec spec)
+    : engine(engine), server(server), spec(spec)
+{
+    if (spec.wakeLatency < 0)
+        fatal("SleepSpec wakeLatency must be >= 0");
+}
+
+void
+SleepController::setAwakeHandler(std::function<void()> handler)
+{
+    onAwake = std::move(handler);
+}
+
+void
+SleepController::requestSleep()
+{
+    BH_ASSERT(current == State::Active, "requestSleep while not Active");
+    current = State::Sleeping;
+    sleepStarted = engine.now();
+    server.setSpeed(0.0);
+}
+
+void
+SleepController::requestWake()
+{
+    if (current == State::Waking)
+        return;
+    if (current == State::Active)
+        fatal("requestWake on an already-active server");
+    // Close the sleep interval; the wake transition is not "idle" time.
+    sleepIntegral += engine.now() - sleepStarted;
+    ++naps;
+    current = State::Waking;
+    engine.scheduleAfter(spec.wakeLatency, [this] { finishWake(); });
+}
+
+void
+SleepController::finishWake()
+{
+    BH_ASSERT(current == State::Waking, "finishWake while not Waking");
+    current = State::Active;
+    server.setSpeed(1.0);
+    if (onAwake)
+        onAwake();
+}
+
+Time
+SleepController::sleepSeconds()
+{
+    Time total = sleepIntegral;
+    if (current == State::Sleeping)
+        total += engine.now() - sleepStarted;
+    return total;
+}
+
+} // namespace bighouse

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deep-sleep (PowerNap-style) state control over a Server.
+ *
+ * "a scheduling mechanism that seeks to coalesce idle periods to enable
+ * the use of idle low-power modes (e.g., PowerNap) in many-core servers"
+ * — the controller pauses the server (speed 0, work conserved) while
+ * asleep, charges a wake transition latency before service resumes, and
+ * integrates time spent asleep for the idleness metrics of Fig. 6.
+ */
+
+#ifndef BIGHOUSE_POWER_SLEEP_STATE_HH
+#define BIGHOUSE_POWER_SLEEP_STATE_HH
+
+#include <functional>
+
+#include "queueing/server.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+
+/** Transition characteristics of the sleep state. */
+struct SleepSpec
+{
+    /// Delay from wake request until service resumes (PowerNap ~ 1 ms;
+    /// the entry latency is folded in, as in the PowerNap model).
+    Time wakeLatency = 1.0 * kMilliSecond;
+};
+
+/** Active / Sleeping / Waking state machine over one Server. */
+class SleepController
+{
+  public:
+    enum class State { Active, Sleeping, Waking };
+
+    SleepController(Engine& engine, Server& server, SleepSpec spec);
+
+    /**
+     * Enter deep sleep now: all cores pause with work conserved.
+     * @pre state() == Active
+     */
+    void requestSleep();
+
+    /**
+     * Begin waking: after wakeLatency the server resumes at full speed
+     * and `onAwake` (if set) fires. Redundant requests while Waking are
+     * ignored; fatal() when Active.
+     */
+    void requestWake();
+
+    State state() const { return current; }
+    bool sleeping() const { return current == State::Sleeping; }
+
+    /** Called right after the server resumes execution. */
+    void setAwakeHandler(std::function<void()> handler);
+
+    /** Total time spent in the Sleeping state (settled to now). */
+    Time sleepSeconds();
+
+    /** Number of completed sleep episodes. */
+    std::uint64_t napCount() const { return naps; }
+
+  private:
+    void finishWake();
+
+    Engine& engine;
+    Server& server;
+    SleepSpec spec;
+    State current = State::Active;
+    std::function<void()> onAwake;
+    Time sleepStarted = 0.0;
+    Time sleepIntegral = 0.0;
+    std::uint64_t naps = 0;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_POWER_SLEEP_STATE_HH

@@ -1,0 +1,82 @@
+#include "queueing/modulated_source.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+RateEnvelope
+diurnalEnvelope(double amplitude, Time period, Time phase)
+{
+    if (amplitude < 0.0 || amplitude >= 1.0)
+        fatal("diurnal amplitude must be in [0,1), got ", amplitude);
+    if (period <= 0.0)
+        fatal("diurnal period must be > 0");
+    return [amplitude, period, phase](Time t) {
+        return 1.0
+               + amplitude
+                     * std::sin(2.0 * M_PI * (t - phase) / period);
+    };
+}
+
+ModulatedSource::ModulatedSource(Engine& engine, TaskAcceptor& target,
+                                 DistPtr interarrival, DistPtr service,
+                                 RateEnvelope envelope, Rng rng,
+                                 std::uint32_t sourceId)
+    : engine(engine),
+      target(target),
+      interarrival(std::move(interarrival)),
+      service(std::move(service)),
+      envelope(std::move(envelope)),
+      rng(rng),
+      idBase(static_cast<std::uint64_t>(sourceId) << 40)
+{
+    if (!this->interarrival || !this->service)
+        fatal("ModulatedSource needs both distributions");
+    if (!this->envelope)
+        fatal("ModulatedSource needs a rate envelope");
+}
+
+void
+ModulatedSource::start()
+{
+    BH_ASSERT(!running, "ModulatedSource started twice");
+    running = true;
+    scheduleNext();
+}
+
+void
+ModulatedSource::stop()
+{
+    if (!running)
+        return;
+    running = false;
+    engine.cancel(pendingEvent);
+}
+
+void
+ModulatedSource::scheduleNext()
+{
+    const double rate = envelope(engine.now());
+    if (rate <= 0.0)
+        fatal("rate envelope returned non-positive value ", rate, " at t=",
+              engine.now());
+    const double gap = interarrival->sample(rng) / rate;
+    pendingEvent = engine.scheduleAfter(gap, [this] { emit(); });
+}
+
+void
+ModulatedSource::emit()
+{
+    Task task;
+    task.id = idBase | ++count;
+    task.arrivalTime = engine.now();
+    task.size = service->sample(rng);
+    task.remaining = task.size;
+    if (running)
+        scheduleNext();
+    target.accept(task);
+}
+
+} // namespace bighouse

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Non-stationary arrivals: a source whose rate follows a deterministic
+ * envelope — the diurnal load curves data-center provisioning studies
+ * (power capping included) revolve around. The gap distribution supplies
+ * the process *shape* (burstiness); the envelope modulates its rate.
+ *
+ * Note that statistically-terminated SQS assumes steady state; use a
+ * ModulatedSource with fixed-horizon runs (Engine::runUntil) or treat the
+ * envelope period as the unit of a batch-means analysis.
+ */
+
+#ifndef BIGHOUSE_QUEUEING_MODULATED_SOURCE_HH
+#define BIGHOUSE_QUEUEING_MODULATED_SOURCE_HH
+
+#include <functional>
+
+#include "queueing/source.hh"
+
+namespace bighouse {
+
+/** Multiplicative rate envelope: rate(t) = baseRate * envelope(t). */
+using RateEnvelope = std::function<double(Time)>;
+
+/** Sinusoidal day/night envelope oscillating in [1-amplitude, 1+amplitude]. */
+RateEnvelope diurnalEnvelope(double amplitude, Time period,
+                             Time phase = 0.0);
+
+/**
+ * Open-loop source with a time-varying arrival rate. Gaps are drawn from
+ * the inter-arrival distribution and divided by the envelope value at the
+ * moment of the draw — exact for piecewise-slowly-varying envelopes
+ * (envelope period >> mean gap), which covers diurnal modeling.
+ */
+class ModulatedSource
+{
+  public:
+    ModulatedSource(Engine& engine, TaskAcceptor& target,
+                    DistPtr interarrival, DistPtr service,
+                    RateEnvelope envelope, Rng rng,
+                    std::uint32_t sourceId = 0);
+
+    void start();
+    void stop();
+
+    std::uint64_t generated() const { return count; }
+
+  private:
+    void scheduleNext();
+    void emit();
+
+    Engine& engine;
+    TaskAcceptor& target;
+    DistPtr interarrival;
+    DistPtr service;
+    RateEnvelope envelope;
+    Rng rng;
+    std::uint64_t count = 0;
+    std::uint64_t idBase;
+    EventId pendingEvent{};
+    bool running = false;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_QUEUEING_MODULATED_SOURCE_HH

@@ -1,0 +1,130 @@
+#include "queueing/priority_server.hh"
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+PriorityServer::PriorityServer(Engine& engine, unsigned coreCount,
+                               unsigned classes)
+    : engine(engine), cores(coreCount), queues(classes)
+{
+    if (coreCount == 0)
+        fatal("PriorityServer needs at least one core");
+    if (classes == 0)
+        fatal("PriorityServer needs at least one priority class");
+    classify = [](const Task&) { return 0u; };
+}
+
+void
+PriorityServer::setClassifier(Classifier classifier)
+{
+    if (!classifier)
+        fatal("PriorityServer classifier must be callable");
+    classify = std::move(classifier);
+}
+
+void
+PriorityServer::setCompletionHandler(ClassCompletionHandler handler)
+{
+    onComplete = std::move(handler);
+}
+
+std::size_t
+PriorityServer::queueLength(unsigned priorityClass) const
+{
+    BH_ASSERT(priorityClass < queues.size(), "class out of range");
+    return queues[priorityClass].size();
+}
+
+std::size_t
+PriorityServer::totalQueued() const
+{
+    std::size_t total = 0;
+    for (const auto& queue : queues)
+        total += queue.size();
+    return total;
+}
+
+std::size_t
+PriorityServer::firstNonEmpty() const
+{
+    for (std::size_t c = 0; c < queues.size(); ++c) {
+        if (!queues[c].empty())
+            return c;
+    }
+    return queues.size();
+}
+
+void
+PriorityServer::accept(Task task)
+{
+    const unsigned taskClass = classify(task);
+    if (taskClass >= queues.size())
+        fatal("classifier returned class ", taskClass, " but only ",
+              queues.size(), " classes exist");
+    if (busyCount < cores.size()) {
+        BH_ASSERT(totalQueued() == 0, "free core with queued tasks");
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+            if (!cores[i].busy) {
+                beginService(i, std::move(task), taskClass);
+                return;
+            }
+        }
+        panic("busyCount claims a free core but none found");
+    }
+    queues[taskClass].push_back(std::move(task));
+}
+
+void
+PriorityServer::beginService(std::size_t coreIndex, Task task,
+                             unsigned taskClass)
+{
+    Core& core = cores[coreIndex];
+    BH_ASSERT(!core.busy, "beginService on a busy core");
+    core.busy = true;
+    core.taskClass = taskClass;
+    core.task = std::move(task);
+    if (core.task.startTime == kTimeNever)
+        core.task.startTime = engine.now();
+    ++busyCount;
+    engine.scheduleAfter(core.task.remaining,
+                         [this, coreIndex] { finish(coreIndex); });
+}
+
+void
+PriorityServer::finish(std::size_t coreIndex)
+{
+    Core& core = cores[coreIndex];
+    BH_ASSERT(core.busy, "completion on an idle core");
+    core.busy = false;
+    --busyCount;
+    ++completed;
+    Task done = std::move(core.task);
+    done.remaining = 0.0;
+    done.finishTime = engine.now();
+    const unsigned doneClass = core.taskClass;
+    dispatch();
+    if (onComplete)
+        onComplete(done, doneClass);
+}
+
+void
+PriorityServer::dispatch()
+{
+    while (busyCount < cores.size()) {
+        const std::size_t nextClass = firstNonEmpty();
+        if (nextClass == queues.size())
+            return;
+        Task task = std::move(queues[nextClass].front());
+        queues[nextClass].pop_front();
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+            if (!cores[i].busy) {
+                beginService(i, std::move(task),
+                             static_cast<unsigned>(nextClass));
+                break;
+            }
+        }
+    }
+}
+
+} // namespace bighouse

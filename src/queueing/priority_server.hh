@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Non-preemptive priority server: tasks carry a priority class; free
+ * cores always pick the highest-priority (then oldest) queued task, but
+ * running tasks are never preempted.
+ *
+ * Data centers routinely mix latency-sensitive production traffic with
+ * throughput-oriented batch work on the same machines; class-based
+ * queueing is the standard model for that study, and the M/M/1
+ * non-preemptive-priority closed form gives the tests a sharp oracle.
+ */
+
+#ifndef BIGHOUSE_QUEUEING_PRIORITY_SERVER_HH
+#define BIGHOUSE_QUEUEING_PRIORITY_SERVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "queueing/server.hh"
+#include "queueing/task.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+
+/**
+ * k-core FCFS-within-class, priority-across-class server.
+ * Class 0 is the highest priority.
+ */
+class PriorityServer : public TaskAcceptor
+{
+  public:
+    /**
+     * @param engine simulation to live in
+     * @param cores identical cores
+     * @param classes number of priority classes (>= 1)
+     */
+    PriorityServer(Engine& engine, unsigned cores, unsigned classes);
+
+    /**
+     * Deliver a task. The task's class is set beforehand via
+     * setClassifier() (default: everything is class 0).
+     */
+    void accept(Task task) override;
+
+    /** Maps a task to its priority class (must return < classes). */
+    using Classifier = std::function<unsigned(const Task&)>;
+    void setClassifier(Classifier classifier);
+
+    /** Completion callback; receives the task and its class. */
+    using ClassCompletionHandler =
+        std::function<void(const Task&, unsigned priorityClass)>;
+    void setCompletionHandler(ClassCompletionHandler handler);
+
+    /** Queued tasks of one class (excludes in-service). */
+    std::size_t queueLength(unsigned priorityClass) const;
+
+    /** All queued tasks. */
+    std::size_t totalQueued() const;
+
+    std::size_t busyCores() const { return busyCount; }
+    unsigned coreCount() const { return static_cast<unsigned>(cores.size()); }
+    std::uint64_t completedCount() const { return completed; }
+
+  private:
+    struct Core
+    {
+        bool busy = false;
+        Task task;
+        unsigned taskClass = 0;
+    };
+
+    /** Highest-priority non-empty queue index; classes.size() if none. */
+    std::size_t firstNonEmpty() const;
+
+    void beginService(std::size_t coreIndex, Task task,
+                      unsigned taskClass);
+    void finish(std::size_t coreIndex);
+    void dispatch();
+
+    Engine& engine;
+    std::vector<Core> cores;
+    std::vector<std::deque<Task>> queues;  ///< one per class
+    Classifier classify;
+    ClassCompletionHandler onComplete;
+    std::size_t busyCount = 0;
+    std::uint64_t completed = 0;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_QUEUEING_PRIORITY_SERVER_HH

@@ -1,0 +1,100 @@
+#include "queueing/ps_server.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+PsServer::PsServer(Engine& engine, unsigned cores)
+    : engine(engine), cores(cores), lastSettled(engine.now())
+{
+    if (cores == 0)
+        fatal("PsServer needs at least one core");
+}
+
+void
+PsServer::setCompletionHandler(Server::CompletionHandler handler)
+{
+    onComplete = std::move(handler);
+}
+
+double
+PsServer::ratePerTask() const
+{
+    if (heap.empty())
+        return 0.0;
+    const double n = static_cast<double>(heap.size());
+    return std::min(speedFactor,
+                    static_cast<double>(cores) * speedFactor / n);
+}
+
+void
+PsServer::settle()
+{
+    const Time now = engine.now();
+    virtualWork += (now - lastSettled) * ratePerTask();
+    lastSettled = now;
+}
+
+void
+PsServer::reschedule()
+{
+    if (completionArmed) {
+        engine.cancel(completion);
+        completionArmed = false;
+    }
+    if (heap.empty())
+        return;
+    const double rate = ratePerTask();
+    if (rate <= 0.0)
+        return;  // paused; re-armed by the next setSpeed
+    const double eta = (heap.top().threshold - virtualWork) / rate;
+    completion =
+        engine.scheduleAfter(std::max(0.0, eta), [this] { finishFront(); });
+    completionArmed = true;
+}
+
+void
+PsServer::accept(Task task)
+{
+    settle();
+    ++arrived;
+    if (task.startTime == kTimeNever)
+        task.startTime = engine.now();  // PS serves immediately
+    Entry entry{virtualWork + task.remaining, std::move(task)};
+    heap.push(std::move(entry));
+    reschedule();
+}
+
+void
+PsServer::finishFront()
+{
+    completionArmed = false;
+    settle();
+    BH_ASSERT(!heap.empty(), "PS completion with no resident tasks");
+    Task done = heap.top().task;
+    heap.pop();
+    ++completed;
+    done.remaining = 0.0;
+    done.finishTime = engine.now();
+    // The population shrank, so the survivors speed up from this instant;
+    // their thresholds are unchanged (equal sharing).
+    reschedule();
+    if (onComplete)
+        onComplete(done);
+}
+
+void
+PsServer::setSpeed(double newSpeed)
+{
+    if (newSpeed < 0)
+        fatal("PsServer speed must be >= 0, got ", newSpeed);
+    if (newSpeed == speedFactor)
+        return;
+    settle();  // progress so far at the old speed
+    speedFactor = newSpeed;
+    reschedule();
+}
+
+} // namespace bighouse

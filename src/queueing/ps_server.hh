@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Processor-sharing server: all resident tasks progress simultaneously,
+ * each at rate min(speed, cores * speed / n) for n resident tasks —
+ * "limited processor sharing", the natural model of a multi-threaded
+ * server that time-slices requests rather than queuing them (the
+ * interactive services BigHouse targets often behave closer to PS than
+ * FCFS).
+ *
+ * Implementation uses the classic virtual-work trick: a clock W advances
+ * at the common per-task rate, and a task admitted when the clock read W0
+ * completes when W reaches W0 + size. Because every resident task
+ * progresses at the same rate, completion order is fixed at admission and
+ * a min-heap of completion thresholds suffices — O(log n) per event, no
+ * per-task re-timing on arrivals/departures/speed changes.
+ */
+
+#ifndef BIGHOUSE_QUEUEING_PS_SERVER_HH
+#define BIGHOUSE_QUEUEING_PS_SERVER_HH
+
+#include <queue>
+#include <vector>
+
+#include "queueing/server.hh"
+#include "queueing/task.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+
+/** Egalitarian (limited) processor-sharing station. */
+class PsServer : public TaskAcceptor
+{
+  public:
+    PsServer(Engine& engine, unsigned cores);
+
+    /** Admit a task; service begins immediately (PS never queues). */
+    void accept(Task task) override;
+
+    /** Completion callback. */
+    void setCompletionHandler(Server::CompletionHandler handler);
+
+    /** Service-speed multiplier (DVFS/sleep hook); 0 pauses. */
+    void setSpeed(double newSpeed);
+
+    double speed() const { return speedFactor; }
+
+    /** Resident (in-service) tasks. */
+    std::size_t resident() const { return heap.size(); }
+
+    unsigned coreCount() const { return cores; }
+
+    std::uint64_t arrivedCount() const { return arrived; }
+    std::uint64_t completedCount() const { return completed; }
+
+  private:
+    struct Entry
+    {
+        double threshold;  ///< virtual-work value at which the task ends
+        Task task;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            return a.threshold > b.threshold;
+        }
+    };
+
+    /** Advance the virtual clock to now at the current rate. */
+    void settle();
+
+    /** Common per-task progress rate for the current population. */
+    double ratePerTask() const;
+
+    /** (Re)schedule the completion of the minimum-threshold task. */
+    void reschedule();
+
+    /** Completion event body. */
+    void finishFront();
+
+    Engine& engine;
+    unsigned cores;
+    double speedFactor = 1.0;
+    Server::CompletionHandler onComplete;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    double virtualWork = 0.0;
+    Time lastSettled = 0.0;
+    EventId completion{};
+    bool completionArmed = false;
+    std::uint64_t arrived = 0;
+    std::uint64_t completed = 0;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_QUEUEING_PS_SERVER_HH

@@ -1,0 +1,179 @@
+#include "queueing/server.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+Server::Server(Engine& engine, unsigned coreCount)
+    : engine(engine), cores(coreCount), lastAccounting(engine.now())
+{
+    if (coreCount == 0)
+        fatal("Server needs at least one core");
+}
+
+void
+Server::setCompletionHandler(CompletionHandler handler)
+{
+    onComplete = std::move(handler);
+}
+
+void
+Server::setStartHandler(StartHandler handler)
+{
+    onStart = std::move(handler);
+}
+
+void
+Server::settleAccounting()
+{
+    const Time now = engine.now();
+    const Time dt = now - lastAccounting;
+    if (dt > 0) {
+        occupiedIntegral += static_cast<double>(busyCount) * dt;
+        if (busyCount == 0)
+            idleIntegral += dt;
+        lastAccounting = now;
+    }
+}
+
+double
+Server::occupiedCoreSeconds()
+{
+    settleAccounting();
+    return occupiedIntegral;
+}
+
+double
+Server::idleSeconds()
+{
+    settleAccounting();
+    return idleIntegral;
+}
+
+Time
+Server::oldestQueuedArrival() const
+{
+    return queue.empty() ? kTimeNever : queue.front().arrivalTime;
+}
+
+void
+Server::accept(Task task)
+{
+    settleAccounting();
+    ++arrived;
+    // Invariant: a non-empty queue implies no free core.
+    if (busyCount < cores.size()) {
+        BH_ASSERT(queue.empty(), "free core with a non-empty queue");
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+            if (!cores[i].busy) {
+                beginService(i, std::move(task));
+                return;
+            }
+        }
+        panic("busyCount claims a free core but none found");
+    }
+    queue.push_back(std::move(task));
+}
+
+void
+Server::beginService(std::size_t coreIndex, Task task)
+{
+    Core& core = cores[coreIndex];
+    BH_ASSERT(!core.busy, "beginService on a busy core");
+    core.busy = true;
+    core.task = std::move(task);
+    if (core.task.startTime == kTimeNever)
+        core.task.startTime = engine.now();
+    core.lastUpdate = engine.now();
+    ++busyCount;
+    scheduleCompletion(coreIndex);
+    if (onStart)
+        onStart(core.task);
+}
+
+void
+Server::scheduleCompletion(std::size_t coreIndex)
+{
+    Core& core = cores[coreIndex];
+    if (speedFactor <= 0.0) {
+        core.hasCompletionEvent = false;  // paused; resumes on setSpeed
+        return;
+    }
+    const Time eta = core.task.remaining / speedFactor;
+    core.completion =
+        engine.scheduleAfter(eta, [this, coreIndex] { finish(coreIndex); });
+    core.hasCompletionEvent = true;
+}
+
+void
+Server::settleProgress(Core& core)
+{
+    if (!core.busy)
+        return;
+    const Time now = engine.now();
+    core.task.remaining = std::max(
+        0.0, core.task.remaining - (now - core.lastUpdate) * speedFactor);
+    core.lastUpdate = now;
+}
+
+void
+Server::setSpeed(double newSpeed)
+{
+    if (newSpeed < 0)
+        fatal("Server speed must be >= 0, got ", newSpeed);
+    if (newSpeed == speedFactor)
+        return;
+    settleAccounting();
+    // Settle all in-flight work at the old speed, drop stale completions.
+    for (auto& core : cores) {
+        if (!core.busy)
+            continue;
+        settleProgress(core);
+        if (core.hasCompletionEvent) {
+            engine.cancel(core.completion);
+            core.hasCompletionEvent = false;
+        }
+    }
+    speedFactor = newSpeed;
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        if (cores[i].busy)
+            scheduleCompletion(i);
+    }
+}
+
+void
+Server::finish(std::size_t coreIndex)
+{
+    Core& core = cores[coreIndex];
+    BH_ASSERT(core.busy, "completion event on an idle core");
+    settleAccounting();
+    core.busy = false;
+    core.hasCompletionEvent = false;
+    --busyCount;
+    ++completed;
+    Task done = std::move(core.task);
+    done.remaining = 0.0;
+    done.finishTime = engine.now();
+    dispatch();
+    if (onComplete)
+        onComplete(done);
+}
+
+void
+Server::dispatch()
+{
+    while (!queue.empty() && busyCount < cores.size()) {
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+            if (!cores[i].busy) {
+                Task next = std::move(queue.front());
+                queue.pop_front();
+                beginService(i, std::move(next));
+                break;
+            }
+        }
+    }
+}
+
+} // namespace bighouse

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The k-core server model: a shared FCFS queue feeding `cores` identical
+ * execution contexts (a G/G/k station), with a *time-varying service
+ * speed*.
+ *
+ * Speed modulation is the hook every BigHouse system model uses: DVFS
+ * power capping slows the server (Eq. 6), sleep states pause it entirely
+ * (speed 0, work conserved). Each running task tracks remaining work; a
+ * speed change folds elapsed progress into `remaining` and reschedules the
+ * completion event — no per-tick simulation needed.
+ */
+
+#ifndef BIGHOUSE_QUEUEING_SERVER_HH
+#define BIGHOUSE_QUEUEING_SERVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "queueing/task.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+
+/** Multi-core FCFS server with modulated service rate. */
+class Server : public TaskAcceptor
+{
+  public:
+    /** Called on every task completion (task has all timestamps set). */
+    using CompletionHandler = std::function<void(const Task&)>;
+    /** Called when a task is first placed on a core. */
+    using StartHandler = std::function<void(const Task&)>;
+
+    Server(Engine& engine, unsigned cores);
+
+    /** Deliver a task: dispatched immediately if a core is free. */
+    void accept(Task task) override;
+
+    /** Install the completion callback (metrics/sink wiring). */
+    void setCompletionHandler(CompletionHandler handler);
+
+    /** Install the service-start callback (scheduling policies). */
+    void setStartHandler(StartHandler handler);
+
+    /**
+     * Change the service speed multiplier.
+     *  - 1.0 is nominal; 0.5 means tasks take twice as long.
+     *  - 0.0 pauses all cores with work conserved (deep sleep).
+     * Progress of running tasks is settled at the old speed first.
+     */
+    void setSpeed(double newSpeed);
+
+    /** Current speed multiplier. */
+    double speed() const { return speedFactor; }
+
+    unsigned coreCount() const { return static_cast<unsigned>(cores.size()); }
+
+    /** Cores currently holding a task (even if paused). */
+    std::size_t busyCores() const { return busyCount; }
+
+    /** Tasks waiting in the queue (excludes tasks on cores). */
+    std::size_t queueLength() const { return queue.size(); }
+
+    /** Tasks in the system: queued + on cores. */
+    std::size_t outstanding() const { return queue.size() + busyCount; }
+
+    /** Arrival time of the oldest queued task; kTimeNever when empty. */
+    Time oldestQueuedArrival() const;
+
+    /// @name Time-integrated accounting (advanced lazily to now()).
+    /// @{
+    /** Integral of busy-core count over time (core-seconds occupied). */
+    double occupiedCoreSeconds();
+    /** Total time with zero occupied cores. */
+    double idleSeconds();
+    /// @}
+
+    std::uint64_t arrivedCount() const { return arrived; }
+    std::uint64_t completedCount() const { return completed; }
+
+  private:
+    struct Core
+    {
+        bool busy = false;
+        bool hasCompletionEvent = false;
+        Task task;
+        Time lastUpdate = 0.0;
+        EventId completion{};
+    };
+
+    /** Advance the busy/idle time integrals to now. */
+    void settleAccounting();
+
+    /** Fold progress since lastUpdate (at the current speed) into task. */
+    void settleProgress(Core& core);
+
+    /** Put a task on a free core and schedule its completion. */
+    void beginService(std::size_t coreIndex, Task task);
+
+    /** Schedule (or skip, when paused) the completion event. */
+    void scheduleCompletion(std::size_t coreIndex);
+
+    /** Completion event body. */
+    void finish(std::size_t coreIndex);
+
+    /** Move queued tasks onto free cores. */
+    void dispatch();
+
+    Engine& engine;
+    std::vector<Core> cores;
+    std::deque<Task> queue;
+    CompletionHandler onComplete;
+    StartHandler onStart;
+    double speedFactor = 1.0;
+    std::size_t busyCount = 0;
+    std::uint64_t arrived = 0;
+    std::uint64_t completed = 0;
+    Time lastAccounting = 0.0;
+    double occupiedIntegral = 0.0;
+    double idleIntegral = 0.0;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_QUEUEING_SERVER_HH

@@ -1,0 +1,92 @@
+#include "queueing/source.hh"
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+Source::Source(Engine& engine, TaskAcceptor& target, DistPtr interarrival,
+               DistPtr service, Rng rng, std::uint32_t sourceId)
+    : engine(engine),
+      target(target),
+      interarrival(std::move(interarrival)),
+      service(std::move(service)),
+      rng(rng),
+      idBase(static_cast<std::uint64_t>(sourceId) << 40)
+{
+    if (!this->interarrival || !this->service)
+        fatal("Source needs both an inter-arrival and a service "
+              "distribution");
+}
+
+void
+Source::start()
+{
+    BH_ASSERT(!running, "Source started twice");
+    running = true;
+    scheduleNext();
+}
+
+void
+Source::stop()
+{
+    if (!running)
+        return;
+    running = false;
+    engine.cancel(pending);
+}
+
+void
+Source::setLoadFactor(double factor)
+{
+    if (factor <= 0)
+        fatal("Source load factor must be > 0, got ", factor);
+    loadFactor = factor;
+}
+
+void
+Source::scheduleNext()
+{
+    const double gap = interarrival->sample(rng) / loadFactor;
+    pending = engine.scheduleAfter(gap, [this] { emit(); });
+}
+
+void
+Source::emit()
+{
+    Task task;
+    task.id = idBase | ++count;
+    task.arrivalTime = engine.now();
+    task.size = service->sample(rng);
+    task.remaining = task.size;
+    // Schedule the next arrival before delivery so a target that inspects
+    // the engine sees a consistent pending-arrival state.
+    if (running)
+        scheduleNext();
+    target.accept(task);
+}
+
+TraceSource::TraceSource(Engine& engine, TaskAcceptor& target,
+                         std::vector<Record> trace, std::uint32_t sourceId)
+    : engine(engine),
+      target(target),
+      trace(std::move(trace)),
+      idBase(static_cast<std::uint64_t>(sourceId) << 40)
+{
+}
+
+void
+TraceSource::start()
+{
+    for (const Record& record : trace) {
+        engine.schedule(record.arrivalTime, [this, record] {
+            Task task;
+            task.id = idBase | ++emitted;
+            task.arrivalTime = engine.now();
+            task.size = record.size;
+            task.remaining = record.size;
+            target.accept(task);
+        });
+    }
+}
+
+} // namespace bighouse

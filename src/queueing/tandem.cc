@@ -1,0 +1,67 @@
+#include "queueing/tandem.hh"
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+TandemNetwork::TandemNetwork(Engine& engine,
+                             std::vector<TandemStageSpec> specs, Rng rng)
+    : engine(engine), rng(rng)
+{
+    if (specs.empty())
+        fatal("TandemNetwork needs at least one stage");
+    stages.reserve(specs.size());
+    services.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (!specs[i].service)
+            fatal("tandem stage ", i, " is missing a service distribution");
+        stages.push_back(
+            std::make_unique<Server>(engine, specs[i].cores));
+        services.push_back(std::move(specs[i].service));
+        stages.back()->setCompletionHandler(
+            [this, i](const Task& task) { advance(i, task); });
+    }
+}
+
+Server&
+TandemNetwork::stage(std::size_t index)
+{
+    BH_ASSERT(index < stages.size(), "stage index out of range");
+    return *stages[index];
+}
+
+void
+TandemNetwork::setCompletionHandler(Server::CompletionHandler handler)
+{
+    onComplete = std::move(handler);
+}
+
+void
+TandemNetwork::accept(Task task)
+{
+    task.size = services[0]->sample(rng);
+    task.remaining = task.size;
+    // Waiting/start markers are per-stage; the end-to-end figure of merit
+    // is responseTime(), anchored at the original arrival.
+    task.startTime = kTimeNever;
+    stages[0]->accept(std::move(task));
+}
+
+void
+TandemNetwork::advance(std::size_t fromStage, Task task)
+{
+    if (fromStage + 1 == stages.size()) {
+        ++completed;
+        if (onComplete)
+            onComplete(task);
+        return;
+    }
+    const std::size_t next = fromStage + 1;
+    task.size = services[next]->sample(rng);
+    task.remaining = task.size;
+    task.startTime = kTimeNever;
+    task.finishTime = kTimeNever;
+    stages[next]->accept(std::move(task));
+}
+
+} // namespace bighouse

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tandem (multi-tier) queueing networks: requests flow through a chain of
+ * server stages, drawing a fresh service demand at each stage — the
+ * front-end / application / database structure of the "three-tier web
+ * service" the paper names as the canonical extension target (Sec. 2.2).
+ *
+ * Each stage is a k-core FCFS Server; a completion at stage i forwards
+ * the task to stage i+1 with a new demand drawn from that stage's service
+ * distribution. The end-to-end response time (arrival at stage 0 to
+ * completion at the last stage) is reported through the network's
+ * completion handler.
+ */
+
+#ifndef BIGHOUSE_QUEUEING_TANDEM_HH
+#define BIGHOUSE_QUEUEING_TANDEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/random.hh"
+#include "distribution/distribution.hh"
+#include "queueing/server.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+
+/** Shape of one tier. */
+struct TandemStageSpec
+{
+    unsigned cores = 1;
+    DistPtr service;  ///< per-visit demand at this tier
+};
+
+/** A chain of server tiers visited in order. */
+class TandemNetwork : public TaskAcceptor
+{
+  public:
+    /**
+     * @param engine simulation to build in
+     * @param stages tier specs, front first (>= 1 stage)
+     * @param rng stream for the per-stage demand redraws
+     */
+    TandemNetwork(Engine& engine, std::vector<TandemStageSpec> stages,
+                  Rng rng);
+
+    /**
+     * Accept a request at the front tier. The task's own size is
+     * replaced by a stage-0 draw; arrivalTime is preserved so the final
+     * responseTime() spans the whole chain.
+     */
+    void accept(Task task) override;
+
+    /** Fires when a task leaves the last tier. */
+    void setCompletionHandler(Server::CompletionHandler handler);
+
+    std::size_t stageCount() const { return stages.size(); }
+
+    Server& stage(std::size_t index);
+
+    /** Tasks that have traversed the entire chain. */
+    std::uint64_t completedCount() const { return completed; }
+
+  private:
+    /** Forward a stage-i completion to stage i+1 (or finish). */
+    void advance(std::size_t fromStage, Task task);
+
+    Engine& engine;
+    std::vector<std::unique_ptr<Server>> stages;
+    std::vector<DistPtr> services;
+    Rng rng;
+    Server::CompletionHandler onComplete;
+    std::uint64_t completed = 0;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_QUEUEING_TANDEM_HH

@@ -1,0 +1,62 @@
+#include "sim/engine.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+EventId
+Engine::schedule(Time at, EventCallback callback)
+{
+    BH_ASSERT(at >= currentTime, "scheduling into the past: at=", at,
+              " now=", currentTime);
+    return events.push(at, std::move(callback));
+}
+
+void
+Engine::dispatchOne()
+{
+    auto [time, callback] = events.pop();
+    BH_ASSERT(time >= currentTime, "event queue returned stale time");
+    currentTime = time;
+    ++executedCount;
+    callback();
+}
+
+std::uint64_t
+Engine::run(std::uint64_t maxEvents)
+{
+    stopRequested = false;
+    std::uint64_t executed = 0;
+    while (!events.empty()) {
+        dispatchOne();
+        ++executed;
+        if (stopRequested || (maxEvents != 0 && executed >= maxEvents))
+            break;
+    }
+    stopRequested = false;
+    return executed;
+}
+
+std::uint64_t
+Engine::runUntil(Time horizon)
+{
+    stopRequested = false;
+    std::uint64_t executed = 0;
+    while (!events.empty()) {
+        const Time next = events.nextTime();
+        if (next == kTimeNever || next > horizon)
+            break;
+        dispatchOne();
+        ++executed;
+        if (stopRequested)
+            break;
+    }
+    stopRequested = false;
+    if (currentTime < horizon)
+        currentTime = horizon;
+    return executed;
+}
+
+} // namespace bighouse

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The discrete-event simulation engine: a simulated clock over an
+ * EventQueue. One Engine instance is one BigHouse simulation instance
+ * (the master's, or one per parallel slave).
+ *
+ * "The core functionality of the BigHouse discrete-event simulator does
+ * not differ substantially from other tools for simulating queuing
+ * networks" — what is BigHouse-specific (sampling, convergence) lives in
+ * src/stats and src/core; the engine is a plain, fast DES kernel.
+ */
+
+#ifndef BIGHOUSE_SIM_ENGINE_HH
+#define BIGHOUSE_SIM_ENGINE_HH
+
+#include <cstdint>
+
+#include "sim/event_queue.hh"
+
+namespace bighouse {
+
+/** Discrete-event simulation kernel. */
+class Engine
+{
+  public:
+    /** Current simulated time. */
+    Time now() const { return currentTime; }
+
+    /** Schedule a callback at an absolute simulated time (>= now). */
+    EventId schedule(Time at, EventCallback callback);
+
+    /** Schedule a callback `delay` seconds from now. */
+    EventId
+    scheduleAfter(Time delay, EventCallback callback)
+    {
+        return schedule(currentTime + delay, std::move(callback));
+    }
+
+    /**
+     * Cancel a pending event.
+     * @return false when it already fired or was already cancelled.
+     */
+    bool cancel(EventId id) { return events.cancel(id); }
+
+    /**
+     * Execute events in time order until the queue drains, stop() is
+     * called, or `maxEvents` have executed in this call (0 = unlimited).
+     * @return number of events executed by this call.
+     */
+    std::uint64_t run(std::uint64_t maxEvents = 0);
+
+    /** Execute events with time <= horizon (also honors stop()). */
+    std::uint64_t runUntil(Time horizon);
+
+    /**
+     * Request that run() return after the currently executing event.
+     * Callable from inside event callbacks (how convergence halts the
+     * simulation).
+     */
+    void stop() { stopRequested = true; }
+
+    /** True when a stop was requested and not yet consumed by run(). */
+    bool stopping() const { return stopRequested; }
+
+    /** Total events executed over the engine's lifetime. */
+    std::uint64_t eventsExecuted() const { return executedCount; }
+
+    /** Live pending events. */
+    std::size_t pendingEvents() const { return events.size(); }
+
+  private:
+    /** Pop and run one event; advances the clock. */
+    void dispatchOne();
+
+    EventQueue events;
+    Time currentTime = 0.0;
+    std::uint64_t executedCount = 0;
+    bool stopRequested = false;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_SIM_ENGINE_HH

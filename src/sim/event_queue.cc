@@ -1,0 +1,94 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+EventId
+EventQueue::push(Time time, EventCallback callback)
+{
+    BH_ASSERT(time >= 0.0, "event scheduled at negative time");
+    const std::uint64_t seq = nextSeq++;
+    heap.push_back(Entry{time, seq, std::move(callback)});
+    live.insert(seq);
+    siftUp(heap.size() - 1);
+    return EventId{seq};
+}
+
+void
+EventQueue::siftUp(std::size_t index)
+{
+    while (index > 0) {
+        const std::size_t parent = (index - 1) / 2;
+        if (!later(heap[parent], heap[index]))
+            break;
+        std::swap(heap[parent], heap[index]);
+        index = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t index)
+{
+    const std::size_t n = heap.size();
+    while (true) {
+        const std::size_t left = 2 * index + 1;
+        const std::size_t right = left + 1;
+        std::size_t smallest = index;
+        if (left < n && later(heap[smallest], heap[left]))
+            smallest = left;
+        if (right < n && later(heap[smallest], heap[right]))
+            smallest = right;
+        if (smallest == index)
+            return;
+        std::swap(heap[index], heap[smallest]);
+        index = smallest;
+    }
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap.empty() && cancelled.count(heap.front().seq) > 0) {
+        cancelled.erase(heap.front().seq);
+        std::swap(heap.front(), heap.back());
+        heap.pop_back();
+        if (!heap.empty())
+            siftDown(0);
+    }
+}
+
+Time
+EventQueue::nextTime()
+{
+    skipCancelled();
+    return heap.empty() ? kTimeNever : heap.front().time;
+}
+
+std::pair<Time, EventCallback>
+EventQueue::pop()
+{
+    skipCancelled();
+    BH_ASSERT(!heap.empty(), "pop() on an empty event queue");
+    Entry top = std::move(heap.front());
+    std::swap(heap.front(), heap.back());
+    heap.pop_back();
+    if (!heap.empty())
+        siftDown(0);
+    live.erase(top.seq);
+    return {top.time, std::move(top.callback)};
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (!live.contains(id.seq))
+        return false;
+    live.erase(id.seq);
+    cancelled.insert(id.seq);
+    return true;
+}
+
+} // namespace bighouse

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The pending-event set of the discrete-event simulator.
+ *
+ * A hand-rolled binary min-heap ordered by (time, sequence number): events
+ * scheduled for the same instant execute in scheduling order, which makes
+ * whole simulations bit-reproducible under a fixed seed — a property the
+ * regression tests and the master/slave protocol rely on.
+ *
+ * Cancellation (needed for preempted service completions under DVFS
+ * throttling and sleep-state transitions) is lazy: a cancelled sequence
+ * number is tombstoned and skipped at pop time.
+ */
+
+#ifndef BIGHOUSE_SIM_EVENT_QUEUE_HH
+#define BIGHOUSE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "base/time.hh"
+
+namespace bighouse {
+
+/** Action executed when an event fires. */
+using EventCallback = std::function<void()>;
+
+/** Opaque handle identifying a scheduled event for cancellation. */
+struct EventId
+{
+    std::uint64_t seq = 0;
+
+    bool operator==(const EventId&) const = default;
+};
+
+/** Min-heap of time-stamped callbacks with FIFO tie-breaking. */
+class EventQueue
+{
+  public:
+    /** Insert an event; returns a handle usable with cancel(). */
+    EventId push(Time time, EventCallback callback);
+
+    /** Earliest pending (non-cancelled) event time; kTimeNever if empty. */
+    Time nextTime();
+
+    /**
+     * Remove and return the earliest pending event.
+     * @pre !empty()
+     */
+    std::pair<Time, EventCallback> pop();
+
+    /**
+     * Cancel a scheduled event.
+     * @return true when the event was pending, false when it already fired
+     *         or was cancelled before.
+     */
+    bool cancel(EventId id);
+
+    /** Number of live (non-cancelled) pending events. */
+    std::size_t size() const { return live.size(); }
+
+    /** True when no live events remain. */
+    bool empty() const { return size() == 0; }
+
+    /** Total events ever pushed (also the next sequence number). */
+    std::uint64_t pushCount() const { return nextSeq; }
+
+  private:
+    struct Entry
+    {
+        Time time;
+        std::uint64_t seq;
+        EventCallback callback;
+    };
+
+    /** Heap ordering: earlier time first, then earlier sequence. */
+    static bool
+    later(const Entry& a, const Entry& b)
+    {
+        return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+    }
+
+    void siftUp(std::size_t index);
+    void siftDown(std::size_t index);
+    /** Drop cancelled entries from the top of the heap. */
+    void skipCancelled();
+
+    std::vector<Entry> heap;
+    /// Sequence numbers currently in the heap and not cancelled.
+    std::unordered_set<std::uint64_t> live;
+    /// Tombstoned sequence numbers still physically in the heap.
+    std::unordered_set<std::uint64_t> cancelled;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_SIM_EVENT_QUEUE_HH

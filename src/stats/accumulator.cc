@@ -1,0 +1,41 @@
+#include "stats/accumulator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bighouse {
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Accumulator::cv() const
+{
+    return meanValue == 0.0 ? 0.0 : stddev() / meanValue;
+}
+
+void
+Accumulator::merge(const Accumulator& other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    // Chan et al. pairwise combination.
+    const double delta = other.meanValue - meanValue;
+    const auto na = static_cast<double>(n);
+    const auto nb = static_cast<double>(other.n);
+    const double total = na + nb;
+    meanValue += delta * nb / total;
+    m2 += other.m2 + delta * delta * na * nb / total;
+    n += other.n;
+    minValue = std::min(minValue, other.minValue);
+    maxValue = std::max(maxValue, other.maxValue);
+}
+
+} // namespace bighouse

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Streaming moment accumulation (Welford's algorithm) with parallel merge
+ * (Chan et al.), used for every output metric's mean/variance estimate and
+ * for combining per-slave samples in distributed simulations.
+ */
+
+#ifndef BIGHOUSE_STATS_ACCUMULATOR_HH
+#define BIGHOUSE_STATS_ACCUMULATOR_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace bighouse {
+
+/** Numerically stable running mean/variance/min/max. */
+class Accumulator
+{
+  public:
+    /** Incorporate one observation. */
+    void
+    add(double x)
+    {
+        ++n;
+        const double delta = x - meanValue;
+        meanValue += delta / static_cast<double>(n);
+        m2 += delta * (x - meanValue);
+        if (x < minValue)
+            minValue = x;
+        if (x > maxValue)
+            maxValue = x;
+    }
+
+    /** Number of observations. */
+    std::uint64_t count() const { return n; }
+
+    /** Sample mean (0 before any observation). */
+    double mean() const { return meanValue; }
+
+    /** Unbiased sample variance (0 for n < 2). */
+    double
+    variance() const
+    {
+        return n < 2 ? 0.0 : m2 / static_cast<double>(n - 1);
+    }
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Coefficient of variation (0 when the mean is 0). */
+    double cv() const;
+
+    /** Smallest observation (+inf before any observation). */
+    double min() const { return minValue; }
+
+    /** Largest observation (-inf before any observation). */
+    double max() const { return maxValue; }
+
+    /** Sum of all observations. */
+    double sum() const { return meanValue * static_cast<double>(n); }
+
+    /** Combine with another accumulator (order-independent). */
+    void merge(const Accumulator& other);
+
+    /** Forget everything. */
+    void reset() { *this = Accumulator(); }
+
+  private:
+    std::uint64_t n = 0;
+    double meanValue = 0.0;
+    double m2 = 0.0;
+    double minValue = std::numeric_limits<double>::infinity();
+    double maxValue = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_STATS_ACCUMULATOR_HH

@@ -1,0 +1,54 @@
+#include "stats/autocorrelation.hh"
+
+#include <algorithm>
+
+#include "base/math_utils.hh"
+
+namespace bighouse {
+
+double
+autocorrelation(std::span<const double> xs, std::size_t lag)
+{
+    const std::size_t n = xs.size();
+    if (lag >= n || n < 2)
+        return 0.0;
+    const double mean = sampleMean(xs);
+    double denominator = 0.0;
+    for (double x : xs)
+        denominator += (x - mean) * (x - mean);
+    if (denominator == 0.0)
+        return 0.0;
+    double numerator = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i)
+        numerator += (xs[i] - mean) * (xs[i + lag] - mean);
+    return numerator / denominator;
+}
+
+std::vector<double>
+autocorrelationFunction(std::span<const double> xs, std::size_t maxLag)
+{
+    std::vector<double> acf;
+    acf.reserve(maxLag + 1);
+    for (std::size_t lag = 0; lag <= maxLag; ++lag)
+        acf.push_back(lag == 0 ? (xs.size() >= 2 ? 1.0 : 0.0)
+                               : autocorrelation(xs, lag));
+    return acf;
+}
+
+double
+integratedAutocorrelationTime(std::span<const double> xs,
+                              std::size_t maxLag)
+{
+    const std::size_t bound =
+        std::min(maxLag, xs.empty() ? 0 : xs.size() - 1);
+    double tau = 1.0;
+    for (std::size_t lag = 1; lag <= bound; ++lag) {
+        const double rho = autocorrelation(xs, lag);
+        if (rho <= 0.0)
+            break;  // initial-positive-sequence truncation
+        tau += 2.0 * rho;
+    }
+    return tau;
+}
+
+} // namespace bighouse

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Sample autocorrelation diagnostics.
+ *
+ * The calibration phase exists because queue outputs are autocorrelated
+ * (Sec. 2.3); these helpers quantify *how much*: the sample ACF at given
+ * lags and the integrated autocorrelation time tau — the factor by which
+ * correlation inflates the variance of a sample mean (an i.i.d. sample
+ * has tau = 1). Used by tests and diagnostics to justify the lag the
+ * runs-up search picks.
+ */
+
+#ifndef BIGHOUSE_STATS_AUTOCORRELATION_HH
+#define BIGHOUSE_STATS_AUTOCORRELATION_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bighouse {
+
+/**
+ * Sample autocorrelation at one lag (biased normalization, the standard
+ * estimator). Returns 0 for degenerate inputs (lag >= n or zero
+ * variance).
+ */
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+/** ACF at lags 0..maxLag inclusive (acf[0] == 1 for non-degenerate xs). */
+std::vector<double> autocorrelationFunction(std::span<const double> xs,
+                                            std::size_t maxLag);
+
+/**
+ * Integrated autocorrelation time: tau = 1 + 2 * sum_k rho_k, summed
+ * with the standard initial-positive-sequence truncation (stop at the
+ * first non-positive rho). tau ~ 1 for i.i.d. data; the effective sample
+ * size of n correlated observations is n / tau.
+ */
+double integratedAutocorrelationTime(std::span<const double> xs,
+                                     std::size_t maxLag = 1000);
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_STATS_AUTOCORRELATION_HH

@@ -1,0 +1,26 @@
+#include "stats/batch_means.hh"
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+BatchMeans::BatchMeans(std::uint64_t batchSize)
+    : size(batchSize)
+{
+    if (batchSize == 0)
+        fatal("BatchMeans batch size must be >= 1");
+}
+
+void
+BatchMeans::add(double x)
+{
+    ++consumed;
+    batchSum += x;
+    if (++inBatch == size) {
+        means.add(batchSum / static_cast<double>(size));
+        inBatch = 0;
+        batchSum = 0.0;
+    }
+}
+
+} // namespace bighouse

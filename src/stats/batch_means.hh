@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Batch means: the classical alternative to lag spacing for drawing
+ * (approximately) independent observations from an autocorrelated output
+ * sequence. Consecutive observations are grouped into fixed-size batches;
+ * batch averages are nearly independent once the batch length exceeds the
+ * correlation time, and CI machinery treats the batch means as the i.i.d.
+ * sample.
+ *
+ * Included as a design-choice comparison (see
+ * bench/ablation_batch_means): lag spacing *discards* l-1 of every l
+ * observations, batch means keeps them all but yields n/b observations;
+ * the ablation measures which delivers honest coverage per simulated
+ * event.
+ */
+
+#ifndef BIGHOUSE_STATS_BATCH_MEANS_HH
+#define BIGHOUSE_STATS_BATCH_MEANS_HH
+
+#include <cstdint>
+
+#include "stats/accumulator.hh"
+
+namespace bighouse {
+
+/** Groups a stream into fixed batches and accumulates the batch means. */
+class BatchMeans
+{
+  public:
+    /** @param batchSize observations per batch (>= 1) */
+    explicit BatchMeans(std::uint64_t batchSize);
+
+    /** Offer one raw observation. */
+    void add(double x);
+
+    /** Completed batches so far (the effective sample size). */
+    std::uint64_t batches() const { return means.count(); }
+
+    /** Raw observations consumed (including the unfinished batch). */
+    std::uint64_t observations() const { return consumed; }
+
+    /** Mean over completed batch means (== overall mean of full batches). */
+    double mean() const { return means.mean(); }
+
+    /** Variance *of the batch means* — the CI-relevant variance. */
+    double varianceOfMeans() const { return means.variance(); }
+
+    /** Stddev of the batch means. */
+    double stddevOfMeans() const { return means.stddev(); }
+
+    /** Accumulator over the batch means (for merging/inspection). */
+    const Accumulator& meansAccumulator() const { return means; }
+
+    std::uint64_t batchSize() const { return size; }
+
+  private:
+    std::uint64_t size;
+    std::uint64_t consumed = 0;
+    std::uint64_t inBatch = 0;
+    double batchSum = 0.0;
+    Accumulator means;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_STATS_BATCH_MEANS_HH

@@ -1,0 +1,145 @@
+#include "stats/collection.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+StatsCollection::MetricId
+StatsCollection::addMetric(MetricSpec spec)
+{
+    for (const auto& existing : metrics) {
+        if (existing->specification().name == spec.name)
+            fatal("duplicate metric name '", spec.name, "'");
+    }
+    warmupTarget.push_back(spec.warmupSamples);
+    warmupSeen.push_back(0);
+    // The collection owns warm-up (constraint 1); the metric starts at
+    // calibration as soon as observations reach it.
+    spec.warmupSamples = 0;
+    metrics.push_back(std::make_unique<OutputMetric>(std::move(spec)));
+    warm = false;
+    checkWarmGate();
+    return metrics.size() - 1;
+}
+
+void
+StatsCollection::checkWarmGate()
+{
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        if (warmupSeen[i] < warmupTarget[i])
+            return;
+    }
+    warm = true;
+}
+
+void
+StatsCollection::record(MetricId id, double x)
+{
+    BH_ASSERT(id < metrics.size(), "unknown metric id ", id);
+    if (!warm) {
+        ++warmupSeen[id];
+        checkWarmGate();
+        return;
+    }
+    metrics[id]->record(x);
+}
+
+bool
+StatsCollection::allConverged() const
+{
+    if (metrics.empty())
+        return false;
+    return std::all_of(metrics.begin(), metrics.end(),
+                       [](const auto& m) { return m->converged(); });
+}
+
+Phase
+StatsCollection::globalPhase() const
+{
+    if (!warm)
+        return Phase::Warmup;
+    Phase coarsest = Phase::Converged;
+    for (const auto& m : metrics) {
+        if (static_cast<int>(m->phase()) < static_cast<int>(coarsest))
+            coarsest = m->phase();
+    }
+    return coarsest;
+}
+
+OutputMetric&
+StatsCollection::metric(MetricId id)
+{
+    BH_ASSERT(id < metrics.size(), "unknown metric id ", id);
+    return *metrics[id];
+}
+
+const OutputMetric&
+StatsCollection::metric(MetricId id) const
+{
+    BH_ASSERT(id < metrics.size(), "unknown metric id ", id);
+    return *metrics[id];
+}
+
+StatsCollection::MetricId
+StatsCollection::idByName(std::string_view name) const
+{
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        if (metrics[i]->specification().name == name)
+            return i;
+    }
+    fatal("unknown metric '", std::string(name), "'");
+}
+
+const OutputMetric&
+StatsCollection::metricByName(std::string_view name) const
+{
+    return *metrics[idByName(name)];
+}
+
+std::vector<MetricEstimate>
+StatsCollection::estimates() const
+{
+    std::vector<MetricEstimate> out;
+    out.reserve(metrics.size());
+    for (const auto& m : metrics)
+        out.push_back(m->estimate());
+    return out;
+}
+
+std::string
+StatsCollection::report() const
+{
+    return formatEstimates(estimates());
+}
+
+std::string
+formatEstimates(const std::vector<MetricEstimate>& estimates)
+{
+    std::ostringstream oss;
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-24s %-12s %10s %6s %14s %14s",
+                  "metric", "phase", "samples", "lag", "mean",
+                  "ci-halfwidth");
+    oss << line << "\n";
+    for (const auto& est : estimates) {
+        std::snprintf(line, sizeof(line),
+                      "%-24s %-12s %10llu %6zu %14.6g %14.6g",
+                      est.name.c_str(), phaseName(est.phase),
+                      static_cast<unsigned long long>(est.accepted),
+                      est.lag, est.mean, est.meanHalfWidth);
+        oss << line << "\n";
+        for (const QuantileEstimate& qe : est.quantiles) {
+            std::snprintf(line, sizeof(line),
+                          "    p%-5.4g %49s %14.6g [%.6g, %.6g]",
+                          qe.q * 100.0, "", qe.value, qe.lower, qe.upper);
+            oss << line << "\n";
+        }
+    }
+    return oss.str();
+}
+
+} // namespace bighouse

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * StatsCollection: the set of output metrics observed by one simulation,
+ * enforcing the paper's two multi-metric constraints:
+ *
+ *  1. "the simulation may not progress out of the warm-up phase until Nw
+ *     observations have been collected for all output metrics" — the
+ *     collection coordinates warm-up globally; metrics only begin
+ *     calibrating once every metric is warm.
+ *  2. "the simulation may not terminate until all outputs have a
+ *     sufficient sample size to reach convergence" — allConverged() is the
+ *     simulation's termination condition.
+ */
+
+#ifndef BIGHOUSE_STATS_COLLECTION_HH
+#define BIGHOUSE_STATS_COLLECTION_HH
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/metric.hh"
+
+namespace bighouse {
+
+/** Registry and router for a simulation's output metrics. */
+class StatsCollection
+{
+  public:
+    /** Dense handle for the hot recording path. */
+    using MetricId = std::size_t;
+
+    /**
+     * Register a metric. The spec's warmupSamples is managed by the
+     * collection (constraint 1): the metric itself starts at calibration
+     * once the global warm-up gate opens.
+     */
+    MetricId addMetric(MetricSpec spec);
+
+    /** Offer an observation for one metric. */
+    void record(MetricId id, double x);
+
+    /** True once every metric has seen its Nw warm-up observations. */
+    bool warmedUp() const { return warm; }
+
+    /** Constraint 2: every metric converged. */
+    bool allConverged() const;
+
+    /** Coarsest phase across metrics (the "simulation phase"). */
+    Phase globalPhase() const;
+
+    std::size_t metricCount() const { return metrics.size(); }
+
+    OutputMetric& metric(MetricId id);
+    const OutputMetric& metric(MetricId id) const;
+
+    /** Lookup by name; fatal() when unknown. */
+    const OutputMetric& metricByName(std::string_view name) const;
+    MetricId idByName(std::string_view name) const;
+
+    /** Snapshot of every metric's estimate. */
+    std::vector<MetricEstimate> estimates() const;
+
+    /** Aligned text report of all estimates. */
+    std::string report() const;
+
+  private:
+    void checkWarmGate();
+
+    std::vector<std::unique_ptr<OutputMetric>> metrics;
+    std::vector<std::uint64_t> warmupTarget;
+    std::vector<std::uint64_t> warmupSeen;
+    bool warm = false;
+};
+
+/** Format a vector of estimates as an aligned table (used by report()). */
+std::string formatEstimates(const std::vector<MetricEstimate>& estimates);
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_STATS_COLLECTION_HH

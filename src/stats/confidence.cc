@@ -1,0 +1,56 @@
+#include "stats/confidence.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/math_utils.hh"
+
+namespace bighouse {
+
+double
+ConfidenceSpec::critical() const
+{
+    if (accuracy <= 0.0)
+        fatal("ConfidenceSpec accuracy must be > 0, got ", accuracy);
+    if (confidence <= 0.0 || confidence >= 1.0)
+        fatal("ConfidenceSpec confidence must be in (0,1), got ", confidence);
+    return normalCritical(confidence);
+}
+
+std::uint64_t
+requiredSamplesMean(double z, double mean, double stddev, double accuracy,
+                    std::uint64_t floor_)
+{
+    BH_ASSERT(z > 0 && accuracy > 0, "bad confidence parameters");
+    if (mean == 0.0 || stddev == 0.0)
+        return floor_;
+    // Eq. 2 with epsilon = accuracy * mean.
+    const double epsilon = accuracy * std::abs(mean);
+    const double n = (z * stddev / epsilon) * (z * stddev / epsilon);
+    const double clamped = std::ceil(n);
+    if (clamped >= 9.0e18)
+        return static_cast<std::uint64_t>(9.0e18);
+    const auto required = static_cast<std::uint64_t>(clamped);
+    return required < floor_ ? floor_ : required;
+}
+
+std::uint64_t
+requiredSamplesQuantile(double z, double q, double accuracy,
+                        std::uint64_t floor_)
+{
+    BH_ASSERT(z > 0 && accuracy > 0, "bad confidence parameters");
+    BH_ASSERT(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+    // Eq. 3, E in probability units.
+    const double n = z * z * q * (1.0 - q) / (accuracy * accuracy);
+    const auto required = static_cast<std::uint64_t>(std::ceil(n));
+    return required < floor_ ? floor_ : required;
+}
+
+Interval
+meanInterval(double z, double mean, double stddev, std::uint64_t n)
+{
+    BH_ASSERT(n > 0, "meanInterval needs n > 0");
+    return Interval{mean, z * stddev / std::sqrt(static_cast<double>(n))};
+}
+
+} // namespace bighouse

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Confidence-interval and required-sample-size arithmetic — Eqs. 1-3 of
+ * the paper.
+ *
+ * Accuracy is the normalized half-width E = epsilon / X-bar (Eq. 1), so a
+ * mean estimate needs
+ *     Nm = (z * sigma / epsilon)^2 = (z * Cv / E)^2          (Eq. 2)
+ * and a q-quantile estimate, with E interpreted in probability units as in
+ * Chen & Kelton,
+ *     Nq = z^2 * q * (1 - q) / E^2                           (Eq. 3)
+ * The convergence requirement is N >= max(Nm, Nq).
+ */
+
+#ifndef BIGHOUSE_STATS_CONFIDENCE_HH
+#define BIGHOUSE_STATS_CONFIDENCE_HH
+
+#include <cstdint>
+
+namespace bighouse {
+
+/** Target accuracy/confidence for one output metric. */
+struct ConfidenceSpec
+{
+    double accuracy = 0.05;    ///< E: relative half-width target
+    double confidence = 0.95;  ///< 1 - alpha
+
+    /** The critical value z_{1-alpha/2}. */
+    double critical() const;
+};
+
+/**
+ * Sample size for a mean estimate (Eq. 2) given the current mean and
+ * standard-deviation estimates. Returns at least `floor_` so early noisy
+ * estimates cannot terminate a run instantly.
+ */
+std::uint64_t requiredSamplesMean(double z, double mean, double stddev,
+                                  double accuracy,
+                                  std::uint64_t floor_ = 100);
+
+/** Sample size for a q-quantile estimate (Eq. 3). */
+std::uint64_t requiredSamplesQuantile(double z, double q, double accuracy,
+                                      std::uint64_t floor_ = 100);
+
+/** Symmetric confidence interval for a mean from n observations. */
+struct Interval
+{
+    double center = 0.0;
+    double halfWidth = 0.0;
+
+    double lower() const { return center - halfWidth; }
+    double upper() const { return center + halfWidth; }
+};
+
+/** CI for the mean via the central limit theorem. */
+Interval meanInterval(double z, double mean, double stddev,
+                      std::uint64_t n);
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_STATS_CONFIDENCE_HH

@@ -1,0 +1,209 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+std::string
+BinScheme::serialize() const
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << "binscheme " << lo << " " << hi << " " << bins;
+    return oss.str();
+}
+
+BinScheme
+BinScheme::deserialize(const std::string& text)
+{
+    std::istringstream iss(text);
+    std::string tag;
+    BinScheme scheme;
+    iss >> tag >> scheme.lo >> scheme.hi >> scheme.bins;
+    if (!iss || tag != "binscheme" || scheme.bins == 0
+        || scheme.hi <= scheme.lo) {
+        fatal("malformed BinScheme: '", text, "'");
+    }
+    return scheme;
+}
+
+BinScheme
+suggestBinScheme(std::span<const double> calibration, std::size_t bins,
+                 double expand)
+{
+    if (calibration.empty())
+        fatal("suggestBinScheme: empty calibration sample");
+    if (bins == 0)
+        fatal("suggestBinScheme: need at least one bin");
+    const auto [minIt, maxIt] =
+        std::minmax_element(calibration.begin(), calibration.end());
+    double lo = *minIt;
+    double hi = *maxIt;
+    double spread = hi - lo;
+    if (spread <= 0.0)
+        spread = std::max(std::abs(lo), 1e-9);
+    lo = std::max(0.0, lo - expand * spread);
+    hi = hi + expand * spread;
+    return BinScheme{lo, hi, bins};
+}
+
+Histogram::Histogram(BinScheme scheme)
+    : layout(scheme),
+      counts(scheme.bins, 0),
+      minValue(std::numeric_limits<double>::infinity()),
+      maxValue(-std::numeric_limits<double>::infinity())
+{
+    if (scheme.bins == 0 || scheme.hi <= scheme.lo)
+        fatal("Histogram needs bins >= 1 and hi > lo");
+}
+
+void
+Histogram::add(double x)
+{
+    if (x < layout.lo) {
+        ++underflow;
+    } else if (x >= layout.hi) {
+        ++overflow;
+    } else {
+        auto bin = static_cast<std::size_t>((x - layout.lo)
+                                            / layout.binWidth());
+        if (bin >= counts.size())
+            bin = counts.size() - 1;  // x just below hi with rounding
+        ++counts[bin];
+    }
+    ++total;
+    minValue = std::min(minValue, x);
+    maxValue = std::max(maxValue, x);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    BH_ASSERT(total > 0, "quantile of an empty histogram");
+    BH_ASSERT(q >= 0.0 && q <= 1.0, "quantile needs q in [0,1]");
+    if (q == 0.0)
+        return minValue;
+    if (q == 1.0)
+        return maxValue;
+
+    const double target = q * static_cast<double>(total);
+    double cumulative = 0.0;
+
+    // Underflow mass: spread uniformly over [minValue, lo).
+    if (underflow > 0) {
+        const auto uf = static_cast<double>(underflow);
+        if (target <= cumulative + uf) {
+            const double frac = (target - cumulative) / uf;
+            return minValue + frac * (layout.lo - minValue);
+        }
+        cumulative += uf;
+    }
+
+    const double width = layout.binWidth();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        const auto mass = static_cast<double>(counts[i]);
+        if (target <= cumulative + mass) {
+            const double frac = (target - cumulative) / mass;
+            return layout.lo + (static_cast<double>(i) + frac) * width;
+        }
+        cumulative += mass;
+    }
+
+    // Overflow mass: spread uniformly over [hi, maxValue].
+    if (overflow > 0) {
+        const auto of = static_cast<double>(overflow);
+        const double frac =
+            std::min(1.0, std::max(0.0, (target - cumulative) / of));
+        return layout.hi + frac * (maxValue - layout.hi);
+    }
+    return maxValue;
+}
+
+double
+Histogram::approximateMean() const
+{
+    if (total == 0)
+        return 0.0;
+    double sum = 0.0;
+    const double width = layout.binWidth();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const double mid = layout.lo + (static_cast<double>(i) + 0.5) * width;
+        sum += mid * static_cast<double>(counts[i]);
+    }
+    if (underflow > 0)
+        sum += 0.5 * (minValue + layout.lo) * static_cast<double>(underflow);
+    if (overflow > 0)
+        sum += 0.5 * (layout.hi + maxValue) * static_cast<double>(overflow);
+    return sum / static_cast<double>(total);
+}
+
+double
+Histogram::outOfRangeFraction() const
+{
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(underflow + overflow)
+           / static_cast<double>(total);
+}
+
+void
+Histogram::merge(const Histogram& other)
+{
+    if (!(layout == other.layout)) {
+        fatal("Histogram::merge: bin schemes differ (",
+              layout.serialize(), " vs ", other.layout.serialize(), ")");
+    }
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    underflow += other.underflow;
+    overflow += other.overflow;
+    total += other.total;
+    minValue = std::min(minValue, other.minValue);
+    maxValue = std::max(maxValue, other.maxValue);
+}
+
+std::string
+Histogram::serialize() const
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    // iostreams cannot parse "inf"; encode the empty-histogram sentinels
+    // as zeros and restore them on load.
+    const double minOut = total == 0 ? 0.0 : minValue;
+    const double maxOut = total == 0 ? 0.0 : maxValue;
+    oss << layout.serialize() << " ; " << total << " " << underflow << " "
+        << overflow << " " << minOut << " " << maxOut;
+    for (std::uint64_t c : counts)
+        oss << " " << c;
+    return oss.str();
+}
+
+Histogram
+Histogram::deserialize(const std::string& text)
+{
+    const auto sep = text.find(" ; ");
+    if (sep == std::string::npos)
+        fatal("malformed Histogram serialization");
+    Histogram hist(BinScheme::deserialize(text.substr(0, sep)));
+    std::istringstream iss(text.substr(sep + 3));
+    iss >> hist.total >> hist.underflow >> hist.overflow >> hist.minValue
+        >> hist.maxValue;
+    for (auto& c : hist.counts)
+        iss >> c;
+    if (!iss)
+        fatal("truncated Histogram serialization");
+    if (hist.total == 0) {
+        hist.minValue = std::numeric_limits<double>::infinity();
+        hist.maxValue = -std::numeric_limits<double>::infinity();
+    }
+    return hist;
+}
+
+} // namespace bighouse

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Space-efficient online quantile estimation via fixed-bin histograms,
+ * after Chen & Kelton (2001): "recording and sorting the entire sample
+ * sequence to determine quantiles imposes a large burden ... we use [a]
+ * histogram representation of an observed variable, drastically reducing
+ * memory overhead. This method requires the histogram binning parameters
+ * to be determined in advance; we do so during the calibration phase."
+ *
+ * A BinScheme is the serializable "bin structure" the master broadcasts to
+ * slaves (Fig. 3); two histograms merge only when their schemes match.
+ */
+
+#ifndef BIGHOUSE_STATS_HISTOGRAM_HH
+#define BIGHOUSE_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bighouse {
+
+/** Immutable description of a histogram's bin layout. */
+struct BinScheme
+{
+    double lo = 0.0;    ///< lower edge of the first regular bin
+    double hi = 1.0;    ///< upper edge of the last regular bin
+    std::size_t bins = 1;
+
+    double
+    binWidth() const
+    {
+        return (hi - lo) / static_cast<double>(bins);
+    }
+
+    bool operator==(const BinScheme&) const = default;
+
+    /** One-line serialization (for master -> slave broadcast). */
+    std::string serialize() const;
+
+    /** Inverse of serialize(); fatal() on malformed input. */
+    static BinScheme deserialize(const std::string& text);
+};
+
+/**
+ * Derive a bin scheme from a calibration sample: the observed range is
+ * expanded by `expand` on each side (relative to the spread) so that
+ * steady-state observations modestly outside the calibration range still
+ * land in regular bins; anything further is tracked by under/overflow
+ * bins with exact extreme values.
+ */
+BinScheme suggestBinScheme(std::span<const double> calibration,
+                           std::size_t bins, double expand = 0.5);
+
+/** Fixed-bin counting histogram with interpolated quantiles. */
+class Histogram
+{
+  public:
+    explicit Histogram(BinScheme scheme);
+
+    /** Record one observation. */
+    void add(double x);
+
+    /** Total recorded observations. */
+    std::uint64_t count() const { return total; }
+
+    /**
+     * Interpolated q-quantile (q in [0,1]). Mass in the underflow
+     * (overflow) bin is spread uniformly between the observed minimum
+     * (maximum) and the regular range.
+     * @pre count() > 0
+     */
+    double quantile(double q) const;
+
+    /** Mean approximated from bin midpoints (useful for sanity checks). */
+    double approximateMean() const;
+
+    /** Fraction of observations outside the regular bins. */
+    double outOfRangeFraction() const;
+
+    /** The layout this histogram was built with. */
+    const BinScheme& scheme() const { return layout; }
+
+    /** Smallest / largest recorded value. */
+    double observedMin() const { return minValue; }
+    double observedMax() const { return maxValue; }
+
+    /**
+     * Accumulate another histogram's counts (the Fig. 3 "merge" step).
+     * fatal() when the schemes differ: slaves must use the broadcast
+     * scheme.
+     */
+    void merge(const Histogram& other);
+
+    /** Serialize counts + scheme to one line (slave -> master). */
+    std::string serialize() const;
+
+    /** Inverse of serialize(); fatal() on malformed input. */
+    static Histogram deserialize(const std::string& text);
+
+  private:
+    BinScheme layout;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    std::uint64_t total = 0;
+    double minValue = 0.0;
+    double maxValue = 0.0;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_STATS_HISTOGRAM_HH

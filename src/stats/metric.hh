@@ -1,0 +1,184 @@
+/**
+ * @file
+ * OutputMetric: the per-metric sampling pipeline of Fig. 2.
+ *
+ * Each output metric progresses through
+ *   1. Warm-up      — discard the first Nw observations (cold-start bias),
+ *   2. Calibration  — buffer observations; run the runs-up test to choose
+ *                     the lag spacing l and fix the histogram bin scheme,
+ *   3. Measurement  — keep every l-th observation, feeding the accumulator
+ *                     and histogram,
+ *   4. Convergence  — the accepted sample reaches max(Nm, Nq) (Eqs. 2-3).
+ *
+ * Calibration observations are used only for calibration, not estimation:
+ * they were taken at unit lag and would violate the independence the
+ * convergence formulas assume.
+ */
+
+#ifndef BIGHOUSE_STATS_METRIC_HH
+#define BIGHOUSE_STATS_METRIC_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/accumulator.hh"
+#include "stats/confidence.hh"
+#include "stats/histogram.hh"
+
+namespace bighouse {
+
+/** Phases of a metric's sampling sequence (paper Fig. 2). */
+enum class Phase { Warmup, Calibration, Measurement, Converged };
+
+/** Render a Phase as text. */
+const char* phaseName(Phase phase);
+
+/** User-supplied description of one output metric. */
+struct MetricSpec
+{
+    std::string name = "metric";
+    /// Nw: observations discarded before calibration. The paper: "no
+    /// rigorous method for automatically detecting steady-state is
+    /// available and Nw must be explicitly specified by the user."
+    std::uint64_t warmupSamples = 1000;
+    /// Calibration sample size; 5000 is the figure the paper reports for
+    /// the runs-up test.
+    std::uint64_t calibrationSamples = 5000;
+    ConfidenceSpec target;             ///< E and confidence level
+    std::vector<double> quantiles = {0.95};
+    std::size_t histogramBins = 10000;
+    std::size_t maxLag = 64;
+    /// If no lag in [1, maxLag] passes the runs-up test (the buffer can
+    /// only test lags up to size/minPoints), calibration keeps collecting
+    /// — doubling the buffer up to this multiple of calibrationSamples —
+    /// before settling for the best lag found (with a warning).
+    std::size_t maxCalibrationFactor = 8;
+    /// Convergence is re-evaluated every this many accepted observations.
+    std::uint64_t checkInterval = 64;
+};
+
+/**
+ * One quantile's estimate with a distribution-free confidence interval:
+ * the binomial bound q ± z*sqrt(q(1-q)/n) in probability space, mapped
+ * through the histogram CDF to value space (Chen & Kelton).
+ */
+struct QuantileEstimate
+{
+    double q = 0.0;
+    double value = 0.0;
+    double lower = 0.0;  ///< CI lower bound (value space)
+    double upper = 0.0;  ///< CI upper bound (value space)
+};
+
+/** Snapshot of a metric's current estimates. */
+struct MetricEstimate
+{
+    std::string name;
+    Phase phase = Phase::Warmup;
+    bool converged = false;
+    std::uint64_t accepted = 0;     ///< observations in the estimate
+    std::uint64_t offered = 0;      ///< total observations seen
+    std::size_t lag = 0;            ///< 0 until calibration completes
+    std::uint64_t required = 0;     ///< max(Nm, Nq) at this point
+    double mean = 0.0;
+    double meanHalfWidth = 0.0;     ///< CLT CI half-width
+    double relativeHalfWidth = 0.0; ///< achieved E for the mean
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<QuantileEstimate> quantiles;
+};
+
+/** The sampling pipeline for one output metric. */
+class OutputMetric
+{
+  public:
+    explicit OutputMetric(MetricSpec spec);
+
+    /** Offer one observation; routed according to the current phase. */
+    void record(double x);
+
+    /** Current phase. */
+    Phase phase() const { return currentPhase; }
+
+    /** True once the accepted sample satisfies Eqs. 2-3. */
+    bool converged() const { return currentPhase == Phase::Converged; }
+
+    /** Lag spacing chosen by calibration (1 before calibration). */
+    std::size_t lag() const { return lagSpacing; }
+
+    /** Whether the runs-up test actually passed at lag(). */
+    bool lagTestPassed() const { return lagPassed; }
+
+    /**
+     * Slave mode (Fig. 3): install the master's bin scheme so the local
+     * calibration only determines the lag. Must be called before
+     * calibration completes.
+     */
+    void adoptBinScheme(const BinScheme& scheme);
+
+    /**
+     * Slave mode: strip convergence authority — the metric never
+     * self-converges; the master decides from aggregate counts.
+     */
+    void disableSelfConvergence() { selfConvergence = false; }
+
+    /** Merge another metric's measured sample into this one (Fig. 3). */
+    void absorb(const OutputMetric& other);
+
+    /**
+     * Re-evaluate convergence from the current (possibly merged) sample;
+     * used by the master after absorb(). Promotes the phase to Converged
+     * when satisfied.
+     */
+    bool evaluateConvergence();
+
+    /** Required sample size max(Nm, Nq) given current estimates. */
+    std::uint64_t requiredSamples() const;
+
+    /** Observations accepted into the estimate so far. */
+    std::uint64_t acceptedCount() const { return accumulator.count(); }
+
+    /** Total observations offered (all phases). */
+    std::uint64_t offeredCount() const { return offered; }
+
+    /** Current estimates snapshot. */
+    MetricEstimate estimate() const;
+
+    /** The spec this metric was created with. */
+    const MetricSpec& specification() const { return spec; }
+
+    /** Measurement histogram; only valid after calibration. */
+    const Histogram& histogram() const;
+
+    /** Accumulator over accepted observations. */
+    const Accumulator& sampleAccumulator() const { return accumulator; }
+
+  private:
+    void completeCalibration();
+    void acceptObservation(double x);
+
+    MetricSpec spec;
+    Phase currentPhase;
+    std::uint64_t offered = 0;
+    std::uint64_t warmupSeen = 0;
+    std::vector<double> calibrationBuffer;
+    /// Buffer size that triggers the next runs-up attempt; grows when the
+    /// test keeps failing (sequential calibration).
+    std::size_t calibrationTarget = 0;
+    std::size_t lagSpacing = 1;
+    bool lagPassed = false;
+    std::uint64_t sinceAccepted = 0;
+    std::uint64_t sinceChecked = 0;
+    bool selfConvergence = true;
+    std::optional<BinScheme> externalScheme;
+    std::optional<Histogram> hist;
+    Accumulator accumulator;
+    double criticalZ;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_STATS_METRIC_HH

@@ -1,0 +1,103 @@
+#include "stats/runs_test.hh"
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/math_utils.hh"
+
+namespace bighouse {
+
+namespace {
+
+// Knuth's covariance coefficients for the runs-up statistic
+// (TAOCP vol. 2, 3rd ed., §3.3.2, eq. (14)).
+constexpr double kA[6][6] = {
+    {4529.4, 9044.9, 13568.0, 18091.0, 22615.0, 27892.0},
+    {9044.9, 18097.0, 27139.0, 36187.0, 45234.0, 55789.0},
+    {13568.0, 27139.0, 40721.0, 54281.0, 67852.0, 83685.0},
+    {18091.0, 36187.0, 54281.0, 72414.0, 90470.0, 111580.0},
+    {22615.0, 45234.0, 67852.0, 90470.0, 113262.0, 139476.0},
+    {27892.0, 55789.0, 83685.0, 111580.0, 139476.0, 172860.0},
+};
+
+constexpr double kB[6] = {
+    1.0 / 6.0, 5.0 / 24.0, 11.0 / 120.0,
+    19.0 / 720.0, 29.0 / 5040.0, 1.0 / 840.0,
+};
+
+} // namespace
+
+std::array<std::uint64_t, 6>
+countRunsUp(std::span<const double> xs)
+{
+    std::array<std::uint64_t, 6> counts{};
+    if (xs.empty())
+        return counts;
+    std::size_t runLength = 1;
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+        if (xs[i] >= xs[i - 1]) {
+            ++runLength;
+        } else {
+            counts[std::min<std::size_t>(runLength, 6) - 1] += 1;
+            runLength = 1;
+        }
+    }
+    counts[std::min<std::size_t>(runLength, 6) - 1] += 1;
+    return counts;
+}
+
+double
+runsUpStatistic(std::span<const double> xs)
+{
+    BH_ASSERT(xs.size() >= 12, "runs-up statistic needs a longer sequence");
+    const auto counts = countRunsUp(xs);
+    const auto n = static_cast<double>(xs.size());
+    double v = 0.0;
+    for (int i = 0; i < 6; ++i) {
+        const double di = static_cast<double>(counts[i]) - n * kB[i];
+        for (int j = 0; j < 6; ++j) {
+            const double dj = static_cast<double>(counts[j]) - n * kB[j];
+            v += kA[i][j] * di * dj;
+        }
+    }
+    return v / n;
+}
+
+bool
+runsUpTestPasses(std::span<const double> xs, double significance)
+{
+    const double critical = chiSquareQuantile(1.0 - significance, 6);
+    return runsUpStatistic(xs) <= critical;
+}
+
+LagResult
+findLag(std::span<const double> calibration, std::size_t maxLag,
+        double significance, std::size_t minPoints)
+{
+    BH_ASSERT(minPoints >= 12, "minPoints too small for the runs-up test");
+    if (calibration.size() < minPoints)
+        fatal("calibration sample too small for lag search: ",
+              calibration.size(), " < ", minPoints);
+
+    LagResult best;
+    std::vector<double> spaced;
+    for (std::size_t lag = 1; lag <= maxLag; ++lag) {
+        const std::size_t points = calibration.size() / lag;
+        if (points < minPoints)
+            break;
+        spaced.clear();
+        spaced.reserve(points);
+        for (std::size_t i = lag - 1; i < calibration.size(); i += lag)
+            spaced.push_back(calibration[i]);
+        const double v = runsUpStatistic(spaced);
+        best = LagResult{lag, false, v};
+        if (v <= chiSquareQuantile(1.0 - significance, 6)) {
+            best.passed = true;
+            return best;
+        }
+    }
+    return best;
+}
+
+} // namespace bighouse

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The runs-up independence test (Knuth, TAOCP vol. 2, §3.3.2G) and the
+ * lag-spacing search built on it, following Chen & Kelton (2003) as the
+ * paper describes: "if observations are spaced sufficiently apart — by
+ * keeping only every l-th sample — they can be treated as independent.
+ * Determining this minimum spacing, l, is accomplished with the runs-up
+ * test."
+ *
+ * For an i.i.d. continuous sequence the statistic V is approximately
+ * chi-square with 6 degrees of freedom; positive autocorrelation stretches
+ * ascending runs and inflates V, so the test rejects when V exceeds the
+ * (1 - significance) chi-square quantile.
+ */
+
+#ifndef BIGHOUSE_STATS_RUNS_TEST_HH
+#define BIGHOUSE_STATS_RUNS_TEST_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace bighouse {
+
+/** Counts of ascending runs by length (index 5 = runs of length >= 6). */
+std::array<std::uint64_t, 6> countRunsUp(std::span<const double> xs);
+
+/**
+ * Knuth's runs-up chi-square statistic V for the sequence.
+ * @pre xs.size() >= 4000 for the chi-square approximation to hold
+ *      (not enforced; callers below enforce their own minima).
+ */
+double runsUpStatistic(std::span<const double> xs);
+
+/** True when the sequence passes at the given significance level. */
+bool runsUpTestPasses(std::span<const double> xs,
+                      double significance = 0.05);
+
+/** Outcome of the calibration-phase lag search. */
+struct LagResult
+{
+    std::size_t lag = 1;        ///< keep every lag-th observation
+    bool passed = false;        ///< whether the test passed at that lag
+    double statistic = 0.0;     ///< V at the chosen lag
+};
+
+/**
+ * Find the smallest lag l in [1, maxLag] whose l-spaced subsequence of
+ * `calibration` passes the runs-up test. The subsequence must retain at
+ * least `minPoints` observations for the test to be meaningful; if no lag
+ * passes (or subsequences get too short), the largest testable lag is
+ * returned with passed = false and the caller may warn.
+ */
+LagResult findLag(std::span<const double> calibration,
+                  std::size_t maxLag = 64,
+                  double significance = 0.05,
+                  std::size_t minPoints = 500);
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_STATS_RUNS_TEST_HH

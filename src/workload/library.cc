@@ -1,0 +1,132 @@
+#include "workload/library.hh"
+
+#include <array>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "distribution/empirical.hh"
+#include "distribution/fit.hh"
+
+namespace bighouse {
+
+namespace {
+
+// Paper Table 1. All times in seconds. Sigma values imply the Cv column
+// the paper prints (1.1 / 1.9 / 4.2 / 1.2 / 2.0 arrivals; 1.0 / 3.6 / 15 /
+// 1.1 / 3.4 service, within rounding).
+constexpr std::array<WorkloadStats, 5> kTable1 = {{
+    {"dns", 1.1, 1.2, 0.194, 0.198,
+     "Departmental DNS and DHCP server under live traffic."},
+    {"mail", 0.206, 0.397, 0.092, 0.335,
+     "Departmental POP and SMTP server under live traffic."},
+    {"shell", 0.186, 0.796, 0.046, 0.725,
+     "Shell login server under live traffic, executing a variety of "
+     "interactive tasks."},
+    {"google", 319e-6, 376e-6, 4.2e-3, 4.8e-3,
+     "Leaf node in a Google Web Search cluster."},
+    {"web", 0.186, 0.380, 0.075, 0.263,
+     "Departmental HTTP server under live traffic."},
+}};
+
+} // namespace
+
+std::span<const WorkloadStats>
+table1()
+{
+    return kTable1;
+}
+
+const WorkloadStats&
+table1Stats(std::string_view name)
+{
+    const std::string key = toLower(name);
+    for (const WorkloadStats& stats : kTable1) {
+        if (key == stats.name)
+            return stats;
+    }
+    fatal("unknown Table-1 workload '", std::string(name),
+          "' (expected dns, mail, shell, google, or web)");
+}
+
+Workload
+makeWorkload(const WorkloadStats& stats)
+{
+    Workload workload;
+    workload.name = stats.name;
+    workload.interarrival =
+        fitMeanCv(stats.interarrivalMean, stats.interarrivalCv());
+    workload.service = fitMeanCv(stats.serviceMean, stats.serviceCv());
+    return workload;
+}
+
+Workload
+makeWorkload(std::string_view name)
+{
+    return makeWorkload(table1Stats(name));
+}
+
+Workload
+makeEmpiricalWorkload(const WorkloadStats& stats, Rng& rng,
+                      std::size_t samples, std::size_t bins)
+{
+    const Workload analytic = makeWorkload(stats);
+    Workload workload;
+    workload.name = stats.name;
+    workload.interarrival = std::make_unique<EmpiricalDistribution>(
+        EmpiricalDistribution::fromDistribution(*analytic.interarrival, rng,
+                                                samples, bins));
+    workload.service = std::make_unique<EmpiricalDistribution>(
+        EmpiricalDistribution::fromDistribution(*analytic.service, rng,
+                                                samples, bins));
+    return workload;
+}
+
+Workload
+makeEmpiricalWorkload(std::string_view name, Rng& rng, std::size_t samples,
+                      std::size_t bins)
+{
+    return makeEmpiricalWorkload(table1Stats(name), rng, samples, bins);
+}
+
+std::vector<std::string>
+writeWorkloadFiles(const std::string& directory, Rng& rng,
+                   std::size_t samples, std::size_t bins)
+{
+    std::vector<std::string> written;
+    for (const WorkloadStats& stats : kTable1) {
+        const Workload workload =
+            makeEmpiricalWorkload(stats, rng, samples, bins);
+        const auto* arrival =
+            dynamic_cast<const EmpiricalDistribution*>(
+                workload.interarrival.get());
+        const auto* service =
+            dynamic_cast<const EmpiricalDistribution*>(
+                workload.service.get());
+        BH_ASSERT(arrival != nullptr && service != nullptr,
+                  "empirical workload is not empirical");
+        const std::string arrivalPath =
+            directory + "/" + stats.name + ".arrival.dist";
+        const std::string servicePath =
+            directory + "/" + stats.name + ".service.dist";
+        arrival->toFile(arrivalPath);
+        service->toFile(servicePath);
+        written.push_back(arrivalPath);
+        written.push_back(servicePath);
+    }
+    return written;
+}
+
+Workload
+loadWorkload(const std::string& directory, std::string_view name)
+{
+    const std::string base = directory + "/" + toLower(name);
+    Workload workload;
+    workload.name = std::string(name);
+    workload.interarrival = std::make_unique<EmpiricalDistribution>(
+        EmpiricalDistribution::fromFile(base + ".arrival.dist"));
+    workload.service = std::make_unique<EmpiricalDistribution>(
+        EmpiricalDistribution::fromFile(base + ".service.dist"));
+    return workload;
+}
+
+} // namespace bighouse

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The five workload models distributed with BigHouse (paper Table 1).
+ *
+ * The original release ships trace-derived empirical histograms captured
+ * on departmental servers and a Google Web Search leaf. Those traces are
+ * not public, so this library synthesizes each workload from the
+ * *published* first two moments (mean and sigma of inter-arrival and
+ * service time) using standard two-moment fits, and can optionally
+ * materialize them as EmpiricalDistribution histograms — exercising the
+ * exact code path a trace-derived .dist file would.
+ */
+
+#ifndef BIGHOUSE_WORKLOAD_LIBRARY_HH
+#define BIGHOUSE_WORKLOAD_LIBRARY_HH
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/random.hh"
+#include "workload/workload.hh"
+
+namespace bighouse {
+
+/** Published Table-1 characterization of one workload. */
+struct WorkloadStats
+{
+    const char* name;
+    double interarrivalMean;   ///< seconds
+    double interarrivalSigma;  ///< seconds
+    double serviceMean;        ///< seconds
+    double serviceSigma;       ///< seconds
+    const char* description;
+
+    double interarrivalCv() const { return interarrivalSigma / interarrivalMean; }
+    double serviceCv() const { return serviceSigma / serviceMean; }
+};
+
+/** The five rows of Table 1 (DNS, Mail, Shell, Google, Web). */
+std::span<const WorkloadStats> table1();
+
+/** Look up a Table-1 row by (case-insensitive) name; fatal() if unknown. */
+const WorkloadStats& table1Stats(std::string_view name);
+
+/**
+ * Build a workload from Table-1 moments using analytic two-moment fits
+ * (hyperexponential above Cv 1, Erlang/gamma below, exponential at 1).
+ */
+Workload makeWorkload(const WorkloadStats& stats);
+Workload makeWorkload(std::string_view name);
+
+/**
+ * Build the same workload but materialized as empirical histograms from
+ * `samples` draws per distribution — the BigHouse-native representation.
+ */
+Workload makeEmpiricalWorkload(const WorkloadStats& stats, Rng& rng,
+                               std::size_t samples = 200000,
+                               std::size_t bins = 2000);
+Workload makeEmpiricalWorkload(std::string_view name, Rng& rng,
+                               std::size_t samples = 200000,
+                               std::size_t bins = 2000);
+
+/**
+ * Write `<dir>/<name>.dist` arrival/service files for every Table-1
+ * workload (the repo's stand-in for the distribution files the original
+ * release ships). Returns the file paths written.
+ */
+std::vector<std::string> writeWorkloadFiles(const std::string& directory,
+                                            Rng& rng,
+                                            std::size_t samples = 200000,
+                                            std::size_t bins = 2000);
+
+/**
+ * Load a workload previously written by writeWorkloadFiles():
+ * `<dir>/<name>.arrival.dist` and `<dir>/<name>.service.dist`.
+ */
+Workload loadWorkload(const std::string& directory, std::string_view name);
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_WORKLOAD_LIBRARY_HH

@@ -1,0 +1,64 @@
+#include "workload/trace.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+void
+writeTrace(const std::string& path,
+           const std::vector<TraceSource::Record>& records)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace file ", path, " for writing");
+    out.precision(17);
+    out << "# BigHouse trace v1: arrivalTime size\n";
+    for (const auto& record : records)
+        out << record.arrivalTime << " " << record.size << "\n";
+    if (!out)
+        fatal("write error on trace file ", path);
+}
+
+std::vector<TraceSource::Record>
+readTrace(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file ", path);
+    std::vector<TraceSource::Record> records;
+    std::string line;
+    Time previousArrival = -1.0;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream iss(line);
+        TraceSource::Record record{};
+        iss >> record.arrivalTime >> record.size;
+        if (!iss)
+            fatal("malformed trace line '", line, "' in ", path);
+        if (record.arrivalTime < previousArrival)
+            fatal("trace ", path, " is not sorted by arrival time");
+        if (record.size < 0)
+            fatal("negative task size in trace ", path);
+        previousArrival = record.arrivalTime;
+        records.push_back(record);
+    }
+    return records;
+}
+
+RecordingAcceptor::RecordingAcceptor(TaskAcceptor& downstream)
+    : downstream(downstream)
+{
+}
+
+void
+RecordingAcceptor::accept(Task task)
+{
+    captured.push_back({task.arrivalTime, task.size});
+    downstream.accept(std::move(task));
+}
+
+} // namespace bighouse

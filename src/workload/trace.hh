@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Trace recording and replay support. The paper discusses replaying
+ * traces directly through the discrete-event simulator as an alternative
+ * to synthetic draws; this module provides the trace file format and a
+ * recorder that captures (arrivalTime, size) pairs from a live run so a
+ * synthetic experiment can be re-run deterministically as a trace.
+ */
+
+#ifndef BIGHOUSE_WORKLOAD_TRACE_HH
+#define BIGHOUSE_WORKLOAD_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "queueing/source.hh"
+#include "queueing/task.hh"
+
+namespace bighouse {
+
+/** Write records as a two-column text file ("arrival size" per line). */
+void writeTrace(const std::string& path,
+                const std::vector<TraceSource::Record>& records);
+
+/** Read a trace file; fatal() on I/O or format errors. */
+std::vector<TraceSource::Record> readTrace(const std::string& path);
+
+/**
+ * A pass-through TaskAcceptor that records every task it forwards —
+ * instrumentation in the spirit of the paper's online workload capture.
+ */
+class RecordingAcceptor : public TaskAcceptor
+{
+  public:
+    explicit RecordingAcceptor(TaskAcceptor& downstream);
+
+    void accept(Task task) override;
+
+    const std::vector<TraceSource::Record>& records() const
+    {
+        return captured;
+    }
+
+  private:
+    TaskAcceptor& downstream;
+    std::vector<TraceSource::Record> captured;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_WORKLOAD_TRACE_HH

@@ -1,0 +1,54 @@
+#include "workload/workload.hh"
+
+#include "base/logging.hh"
+#include "distribution/compose.hh"
+
+namespace bighouse {
+
+double
+offeredLoad(const Workload& workload, unsigned cores)
+{
+    BH_ASSERT(cores > 0, "offeredLoad needs cores >= 1");
+    const double arrivalMean = workload.interarrival->mean();
+    if (arrivalMean <= 0)
+        fatal("workload '", workload.name,
+              "' has non-positive mean inter-arrival time");
+    return workload.service->mean()
+           / (static_cast<double>(cores) * arrivalMean);
+}
+
+Workload
+scaledToLoad(const Workload& workload, unsigned cores, double rho)
+{
+    if (rho <= 0)
+        fatal("target load must be > 0, got ", rho);
+    const double current = offeredLoad(workload, cores);
+    // rho scales inversely with mean inter-arrival time.
+    const double factor = current / rho;
+    Workload scaled = workload.clone();
+    scaled.interarrival = bighouse::scaled(*workload.interarrival, factor);
+    return scaled;
+}
+
+Workload
+scaledArrivalRate(const Workload& workload, double factor)
+{
+    if (factor <= 0)
+        fatal("arrival rate factor must be > 0, got ", factor);
+    Workload out = workload.clone();
+    out.interarrival =
+        bighouse::scaled(*workload.interarrival, 1.0 / factor);
+    return out;
+}
+
+Workload
+slowedService(const Workload& workload, double slowdown)
+{
+    if (slowdown <= 0)
+        fatal("service slowdown must be > 0, got ", slowdown);
+    Workload out = workload.clone();
+    out.service = bighouse::scaled(*workload.service, slowdown);
+    return out;
+}
+
+} // namespace bighouse

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A BigHouse workload: the pair of distributions Sec. 2.2 defines ("each
+ * workload comprises a pair of distributions ... the client request
+ * inter-arrival distribution and the response service time distribution")
+ * plus the load-scaling helpers the case studies use.
+ */
+
+#ifndef BIGHOUSE_WORKLOAD_WORKLOAD_HH
+#define BIGHOUSE_WORKLOAD_WORKLOAD_HH
+
+#include <string>
+
+#include "distribution/distribution.hh"
+
+namespace bighouse {
+
+/** Inter-arrival + service distribution pair. */
+struct Workload
+{
+    std::string name;
+    DistPtr interarrival;
+    DistPtr service;
+
+    /** Deep copy. */
+    Workload
+    clone() const
+    {
+        return Workload{name, interarrival->clone(), service->clone()};
+    }
+};
+
+/**
+ * Offered load rho = E[S] / (k * E[A]) for a k-core server: the fraction
+ * of aggregate service capacity the workload consumes.
+ */
+double offeredLoad(const Workload& workload, unsigned cores);
+
+/**
+ * Copy of the workload with the inter-arrival distribution scaled so that
+ * the offered load on a k-core server equals `rho` ("load can be varied
+ * by scaling the inter-arrival distribution"). Scaling preserves the
+ * distribution's shape (Cv).
+ */
+Workload scaledToLoad(const Workload& workload, unsigned cores, double rho);
+
+/**
+ * Copy with the arrival *rate* multiplied by `factor` (inter-arrival
+ * times divided by it).
+ */
+Workload scaledArrivalRate(const Workload& workload, double factor);
+
+/** Copy with service times stretched by `slowdown` (e.g. SCPU of Fig. 4). */
+Workload slowedService(const Workload& workload, double slowdown);
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the Welford accumulator, including the parallel merge
+ * identity the master/slave protocol depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "base/math_utils.hh"
+#include "base/random.hh"
+#include "stats/accumulator.hh"
+
+namespace bighouse {
+namespace {
+
+TEST(Accumulator, MatchesBatchStatistics)
+{
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    Accumulator acc;
+    for (double x : xs)
+        acc.add(x);
+    EXPECT_EQ(acc.count(), xs.size());
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, EmptyAndSingle)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+    acc.add(3.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Accumulator, CvMatchesDefinition)
+{
+    Accumulator acc;
+    Rng rng(5);
+    for (int i = 0; i < 100000; ++i)
+        acc.add(rng.exponential(2.0));
+    EXPECT_NEAR(acc.cv(), 1.0, 0.02);
+}
+
+TEST(Accumulator, MergeEqualsSequential)
+{
+    Rng rng(7);
+    std::vector<double> xs(10000);
+    for (double& x : xs)
+        x = rng.uniform(0.0, 5.0);
+
+    Accumulator whole;
+    for (double x : xs)
+        whole.add(x);
+
+    // Split in uneven parts and merge.
+    Accumulator a, b, c;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        (i < 100 ? a : (i < 7000 ? b : c)).add(xs[i]);
+    }
+    Accumulator merged;
+    merged.merge(a);
+    merged.merge(b);
+    merged.merge(c);
+
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides)
+{
+    Accumulator a;
+    a.add(1.0);
+    a.add(3.0);
+    Accumulator empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    Accumulator target;
+    target.merge(a);
+    EXPECT_EQ(target.count(), 2u);
+    EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(Accumulator, MergeIsOrderIndependent)
+{
+    Accumulator a, b;
+    for (int i = 0; i < 100; ++i)
+        a.add(i);
+    for (int i = 100; i < 300; ++i)
+        b.add(i * 0.5);
+
+    Accumulator ab = a;
+    ab.merge(b);
+    Accumulator ba = b;
+    ba.merge(a);
+    EXPECT_NEAR(ab.mean(), ba.mean(), 1e-12);
+    EXPECT_NEAR(ab.variance(), ba.variance(), 1e-9);
+    EXPECT_EQ(ab.count(), ba.count());
+}
+
+TEST(Accumulator, ResetClearsState)
+{
+    Accumulator acc;
+    acc.add(5.0);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+}
+
+TEST(Accumulator, NumericalStabilityWithLargeOffset)
+{
+    // Welford should handle a large common offset without catastrophic
+    // cancellation: variance of {offset, offset+1} is 0.5.
+    Accumulator acc;
+    const double offset = 1e12;
+    for (int i = 0; i < 1000; ++i) {
+        acc.add(offset);
+        acc.add(offset + 1.0);
+    }
+    EXPECT_NEAR(acc.variance(), 0.25 * 2000.0 / 1999.0, 1e-6);
+    EXPECT_NEAR(acc.mean(), offset + 0.5, 1e-3);
+}
+
+} // namespace
+} // namespace bighouse

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the autocorrelation diagnostics: exact ACF of known
+ * processes, integrated autocorrelation time of AR(1), and the
+ * end-to-end link to lag spacing — the lag the runs-up search chooses
+ * should leave spaced samples with near-unit tau.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "base/random.hh"
+#include "stats/autocorrelation.hh"
+#include "stats/runs_test.hh"
+
+namespace bighouse {
+namespace {
+
+std::vector<double>
+ar1(double rho, std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> xs(n);
+    double state = 0.0;
+    for (double& x : xs) {
+        state = rho * state + std::sqrt(1.0 - rho * rho) * rng.gaussian();
+        x = state;
+    }
+    return xs;
+}
+
+TEST(Autocorrelation, IidIsNearZero)
+{
+    Rng rng(1);
+    std::vector<double> xs(100000);
+    for (double& x : xs)
+        x = rng.uniform01();
+    for (std::size_t lag : {1u, 5u, 20u})
+        EXPECT_NEAR(autocorrelation(xs, lag), 0.0, 0.02) << lag;
+    EXPECT_NEAR(integratedAutocorrelationTime(xs), 1.0, 0.15);
+}
+
+TEST(Autocorrelation, Ar1MatchesTheory)
+{
+    const double rho = 0.8;
+    const auto xs = ar1(rho, 200000, 2);
+    for (std::size_t lag : {1u, 2u, 4u}) {
+        EXPECT_NEAR(autocorrelation(xs, lag),
+                    std::pow(rho, static_cast<double>(lag)), 0.03)
+            << lag;
+    }
+    // tau = (1+rho)/(1-rho) = 9 for AR(1).
+    EXPECT_NEAR(integratedAutocorrelationTime(xs), 9.0, 1.5);
+}
+
+TEST(Autocorrelation, AcfVectorShape)
+{
+    const auto xs = ar1(0.5, 50000, 3);
+    const auto acf = autocorrelationFunction(xs, 10);
+    ASSERT_EQ(acf.size(), 11u);
+    EXPECT_DOUBLE_EQ(acf[0], 1.0);
+    for (std::size_t lag = 1; lag < acf.size(); ++lag)
+        EXPECT_LT(acf[lag], acf[lag - 1] + 0.03);
+}
+
+TEST(Autocorrelation, DegenerateInputs)
+{
+    const std::vector<double> constant(100, 5.0);
+    EXPECT_DOUBLE_EQ(autocorrelation(constant, 1), 0.0);
+    EXPECT_DOUBLE_EQ(integratedAutocorrelationTime(constant), 1.0);
+    const std::vector<double> one = {1.0};
+    EXPECT_DOUBLE_EQ(autocorrelation(one, 0), 0.0);
+    EXPECT_DOUBLE_EQ(autocorrelation(one, 5), 0.0);
+    EXPECT_TRUE(autocorrelationFunction({}, 3).size() == 4);
+}
+
+TEST(Autocorrelation, RunsUpLagLeavesNearIidResiduals)
+{
+    // The lag chosen by calibration should reduce the spaced sequence's
+    // integrated autocorrelation time to near 1 — the property the
+    // convergence formulas rely on.
+    const auto xs = ar1(0.9, 60000, 4);
+    const double tauRaw = integratedAutocorrelationTime(xs);
+    EXPECT_GT(tauRaw, 10.0);
+
+    const LagResult lag = findLag(xs, 64, 0.05, 500);
+    ASSERT_TRUE(lag.passed);
+    std::vector<double> spaced;
+    for (std::size_t i = lag.lag - 1; i < xs.size(); i += lag.lag)
+        spaced.push_back(xs[i]);
+    const double tauSpaced = integratedAutocorrelationTime(spaced);
+    EXPECT_LT(tauSpaced, 2.5);
+    EXPECT_LT(tauSpaced, tauRaw / 4.0);
+}
+
+} // namespace
+} // namespace bighouse

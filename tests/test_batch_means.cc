@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the batch-means accumulator: exact batching arithmetic,
+ * variance deflation on i.i.d. input, and honest variance on
+ * autocorrelated input (the property lag spacing is compared against).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "base/random.hh"
+#include "stats/batch_means.hh"
+
+namespace bighouse {
+namespace {
+
+TEST(BatchMeans, ExactSmallCase)
+{
+    BatchMeans bm(3);
+    for (double x : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0})
+        bm.add(x);
+    // Batches: {1,2,3} -> 2 and {4,5,6} -> 5; the 7 is unfinished.
+    EXPECT_EQ(bm.batches(), 2u);
+    EXPECT_EQ(bm.observations(), 7u);
+    EXPECT_DOUBLE_EQ(bm.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(bm.varianceOfMeans(), 4.5);  // var of {2, 5}
+}
+
+TEST(BatchMeans, IidVarianceShrinksByBatchSize)
+{
+    Rng rng(1);
+    BatchMeans bm(25);
+    constexpr int n = 250000;
+    for (int i = 0; i < n; ++i)
+        bm.add(rng.exponential(1.0));
+    // Var of a mean of 25 iid Exp(1) = 1/25.
+    EXPECT_NEAR(bm.varianceOfMeans(), 1.0 / 25.0, 0.004);
+    EXPECT_NEAR(bm.mean(), 1.0, 0.01);
+    EXPECT_EQ(bm.batches(), static_cast<std::uint64_t>(n / 25));
+}
+
+TEST(BatchMeans, AutocorrelatedVarianceStaysHonest)
+{
+    // AR(1) with rho = 0.9: Var(mean of b) >> Var(x)/b. A batch long
+    // relative to the correlation time captures that inflation, which
+    // naive-iid arithmetic misses.
+    auto makeSeries = [](int n) {
+        Rng rng(2);
+        std::vector<double> xs(static_cast<std::size_t>(n));
+        double state = 0.0;
+        for (double& x : xs) {
+            state = 0.9 * state
+                    + std::sqrt(1.0 - 0.81) * rng.gaussian();
+            x = state;
+        }
+        return xs;
+    };
+    const auto xs = makeSeries(400000);
+    BatchMeans big(500);
+    for (double x : xs)
+        big.add(x);
+    // Theoretical variance of a long-batch mean of AR(1):
+    // ~ (1+rho)/(1-rho) / b = 19/b.
+    const double expected = 19.0 / 500.0;
+    EXPECT_NEAR(big.varianceOfMeans() / expected, 1.0, 0.35);
+    // Naive iid math would claim 1/b = 0.002 — an order too small.
+    EXPECT_GT(big.varianceOfMeans(), 5.0 / 500.0);
+}
+
+TEST(BatchMeansDeathTest, ZeroBatchSize)
+{
+    EXPECT_EXIT(BatchMeans(0), ::testing::ExitedWithCode(1), ">= 1");
+}
+
+} // namespace
+} // namespace bighouse

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for Eqs. 1-3: required-sample-size arithmetic, including the
+ * paper-consistency check that E=.01 with Cv~1 requires "just under
+ * 40,000" samples (Sec. 4.2 / Fig. 10).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/math_utils.hh"
+#include "stats/confidence.hh"
+
+namespace bighouse {
+namespace {
+
+TEST(ConfidenceSpec, CriticalValue)
+{
+    ConfidenceSpec spec;  // 0.05 / 0.95 defaults
+    EXPECT_NEAR(spec.critical(), 1.959964, 1e-5);
+    EXPECT_EXIT((ConfidenceSpec{0.0, 0.95}.critical()),
+                ::testing::ExitedWithCode(1), "accuracy");
+    EXPECT_EXIT((ConfidenceSpec{0.05, 1.5}.critical()),
+                ::testing::ExitedWithCode(1), "confidence");
+}
+
+TEST(RequiredSamplesMean, MatchesEquationTwo)
+{
+    const double z = 1.959964;
+    // Nm = (z * Cv / E)^2 with Cv = stddev/mean.
+    const std::uint64_t n = requiredSamplesMean(z, 10.0, 10.0, 0.05);
+    EXPECT_EQ(n, static_cast<std::uint64_t>(std::ceil(
+                     (z * 1.0 / 0.05) * (z * 1.0 / 0.05))));
+    EXPECT_NEAR(static_cast<double>(n), 1537.0, 1.0);
+}
+
+TEST(RequiredSamplesMean, PaperFigure10Consistency)
+{
+    // The paper: at E = .01 the capping experiment needs "a sample size
+    // just under 40,000". With Cv ~ 1: (1.96/0.01)^2 = 38,416.
+    const double z = normalCritical(0.95);
+    const std::uint64_t n = requiredSamplesMean(z, 1.0, 1.0, 0.01);
+    EXPECT_GT(n, 38000u);
+    EXPECT_LT(n, 40000u);
+}
+
+TEST(RequiredSamplesMean, ScalesQuadraticallyWithAccuracy)
+{
+    const double z = 1.96;
+    const auto n1 = requiredSamplesMean(z, 1.0, 2.0, 0.10);
+    const auto n2 = requiredSamplesMean(z, 1.0, 2.0, 0.05);
+    const auto n3 = requiredSamplesMean(z, 1.0, 2.0, 0.01);
+    EXPECT_NEAR(static_cast<double>(n2) / static_cast<double>(n1), 4.0,
+                0.01);
+    EXPECT_NEAR(static_cast<double>(n3) / static_cast<double>(n1), 100.0,
+                0.1);
+}
+
+TEST(RequiredSamplesMean, ScalesQuadraticallyWithCv)
+{
+    const double z = 1.96;
+    const auto cv1 = requiredSamplesMean(z, 1.0, 1.0, 0.05);
+    const auto cv2 = requiredSamplesMean(z, 1.0, 2.0, 0.05);
+    const auto cv4 = requiredSamplesMean(z, 1.0, 4.0, 0.05);
+    EXPECT_NEAR(static_cast<double>(cv2) / static_cast<double>(cv1), 4.0,
+                0.01);
+    EXPECT_NEAR(static_cast<double>(cv4) / static_cast<double>(cv1), 16.0,
+                0.05);
+}
+
+TEST(RequiredSamplesMean, FloorsDegenerateEstimates)
+{
+    EXPECT_EQ(requiredSamplesMean(1.96, 0.0, 0.0, 0.05), 100u);
+    EXPECT_EQ(requiredSamplesMean(1.96, 5.0, 0.0, 0.05), 100u);
+    EXPECT_EQ(requiredSamplesMean(1.96, 5.0, 0.001, 0.05, 250), 250u);
+}
+
+TEST(RequiredSamplesQuantile, MatchesEquationThree)
+{
+    const double z = 1.959964;
+    // Nq = z^2 q(1-q) / E^2; q=.95, E=.01 -> ~1825.
+    const std::uint64_t n = requiredSamplesQuantile(z, 0.95, 0.01);
+    EXPECT_NEAR(static_cast<double>(n),
+                z * z * 0.95 * 0.05 / (0.01 * 0.01), 1.0);
+}
+
+TEST(RequiredSamplesQuantile, MedianNeedsMostSamples)
+{
+    const double z = 1.96;
+    // E = .01 keeps all three above the 100-sample floor.
+    const auto n50 = requiredSamplesQuantile(z, 0.50, 0.01);
+    const auto n95 = requiredSamplesQuantile(z, 0.95, 0.01);
+    const auto n99 = requiredSamplesQuantile(z, 0.99, 0.01);
+    // q(1-q) peaks at q = 1/2.
+    EXPECT_GT(n50, n95);
+    EXPECT_GT(n95, n99);
+}
+
+TEST(RequiredSamplesQuantile, MeanDominatesAtCvOne)
+{
+    // The Fig. 10 note: with Cv ~ 1 and E = .01, Nm ~ 38.4k dominates
+    // Nq(0.95) ~ 1.8k, so N = max(Nm, Nq) = Nm.
+    const double z = normalCritical(0.95);
+    const auto nm = requiredSamplesMean(z, 1.0, 1.0, 0.01);
+    const auto nq = requiredSamplesQuantile(z, 0.95, 0.01);
+    EXPECT_GT(nm, 20 * nq);
+}
+
+TEST(MeanInterval, HalfWidthShrinkage)
+{
+    const Interval wide = meanInterval(1.96, 10.0, 4.0, 100);
+    const Interval narrow = meanInterval(1.96, 10.0, 4.0, 10000);
+    EXPECT_DOUBLE_EQ(wide.center, 10.0);
+    EXPECT_NEAR(wide.halfWidth, 1.96 * 4.0 / 10.0, 1e-12);
+    EXPECT_NEAR(narrow.halfWidth / wide.halfWidth, 0.1, 1e-9);
+    EXPECT_DOUBLE_EQ(wide.lower(), 10.0 - wide.halfWidth);
+    EXPECT_DOUBLE_EQ(wide.upper(), 10.0 + wide.halfWidth);
+}
+
+} // namespace
+} // namespace bighouse

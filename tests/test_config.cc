@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for typed dotted-path config access.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "config/config.hh"
+
+namespace bighouse {
+namespace {
+
+Config
+sample()
+{
+    return Config::fromString(R"({
+        "cluster": {
+            "servers": 128,
+            "server": {"cores": 4, "idleWatts": 150.5},
+            "name": "capping-demo",
+            "jsq": true
+        },
+        "sweep": [0.1, 0.05, 0.01]
+    })");
+}
+
+TEST(Config, ResolvesDottedPaths)
+{
+    const Config cfg = sample();
+    EXPECT_EQ(cfg.getInt("cluster.servers"), 128);
+    EXPECT_EQ(cfg.getInt("cluster.server.cores"), 4);
+    EXPECT_DOUBLE_EQ(*cfg.getDouble("cluster.server.idleWatts"), 150.5);
+    EXPECT_EQ(*cfg.getString("cluster.name"), "capping-demo");
+    EXPECT_TRUE(*cfg.getBool("cluster.jsq"));
+}
+
+TEST(Config, HasAndMissing)
+{
+    const Config cfg = sample();
+    EXPECT_TRUE(cfg.has("cluster.server.cores"));
+    EXPECT_FALSE(cfg.has("cluster.server.sockets"));
+    EXPECT_FALSE(cfg.has("nothing.at.all"));
+    EXPECT_FALSE(cfg.getDouble("nothing").has_value());
+}
+
+TEST(Config, FallbackValues)
+{
+    const Config cfg = sample();
+    EXPECT_EQ(cfg.getInt("cluster.racks", 7), 7);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("cluster.server.idleWatts", 0.0), 150.5);
+    EXPECT_EQ(cfg.getString("cluster.label", "default"), "default");
+    EXPECT_FALSE(cfg.getBool("cluster.off", false));
+}
+
+TEST(Config, RequireFormsReturnOrDie)
+{
+    const Config cfg = sample();
+    EXPECT_EQ(cfg.requireInt("cluster.servers"), 128);
+    EXPECT_EQ(cfg.requireString("cluster.name"), "capping-demo");
+    EXPECT_EXIT(cfg.requireDouble("cluster.watts"),
+                ::testing::ExitedWithCode(1), "missing required");
+}
+
+TEST(Config, DoubleArray)
+{
+    const Config cfg = sample();
+    const auto sweep = cfg.requireDoubleArray("sweep");
+    ASSERT_EQ(sweep.size(), 3u);
+    EXPECT_DOUBLE_EQ(sweep[0], 0.1);
+    EXPECT_DOUBLE_EQ(sweep[2], 0.01);
+    EXPECT_EXIT(cfg.requireDoubleArray("cluster"),
+                ::testing::ExitedWithCode(1), "not an array");
+}
+
+TEST(Config, Sections)
+{
+    const Config cfg = sample();
+    const Config server = cfg.requireSection("cluster.server");
+    EXPECT_EQ(server.getInt("cores"), 4);
+    EXPECT_EXIT(cfg.requireSection("cluster.servers"),
+                ::testing::ExitedWithCode(1), "not an object");
+}
+
+TEST(Config, TypeMismatchIsFatal)
+{
+    const Config cfg = sample();
+    EXPECT_EXIT(cfg.getDouble("cluster.name"),
+                ::testing::ExitedWithCode(1), "not a number");
+    EXPECT_EXIT(cfg.getInt("cluster.server.idleWatts"),
+                ::testing::ExitedWithCode(1), "not an integer");
+    EXPECT_EXIT(cfg.getBool("cluster.servers"),
+                ::testing::ExitedWithCode(1), "not a boolean");
+}
+
+TEST(Config, FromFileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/bh_config_test.json";
+    {
+        std::ofstream out(path);
+        out << "// experiment\n{\"epochs\": 5}\n";
+    }
+    const Config cfg = Config::fromFile(path);
+    EXPECT_EQ(cfg.getInt("epochs"), 5);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace bighouse

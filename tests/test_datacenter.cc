@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the load balancer disciplines and the Cluster aggregate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "datacenter/cluster.hh"
+#include "distribution/basic.hh"
+#include "queueing/source.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+namespace {
+
+Task
+makeTask(std::uint64_t id, Time arrival, double size)
+{
+    Task task;
+    task.id = id;
+    task.arrivalTime = arrival;
+    task.size = size;
+    task.remaining = size;
+    return task;
+}
+
+TEST(LoadBalancer, ParseDispatchNames)
+{
+    EXPECT_EQ(parseDispatch("random"), Dispatch::Random);
+    EXPECT_EQ(parseDispatch("RoundRobin"), Dispatch::RoundRobin);
+    EXPECT_EQ(parseDispatch("rr"), Dispatch::RoundRobin);
+    EXPECT_EQ(parseDispatch("JSQ"), Dispatch::JoinShortestQueue);
+    EXPECT_EXIT(parseDispatch("bogus"), ::testing::ExitedWithCode(1),
+                "unknown dispatch");
+}
+
+TEST(LoadBalancer, RoundRobinCycles)
+{
+    Engine sim;
+    Server a(sim, 1), b(sim, 1), c(sim, 1);
+    LoadBalancer lb({&a, &b, &c}, Dispatch::RoundRobin, Rng(1));
+    for (std::uint64_t i = 0; i < 9; ++i)
+        lb.accept(makeTask(i, 0.0, 1.0));
+    EXPECT_EQ(lb.perServerCounts(),
+              (std::vector<std::uint64_t>{3, 3, 3}));
+    EXPECT_EQ(lb.routedCount(), 9u);
+}
+
+TEST(LoadBalancer, RandomIsRoughlyBalanced)
+{
+    Engine sim;
+    Server a(sim, 1), b(sim, 1);
+    LoadBalancer lb({&a, &b}, Dispatch::Random, Rng(2));
+    for (std::uint64_t i = 0; i < 10000; ++i)
+        lb.accept(makeTask(i, 0.0, 0.0));
+    sim.run();
+    const auto& counts = lb.perServerCounts();
+    EXPECT_NEAR(static_cast<double>(counts[0]), 5000.0, 300.0);
+}
+
+TEST(LoadBalancer, JsqPrefersShortestQueue)
+{
+    Engine sim;
+    Server a(sim, 1), b(sim, 1);
+    LoadBalancer lb({&a, &b}, Dispatch::JoinShortestQueue, Rng(3));
+    // Preload server a with a long task plus queue.
+    a.accept(makeTask(100, 0.0, 10.0));
+    a.accept(makeTask(101, 0.0, 10.0));
+    lb.accept(makeTask(1, 0.0, 1.0));  // b is empty -> goes to b
+    EXPECT_EQ(b.outstanding(), 1u);
+    lb.accept(makeTask(2, 0.0, 1.0));  // a has 2, b has 1 -> b again
+    EXPECT_EQ(b.outstanding(), 2u);
+    lb.accept(makeTask(3, 0.0, 1.0));  // tie at 2: first minimum wins (a)
+    EXPECT_EQ(a.outstanding(), 3u);
+}
+
+TEST(Cluster, ConstructionAndWiring)
+{
+    Engine sim;
+    Cluster cluster(sim, ClusterSpec{8, 4, Dispatch::RoundRobin}, Rng(4));
+    EXPECT_EQ(cluster.size(), 8u);
+    EXPECT_EQ(cluster.server(0).coreCount(), 4u);
+    EXPECT_EQ(cluster.serverPointers().size(), 8u);
+}
+
+TEST(Cluster, CompletionsFlowThroughSharedHandler)
+{
+    Engine sim;
+    Cluster cluster(sim, ClusterSpec{4, 2, Dispatch::RoundRobin}, Rng(5));
+    std::uint64_t completions = 0;
+    cluster.setCompletionHandler([&](const Task&) { ++completions; });
+    Source source(sim, cluster.intake(),
+                  std::make_unique<Exponential>(50.0),
+                  std::make_unique<Exponential>(100.0), Rng(6));
+    source.start();
+    sim.schedule(20.0, [&] { source.stop(); });
+    sim.run();
+    EXPECT_EQ(completions, source.generated());
+    EXPECT_EQ(cluster.totalCompleted(), completions);
+    EXPECT_EQ(cluster.totalOutstanding(), 0u);
+}
+
+TEST(Cluster, AverageUtilizationMatchesOfferedLoad)
+{
+    Engine sim;
+    Cluster cluster(sim, ClusterSpec{4, 2, Dispatch::Random}, Rng(7));
+    // Aggregate load: arrivals 80/s, mean size 50 ms -> 4 core-equivalents
+    // across 8 cores -> 50% utilization.
+    Source source(sim, cluster.intake(),
+                  std::make_unique<Exponential>(80.0),
+                  std::make_unique<Exponential>(20.0), Rng(8));
+    source.start();
+    sim.runUntil(200.0);
+    EXPECT_NEAR(cluster.averageUtilization(200.0), 0.5, 0.05);
+}
+
+TEST(ClusterDeathTest, InvalidSpecs)
+{
+    Engine sim;
+    EXPECT_EXIT(Cluster(sim, ClusterSpec{0, 4, Dispatch::Random}, Rng(9)),
+                ::testing::ExitedWithCode(1), "at least one");
+}
+
+} // namespace
+} // namespace bighouse

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the DreamWeaver idleness scheduler: napping on partial
+ * occupancy, budget-bounded wakes, early wake when work fills the cores,
+ * the latency-for-idleness trade (Fig. 6's mechanism), and conservation
+ * of all tasks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "distribution/basic.hh"
+#include "policy/dreamweaver.hh"
+#include "queueing/source.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+namespace {
+
+Task
+makeTask(std::uint64_t id, Time arrival, double size)
+{
+    Task task;
+    task.id = id;
+    task.arrivalTime = arrival;
+    task.size = size;
+    task.remaining = size;
+    return task;
+}
+
+DreamWeaverSpec
+spec(Time budget, Time wakeLatency = 0.0)
+{
+    DreamWeaverSpec s;
+    s.delayBudget = budget;
+    s.sleep.wakeLatency = wakeLatency;
+    return s;
+}
+
+TEST(DreamWeaver, NapsWhenPartiallyOccupied)
+{
+    Engine sim;
+    // 4 cores, 1 outstanding task -> naps immediately on arrival (the
+    // task stalls until the budget forces a wake).
+    DreamWeaverServer dw(sim, 4, spec(1.0));
+    std::vector<Task> done;
+    dw.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    sim.schedule(0.0, [&] { dw.accept(makeTask(1, 0.0, 0.5)); });
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    // Starts asleep (fresh server idles below cores), wakes at budget=1.0,
+    // runs 0.5s -> finish 1.5.
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 1.5);
+    EXPECT_GE(dw.napCount(), 1u);
+}
+
+TEST(DreamWeaver, WakesEarlyWhenCoresFill)
+{
+    Engine sim;
+    DreamWeaverServer dw(sim, 2, spec(10.0));
+    std::vector<Task> done;
+    dw.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    sim.schedule(0.0, [&] { dw.accept(makeTask(1, 0.0, 1.0)); });
+    sim.schedule(0.5, [&] { dw.accept(makeTask(2, 0.5, 1.0)); });
+    sim.run();
+    // Nap starts with task 1; task 2 brings outstanding to cores (2) at
+    // t=0.5, forcing a wake far before the 10s budget.
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 1.5);
+    EXPECT_DOUBLE_EQ(done[1].finishTime, 1.5);
+}
+
+TEST(DreamWeaver, ZeroBudgetBehavesLikePlainServer)
+{
+    Engine sim;
+    DreamWeaverServer dw(sim, 2, spec(0.0));
+    std::vector<Task> done;
+    dw.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    sim.schedule(0.0, [&] { dw.accept(makeTask(1, 0.0, 1.0)); });
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    // Budget 0: wake timer fires immediately; only queueing-free service.
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 1.0);
+}
+
+TEST(DreamWeaver, WakeLatencyDelaysService)
+{
+    Engine sim;
+    DreamWeaverServer dw(sim, 4, spec(1.0, 0.25));
+    std::vector<Task> done;
+    dw.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    sim.schedule(0.0, [&] { dw.accept(makeTask(1, 0.0, 0.5)); });
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    // Budget 1.0 + wake 0.25 + service 0.5.
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 1.75);
+}
+
+TEST(DreamWeaver, OverBudgetTaskPinsServerAwake)
+{
+    Engine sim;
+    DreamWeaverServer dw(sim, 2, spec(1.0));
+    std::vector<Task> done;
+    dw.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    // Two tasks arrive together: cores fill, wake, both run [start ~0].
+    sim.schedule(0.0, [&] {
+        dw.accept(makeTask(1, 0.0, 5.0));
+        dw.accept(makeTask(2, 0.0, 0.5));
+    });
+    // Task 2 finishes at ~0.5; outstanding (1) < cores (2), but task 1
+    // stalled a full budget before starting, so the server stays awake
+    // and task 1 completes without further delay.
+    sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_DOUBLE_EQ(done[1].arrivalTime + done[1].responseTime(),
+                     done[1].finishTime);
+    // Task 1: 1.0 stall (budget) + 5.0 service = 6.0 finish.
+    EXPECT_DOUBLE_EQ(done[1].finishTime, 6.0);
+}
+
+TEST(DreamWeaver, TradesLatencyForIdleness)
+{
+    // Sweep the delay budget; idle fraction must rise and p99-ish latency
+    // must rise with it — the Fig. 6 trade-off.
+    auto runWith = [](Time budget) {
+        Engine sim;
+        DreamWeaverServer dw(sim, 8, spec(budget, 1.0 * kMilliSecond));
+        std::vector<double> latencies;
+        dw.setCompletionHandler([&](const Task& t) {
+            latencies.push_back(t.responseTime());
+        });
+        Source source(sim, dw, std::make_unique<Exponential>(100.0),
+                      std::make_unique<Exponential>(50.0), Rng(7));
+        source.start();
+        sim.runUntil(200.0);
+        double sum = 0.0;
+        for (double latency : latencies)
+            sum += latency;
+        return std::pair<double, double>(
+            dw.idleFraction(), sum / static_cast<double>(latencies.size()));
+    };
+    const auto [idleSmall, latencySmall] = runWith(5.0 * kMilliSecond);
+    const auto [idleLarge, latencyLarge] = runWith(100.0 * kMilliSecond);
+    EXPECT_GT(idleLarge, idleSmall);
+    EXPECT_GT(latencyLarge, latencySmall);
+    EXPECT_GT(idleLarge, 0.3);  // long budget coalesces lots of idleness
+}
+
+TEST(DreamWeaver, AllTasksComplete)
+{
+    Engine sim;
+    DreamWeaverServer dw(sim, 4, spec(20.0 * kMilliSecond, kMilliSecond));
+    std::uint64_t completed = 0;
+    dw.setCompletionHandler([&](const Task&) { ++completed; });
+    Source source(sim, dw, std::make_unique<Exponential>(200.0),
+                  std::make_unique<Exponential>(100.0), Rng(11));
+    source.start();
+    sim.schedule(100.0, [&] { source.stop(); });
+    sim.run();  // drain
+    EXPECT_EQ(completed, source.generated());
+    EXPECT_EQ(dw.server().outstanding(), 0u);
+}
+
+TEST(DreamWeaver, IdleFractionBoundedByOne)
+{
+    Engine sim;
+    DreamWeaverServer dw(sim, 2, spec(1.0));
+    sim.schedule(10.0, [&] {});
+    sim.run();
+    EXPECT_GE(dw.idleFraction(), 0.0);
+    EXPECT_LE(dw.idleFraction(), 1.0);
+    // A server with no work at all naps the entire time.
+    EXPECT_GT(dw.idleFraction(), 0.95);
+}
+
+} // namespace
+} // namespace bighouse

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the histogram-backed empirical distribution: construction from
+ * samples, inverse-transform sampling fidelity, quantiles, and the .dist
+ * file round trip used by the workload library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "base/math_utils.hh"
+#include "base/random.hh"
+#include "distribution/basic.hh"
+#include "distribution/empirical.hh"
+#include "distribution/phase_type.hh"
+
+namespace bighouse {
+namespace {
+
+std::vector<double>
+drawMany(const Distribution& d, int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> xs(n);
+    for (double& x : xs)
+        x = d.sample(rng);
+    return xs;
+}
+
+TEST(Empirical, PreservesSourceMoments)
+{
+    const Exponential source(2.0);
+    const auto samples = drawMany(source, 200000, 1);
+    const auto emp = EmpiricalDistribution::fromSamples(samples, 2000);
+    // Recorded moments are the exact sample moments.
+    EXPECT_NEAR(emp.mean(), sampleMean(samples), 1e-12);
+    EXPECT_NEAR(emp.variance(), sampleVariance(samples), 1e-9);
+    EXPECT_EQ(emp.observationCount(), samples.size());
+}
+
+TEST(Empirical, ResamplingReproducesMoments)
+{
+    const HyperExponential source = HyperExponential::fromMeanCv(1.0, 2.0);
+    const auto samples = drawMany(source, 300000, 2);
+    const auto emp = EmpiricalDistribution::fromSamples(samples, 4000);
+
+    const auto redraw = drawMany(emp, 300000, 3);
+    EXPECT_NEAR(sampleMean(redraw), 1.0, 0.03);
+    // Binning clips the extreme tail, so allow a generous variance band.
+    EXPECT_NEAR(sampleStddev(redraw) / sampleMean(redraw), 2.0, 0.25);
+}
+
+TEST(Empirical, SamplesStayInRange)
+{
+    const auto samples = std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0};
+    const auto emp = EmpiricalDistribution::fromSamples(samples, 4);
+    Rng rng(4);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = emp.sample(rng);
+        ASSERT_GE(x, emp.rangeLo());
+        ASSERT_LE(x, emp.rangeHi());
+    }
+}
+
+TEST(Empirical, QuantilesOfUniformGrid)
+{
+    // 10k uniform samples on [0,1] -> quantile(q) ~ q.
+    const Uniform source(0.0, 1.0);
+    const auto samples = drawMany(source, 100000, 5);
+    const auto emp = EmpiricalDistribution::fromSamples(samples, 1000);
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+        EXPECT_NEAR(emp.quantile(q), q, 0.01) << "q=" << q;
+    }
+    EXPECT_NEAR(emp.quantile(0.0), 0.0, 0.01);
+    EXPECT_NEAR(emp.quantile(1.0), 1.0, 0.01);
+}
+
+TEST(Empirical, QuantileMonotone)
+{
+    const Exponential source(1.0);
+    const auto samples = drawMany(source, 50000, 6);
+    const auto emp = EmpiricalDistribution::fromSamples(samples, 500);
+    double prev = -1.0;
+    for (double q = 0.0; q <= 1.0; q += 0.01) {
+        const double x = emp.quantile(q);
+        ASSERT_GE(x, prev);
+        prev = x;
+    }
+}
+
+TEST(Empirical, ConstantSampleDegenerates)
+{
+    const std::vector<double> samples(100, 3.5);
+    const auto emp = EmpiricalDistribution::fromSamples(samples, 10);
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_NEAR(emp.sample(rng), 3.5, 1e-6);
+    EXPECT_DOUBLE_EQ(emp.mean(), 3.5);
+}
+
+TEST(Empirical, FromDistributionMatchesSource)
+{
+    const Exponential source(5.0);
+    Rng rng(8);
+    const auto emp =
+        EmpiricalDistribution::fromDistribution(source, rng, 200000, 2000);
+    EXPECT_NEAR(emp.mean(), 0.2, 0.005);
+    EXPECT_NEAR(emp.cv(), 1.0, 0.05);
+}
+
+TEST(Empirical, FileRoundTrip)
+{
+    const Exponential source(3.0);
+    const auto samples = drawMany(source, 50000, 9);
+    const auto original = EmpiricalDistribution::fromSamples(samples, 750);
+
+    const std::string path = ::testing::TempDir() + "/bh_empirical_test.dist";
+    original.toFile(path);
+    const auto loaded = EmpiricalDistribution::fromFile(path);
+    std::remove(path.c_str());
+
+    EXPECT_DOUBLE_EQ(loaded.mean(), original.mean());
+    EXPECT_DOUBLE_EQ(loaded.variance(), original.variance());
+    EXPECT_EQ(loaded.observationCount(), original.observationCount());
+    EXPECT_EQ(loaded.binCount(), original.binCount());
+    EXPECT_DOUBLE_EQ(loaded.rangeLo(), original.rangeLo());
+    EXPECT_DOUBLE_EQ(loaded.rangeHi(), original.rangeHi());
+    // Same CDF -> identical draws under the same stream.
+    Rng a(10), b(10);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_DOUBLE_EQ(original.sample(a), loaded.sample(b));
+}
+
+TEST(Empirical, CompactFootprint)
+{
+    // The paper: "a typical distribution occupies less than 1 MB".
+    const Exponential source(1.0);
+    const auto samples = drawMany(source, 1000000, 11);
+    const auto emp = EmpiricalDistribution::fromSamples(samples, 10000);
+    const std::string path = ::testing::TempDir() + "/bh_footprint.dist";
+    emp.toFile(path);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long bytes = std::ftell(f);
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_LT(bytes, 1 << 20);
+}
+
+TEST(EmpiricalDeathTest, RejectsBadInput)
+{
+    EXPECT_EXIT(EmpiricalDistribution::fromSamples({}, 10),
+                ::testing::ExitedWithCode(1), "empty");
+    const std::vector<double> neg = {1.0, -0.5};
+    EXPECT_EXIT(EmpiricalDistribution::fromSamples(neg, 10),
+                ::testing::ExitedWithCode(1), "negative");
+    const std::vector<double> ok = {1.0, 2.0};
+    EXPECT_EXIT(EmpiricalDistribution::fromSamples(ok, 0),
+                ::testing::ExitedWithCode(1), "binCount");
+    EXPECT_EXIT(EmpiricalDistribution::fromFile("/nonexistent/x.dist"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace bighouse

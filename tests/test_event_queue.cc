@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the event queue: ordering, FIFO tie-breaking, and lazy
+ * cancellation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "base/random.hh"
+#include "sim/event_queue.hh"
+
+namespace bighouse {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.push(3.0, [&] { order.push_back(3); });
+    q.push(1.0, [&] { order.push_back(1); });
+    q.push(2.0, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.pop().second();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.push(5.0, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.pop().second();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RandomizedOrderProperty)
+{
+    EventQueue q;
+    Rng rng(99);
+    for (int i = 0; i < 5000; ++i)
+        q.push(rng.uniform(0.0, 100.0), [] {});
+    double previous = -1.0;
+    while (!q.empty()) {
+        const auto [time, fn] = q.pop();
+        ASSERT_GE(time, previous);
+        previous = time;
+    }
+}
+
+TEST(EventQueue, NextTimeMatchesPop)
+{
+    EventQueue q;
+    q.push(7.0, [] {});
+    q.push(4.0, [] {});
+    EXPECT_DOUBLE_EQ(q.nextTime(), 4.0);
+    EXPECT_DOUBLE_EQ(q.pop().first, 4.0);
+    EXPECT_DOUBLE_EQ(q.nextTime(), 7.0);
+    q.pop();
+    EXPECT_DOUBLE_EQ(q.nextTime(), kTimeNever);
+}
+
+TEST(EventQueue, CancelRemovesEvent)
+{
+    EventQueue q;
+    int fired = 0;
+    q.push(1.0, [&] { ++fired; });
+    const EventId id = q.push(2.0, [&] { fired += 100; });
+    q.push(3.0, [&] { ++fired; });
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_EQ(q.size(), 2u);
+    while (!q.empty())
+        q.pop().second();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelTwiceFails)
+{
+    EventQueue q;
+    const EventId id = q.push(1.0, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireFails)
+{
+    EventQueue q;
+    const EventId id = q.push(1.0, [] {});
+    q.pop();
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelEarliestAdvancesNextTime)
+{
+    EventQueue q;
+    const EventId first = q.push(1.0, [] {});
+    q.push(2.0, [] {});
+    q.cancel(first);
+    EXPECT_DOUBLE_EQ(q.nextTime(), 2.0);
+    EXPECT_DOUBLE_EQ(q.pop().first, 2.0);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAllLeavesEmptyQueue)
+{
+    EventQueue q;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 100; ++i)
+        ids.push_back(q.push(static_cast<Time>(i), [] {}));
+    for (const EventId id : ids)
+        EXPECT_TRUE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+    EXPECT_DOUBLE_EQ(q.nextTime(), kTimeNever);
+}
+
+TEST(EventQueue, StressInterleavedPushPopCancel)
+{
+    EventQueue q;
+    Rng rng(123);
+    std::vector<EventId> pending;
+    double clock = 0.0;
+    int fired = 0, cancelled = 0;
+    for (int step = 0; step < 20000; ++step) {
+        const double roll = rng.uniform01();
+        if (roll < 0.5 || q.empty()) {
+            pending.push_back(
+                q.push(clock + rng.uniform(0.0, 10.0), [&] { ++fired; }));
+        } else if (roll < 0.75 && !pending.empty()) {
+            const std::size_t pick = rng.below(pending.size());
+            cancelled += q.cancel(pending[pick]) ? 1 : 0;
+            pending.erase(pending.begin()
+                          + static_cast<std::ptrdiff_t>(pick));
+        } else {
+            const auto [time, fn] = q.pop();
+            ASSERT_GE(time, clock);
+            clock = time;
+            fn();
+        }
+    }
+    while (!q.empty()) {
+        const auto [time, fn] = q.pop();
+        ASSERT_GE(time, clock);
+        clock = time;
+        fn();
+    }
+    EXPECT_GT(fired, 0);
+    EXPECT_GT(cancelled, 0);
+}
+
+TEST(EventQueueDeathTest, PopEmptyPanics)
+{
+    EventQueue q;
+    EXPECT_DEATH(q.pop(), "empty event queue");
+}
+
+} // namespace
+} // namespace bighouse

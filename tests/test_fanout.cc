@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the partition/aggregate fan-out topology: completion-on-last-
+ * leaf semantics, the closed-form mean of the max of exponentials at
+ * zero load, and tail amplification with fan-out width.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "datacenter/fanout.hh"
+#include "distribution/basic.hh"
+#include "queueing/source.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+namespace {
+
+Task
+makeRequest(std::uint64_t id, Time arrival)
+{
+    Task task;
+    task.id = id;
+    task.arrivalTime = arrival;
+    return task;
+}
+
+TEST(FanOut, CompletesOnlyWhenAllLeavesReply)
+{
+    Engine sim;
+    // Deterministic leaf demands would be equal; use per-leaf servers
+    // with distinct speeds to stagger replies instead.
+    FanOutCluster cluster(sim, 3, 1, std::make_unique<Deterministic>(1.0),
+                          Rng(1));
+    cluster.leaf(0).setSpeed(1.0);
+    cluster.leaf(1).setSpeed(0.5);   // replies at t=2
+    cluster.leaf(2).setSpeed(0.25);  // replies at t=4 (the straggler)
+    std::vector<Task> done;
+    cluster.setCompletionHandler(
+        [&](const Task& t) { done.push_back(t); });
+    sim.schedule(0.0, [&] { cluster.accept(makeRequest(1, 0.0)); });
+    sim.schedule(3.0, [&] {
+        EXPECT_TRUE(done.empty());  // two of three replied; still waiting
+        EXPECT_EQ(cluster.inFlight(), 1u);
+    });
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 4.0);
+    EXPECT_DOUBLE_EQ(done[0].responseTime(), 4.0);
+    EXPECT_EQ(cluster.inFlight(), 0u);
+    EXPECT_EQ(cluster.completedCount(), 1u);
+}
+
+TEST(FanOut, MaxOfExponentialsAtZeroLoad)
+{
+    // One request at a time: E[max of k Exp(1)] = H_k.
+    for (const unsigned k : {1u, 4u, 16u}) {
+        Engine sim;
+        FanOutCluster cluster(sim, k, 1,
+                              std::make_unique<Exponential>(1.0), Rng(7));
+        double sum = 0.0;
+        std::uint64_t finished = 0;
+        cluster.setCompletionHandler([&](const Task& t) {
+            sum += t.responseTime();
+            ++finished;
+        });
+        // Serialize requests so leaves never queue.
+        constexpr int kRequests = 30000;
+        std::function<void(int)> submit = [&](int i) {
+            if (i >= kRequests)
+                return;
+            cluster.accept(makeRequest(static_cast<std::uint64_t>(i),
+                                       sim.now()));
+            // The next request departs well after the previous drains.
+            sim.scheduleAfter(100.0, [&submit, i] { submit(i + 1); });
+        };
+        sim.schedule(0.0, [&] { submit(0); });
+        sim.run();
+        double harmonic = 0.0;
+        for (unsigned j = 1; j <= k; ++j)
+            harmonic += 1.0 / j;
+        EXPECT_NEAR(sum / static_cast<double>(finished), harmonic,
+                    0.05 * harmonic + 0.02)
+            << "k=" << k;
+    }
+}
+
+TEST(FanOut, TailAmplifiesWithWidth)
+{
+    auto p99For = [](unsigned leaves) {
+        Engine sim;
+        FanOutCluster cluster(sim, leaves, 1,
+                              std::make_unique<Exponential>(50.0),
+                              Rng(11));
+        std::vector<double> latencies;
+        cluster.setCompletionHandler([&](const Task& t) {
+            latencies.push_back(t.responseTime());
+        });
+        Source source(sim, cluster, std::make_unique<Exponential>(10.0),
+                      std::make_unique<Deterministic>(0.0), Rng(12));
+        source.start();
+        sim.runUntil(2000.0);
+        std::sort(latencies.begin(), latencies.end());
+        return latencies[static_cast<std::size_t>(0.99
+                                                  * (latencies.size() - 1))];
+    };
+    const double narrow = p99For(2);
+    const double wide = p99For(32);
+    EXPECT_GT(wide, narrow);
+}
+
+TEST(FanOut, AllRequestsEventuallyComplete)
+{
+    Engine sim;
+    FanOutCluster cluster(sim, 8, 2, std::make_unique<Exponential>(100.0),
+                          Rng(21));
+    std::uint64_t completions = 0;
+    cluster.setCompletionHandler([&](const Task&) { ++completions; });
+    Source source(sim, cluster, std::make_unique<Exponential>(30.0),
+                  std::make_unique<Deterministic>(0.0), Rng(22));
+    source.start();
+    sim.schedule(200.0, [&] { source.stop(); });
+    sim.run();
+    EXPECT_EQ(completions, source.generated());
+    EXPECT_EQ(cluster.inFlight(), 0u);
+    EXPECT_EQ(cluster.arrivedCount(), source.generated());
+}
+
+TEST(FanOutDeathTest, InvalidConstruction)
+{
+    Engine sim;
+    EXPECT_EXIT(FanOutCluster(sim, 0, 1,
+                              std::make_unique<Exponential>(1.0), Rng(1)),
+                ::testing::ExitedWithCode(1), "leaf");
+    EXPECT_EXIT(FanOutCluster(sim, 2, 1, nullptr, Rng(1)),
+                ::testing::ExitedWithCode(1), "service distribution");
+}
+
+} // namespace
+} // namespace bighouse

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Property tests for two-moment fitting: for any requested (mean, cv) the
+ * returned distribution must report exactly those moments and reproduce
+ * them under sampling. This underpins the Fig. 5 / Fig. 8 sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "base/math_utils.hh"
+#include "base/random.hh"
+#include "distribution/fit.hh"
+
+namespace bighouse {
+namespace {
+
+struct FitCase
+{
+    double mean;
+    double cv;
+};
+
+class FitProperty : public ::testing::TestWithParam<FitCase>
+{
+};
+
+TEST_P(FitProperty, AnalyticMomentsMatchRequest)
+{
+    const auto [mean, cv] = GetParam();
+    const DistPtr d = fitMeanCv(mean, cv);
+    EXPECT_NEAR(d->mean(), mean, 1e-9 * mean);
+    EXPECT_NEAR(d->cv(), cv, 1e-6);
+}
+
+TEST_P(FitProperty, SampledMomentsMatchRequest)
+{
+    const auto [mean, cv] = GetParam();
+    const DistPtr d = fitMeanCv(mean, cv);
+    Rng rng(0xF17);
+    const int n = 500000;
+    std::vector<double> xs(n);
+    for (double& x : xs)
+        x = d->sample(rng);
+    EXPECT_NEAR(sampleMean(xs), mean, 0.05 * mean * std::max(cv, 0.2));
+    if (cv > 0) {
+        EXPECT_NEAR(sampleCv(xs), cv, 0.1 * cv);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MeanCvGrid, FitProperty,
+    ::testing::Values(FitCase{1.0, 0.0}, FitCase{1.0, 0.3},
+                      FitCase{1.0, 0.7}, FitCase{1.0, 1.0},
+                      FitCase{1.0, 1.5}, FitCase{1.0, 2.0},
+                      FitCase{1.0, 4.0}, FitCase{0.000319, 1.2},
+                      FitCase{0.186, 2.0}, FitCase{194.0, 1.0},
+                      FitCase{0.046, 3.0}),
+    [](const ::testing::TestParamInfo<FitCase>& info) {
+        const auto& p = info.param;
+        std::string name = "mean" + std::to_string(p.mean) + "cv"
+                           + std::to_string(p.cv);
+        for (char& c : name) {
+            if (c == '.' || c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(Fit, PicksExpectedFamilies)
+{
+    EXPECT_NE(fitMeanCv(1.0, 0.0)->describe().find("Deterministic"),
+              std::string::npos);
+    EXPECT_NE(fitMeanCv(1.0, 0.5)->describe().find("Gamma"),
+              std::string::npos);
+    EXPECT_NE(fitMeanCv(1.0, 1.0)->describe().find("Exponential"),
+              std::string::npos);
+    EXPECT_NE(fitMeanCv(1.0, 2.0)->describe().find("HyperExponential"),
+              std::string::npos);
+}
+
+TEST(Fit, LogNormalAlternative)
+{
+    const DistPtr d = fitLogNormalMeanCv(2.0, 3.4);
+    EXPECT_NEAR(d->mean(), 2.0, 1e-9);
+    EXPECT_NEAR(d->cv(), 3.4, 1e-9);
+}
+
+TEST(FitDeathTest, RejectsInvalidMoments)
+{
+    EXPECT_EXIT(fitMeanCv(0.0, 1.0), ::testing::ExitedWithCode(1), "mean");
+    EXPECT_EXIT(fitMeanCv(-1.0, 1.0), ::testing::ExitedWithCode(1), "mean");
+    EXPECT_EXIT(fitMeanCv(1.0, -0.5), ::testing::ExitedWithCode(1), "cv");
+}
+
+} // namespace
+} // namespace bighouse

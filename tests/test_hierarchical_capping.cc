@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the SHIP-style hierarchical (cluster -> rack -> server)
+ * capping coordinator: budget conservation across levels, idle floors,
+ * utilization-directed shifting between racks, and throttling behavior
+ * consistent with the flat coordinator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "distribution/basic.hh"
+#include "policy/hierarchical_capping.hh"
+#include "queueing/source.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+namespace {
+
+constexpr ServerPowerSpec kPower{150.0, 150.0, 5.0};
+
+HierarchicalCappingSpec
+spec(double budgetFraction)
+{
+    HierarchicalCappingSpec s;
+    s.budgetFraction = budgetFraction;
+    s.epoch = 1.0;
+    s.dvfs = DvfsModel(kPower, 0.9, 0.5);
+    return s;
+}
+
+TEST(HierarchicalCapping, EpochCadenceAndBudget)
+{
+    Engine sim;
+    Server a(sim, 4), b(sim, 4), c(sim, 4), d(sim, 4);
+    HierarchicalCappingCoordinator coordinator(
+        sim, {{&a, &b}, {&c, &d}}, spec(0.8));
+    EXPECT_EQ(coordinator.rackCount(), 2u);
+    EXPECT_DOUBLE_EQ(coordinator.facilityBudgetWatts(), 0.8 * 300.0 * 4);
+    coordinator.start();
+    sim.runUntil(8.5);
+    EXPECT_EQ(coordinator.epochCount(), 8u);
+}
+
+TEST(HierarchicalCapping, RackBudgetsSumToFacilityBudget)
+{
+    Engine sim;
+    Server a(sim, 4), b(sim, 4), c(sim, 4), d(sim, 4), e(sim, 4);
+    // Uneven racks: 2 + 3 servers.
+    HierarchicalCappingCoordinator coordinator(
+        sim, {{&a, &b}, {&c, &d, &e}}, spec(0.7));
+    double budgetSum = 0.0;
+    std::size_t observations = 0;
+    coordinator.setObserver(
+        [&](std::size_t, const RackObservation& obs) {
+            budgetSum += obs.budgetWatts;
+            ++observations;
+        });
+    coordinator.start();
+    sim.runUntil(1.5);  // one epoch
+    ASSERT_EQ(observations, 2u);
+    EXPECT_NEAR(budgetSum, coordinator.facilityBudgetWatts(), 1e-6);
+}
+
+TEST(HierarchicalCapping, BusyRackDrawsBudgetFromIdleRack)
+{
+    Engine sim;
+    Server busyA(sim, 4), busyB(sim, 4), idleA(sim, 4), idleB(sim, 4);
+    Source source1(sim, busyA, std::make_unique<Deterministic>(0.01),
+                   std::make_unique<Deterministic>(0.05), Rng(1), 0);
+    Source source2(sim, busyB, std::make_unique<Deterministic>(0.01),
+                   std::make_unique<Deterministic>(0.05), Rng(2), 1);
+    source1.start();
+    source2.start();
+    HierarchicalCappingCoordinator coordinator(
+        sim, {{&busyA, &busyB}, {&idleA, &idleB}}, spec(0.7));
+    std::vector<double> budgets(2, 0.0);
+    coordinator.setObserver(
+        [&](std::size_t rack, const RackObservation& obs) {
+            budgets[rack] = obs.budgetWatts;
+        });
+    coordinator.start();
+    sim.runUntil(4.5);
+    // The busy rack gets the idle rack's dynamic headroom; the idle rack
+    // keeps (at least) its idle floor.
+    EXPECT_GT(budgets[0], budgets[1]);
+    EXPECT_GE(budgets[1], 2 * 150.0 - 1e-6);
+}
+
+TEST(HierarchicalCapping, TightBudgetThrottles)
+{
+    Engine sim;
+    Server busyA(sim, 4), busyB(sim, 4);
+    Source source1(sim, busyA, std::make_unique<Deterministic>(0.01),
+                   std::make_unique<Deterministic>(0.05), Rng(3), 0);
+    Source source2(sim, busyB, std::make_unique<Deterministic>(0.01),
+                   std::make_unique<Deterministic>(0.05), Rng(4), 1);
+    source1.start();
+    source2.start();
+    HierarchicalCappingCoordinator coordinator(sim, {{&busyA}, {&busyB}},
+                                               spec(0.6));
+    std::vector<RackObservation> seen;
+    coordinator.setObserver([&](std::size_t, const RackObservation& obs) {
+        seen.push_back(obs);
+    });
+    coordinator.start();
+    sim.runUntil(5.5);
+    ASSERT_FALSE(seen.empty());
+    EXPECT_LT(busyA.speed(), 1.0);
+    EXPECT_GT(seen.back().cappingWatts, 0.0);
+    EXPECT_LE(seen.back().powerWatts, seen.back().budgetWatts + 1e-6);
+}
+
+TEST(HierarchicalCapping, IdleFacilityUnthrottled)
+{
+    Engine sim;
+    Server a(sim, 4), b(sim, 4);
+    HierarchicalCappingCoordinator coordinator(sim, {{&a}, {&b}},
+                                               spec(0.8));
+    coordinator.start();
+    sim.runUntil(3.5);
+    EXPECT_DOUBLE_EQ(a.speed(), 1.0);
+    EXPECT_DOUBLE_EQ(b.speed(), 1.0);
+}
+
+TEST(HierarchicalCappingDeathTest, InvalidConfiguration)
+{
+    Engine sim;
+    Server server(sim, 4);
+    EXPECT_EXIT(
+        HierarchicalCappingCoordinator(sim, {}, spec(0.7)),
+        ::testing::ExitedWithCode(1), "at least one rack");
+    EXPECT_EXIT(HierarchicalCappingCoordinator(
+                    sim, {{&server}, {}}, spec(0.7)),
+                ::testing::ExitedWithCode(1), "empty rack");
+    EXPECT_EXIT(HierarchicalCappingCoordinator(
+                    sim, {{nullptr}}, spec(0.7)),
+                ::testing::ExitedWithCode(1), "null server");
+    EXPECT_EXIT(HierarchicalCappingCoordinator(
+                    sim, {{&server}}, spec(1.5)),
+                ::testing::ExitedWithCode(1), "budgetFraction");
+}
+
+} // namespace
+} // namespace bighouse

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the calibrated-bin histogram: quantile fidelity against exact
+ * sorted quantiles, under/overflow handling, merging (the Fig. 3 reduce
+ * step), and the broadcast serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "base/random.hh"
+#include "stats/histogram.hh"
+
+namespace bighouse {
+namespace {
+
+double
+exactQuantile(std::vector<double> xs, double q)
+{
+    std::sort(xs.begin(), xs.end());
+    const double idx = q * (static_cast<double>(xs.size()) - 1.0);
+    const auto lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+TEST(BinScheme, SerializeRoundTrip)
+{
+    const BinScheme scheme{0.125, 17.5, 4096};
+    const BinScheme loaded = BinScheme::deserialize(scheme.serialize());
+    EXPECT_EQ(loaded, scheme);
+}
+
+TEST(BinScheme, DeserializeRejectsGarbage)
+{
+    EXPECT_EXIT(BinScheme::deserialize("nonsense 1 2 3"),
+                ::testing::ExitedWithCode(1), "malformed");
+    EXPECT_EXIT(BinScheme::deserialize("binscheme 5 1 10"),
+                ::testing::ExitedWithCode(1), "malformed");
+    EXPECT_EXIT(BinScheme::deserialize("binscheme 0 1 0"),
+                ::testing::ExitedWithCode(1), "malformed");
+}
+
+TEST(SuggestBinScheme, ExpandsRangeAndClampsAtZero)
+{
+    const std::vector<double> sample = {1.0, 2.0, 3.0};
+    const BinScheme scheme = suggestBinScheme(sample, 100, 0.5);
+    EXPECT_DOUBLE_EQ(scheme.lo, 0.0);  // 1 - 0.5*2 = 0, clamped at >= 0
+    EXPECT_DOUBLE_EQ(scheme.hi, 4.0);  // 3 + 0.5*2
+    EXPECT_EQ(scheme.bins, 100u);
+}
+
+TEST(SuggestBinScheme, DegenerateSample)
+{
+    const std::vector<double> sample = {5.0, 5.0, 5.0};
+    const BinScheme scheme = suggestBinScheme(sample, 10, 0.5);
+    EXPECT_LT(scheme.lo, 5.0);
+    EXPECT_GT(scheme.hi, 5.0);
+}
+
+TEST(Histogram, CountsAndRangeTracking)
+{
+    Histogram h(BinScheme{0.0, 10.0, 100});
+    h.add(-1.0);   // underflow
+    h.add(5.0);
+    h.add(15.0);   // overflow
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.observedMin(), -1.0);
+    EXPECT_DOUBLE_EQ(h.observedMax(), 15.0);
+    EXPECT_NEAR(h.outOfRangeFraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, QuantilesMatchExactSortWithinBinWidth)
+{
+    Rng rng(42);
+    Histogram h(BinScheme{0.0, 10.0, 2000});
+    std::vector<double> xs;
+    for (int i = 0; i < 100000; ++i) {
+        const double x = rng.exponential(1.0);
+        xs.push_back(x);
+        h.add(x);
+    }
+    for (double q : {0.5, 0.9, 0.95, 0.99}) {
+        const double exact = exactQuantile(xs, q);
+        EXPECT_NEAR(h.quantile(q), exact, 0.02 + 0.01 * exact)
+            << "q=" << q;
+    }
+}
+
+TEST(Histogram, QuantileEdgeCases)
+{
+    Histogram h(BinScheme{0.0, 1.0, 10});
+    h.add(0.25);
+    h.add(0.75);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.25);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.75);
+}
+
+TEST(Histogram, OverflowMassInterpolates)
+{
+    Histogram h(BinScheme{0.0, 1.0, 10});
+    for (int i = 0; i < 90; ++i)
+        h.add(0.5);
+    for (int i = 0; i < 10; ++i)
+        h.add(5.0);  // all overflow, max = 5
+    // p95 lands midway through the overflow mass.
+    const double p95 = h.quantile(0.95);
+    EXPECT_GE(p95, 1.0);
+    EXPECT_LE(p95, 5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(Histogram, ApproximateMeanNearTrueMean)
+{
+    Rng rng(7);
+    Histogram h(BinScheme{0.0, 20.0, 4000});
+    double sum = 0.0;
+    constexpr int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.exponential(0.5);
+        sum += x;
+        h.add(x);
+    }
+    EXPECT_NEAR(h.approximateMean(), sum / n, 0.05);
+}
+
+TEST(Histogram, MergeEqualsUnion)
+{
+    const BinScheme scheme{0.0, 10.0, 500};
+    Histogram a(scheme), b(scheme), whole(scheme);
+    Rng rng(9);
+    for (int i = 0; i < 20000; ++i) {
+        const double x = rng.exponential(0.7);
+        whole.add(x);
+        (i % 2 == 0 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    for (double q : {0.25, 0.5, 0.9, 0.95}) {
+        EXPECT_DOUBLE_EQ(a.quantile(q), whole.quantile(q)) << "q=" << q;
+    }
+    EXPECT_DOUBLE_EQ(a.observedMin(), whole.observedMin());
+    EXPECT_DOUBLE_EQ(a.observedMax(), whole.observedMax());
+}
+
+TEST(Histogram, MergeRejectsMismatchedSchemes)
+{
+    Histogram a(BinScheme{0.0, 10.0, 100});
+    Histogram b(BinScheme{0.0, 10.0, 200});
+    EXPECT_EXIT(a.merge(b), ::testing::ExitedWithCode(1),
+                "bin schemes differ");
+}
+
+TEST(Histogram, SerializeRoundTrip)
+{
+    Histogram h(BinScheme{0.0, 5.0, 50});
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i)
+        h.add(rng.uniform(-1.0, 7.0));
+    const Histogram loaded = Histogram::deserialize(h.serialize());
+    EXPECT_EQ(loaded.count(), h.count());
+    EXPECT_EQ(loaded.scheme(), h.scheme());
+    EXPECT_DOUBLE_EQ(loaded.observedMin(), h.observedMin());
+    EXPECT_DOUBLE_EQ(loaded.observedMax(), h.observedMax());
+    for (double q : {0.1, 0.5, 0.95})
+        EXPECT_DOUBLE_EQ(loaded.quantile(q), h.quantile(q));
+}
+
+TEST(Histogram, SerializeRoundTripEmpty)
+{
+    Histogram h(BinScheme{0.0, 1.0, 10});
+    const Histogram loaded = Histogram::deserialize(h.serialize());
+    EXPECT_EQ(loaded.count(), 0u);
+    // Merging an empty deserialized histogram must not disturb extremes.
+    Histogram other(BinScheme{0.0, 1.0, 10});
+    other.add(0.5);
+    other.merge(loaded);
+    EXPECT_DOUBLE_EQ(other.observedMin(), 0.5);
+    EXPECT_DOUBLE_EQ(other.observedMax(), 0.5);
+}
+
+TEST(HistogramDeathTest, InvalidUse)
+{
+    Histogram h(BinScheme{0.0, 1.0, 10});
+    EXPECT_DEATH(h.quantile(0.5), "empty histogram");
+    h.add(0.5);
+    EXPECT_DEATH(h.quantile(1.5), "0,1");
+    EXPECT_EXIT(Histogram(BinScheme{1.0, 0.0, 10}),
+                ::testing::ExitedWithCode(1), "hi > lo");
+}
+
+} // namespace
+} // namespace bighouse

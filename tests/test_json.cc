@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the minimal JSON parser and serializer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/json.hh"
+
+namespace bighouse {
+namespace {
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(parseJson("null").value.isNull());
+    EXPECT_EQ(parseJson("true").value.asBool(), true);
+    EXPECT_EQ(parseJson("false").value.asBool(), false);
+    EXPECT_DOUBLE_EQ(parseJson("3.25").value.asNumber(), 3.25);
+    EXPECT_DOUBLE_EQ(parseJson("-17").value.asNumber(), -17.0);
+    EXPECT_DOUBLE_EQ(parseJson("6.02e23").value.asNumber(), 6.02e23);
+    EXPECT_EQ(parseJson("\"hi\"").value.asString(), "hi");
+}
+
+TEST(JsonParse, NestedStructure)
+{
+    const auto result = parseJson(R"({
+        "cluster": {"servers": 100, "cores": 4},
+        "workloads": ["dns", "mail"],
+        "scale": 0.75,
+        "enabled": true
+    })");
+    ASSERT_TRUE(result.ok) << result.error;
+    const JsonValue& root = result.value;
+    EXPECT_DOUBLE_EQ(root.find("cluster")->find("servers")->asNumber(), 100);
+    EXPECT_DOUBLE_EQ(root.find("cluster")->find("cores")->asNumber(), 4);
+    ASSERT_EQ(root.find("workloads")->asArray().size(), 2u);
+    EXPECT_EQ(root.find("workloads")->asArray()[1].asString(), "mail");
+    EXPECT_TRUE(root.find("enabled")->asBool());
+    EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    const auto result = parseJson(R"("a\"b\\c\nd\teA")");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.value.asString(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParse, UnicodeEscapeEncodesUtf8)
+{
+    const auto result = parseJson(R"("é中")");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.value.asString(), "\xC3\xA9\xE4\xB8\xAD");
+}
+
+TEST(JsonParse, LineCommentsExtension)
+{
+    const auto result = parseJson(
+        "{\n  // number of servers\n  \"servers\": 10 // inline\n}");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_DOUBLE_EQ(result.value.find("servers")->asNumber(), 10.0);
+}
+
+TEST(JsonParse, EmptyContainers)
+{
+    EXPECT_TRUE(parseJson("{}").value.asObject().empty());
+    EXPECT_TRUE(parseJson("[]").value.asArray().empty());
+    EXPECT_TRUE(parseJson("[ ]").ok);
+    EXPECT_TRUE(parseJson("{ }").ok);
+}
+
+TEST(JsonParse, ErrorsCarryPosition)
+{
+    const auto r1 = parseJson("{\"a\": }");
+    EXPECT_FALSE(r1.ok);
+    EXPECT_NE(r1.error.find("line 1"), std::string::npos);
+
+    const auto r2 = parseJson("[1, 2,\n 3");
+    EXPECT_FALSE(r2.ok);
+    EXPECT_NE(r2.error.find("line 2"), std::string::npos);
+
+    EXPECT_FALSE(parseJson("").ok);
+    EXPECT_FALSE(parseJson("tru").ok);
+    EXPECT_FALSE(parseJson("{\"a\":1,}").ok);
+    EXPECT_FALSE(parseJson("\"unterminated").ok);
+    EXPECT_FALSE(parseJson("1 2").ok);
+    EXPECT_FALSE(parseJson("1e").ok);
+}
+
+TEST(JsonDump, RoundTripsCompact)
+{
+    const char* text =
+        R"({"a":[1,2.5,true,null],"b":{"c":"x\ny"},"d":-3})";
+    const auto parsed = parseJson(text);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const std::string dumped = parsed.value.dump();
+    const auto reparsed = parseJson(dumped);
+    ASSERT_TRUE(reparsed.ok) << reparsed.error;
+    EXPECT_EQ(reparsed.value.dump(), dumped);
+}
+
+TEST(JsonDump, IndentedOutputIsReparseable)
+{
+    const auto parsed = parseJson(R"({"k":[1,2],"m":{"n":true}})");
+    ASSERT_TRUE(parsed.ok);
+    const std::string pretty = parsed.value.dump(2);
+    EXPECT_NE(pretty.find('\n'), std::string::npos);
+    EXPECT_TRUE(parseJson(pretty).ok);
+}
+
+TEST(JsonDump, PreservesPrecision)
+{
+    JsonValue v(0.1234567890123456789);
+    const auto reparsed = parseJson(v.dump());
+    ASSERT_TRUE(reparsed.ok);
+    EXPECT_DOUBLE_EQ(reparsed.value.asNumber(), 0.1234567890123456789);
+}
+
+TEST(JsonValue, TypeMismatchIsFatal)
+{
+    JsonValue number(1.0);
+    EXPECT_EXIT(number.asString(), ::testing::ExitedWithCode(1),
+                "not a string");
+    JsonValue str("x");
+    EXPECT_EXIT(str.asNumber(), ::testing::ExitedWithCode(1),
+                "not a number");
+}
+
+} // namespace
+} // namespace bighouse

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Unit tests for the logging / error discipline: fatal() exits with code 1
+ * (user error), panic() aborts (simulator bug), and level filtering works.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+namespace {
+
+TEST(LoggingDeathTest, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("bad user input: ", 42),
+                ::testing::ExitedWithCode(1), "bad user input: 42");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant broken: ", "queue empty"),
+                 "invariant broken: queue empty");
+}
+
+TEST(LoggingDeathTest, AssertMacroPanicsOnFalse)
+{
+    EXPECT_DEATH(BH_ASSERT(1 == 2, "context"), "assertion failed: 1 == 2");
+}
+
+TEST(Logging, AssertMacroPassesOnTrue)
+{
+    BH_ASSERT(2 + 2 == 4);
+    SUCCEED();
+}
+
+TEST(Logging, LevelRoundTrips)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    // Should be dropped silently, not crash.
+    warn("suppressed message");
+    inform("suppressed message");
+    setLogLevel(before);
+}
+
+TEST(Logging, ConcatFormatsMixedTypes)
+{
+    EXPECT_EQ(detail::concat("x=", 3, ", y=", 2.5, ", s=", "str"),
+              "x=3, y=2.5, s=str");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+} // namespace
+} // namespace bighouse

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the numeric kernels behind Eqs. 2-3 and the runs-up test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "base/math_utils.hh"
+
+namespace bighouse {
+namespace {
+
+TEST(NormalQuantile, KnownValues)
+{
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(normalQuantile(0.975), 1.959964, 1e-5);
+    EXPECT_NEAR(normalQuantile(0.95), 1.644854, 1e-5);
+    EXPECT_NEAR(normalQuantile(0.995), 2.575829, 1e-5);
+    EXPECT_NEAR(normalQuantile(0.841344746), 1.0, 1e-6);
+}
+
+TEST(NormalQuantile, Symmetry)
+{
+    for (double p : {0.01, 0.1, 0.25, 0.4}) {
+        EXPECT_NEAR(normalQuantile(p), -normalQuantile(1.0 - p), 1e-8)
+            << "p=" << p;
+    }
+}
+
+TEST(NormalQuantile, TailValues)
+{
+    EXPECT_NEAR(normalQuantile(1e-6), -4.753424, 1e-4);
+    EXPECT_NEAR(normalQuantile(1.0 - 1e-6), 4.753424, 1e-4);
+}
+
+TEST(NormalCritical, NinetyFivePercentIsZ196)
+{
+    // The paper: "Z ... is 1.96 for 95% confidence".
+    EXPECT_NEAR(normalCritical(0.95), 1.959964, 1e-5);
+    EXPECT_NEAR(normalCritical(0.99), 2.575829, 1e-5);
+    EXPECT_NEAR(normalCritical(0.90), 1.644854, 1e-5);
+}
+
+TEST(ChiSquareQuantile, SixDegreesOfFreedom)
+{
+    // Exact chi2_{0.95, 6} = 12.5916; Wilson-Hilferty is good to ~0.2%.
+    EXPECT_NEAR(chiSquareQuantile(0.95, 6), 12.5916, 0.05);
+    EXPECT_NEAR(chiSquareQuantile(0.99, 6), 16.8119, 0.08);
+    EXPECT_NEAR(chiSquareQuantile(0.05, 6), 1.6354, 0.05);
+}
+
+TEST(ChiSquareQuantile, OtherDegrees)
+{
+    EXPECT_NEAR(chiSquareQuantile(0.95, 10), 18.3070, 0.08);
+    EXPECT_NEAR(chiSquareQuantile(0.95, 3), 7.8147, 0.08);
+}
+
+TEST(KahanSum, RecoversSmallTermsNextToLargeOnes)
+{
+    KahanSum sum;
+    sum.add(1e16);
+    for (int i = 0; i < 10000; ++i)
+        sum.add(1.0);
+    sum.add(-1e16);
+    EXPECT_DOUBLE_EQ(sum.value(), 10000.0);
+}
+
+TEST(KahanSum, ResetClears)
+{
+    KahanSum sum;
+    sum.add(5.0);
+    sum.reset();
+    EXPECT_DOUBLE_EQ(sum.value(), 0.0);
+}
+
+TEST(SampleStats, MeanVarianceOfKnownSample)
+{
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(sampleMean(xs), 5.0);
+    // Sum of squared deviations = 32; unbiased variance = 32/7.
+    EXPECT_NEAR(sampleVariance(xs), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(sampleStddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_NEAR(sampleCv(xs), std::sqrt(32.0 / 7.0) / 5.0, 1e-12);
+}
+
+TEST(SampleStats, DegenerateCases)
+{
+    EXPECT_DOUBLE_EQ(sampleMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(sampleVariance({}), 0.0);
+    const std::vector<double> one = {3.0};
+    EXPECT_DOUBLE_EQ(sampleMean(one), 3.0);
+    EXPECT_DOUBLE_EQ(sampleVariance(one), 0.0);
+}
+
+TEST(NearlyEqual, Basics)
+{
+    EXPECT_TRUE(nearlyEqual(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(nearlyEqual(1.0, 1.001));
+    EXPECT_TRUE(nearlyEqual(1e12, 1e12 + 1.0, 1e-9));
+}
+
+} // namespace
+} // namespace bighouse

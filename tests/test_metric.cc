@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the OutputMetric phase machine of Fig. 2: warm-up discarding,
+ * calibration products (lag + bin scheme), lag-spaced acceptance during
+ * measurement, convergence, estimates, and the slave-mode hooks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/random.hh"
+#include "stats/metric.hh"
+
+namespace bighouse {
+namespace {
+
+MetricSpec
+quickSpec(std::string name = "latency")
+{
+    MetricSpec spec;
+    spec.name = std::move(name);
+    spec.warmupSamples = 100;
+    spec.calibrationSamples = 1000;
+    spec.target = ConfidenceSpec{0.05, 0.95};
+    spec.quantiles = {0.95};
+    spec.histogramBins = 500;
+    spec.checkInterval = 16;
+    return spec;
+}
+
+void
+feedIid(OutputMetric& metric, std::uint64_t count, std::uint64_t seed = 1,
+        double rate = 1.0)
+{
+    Rng rng(seed);
+    for (std::uint64_t i = 0; i < count; ++i)
+        metric.record(rng.exponential(rate));
+}
+
+TEST(OutputMetric, FollowsPhaseSequence)
+{
+    OutputMetric metric(quickSpec());
+    EXPECT_EQ(metric.phase(), Phase::Warmup);
+    feedIid(metric, 100);
+    EXPECT_EQ(metric.phase(), Phase::Calibration);
+    feedIid(metric, 1000, 2);
+    EXPECT_EQ(metric.phase(), Phase::Measurement);
+    EXPECT_GE(metric.lag(), 1u);
+    // Exponential iid with Cv=1: Nm = (1.96/0.05)^2 ~ 1537.
+    feedIid(metric, 4000, 3);
+    EXPECT_EQ(metric.phase(), Phase::Converged);
+    EXPECT_TRUE(metric.converged());
+}
+
+TEST(OutputMetric, WarmupDiscardsObservations)
+{
+    OutputMetric metric(quickSpec());
+    feedIid(metric, 100);
+    EXPECT_EQ(metric.acceptedCount(), 0u);
+    EXPECT_EQ(metric.offeredCount(), 100u);
+}
+
+TEST(OutputMetric, NoWarmupStartsAtCalibration)
+{
+    MetricSpec spec = quickSpec();
+    spec.warmupSamples = 0;
+    OutputMetric metric(spec);
+    EXPECT_EQ(metric.phase(), Phase::Calibration);
+}
+
+TEST(OutputMetric, CalibrationObservationsExcludedFromEstimate)
+{
+    OutputMetric metric(quickSpec());
+    feedIid(metric, 1100);  // warmup + calibration exactly
+    EXPECT_EQ(metric.phase(), Phase::Measurement);
+    EXPECT_EQ(metric.acceptedCount(), 0u);
+}
+
+TEST(OutputMetric, IidStreamUsesLagOne)
+{
+    OutputMetric metric(quickSpec());
+    feedIid(metric, 1100);
+    EXPECT_EQ(metric.lag(), 1u);
+    EXPECT_TRUE(metric.lagTestPassed());
+}
+
+TEST(OutputMetric, AutocorrelatedStreamGetsSpacedOut)
+{
+    MetricSpec spec = quickSpec();
+    spec.calibrationSamples = 5000;  // the paper's calibration size
+    spec.target.accuracy = 1e-9;     // keep measuring; never converge
+    OutputMetric metric(spec);
+    Rng rng(5);
+    double state = 1.0;
+    auto nextValue = [&] {
+        state = 0.9 * state + 0.1 * rng.exponential(1.0);
+        return state;
+    };
+    // Sequential calibration may extend the buffer; feed until the lag
+    // search settles (bounded by maxCalibrationFactor).
+    int fed = 0;
+    while (metric.phase() != Phase::Measurement && fed < 200000) {
+        metric.record(nextValue());
+        ++fed;
+    }
+    ASSERT_EQ(metric.phase(), Phase::Measurement);
+    EXPECT_GT(metric.lag(), 1u);
+
+    // With lag l, accepted counts grow ~1/l of offered.
+    const std::uint64_t offeredBefore = metric.offeredCount();
+    const std::uint64_t acceptedBefore = metric.acceptedCount();
+    const int extra = 20000;
+    for (int i = 0; i < extra; ++i)
+        metric.record(nextValue());
+    const std::uint64_t offered = metric.offeredCount() - offeredBefore;
+    EXPECT_NEAR(static_cast<double>(metric.acceptedCount()
+                                    - acceptedBefore),
+                static_cast<double>(offered) / metric.lag(), 2.0);
+}
+
+TEST(OutputMetric, ConstantStreamCalibratesAtLagOne)
+{
+    // A deterministic metric (e.g. constant service at zero load) must
+    // not stall calibration: the runs-up test is degenerate on ties, so
+    // lag 1 is accepted directly and the zero-variance sample converges
+    // at the sample-size floor.
+    OutputMetric metric(quickSpec());
+    for (int i = 0; i < 1100; ++i)
+        metric.record(3.25);
+    EXPECT_EQ(metric.phase(), Phase::Measurement);
+    EXPECT_EQ(metric.lag(), 1u);
+    EXPECT_TRUE(metric.lagTestPassed());
+    for (int i = 0; i < 200; ++i)
+        metric.record(3.25);
+    EXPECT_TRUE(metric.converged());
+    EXPECT_NEAR(metric.estimate().mean, 3.25, 1e-9);
+}
+
+TEST(OutputMetric, CalibrationExtendsUntilRunsUpPasses)
+{
+    // An AR(1) stream with moderate correlation: a 1000-observation
+    // buffer can only test lags 1-2 and fails; the sequential extension
+    // must grow the buffer until some testable lag passes.
+    MetricSpec spec = quickSpec();
+    spec.calibrationSamples = 1000;
+    spec.maxCalibrationFactor = 64;
+    OutputMetric metric(spec);
+    Rng rng(6);
+    double state = 0.0;
+    int fed = 0;
+    while (metric.phase() != Phase::Measurement && fed < 500000) {
+        state = 0.95 * state + rng.gaussian() + 10.0;
+        metric.record(state);
+        ++fed;
+    }
+    ASSERT_EQ(metric.phase(), Phase::Measurement);
+    EXPECT_TRUE(metric.lagTestPassed());
+    EXPECT_GT(metric.lag(), 1u);
+    // Extension happened: more than one plain buffer was consumed.
+    EXPECT_GT(metric.offeredCount(), 2 * spec.calibrationSamples);
+}
+
+TEST(OutputMetric, EstimateMatchesStream)
+{
+    OutputMetric metric(quickSpec());
+    feedIid(metric, 20000, 7, 2.0);  // mean 0.5
+    const MetricEstimate est = metric.estimate();
+    EXPECT_TRUE(est.converged);
+    EXPECT_NEAR(est.mean, 0.5, 0.05);
+    ASSERT_EQ(est.quantiles.size(), 1u);
+    // Exponential p95 = -ln(0.05)/rate ~ 1.4979.
+    EXPECT_NEAR(est.quantiles[0].value, -std::log(0.05) / 2.0, 0.15);
+    EXPECT_GT(est.accepted, 1000u);
+    EXPECT_LE(est.relativeHalfWidth, 0.055);
+}
+
+TEST(OutputMetric, ConvergenceNeedsRequiredSamples)
+{
+    OutputMetric metric(quickSpec());
+    feedIid(metric, 1100 + 500, 9);  // measurement has only ~500 accepted
+    EXPECT_EQ(metric.phase(), Phase::Measurement);
+    EXPECT_GT(metric.requiredSamples(), metric.acceptedCount());
+}
+
+TEST(OutputMetric, TighterAccuracyConvergesLater)
+{
+    MetricSpec loose = quickSpec();
+    loose.target.accuracy = 0.10;
+    MetricSpec tight = quickSpec();
+    tight.target.accuracy = 0.02;
+
+    OutputMetric a(loose), b(tight);
+    feedIid(a, 1100, 11);
+    feedIid(b, 1100, 11);
+    std::uint64_t extraA = 0, extraB = 0;
+    Rng rng(12);
+    while (!a.converged()) {
+        a.record(rng.exponential(1.0));
+        ++extraA;
+    }
+    Rng rng2(12);
+    while (!b.converged()) {
+        b.record(rng2.exponential(1.0));
+        ++extraB;
+    }
+    // E 0.10 -> ~384 samples; E 0.02 -> ~9604. Quadratic scaling.
+    EXPECT_GT(extraB, 5 * extraA);
+}
+
+TEST(OutputMetric, AdoptedBinSchemeIsUsed)
+{
+    const BinScheme master{0.0, 50.0, 123};
+    OutputMetric metric(quickSpec());
+    metric.adoptBinScheme(master);
+    feedIid(metric, 1100);
+    EXPECT_EQ(metric.histogram().scheme(), master);
+}
+
+TEST(OutputMetric, DisabledSelfConvergenceNeverConverges)
+{
+    OutputMetric metric(quickSpec());
+    metric.disableSelfConvergence();
+    feedIid(metric, 50000);
+    EXPECT_EQ(metric.phase(), Phase::Measurement);
+    // The master decides: evaluateConvergence promotes explicitly.
+    EXPECT_TRUE(metric.evaluateConvergence());
+    EXPECT_TRUE(metric.converged());
+}
+
+TEST(OutputMetric, AbsorbMergesSlaves)
+{
+    const BinScheme shared{0.0, 20.0, 400};
+    MetricSpec spec = quickSpec();
+    OutputMetric master(spec), slaveA(spec), slaveB(spec);
+    master.adoptBinScheme(shared);
+    slaveA.adoptBinScheme(shared);
+    slaveB.adoptBinScheme(shared);
+    slaveA.disableSelfConvergence();
+    slaveB.disableSelfConvergence();
+
+    feedIid(master, 1100, 21);   // completes calibration, no measurement
+    feedIid(slaveA, 3100, 22);
+    feedIid(slaveB, 3100, 23);
+
+    const std::uint64_t combined =
+        master.acceptedCount() + slaveA.acceptedCount()
+        + slaveB.acceptedCount();
+    master.absorb(slaveA);
+    master.absorb(slaveB);
+    EXPECT_EQ(master.acceptedCount(), combined);
+    const MetricEstimate est = master.estimate();
+    EXPECT_NEAR(est.mean, 1.0, 0.1);
+}
+
+TEST(OutputMetric, QuantileOnlyMetric)
+{
+    MetricSpec spec = quickSpec();
+    spec.quantiles = {0.5, 0.9, 0.99};
+    OutputMetric metric(spec);
+    feedIid(metric, 30000, 31);
+    const MetricEstimate est = metric.estimate();
+    ASSERT_EQ(est.quantiles.size(), 3u);
+    EXPECT_NEAR(est.quantiles[0].value, std::log(2.0), 0.1);
+    EXPECT_LT(est.quantiles[0].value, est.quantiles[1].value);
+    EXPECT_LT(est.quantiles[1].value, est.quantiles[2].value);
+}
+
+TEST(OutputMetricDeathTest, InvalidSpecs)
+{
+    MetricSpec bad = quickSpec();
+    bad.calibrationSamples = 10;
+    EXPECT_EXIT(OutputMetric{bad}, ::testing::ExitedWithCode(1),
+                "calibrationSamples");
+    MetricSpec badQ = quickSpec();
+    badQ.quantiles = {1.5};
+    EXPECT_EXIT(OutputMetric{badQ}, ::testing::ExitedWithCode(1),
+                "quantile");
+}
+
+} // namespace
+} // namespace bighouse

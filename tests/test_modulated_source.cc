@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the diurnal/modulated arrival source: the realized arrival
+ * counts must track the rate envelope window by window.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "distribution/basic.hh"
+#include "queueing/modulated_source.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+namespace {
+
+class CountingAcceptor : public TaskAcceptor
+{
+  public:
+    explicit CountingAcceptor(Engine& engine, Time window)
+        : engine(engine), window(window)
+    {
+    }
+
+    void
+    accept(Task task) override
+    {
+        const auto bucket =
+            static_cast<std::size_t>(task.arrivalTime / window);
+        if (bucket >= counts.size())
+            counts.resize(bucket + 1, 0);
+        ++counts[bucket];
+        (void)engine;
+    }
+
+    Engine& engine;
+    Time window;
+    std::vector<std::uint64_t> counts;
+};
+
+TEST(DiurnalEnvelope, ShapeAndBounds)
+{
+    const RateEnvelope env = diurnalEnvelope(0.5, 100.0);
+    EXPECT_NEAR(env(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(env(25.0), 1.5, 1e-12);   // peak at quarter period
+    EXPECT_NEAR(env(75.0), 0.5, 1e-12);   // trough at three quarters
+    EXPECT_NEAR(env(100.0), 1.0, 1e-9);
+    // Phase shifts the curve.
+    const RateEnvelope shifted = diurnalEnvelope(0.5, 100.0, 25.0);
+    EXPECT_NEAR(shifted(50.0), 1.5, 1e-12);
+}
+
+TEST(DiurnalEnvelope, RejectsInvalidParameters)
+{
+    EXPECT_EXIT(diurnalEnvelope(1.0, 100.0), ::testing::ExitedWithCode(1),
+                "amplitude");
+    EXPECT_EXIT(diurnalEnvelope(-0.1, 100.0), ::testing::ExitedWithCode(1),
+                "amplitude");
+    EXPECT_EXIT(diurnalEnvelope(0.5, 0.0), ::testing::ExitedWithCode(1),
+                "period");
+}
+
+TEST(ModulatedSource, ConstantEnvelopeMatchesPlainRate)
+{
+    Engine sim;
+    CountingAcceptor sink(sim, 100.0);
+    ModulatedSource source(sim, sink, std::make_unique<Exponential>(50.0),
+                           std::make_unique<Deterministic>(0.0),
+                           [](Time) { return 1.0; }, Rng(1));
+    source.start();
+    sim.runUntil(1000.0);
+    std::uint64_t total = 0;
+    for (auto c : sink.counts)
+        total += c;
+    EXPECT_NEAR(static_cast<double>(total), 50.0 * 1000.0, 1500.0);
+}
+
+TEST(ModulatedSource, ArrivalCountsTrackTheEnvelope)
+{
+    Engine sim;
+    constexpr Time kPeriod = 1000.0;
+    CountingAcceptor sink(sim, kPeriod / 4.0);  // quarter-period windows
+    ModulatedSource source(sim, sink, std::make_unique<Exponential>(100.0),
+                           std::make_unique<Deterministic>(0.0),
+                           diurnalEnvelope(0.8, kPeriod), Rng(2));
+    source.start();
+    sim.runUntil(10.0 * kPeriod);
+    // Quarter 0 of each period is the rising half-peak, quarter 2 the
+    // falling trough. Sum across periods.
+    double peak = 0.0, trough = 0.0;
+    for (std::size_t i = 0; i + 3 < sink.counts.size(); i += 4) {
+        peak += static_cast<double>(sink.counts[i]);
+        trough += static_cast<double>(sink.counts[i + 2]);
+    }
+    // Average envelope over quarter 0 = 1 + 0.8*(2/pi); quarter 2 is the
+    // mirror image. Ratio ~ (1+0.509)/(1-0.509) ~ 3.07.
+    EXPECT_NEAR(peak / trough, 3.07, 0.35);
+}
+
+TEST(ModulatedSource, StopHalts)
+{
+    Engine sim;
+    CountingAcceptor sink(sim, 10.0);
+    ModulatedSource source(sim, sink, std::make_unique<Deterministic>(1.0),
+                           std::make_unique<Deterministic>(0.0),
+                           [](Time) { return 1.0; }, Rng(3));
+    source.start();
+    sim.schedule(5.5, [&] { source.stop(); });
+    sim.run();
+    EXPECT_EQ(source.generated(), 5u);
+}
+
+TEST(ModulatedSourceDeathTest, BadEnvelope)
+{
+    Engine sim;
+    CountingAcceptor sink(sim, 1.0);
+    ModulatedSource source(sim, sink, std::make_unique<Deterministic>(1.0),
+                           std::make_unique<Deterministic>(0.0),
+                           [](Time) { return 0.0; }, Rng(4));
+    // The first gap draw consults the envelope immediately.
+    EXPECT_EXIT(source.start(), ::testing::ExitedWithCode(1),
+                "non-positive");
+}
+
+} // namespace
+} // namespace bighouse

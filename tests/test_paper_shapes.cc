@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Shape regressions for the paper's headline claims, in miniature: small,
+ * seeded versions of the Fig. 4/6/7/8 relationships that must hold for
+ * the reproduction to be faithful. If a refactor bends one of these
+ * curves the wrong way, this suite fails before the benches would show it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/experiment.hh"
+#include "distribution/fit.hh"
+#include "policy/dreamweaver.hh"
+#include "queueing/source.hh"
+#include "workload/library.hh"
+
+namespace bighouse {
+namespace {
+
+/** Fig. 4: p95 latency rises with SCPU at fixed load, and with load. */
+TEST(PaperShapes, Fig4LatencyMonotoneInSlowdownAndLoad)
+{
+    auto p95 = [](double qps, double scpu) {
+        ExperimentSpec spec;
+        spec.workload = scaledToLoad(makeWorkload("google"), 4, qps);
+        spec.coresPerServer = 4;
+        spec.cpuSlowdown = scpu;
+        spec.sqs.accuracy = 0.04;
+        return Experiment(std::move(spec))
+            .run(42)
+            .estimates[0]
+            .quantiles[0]
+            .value;
+    };
+    const double base = p95(0.3, 1.0);
+    EXPECT_GT(p95(0.3, 1.3), base);
+    EXPECT_GT(p95(0.3, 2.0), p95(0.3, 1.3));
+    EXPECT_GT(p95(0.6, 1.0), base);
+}
+
+/** Fig. 6: a larger delay threshold buys idleness and costs latency. */
+TEST(PaperShapes, Fig6IdlenessLatencyTrade)
+{
+    auto run = [](Time budget) {
+        SqsConfig cfg;
+        cfg.accuracy = 0.06;
+        cfg.quantiles = {0.99};
+        SqsSimulation sim(cfg, 6);
+        const auto id = sim.addMetric("latency");
+        DreamWeaverSpec dwSpec;
+        dwSpec.delayBudget = budget;
+        dwSpec.sleep.wakeLatency = kMilliSecond;
+        auto server = std::make_shared<DreamWeaverServer>(sim.engine(),
+                                                          8, dwSpec);
+        StatsCollection& stats = sim.stats();
+        server->setCompletionHandler([&stats, id](const Task& t) {
+            stats.record(id, t.responseTime());
+        });
+        auto source = std::make_shared<Source>(
+            sim.engine(), *server, fitMeanCv(0.05 / (8 * 0.3), 1.0),
+            fitMeanCv(0.05, 1.2), sim.rootRng().split());
+        source->start();
+        sim.holdModel(server);
+        sim.holdModel(source);
+        const SqsResult result = sim.run();
+        return std::pair<double, double>(
+            server->idleFraction(),
+            result.estimates[0].quantiles[0].value);
+    };
+    const auto [idleSmall, p99Small] = run(10.0 * kMilliSecond);
+    const auto [idleLarge, p99Large] = run(200.0 * kMilliSecond);
+    EXPECT_GT(idleLarge, idleSmall);
+    EXPECT_GT(p99Large, p99Small);
+    EXPECT_LT(idleLarge, 0.71);  // bounded by 1 - utilization
+}
+
+/** Fig. 7: events to convergence grow ~linearly with cluster size. */
+TEST(PaperShapes, Fig7EventsScaleWithServersNotSampleSize)
+{
+    auto run = [](std::size_t servers) {
+        ExperimentSpec spec;
+        spec.workload = makeWorkload("dns");
+        spec.servers = servers;
+        spec.coresPerServer = 4;
+        spec.recordCappingLevel = true;
+        PowerCappingSpec capping;
+        capping.budgetFraction = 0.5;
+        capping.dvfs =
+            DvfsModel(ServerPowerSpec{150.0, 150.0, 5.0}, 0.9, 0.5);
+        spec.capping = capping;
+        spec.sqs.accuracy = 0.05;
+        return Experiment(std::move(spec)).run(7000 + servers);
+    };
+    const SqsResult small = run(10);
+    const SqsResult large = run(100);
+    ASSERT_TRUE(small.converged);
+    ASSERT_TRUE(large.converged);
+    const double eventRatio = static_cast<double>(large.events)
+                              / static_cast<double>(small.events);
+    EXPECT_GT(eventRatio, 3.0);   // events scale with cluster size...
+    EXPECT_LT(eventRatio, 30.0);
+    // ...while the simulated duration needed stays comparable.
+    EXPECT_LT(large.simulatedTime, 3.0 * small.simulatedTime);
+}
+
+/** Fig. 8 / Eq. 2: required samples grow ~quadratically with Cv. */
+TEST(PaperShapes, Fig8SampleSizeQuadraticInCv)
+{
+    auto accepted = [](double cv) {
+        ExperimentSpec spec;
+        spec.workload.name = "cv-sweep";
+        spec.workload.interarrival = fitMeanCv(1.0 / 2.4, 1.0);
+        spec.workload.service = fitMeanCv(1.0, cv);
+        spec.coresPerServer = 4;
+        spec.sqs.accuracy = 0.05;
+        spec.sqs.quantiles = {};
+        const SqsResult result = Experiment(std::move(spec)).run(88);
+        return result.estimates[0].required;
+    };
+    const auto atCv1 = accepted(1.0);
+    const auto atCv4 = accepted(4.0);
+    // Response Cv grows with service Cv; Eq. 2 then demands far more
+    // samples. The exact ratio depends on queueing; demand at least 4x.
+    EXPECT_GT(atCv4, 4 * atCv1);
+}
+
+/** Fig. 5: burstier arrivals inflate the tail at fixed mean load. */
+TEST(PaperShapes, Fig5ArrivalVarianceInflatesTail)
+{
+    auto p95 = [](double arrivalCv) {
+        ExperimentSpec spec;
+        spec.workload.name = "arrival-sweep";
+        spec.workload.interarrival = fitMeanCv(1.0 / (4 * 0.75), arrivalCv);
+        spec.workload.service = fitMeanCv(1.0, 1.0);
+        spec.coresPerServer = 4;
+        spec.sqs.accuracy = 0.03;
+        return Experiment(std::move(spec))
+            .run(55)
+            .estimates[0]
+            .quantiles[0]
+            .value;
+    };
+    const double lowCv = p95(0.1);
+    const double poisson = p95(1.0);
+    const double bursty = p95(2.0);
+    EXPECT_LT(lowCv, poisson);
+    EXPECT_LT(poisson, bursty);
+}
+
+} // namespace
+} // namespace bighouse

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the global power-capping coordinator: epoch cadence,
+ * proportional budgeting, throttling busy servers under a tight budget,
+ * and capping-level observations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "distribution/basic.hh"
+#include "policy/power_capping.hh"
+#include "queueing/source.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+namespace {
+
+constexpr ServerPowerSpec kPower{150.0, 150.0, 5.0};
+
+PowerCappingSpec
+cappingSpec(double budgetFraction)
+{
+    PowerCappingSpec spec;
+    spec.budgetFraction = budgetFraction;
+    spec.epoch = 1.0;
+    spec.dvfs = DvfsModel(kPower, 0.9, 0.5);
+    return spec;
+}
+
+TEST(PowerCapping, EpochsRunAtConfiguredCadence)
+{
+    Engine sim;
+    Server server(sim, 4);
+    PowerCappingCoordinator coordinator(sim, {&server}, cappingSpec(0.9));
+    coordinator.start();
+    sim.runUntil(10.5);
+    EXPECT_EQ(coordinator.epochCount(), 10u);
+}
+
+TEST(PowerCapping, ClusterBudgetIsFractionOfPeak)
+{
+    Engine sim;
+    Server a(sim, 4), b(sim, 4);
+    PowerCappingCoordinator coordinator(sim, {&a, &b}, cappingSpec(0.7));
+    EXPECT_DOUBLE_EQ(coordinator.clusterBudgetWatts(), 0.7 * 300.0 * 2);
+}
+
+TEST(PowerCapping, IdleClusterIsNeverThrottled)
+{
+    Engine sim;
+    Server a(sim, 4), b(sim, 4);
+    PowerCappingCoordinator coordinator(sim, {&a, &b}, cappingSpec(0.7));
+    std::vector<CappingObservation> seen;
+    coordinator.setObserver(
+        [&](std::size_t, const CappingObservation& obs) {
+            seen.push_back(obs);
+        });
+    coordinator.start();
+    sim.runUntil(5.5);
+    ASSERT_FALSE(seen.empty());
+    for (const auto& obs : seen) {
+        EXPECT_DOUBLE_EQ(obs.utilization, 0.0);
+        EXPECT_DOUBLE_EQ(obs.frequency, 1.0);
+        EXPECT_DOUBLE_EQ(obs.cappingWatts, 0.0);
+    }
+    EXPECT_DOUBLE_EQ(a.speed(), 1.0);
+}
+
+TEST(PowerCapping, TightBudgetThrottlesBusyServer)
+{
+    Engine sim;
+    Server busy(sim, 4);
+    // Saturate: deterministic arrivals faster than service.
+    Source source(sim, busy, std::make_unique<Deterministic>(0.01),
+                  std::make_unique<Deterministic>(0.05), Rng(1));
+    source.start();
+    // Budget fraction 0.6 of peak (180 W) sits between the fMin power
+    // floor (168.75 W at U=1) and the uncapped draw (300 W), so DVFS can
+    // exactly meet it.
+    PowerCappingCoordinator coordinator(sim, {&busy}, cappingSpec(0.6));
+    std::vector<CappingObservation> seen;
+    coordinator.setObserver(
+        [&](std::size_t, const CappingObservation& obs) {
+            seen.push_back(obs);
+        });
+    coordinator.start();
+    sim.runUntil(5.5);
+    ASSERT_GE(seen.size(), 5u);
+    const auto& last = seen.back();
+    EXPECT_GT(last.utilization, 0.9);
+    EXPECT_LT(last.frequency, 1.0);
+    EXPECT_GT(last.cappingWatts, 0.0);
+    EXPECT_LE(last.powerWatts, last.budgetWatts + 1e-6);
+    EXPECT_LT(busy.speed(), 1.0);
+}
+
+TEST(PowerCapping, BudgetsProportionalToUtilization)
+{
+    Engine sim;
+    Server busy(sim, 4), idle(sim, 4);
+    Source source(sim, busy, std::make_unique<Deterministic>(0.01),
+                  std::make_unique<Deterministic>(0.05), Rng(2));
+    source.start();
+    PowerCappingCoordinator coordinator(sim, {&busy, &idle},
+                                        cappingSpec(0.7));
+    std::vector<double> budgets(2, 0.0);
+    coordinator.setObserver(
+        [&](std::size_t index, const CappingObservation& obs) {
+            budgets[index] = obs.budgetWatts;
+        });
+    coordinator.start();
+    sim.runUntil(3.5);
+    // Both are floored at idle power; the busy server takes essentially
+    // all of the dynamic headroom above the shared idle floor.
+    EXPECT_GT(budgets[0], budgets[1] + 0.9 * (coordinator.clusterBudgetWatts()
+                                              - 2 * 150.0));
+    EXPECT_GE(budgets[1], 150.0);
+    EXPECT_NEAR(budgets[0] + budgets[1], coordinator.clusterBudgetWatts(),
+                1e-6);
+}
+
+TEST(PowerCapping, GenerousBudgetLeavesClusterUncapped)
+{
+    Engine sim;
+    Server busy(sim, 4);
+    Source source(sim, busy, std::make_unique<Deterministic>(0.05),
+                  std::make_unique<Deterministic>(0.01), Rng(3));
+    source.start();
+    PowerCappingCoordinator coordinator(sim, {&busy}, cappingSpec(1.0));
+    coordinator.start();
+    sim.runUntil(5.5);
+    EXPECT_DOUBLE_EQ(busy.speed(), 1.0);
+}
+
+TEST(PowerCappingDeathTest, InvalidConfiguration)
+{
+    Engine sim;
+    Server server(sim, 4);
+    EXPECT_EXIT(PowerCappingCoordinator(sim, {}, cappingSpec(0.7)),
+                ::testing::ExitedWithCode(1), "at least one");
+    EXPECT_EXIT(PowerCappingCoordinator(sim, {&server}, cappingSpec(1.5)),
+                ::testing::ExitedWithCode(1), "budgetFraction");
+    EXPECT_EXIT(PowerCappingCoordinator(sim, {nullptr}, cappingSpec(0.7)),
+                ::testing::ExitedWithCode(1), "null");
+}
+
+} // namespace
+} // namespace bighouse

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the PowerNap baseline: nap on full idle, wake on arrival,
+ * latency penalty bounded by the wake latency, and the vanishing-idleness
+ * effect as core count grows (DreamWeaver's motivation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "distribution/basic.hh"
+#include "policy/powernap.hh"
+#include "queueing/source.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+namespace {
+
+Task
+makeTask(std::uint64_t id, Time arrival, double size)
+{
+    Task task;
+    task.id = id;
+    task.arrivalTime = arrival;
+    task.size = size;
+    task.remaining = size;
+    return task;
+}
+
+TEST(PowerNap, WakesOnArrivalAndPaysLatency)
+{
+    Engine sim;
+    PowerNapServer server(sim, 2, SleepSpec{0.25});
+    std::vector<Task> done;
+    server.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    sim.schedule(1.0, [&] { server.accept(makeTask(1, 1.0, 0.5)); });
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    // Asleep from t=0; arrival at 1.0; awake at 1.25; done at 1.75.
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 1.75);
+    EXPECT_EQ(server.napCount(), 1u);
+}
+
+TEST(PowerNap, NapsAgainAfterDraining)
+{
+    Engine sim;
+    PowerNapServer server(sim, 1, SleepSpec{0.0});
+    std::vector<Task> done;
+    server.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    sim.schedule(0.0, [&] { server.accept(makeTask(1, 0.0, 1.0)); });
+    sim.schedule(5.0, [&] { server.accept(makeTask(2, 5.0, 1.0)); });
+    sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    // Slept [0,0], worked [0,1], slept [1,5], worked [5,6], sleeping.
+    EXPECT_DOUBLE_EQ(done[1].finishTime, 6.0);
+    EXPECT_NEAR(server.sleepSeconds(), 4.0, 1e-9);
+    EXPECT_EQ(server.napCount(), 2u);
+}
+
+TEST(PowerNap, BusyPeriodsAreNotInterrupted)
+{
+    Engine sim;
+    PowerNapServer server(sim, 2, SleepSpec{0.1});
+    std::vector<Task> done;
+    server.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    // Three tasks overlap: one core stays busy throughout, so no nap may
+    // occur between the first completion and the last.
+    sim.schedule(0.0, [&] {
+        server.accept(makeTask(1, 0.0, 1.0));
+        server.accept(makeTask(2, 0.0, 2.0));
+        server.accept(makeTask(3, 0.0, 3.0));
+    });
+    sim.run();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(server.napCount(), 1u);  // only the initial nap ended
+    // finishTimes: wake at 0.1; core A: 1.1 then task3 until 4.1;
+    // core B: 2.1.
+    EXPECT_DOUBLE_EQ(done[2].finishTime, 4.1);
+}
+
+TEST(PowerNap, IdlenessVanishesWithCoreCount)
+{
+    // Fixed 30% per-core utilization: a 1-core server is fully idle 70%
+    // of the time, but a 16-core server almost never has ALL cores idle.
+    auto idleFraction = [](unsigned cores) {
+        Engine sim;
+        PowerNapServer server(sim, cores, SleepSpec{1e-4});
+        // lambda scaled with cores; Exp service mean 20 ms.
+        Source source(sim, server,
+                      std::make_unique<Exponential>(15.0 * cores),
+                      std::make_unique<Exponential>(50.0), Rng(5));
+        source.start();
+        sim.runUntil(500.0);
+        return server.idleFraction();
+    };
+    const double one = idleFraction(1);
+    const double four = idleFraction(4);
+    const double sixteen = idleFraction(16);
+    EXPECT_GT(one, 0.55);
+    EXPECT_GT(one, four);
+    EXPECT_GT(four, sixteen);
+    EXPECT_LT(sixteen, 0.12);
+}
+
+TEST(PowerNap, NoWorkMeansFullIdle)
+{
+    Engine sim;
+    PowerNapServer server(sim, 4, SleepSpec{0.001});
+    sim.schedule(100.0, [] {});
+    sim.run();
+    EXPECT_GT(server.idleFraction(), 0.99);
+}
+
+} // namespace
+} // namespace bighouse

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the non-preemptive priority server, validated against
+ * Cobham's M/M/1 priority formula: with class loads rho_i and residual
+ * work R = lambda_total * E[S^2] / 2, class k's mean wait is
+ * W_k = R / ((1 - sigma_{k-1})(1 - sigma_k)), sigma_k = sum_{i<=k} rho_i.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "base/math_utils.hh"
+#include "distribution/basic.hh"
+#include "queueing/priority_server.hh"
+#include "queueing/source.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+namespace {
+
+Task
+makeTask(std::uint64_t id, Time arrival, double size)
+{
+    Task task;
+    task.id = id;
+    task.arrivalTime = arrival;
+    task.size = size;
+    task.remaining = size;
+    return task;
+}
+
+TEST(PriorityServer, HighClassJumpsTheQueue)
+{
+    Engine sim;
+    PriorityServer server(sim, 1, 2);
+    // Odd ids are high priority (class 0), even ids low (class 1).
+    server.setClassifier(
+        [](const Task& task) { return task.id % 2 == 1 ? 0u : 1u; });
+    std::vector<std::pair<std::uint64_t, unsigned>> order;
+    server.setCompletionHandler([&](const Task& task, unsigned cls) {
+        order.emplace_back(task.id, cls);
+    });
+    // id 2 (low) occupies the core; then 4 (low) and 1 (high) queue.
+    sim.schedule(0.0, [&] { server.accept(makeTask(2, 0.0, 1.0)); });
+    sim.schedule(0.1, [&] { server.accept(makeTask(4, 0.1, 1.0)); });
+    sim.schedule(0.2, [&] { server.accept(makeTask(1, 0.2, 1.0)); });
+    sim.run();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0].first, 2u);  // running: never preempted
+    EXPECT_EQ(order[1].first, 1u);  // high class jumps ahead of 4
+    EXPECT_EQ(order[2].first, 4u);
+    EXPECT_EQ(order[1].second, 0u);
+}
+
+TEST(PriorityServer, NoPreemption)
+{
+    Engine sim;
+    PriorityServer server(sim, 1, 2);
+    server.setClassifier(
+        [](const Task& task) { return task.id == 99 ? 0u : 1u; });
+    std::vector<Task> done;
+    server.setCompletionHandler(
+        [&](const Task& task, unsigned) { done.push_back(task); });
+    sim.schedule(0.0, [&] { server.accept(makeTask(1, 0.0, 10.0)); });
+    sim.schedule(1.0, [&] { server.accept(makeTask(99, 1.0, 0.5)); });
+    sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    // The long low-priority job finishes first (non-preemptive).
+    EXPECT_EQ(done[0].id, 1u);
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 10.0);
+    EXPECT_DOUBLE_EQ(done[1].finishTime, 10.5);
+}
+
+TEST(PriorityServer, CobhamTwoClassWaits)
+{
+    // lambda_1 = lambda_2 = 0.3, mu = 1 (exponential service):
+    // R = 0.6 * (2/1) / 2 = 0.6; W_high = 0.857, W_low = 2.143.
+    Engine sim;
+    PriorityServer server(sim, 1, 2);
+    server.setClassifier(
+        [](const Task& task) { return (task.id >> 40) == 0 ? 0u : 1u; });
+    std::vector<double> waitHigh, waitLow;
+    server.setCompletionHandler([&](const Task& task, unsigned cls) {
+        (cls == 0 ? waitHigh : waitLow).push_back(task.waitingTime());
+    });
+    Source high(sim, server, std::make_unique<Exponential>(0.3),
+                std::make_unique<Exponential>(1.0), Rng(1), 0);
+    Source low(sim, server, std::make_unique<Exponential>(0.3),
+               std::make_unique<Exponential>(1.0), Rng(2), 1);
+    high.start();
+    low.start();
+    sim.runUntil(400000.0);
+    EXPECT_NEAR(sampleMean(waitHigh) / 0.857, 1.0, 0.08);
+    EXPECT_NEAR(sampleMean(waitLow) / 2.143, 1.0, 0.08);
+}
+
+TEST(PriorityServer, SingleClassEqualsFcfs)
+{
+    // With one class, the server is an ordinary M/M/1: W = rho/(mu-lambda).
+    Engine sim;
+    PriorityServer server(sim, 1, 1);
+    std::vector<double> waits;
+    server.setCompletionHandler([&](const Task& task, unsigned) {
+        waits.push_back(task.waitingTime());
+    });
+    Source source(sim, server, std::make_unique<Exponential>(0.6),
+                  std::make_unique<Exponential>(1.0), Rng(3));
+    source.start();
+    sim.runUntil(300000.0);
+    EXPECT_NEAR(sampleMean(waits) / (0.6 / 0.4), 1.0, 0.08);
+}
+
+TEST(PriorityServer, MultiCoreDispatch)
+{
+    Engine sim;
+    PriorityServer server(sim, 2, 2);
+    server.setClassifier([](const Task& task) {
+        return static_cast<unsigned>(task.id % 2);
+    });
+    std::uint64_t completions = 0;
+    server.setCompletionHandler(
+        [&](const Task&, unsigned) { ++completions; });
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        sim.schedule(0.0, [&server, i] {
+            Task task;
+            task.id = i;
+            task.size = 1.0;
+            task.remaining = 1.0;
+            task.arrivalTime = 0.0;
+            server.accept(std::move(task));
+        });
+    }
+    sim.schedule(0.5, [&] {
+        EXPECT_EQ(server.busyCores(), 2u);
+        EXPECT_EQ(server.totalQueued(), 4u);
+    });
+    sim.run();
+    EXPECT_EQ(completions, 6u);
+    EXPECT_EQ(server.completedCount(), 6u);
+}
+
+TEST(PriorityServerDeathTest, InvalidUse)
+{
+    Engine sim;
+    EXPECT_EXIT(PriorityServer(sim, 0, 1), ::testing::ExitedWithCode(1),
+                "core");
+    EXPECT_EXIT(PriorityServer(sim, 1, 0), ::testing::ExitedWithCode(1),
+                "class");
+    PriorityServer server(sim, 1, 2);
+    server.setClassifier([](const Task&) { return 7u; });
+    Task task = makeTask(1, 0.0, 1.0);
+    EXPECT_EXIT(server.accept(std::move(task)),
+                ::testing::ExitedWithCode(1), "classifier returned");
+}
+
+} // namespace
+} // namespace bighouse

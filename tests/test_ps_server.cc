@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the processor-sharing server, including the M/G/1-PS
+ * insensitivity property: the mean sojourn time depends on the service
+ * distribution only through its mean — a sharp end-to-end check of the
+ * virtual-work implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/sqs.hh"
+#include "distribution/basic.hh"
+#include "distribution/fit.hh"
+#include "queueing/ps_server.hh"
+#include "queueing/source.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+namespace {
+
+Task
+makeTask(std::uint64_t id, Time arrival, double size)
+{
+    Task task;
+    task.id = id;
+    task.arrivalTime = arrival;
+    task.size = size;
+    task.remaining = size;
+    return task;
+}
+
+TEST(PsServer, SingleTaskRunsAtFullSpeed)
+{
+    Engine sim;
+    PsServer server(sim, 1);
+    std::vector<Task> done;
+    server.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    sim.schedule(1.0, [&] { server.accept(makeTask(1, 1.0, 2.0)); });
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 3.0);
+    EXPECT_DOUBLE_EQ(done[0].waitingTime(), 0.0);  // PS serves at once
+}
+
+TEST(PsServer, TwoTasksShareTheProcessor)
+{
+    Engine sim;
+    PsServer server(sim, 1);
+    std::vector<Task> done;
+    server.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    // Both size 1, both at t=0, sharing one core: each progresses at 1/2;
+    // both finish at t=2.
+    sim.schedule(0.0, [&] {
+        server.accept(makeTask(1, 0.0, 1.0));
+        server.accept(makeTask(2, 0.0, 1.0));
+    });
+    sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 2.0);
+    EXPECT_DOUBLE_EQ(done[1].finishTime, 2.0);
+}
+
+TEST(PsServer, LateArrivalSlowsTheFirst)
+{
+    Engine sim;
+    PsServer server(sim, 1);
+    std::vector<Task> done;
+    server.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    // Task 1 (size 2) alone on [0,1): half done. Task 2 (size 0.5)
+    // arrives at 1; both at rate 1/2. Task 2 finishes at t=2 (0.5 work);
+    // task 1 has 0.5 left at t=2, alone again -> finishes at 2.5.
+    sim.schedule(0.0, [&] { server.accept(makeTask(1, 0.0, 2.0)); });
+    sim.schedule(1.0, [&] { server.accept(makeTask(2, 1.0, 0.5)); });
+    sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0].id, 2u);
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 2.0);
+    EXPECT_EQ(done[1].id, 1u);
+    EXPECT_DOUBLE_EQ(done[1].finishTime, 2.5);
+}
+
+TEST(PsServer, MultiCoreLimitsPerTaskRate)
+{
+    Engine sim;
+    PsServer server(sim, 2);
+    std::vector<Task> done;
+    server.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    // Two tasks on two cores: no sharing penalty, each at rate 1.
+    sim.schedule(0.0, [&] {
+        server.accept(makeTask(1, 0.0, 1.0));
+        server.accept(makeTask(2, 0.0, 1.0));
+    });
+    sim.run();
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 1.0);
+    EXPECT_DOUBLE_EQ(done[1].finishTime, 1.0);
+    // Four tasks on two cores: each at rate 1/2.
+    done.clear();
+    sim.schedule(sim.now(), [&] {
+        for (std::uint64_t i = 3; i <= 6; ++i)
+            server.accept(makeTask(i, sim.now(), 1.0));
+    });
+    const Time start = sim.now();
+    sim.run();
+    for (const Task& t : done)
+        EXPECT_DOUBLE_EQ(t.finishTime, start + 2.0);
+}
+
+TEST(PsServer, SpeedChangeMidFlight)
+{
+    Engine sim;
+    PsServer server(sim, 1);
+    std::vector<Task> done;
+    server.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    sim.schedule(0.0, [&] { server.accept(makeTask(1, 0.0, 2.0)); });
+    sim.schedule(1.0, [&] { server.setSpeed(0.5); });  // 1 unit left
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 3.0);
+}
+
+TEST(PsServer, PauseAndResume)
+{
+    Engine sim;
+    PsServer server(sim, 1);
+    std::vector<Task> done;
+    server.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    sim.schedule(0.0, [&] { server.accept(makeTask(1, 0.0, 1.0)); });
+    sim.schedule(0.5, [&] { server.setSpeed(0.0); });
+    sim.schedule(3.0, [&] { server.setSpeed(1.0); });
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 3.5);
+    EXPECT_EQ(server.resident(), 0u);
+}
+
+TEST(PsServer, AcceptWhilePausedHolds)
+{
+    Engine sim;
+    PsServer server(sim, 1);
+    std::vector<Task> done;
+    server.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    server.setSpeed(0.0);
+    sim.schedule(0.0, [&] { server.accept(makeTask(1, 0.0, 1.0)); });
+    sim.schedule(2.0, [&] { server.setSpeed(1.0); });
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 3.0);
+}
+
+/** Wire an M/G/1-PS system and return the converged mean sojourn. */
+double
+mg1PsMeanSojourn(DistPtr service, double lambda, std::uint64_t seed)
+{
+    SqsConfig cfg;
+    cfg.accuracy = 0.03;
+    cfg.quantiles = {};
+    SqsSimulation sim(cfg, seed);
+    const auto id = sim.addMetric("sojourn");
+    auto server = std::make_shared<PsServer>(sim.engine(), 1);
+    StatsCollection& stats = sim.stats();
+    server->setCompletionHandler([&stats, id](const Task& t) {
+        stats.record(id, t.responseTime());
+    });
+    auto source = std::make_shared<Source>(
+        sim.engine(), *server, std::make_unique<Exponential>(lambda),
+        std::move(service), sim.rootRng().split());
+    source->start();
+    sim.holdModel(server);
+    sim.holdModel(source);
+    return sim.run().estimates[0].mean;
+}
+
+TEST(PsServer, Mg1PsInsensitivity)
+{
+    // M/G/1-PS: E[T] = E[S]/(1-rho) regardless of the service
+    // distribution's shape. rho = 0.6, E[S] = 1 -> E[T] = 2.5.
+    const double lambda = 0.6;
+    const double expected = 1.0 / (1.0 - 0.6);
+    const double detMean =
+        mg1PsMeanSojourn(std::make_unique<Deterministic>(1.0), lambda, 1);
+    const double expMean =
+        mg1PsMeanSojourn(std::make_unique<Exponential>(1.0), lambda, 2);
+    const double h2Mean = mg1PsMeanSojourn(fitMeanCv(1.0, 3.0), lambda, 3);
+    EXPECT_NEAR(detMean / expected, 1.0, 0.08);
+    EXPECT_NEAR(expMean / expected, 1.0, 0.08);
+    EXPECT_NEAR(h2Mean / expected, 1.0, 0.12);
+    // And the three agree with each other (insensitivity).
+    EXPECT_NEAR(detMean / expMean, 1.0, 0.12);
+    EXPECT_NEAR(h2Mean / expMean, 1.0, 0.15);
+}
+
+TEST(PsServerDeathTest, InvalidUse)
+{
+    Engine sim;
+    EXPECT_EXIT(PsServer(sim, 0), ::testing::ExitedWithCode(1), "core");
+    PsServer server(sim, 1);
+    EXPECT_EXIT(server.setSpeed(-1.0), ::testing::ExitedWithCode(1),
+                ">= 0");
+}
+
+} // namespace
+} // namespace bighouse

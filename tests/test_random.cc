@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the Rng: determinism, stream independence, and the
+ * statistical sanity of the primitive draw helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "base/math_utils.hh"
+#include "base/random.hh"
+
+namespace bighouse {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDifferentSequences)
+{
+    Rng a(1);
+    Rng b(2);
+    int matches = 0;
+    for (int i = 0; i < 1000; ++i)
+        matches += a.next() == b.next();
+    EXPECT_LT(matches, 3);
+}
+
+TEST(Rng, Uniform01StaysInOpenInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.uniform01();
+        ASSERT_GT(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, Uniform01MeanAndVariance)
+{
+    Rng rng(11);
+    std::vector<double> xs(200000);
+    for (double& x : xs)
+        x = rng.uniform01();
+    EXPECT_NEAR(sampleMean(xs), 0.5, 0.005);
+    EXPECT_NEAR(sampleVariance(xs), 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, UniformRespectsBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.uniform(2.5, 7.5);
+        ASSERT_GE(x, 2.5);
+        ASSERT_LT(x, 7.5);
+    }
+}
+
+TEST(Rng, BelowIsUnbiased)
+{
+    Rng rng(5);
+    constexpr std::uint64_t bound = 10;
+    std::vector<int> counts(bound, 0);
+    constexpr int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.below(bound)];
+    for (std::uint64_t v = 0; v < bound; ++v) {
+        EXPECT_NEAR(counts[v], draws / static_cast<double>(bound),
+                    5.0 * std::sqrt(draws / static_cast<double>(bound)));
+    }
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    std::vector<double> xs(300000);
+    for (double& x : xs)
+        x = rng.gaussian();
+    EXPECT_NEAR(sampleMean(xs), 0.0, 0.01);
+    EXPECT_NEAR(sampleVariance(xs), 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialMoments)
+{
+    Rng rng(17);
+    constexpr double rate = 4.0;
+    std::vector<double> xs(200000);
+    for (double& x : xs)
+        x = rng.exponential(rate);
+    EXPECT_NEAR(sampleMean(xs), 1.0 / rate, 0.005);
+    EXPECT_NEAR(sampleVariance(xs), 1.0 / (rate * rate), 0.005);
+}
+
+TEST(Rng, SplitProducesDecorrelatedStream)
+{
+    Rng parent(21);
+    Rng child = parent.split();
+    // Parent and child sequences should not collide.
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(parent.next());
+    int collisions = 0;
+    for (int i = 0; i < 1000; ++i)
+        collisions += seen.count(child.next()) > 0;
+    EXPECT_EQ(collisions, 0);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng a(33);
+    Rng b(33);
+    Rng childA = a.split();
+    Rng childB = b.split();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(childA.next(), childB.next());
+}
+
+TEST(Rng, DistinctSplitsAreDistinct)
+{
+    Rng parent(55);
+    Rng first = parent.split();
+    Rng second = parent.split();
+    int matches = 0;
+    for (int i = 0; i < 1000; ++i)
+        matches += first.next() == second.next();
+    EXPECT_LT(matches, 3);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(77);
+    constexpr double p = 0.3;
+    int hits = 0;
+    constexpr int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        hits += rng.bernoulli(p);
+    EXPECT_NEAR(hits / static_cast<double>(draws), p, 0.01);
+}
+
+} // namespace
+} // namespace bighouse

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for independent replications: Student-t critical values, the
+ * between-replication intervals, and the methodology cross-check — the
+ * replication CI must bracket the closed-form M/M/1 mean, and the SQS
+ * single-run point estimate must fall inside it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/replications.hh"
+
+#include <cmath>
+
+#include "distribution/fit.hh"
+
+namespace bighouse {
+namespace {
+
+ExperimentSpec
+mm1Spec()
+{
+    // M/M/1 at rho = 0.6 disguised as a 1-core experiment.
+    ExperimentSpec spec;
+    spec.workload.name = "mm1";
+    spec.workload.interarrival = fitMeanCv(1.0 / 0.6, 1.0);
+    spec.workload.service = fitMeanCv(1.0, 1.0);
+    spec.coresPerServer = 1;
+    spec.sqs.accuracy = 0.05;
+    return spec;
+}
+
+TEST(StudentT, MatchesTables)
+{
+    // Classic two-sided 95% values.
+    EXPECT_NEAR(studentTCritical(0.95, 1), 12.706, 0.001);  // exact
+    EXPECT_NEAR(studentTCritical(0.95, 2), 4.303, 0.001);   // exact
+    EXPECT_NEAR(studentTCritical(0.95, 4), 2.776, 0.03);
+    EXPECT_NEAR(studentTCritical(0.95, 9), 2.262, 0.01);
+    EXPECT_NEAR(studentTCritical(0.95, 30), 2.042, 0.005);
+    EXPECT_NEAR(studentTCritical(0.95, 1000), 1.962, 0.002);
+    EXPECT_NEAR(studentTCritical(0.99, 9), 3.250, 0.05);
+    EXPECT_EXIT(studentTCritical(1.5, 5), ::testing::ExitedWithCode(1),
+                "confidence");
+}
+
+TEST(Replications, IntervalBracketsClosedForm)
+{
+    const Experiment experiment(mm1Spec());
+    const ReplicatedResult result = runReplicated(experiment, 6, 99);
+    EXPECT_TRUE(result.allConverged);
+    ASSERT_EQ(result.metrics.size(), 1u);
+    const ReplicatedMetric& metric = result.metrics[0];
+    EXPECT_EQ(metric.name, kResponseTimeMetric);
+    EXPECT_EQ(metric.replications, 6u);
+    // E[T] = 1/(1 - 0.6) = 2.5 must lie inside the t-interval.
+    EXPECT_LT(metric.mean - metric.halfWidth, 2.5);
+    EXPECT_GT(metric.mean + metric.halfWidth, 2.5);
+    EXPECT_GT(metric.halfWidth, 0.0);
+    // And the per-replication p95s interval the Exp closed form too.
+    const double p95 = std::log(20.0) / 0.4;
+    EXPECT_LT(metric.quantileMean - metric.quantileHalfWidth, p95 * 1.05);
+    EXPECT_GT(metric.quantileMean + metric.quantileHalfWidth, p95 * 0.95);
+    EXPECT_DOUBLE_EQ(metric.q, 0.95);
+}
+
+TEST(Replications, CrossChecksSingleRunEstimate)
+{
+    const Experiment experiment(mm1Spec());
+    const SqsResult single = experiment.run(123);
+    const ReplicatedResult result = runReplicated(experiment, 5, 321);
+    const ReplicatedMetric& metric = result.metrics[0];
+    // Two independent methodologies, same truth: within joint slack.
+    EXPECT_NEAR(single.estimates[0].mean, metric.mean,
+                metric.halfWidth + single.estimates[0].meanHalfWidth);
+}
+
+TEST(Replications, MoreReplicationsTightenTheInterval)
+{
+    const Experiment experiment(mm1Spec());
+    const ReplicatedResult narrow = runReplicated(experiment, 12, 7);
+    const ReplicatedResult wide = runReplicated(experiment, 3, 7);
+    EXPECT_LT(narrow.metrics[0].halfWidth, wide.metrics[0].halfWidth);
+    EXPECT_GT(narrow.totalEvents, wide.totalEvents);
+}
+
+TEST(ReplicationsDeathTest, NeedsAtLeastTwo)
+{
+    const Experiment experiment(mm1Spec());
+    EXPECT_EXIT(runReplicated(experiment, 1, 5),
+                ::testing::ExitedWithCode(1), "at least 2");
+}
+
+} // namespace
+} // namespace bighouse

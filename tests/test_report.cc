@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for report formatting (TextTable, CSV, run summaries).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+
+namespace bighouse {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table({"workload", "mean", "p95"});
+    table.addRow({"dns", "0.2", "0.9"});
+    table.addRow({"google-search", "0.0042", "0.012"});
+    const std::string text = table.toText();
+    EXPECT_NE(text.find("workload"), std::string::npos);
+    EXPECT_NE(text.find("google-search"), std::string::npos);
+    // Every line has the same length (aligned, trailing pads included).
+    std::size_t firstLineLength = text.find('\n');
+    std::size_t position = 0;
+    while (position < text.size()) {
+        const std::size_t next = text.find('\n', position);
+        EXPECT_EQ(next - position, firstLineLength);
+        position = next + 1;
+    }
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable table({"a", "b"});
+    table.addRow({"1", "2"});
+    table.addNumericRow({3.5, 4.25});
+    EXPECT_EQ(table.toCsv(), "a,b\n1,2\n3.5,4.25\n");
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TextTable, RowWidthMismatchIsFatal)
+{
+    TextTable table({"a", "b"});
+    EXPECT_EXIT(table.addRow({"only-one"}), ::testing::ExitedWithCode(1),
+                "cells");
+    EXPECT_EXIT(TextTable({}), ::testing::ExitedWithCode(1),
+                "at least one column");
+}
+
+TEST(FormatG, Precision)
+{
+    EXPECT_EQ(formatG(0.125), "0.125");
+    EXPECT_EQ(formatG(1234567.0, 3), "1.23e+06");
+    EXPECT_EQ(formatG(2.0), "2");
+}
+
+TEST(SummarizeRun, MentionsKeyFacts)
+{
+    SqsResult result;
+    result.converged = true;
+    result.events = 123456;
+    result.simulatedTime = 90.0;
+    result.wallSeconds = 1.5;
+    const std::string text = summarizeRun(result);
+    EXPECT_NE(text.find("converged"), std::string::npos);
+    EXPECT_NE(text.find("123456"), std::string::npos);
+
+    result.converged = false;
+    EXPECT_NE(summarizeRun(result).find("NOT converged"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace bighouse

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for JSON result export/import: full-fidelity round trip from a
+ * real converged run, file round trip, and schema-violation rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/results_io.hh"
+#include "distribution/fit.hh"
+#include "core/experiment.hh"
+
+namespace bighouse {
+namespace {
+
+SqsResult
+realResult()
+{
+    ExperimentSpec spec;
+    spec.workload.name = "io-test";
+    spec.workload.interarrival = fitMeanCv(2.0, 1.0);
+    spec.workload.service = fitMeanCv(1.0, 1.5);
+    spec.coresPerServer = 1;
+    spec.sqs.accuracy = 0.1;
+    return Experiment(std::move(spec)).run(55);
+}
+
+void
+expectEqualResults(const SqsResult& a, const SqsResult& b)
+{
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_DOUBLE_EQ(a.simulatedTime, b.simulatedTime);
+    ASSERT_EQ(a.estimates.size(), b.estimates.size());
+    for (std::size_t i = 0; i < a.estimates.size(); ++i) {
+        const MetricEstimate& x = a.estimates[i];
+        const MetricEstimate& y = b.estimates[i];
+        EXPECT_EQ(x.name, y.name);
+        EXPECT_EQ(x.phase, y.phase);
+        EXPECT_EQ(x.accepted, y.accepted);
+        EXPECT_EQ(x.lag, y.lag);
+        EXPECT_DOUBLE_EQ(x.mean, y.mean);
+        EXPECT_DOUBLE_EQ(x.meanHalfWidth, y.meanHalfWidth);
+        EXPECT_DOUBLE_EQ(x.stddev, y.stddev);
+        ASSERT_EQ(x.quantiles.size(), y.quantiles.size());
+        for (std::size_t qi = 0; qi < x.quantiles.size(); ++qi) {
+            EXPECT_DOUBLE_EQ(x.quantiles[qi].q, y.quantiles[qi].q);
+            EXPECT_DOUBLE_EQ(x.quantiles[qi].value,
+                             y.quantiles[qi].value);
+            EXPECT_DOUBLE_EQ(x.quantiles[qi].lower,
+                             y.quantiles[qi].lower);
+            EXPECT_DOUBLE_EQ(x.quantiles[qi].upper,
+                             y.quantiles[qi].upper);
+        }
+    }
+}
+
+TEST(ResultsIo, JsonRoundTripIsLossless)
+{
+    const SqsResult original = realResult();
+    const SqsResult loaded = resultFromJson(resultToJson(original));
+    expectEqualResults(original, loaded);
+}
+
+TEST(ResultsIo, FileRoundTrip)
+{
+    const SqsResult original = realResult();
+    const std::string path = ::testing::TempDir() + "/bh_result.json";
+    writeResult(path, original);
+    const SqsResult loaded = readResult(path);
+    std::remove(path.c_str());
+    expectEqualResults(original, loaded);
+}
+
+TEST(ResultsIo, SerializedFormIsPlainJson)
+{
+    const SqsResult original = realResult();
+    const std::string text = resultToJson(original).dump(2);
+    const JsonParseResult reparsed = parseJson(text);
+    ASSERT_TRUE(reparsed.ok) << reparsed.error;
+    EXPECT_NE(text.find("\"response_time\""), std::string::npos);
+    EXPECT_NE(text.find("\"quantiles\""), std::string::npos);
+}
+
+TEST(ResultsIoDeathTest, RejectsMalformedDocuments)
+{
+    EXPECT_EXIT(resultFromJson(parseJson("{}").value),
+                ::testing::ExitedWithCode(1), "converged");
+    EXPECT_EXIT(
+        resultFromJson(
+            parseJson(R"({"converged": true, "events": 1,
+                           "simulatedTime": 1, "wallSeconds": 1})")
+                .value),
+        ::testing::ExitedWithCode(1), "estimates");
+    EXPECT_EXIT(
+        resultFromJson(
+            parseJson(R"({"converged": true, "events": 1,
+                           "simulatedTime": 1, "wallSeconds": 1,
+                           "estimates": [{"name": "x",
+                                           "phase": "nonsense"}]})")
+                .value),
+        ::testing::ExitedWithCode(1), "phase");
+    EXPECT_EXIT(readResult("/nonexistent/result.json"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace bighouse

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the Knuth runs-up test and the calibration lag search: i.i.d.
+ * streams must pass at lag 1, autocorrelated streams must be assigned a
+ * larger lag, and the chosen lag's subsequence must itself pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "base/random.hh"
+#include "stats/runs_test.hh"
+
+namespace bighouse {
+namespace {
+
+/** AR(1) process mapped through exp() to stay positive. */
+std::vector<double>
+autocorrelated(std::size_t n, double rho, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> xs(n);
+    double state = 0.0;
+    for (double& x : xs) {
+        state = rho * state + std::sqrt(1.0 - rho * rho) * rng.gaussian();
+        x = state;
+    }
+    return xs;
+}
+
+std::vector<double>
+iid(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> xs(n);
+    for (double& x : xs)
+        x = rng.uniform01();
+    return xs;
+}
+
+TEST(CountRunsUp, HandComputedSequences)
+{
+    // 1 2 3 | 1 2 | 2(equal counts as continuing) ...
+    const std::vector<double> xs = {1, 2, 3, 1, 2, 2, 0};
+    // Runs: {1,2,3} len 3, {1,2,2} len 3, {0} len 1.
+    const auto counts = countRunsUp(xs);
+    EXPECT_EQ(counts[0], 1u);
+    EXPECT_EQ(counts[2], 2u);
+    EXPECT_EQ(counts[1], 0u);
+}
+
+TEST(CountRunsUp, MonotoneSequenceIsOneLongRun)
+{
+    std::vector<double> xs(100);
+    for (int i = 0; i < 100; ++i)
+        xs[i] = i;
+    const auto counts = countRunsUp(xs);
+    EXPECT_EQ(counts[5], 1u);  // one run of length >= 6
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(counts[i], 0u);
+}
+
+TEST(CountRunsUp, StrictlyDecreasingIsAllOnes)
+{
+    std::vector<double> xs(50);
+    for (int i = 0; i < 50; ++i)
+        xs[i] = 50 - i;
+    const auto counts = countRunsUp(xs);
+    EXPECT_EQ(counts[0], 50u);
+}
+
+TEST(CountRunsUp, TotalRunsConsistent)
+{
+    const auto xs = iid(5000, 3);
+    const auto counts = countRunsUp(xs);
+    // Expected number of runs for iid data is ~ n/2 (mean run length 2).
+    std::uint64_t runs = 0;
+    for (auto c : counts)
+        runs += c;
+    EXPECT_NEAR(static_cast<double>(runs), 5000.0 / 2.0, 150.0);
+}
+
+TEST(RunsUpStatistic, IidPassesMostOfTheTime)
+{
+    // V ~ chi2(6); at 5% significance, ~5% of iid streams fail. Over 40
+    // independent streams expect only a few failures.
+    int failures = 0;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        if (!runsUpTestPasses(iid(5000, 1000 + seed)))
+            ++failures;
+    }
+    EXPECT_LE(failures, 7);
+}
+
+TEST(RunsUpStatistic, StronglyAutocorrelatedFails)
+{
+    // rho = 0.95 stretches ascending runs dramatically.
+    int failures = 0;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        if (!runsUpTestPasses(autocorrelated(5000, 0.95, 2000 + seed)))
+            ++failures;
+    }
+    EXPECT_GE(failures, 9);
+}
+
+TEST(FindLag, IidGetsLagOne)
+{
+    const auto result = findLag(iid(5000, 77));
+    EXPECT_TRUE(result.passed);
+    EXPECT_EQ(result.lag, 1u);
+}
+
+TEST(FindLag, AutocorrelatedGetsLargerLag)
+{
+    const auto xs = autocorrelated(20000, 0.9, 5);
+    const auto result = findLag(xs, 64, 0.05, 500);
+    EXPECT_TRUE(result.passed);
+    EXPECT_GT(result.lag, 1u);
+    // The chosen lag's subsequence passes by construction; verify.
+    std::vector<double> spaced;
+    for (std::size_t i = result.lag - 1; i < xs.size(); i += result.lag)
+        spaced.push_back(xs[i]);
+    EXPECT_TRUE(runsUpTestPasses(spaced));
+}
+
+TEST(FindLag, StrongerCorrelationNeedsLargerLag)
+{
+    const auto weak = findLag(autocorrelated(40000, 0.5, 6), 64, 0.05, 500);
+    const auto strong =
+        findLag(autocorrelated(40000, 0.97, 6), 64, 0.05, 500);
+    EXPECT_TRUE(weak.passed);
+    EXPECT_GE(strong.lag, weak.lag);
+}
+
+TEST(FindLag, GivesUpGracefullyWhenSampleTooShortForAnyLag)
+{
+    // 1200 points, min 500 per subsequence: only lags 1-2 are testable.
+    const auto xs = autocorrelated(1200, 0.99, 7);
+    const auto result = findLag(xs, 64, 0.05, 500);
+    EXPECT_LE(result.lag, 2u);
+    // With rho=0.99 and only lag 2 available, expect failure reported.
+    EXPECT_FALSE(result.passed);
+}
+
+TEST(FindLagDeathTest, TinyCalibrationSampleIsFatal)
+{
+    const auto xs = iid(100, 8);
+    EXPECT_EXIT(findLag(xs, 64, 0.05, 500), ::testing::ExitedWithCode(1),
+                "too small");
+}
+
+} // namespace
+} // namespace bighouse

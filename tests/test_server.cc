@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the k-core server: FCFS dispatch, multi-core concurrency,
+ * timestamps, speed modulation (DVFS slowdown and pause/resume with work
+ * conservation), and time-integrated accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "queueing/server.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+namespace {
+
+Task
+makeTask(std::uint64_t id, Time arrival, double size)
+{
+    Task task;
+    task.id = id;
+    task.arrivalTime = arrival;
+    task.size = size;
+    task.remaining = size;
+    return task;
+}
+
+/** Deliver a task at a given simulated time. */
+void
+deliverAt(Engine& sim, Server& server, Time at, std::uint64_t id,
+          double size)
+{
+    sim.schedule(at, [&sim, &server, id, size] {
+        server.accept(makeTask(id, sim.now(), size));
+    });
+}
+
+TEST(Server, SingleTaskTimestamps)
+{
+    Engine sim;
+    Server server(sim, 1);
+    std::vector<Task> done;
+    server.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    deliverAt(sim, server, 1.0, 1, 2.0);
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_DOUBLE_EQ(done[0].arrivalTime, 1.0);
+    EXPECT_DOUBLE_EQ(done[0].startTime, 1.0);
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 3.0);
+    EXPECT_DOUBLE_EQ(done[0].responseTime(), 2.0);
+    EXPECT_DOUBLE_EQ(done[0].waitingTime(), 0.0);
+}
+
+TEST(Server, FcfsQueueingOnOneCore)
+{
+    Engine sim;
+    Server server(sim, 1);
+    std::vector<Task> done;
+    server.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    deliverAt(sim, server, 0.0, 1, 1.0);
+    deliverAt(sim, server, 0.1, 2, 1.0);
+    deliverAt(sim, server, 0.2, 3, 1.0);
+    sim.run();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(done[0].id, 1u);
+    EXPECT_EQ(done[1].id, 2u);
+    EXPECT_EQ(done[2].id, 3u);
+    EXPECT_DOUBLE_EQ(done[1].startTime, 1.0);   // waits for task 1
+    EXPECT_DOUBLE_EQ(done[1].waitingTime(), 0.9);
+    EXPECT_DOUBLE_EQ(done[2].startTime, 2.0);
+    EXPECT_DOUBLE_EQ(done[2].finishTime, 3.0);
+}
+
+TEST(Server, MultiCoreRunsInParallel)
+{
+    Engine sim;
+    Server server(sim, 2);
+    std::vector<Task> done;
+    server.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    deliverAt(sim, server, 0.0, 1, 2.0);
+    deliverAt(sim, server, 0.0, 2, 2.0);
+    deliverAt(sim, server, 0.0, 3, 2.0);  // queues behind the first two
+    sim.run();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 2.0);
+    EXPECT_DOUBLE_EQ(done[1].finishTime, 2.0);
+    EXPECT_DOUBLE_EQ(done[2].startTime, 2.0);
+    EXPECT_DOUBLE_EQ(done[2].finishTime, 4.0);
+}
+
+TEST(Server, HalfSpeedDoublesServiceTime)
+{
+    Engine sim;
+    Server server(sim, 1);
+    std::vector<Task> done;
+    server.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    server.setSpeed(0.5);
+    deliverAt(sim, server, 0.0, 1, 1.0);
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 2.0);
+}
+
+TEST(Server, MidServiceSlowdownConservesWork)
+{
+    Engine sim;
+    Server server(sim, 1);
+    std::vector<Task> done;
+    server.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    deliverAt(sim, server, 0.0, 1, 2.0);
+    // After 1s (half done), throttle to half speed: remaining 1s of work
+    // takes 2s more -> finish at 3s.
+    sim.schedule(1.0, [&] { server.setSpeed(0.5); });
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 3.0);
+}
+
+TEST(Server, PauseAndResumeConservesWork)
+{
+    Engine sim;
+    Server server(sim, 1);
+    std::vector<Task> done;
+    server.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    deliverAt(sim, server, 0.0, 1, 2.0);
+    sim.schedule(0.5, [&] { server.setSpeed(0.0); });  // pause at 25% done
+    sim.schedule(5.0, [&] { server.setSpeed(1.0); });  // resume
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 6.5);  // 0.5 done + 4.5 paused + 1.5
+}
+
+TEST(Server, AcceptWhilePausedHoldsTask)
+{
+    Engine sim;
+    Server server(sim, 2);
+    std::vector<Task> done;
+    server.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    server.setSpeed(0.0);
+    deliverAt(sim, server, 0.0, 1, 1.0);
+    sim.schedule(1.0, [&] {
+        EXPECT_EQ(server.busyCores(), 1u);   // on core, paused
+        EXPECT_EQ(server.outstanding(), 1u);
+        EXPECT_TRUE(done.empty());
+        server.setSpeed(1.0);
+    });
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 2.0);
+}
+
+TEST(Server, SpeedUpMidService)
+{
+    Engine sim;
+    Server server(sim, 1);
+    std::vector<Task> done;
+    server.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    deliverAt(sim, server, 0.0, 1, 4.0);
+    sim.schedule(2.0, [&] { server.setSpeed(2.0); });  // half done; 2s left
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 3.0);
+}
+
+TEST(Server, StartHandlerFiresOnDispatch)
+{
+    Engine sim;
+    Server server(sim, 1);
+    std::vector<std::pair<std::uint64_t, Time>> starts;
+    server.setStartHandler(
+        [&](const Task& t) { starts.emplace_back(t.id, sim.now()); });
+    deliverAt(sim, server, 0.0, 1, 1.0);
+    deliverAt(sim, server, 0.0, 2, 1.0);
+    sim.run();
+    ASSERT_EQ(starts.size(), 2u);
+    EXPECT_EQ(starts[0], (std::pair<std::uint64_t, Time>{1, 0.0}));
+    EXPECT_EQ(starts[1], (std::pair<std::uint64_t, Time>{2, 1.0}));
+}
+
+TEST(Server, OccupiedCoreSecondsIntegral)
+{
+    Engine sim;
+    Server server(sim, 2);
+    deliverAt(sim, server, 0.0, 1, 3.0);
+    deliverAt(sim, server, 1.0, 2, 1.0);
+    sim.run();
+    // Core A busy [0,3], core B busy [1,2]: 4 core-seconds total.
+    EXPECT_DOUBLE_EQ(server.occupiedCoreSeconds(), 4.0);
+}
+
+TEST(Server, IdleSecondsIntegral)
+{
+    Engine sim;
+    Server server(sim, 1);
+    deliverAt(sim, server, 2.0, 1, 1.0);
+    deliverAt(sim, server, 5.0, 2, 1.0);
+    sim.run();
+    EXPECT_DOUBLE_EQ(server.idleSeconds(), 2.0 + 2.0);  // [0,2] and [3,5]
+}
+
+TEST(Server, CountsAndQueueDepth)
+{
+    Engine sim;
+    Server server(sim, 1);
+    for (int i = 0; i < 5; ++i)
+        deliverAt(sim, server, 0.0, static_cast<std::uint64_t>(i), 1.0);
+    sim.schedule(0.5, [&] {
+        EXPECT_EQ(server.arrivedCount(), 5u);
+        EXPECT_EQ(server.completedCount(), 0u);
+        EXPECT_EQ(server.busyCores(), 1u);
+        EXPECT_EQ(server.queueLength(), 4u);
+        EXPECT_EQ(server.outstanding(), 5u);
+        EXPECT_DOUBLE_EQ(server.oldestQueuedArrival(), 0.0);
+    });
+    sim.run();
+    EXPECT_EQ(server.completedCount(), 5u);
+    EXPECT_EQ(server.outstanding(), 0u);
+    EXPECT_DOUBLE_EQ(server.oldestQueuedArrival(), kTimeNever);
+}
+
+TEST(ServerDeathTest, InvalidConstruction)
+{
+    Engine sim;
+    EXPECT_EXIT(Server(sim, 0), ::testing::ExitedWithCode(1), "core");
+    Server server(sim, 1);
+    EXPECT_EXIT(server.setSpeed(-0.5), ::testing::ExitedWithCode(1),
+                ">= 0");
+}
+
+} // namespace
+} // namespace bighouse

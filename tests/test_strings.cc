@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for string helpers used by config parsing and file I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/strings.hh"
+
+namespace bighouse {
+namespace {
+
+TEST(Split, BasicAndEmptyFields)
+{
+    EXPECT_EQ(split("a.b.c", '.'),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("a..c", '.'), (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_EQ(split("", '.'), (std::vector<std::string>{""}));
+    EXPECT_EQ(split(".a.", '.'), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(SplitWhitespace, DropsEmptyFields)
+{
+    EXPECT_EQ(splitWhitespace("  one\ttwo \n three  "),
+              (std::vector<std::string>{"one", "two", "three"}));
+    EXPECT_TRUE(splitWhitespace("   \t\n ").empty());
+    EXPECT_TRUE(splitWhitespace("").empty());
+}
+
+TEST(Trim, StripsBothEnds)
+{
+    EXPECT_EQ(trim("  hello \t"), "hello");
+    EXPECT_EQ(trim("hello"), "hello");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Affixes, StartsAndEndsWith)
+{
+    EXPECT_TRUE(startsWith("bighouse", "big"));
+    EXPECT_FALSE(startsWith("big", "bighouse"));
+    EXPECT_TRUE(endsWith("model.dist", ".dist"));
+    EXPECT_FALSE(endsWith("model.dist", ".json"));
+    EXPECT_TRUE(startsWith("x", ""));
+    EXPECT_TRUE(endsWith("x", ""));
+}
+
+TEST(ToLower, AsciiOnly)
+{
+    EXPECT_EQ(toLower("BigHouse V1"), "bighouse v1");
+}
+
+TEST(ParseDouble, AcceptsNumbersRejectsGarbage)
+{
+    EXPECT_EQ(parseDouble("3.5"), 3.5);
+    EXPECT_EQ(parseDouble(" -2e3 "), -2000.0);
+    EXPECT_FALSE(parseDouble("3.5x").has_value());
+    EXPECT_FALSE(parseDouble("").has_value());
+    EXPECT_FALSE(parseDouble("two").has_value());
+}
+
+TEST(ParseInt, AcceptsIntegersRejectsGarbage)
+{
+    EXPECT_EQ(parseInt("42"), 42);
+    EXPECT_EQ(parseInt(" -7 "), -7);
+    EXPECT_FALSE(parseInt("4.2").has_value());
+    EXPECT_FALSE(parseInt("").has_value());
+}
+
+TEST(Join, WithSeparator)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+} // namespace
+} // namespace bighouse

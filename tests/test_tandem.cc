@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for tandem (multi-tier) networks, anchored by Jackson-network
+ * theory: a tandem of M/M/1 stages fed by Poisson arrivals has
+ * end-to-end mean sojourn sum_i 1/(mu_i - lambda) (Burke's theorem gives
+ * each stage Poisson input).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/sqs.hh"
+#include "distribution/basic.hh"
+#include "queueing/source.hh"
+#include "queueing/tandem.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+namespace {
+
+Task
+makeTask(std::uint64_t id, Time arrival)
+{
+    Task task;
+    task.id = id;
+    task.arrivalTime = arrival;
+    return task;
+}
+
+std::vector<TandemStageSpec>
+twoDeterministicStages()
+{
+    std::vector<TandemStageSpec> specs;
+    specs.push_back({1, std::make_unique<Deterministic>(1.0)});
+    specs.push_back({1, std::make_unique<Deterministic>(2.0)});
+    return specs;
+}
+
+TEST(Tandem, SingleTaskTraversesAllStages)
+{
+    Engine sim;
+    TandemNetwork net(sim, twoDeterministicStages(), Rng(1));
+    std::vector<Task> done;
+    net.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    sim.schedule(0.0, [&] { net.accept(makeTask(1, 0.0)); });
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 3.0);  // 1s + 2s
+    EXPECT_DOUBLE_EQ(done[0].responseTime(), 3.0);
+    EXPECT_EQ(net.completedCount(), 1u);
+}
+
+TEST(Tandem, PipelineOverlapsStages)
+{
+    Engine sim;
+    TandemNetwork net(sim, twoDeterministicStages(), Rng(2));
+    std::vector<Task> done;
+    net.setCompletionHandler([&](const Task& t) { done.push_back(t); });
+    // Two tasks back to back: task 2 runs stage 0 while task 1 is in
+    // stage 1, then queues behind it there.
+    sim.schedule(0.0, [&] {
+        net.accept(makeTask(1, 0.0));
+        net.accept(makeTask(2, 0.0));
+    });
+    sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_DOUBLE_EQ(done[0].finishTime, 3.0);
+    // Task 2: stage0 [1,2], stage1 queues until 3, runs [3,5].
+    EXPECT_DOUBLE_EQ(done[1].finishTime, 5.0);
+}
+
+TEST(Tandem, JacksonTwoStageMeanSojourn)
+{
+    // lambda = 0.5; mu = {1.0, 1.25}: E[T] = 1/0.5 + 1/0.75 = 10/3.
+    SqsConfig cfg;
+    cfg.accuracy = 0.04;
+    cfg.quantiles = {};
+    SqsSimulation sim(cfg, 33);
+    const auto id = sim.addMetric("sojourn");
+    std::vector<TandemStageSpec> specs;
+    specs.push_back({1, std::make_unique<Exponential>(1.0)});
+    specs.push_back({1, std::make_unique<Exponential>(1.25)});
+    auto net = std::make_shared<TandemNetwork>(sim.engine(),
+                                               std::move(specs),
+                                               sim.rootRng().split());
+    StatsCollection& stats = sim.stats();
+    net->setCompletionHandler([&stats, id](const Task& t) {
+        stats.record(id, t.responseTime());
+    });
+    auto source = std::make_shared<Source>(
+        sim.engine(), *net, std::make_unique<Exponential>(0.5),
+        std::make_unique<Deterministic>(0.0), sim.rootRng().split());
+    source->start();
+    sim.holdModel(net);
+    sim.holdModel(source);
+    const SqsResult result = sim.run();
+    EXPECT_NEAR(result.estimates[0].mean / (10.0 / 3.0), 1.0, 0.1);
+}
+
+TEST(Tandem, ThreeTierShapesLikeItsBottleneck)
+{
+    // Front (fast, 4 cores) -> app (medium, 2 cores) -> db (slow, 1
+    // core): the end-to-end sojourn is dominated by the db tier.
+    SqsConfig cfg;
+    cfg.accuracy = 0.05;
+    cfg.quantiles = {};
+    SqsSimulation sim(cfg, 44);
+    const auto id = sim.addMetric("sojourn");
+    std::vector<TandemStageSpec> specs;
+    specs.push_back({4, std::make_unique<Exponential>(10.0)});
+    specs.push_back({2, std::make_unique<Exponential>(4.0)});
+    specs.push_back({1, std::make_unique<Exponential>(1.25)});
+    auto net = std::make_shared<TandemNetwork>(sim.engine(),
+                                               std::move(specs),
+                                               sim.rootRng().split());
+    StatsCollection& stats = sim.stats();
+    net->setCompletionHandler([&stats, id](const Task& t) {
+        stats.record(id, t.responseTime());
+    });
+    auto source = std::make_shared<Source>(
+        sim.engine(), *net, std::make_unique<Exponential>(1.0),
+        std::make_unique<Deterministic>(0.0), sim.rootRng().split());
+    source->start();
+    sim.holdModel(net);
+    sim.holdModel(source);
+    const SqsResult result = sim.run();
+    // db tier M/M/1 at rho = 0.8: 1/(1.25-1) = 4; front+app add ~0.85.
+    EXPECT_NEAR(result.estimates[0].mean, 4.0 + 0.1 + 0.75, 0.7);
+    // And the db queue is visibly the longest on average.
+    EXPECT_GT(net->stage(2).completedCount(), 0u);
+}
+
+TEST(TandemDeathTest, InvalidConstruction)
+{
+    Engine sim;
+    EXPECT_EXIT(TandemNetwork(sim, {}, Rng(1)),
+                ::testing::ExitedWithCode(1), "at least one stage");
+    std::vector<TandemStageSpec> missing;
+    missing.push_back({1, nullptr});
+    EXPECT_EXIT(TandemNetwork(sim, std::move(missing), Rng(1)),
+                ::testing::ExitedWithCode(1), "missing a service");
+}
+
+} // namespace
+} // namespace bighouse

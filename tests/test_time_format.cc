@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for time formatting and histogram property sweeps that
+ * close small coverage gaps in the base/stats layers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/random.hh"
+#include "base/time.hh"
+#include "stats/histogram.hh"
+
+namespace bighouse {
+namespace {
+
+TEST(FormatTime, PicksSensibleUnits)
+{
+    EXPECT_EQ(formatTime(2.5 * kHour), "2.50h");
+    EXPECT_EQ(formatTime(90.0), "1.50min");
+    EXPECT_EQ(formatTime(3.25), "3.250s");
+    EXPECT_EQ(formatTime(12.5 * kMilliSecond), "12.500ms");
+    EXPECT_EQ(formatTime(3.0 * kMicroSecond), "3.000us");
+    EXPECT_EQ(formatTime(450.0 * kNanoSecond), "450.000ns");
+    EXPECT_EQ(formatTime(0.0), "0s");
+}
+
+TEST(FormatTime, UnitConstantsAreConsistent)
+{
+    EXPECT_DOUBLE_EQ(kMinute, 60.0 * kSecond);
+    EXPECT_DOUBLE_EQ(kHour, 60.0 * kMinute);
+    EXPECT_DOUBLE_EQ(kMilliSecond * 1000.0, kSecond);
+    EXPECT_DOUBLE_EQ(kMicroSecond * 1000.0, kMilliSecond);
+    EXPECT_DOUBLE_EQ(kNanoSecond * 1000.0, kMicroSecond);
+}
+
+/** Property sweep: histograms over random data round-trip and merge. */
+class HistogramProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HistogramProperty, SerializeMergeQuantileInvariants)
+{
+    Rng rng(GetParam());
+    const std::size_t bins = 50 + rng.below(500);
+    const double lo = rng.uniform(0.0, 10.0);
+    const double hi = lo + rng.uniform(0.1, 100.0);
+    const BinScheme scheme{lo, hi, bins};
+
+    Histogram a(scheme), b(scheme), whole(scheme);
+    const int n = 2000 + static_cast<int>(rng.below(8000));
+    for (int i = 0; i < n; ++i) {
+        // Include deliberate out-of-range mass.
+        const double x = rng.uniform(lo - 5.0, hi + 5.0);
+        const double clipped = x < 0 ? -x : x;
+        whole.add(clipped);
+        (i % 2 == 0 ? a : b).add(clipped);
+    }
+
+    // Round trip both halves through the wire format, then merge.
+    Histogram a2 = Histogram::deserialize(a.serialize());
+    const Histogram b2 = Histogram::deserialize(b.serialize());
+    a2.merge(b2);
+    ASSERT_EQ(a2.count(), whole.count());
+    double previous = a2.observedMin() - 1.0;
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        const double merged = a2.quantile(q);
+        const double direct = whole.quantile(q);
+        ASSERT_DOUBLE_EQ(merged, direct) << "q=" << q;
+        ASSERT_GE(merged, previous);  // monotone
+        previous = merged;
+    }
+    EXPECT_DOUBLE_EQ(a2.observedMin(), whole.observedMin());
+    EXPECT_DOUBLE_EQ(a2.observedMax(), whole.observedMax());
+    EXPECT_DOUBLE_EQ(a2.outOfRangeFraction(), whole.outOfRangeFraction());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSchemes, HistogramProperty,
+                         ::testing::Values(11u, 23u, 37u, 51u, 67u, 83u,
+                                           97u, 113u));
+
+} // namespace
+} // namespace bighouse

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * bighouse_run — the command-line front end: load a JSON experiment
+ * description, run it to statistical convergence (serially or with the
+ * Fig. 3 master/slave parallel protocol), and print the estimates.
+ *
+ * Usage:
+ *   bighouse_run <config.json> [--seed N] [--slaves K]
+ *                [--replications R] [--json out.json] [--csv]
+ *
+ * With --slaves K the measurement phase is split across K in-process
+ * slave simulations with unique seeds and merged histograms (Fig. 3).
+ * With --replications R the whole experiment runs R times and the
+ * between-replication Student-t intervals are reported instead.
+ * --json writes the (serial-run) estimates as machine-readable JSON.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "base/logging.hh"
+#include "config/config.hh"
+#include "core/experiment.hh"
+#include "core/replications.hh"
+#include "core/report.hh"
+#include "core/results_io.hh"
+#include "parallel/parallel.hh"
+
+using namespace bighouse;
+
+namespace {
+
+void
+usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <config.json> [--seed N] [--slaves K] "
+                 "[--replications R] [--json out.json] [--csv]\n",
+                 argv0);
+    std::exit(2);
+}
+
+void
+printEstimates(const std::vector<MetricEstimate>& estimates, bool csv)
+{
+    TextTable table({"metric", "mean", "ci-halfwidth", "p-quantile",
+                     "quantile value", "quantile CI", "samples", "lag"});
+    for (const MetricEstimate& est : estimates) {
+        if (est.quantiles.empty()) {
+            table.addRow({est.name, formatG(est.mean, 6),
+                          formatG(est.meanHalfWidth, 4), "-", "-", "-",
+                          std::to_string(est.accepted),
+                          std::to_string(est.lag)});
+            continue;
+        }
+        for (const QuantileEstimate& qe : est.quantiles) {
+            table.addRow({est.name, formatG(est.mean, 6),
+                          formatG(est.meanHalfWidth, 4),
+                          formatG(qe.q, 4), formatG(qe.value, 6),
+                          "[" + formatG(qe.lower, 5) + ", "
+                              + formatG(qe.upper, 5) + "]",
+                          std::to_string(est.accepted),
+                          std::to_string(est.lag)});
+        }
+    }
+    std::printf("%s", csv ? table.toCsv().c_str()
+                          : table.toText().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const char* configPath = nullptr;
+    const char* jsonPath = nullptr;
+    std::uint64_t seed = 1;
+    std::size_t slaves = 0;
+    std::size_t replications = 0;
+    bool csv = false;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--slaves") == 0 && i + 1 < argc) {
+            slaves = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--replications") == 0
+                   && i + 1 < argc) {
+            replications = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--csv") == 0) {
+            csv = true;
+        } else if (argv[i][0] == '-') {
+            usage(argv[0]);
+        } else if (configPath == nullptr) {
+            configPath = argv[i];
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (configPath == nullptr)
+        usage(argv[0]);
+    if (slaves > 0 && replications > 0)
+        fatal("--slaves and --replications are mutually exclusive");
+
+    const Config config = Config::fromFile(configPath);
+    ExperimentSpec spec = Experiment::specFromConfig(config);
+
+    if (replications > 0) {
+        const Experiment experiment(std::move(spec));
+        const ReplicatedResult result =
+            runReplicated(experiment, replications, seed);
+        TextTable table({"metric", "mean", "t-halfwidth", "quantile",
+                         "quantile t-halfwidth", "replications"});
+        for (const ReplicatedMetric& metric : result.metrics) {
+            table.addRow({metric.name, formatG(metric.mean, 6),
+                          formatG(metric.halfWidth, 4),
+                          formatG(metric.quantileMean, 6),
+                          formatG(metric.quantileHalfWidth, 4),
+                          std::to_string(metric.replications)});
+        }
+        std::printf("%s", csv ? table.toCsv().c_str()
+                              : table.toText().c_str());
+        return result.allConverged ? 0 : 1;
+    }
+
+    if (slaves == 0) {
+        const Experiment experiment(std::move(spec));
+        const SqsResult result = experiment.run(seed);
+        if (!csv)
+            std::printf("%s\n", summarizeRun(result).c_str());
+        if (jsonPath != nullptr)
+            writeResult(jsonPath, result);
+        printEstimates(result.estimates, csv);
+        return result.converged ? 0 : 1;
+    }
+
+    auto experiment = std::make_shared<Experiment>(std::move(spec));
+    ParallelConfig parallel;
+    parallel.slaves = slaves;
+    parallel.sqs = experiment->specification().sqs;
+    ParallelRunner runner(
+        [experiment](SqsSimulation& sim) { experiment->buildInto(sim); },
+        parallel);
+    const ParallelResult result = runner.run(seed);
+    if (!csv) {
+        std::printf("parallel run: %zu slaves, %llu total events, "
+                    "%.3fs wall, %s\n",
+                    slaves,
+                    static_cast<unsigned long long>(result.totalEvents),
+                    result.wallSeconds,
+                    result.converged ? "converged" : "NOT converged");
+    }
+    printEstimates(result.estimates, csv);
+    return result.converged ? 0 : 1;
+}
