@@ -251,4 +251,6 @@ bench-objs/CMakeFiles/fig10_parallel_speedup.dir/fig10_parallel_speedup.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/report.hh \
- /root/repo/src/parallel/parallel.hh /root/repo/src/distribution/fit.hh
+ /root/repo/src/parallel/parallel.hh \
+ /root/repo/src/base/fault_injection.hh /root/repo/src/core/results_io.hh \
+ /root/repo/src/distribution/fit.hh

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/fault_injection.cc" "src/base/CMakeFiles/bh_base.dir/fault_injection.cc.o" "gcc" "src/base/CMakeFiles/bh_base.dir/fault_injection.cc.o.d"
   "/root/repo/src/base/logging.cc" "src/base/CMakeFiles/bh_base.dir/logging.cc.o" "gcc" "src/base/CMakeFiles/bh_base.dir/logging.cc.o.d"
   "/root/repo/src/base/math_utils.cc" "src/base/CMakeFiles/bh_base.dir/math_utils.cc.o" "gcc" "src/base/CMakeFiles/bh_base.dir/math_utils.cc.o.d"
   "/root/repo/src/base/random.cc" "src/base/CMakeFiles/bh_base.dir/random.cc.o" "gcc" "src/base/CMakeFiles/bh_base.dir/random.cc.o.d"

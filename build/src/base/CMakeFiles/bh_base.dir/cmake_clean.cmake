@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/bh_base.dir/fault_injection.cc.o"
+  "CMakeFiles/bh_base.dir/fault_injection.cc.o.d"
   "CMakeFiles/bh_base.dir/logging.cc.o"
   "CMakeFiles/bh_base.dir/logging.cc.o.d"
   "CMakeFiles/bh_base.dir/math_utils.cc.o"

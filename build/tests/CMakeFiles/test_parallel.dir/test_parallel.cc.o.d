@@ -331,4 +331,6 @@ tests/CMakeFiles/test_parallel.dir/test_parallel.cc.o: \
  /root/repo/src/policy/power_capping.hh \
  /root/repo/src/power/power_model.hh /root/repo/src/workload/workload.hh \
  /root/repo/src/distribution/distribution.hh \
- /root/repo/src/parallel/parallel.hh /root/repo/src/workload/library.hh
+ /root/repo/src/parallel/parallel.hh \
+ /root/repo/src/base/fault_injection.hh /root/repo/src/core/results_io.hh \
+ /root/repo/src/workload/library.hh

@@ -256,4 +256,5 @@ tools/CMakeFiles/bighouse_run.dir/bighouse_run.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/core/replications.hh /root/repo/src/core/report.hh \
- /root/repo/src/core/results_io.hh /root/repo/src/parallel/parallel.hh
+ /root/repo/src/core/results_io.hh /root/repo/src/parallel/parallel.hh \
+ /root/repo/src/base/fault_injection.hh

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Build with ThreadSanitizer and run the concurrency-sensitive tests
+# (everything labelled `parallel`: the supervised master/slave runtime
+# and its fault-injection suite). Usage:
+#
+#   scripts/check_tsan.sh [build-dir]
+#
+# Pass a different BIGHOUSE_SANITIZE through the environment to reuse
+# the same flow for ASan/UBSan, e.g.:
+#
+#   BIGHOUSE_SANITIZE=address scripts/check_tsan.sh build-asan
+set -eu
+
+SANITIZER="${BIGHOUSE_SANITIZE:-thread}"
+BUILD_DIR="${1:-build-${SANITIZER}san}"
+SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "${BUILD_DIR}" -S "${SOURCE_DIR}" \
+    -DBIGHOUSE_SANITIZE="${SANITIZER}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+# Instrumented builds run the simulation ~10x slower; stretch the tests'
+# wall-clock knobs (watchdog deadlines, injected stalls) to match so
+# healthy-but-slow slaves are not mistaken for hung ones.
+BH_TEST_TIME_SCALE="${BH_TEST_TIME_SCALE:-10}" \
+    ctest --test-dir "${BUILD_DIR}" -L parallel --output-on-failure \
+    -j "$(nproc)"

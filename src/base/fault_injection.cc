@@ -1,0 +1,146 @@
+#include "base/fault_injection.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace bighouse {
+
+const char*
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None: return "none";
+      case FaultKind::Crash: return "crash";
+      case FaultKind::Hang: return "hang";
+      case FaultKind::Slowdown: return "slowdown";
+    }
+    return "unknown";
+}
+
+bool
+FaultPlan::enabled() const
+{
+    return !faults.empty() || crashProbability > 0.0
+           || hangProbability > 0.0 || slowdownProbability > 0.0;
+}
+
+std::vector<FaultSpec>
+FaultPlan::resolve(std::size_t slaves, std::uint64_t seed) const
+{
+    const double pSum =
+        crashProbability + hangProbability + slowdownProbability;
+    if (crashProbability < 0.0 || hangProbability < 0.0
+        || slowdownProbability < 0.0 || pSum > 1.0) {
+        fatal("FaultPlan probabilities must be >= 0 and sum to <= 1 "
+              "(got crash=", crashProbability, " hang=", hangProbability,
+              " slowdown=", slowdownProbability, ")");
+    }
+
+    std::vector<FaultSpec> resolved(slaves);
+    for (std::size_t s = 0; s < slaves; ++s)
+        resolved[s].slave = s;
+
+    if (pSum > 0.0) {
+        SplitMix64 stream(seed);
+        for (std::size_t s = 0; s < slaves; ++s) {
+            // Two independent draws per slave: kind selector, trigger.
+            const double u = static_cast<double>(stream.next() >> 11)
+                             * 0x1.0p-53;
+            const std::uint64_t trigger =
+                meanTriggerEvents / 2
+                + stream.next() % (std::max<std::uint64_t>(
+                      1, meanTriggerEvents));
+            FaultKind kind = FaultKind::None;
+            if (u < crashProbability)
+                kind = FaultKind::Crash;
+            else if (u < crashProbability + hangProbability)
+                kind = FaultKind::Hang;
+            else if (u < pSum)
+                kind = FaultKind::Slowdown;
+            if (kind == FaultKind::None)
+                continue;
+            resolved[s].kind = kind;
+            resolved[s].afterEvents = std::max<std::uint64_t>(1, trigger);
+            resolved[s].stallSeconds = slowdownStallSeconds;
+        }
+    }
+
+    // Explicit entries override the drawn schedule for their victim.
+    for (const FaultSpec& spec : faults) {
+        if (spec.slave >= slaves)
+            continue;
+        resolved[spec.slave] = spec;
+        resolved[spec.slave].afterEvents =
+            std::max<std::uint64_t>(1, spec.afterEvents);
+    }
+    return resolved;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::size_t slaves,
+                             std::uint64_t seed)
+    : schedule(plan.resolve(slaves, seed))
+{
+}
+
+const FaultSpec&
+FaultInjector::planned(std::size_t slave) const
+{
+    static const FaultSpec none{};
+    if (slave >= schedule.size())
+        return none;
+    return schedule[slave];
+}
+
+namespace {
+
+/** Stall in small slices so cancellation stays responsive. */
+void
+stallUntil(double seconds, const FaultInjector::CancelPredicate& cancelled)
+{
+    using clock = std::chrono::steady_clock;
+    const bool forever = seconds <= 0.0;
+    const auto deadline =
+        clock::now() + std::chrono::duration_cast<clock::duration>(
+                           std::chrono::duration<double>(
+                               forever ? 0.0 : seconds));
+    while (forever || clock::now() < deadline) {
+        if (cancelled && cancelled())
+            return;
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+}
+
+} // namespace
+
+void
+FaultInjector::atBatchBoundary(std::size_t slave, std::uint64_t events,
+                               const CancelPredicate& cancelled)
+{
+    if (slave >= schedule.size())
+        return;
+    FaultSpec& spec = schedule[slave];
+    if (spec.kind == FaultKind::None || events < spec.afterEvents)
+        return;
+    switch (spec.kind) {
+      case FaultKind::Crash:
+        spec.kind = FaultKind::None;  // fires once
+        throw InjectedFault(
+            FaultKind::Crash,
+            detail::concat("injected crash in slave ", slave, " after ",
+                           events, " events"));
+      case FaultKind::Hang:
+        // Stall until the supervisor abandons us or the run stops.
+        stallUntil(0.0, cancelled);
+        return;
+      case FaultKind::Slowdown:
+        stallUntil(spec.stallSeconds, cancelled);
+        return;
+      case FaultKind::None:
+        return;
+    }
+}
+
+} // namespace bighouse

@@ -356,6 +356,7 @@ Experiment::specFromConfig(const Config& config)
     spec.sqs.maxEvents = static_cast<std::uint64_t>(
         config.getInt("sqs.maxEvents", 0));
     spec.sqs.maxSimTime = config.getDouble("sqs.maxSimTime", 0.0);
+    spec.sqs.maxWallSeconds = config.getDouble("sqs.maxWallSeconds", 0.0);
 
     if (config.has("capping")) {
         PowerCappingSpec capping;

@@ -97,6 +97,8 @@ summarizeRun(const SqsResult& result)
         << result.events << " events (simulated "
         << formatTime(result.simulatedTime) << ", wall "
         << formatG(result.wallSeconds, 3) << "s)";
+    if (!result.converged)
+        oss << " [" << terminationReasonName(result.termination) << "]";
     return oss.str();
 }
 

@@ -1,5 +1,6 @@
 #include "core/results_io.hh"
 
+#include <cstdio>
 #include <fstream>
 
 #include "base/logging.hh"
@@ -116,6 +117,9 @@ resultToJson(const SqsResult& result)
 {
     JsonValue::Object obj;
     obj.emplace("converged", JsonValue(result.converged));
+    obj.emplace("termination",
+                JsonValue(std::string(
+                    terminationReasonName(result.termination))));
     obj.emplace("events", JsonValue(static_cast<double>(result.events)));
     obj.emplace("simulatedTime", JsonValue(result.simulatedTime));
     obj.emplace("wallSeconds", JsonValue(result.wallSeconds));
@@ -134,6 +138,17 @@ resultFromJson(const JsonValue& json)
     if (converged == nullptr || !converged->isBool())
         fatal("result JSON missing 'converged'");
     result.converged = converged->asBool();
+    const JsonValue* termination = json.find("termination");
+    if (termination != nullptr && termination->isString()) {
+        result.termination =
+            terminationReasonFromName(termination->asString());
+    } else {
+        // Legacy files predate the reason field; all we know is whether
+        // the run converged or stopped early for an unrecorded cause.
+        result.termination = result.converged
+                                 ? TerminationReason::Converged
+                                 : TerminationReason::Drained;
+    }
     result.events =
         static_cast<std::uint64_t>(requireNumber(json, "events"));
     result.simulatedTime = requireNumber(json, "simulatedTime");
@@ -161,6 +176,162 @@ SqsResult
 readResult(const std::string& path)
 {
     return resultFromJson(parseJsonFile(path));
+}
+
+namespace {
+
+JsonValue
+sampleToJson(const CheckpointSample& sample)
+{
+    JsonValue::Object obj;
+    obj.emplace("count", JsonValue(static_cast<double>(sample.count)));
+    obj.emplace("mean", JsonValue(sample.mean));
+    obj.emplace("variance", JsonValue(sample.variance));
+    obj.emplace("min", JsonValue(sample.min));
+    obj.emplace("max", JsonValue(sample.max));
+    obj.emplace("histogram", JsonValue(sample.histogram));
+    return JsonValue(std::move(obj));
+}
+
+CheckpointSample
+sampleFromJson(const JsonValue& json)
+{
+    CheckpointSample sample;
+    sample.count =
+        static_cast<std::uint64_t>(requireNumber(json, "count"));
+    sample.mean = requireNumber(json, "mean");
+    sample.variance = requireNumber(json, "variance");
+    sample.min = requireNumber(json, "min");
+    sample.max = requireNumber(json, "max");
+    const JsonValue* hist = json.find("histogram");
+    if (hist == nullptr || !hist->isString())
+        fatal("checkpoint sample missing 'histogram'");
+    sample.histogram = hist->asString();
+    return sample;
+}
+
+const JsonValue::Array&
+requireArray(const JsonValue& json, const char* key)
+{
+    const JsonValue* node = json.find(key);
+    if (node == nullptr || !node->isArray())
+        fatal("checkpoint JSON missing '", key, "' array");
+    return node->asArray();
+}
+
+} // namespace
+
+JsonValue
+checkpointToJson(const ParallelCheckpoint& checkpoint)
+{
+    JsonValue::Object obj;
+    obj.emplace("format", JsonValue(std::string("bighouse-checkpoint-v1")));
+    obj.emplace("rootSeed",
+                JsonValue(static_cast<double>(checkpoint.rootSeed)));
+    obj.emplace("epoch", JsonValue(static_cast<double>(checkpoint.epoch)));
+    obj.emplace("baseEvents",
+                JsonValue(static_cast<double>(checkpoint.baseEvents)));
+    JsonValue::Array names;
+    for (const std::string& name : checkpoint.metricNames)
+        names.push_back(JsonValue(name));
+    obj.emplace("metrics", JsonValue(std::move(names)));
+    JsonValue::Array schemes;
+    for (const std::string& scheme : checkpoint.binSchemes)
+        schemes.push_back(JsonValue(scheme));
+    obj.emplace("schemes", JsonValue(std::move(schemes)));
+    JsonValue::Array base;
+    for (const CheckpointSample& sample : checkpoint.base)
+        base.push_back(sampleToJson(sample));
+    obj.emplace("base", JsonValue(std::move(base)));
+    JsonValue::Array slaves;
+    for (const CheckpointSlave& slave : checkpoint.slaves) {
+        JsonValue::Object entry;
+        entry.emplace("events",
+                      JsonValue(static_cast<double>(slave.events)));
+        JsonValue::Array samples;
+        for (const CheckpointSample& sample : slave.samples)
+            samples.push_back(sampleToJson(sample));
+        entry.emplace("samples", JsonValue(std::move(samples)));
+        slaves.push_back(JsonValue(std::move(entry)));
+    }
+    obj.emplace("slaves", JsonValue(std::move(slaves)));
+    return JsonValue(std::move(obj));
+}
+
+ParallelCheckpoint
+checkpointFromJson(const JsonValue& json)
+{
+    const JsonValue* format = json.find("format");
+    if (format == nullptr || !format->isString()
+        || format->asString() != "bighouse-checkpoint-v1") {
+        fatal("not a BigHouse checkpoint (missing/unknown 'format')");
+    }
+    ParallelCheckpoint checkpoint;
+    checkpoint.rootSeed =
+        static_cast<std::uint64_t>(requireNumber(json, "rootSeed"));
+    checkpoint.epoch =
+        static_cast<std::uint64_t>(requireNumber(json, "epoch"));
+    checkpoint.baseEvents =
+        static_cast<std::uint64_t>(requireNumber(json, "baseEvents"));
+    for (const JsonValue& name : requireArray(json, "metrics")) {
+        if (!name.isString())
+            fatal("checkpoint 'metrics' entries must be strings");
+        checkpoint.metricNames.push_back(name.asString());
+    }
+    for (const JsonValue& scheme : requireArray(json, "schemes")) {
+        if (!scheme.isString())
+            fatal("checkpoint 'schemes' entries must be strings");
+        checkpoint.binSchemes.push_back(scheme.asString());
+    }
+    const JsonValue* base = json.find("base");
+    if (base != nullptr && base->isArray()) {
+        for (const JsonValue& sample : base->asArray())
+            checkpoint.base.push_back(sampleFromJson(sample));
+    }
+    for (const JsonValue& entry : requireArray(json, "slaves")) {
+        CheckpointSlave slave;
+        slave.events =
+            static_cast<std::uint64_t>(requireNumber(entry, "events"));
+        for (const JsonValue& sample : requireArray(entry, "samples"))
+            slave.samples.push_back(sampleFromJson(sample));
+        if (slave.samples.size() != checkpoint.metricNames.size()) {
+            fatal("checkpoint slave has ", slave.samples.size(),
+                  " samples for ", checkpoint.metricNames.size(),
+                  " metrics");
+        }
+        checkpoint.slaves.push_back(std::move(slave));
+    }
+    if (!checkpoint.base.empty()
+        && checkpoint.base.size() != checkpoint.metricNames.size()) {
+        fatal("checkpoint base has ", checkpoint.base.size(),
+              " samples for ", checkpoint.metricNames.size(), " metrics");
+    }
+    return checkpoint;
+}
+
+void
+writeCheckpoint(const std::string& path,
+                const ParallelCheckpoint& checkpoint)
+{
+    // Write-then-rename so a crash mid-write never corrupts the last
+    // good checkpoint.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            fatal("cannot open ", tmp, " for writing");
+        out << checkpointToJson(checkpoint).dump(2) << "\n";
+        if (!out)
+            fatal("write error on ", tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("cannot rename ", tmp, " to ", path);
+}
+
+ParallelCheckpoint
+readCheckpoint(const std::string& path)
+{
+    return checkpointFromJson(parseJsonFile(path));
 }
 
 } // namespace bighouse

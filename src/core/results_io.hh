@@ -3,12 +3,20 @@
  * Results export/import: serialize an SqsResult to JSON so downstream
  * tooling (plotting scripts, result archives, CI dashboards) can consume
  * converged estimates without parsing console tables.
+ *
+ * Also defines the parallel-run checkpoint format: a periodic snapshot
+ * of every healthy slave's measured sample (accumulator moments plus
+ * serialized histogram) that lets an interrupted master/slave run resume
+ * without discarding the statistical work already paid for. See
+ * docs/robustness.md for the schema.
  */
 
 #ifndef BIGHOUSE_CORE_RESULTS_IO_HH
 #define BIGHOUSE_CORE_RESULTS_IO_HH
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "config/json.hh"
 #include "core/sqs.hh"
@@ -26,6 +34,62 @@ void writeResult(const std::string& path, const SqsResult& result);
 
 /** Read a result written by writeResult(). */
 SqsResult readResult(const std::string& path);
+
+// ---------------------------------------------------------------------
+// Parallel checkpoint format
+// ---------------------------------------------------------------------
+
+/** One metric's measured sample as checkpointed for one contributor. */
+struct CheckpointSample
+{
+    std::uint64_t count = 0;  ///< accepted observations
+    double mean = 0.0;
+    double variance = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::string histogram;    ///< Histogram::serialize(), scheme included
+};
+
+/** One slave's checkpointed contribution. */
+struct CheckpointSlave
+{
+    std::uint64_t events = 0;  ///< events the slave had executed
+    std::vector<CheckpointSample> samples;  ///< one per metric, in id order
+};
+
+/**
+ * A resumable snapshot of a parallel run. `base` carries the merged
+ * sample inherited from earlier epochs (empty on a first-generation
+ * checkpoint); `slaves` carries the current epoch's per-slave samples.
+ * Resuming merges both into the new run's prior.
+ */
+struct ParallelCheckpoint
+{
+    std::uint64_t rootSeed = 0;
+    /// Completed resume generations (0 = never resumed). Each epoch's
+    /// slaves draw distinct seed streams so resumed measurement is
+    /// independent of the checkpointed sample.
+    std::uint64_t epoch = 0;
+    /// Events paid by earlier epochs (accounting only).
+    std::uint64_t baseEvents = 0;
+    std::vector<std::string> metricNames;
+    std::vector<std::string> binSchemes;  ///< BinScheme::serialize() per metric
+    std::vector<CheckpointSample> base;   ///< merged prior sample (may be empty)
+    std::vector<CheckpointSlave> slaves;
+};
+
+/** Full-fidelity JSON rendering of a checkpoint. */
+JsonValue checkpointToJson(const ParallelCheckpoint& checkpoint);
+
+/** Inverse of checkpointToJson(); fatal() on schema violations. */
+ParallelCheckpoint checkpointFromJson(const JsonValue& json);
+
+/** Write a checkpoint atomically (tmp file + rename). */
+void writeCheckpoint(const std::string& path,
+                     const ParallelCheckpoint& checkpoint);
+
+/** Read a checkpoint written by writeCheckpoint(). */
+ParallelCheckpoint readCheckpoint(const std::string& path);
 
 } // namespace bighouse
 

@@ -6,6 +6,38 @@
 
 namespace bighouse {
 
+const char*
+terminationReasonName(TerminationReason reason)
+{
+    switch (reason) {
+      case TerminationReason::Converged: return "converged";
+      case TerminationReason::MaxEvents: return "max-events";
+      case TerminationReason::MaxSimTime: return "max-sim-time";
+      case TerminationReason::Deadline: return "deadline";
+      case TerminationReason::Degraded: return "degraded";
+      case TerminationReason::Drained: return "drained";
+    }
+    return "unknown";
+}
+
+TerminationReason
+terminationReasonFromName(std::string_view name)
+{
+    if (name == "converged")
+        return TerminationReason::Converged;
+    if (name == "max-events")
+        return TerminationReason::MaxEvents;
+    if (name == "max-sim-time")
+        return TerminationReason::MaxSimTime;
+    if (name == "deadline")
+        return TerminationReason::Deadline;
+    if (name == "degraded")
+        return TerminationReason::Degraded;
+    if (name == "drained")
+        return TerminationReason::Drained;
+    fatal("unknown termination reason '", std::string(name), "'");
+}
+
 SqsSimulation::SqsSimulation(SqsConfig config, std::uint64_t seed)
     : cfg(config), root(seed)
 {
@@ -71,32 +103,45 @@ SqsSimulation::run()
 
     const auto wallStart = std::chrono::steady_clock::now();
     std::uint64_t executed = 0;
-    bool converged = false;
+    TerminationReason reason = TerminationReason::Converged;
     while (true) {
         const std::uint64_t ran_now = sim.run(cfg.batchEvents);
         executed += ran_now;
         if (collection.allConverged()) {
-            converged = true;
+            reason = TerminationReason::Converged;
             break;
         }
         if (ran_now == 0) {
             warn("event queue drained before convergence; the model has "
                  "no more work to generate");
+            reason = TerminationReason::Drained;
             break;
         }
         if (cfg.maxEvents != 0 && executed >= cfg.maxEvents) {
             warn("maxEvents safety valve tripped before convergence");
+            reason = TerminationReason::MaxEvents;
             break;
         }
         if (cfg.maxSimTime != 0 && sim.now() >= cfg.maxSimTime) {
             warn("maxSimTime safety valve tripped before convergence");
+            reason = TerminationReason::MaxSimTime;
+            break;
+        }
+        if (cfg.maxWallSeconds > 0.0
+            && std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - wallStart)
+                       .count()
+                   >= cfg.maxWallSeconds) {
+            warn("maxWallSeconds deadline tripped before convergence");
+            reason = TerminationReason::Deadline;
             break;
         }
     }
     const auto wallEnd = std::chrono::steady_clock::now();
 
     SqsResult result = snapshot();
-    result.converged = converged;
+    result.converged = reason == TerminationReason::Converged;
+    result.termination = reason;
     result.events = executed;
     result.wallSeconds =
         std::chrono::duration<double>(wallEnd - wallStart).count();

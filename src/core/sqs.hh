@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/random.hh"
@@ -40,12 +41,37 @@ struct SqsConfig
     /// Hard ceilings; 0 disables. A healthy run converges first.
     std::uint64_t maxEvents = 0;
     Time maxSimTime = 0;
+    /// Wall-clock deadline in seconds; 0 disables. Checked at batch
+    /// granularity — a run is cut at the first batch boundary past it.
+    double maxWallSeconds = 0.0;
 };
+
+/**
+ * Why a run stopped. `converged == false` alone is ambiguous between a
+ * tripped safety valve, a drained (closed) model, and a degraded
+ * parallel run — the reason disambiguates.
+ */
+enum class TerminationReason
+{
+    Converged,   ///< every metric reached its target interval
+    MaxEvents,   ///< maxEvents safety valve tripped
+    MaxSimTime,  ///< maxSimTime safety valve tripped
+    Deadline,    ///< maxWallSeconds wall-clock deadline tripped
+    Degraded,    ///< parallel quorum lost (< minHealthySlaves survive)
+    Drained,     ///< the model generated no more work
+};
+
+/** Render a TerminationReason as text ("converged", "max-events", ...). */
+const char* terminationReasonName(TerminationReason reason);
+
+/** Inverse of terminationReasonName(); fatal() on unknown names. */
+TerminationReason terminationReasonFromName(std::string_view name);
 
 /** Outcome of an SQS run. */
 struct SqsResult
 {
     bool converged = false;
+    TerminationReason termination = TerminationReason::Converged;
     std::uint64_t events = 0;       ///< events executed by run()
     Time simulatedTime = 0;         ///< final simulated clock
     double wallSeconds = 0;         ///< host time spent inside run()

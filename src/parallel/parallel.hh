@@ -18,6 +18,17 @@
  * Here slaves are std::threads in one process; the protocol (including
  * the serialized bin-scheme broadcast) is the same one a multi-host
  * deployment would speak.
+ *
+ * The runtime treats slave failure as the normal case (SPECI-2's
+ * design point): every slave runs under supervision — exceptions are
+ * captured into a per-slave SlaveReport instead of terminating the
+ * process, a watchdog abandons slaves that stop publishing progress,
+ * stragglers lagging the median event count are flagged (and optionally
+ * abandoned), and phase 4 merges only the healthy quorum, reporting a
+ * degraded-but-valid estimate as long as `minHealthySlaves` survive.
+ * Periodic checkpoints (see ParallelCheckpoint in core/results_io.hh)
+ * make an interrupted run resumable. docs/robustness.md describes the
+ * supervision state machine.
  */
 
 #ifndef BIGHOUSE_PARALLEL_PARALLEL_HH
@@ -25,8 +36,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "base/fault_injection.hh"
+#include "core/results_io.hh"
 #include "core/sqs.hh"
 
 namespace bighouse {
@@ -36,20 +50,77 @@ namespace bighouse {
  *  identical metric ids. */
 using ModelBuilder = std::function<void(SqsSimulation&)>;
 
-/** Cluster shape of a parallel run. */
+/** Cluster shape and supervision policy of a parallel run. */
 struct ParallelConfig
 {
     std::size_t slaves = 4;
     SqsConfig sqs;
     /// Events a slave executes between sample-count publications.
     std::uint64_t slaveBatchEvents = 20000;
+
+    // --- supervision ---
+    /// Quorum: the run degrades (rather than completes) when fewer
+    /// healthy slaves than this survive to the merge.
+    std::size_t minHealthySlaves = 1;
+    /// A slave that publishes no progress for this long is marked
+    /// TimedOut and abandoned; 0 disables the watchdog.
+    double watchdogSeconds = 0.0;
+    /// A slave whose event count times this factor is below the median
+    /// healthy slave's is flagged a straggler; 0 disables detection.
+    /// Must be > 1 when enabled.
+    double stragglerFactor = 0.0;
+    /// Abandon flagged stragglers (their partial sample still merges —
+    /// it is statistically valid; they just stop consuming a thread).
+    bool abandonStragglers = false;
+    /// Deterministic fault injection (tests / chaos soaks).
+    FaultPlan faults;
+
+    // --- checkpointing ---
+    /// Non-empty -> periodic resumable snapshots are written here (and
+    /// a final one whenever the run stops unconverged).
+    std::string checkpointPath;
+    double checkpointIntervalSeconds = 1.0;
+};
+
+/** Supervision outcome for one slave. */
+enum class SlaveStatus
+{
+    Running,   ///< still measuring (transient; never in a final report)
+    Ok,        ///< finished cleanly; sample merged
+    Failed,    ///< exception escaped the batch loop; sample discarded
+    TimedOut,  ///< watchdog abandoned it; sample discarded
+    Straggler, ///< lagged the median event rate; sample still merged
+};
+
+/** Render a SlaveStatus as text. */
+const char* slaveStatusName(SlaveStatus status);
+
+/** Per-slave supervision record (the failure roster of a run). */
+struct SlaveReport
+{
+    SlaveStatus status = SlaveStatus::Running;
+    std::string error;        ///< exception text when status == Failed
+    bool abandoned = false;   ///< excluded from further work mid-run
+    std::uint64_t calibrationEvents = 0;
+    std::uint64_t totalEvents = 0;
 };
 
 /** Outcome of a parallel run, including the Fig. 10 phase accounting. */
 struct ParallelResult
 {
     bool converged = false;
+    TerminationReason termination = TerminationReason::Converged;
     std::vector<MetricEstimate> estimates;  ///< merged across slaves
+
+    /// True when at least one slave's sample was excluded from the
+    /// merge (the estimate is built from a reduced quorum).
+    bool degraded = false;
+    /// Slaves whose samples were merged (Ok or Straggler).
+    std::size_t healthySlaves = 0;
+    /// Per-slave supervision outcomes, indexed by slave.
+    std::vector<SlaveReport> slaveReports;
+    /// Events inherited from the checkpoint on a resumed run.
+    std::uint64_t resumedBaseEvents = 0;
 
     /// Events the master spent reaching end-of-calibration (serial part).
     std::uint64_t masterCalibrationEvents = 0;
@@ -82,7 +153,21 @@ class ParallelRunner
      */
     ParallelResult run(std::uint64_t rootSeed);
 
+    /**
+     * Resume an interrupted run from a checkpoint: the checkpointed
+     * sample seeds the aggregate convergence check and the final merge,
+     * so strictly fewer new measurement events are needed than a cold
+     * run. The model and the checkpoint's rootSeed must match the
+     * original run (the bin schemes are re-derived and verified);
+     * the slave count may differ. Resumed slaves draw fresh per-epoch
+     * seed streams, keeping new samples independent of the prior.
+     */
+    ParallelResult resume(const ParallelCheckpoint& from);
+
   private:
+    ParallelResult execute(std::uint64_t rootSeed,
+                           const ParallelCheckpoint* from);
+
     ModelBuilder builder;
     ParallelConfig cfg;
 };

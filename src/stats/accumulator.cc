@@ -38,4 +38,20 @@ Accumulator::merge(const Accumulator& other)
     maxValue = std::max(maxValue, other.maxValue);
 }
 
+Accumulator
+Accumulator::restore(std::uint64_t count, double mean, double variance,
+                     double min, double max)
+{
+    Accumulator acc;
+    if (count == 0)
+        return acc;
+    acc.n = count;
+    acc.meanValue = mean;
+    acc.m2 = count < 2 ? 0.0
+                       : variance * static_cast<double>(count - 1);
+    acc.minValue = min;
+    acc.maxValue = max;
+    return acc;
+}
+
 } // namespace bighouse

@@ -62,6 +62,15 @@ class Accumulator
     /** Combine with another accumulator (order-independent). */
     void merge(const Accumulator& other);
 
+    /**
+     * Rebuild an accumulator from its summary statistics (the inverse of
+     * reading count/mean/variance/min/max), used to revive checkpointed
+     * per-slave samples. The restored accumulator merges exactly like
+     * the original.
+     */
+    static Accumulator restore(std::uint64_t count, double mean,
+                               double variance, double min, double max);
+
     /** Forget everything. */
     void reset() { *this = Accumulator(); }
 

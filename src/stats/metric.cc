@@ -185,6 +185,16 @@ OutputMetric::absorb(const OutputMetric& other)
     offered += other.offered;
 }
 
+void
+OutputMetric::absorbSample(const Accumulator& sample,
+                           const Histogram& sampleHist)
+{
+    BH_ASSERT(hist.has_value(), "absorbSample before calibration completed");
+    accumulator.merge(sample);
+    hist->merge(sampleHist);
+    offered += sample.count();
+}
+
 const Histogram&
 OutputMetric::histogram() const
 {

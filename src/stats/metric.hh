@@ -129,6 +129,13 @@ class OutputMetric
     void absorb(const OutputMetric& other);
 
     /**
+     * Merge a raw (accumulator, histogram) sample — a checkpointed
+     * slave's contribution revived without its OutputMetric. The
+     * histogram's bin scheme must match this metric's.
+     */
+    void absorbSample(const Accumulator& sample, const Histogram& hist);
+
+    /**
      * Re-evaluate convergence from the current (possibly merged) sample;
      * used by the master after absorb(). Promotes the phase to Converged
      * when satisfied.

@@ -7,12 +7,19 @@
  * Usage:
  *   bighouse_run <config.json> [--seed N] [--slaves K]
  *                [--replications R] [--json out.json] [--csv]
+ *                [--min-healthy Q] [--watchdog SECONDS]
+ *                [--checkpoint file.json] [--resume file.json]
  *
  * With --slaves K the measurement phase is split across K in-process
  * slave simulations with unique seeds and merged histograms (Fig. 3).
  * With --replications R the whole experiment runs R times and the
  * between-replication Student-t intervals are reported instead.
  * --json writes the (serial-run) estimates as machine-readable JSON.
+ *
+ * Parallel runs are supervised (see docs/robustness.md): --min-healthy
+ * sets the merge quorum, --watchdog abandons slaves that stop publishing
+ * progress, --checkpoint writes periodic resumable snapshots, and
+ * --resume continues an interrupted run from such a snapshot.
  */
 
 #include <cstdio>
@@ -38,7 +45,9 @@ usage(const char* argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <config.json> [--seed N] [--slaves K] "
-                 "[--replications R] [--json out.json] [--csv]\n",
+                 "[--replications R] [--json out.json] [--csv] "
+                 "[--min-healthy Q] [--watchdog SECONDS] "
+                 "[--checkpoint file.json] [--resume file.json]\n",
                  argv0);
     std::exit(2);
 }
@@ -77,8 +86,12 @@ main(int argc, char** argv)
 {
     const char* configPath = nullptr;
     const char* jsonPath = nullptr;
+    const char* checkpointPath = nullptr;
+    const char* resumePath = nullptr;
     std::uint64_t seed = 1;
     std::size_t slaves = 0;
+    std::size_t minHealthy = 1;
+    double watchdogSeconds = 0.0;
     std::size_t replications = 0;
     bool csv = false;
 
@@ -87,6 +100,18 @@ main(int argc, char** argv)
             seed = std::strtoull(argv[++i], nullptr, 10);
         } else if (std::strcmp(argv[i], "--slaves") == 0 && i + 1 < argc) {
             slaves = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--min-healthy") == 0
+                   && i + 1 < argc) {
+            minHealthy = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--watchdog") == 0
+                   && i + 1 < argc) {
+            watchdogSeconds = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--checkpoint") == 0
+                   && i + 1 < argc) {
+            checkpointPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--resume") == 0
+                   && i + 1 < argc) {
+            resumePath = argv[++i];
         } else if (std::strcmp(argv[i], "--replications") == 0
                    && i + 1 < argc) {
             replications = std::strtoull(argv[++i], nullptr, 10);
@@ -106,6 +131,13 @@ main(int argc, char** argv)
         usage(argv[0]);
     if (slaves > 0 && replications > 0)
         fatal("--slaves and --replications are mutually exclusive");
+    if (resumePath != nullptr && slaves == 0)
+        fatal("--resume needs --slaves (it resumes a parallel run)");
+    if ((checkpointPath != nullptr || minHealthy != 1
+         || watchdogSeconds != 0.0)
+        && slaves == 0)
+        fatal("--checkpoint/--min-healthy/--watchdog apply to parallel "
+              "runs; add --slaves K");
 
     const Config config = Config::fromFile(configPath);
     ExperimentSpec spec = Experiment::specFromConfig(config);
@@ -143,17 +175,41 @@ main(int argc, char** argv)
     ParallelConfig parallel;
     parallel.slaves = slaves;
     parallel.sqs = experiment->specification().sqs;
+    parallel.minHealthySlaves = minHealthy;
+    parallel.watchdogSeconds = watchdogSeconds;
+    if (checkpointPath != nullptr)
+        parallel.checkpointPath = checkpointPath;
     ParallelRunner runner(
         [experiment](SqsSimulation& sim) { experiment->buildInto(sim); },
         parallel);
-    const ParallelResult result = runner.run(seed);
+    const ParallelResult result =
+        resumePath != nullptr ? runner.resume(readCheckpoint(resumePath))
+                              : runner.run(seed);
     if (!csv) {
-        std::printf("parallel run: %zu slaves, %llu total events, "
-                    "%.3fs wall, %s\n",
-                    slaves,
+        std::printf("parallel run: %zu slaves (%zu healthy), %llu total "
+                    "events, %.3fs wall, %s [%s]%s\n",
+                    slaves, result.healthySlaves,
                     static_cast<unsigned long long>(result.totalEvents),
                     result.wallSeconds,
-                    result.converged ? "converged" : "NOT converged");
+                    result.converged ? "converged" : "NOT converged",
+                    terminationReasonName(result.termination),
+                    result.degraded ? " (degraded)" : "");
+        if (result.resumedBaseEvents != 0) {
+            std::printf("resumed: %llu events inherited from the "
+                        "checkpoint\n",
+                        static_cast<unsigned long long>(
+                            result.resumedBaseEvents));
+        }
+        for (std::size_t s = 0; s < result.slaveReports.size(); ++s) {
+            const SlaveReport& report = result.slaveReports[s];
+            if (report.status == SlaveStatus::Ok)
+                continue;
+            std::printf("slave %zu: %s%s%s%s\n", s,
+                        slaveStatusName(report.status),
+                        report.abandoned ? " (abandoned)" : "",
+                        report.error.empty() ? "" : " — ",
+                        report.error.c_str());
+        }
     }
     printEstimates(result.estimates, csv);
     return result.converged ? 0 : 1;
