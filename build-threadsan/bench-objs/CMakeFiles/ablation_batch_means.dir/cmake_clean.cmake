@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_batch_means"
+  "../bench/ablation_batch_means.pdb"
+  "CMakeFiles/ablation_batch_means.dir/ablation_batch_means.cpp.o"
+  "CMakeFiles/ablation_batch_means.dir/ablation_batch_means.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batch_means.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dispatch"
+  "../bench/ablation_dispatch.pdb"
+  "CMakeFiles/ablation_dispatch.dir/ablation_dispatch.cpp.o"
+  "CMakeFiles/ablation_dispatch.dir/ablation_dispatch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

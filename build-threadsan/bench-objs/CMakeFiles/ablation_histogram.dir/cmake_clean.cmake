@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_histogram"
+  "../bench/ablation_histogram.pdb"
+  "CMakeFiles/ablation_histogram.dir/ablation_histogram.cpp.o"
+  "CMakeFiles/ablation_histogram.dir/ablation_histogram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_idle_states"
+  "../bench/ablation_idle_states.pdb"
+  "CMakeFiles/ablation_idle_states.dir/ablation_idle_states.cpp.o"
+  "CMakeFiles/ablation_idle_states.dir/ablation_idle_states.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_idle_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

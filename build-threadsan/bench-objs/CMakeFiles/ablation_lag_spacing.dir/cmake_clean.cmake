@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_lag_spacing"
+  "../bench/ablation_lag_spacing.pdb"
+  "CMakeFiles/ablation_lag_spacing.dir/ablation_lag_spacing.cpp.o"
+  "CMakeFiles/ablation_lag_spacing.dir/ablation_lag_spacing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lag_spacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

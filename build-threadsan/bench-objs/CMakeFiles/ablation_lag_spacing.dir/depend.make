@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_lag_spacing.
+# This may be replaced when dependencies are built.

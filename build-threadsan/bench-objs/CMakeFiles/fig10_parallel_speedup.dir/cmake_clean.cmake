@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_parallel_speedup"
+  "../bench/fig10_parallel_speedup.pdb"
+  "CMakeFiles/fig10_parallel_speedup.dir/fig10_parallel_speedup.cpp.o"
+  "CMakeFiles/fig10_parallel_speedup.dir/fig10_parallel_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_parallel_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

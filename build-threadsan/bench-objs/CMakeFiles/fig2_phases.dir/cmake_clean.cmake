@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_phases"
+  "../bench/fig2_phases.pdb"
+  "CMakeFiles/fig2_phases.dir/fig2_phases.cpp.o"
+  "CMakeFiles/fig2_phases.dir/fig2_phases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

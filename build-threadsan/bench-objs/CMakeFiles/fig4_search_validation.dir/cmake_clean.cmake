@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_search_validation"
+  "../bench/fig4_search_validation.pdb"
+  "CMakeFiles/fig4_search_validation.dir/fig4_search_validation.cpp.o"
+  "CMakeFiles/fig4_search_validation.dir/fig4_search_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_search_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_interarrival"
+  "../bench/fig5_interarrival.pdb"
+  "CMakeFiles/fig5_interarrival.dir/fig5_interarrival.cpp.o"
+  "CMakeFiles/fig5_interarrival.dir/fig5_interarrival.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_interarrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

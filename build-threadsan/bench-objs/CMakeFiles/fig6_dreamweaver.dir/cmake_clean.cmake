@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_dreamweaver"
+  "../bench/fig6_dreamweaver.pdb"
+  "CMakeFiles/fig6_dreamweaver.dir/fig6_dreamweaver.cpp.o"
+  "CMakeFiles/fig6_dreamweaver.dir/fig6_dreamweaver.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dreamweaver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

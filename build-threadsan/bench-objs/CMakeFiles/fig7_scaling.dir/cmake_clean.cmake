@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_scaling"
+  "../bench/fig7_scaling.pdb"
+  "CMakeFiles/fig7_scaling.dir/fig7_scaling.cpp.o"
+  "CMakeFiles/fig7_scaling.dir/fig7_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_cv_sensitivity"
+  "../bench/fig8_cv_sensitivity.pdb"
+  "CMakeFiles/fig8_cv_sensitivity.dir/fig8_cv_sensitivity.cpp.o"
+  "CMakeFiles/fig8_cv_sensitivity.dir/fig8_cv_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cv_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_metric_sensitivity"
+  "../bench/fig9_metric_sensitivity.pdb"
+  "CMakeFiles/fig9_metric_sensitivity.dir/fig9_metric_sensitivity.cpp.o"
+  "CMakeFiles/fig9_metric_sensitivity.dir/fig9_metric_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_metric_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

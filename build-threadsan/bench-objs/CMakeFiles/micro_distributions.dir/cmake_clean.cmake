@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_distributions"
+  "../bench/micro_distributions.pdb"
+  "CMakeFiles/micro_distributions.dir/micro_distributions.cpp.o"
+  "CMakeFiles/micro_distributions.dir/micro_distributions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_event_queue"
+  "../bench/micro_event_queue.pdb"
+  "CMakeFiles/micro_event_queue.dir/micro_event_queue.cpp.o"
+  "CMakeFiles/micro_event_queue.dir/micro_event_queue.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_event_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

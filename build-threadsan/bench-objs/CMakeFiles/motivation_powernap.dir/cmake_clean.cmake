@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/motivation_powernap"
+  "../bench/motivation_powernap.pdb"
+  "CMakeFiles/motivation_powernap.dir/motivation_powernap.cpp.o"
+  "CMakeFiles/motivation_powernap.dir/motivation_powernap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_powernap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

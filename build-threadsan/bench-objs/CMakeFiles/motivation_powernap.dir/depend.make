@@ -1,0 +1,2 @@
+# Empty dependencies file for motivation_powernap.
+# This may be replaced when dependencies are built.

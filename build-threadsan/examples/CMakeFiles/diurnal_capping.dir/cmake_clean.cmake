@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diurnal_capping.dir/diurnal_capping.cpp.o"
+  "CMakeFiles/diurnal_capping.dir/diurnal_capping.cpp.o.d"
+  "diurnal_capping"
+  "diurnal_capping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diurnal_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dreamweaver.dir/dreamweaver.cpp.o"
+  "CMakeFiles/dreamweaver.dir/dreamweaver.cpp.o.d"
+  "dreamweaver"
+  "dreamweaver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dreamweaver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

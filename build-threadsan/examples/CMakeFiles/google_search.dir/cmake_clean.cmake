@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/google_search.dir/google_search.cpp.o"
+  "CMakeFiles/google_search.dir/google_search.cpp.o.d"
+  "google_search"
+  "google_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/google_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_fanout.dir/search_fanout.cpp.o"
+  "CMakeFiles/search_fanout.dir/search_fanout.cpp.o.d"
+  "search_fanout"
+  "search_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-threadsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("config")
+subdirs("distribution")
+subdirs("sim")
+subdirs("stats")
+subdirs("queueing")
+subdirs("power")
+subdirs("workload")
+subdirs("policy")
+subdirs("datacenter")
+subdirs("core")
+subdirs("parallel")

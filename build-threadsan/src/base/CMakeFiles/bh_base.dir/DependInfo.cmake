@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/fault_injection.cc" "src/base/CMakeFiles/bh_base.dir/fault_injection.cc.o" "gcc" "src/base/CMakeFiles/bh_base.dir/fault_injection.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/base/CMakeFiles/bh_base.dir/logging.cc.o" "gcc" "src/base/CMakeFiles/bh_base.dir/logging.cc.o.d"
+  "/root/repo/src/base/math_utils.cc" "src/base/CMakeFiles/bh_base.dir/math_utils.cc.o" "gcc" "src/base/CMakeFiles/bh_base.dir/math_utils.cc.o.d"
+  "/root/repo/src/base/random.cc" "src/base/CMakeFiles/bh_base.dir/random.cc.o" "gcc" "src/base/CMakeFiles/bh_base.dir/random.cc.o.d"
+  "/root/repo/src/base/strings.cc" "src/base/CMakeFiles/bh_base.dir/strings.cc.o" "gcc" "src/base/CMakeFiles/bh_base.dir/strings.cc.o.d"
+  "/root/repo/src/base/time.cc" "src/base/CMakeFiles/bh_base.dir/time.cc.o" "gcc" "src/base/CMakeFiles/bh_base.dir/time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_base.dir/fault_injection.cc.o"
+  "CMakeFiles/bh_base.dir/fault_injection.cc.o.d"
+  "CMakeFiles/bh_base.dir/logging.cc.o"
+  "CMakeFiles/bh_base.dir/logging.cc.o.d"
+  "CMakeFiles/bh_base.dir/math_utils.cc.o"
+  "CMakeFiles/bh_base.dir/math_utils.cc.o.d"
+  "CMakeFiles/bh_base.dir/random.cc.o"
+  "CMakeFiles/bh_base.dir/random.cc.o.d"
+  "CMakeFiles/bh_base.dir/strings.cc.o"
+  "CMakeFiles/bh_base.dir/strings.cc.o.d"
+  "CMakeFiles/bh_base.dir/time.cc.o"
+  "CMakeFiles/bh_base.dir/time.cc.o.d"
+  "libbh_base.a"
+  "libbh_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_config.dir/config.cc.o"
+  "CMakeFiles/bh_config.dir/config.cc.o.d"
+  "CMakeFiles/bh_config.dir/json.cc.o"
+  "CMakeFiles/bh_config.dir/json.cc.o.d"
+  "libbh_config.a"
+  "libbh_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_core.dir/experiment.cc.o"
+  "CMakeFiles/bh_core.dir/experiment.cc.o.d"
+  "CMakeFiles/bh_core.dir/replications.cc.o"
+  "CMakeFiles/bh_core.dir/replications.cc.o.d"
+  "CMakeFiles/bh_core.dir/report.cc.o"
+  "CMakeFiles/bh_core.dir/report.cc.o.d"
+  "CMakeFiles/bh_core.dir/results_io.cc.o"
+  "CMakeFiles/bh_core.dir/results_io.cc.o.d"
+  "CMakeFiles/bh_core.dir/sqs.cc.o"
+  "CMakeFiles/bh_core.dir/sqs.cc.o.d"
+  "libbh_core.a"
+  "libbh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_datacenter.dir/cluster.cc.o"
+  "CMakeFiles/bh_datacenter.dir/cluster.cc.o.d"
+  "CMakeFiles/bh_datacenter.dir/fanout.cc.o"
+  "CMakeFiles/bh_datacenter.dir/fanout.cc.o.d"
+  "CMakeFiles/bh_datacenter.dir/load_balancer.cc.o"
+  "CMakeFiles/bh_datacenter.dir/load_balancer.cc.o.d"
+  "libbh_datacenter.a"
+  "libbh_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

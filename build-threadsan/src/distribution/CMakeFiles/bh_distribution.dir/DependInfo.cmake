@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distribution/basic.cc" "src/distribution/CMakeFiles/bh_distribution.dir/basic.cc.o" "gcc" "src/distribution/CMakeFiles/bh_distribution.dir/basic.cc.o.d"
+  "/root/repo/src/distribution/compose.cc" "src/distribution/CMakeFiles/bh_distribution.dir/compose.cc.o" "gcc" "src/distribution/CMakeFiles/bh_distribution.dir/compose.cc.o.d"
+  "/root/repo/src/distribution/empirical.cc" "src/distribution/CMakeFiles/bh_distribution.dir/empirical.cc.o" "gcc" "src/distribution/CMakeFiles/bh_distribution.dir/empirical.cc.o.d"
+  "/root/repo/src/distribution/fit.cc" "src/distribution/CMakeFiles/bh_distribution.dir/fit.cc.o" "gcc" "src/distribution/CMakeFiles/bh_distribution.dir/fit.cc.o.d"
+  "/root/repo/src/distribution/heavy_tail.cc" "src/distribution/CMakeFiles/bh_distribution.dir/heavy_tail.cc.o" "gcc" "src/distribution/CMakeFiles/bh_distribution.dir/heavy_tail.cc.o.d"
+  "/root/repo/src/distribution/phase_type.cc" "src/distribution/CMakeFiles/bh_distribution.dir/phase_type.cc.o" "gcc" "src/distribution/CMakeFiles/bh_distribution.dir/phase_type.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan/src/base/CMakeFiles/bh_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

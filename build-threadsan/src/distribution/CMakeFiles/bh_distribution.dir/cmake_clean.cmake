@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_distribution.dir/basic.cc.o"
+  "CMakeFiles/bh_distribution.dir/basic.cc.o.d"
+  "CMakeFiles/bh_distribution.dir/compose.cc.o"
+  "CMakeFiles/bh_distribution.dir/compose.cc.o.d"
+  "CMakeFiles/bh_distribution.dir/empirical.cc.o"
+  "CMakeFiles/bh_distribution.dir/empirical.cc.o.d"
+  "CMakeFiles/bh_distribution.dir/fit.cc.o"
+  "CMakeFiles/bh_distribution.dir/fit.cc.o.d"
+  "CMakeFiles/bh_distribution.dir/heavy_tail.cc.o"
+  "CMakeFiles/bh_distribution.dir/heavy_tail.cc.o.d"
+  "CMakeFiles/bh_distribution.dir/phase_type.cc.o"
+  "CMakeFiles/bh_distribution.dir/phase_type.cc.o.d"
+  "libbh_distribution.a"
+  "libbh_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_parallel.dir/parallel.cc.o"
+  "CMakeFiles/bh_parallel.dir/parallel.cc.o.d"
+  "libbh_parallel.a"
+  "libbh_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_policy.dir/dreamweaver.cc.o"
+  "CMakeFiles/bh_policy.dir/dreamweaver.cc.o.d"
+  "CMakeFiles/bh_policy.dir/dvfs_governor.cc.o"
+  "CMakeFiles/bh_policy.dir/dvfs_governor.cc.o.d"
+  "CMakeFiles/bh_policy.dir/hierarchical_capping.cc.o"
+  "CMakeFiles/bh_policy.dir/hierarchical_capping.cc.o.d"
+  "CMakeFiles/bh_policy.dir/power_capping.cc.o"
+  "CMakeFiles/bh_policy.dir/power_capping.cc.o.d"
+  "CMakeFiles/bh_policy.dir/powernap.cc.o"
+  "CMakeFiles/bh_policy.dir/powernap.cc.o.d"
+  "libbh_policy.a"
+  "libbh_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

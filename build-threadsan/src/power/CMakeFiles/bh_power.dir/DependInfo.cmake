@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/acpi.cc" "src/power/CMakeFiles/bh_power.dir/acpi.cc.o" "gcc" "src/power/CMakeFiles/bh_power.dir/acpi.cc.o.d"
+  "/root/repo/src/power/energy_meter.cc" "src/power/CMakeFiles/bh_power.dir/energy_meter.cc.o" "gcc" "src/power/CMakeFiles/bh_power.dir/energy_meter.cc.o.d"
+  "/root/repo/src/power/power_model.cc" "src/power/CMakeFiles/bh_power.dir/power_model.cc.o" "gcc" "src/power/CMakeFiles/bh_power.dir/power_model.cc.o.d"
+  "/root/repo/src/power/sleep_state.cc" "src/power/CMakeFiles/bh_power.dir/sleep_state.cc.o" "gcc" "src/power/CMakeFiles/bh_power.dir/sleep_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan/src/base/CMakeFiles/bh_base.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/sim/CMakeFiles/bh_sim.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/queueing/CMakeFiles/bh_queueing.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/distribution/CMakeFiles/bh_distribution.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

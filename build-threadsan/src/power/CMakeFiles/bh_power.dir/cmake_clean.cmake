@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_power.dir/acpi.cc.o"
+  "CMakeFiles/bh_power.dir/acpi.cc.o.d"
+  "CMakeFiles/bh_power.dir/energy_meter.cc.o"
+  "CMakeFiles/bh_power.dir/energy_meter.cc.o.d"
+  "CMakeFiles/bh_power.dir/power_model.cc.o"
+  "CMakeFiles/bh_power.dir/power_model.cc.o.d"
+  "CMakeFiles/bh_power.dir/sleep_state.cc.o"
+  "CMakeFiles/bh_power.dir/sleep_state.cc.o.d"
+  "libbh_power.a"
+  "libbh_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

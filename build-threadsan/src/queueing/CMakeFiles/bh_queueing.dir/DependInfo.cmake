@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/modulated_source.cc" "src/queueing/CMakeFiles/bh_queueing.dir/modulated_source.cc.o" "gcc" "src/queueing/CMakeFiles/bh_queueing.dir/modulated_source.cc.o.d"
+  "/root/repo/src/queueing/priority_server.cc" "src/queueing/CMakeFiles/bh_queueing.dir/priority_server.cc.o" "gcc" "src/queueing/CMakeFiles/bh_queueing.dir/priority_server.cc.o.d"
+  "/root/repo/src/queueing/ps_server.cc" "src/queueing/CMakeFiles/bh_queueing.dir/ps_server.cc.o" "gcc" "src/queueing/CMakeFiles/bh_queueing.dir/ps_server.cc.o.d"
+  "/root/repo/src/queueing/server.cc" "src/queueing/CMakeFiles/bh_queueing.dir/server.cc.o" "gcc" "src/queueing/CMakeFiles/bh_queueing.dir/server.cc.o.d"
+  "/root/repo/src/queueing/source.cc" "src/queueing/CMakeFiles/bh_queueing.dir/source.cc.o" "gcc" "src/queueing/CMakeFiles/bh_queueing.dir/source.cc.o.d"
+  "/root/repo/src/queueing/tandem.cc" "src/queueing/CMakeFiles/bh_queueing.dir/tandem.cc.o" "gcc" "src/queueing/CMakeFiles/bh_queueing.dir/tandem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan/src/base/CMakeFiles/bh_base.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/sim/CMakeFiles/bh_sim.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/distribution/CMakeFiles/bh_distribution.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

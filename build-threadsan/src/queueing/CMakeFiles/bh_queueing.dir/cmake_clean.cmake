@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_queueing.dir/modulated_source.cc.o"
+  "CMakeFiles/bh_queueing.dir/modulated_source.cc.o.d"
+  "CMakeFiles/bh_queueing.dir/priority_server.cc.o"
+  "CMakeFiles/bh_queueing.dir/priority_server.cc.o.d"
+  "CMakeFiles/bh_queueing.dir/ps_server.cc.o"
+  "CMakeFiles/bh_queueing.dir/ps_server.cc.o.d"
+  "CMakeFiles/bh_queueing.dir/server.cc.o"
+  "CMakeFiles/bh_queueing.dir/server.cc.o.d"
+  "CMakeFiles/bh_queueing.dir/source.cc.o"
+  "CMakeFiles/bh_queueing.dir/source.cc.o.d"
+  "CMakeFiles/bh_queueing.dir/tandem.cc.o"
+  "CMakeFiles/bh_queueing.dir/tandem.cc.o.d"
+  "libbh_queueing.a"
+  "libbh_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_sim.dir/engine.cc.o"
+  "CMakeFiles/bh_sim.dir/engine.cc.o.d"
+  "CMakeFiles/bh_sim.dir/event_queue.cc.o"
+  "CMakeFiles/bh_sim.dir/event_queue.cc.o.d"
+  "libbh_sim.a"
+  "libbh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/accumulator.cc" "src/stats/CMakeFiles/bh_stats.dir/accumulator.cc.o" "gcc" "src/stats/CMakeFiles/bh_stats.dir/accumulator.cc.o.d"
+  "/root/repo/src/stats/autocorrelation.cc" "src/stats/CMakeFiles/bh_stats.dir/autocorrelation.cc.o" "gcc" "src/stats/CMakeFiles/bh_stats.dir/autocorrelation.cc.o.d"
+  "/root/repo/src/stats/batch_means.cc" "src/stats/CMakeFiles/bh_stats.dir/batch_means.cc.o" "gcc" "src/stats/CMakeFiles/bh_stats.dir/batch_means.cc.o.d"
+  "/root/repo/src/stats/collection.cc" "src/stats/CMakeFiles/bh_stats.dir/collection.cc.o" "gcc" "src/stats/CMakeFiles/bh_stats.dir/collection.cc.o.d"
+  "/root/repo/src/stats/confidence.cc" "src/stats/CMakeFiles/bh_stats.dir/confidence.cc.o" "gcc" "src/stats/CMakeFiles/bh_stats.dir/confidence.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/bh_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/bh_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/metric.cc" "src/stats/CMakeFiles/bh_stats.dir/metric.cc.o" "gcc" "src/stats/CMakeFiles/bh_stats.dir/metric.cc.o.d"
+  "/root/repo/src/stats/runs_test.cc" "src/stats/CMakeFiles/bh_stats.dir/runs_test.cc.o" "gcc" "src/stats/CMakeFiles/bh_stats.dir/runs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan/src/base/CMakeFiles/bh_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

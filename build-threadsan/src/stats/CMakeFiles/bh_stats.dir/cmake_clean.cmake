@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_stats.dir/accumulator.cc.o"
+  "CMakeFiles/bh_stats.dir/accumulator.cc.o.d"
+  "CMakeFiles/bh_stats.dir/autocorrelation.cc.o"
+  "CMakeFiles/bh_stats.dir/autocorrelation.cc.o.d"
+  "CMakeFiles/bh_stats.dir/batch_means.cc.o"
+  "CMakeFiles/bh_stats.dir/batch_means.cc.o.d"
+  "CMakeFiles/bh_stats.dir/collection.cc.o"
+  "CMakeFiles/bh_stats.dir/collection.cc.o.d"
+  "CMakeFiles/bh_stats.dir/confidence.cc.o"
+  "CMakeFiles/bh_stats.dir/confidence.cc.o.d"
+  "CMakeFiles/bh_stats.dir/histogram.cc.o"
+  "CMakeFiles/bh_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/bh_stats.dir/metric.cc.o"
+  "CMakeFiles/bh_stats.dir/metric.cc.o.d"
+  "CMakeFiles/bh_stats.dir/runs_test.cc.o"
+  "CMakeFiles/bh_stats.dir/runs_test.cc.o.d"
+  "libbh_stats.a"
+  "libbh_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

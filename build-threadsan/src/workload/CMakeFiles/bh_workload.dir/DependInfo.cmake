@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/library.cc" "src/workload/CMakeFiles/bh_workload.dir/library.cc.o" "gcc" "src/workload/CMakeFiles/bh_workload.dir/library.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/bh_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/bh_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/bh_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/bh_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan/src/base/CMakeFiles/bh_base.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/distribution/CMakeFiles/bh_distribution.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/queueing/CMakeFiles/bh_queueing.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/sim/CMakeFiles/bh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

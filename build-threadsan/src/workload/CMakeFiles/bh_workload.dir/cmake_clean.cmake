@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_workload.dir/library.cc.o"
+  "CMakeFiles/bh_workload.dir/library.cc.o.d"
+  "CMakeFiles/bh_workload.dir/trace.cc.o"
+  "CMakeFiles/bh_workload.dir/trace.cc.o.d"
+  "CMakeFiles/bh_workload.dir/workload.cc.o"
+  "CMakeFiles/bh_workload.dir/workload.cc.o.d"
+  "libbh_workload.a"
+  "libbh_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accumulator.dir/test_accumulator.cc.o"
+  "CMakeFiles/test_accumulator.dir/test_accumulator.cc.o.d"
+  "test_accumulator"
+  "test_accumulator.pdb"
+  "test_accumulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accumulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

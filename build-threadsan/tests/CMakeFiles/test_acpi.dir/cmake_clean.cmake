@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acpi.dir/test_acpi.cc.o"
+  "CMakeFiles/test_acpi.dir/test_acpi.cc.o.d"
+  "test_acpi"
+  "test_acpi.pdb"
+  "test_acpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

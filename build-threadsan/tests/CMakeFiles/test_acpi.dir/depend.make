@@ -1,0 +1,2 @@
+# Empty dependencies file for test_acpi.
+# This may be replaced when dependencies are built.

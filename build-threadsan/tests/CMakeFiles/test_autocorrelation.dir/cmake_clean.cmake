@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autocorrelation.dir/test_autocorrelation.cc.o"
+  "CMakeFiles/test_autocorrelation.dir/test_autocorrelation.cc.o.d"
+  "test_autocorrelation"
+  "test_autocorrelation.pdb"
+  "test_autocorrelation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autocorrelation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

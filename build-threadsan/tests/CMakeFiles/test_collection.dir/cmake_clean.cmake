@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collection.dir/test_collection.cc.o"
+  "CMakeFiles/test_collection.dir/test_collection.cc.o.d"
+  "test_collection"
+  "test_collection.pdb"
+  "test_collection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

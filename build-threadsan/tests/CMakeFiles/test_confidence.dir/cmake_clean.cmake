@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_confidence.dir/test_confidence.cc.o"
+  "CMakeFiles/test_confidence.dir/test_confidence.cc.o.d"
+  "test_confidence"
+  "test_confidence.pdb"
+  "test_confidence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dreamweaver.dir/test_dreamweaver.cc.o"
+  "CMakeFiles/test_dreamweaver.dir/test_dreamweaver.cc.o.d"
+  "test_dreamweaver"
+  "test_dreamweaver.pdb"
+  "test_dreamweaver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dreamweaver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_empirical.dir/test_empirical.cc.o"
+  "CMakeFiles/test_empirical.dir/test_empirical.cc.o.d"
+  "test_empirical"
+  "test_empirical.pdb"
+  "test_empirical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_empirical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fit.dir/test_fit.cc.o"
+  "CMakeFiles/test_fit.dir/test_fit.cc.o.d"
+  "test_fit"
+  "test_fit.pdb"
+  "test_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hierarchical_capping.dir/test_hierarchical_capping.cc.o"
+  "CMakeFiles/test_hierarchical_capping.dir/test_hierarchical_capping.cc.o.d"
+  "test_hierarchical_capping"
+  "test_hierarchical_capping.pdb"
+  "test_hierarchical_capping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hierarchical_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

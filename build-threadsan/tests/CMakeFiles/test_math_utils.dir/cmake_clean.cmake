@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_utils.dir/test_math_utils.cc.o"
+  "CMakeFiles/test_math_utils.dir/test_math_utils.cc.o.d"
+  "test_math_utils"
+  "test_math_utils.pdb"
+  "test_math_utils[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

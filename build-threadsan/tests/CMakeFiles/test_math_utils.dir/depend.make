@@ -1,0 +1,2 @@
+# Empty dependencies file for test_math_utils.
+# This may be replaced when dependencies are built.

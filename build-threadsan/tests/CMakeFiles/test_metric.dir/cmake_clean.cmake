@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metric.dir/test_metric.cc.o"
+  "CMakeFiles/test_metric.dir/test_metric.cc.o.d"
+  "test_metric"
+  "test_metric.pdb"
+  "test_metric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modulated_source.dir/test_modulated_source.cc.o"
+  "CMakeFiles/test_modulated_source.dir/test_modulated_source.cc.o.d"
+  "test_modulated_source"
+  "test_modulated_source.pdb"
+  "test_modulated_source[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modulated_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

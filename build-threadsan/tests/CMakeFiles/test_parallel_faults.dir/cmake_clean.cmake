@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_faults.dir/test_parallel_faults.cc.o"
+  "CMakeFiles/test_parallel_faults.dir/test_parallel_faults.cc.o.d"
+  "test_parallel_faults"
+  "test_parallel_faults.pdb"
+  "test_parallel_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_capping.dir/test_power_capping.cc.o"
+  "CMakeFiles/test_power_capping.dir/test_power_capping.cc.o.d"
+  "test_power_capping"
+  "test_power_capping.pdb"
+  "test_power_capping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_powernap.dir/test_powernap.cc.o"
+  "CMakeFiles/test_powernap.dir/test_powernap.cc.o.d"
+  "test_powernap"
+  "test_powernap.pdb"
+  "test_powernap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_powernap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

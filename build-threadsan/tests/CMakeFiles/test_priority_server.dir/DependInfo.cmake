@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_priority_server.cc" "tests/CMakeFiles/test_priority_server.dir/test_priority_server.cc.o" "gcc" "tests/CMakeFiles/test_priority_server.dir/test_priority_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan/src/queueing/CMakeFiles/bh_queueing.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/sim/CMakeFiles/bh_sim.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/distribution/CMakeFiles/bh_distribution.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/base/CMakeFiles/bh_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_priority_server.dir/test_priority_server.cc.o"
+  "CMakeFiles/test_priority_server.dir/test_priority_server.cc.o.d"
+  "test_priority_server"
+  "test_priority_server.pdb"
+  "test_priority_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_priority_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

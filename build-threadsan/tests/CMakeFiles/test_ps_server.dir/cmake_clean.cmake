@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ps_server.dir/test_ps_server.cc.o"
+  "CMakeFiles/test_ps_server.dir/test_ps_server.cc.o.d"
+  "test_ps_server"
+  "test_ps_server.pdb"
+  "test_ps_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ps_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantile_ci.dir/test_quantile_ci.cc.o"
+  "CMakeFiles/test_quantile_ci.dir/test_quantile_ci.cc.o.d"
+  "test_quantile_ci"
+  "test_quantile_ci.pdb"
+  "test_quantile_ci[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantile_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queueing_theory.dir/test_queueing_theory.cc.o"
+  "CMakeFiles/test_queueing_theory.dir/test_queueing_theory.cc.o.d"
+  "test_queueing_theory"
+  "test_queueing_theory.pdb"
+  "test_queueing_theory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queueing_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replications.dir/test_replications.cc.o"
+  "CMakeFiles/test_replications.dir/test_replications.cc.o.d"
+  "test_replications"
+  "test_replications.pdb"
+  "test_replications[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_results_io.dir/test_results_io.cc.o"
+  "CMakeFiles/test_results_io.dir/test_results_io.cc.o.d"
+  "test_results_io"
+  "test_results_io.pdb"
+  "test_results_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_results_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runs_test.dir/test_runs_test.cc.o"
+  "CMakeFiles/test_runs_test.dir/test_runs_test.cc.o.d"
+  "test_runs_test"
+  "test_runs_test.pdb"
+  "test_runs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_source.dir/test_source.cc.o"
+  "CMakeFiles/test_source.dir/test_source.cc.o.d"
+  "test_source"
+  "test_source.pdb"
+  "test_source[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

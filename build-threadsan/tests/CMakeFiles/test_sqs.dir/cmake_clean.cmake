@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sqs.dir/test_sqs.cc.o"
+  "CMakeFiles/test_sqs.dir/test_sqs.cc.o.d"
+  "test_sqs"
+  "test_sqs.pdb"
+  "test_sqs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sqs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tandem.dir/test_tandem.cc.o"
+  "CMakeFiles/test_tandem.dir/test_tandem.cc.o.d"
+  "test_tandem"
+  "test_tandem.pdb"
+  "test_tandem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tandem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

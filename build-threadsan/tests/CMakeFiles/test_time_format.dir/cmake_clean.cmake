@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_time_format.dir/test_time_format.cc.o"
+  "CMakeFiles/test_time_format.dir/test_time_format.cc.o.d"
+  "test_time_format"
+  "test_time_format.pdb"
+  "test_time_format[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_time_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

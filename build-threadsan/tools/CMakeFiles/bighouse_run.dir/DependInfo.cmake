@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/bighouse_run.cc" "tools/CMakeFiles/bighouse_run.dir/bighouse_run.cc.o" "gcc" "tools/CMakeFiles/bighouse_run.dir/bighouse_run.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan/src/core/CMakeFiles/bh_core.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/parallel/CMakeFiles/bh_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/stats/CMakeFiles/bh_stats.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/workload/CMakeFiles/bh_workload.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/policy/CMakeFiles/bh_policy.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/power/CMakeFiles/bh_power.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/datacenter/CMakeFiles/bh_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/queueing/CMakeFiles/bh_queueing.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/sim/CMakeFiles/bh_sim.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/distribution/CMakeFiles/bh_distribution.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/config/CMakeFiles/bh_config.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/base/CMakeFiles/bh_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bighouse_run.dir/bighouse_run.cc.o"
+  "CMakeFiles/bighouse_run.dir/bighouse_run.cc.o.d"
+  "bighouse_run"
+  "bighouse_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bighouse_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bighouse_workload_gen.dir/bighouse_workload_gen.cc.o"
+  "CMakeFiles/bighouse_workload_gen.dir/bighouse_workload_gen.cc.o.d"
+  "bighouse_workload_gen"
+  "bighouse_workload_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bighouse_workload_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
