@@ -68,7 +68,8 @@ runWithTimeoutScale(double scale)
     point.averageWatts = governor.averageWatts();
     point.meanLatencyMs = sampleMean(latencies) * 1e3;
     point.p95LatencyMs =
-        latencies[static_cast<std::size_t>(0.95 * (latencies.size() - 1))]
+        latencies[static_cast<std::size_t>(
+            0.95 * static_cast<double>(latencies.size() - 1))]
         * 1e3;
     point.residency = governor.stateResidency();
     return point;

@@ -97,8 +97,10 @@ main()
     for (int h = 0; h < 24; ++h) {
         hour = HourAccumulator{};
         latencyWindow.clear();
-        sim.runUntil(static_cast<Time>(h + 1) * kCompressedDay / 24.0);
-        const double n = std::max<double>(1.0, hour.count);
+        sim.runUntil(static_cast<Time>(static_cast<double>(h + 1))
+                     * kCompressedDay / 24.0);
+        const double n =
+            std::max(1.0, static_cast<double>(hour.count));
         table.addRow({std::to_string(h),
                       formatG(hour.utilization / n, 3),
                       formatG(hour.frequency / n, 3),

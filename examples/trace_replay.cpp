@@ -61,8 +61,8 @@ struct Harness
         const double p95 =
             sorted.empty()
                 ? 0.0
-                : sorted[static_cast<std::size_t>(0.95
-                                                  * (sorted.size() - 1))];
+                : sorted[static_cast<std::size_t>(
+                      0.95 * static_cast<double>(sorted.size() - 1))];
         return RunStats{sampleMean(latencies) * 1e3, p95 * 1e3,
                         latencies.size()};
     }

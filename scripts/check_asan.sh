@@ -1,0 +1,15 @@
+#!/bin/sh
+# Build with AddressSanitizer (+ leak detection where the platform
+# supports it) and run the full test suite. Usage:
+#
+#   scripts/check_asan.sh [extra ctest args...]
+#
+# A clean pass means no heap overflow, use-after-free, or leak anywhere
+# the tier-1 tests reach — the memory-cleanliness half of the
+# correctness-tooling gate (docs/static_analysis.md).
+set -eu
+
+. "$(dirname "$0")/sanitize_common.sh"
+
+export BH_TEST_TIME_SCALE="${BH_TEST_TIME_SCALE:-10}"
+bh_sanitize address "$@"

@@ -1,0 +1,23 @@
+#!/bin/sh
+# clang-format gate: verify every tracked C++ source matches the
+# committed .clang-format style. Usage:
+#
+#   scripts/check_format.sh          # check (exit 1 on drift)
+#   scripts/check_format.sh --fix    # rewrite files in place
+set -eu
+
+SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "check_format: clang-format not installed; skipping (CI runs it)"
+    exit 0
+fi
+
+MODE="--dry-run"
+if [ "${1:-}" = "--fix" ]; then
+    MODE="-i"
+fi
+
+cd "${SOURCE_DIR}"
+git ls-files '*.cc' '*.hh' '*.cpp' '*.hpp' \
+    | xargs clang-format ${MODE} -Werror --style=file

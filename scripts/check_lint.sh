@@ -1,0 +1,41 @@
+#!/bin/sh
+# The static-analysis gate: bh_lint over src/, tools/, and bench/, the
+# hardened-warning (BIGHOUSE_STRICT) build, and clang-tidy when it is
+# installed. Usage:
+#
+#   scripts/check_lint.sh [bh_lint args...]
+#
+# Extra arguments are forwarded to bh_lint (e.g. --format=json
+# --output=lint.json). Exit status is nonzero on any finding.
+set -eu
+
+SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$(mktemp -d "${TMPDIR:-/tmp}/bighouse-lint.XXXXXX")"
+trap 'rm -rf "${BUILD_DIR}"' EXIT INT TERM
+
+echo "== strict-warning build (-Wshadow=local -Wconversion -Wdouble-promotion)"
+cmake -B "${BUILD_DIR}" -S "${SOURCE_DIR}" -DBIGHOUSE_STRICT=ON \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+WARN_LOG="${BUILD_DIR}/warnings.log"
+cmake --build "${BUILD_DIR}" -j "$(nproc)" 2>"${WARN_LOG}" >/dev/null
+if grep -q 'warning:' "${WARN_LOG}"; then
+    echo "strict build produced warnings:" >&2
+    grep 'warning:' "${WARN_LOG}" >&2
+    exit 1
+fi
+echo "   clean"
+
+echo "== bh_lint"
+"${BUILD_DIR}/tools/bh_lint" "$@" \
+    "${SOURCE_DIR}/src" "${SOURCE_DIR}/tools" "${SOURCE_DIR}/bench"
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy (checks from .clang-tidy)"
+    # Library sources only: tests and benches trip gtest/benchmark
+    # macro noise without telling us anything about the simulator.
+    find "${SOURCE_DIR}/src" -name '*.cc' -print0 \
+        | xargs -0 -P "$(nproc)" -n 4 clang-tidy -p "${BUILD_DIR}" \
+              --quiet --warnings-as-errors='*'
+else
+    echo "== clang-tidy not installed; skipping (CI runs it)"
+fi

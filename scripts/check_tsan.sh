@@ -3,24 +3,17 @@
 # (everything labelled `parallel`: the supervised master/slave runtime
 # and its fault-injection suite). Usage:
 #
-#   scripts/check_tsan.sh [build-dir]
+#   scripts/check_tsan.sh [extra ctest args...]
 #
-# Pass a different BIGHOUSE_SANITIZE through the environment to reuse
-# the same flow for ASan/UBSan, e.g.:
-#
-#   BIGHOUSE_SANITIZE=address scripts/check_tsan.sh build-asan
+# The instrumented build lands in a throwaway directory under
+# ${TMPDIR:-/tmp}; set BIGHOUSE_SAN_BUILD_DIR to reuse one across runs
+# or BIGHOUSE_KEEP_BUILD=1 to keep the temporary one for debugging.
 set -eu
 
-SANITIZER="${BIGHOUSE_SANITIZE:-thread}"
-BUILD_DIR="${1:-build-${SANITIZER}san}"
-SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+. "$(dirname "$0")/sanitize_common.sh"
 
-cmake -B "${BUILD_DIR}" -S "${SOURCE_DIR}" \
-    -DBIGHOUSE_SANITIZE="${SANITIZER}"
-cmake --build "${BUILD_DIR}" -j "$(nproc)"
 # Instrumented builds run the simulation ~10x slower; stretch the tests'
 # wall-clock knobs (watchdog deadlines, injected stalls) to match so
 # healthy-but-slow slaves are not mistaken for hung ones.
-BH_TEST_TIME_SCALE="${BH_TEST_TIME_SCALE:-10}" \
-    ctest --test-dir "${BUILD_DIR}" -L parallel --output-on-failure \
-    -j "$(nproc)"
+export BH_TEST_TIME_SCALE="${BH_TEST_TIME_SCALE:-10}"
+bh_sanitize thread -L parallel "$@"

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Build with UndefinedBehaviorSanitizer (signed overflow, invalid
+# shifts, misaligned access, ...) and run the full test suite; the build
+# uses -fno-sanitize-recover so the first report fails the run. Usage:
+#
+#   scripts/check_ubsan.sh [extra ctest args...]
+set -eu
+
+. "$(dirname "$0")/sanitize_common.sh"
+
+export BH_TEST_TIME_SCALE="${BH_TEST_TIME_SCALE:-10}"
+bh_sanitize undefined "$@"

@@ -1,0 +1,37 @@
+# Shared sanitizer-gate plumbing, sourced by check_tsan.sh /
+# check_asan.sh / check_ubsan.sh. Not executable on its own.
+#
+# bh_sanitize <thread|address|undefined> [ctest-args...]
+#
+# Configures and builds the tree with BIGHOUSE_SANITIZE=<sanitizer> into
+# a throwaway directory under ${TMPDIR:-/tmp} — never inside the repo
+# (an earlier version of check_tsan.sh built build-threadsan/ in-tree
+# and those artifacts ended up committed) — then runs ctest with the
+# given arguments. The build directory is removed on exit unless
+# BIGHOUSE_KEEP_BUILD=1, or BIGHOUSE_SAN_BUILD_DIR names a directory to
+# reuse across runs (incremental rebuilds; also kept).
+
+bh_sanitize() {
+    _bh_sanitizer="$1"
+    shift
+
+    _bh_source_dir="$(cd "$(dirname "$0")/.." && pwd)"
+    if [ -n "${BIGHOUSE_SAN_BUILD_DIR:-}" ]; then
+        _bh_build_dir="${BIGHOUSE_SAN_BUILD_DIR}"
+        _bh_cleanup=""
+    else
+        _bh_build_dir="$(mktemp -d \
+            "${TMPDIR:-/tmp}/bighouse-${_bh_sanitizer}san.XXXXXX")"
+        _bh_cleanup="${_bh_build_dir}"
+    fi
+    if [ -z "${BIGHOUSE_KEEP_BUILD:-}" ] && [ -n "${_bh_cleanup}" ]; then
+        trap 'rm -rf "${_bh_cleanup}"' EXIT INT TERM
+    fi
+
+    echo "== ${_bh_sanitizer} sanitizer build: ${_bh_build_dir}"
+    cmake -B "${_bh_build_dir}" -S "${_bh_source_dir}" \
+        -DBIGHOUSE_SANITIZE="${_bh_sanitizer}"
+    cmake --build "${_bh_build_dir}" -j "$(nproc)"
+    ctest --test-dir "${_bh_build_dir}" --output-on-failure \
+        -j "$(nproc)" "$@"
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Design-by-contract macros for BigHouse's statistical invariants.
+ *
+ * BigHouse's output is only as trustworthy as the invariants its sampling
+ * machinery maintains: event time never goes backwards, histogram merges
+ * only combine identical bin layouts, quorum merges conserve sample
+ * weight, and accumulators never report negative variance. A silent
+ * violation of any of these produces *plausible-looking wrong numbers* —
+ * the worst failure mode a simulator can have. These macros make the
+ * invariants executable and loud.
+ *
+ * Three always-on forms (cheap, O(1) checks; kept in every build type
+ * because the cost is noise next to an event dispatch):
+ *
+ *  - BH_REQUIRE(cond, ...)   — precondition at function entry; blames the
+ *                              caller.
+ *  - BH_ENSURE(cond, ...)    — postcondition before return; blames the
+ *                              enclosing function.
+ *  - BH_INVARIANT(cond, ...) — structural property that must hold between
+ *                              operations.
+ *
+ * One opt-in form for expensive checks (full-heap order verification,
+ * O(bins) count reconciliation):
+ *
+ *  - BH_AUDIT(cond, ...)     — compiled only when the build defines
+ *                              BIGHOUSE_AUDIT (cmake -DBIGHOUSE_AUDIT=ON);
+ *                              otherwise the condition is not evaluated.
+ *
+ * Guard whole audit-only computations with `#ifdef BIGHOUSE_AUDIT` or
+ * `if constexpr (bighouse::kAuditEnabled)` so their setup code also
+ * disappears from release builds.
+ *
+ * All forms panic() on violation (abort with a core dump): a broken
+ * contract is a simulator bug, never a user error — user errors get
+ * fatal() at the point of input validation instead.
+ */
+
+#ifndef BIGHOUSE_BASE_CONTRACTS_HH
+#define BIGHOUSE_BASE_CONTRACTS_HH
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+/// True in builds configured with -DBIGHOUSE_AUDIT=ON.
+#ifdef BIGHOUSE_AUDIT
+inline constexpr bool kAuditEnabled = true;
+#else
+inline constexpr bool kAuditEnabled = false;
+#endif
+
+} // namespace bighouse
+
+/// Shared expansion: panic with a contract-kind tag and source location.
+#define BH_CONTRACT_CHECK(kind, cond, ...)                                   \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::bighouse::panic(kind " violated: " #cond " at ", __FILE__,    \
+                              ":", __LINE__, " " __VA_ARGS__);               \
+        }                                                                    \
+    } while (0)
+
+/** Precondition: the caller handed this function unusable input/state. */
+#define BH_REQUIRE(cond, ...)                                                \
+    BH_CONTRACT_CHECK("precondition", cond, __VA_ARGS__)
+
+/** Postcondition: this function is about to return a broken result. */
+#define BH_ENSURE(cond, ...)                                                 \
+    BH_CONTRACT_CHECK("postcondition", cond, __VA_ARGS__)
+
+/** Invariant: a structural property stopped holding between operations. */
+#define BH_INVARIANT(cond, ...)                                              \
+    BH_CONTRACT_CHECK("invariant", cond, __VA_ARGS__)
+
+/**
+ * Expensive invariant, compiled only under BIGHOUSE_AUDIT. The condition
+ * is *not evaluated* in normal builds, so it may call O(n) helpers.
+ */
+#ifdef BIGHOUSE_AUDIT
+#define BH_AUDIT(cond, ...)                                                  \
+    BH_CONTRACT_CHECK("audit invariant", cond, __VA_ARGS__)
+#else
+#define BH_AUDIT(cond, ...)                                                  \
+    do {                                                                     \
+    } while (0)
+#endif
+
+#endif // BIGHOUSE_BASE_CONTRACTS_HH

@@ -244,15 +244,22 @@ checkpointToJson(const ParallelCheckpoint& checkpoint)
         base.push_back(sampleToJson(sample));
     obj.emplace("base", JsonValue(std::move(base)));
     JsonValue::Array slaves;
+    // reserve() also sidesteps a GCC 12 -Wmaybe-uninitialized false
+    // positive in std::variant's move-assign during vector growth.
+    slaves.reserve(checkpoint.slaves.size());
     for (const CheckpointSlave& slave : checkpoint.slaves) {
         JsonValue::Object entry;
         entry.emplace("events",
                       JsonValue(static_cast<double>(slave.events)));
         JsonValue::Array samples;
+        samples.reserve(slave.samples.size());
         for (const CheckpointSample& sample : slave.samples)
             samples.push_back(sampleToJson(sample));
         entry.emplace("samples", JsonValue(std::move(samples)));
-        slaves.push_back(JsonValue(std::move(entry)));
+        // emplace_back(Object&&) rather than push_back(JsonValue(...)):
+        // the extra variant move trips a GCC 12 -Wmaybe-uninitialized
+        // false positive under BIGHOUSE_STRICT.
+        slaves.emplace_back(std::move(entry));
     }
     obj.emplace("slaves", JsonValue(std::move(slaves)));
     return JsonValue(std::move(obj));

@@ -9,6 +9,7 @@
 #include <optional>
 #include <thread>
 
+#include "base/contracts.hh"
 #include "base/logging.hh"
 #include "base/random.hh"
 #include "stats/confidence.hh"
@@ -619,8 +620,13 @@ ParallelRunner::execute(std::uint64_t rootSeed,
     // slave's histograms into the master's estimate.
     for (std::size_t i = 0; i < metricCount; ++i) {
         OutputMetric& masterMetric = master.stats().metric(i);
-        if (baseHist[i].has_value())
+        // Weight conservation: every accepted observation of every merged
+        // contributor must land in the master's sample, exactly once.
+        std::uint64_t expected = masterMetric.acceptedCount();
+        if (baseHist[i].has_value()) {
             masterMetric.absorbSample(baseAcc[i], *baseHist[i]);
+            expected += baseAcc[i].count();
+        }
         for (std::size_t s = 0; s < cfg.slaves; ++s) {
             if (!healthy(s))
                 continue;
@@ -630,7 +636,15 @@ ParallelRunner::execute(std::uint64_t rootSeed,
                 || slaveMetric.phase() == Phase::Calibration)
                 continue;
             masterMetric.absorb(slaveMetric);
+            expected += slaveMetric.acceptedCount();
         }
+        BH_ENSURE(masterMetric.acceptedCount() == expected,
+                  "quorum merge did not conserve sample weight for '",
+                  masterMetric.specification().name, "': merged ",
+                  masterMetric.acceptedCount(), " expected ", expected);
+        BH_ENSURE(masterMetric.acceptedCount()
+                      == masterMetric.histogram().count(),
+                  "accumulator and histogram disagree after quorum merge");
         masterMetric.evaluateConvergence();
     }
 

@@ -2,15 +2,15 @@
 
 #include <utility>
 
-#include "base/logging.hh"
+#include "base/contracts.hh"
 
 namespace bighouse {
 
 EventId
 Engine::schedule(Time at, EventCallback callback)
 {
-    BH_ASSERT(at >= currentTime, "scheduling into the past: at=", at,
-              " now=", currentTime);
+    BH_REQUIRE(at >= currentTime, "scheduling into the past: at=", at,
+               " now=", currentTime);
     return events.push(at, std::move(callback));
 }
 
@@ -18,7 +18,7 @@ void
 Engine::dispatchOne()
 {
     auto [time, callback] = events.pop();
-    BH_ASSERT(time >= currentTime, "event queue returned stale time");
+    BH_INVARIANT(time >= currentTime, "event queue returned stale time");
     currentTime = time;
     ++executedCount;
     callback();

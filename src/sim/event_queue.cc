@@ -2,18 +2,31 @@
 
 #include <utility>
 
-#include "base/logging.hh"
+#include "base/contracts.hh"
 
 namespace bighouse {
+
+#ifdef BIGHOUSE_AUDIT
+bool
+EventQueue::heapOrdered() const
+{
+    for (std::size_t i = 1; i < heap.size(); ++i) {
+        if (later(heap[(i - 1) / 2], heap[i]))
+            return false;
+    }
+    return true;
+}
+#endif
 
 EventId
 EventQueue::push(Time time, EventCallback callback)
 {
-    BH_ASSERT(time >= 0.0, "event scheduled at negative time");
+    BH_REQUIRE(time >= 0.0, "event scheduled at negative time");
     const std::uint64_t seq = nextSeq++;
     heap.push_back(Entry{time, seq, std::move(callback)});
     live.insert(seq);
     siftUp(heap.size() - 1);
+    BH_AUDIT(heapOrdered(), "heap order broken after push of t=", time);
     return EventId{seq};
 }
 
@@ -71,13 +84,20 @@ std::pair<Time, EventCallback>
 EventQueue::pop()
 {
     skipCancelled();
-    BH_ASSERT(!heap.empty(), "pop() on an empty event queue");
+    BH_REQUIRE(!heap.empty(), "pop() on an empty event queue");
     Entry top = std::move(heap.front());
     std::swap(heap.front(), heap.back());
     heap.pop_back();
     if (!heap.empty())
         siftDown(0);
     live.erase(top.seq);
+    // Monotonic delivery is what makes runs bit-reproducible: once an
+    // event at time t is handed out, nothing earlier may ever surface.
+    BH_INVARIANT(top.time >= lastPopped,
+                 "event times went backwards: popped t=", top.time,
+                 " after t=", lastPopped);
+    lastPopped = top.time;
+    BH_AUDIT(heapOrdered(), "heap order broken after pop of t=", top.time);
     return {top.time, std::move(top.callback)};
 }
 

@@ -86,8 +86,14 @@ class EventQueue
     void siftDown(std::size_t index);
     /** Drop cancelled entries from the top of the heap. */
     void skipCancelled();
+#ifdef BIGHOUSE_AUDIT
+    /** Full O(n) heap-property verification (audit builds only). */
+    bool heapOrdered() const;
+#endif
 
     std::vector<Entry> heap;
+    /// Time of the most recently popped event (monotonicity contract).
+    Time lastPopped = 0.0;
     /// Sequence numbers currently in the heap and not cancelled.
     std::unordered_set<std::uint64_t> live;
     /// Tombstoned sequence numbers still physically in the heap.

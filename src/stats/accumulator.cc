@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/contracts.hh"
+
 namespace bighouse {
 
 double
@@ -36,6 +38,11 @@ Accumulator::merge(const Accumulator& other)
     n += other.n;
     minValue = std::min(minValue, other.minValue);
     maxValue = std::max(maxValue, other.maxValue);
+    // The sum of squared deviations can only stay non-negative if both
+    // inputs were well-formed; a negative m2 would silently produce NaN
+    // standard deviations and wreck every convergence decision downstream.
+    BH_ENSURE(m2 >= 0.0, "negative sum of squared deviations: ", m2);
+    BH_ENSURE(minValue <= maxValue, "extremes inverted after merge");
 }
 
 Accumulator
@@ -45,6 +52,10 @@ Accumulator::restore(std::uint64_t count, double mean, double variance,
     Accumulator acc;
     if (count == 0)
         return acc;
+    BH_REQUIRE(variance >= 0.0,
+               "restore with negative variance: ", variance);
+    BH_REQUIRE(min <= max, "restore with min ", min, " > max ", max);
+    BH_REQUIRE(std::isfinite(mean), "restore with non-finite mean");
     acc.n = count;
     acc.meanValue = mean;
     acc.m2 = count < 2 ? 0.0

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "base/contracts.hh"
+
 namespace bighouse {
 
 /** Numerically stable running mean/variance/min/max. */
@@ -29,6 +31,9 @@ class Accumulator
             minValue = x;
         if (x > maxValue)
             maxValue = x;
+        // Per-observation check only in audit builds: add() sits on the
+        // hottest statistics path (every accepted sample).
+        BH_AUDIT(m2 >= 0.0, "negative m2 after add(", x, ")");
     }
 
     /** Number of observations. */

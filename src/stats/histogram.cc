@@ -5,9 +5,27 @@
 #include <limits>
 #include <sstream>
 
+#include "base/contracts.hh"
 #include "base/logging.hh"
 
 namespace bighouse {
+
+#ifdef BIGHOUSE_AUDIT
+namespace {
+
+/** Audit helper: bin counts + under/overflow must reconcile with total. */
+std::uint64_t
+reconcileTotal(const std::vector<std::uint64_t>& counts,
+               std::uint64_t underflow, std::uint64_t overflow)
+{
+    std::uint64_t sum = underflow + overflow;
+    for (std::uint64_t c : counts)
+        sum += c;
+    return sum;
+}
+
+} // namespace
+#endif
 
 std::string
 BinScheme::serialize() const
@@ -84,8 +102,8 @@ Histogram::add(double x)
 double
 Histogram::quantile(double q) const
 {
-    BH_ASSERT(total > 0, "quantile of an empty histogram");
-    BH_ASSERT(q >= 0.0 && q <= 1.0, "quantile needs q in [0,1]");
+    BH_REQUIRE(total > 0, "quantile of an empty histogram");
+    BH_REQUIRE(q >= 0.0 && q <= 1.0, "quantile needs q in [0,1]");
     if (q == 0.0)
         return minValue;
     if (q == 1.0)
@@ -156,10 +174,14 @@ Histogram::outOfRangeFraction() const
 void
 Histogram::merge(const Histogram& other)
 {
+    // fatal(), not a contract panic: a scheme mismatch is a protocol
+    // error a misconfigured slave can cause, and callers/tests rely on
+    // the exit(1) user-error path.
     if (!(layout == other.layout)) {
         fatal("Histogram::merge: bin schemes differ (",
               layout.serialize(), " vs ", other.layout.serialize(), ")");
     }
+    const std::uint64_t before = total;
     for (std::size_t i = 0; i < counts.size(); ++i)
         counts[i] += other.counts[i];
     underflow += other.underflow;
@@ -167,6 +189,14 @@ Histogram::merge(const Histogram& other)
     total += other.total;
     minValue = std::min(minValue, other.minValue);
     maxValue = std::max(maxValue, other.maxValue);
+    BH_ENSURE(total >= before && total >= other.total,
+              "merged observation count wrapped: ", before, " + ",
+              other.total, " -> ", total);
+    BH_ENSURE(total == 0 || minValue <= maxValue,
+              "merged extremes inverted: min=", minValue,
+              " max=", maxValue);
+    BH_AUDIT(reconcileTotal(counts, underflow, overflow) == total,
+             "bin counts do not reconcile with total after merge");
 }
 
 std::string

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/contracts.hh"
 #include "base/logging.hh"
 #include "stats/runs_test.hh"
 
@@ -42,8 +43,8 @@ OutputMetric::OutputMetric(MetricSpec s)
 void
 OutputMetric::adoptBinScheme(const BinScheme& scheme)
 {
-    BH_ASSERT(!hist.has_value(),
-              "adoptBinScheme after calibration completed");
+    BH_REQUIRE(!hist.has_value(),
+               "adoptBinScheme after calibration completed");
     externalScheme = scheme;
 }
 
@@ -178,27 +179,34 @@ OutputMetric::evaluateConvergence()
 void
 OutputMetric::absorb(const OutputMetric& other)
 {
-    BH_ASSERT(hist.has_value() && other.hist.has_value(),
-              "absorb before calibration completed");
+    BH_REQUIRE(hist.has_value() && other.hist.has_value(),
+               "absorb before calibration completed");
+    const std::uint64_t before = accumulator.count();
     accumulator.merge(other.accumulator);
     hist->merge(*other.hist);
     offered += other.offered;
+    BH_ENSURE(accumulator.count() == before + other.accumulator.count(),
+              "absorb lost sample weight");
 }
 
 void
 OutputMetric::absorbSample(const Accumulator& sample,
                            const Histogram& sampleHist)
 {
-    BH_ASSERT(hist.has_value(), "absorbSample before calibration completed");
+    BH_REQUIRE(hist.has_value(),
+               "absorbSample before calibration completed");
+    const std::uint64_t before = accumulator.count();
     accumulator.merge(sample);
     hist->merge(sampleHist);
     offered += sample.count();
+    BH_ENSURE(accumulator.count() == before + sample.count(),
+              "absorbSample lost sample weight");
 }
 
 const Histogram&
 OutputMetric::histogram() const
 {
-    BH_ASSERT(hist.has_value(), "histogram requested before calibration");
+    BH_REQUIRE(hist.has_value(), "histogram requested before calibration");
     return *hist;
 }
 

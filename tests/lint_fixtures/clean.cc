@@ -1,0 +1,23 @@
+// Fixture: idiomatic BigHouse code — must produce zero findings.
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "base/random.hh"
+
+namespace bighouse {
+
+double
+fixtureClean(Rng& rng)
+{
+    auto owned = std::make_unique<std::vector<double>>();
+    owned->push_back(rng.uniform01());
+    std::map<int, double> ordered;
+    ordered[1] = rng.exponential(2.0);
+    double sum = 0.0;
+    for (const auto& [key, value] : ordered)
+        sum += value + static_cast<double>(key);
+    return sum;
+}
+
+} // namespace bighouse

@@ -1,0 +1,36 @@
+// Fixture: lives under a distribution/ component — storing Rng state in
+// a distribution (or default-constructing Rng anywhere) must trip
+// rng-seed-plumbing.
+#include "base/random.hh"
+
+namespace bighouse {
+
+class FixtureBrokenDistribution
+{
+  public:
+    double
+    sample()
+    {
+        return stream.uniform01();
+    }
+
+  private:
+    Rng stream;  // VIOLATION: distributions take Rng& per call
+};
+
+inline Rng
+fixtureDefaultSeeded()
+{
+    Rng identicalEverywhere = Rng();  // VIOLATION: fixed default seed
+    (void)identicalEverywhere;
+    return Rng();  // VIOLATION
+}
+
+/// Seed plumbing done right stays clean:
+inline Rng
+fixtureProperlySeeded(Rng& parent)
+{
+    return parent.split();
+}
+
+} // namespace bighouse

@@ -1,0 +1,11 @@
+// Fixture: a file-wide allowance silences every occurrence of the rule.
+// bh-lint: allow-file(wall-clock)
+#include <ctime>
+
+long
+fixtureFileSuppressed()
+{
+    long a = static_cast<long>(time(NULL));
+    long b = static_cast<long>(std::time(nullptr));
+    return a + b;
+}

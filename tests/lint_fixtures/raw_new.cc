@@ -1,0 +1,21 @@
+// Fixture: raw new/delete expressions must trip raw-new-delete; deleted
+// special members must not.
+#include <memory>
+
+struct FixtureWidget
+{
+    FixtureWidget() = default;
+    FixtureWidget(const FixtureWidget&) = delete;  // clean: not a delete-expr
+    FixtureWidget& operator=(const FixtureWidget&) = delete;  // clean
+};
+
+int
+fixtureRawNew()
+{
+    int* leak = new int(7);          // VIOLATION
+    int* many = new int[4];          // VIOLATION
+    delete leak;                     // VIOLATION
+    delete[] many;                   // VIOLATION
+    auto fine = std::make_unique<int>(7);  // clean: RAII
+    return *fine;
+}

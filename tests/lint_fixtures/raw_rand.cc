@@ -1,0 +1,18 @@
+// Fixture: every line marked VIOLATION must trip the raw-rand rule.
+#include <cstdlib>
+#include <random>
+
+int
+fixtureRawRand()
+{
+    srand(42);                       // VIOLATION
+    int a = rand();                  // VIOLATION
+    std::random_device entropy;      // VIOLATION
+    std::mt19937 twister(entropy()); // VIOLATION
+    double c = drand48();            // VIOLATION
+    // A comment mentioning rand() must NOT fire; nor must "rand()" in a
+    // string literal:
+    const char* label = "uses rand() internally";
+    (void)label;
+    return a + static_cast<int>(twister()) + static_cast<int>(c);
+}

@@ -1,0 +1,11 @@
+// Fixture: lives under a stats/ component, so float types and literals
+// must trip float-literal here (they are allowed elsewhere).
+
+double
+fixtureFloatInStats()
+{
+    float truncated = 0.5f;   // VIOLATION
+    double widened = 2.5e-3f; // VIOLATION
+    double fine = 0.5;        // clean: double literal
+    return static_cast<double>(truncated) + widened + fine;
+}

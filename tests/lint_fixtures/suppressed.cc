@@ -1,0 +1,13 @@
+// Fixture: the suppression annotations must silence each rule — this
+// file is expected to lint clean despite containing violations.
+#include <cstdlib>
+
+int
+fixtureSuppressed()
+{
+    int a = rand();  // bh-lint: allow(raw-rand)
+    // bh-lint: allow(raw-new-delete)
+    int* p = new int(1);
+    delete p;  // bh-lint: allow(raw-new-delete)
+    return a;
+}

@@ -1,0 +1,26 @@
+// Fixture: iteration over unordered containers must trip
+// unordered-iteration; keyed lookups must not.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+double
+fixtureUnorderedIteration()
+{
+    std::unordered_map<std::uint64_t, double> histogramByKey;
+    std::unordered_set<std::uint64_t> liveIds;
+    double sum = 0.0;
+    for (const auto& entry : histogramByKey)  // VIOLATION
+        sum += entry.second;
+    for (auto it = liveIds.begin(); it != liveIds.end(); ++it)  // VIOLATION
+        sum += static_cast<double>(*it);
+    // Keyed operations are order-free and must stay clean:
+    histogramByKey[7] = 1.0;
+    sum += liveIds.count(7) > 0 ? 1.0 : 0.0;
+    // Ordered containers may be iterated freely:
+    std::vector<double> ordered{1.0, 2.0};
+    for (double v : ordered)
+        sum += v;
+    return sum;
+}

@@ -1,0 +1,18 @@
+// Fixture: every line marked VIOLATION must trip the wall-clock rule.
+#include <chrono>
+#include <ctime>
+
+double
+fixtureWallClock()
+{
+    auto stamp = std::chrono::system_clock::now();  // VIOLATION
+    std::time_t t = std::time(nullptr);             // VIOLATION
+    std::time_t t2 = time(NULL);                    // VIOLATION
+    long ticks = clock();                           // VIOLATION
+    // steady_clock is permitted (monotonic, supervision only):
+    auto ok = std::chrono::steady_clock::now();
+    (void)stamp;
+    (void)ok;
+    return static_cast<double>(t) + static_cast<double>(t2)
+           + static_cast<double>(ticks);
+}

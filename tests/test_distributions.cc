@@ -150,8 +150,8 @@ INSTANTIATE_TEST_SUITE_P(
                      return std::make_unique<Affine>(
                          std::make_unique<Exponential>(2.0), 3.0, 0.5);
                  }}),
-    [](const ::testing::TestParamInfo<DistCase>& info) {
-        return info.param.name;
+    [](const ::testing::TestParamInfo<DistCase>& paramInfo) {
+        return paramInfo.param.name;
     });
 
 TEST(Deterministic, AlwaysSameValue)

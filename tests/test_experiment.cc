@@ -209,8 +209,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllModels, ExperimentDeterminism,
     ::testing::Values(ServerModel::Fcfs, ServerModel::ProcessorSharing,
                       ServerModel::DreamWeaver, ServerModel::PowerNap),
-    [](const ::testing::TestParamInfo<ServerModel>& info) {
-        switch (info.param) {
+    [](const ::testing::TestParamInfo<ServerModel>& paramInfo) {
+        switch (paramInfo.param) {
           case ServerModel::Fcfs: return "Fcfs";
           case ServerModel::ProcessorSharing: return "Ps";
           case ServerModel::DreamWeaver: return "DreamWeaver";

@@ -105,8 +105,8 @@ TEST(FanOut, TailAmplifiesWithWidth)
         source.start();
         sim.runUntil(2000.0);
         std::sort(latencies.begin(), latencies.end());
-        return latencies[static_cast<std::size_t>(0.99
-                                                  * (latencies.size() - 1))];
+        return latencies[static_cast<std::size_t>(
+            0.99 * static_cast<double>(latencies.size() - 1))];
     };
     const double narrow = p99For(2);
     const double wide = p99For(32);

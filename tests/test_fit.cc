@@ -58,8 +58,8 @@ INSTANTIATE_TEST_SUITE_P(
                       FitCase{1.0, 4.0}, FitCase{0.000319, 1.2},
                       FitCase{0.186, 2.0}, FitCase{194.0, 1.0},
                       FitCase{0.046, 3.0}),
-    [](const ::testing::TestParamInfo<FitCase>& info) {
-        const auto& p = info.param;
+    [](const ::testing::TestParamInfo<FitCase>& paramInfo) {
+        const auto& p = paramInfo.param;
         std::string name = "mean" + std::to_string(p.mean) + "cv"
                            + std::to_string(p.cv);
         for (char& c : name) {

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * bh_lint rule engine tests, driven against the fixture files under
+ * tests/lint_fixtures/. Each fixture marks its expected findings with a
+ * `// VIOLATION` comment so the expectations here can be cross-checked
+ * by eye; a fixture named clean.cc (and the suppressed ones) must lint
+ * to zero findings. The real-tree gate (`lint.sources` ctest entry)
+ * asserts the shipped code is clean; these tests assert the rules
+ * actually detect what they claim to detect.
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint_core.hh"
+
+#ifndef LINT_FIXTURE_DIR
+#error "build must define LINT_FIXTURE_DIR"
+#endif
+
+namespace bighouse::lint {
+namespace {
+
+std::string
+fixture(const std::string& name)
+{
+    return std::string(LINT_FIXTURE_DIR) + "/" + name;
+}
+
+/** Lines in `path` carrying a `// VIOLATION` marker (1-based). */
+std::set<std::size_t>
+markedLines(const std::string& path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    std::set<std::size_t> marked;
+    std::string line;
+    std::size_t number = 0;
+    while (std::getline(in, line)) {
+        ++number;
+        if (line.find("// VIOLATION") != std::string::npos)
+            marked.insert(number);
+    }
+    return marked;
+}
+
+/** All findings for one fixture file. */
+std::vector<Finding>
+lint(const std::string& name)
+{
+    return lintFile(fixture(name));
+}
+
+/** The distinct 1-based lines the findings landed on. */
+std::set<std::size_t>
+findingLines(const std::vector<Finding>& findings)
+{
+    std::set<std::size_t> lines;
+    for (const Finding& f : findings)
+        lines.insert(f.line);
+    return lines;
+}
+
+void
+expectAllRule(const std::vector<Finding>& findings,
+              const std::string& rule)
+{
+    for (const Finding& f : findings)
+        EXPECT_EQ(f.rule, rule) << "unexpected rule at line " << f.line;
+}
+
+TEST(BhLint, WallClockRuleFiresOnMarkedLinesOnly)
+{
+    const auto findings = lint("wall_clock.cc");
+    expectAllRule(findings, "wall-clock");
+    EXPECT_EQ(findingLines(findings),
+              markedLines(fixture("wall_clock.cc")));
+}
+
+TEST(BhLint, RawRandRuleFiresOnMarkedLinesOnly)
+{
+    const auto findings = lint("raw_rand.cc");
+    expectAllRule(findings, "raw-rand");
+    EXPECT_EQ(findingLines(findings),
+              markedLines(fixture("raw_rand.cc")));
+}
+
+TEST(BhLint, UnorderedIterationFiresOnMarkedLinesOnly)
+{
+    const auto findings = lint("unordered_iteration.cc");
+    expectAllRule(findings, "unordered-iteration");
+    EXPECT_EQ(findingLines(findings),
+              markedLines(fixture("unordered_iteration.cc")));
+}
+
+TEST(BhLint, RawNewDeleteFiresOnMarkedLinesOnly)
+{
+    const auto findings = lint("raw_new.cc");
+    expectAllRule(findings, "raw-new-delete");
+    EXPECT_EQ(findingLines(findings),
+              markedLines(fixture("raw_new.cc")));
+}
+
+TEST(BhLint, FloatLiteralFiresOnlyUnderStatsComponent)
+{
+    const auto findings = lint("stats/float_literal.cc");
+    expectAllRule(findings, "float-literal");
+    EXPECT_EQ(findingLines(findings),
+              markedLines(fixture("stats/float_literal.cc")));
+
+    // The same contents outside a stats/ component must be clean.
+    std::ifstream in(fixture("stats/float_literal.cc"));
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    EXPECT_TRUE(
+        lintSource("src/power/float_literal.cc", contents.str()).empty());
+}
+
+TEST(BhLint, RngSeedPlumbingFiresOnMarkedLinesOnly)
+{
+    const auto findings = lint("distribution/rng_member.cc");
+    expectAllRule(findings, "rng-seed-plumbing");
+    EXPECT_EQ(findingLines(findings),
+              markedLines(fixture("distribution/rng_member.cc")));
+}
+
+TEST(BhLint, InlineSuppressionSilencesRule)
+{
+    EXPECT_TRUE(lint("suppressed.cc").empty());
+}
+
+TEST(BhLint, FileWideSuppressionSilencesRule)
+{
+    EXPECT_TRUE(lint("file_suppressed.cc").empty());
+}
+
+TEST(BhLint, CleanFileHasNoFindings)
+{
+    EXPECT_TRUE(lint("clean.cc").empty());
+}
+
+TEST(BhLint, SuppressionIsRuleSpecific)
+{
+    // Allowing one rule must not silence a different rule on that line.
+    const std::string source =
+        "int f() { return rand(); }  // bh-lint: allow(wall-clock)\n";
+    const auto findings = lintSource("src/sim/sample.cc", source);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "raw-rand");
+}
+
+TEST(BhLint, ExemptPathsAreNotFlagged)
+{
+    // The deterministic RNG/time homes legitimately touch the banned
+    // primitives.
+    EXPECT_TRUE(lintSource("src/base/random.cc",
+                           "std::random_device seedSource;\n")
+                    .empty());
+    EXPECT_TRUE(lintSource("src/base/time.cc",
+                           "auto t = std::chrono::system_clock::now();\n")
+                    .empty());
+    // ...but the same lines are violations anywhere else.
+    EXPECT_EQ(lintSource("src/core/sqs.cc",
+                         "std::random_device seedSource;\n")
+                  .size(),
+              1u);
+}
+
+TEST(BhLint, CommentsAndStringsAreScrubbed)
+{
+    const std::string source =
+        "// rand() in a comment\n"
+        "/* time(NULL) in a block\n"
+        "   comment spanning lines: new int */\n"
+        "const char* s = \"rand() delete new int\";\n";
+    EXPECT_TRUE(lintSource("src/sim/clean.cc", source).empty());
+}
+
+TEST(BhLint, RuleCatalogIsCompleteAndSorted)
+{
+    const auto& catalog = ruleCatalog();
+    EXPECT_EQ(catalog.size(), 6u);
+    EXPECT_TRUE(std::is_sorted(catalog.begin(), catalog.end(),
+                               [](const RuleInfo& a, const RuleInfo& b) {
+                                   return a.name < b.name;
+                               }));
+    for (const RuleInfo& rule : catalog)
+        EXPECT_TRUE(knownRule(rule.name));
+    EXPECT_FALSE(knownRule("no-such-rule"));
+}
+
+TEST(BhLint, JsonReportIsWellFormedAndStable)
+{
+    const auto findings = lint("raw_rand.cc");
+    ASSERT_FALSE(findings.empty());
+    const std::string json = formatJson(findings, 1);
+    EXPECT_NE(json.find("\"tool\": \"bh_lint\""), std::string::npos);
+    EXPECT_NE(json.find("\"clean\": false"), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"raw-rand\""), std::string::npos);
+    // Deterministic: same input, same bytes.
+    EXPECT_EQ(json, formatJson(lint("raw_rand.cc"), 1));
+
+    const std::string clean = formatJson({}, 3);
+    EXPECT_NE(clean.find("\"clean\": true"), std::string::npos);
+    EXPECT_NE(clean.find("\"filesChecked\": 3"), std::string::npos);
+}
+
+TEST(BhLint, FindingsAreSortedByFileLineRule)
+{
+    const auto findings = lint("wall_clock.cc");
+    ASSERT_GE(findings.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(
+        findings.begin(), findings.end(),
+        [](const Finding& a, const Finding& b) {
+            return std::tie(a.file, a.line, a.rule)
+                   < std::tie(b.file, b.line, b.rule);
+        }));
+}
+
+TEST(BhLint, CollectSourcesIsRecursiveSortedUnique)
+{
+    const auto sources =
+        collectSources({std::string(LINT_FIXTURE_DIR),
+                        fixture("clean.cc")});
+    EXPECT_TRUE(std::is_sorted(sources.begin(), sources.end()));
+    EXPECT_EQ(std::adjacent_find(sources.begin(), sources.end()),
+              sources.end());
+    // Must have descended into the stats/ and distribution/ subdirs.
+    auto contains = [&](const std::string& needle) {
+        return std::any_of(sources.begin(), sources.end(),
+                           [&](const std::string& s) {
+                               return s.find(needle) != std::string::npos;
+                           });
+    };
+    EXPECT_TRUE(contains("float_literal.cc"));
+    EXPECT_TRUE(contains("rng_member.cc"));
+    EXPECT_TRUE(contains("clean.cc"));
+}
+
+} // namespace
+} // namespace bighouse::lint

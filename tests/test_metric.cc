@@ -116,7 +116,7 @@ TEST(OutputMetric, AutocorrelatedStreamGetsSpacedOut)
     const std::uint64_t offered = metric.offeredCount() - offeredBefore;
     EXPECT_NEAR(static_cast<double>(metric.acceptedCount()
                                     - acceptedBefore),
-                static_cast<double>(offered) / metric.lag(), 2.0);
+                static_cast<double>(offered) / static_cast<double>(metric.lag()), 2.0);
 }
 
 TEST(OutputMetric, ConstantStreamCalibratesAtLagOne)

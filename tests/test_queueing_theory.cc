@@ -150,9 +150,9 @@ INSTANTIATE_TEST_SUITE_P(
                       Mg1Case{0.5, 2.0}, Mg1Case{0.7, 0.0},
                       Mg1Case{0.7, 1.0}, Mg1Case{0.7, 2.0},
                       Mg1Case{0.3, 4.0}),
-    [](const ::testing::TestParamInfo<Mg1Case>& info) {
-        const int rho = static_cast<int>(info.param.rho * 100);
-        const int cv = static_cast<int>(info.param.serviceCv * 10);
+    [](const ::testing::TestParamInfo<Mg1Case>& paramInfo) {
+        const int rho = static_cast<int>(paramInfo.param.rho * 100);
+        const int cv = static_cast<int>(paramInfo.param.serviceCv * 10);
         return "rho" + std::to_string(rho) + "cv" + std::to_string(cv);
     });
 

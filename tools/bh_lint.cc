@@ -1,0 +1,113 @@
+/**
+ * @file
+ * bh_lint command line: scan sources for BigHouse determinism and
+ * discipline violations (see tools/lint_core.hh for the rule set).
+ *
+ * Usage:
+ *   bh_lint [options] <file-or-dir>...
+ *
+ * Options:
+ *   --format=text|json   report style (default text)
+ *   --output=FILE        also write the report to FILE
+ *   --rules=a,b,c        run only the named rules
+ *   --list-rules         print the rule catalog and exit
+ *
+ * Exit status: 0 clean, 1 findings reported, 2 usage/IO error.
+ * Registered as the `lint.sources` ctest entry so `ctest` fails when a
+ * violation lands; scripts/check_lint.sh is the standalone wrapper.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hh"
+
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage: bh_lint [--format=text|json] [--output=FILE]\n"
+                 "               [--rules=a,b,c] [--list-rules] "
+                 "<file-or-dir>...\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace bighouse::lint;
+
+    std::string format = "text";
+    std::string outputPath;
+    std::vector<std::string> rules;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const RuleInfo& rule : ruleCatalog())
+                std::cout << rule.name << ": " << rule.summary << "\n";
+            return 0;
+        }
+        if (arg.rfind("--format=", 0) == 0) {
+            format = arg.substr(9);
+            if (format != "text" && format != "json")
+                return usage();
+        } else if (arg.rfind("--output=", 0) == 0) {
+            outputPath = arg.substr(9);
+        } else if (arg.rfind("--rules=", 0) == 0) {
+            std::string list = arg.substr(8);
+            std::size_t start = 0;
+            while (start <= list.size()) {
+                const std::size_t comma = list.find(',', start);
+                const std::string rule = list.substr(
+                    start, comma == std::string::npos ? comma
+                                                      : comma - start);
+                if (!rule.empty()) {
+                    if (!knownRule(rule)) {
+                        std::cerr << "bh_lint: unknown rule '" << rule
+                                  << "' (try --list-rules)\n";
+                        return 2;
+                    }
+                    rules.push_back(rule);
+                }
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        return usage();
+
+    const std::vector<std::string> sources = collectSources(paths);
+    std::vector<Finding> findings;
+    for (const std::string& source : sources) {
+        std::vector<Finding> fileFindings = lintFile(source, rules);
+        findings.insert(findings.end(), fileFindings.begin(),
+                        fileFindings.end());
+    }
+
+    const std::string report =
+        format == "json" ? formatJson(findings, sources.size())
+                         : formatText(findings, sources.size());
+    std::cout << report;
+    if (!outputPath.empty()) {
+        std::ofstream out(outputPath);
+        if (!out) {
+            std::cerr << "bh_lint: cannot write " << outputPath << "\n";
+            return 2;
+        }
+        out << report;
+    }
+    return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,608 @@
+#include "lint_core.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace bighouse::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Source preprocessing
+
+/** Per-line view of a file: raw text plus a comment/string-scrubbed copy. */
+struct Lines
+{
+    std::vector<std::string> raw;
+    std::vector<std::string> scrubbed;
+};
+
+/**
+ * Split into lines and blank out comments, string literals, and char
+ * literals in the scrubbed copy (replaced with spaces so columns keep
+ * their position). Tracks block comments and raw strings across lines.
+ */
+Lines
+preprocess(const std::string& contents)
+{
+    Lines out;
+    std::string line;
+    std::istringstream stream(contents);
+    bool inBlockComment = false;
+    bool inRawString = false;
+    std::string rawDelimiter;  // the )delim" that ends the raw string
+    while (std::getline(stream, line)) {
+        out.raw.push_back(line);
+        std::string scrub = line;
+        std::size_t i = 0;
+        const std::size_t n = line.size();
+        while (i < n) {
+            if (inBlockComment) {
+                if (line.compare(i, 2, "*/") == 0) {
+                    scrub[i] = scrub[i + 1] = ' ';
+                    i += 2;
+                    inBlockComment = false;
+                } else {
+                    scrub[i++] = ' ';
+                }
+                continue;
+            }
+            if (inRawString) {
+                if (line.compare(i, rawDelimiter.size(), rawDelimiter)
+                    == 0) {
+                    for (std::size_t k = 0; k < rawDelimiter.size(); ++k)
+                        scrub[i + k] = ' ';
+                    i += rawDelimiter.size();
+                    inRawString = false;
+                } else {
+                    scrub[i++] = ' ';
+                }
+                continue;
+            }
+            const char c = line[i];
+            if (c == '/' && i + 1 < n && line[i + 1] == '/') {
+                for (std::size_t k = i; k < n; ++k)
+                    scrub[k] = ' ';
+                break;
+            }
+            if (c == '/' && i + 1 < n && line[i + 1] == '*') {
+                scrub[i] = scrub[i + 1] = ' ';
+                i += 2;
+                inBlockComment = true;
+                continue;
+            }
+            if (c == 'R' && i + 1 < n && line[i + 1] == '"') {
+                // Raw string R"delim( ... )delim"
+                std::size_t open = line.find('(', i + 2);
+                if (open != std::string::npos) {
+                    rawDelimiter =
+                        ")" + line.substr(i + 2, open - (i + 2)) + "\"";
+                    for (std::size_t k = i; k <= open; ++k)
+                        scrub[k] = ' ';
+                    i = open + 1;
+                    inRawString = true;
+                    continue;
+                }
+            }
+            if (c == '"' || c == '\'') {
+                const char quote = c;
+                scrub[i++] = ' ';
+                while (i < n) {
+                    if (line[i] == '\\' && i + 1 < n) {
+                        scrub[i] = scrub[i + 1] = ' ';
+                        i += 2;
+                        continue;
+                    }
+                    const bool done = line[i] == quote;
+                    scrub[i++] = ' ';
+                    if (done)
+                        break;
+                }
+                continue;
+            }
+            ++i;
+        }
+        out.scrubbed.push_back(std::move(scrub));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Suppressions
+
+/** Suppression state parsed from bh-lint annotations. */
+struct Suppressions
+{
+    std::set<std::string> fileWide;
+    /// line index (0-based) -> rules allowed on that line and the next
+    std::map<std::size_t, std::set<std::string>> byLine;
+
+    bool
+    allows(const std::string& rule, std::size_t lineIndex) const
+    {
+        if (fileWide.count(rule) > 0)
+            return true;
+        auto hit = [&](std::size_t idx) {
+            auto it = byLine.find(idx);
+            return it != byLine.end() && it->second.count(rule) > 0;
+        };
+        return hit(lineIndex)
+               || (lineIndex > 0 && hit(lineIndex - 1));
+    }
+};
+
+/** Split "a, b ,c" into trimmed tokens. */
+std::vector<std::string>
+splitList(const std::string& text)
+{
+    std::vector<std::string> out;
+    std::string token;
+    std::istringstream stream(text);
+    while (std::getline(stream, token, ',')) {
+        const auto first = token.find_first_not_of(" \t");
+        const auto last = token.find_last_not_of(" \t");
+        if (first != std::string::npos)
+            out.push_back(token.substr(first, last - first + 1));
+    }
+    return out;
+}
+
+Suppressions
+parseSuppressions(const std::vector<std::string>& rawLines)
+{
+    static const std::regex allowRe(
+        R"(bh-lint:\s*(allow|allow-file)\(([^)]*)\))");
+    Suppressions sup;
+    for (std::size_t i = 0; i < rawLines.size(); ++i) {
+        auto begin = std::sregex_iterator(rawLines[i].begin(),
+                                          rawLines[i].end(), allowRe);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            const bool fileWide = (*it)[1].str() == "allow-file";
+            for (const std::string& rule : splitList((*it)[2].str())) {
+                if (fileWide)
+                    sup.fileWide.insert(rule);
+                else
+                    sup.byLine[i].insert(rule);
+            }
+        }
+    }
+    return sup;
+}
+
+// ---------------------------------------------------------------------
+// Path predicates
+
+/** Normalize separators so path rules behave the same everywhere. */
+std::string
+normalized(const std::string& path)
+{
+    std::string out = path;
+    std::replace(out.begin(), out.end(), '\\', '/');
+    return out;
+}
+
+/** True when the normalized path contains `component` as a directory or
+ * file-stem component (e.g. hasComponent("a/stats/b.cc", "stats")). */
+bool
+hasComponent(const std::string& path, const std::string& component)
+{
+    const std::string p = normalized(path);
+    std::size_t pos = 0;
+    while ((pos = p.find(component, pos)) != std::string::npos) {
+        const bool startOk = pos == 0 || p[pos - 1] == '/';
+        const std::size_t end = pos + component.size();
+        const bool endOk = end == p.size() || p[end] == '/'
+                           || p[end] == '.';
+        if (startOk && endOk)
+            return true;
+        pos = end;
+    }
+    return false;
+}
+
+/** The deterministic-time/RNG home: src/base/time.*, src/base/random.*. */
+bool
+inBaseTimeOrRandom(const std::string& path)
+{
+    const std::string p = normalized(path);
+    return p.find("base/time.") != std::string::npos
+           || p.find("base/random.") != std::string::npos;
+}
+
+bool
+inBaseRandom(const std::string& path)
+{
+    return normalized(path).find("base/random.") != std::string::npos;
+}
+
+// ---------------------------------------------------------------------
+// Rules
+
+/** A simple regex-per-line rule. */
+struct PatternRule
+{
+    std::string name;
+    std::string summary;
+    std::vector<std::regex> patterns;
+    std::string message;
+    /// Return true when the rule applies to this file at all.
+    bool (*applies)(const std::string& path);
+};
+
+bool
+alwaysApplies(const std::string&)
+{
+    return true;
+}
+
+const std::vector<PatternRule>&
+patternRules()
+{
+    static const std::vector<PatternRule> rules = [] {
+        std::vector<PatternRule> r;
+        r.push_back(PatternRule{
+            "wall-clock",
+            "wall-clock reads outside src/base/{time,random}",
+            {
+                std::regex(R"(chrono::system_clock)"),
+                std::regex(R"(\bgettimeofday\s*\()"),
+                std::regex(R"(\bstd::time\s*\()"),
+                std::regex(R"(\btime\s*\(\s*(NULL|nullptr|0\s*\)|&))"),
+                std::regex(R"(\bclock\s*\(\s*\))"),
+                std::regex(R"(\blocaltime\s*\(|\bmktime\s*\()"),
+            },
+            "wall-clock read: simulated components must use engine time "
+            "(steady_clock is allowed for supervision watchdogs only)",
+            [](const std::string& p) { return !inBaseTimeOrRandom(p); }});
+        r.push_back(PatternRule{
+            "raw-rand",
+            "nondeterministic RNG outside src/base/random",
+            {
+                std::regex(R"(\b(s?rand|random)\s*\(\s*\))"),
+                std::regex(R"(\bsrand\s*\()"),
+                std::regex(R"(\brand\s*\(\s*\))"),
+                std::regex(R"(\b[dlm]rand48\s*\()"),
+                std::regex(R"(\brandom_device\b)"),
+                std::regex(R"(\bstd::mt19937(_64)?\b)"),
+            },
+            "nondeterministic or ad-hoc RNG: draw from a bighouse::Rng "
+            "stream derived from the experiment root seed",
+            [](const std::string& p) { return !inBaseRandom(p); }});
+        r.push_back(PatternRule{
+            "raw-new-delete",
+            "raw new/delete instead of RAII ownership",
+            {
+                std::regex(R"(\bnew\s+[A-Za-z_(:<])"),
+                // delete-expressions only: "= delete" declarations are
+                // the idiomatic way to forbid copies and stay legal.
+                std::regex(R"(\bdelete\s*\[\s*\])"),
+                std::regex(R"(\bdelete\s+[A-Za-z_*(:])"),
+            },
+            "raw new/delete: use std::make_unique/containers so slave "
+            "teardown and fault paths cannot leak or double-free",
+            alwaysApplies});
+        r.push_back(PatternRule{
+            "float-literal",
+            "float literals/types in statistics kernels",
+            {
+                std::regex(R"(\b\d+\.?\d*([eE][+-]?\d+)?f\b)"),
+                std::regex(R"(\bfloat\b)"),
+            },
+            "statistics kernels are double-precision end to end; float "
+            "truncation biases Welford updates and CI half-widths",
+            [](const std::string& p) { return hasComponent(p, "stats"); }});
+        return r;
+    }();
+    return rules;
+}
+
+/** Names + summaries of the non-pattern rules, for the catalog. */
+const std::vector<RuleInfo>&
+compositeRuleInfo()
+{
+    static const std::vector<RuleInfo> info = {
+        {"unordered-iteration",
+         "iteration over unordered containers feeding simulator state"},
+        {"rng-seed-plumbing",
+         "default-seeded Rng, or Rng stored inside a Distribution"},
+    };
+    return info;
+}
+
+/**
+ * unordered-iteration: collect identifiers declared (or bound) as
+ * unordered containers in this file, then flag range-for loops over them
+ * and explicit .begin() traversals. File-local by design — cross-file
+ * aliasing is out of scope for a heuristic linter.
+ */
+void
+checkUnorderedIteration(const std::string& path, const Lines& lines,
+                        const Suppressions& sup,
+                        std::vector<Finding>& findings)
+{
+    static const std::regex declRe(
+        R"(unordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*>\s+(\w+)\s*[;={(])");
+    static const std::regex rangeForRe(R"(for\s*\([^:;)]*:\s*(\w+)\s*\))");
+    static const std::regex beginRe(R"((\w+)\s*\.\s*begin\s*\()");
+    static const std::regex inlineForRe(
+        R"(for\s*\([^:;)]*:[^)]*unordered_)");
+
+    std::set<std::string> unorderedNames;
+    for (const std::string& line : lines.scrubbed) {
+        auto begin =
+            std::sregex_iterator(line.begin(), line.end(), declRe);
+        for (auto it = begin; it != std::sregex_iterator(); ++it)
+            unorderedNames.insert((*it)[1].str());
+    }
+
+    const std::string rule = "unordered-iteration";
+    auto flag = [&](std::size_t i, const std::string& what) {
+        if (sup.allows(rule, i))
+            return;
+        findings.push_back(Finding{
+            path, i + 1, rule,
+            "iteration over unordered container '" + what
+                + "': hash-order feeds downstream state and varies "
+                  "across libstdc++ versions; use a sorted container "
+                  "or sort the keys first",
+            lines.raw[i]});
+    };
+    for (std::size_t i = 0; i < lines.scrubbed.size(); ++i) {
+        const std::string& line = lines.scrubbed[i];
+        auto tryMatches = [&](const std::regex& re) {
+            auto begin = std::sregex_iterator(line.begin(), line.end(), re);
+            for (auto it = begin; it != std::sregex_iterator(); ++it) {
+                const std::string name = (*it)[1].str();
+                if (unorderedNames.count(name) > 0)
+                    flag(i, name);
+            }
+        };
+        tryMatches(rangeForRe);
+        tryMatches(beginRe);
+        if (std::regex_search(line, inlineForRe))
+            flag(i, "<temporary>");
+    }
+}
+
+/**
+ * rng-seed-plumbing: a default-constructed Rng collapses every stream to
+ * the same fixed seed, and an Rng *stored inside a Distribution* defeats
+ * the caller-supplies-the-stream design the per-slave seeding relies on.
+ */
+void
+checkRngSeedPlumbing(const std::string& path, const Lines& lines,
+                     const Suppressions& sup,
+                     std::vector<Finding>& findings)
+{
+    // Explicit default construction is always wrong: the fallback seed
+    // is a fixed constant, so every such stream is the same stream. A
+    // bare `Rng x;` member elsewhere may be seeded in a ctor init-list
+    // in another file, so only distribution sources (where storing ANY
+    // Rng breaks the sample(Rng&) design) flag the bare declaration.
+    static const std::regex defaultCtorRe(
+        R"(\bRng\s+\w+\s*(\{\s*\}|=\s*Rng\s*(\(\s*\)|\{\s*\})))");
+    static const std::regex bareTempRe(R"(\bRng\s*(\(\s*\)|\{\s*\}))");
+    static const std::regex memberRe(R"(\bRng&?\s+\w+\s*(;|\{\s*\};))");
+
+    if (inBaseRandom(path))
+        return;
+    const bool distribution = hasComponent(path, "distribution");
+    const std::string rule = "rng-seed-plumbing";
+    for (std::size_t i = 0; i < lines.scrubbed.size(); ++i) {
+        const std::string& line = lines.scrubbed[i];
+        if (sup.allows(rule, i))
+            continue;
+        if (std::regex_search(line, defaultCtorRe)
+            || std::regex_search(line, bareTempRe)) {
+            findings.push_back(Finding{
+                path, i + 1, rule,
+                "default-seeded Rng: every default-constructed stream is "
+                "identical; derive seeds from the experiment root via "
+                "Rng::split() or SplitMix64",
+                lines.raw[i]});
+        } else if (distribution && std::regex_search(line, memberRe)) {
+            findings.push_back(Finding{
+                path, i + 1, rule,
+                "Rng state inside a Distribution: distributions must "
+                "draw from the caller-supplied stream (sample(Rng&)) so "
+                "per-slave seed derivation stays intact",
+                lines.raw[i]});
+        }
+    }
+}
+
+std::string
+trimmed(const std::string& text)
+{
+    const auto first = text.find_first_not_of(" \t");
+    if (first == std::string::npos)
+        return "";
+    const auto last = text.find_last_not_of(" \t");
+    return text.substr(first, last - first + 1);
+}
+
+std::string
+jsonEscape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const std::vector<RuleInfo>&
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> catalog = [] {
+        std::vector<RuleInfo> all;
+        for (const PatternRule& rule : patternRules())
+            all.push_back(RuleInfo{rule.name, rule.summary});
+        for (const RuleInfo& rule : compositeRuleInfo())
+            all.push_back(rule);
+        std::sort(all.begin(), all.end(),
+                  [](const RuleInfo& a, const RuleInfo& b) {
+                      return a.name < b.name;
+                  });
+        return all;
+    }();
+    return catalog;
+}
+
+bool
+knownRule(const std::string& name)
+{
+    for (const RuleInfo& rule : ruleCatalog()) {
+        if (rule.name == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<Finding>
+lintSource(const std::string& path, const std::string& contents,
+           const std::vector<std::string>& enabledRules)
+{
+    auto enabled = [&](const std::string& rule) {
+        return enabledRules.empty()
+               || std::find(enabledRules.begin(), enabledRules.end(),
+                            rule)
+                      != enabledRules.end();
+    };
+
+    const Lines lines = preprocess(contents);
+    const Suppressions sup = parseSuppressions(lines.raw);
+    std::vector<Finding> findings;
+
+    for (const PatternRule& rule : patternRules()) {
+        if (!enabled(rule.name) || !rule.applies(path))
+            continue;
+        for (std::size_t i = 0; i < lines.scrubbed.size(); ++i) {
+            if (sup.allows(rule.name, i))
+                continue;
+            for (const std::regex& pattern : rule.patterns) {
+                if (std::regex_search(lines.scrubbed[i], pattern)) {
+                    findings.push_back(Finding{path, i + 1, rule.name,
+                                               rule.message,
+                                               lines.raw[i]});
+                    break;  // one finding per rule per line
+                }
+            }
+        }
+    }
+    if (enabled("unordered-iteration"))
+        checkUnorderedIteration(path, lines, sup, findings);
+    if (enabled("rng-seed-plumbing"))
+        checkRngSeedPlumbing(path, lines, sup, findings);
+
+    for (Finding& finding : findings)
+        finding.snippet = trimmed(finding.snippet);
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return findings;
+}
+
+std::vector<Finding>
+lintFile(const std::string& path,
+         const std::vector<std::string>& enabledRules)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("bh_lint: cannot read ", path);
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    return lintSource(path, contents.str(), enabledRules);
+}
+
+std::vector<std::string>
+collectSources(const std::vector<std::string>& paths)
+{
+    namespace fs = std::filesystem;
+    static const std::set<std::string> extensions = {".cc", ".hh", ".cpp",
+                                                     ".hpp", ".h"};
+    std::vector<std::string> out;
+    for (const std::string& path : paths) {
+        if (fs::is_directory(path)) {
+            for (const auto& entry :
+                 fs::recursive_directory_iterator(path)) {
+                if (entry.is_regular_file()
+                    && extensions.count(
+                           entry.path().extension().string())
+                           > 0) {
+                    out.push_back(entry.path().string());
+                }
+            }
+        } else {
+            out.push_back(path);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::string
+formatText(const std::vector<Finding>& findings, std::size_t filesChecked)
+{
+    std::ostringstream out;
+    for (const Finding& f : findings) {
+        out << f.file << ":" << f.line << ": [" << f.rule << "] "
+            << f.message << "\n    " << f.snippet << "\n";
+    }
+    out << "bh_lint: " << findings.size() << " finding"
+        << (findings.size() == 1 ? "" : "s") << " in " << filesChecked
+        << " file" << (filesChecked == 1 ? "" : "s") << "\n";
+    return out.str();
+}
+
+std::string
+formatJson(const std::vector<Finding>& findings, std::size_t filesChecked)
+{
+    std::ostringstream out;
+    out << "{\n  \"tool\": \"bh_lint\",\n  \"filesChecked\": "
+        << filesChecked << ",\n  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding& f = findings[i];
+        out << (i == 0 ? "" : ",") << "\n    {\"file\": \""
+            << jsonEscape(f.file) << "\", \"line\": " << f.line
+            << ", \"rule\": \"" << jsonEscape(f.rule)
+            << "\", \"message\": \"" << jsonEscape(f.message)
+            << "\", \"snippet\": \"" << jsonEscape(f.snippet) << "\"}";
+    }
+    out << (findings.empty() ? "" : "\n  ") << "],\n  \"clean\": "
+        << (findings.empty() ? "true" : "false") << "\n}\n";
+    return out.str();
+}
+
+} // namespace bighouse::lint

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * bh_lint: BigHouse's project-specific determinism and discipline linter.
+ *
+ * General-purpose analyzers cannot know that a single `rand()` call or an
+ * iteration over an `unordered_map` feeding event order silently breaks
+ * SQS termination (paper Eqs. 2-3) and per-slave seed independence. This
+ * linter encodes exactly those project rules and runs as a ctest target,
+ * so every change lands against them.
+ *
+ * The scanner is deliberately line-based and heuristic: it scrubs
+ * comments and string literals, then pattern-matches the remainder. False
+ * positives are expected to be rare and are silenced in place with an
+ * auditable annotation:
+ *
+ *     codeThatLooksBad();  // bh-lint: allow(rule-name)
+ *
+ * which suppresses `rule-name` on that line and the line directly below
+ * (so the annotation can sit on its own line above a long statement).
+ * `// bh-lint: allow-file(rule-name)` anywhere in a file suppresses the
+ * rule for the whole file. Multiple rules: allow(rule-a, rule-b).
+ *
+ * Rules (see docs/static_analysis.md for the full rationale):
+ *   wall-clock          wall-clock reads outside src/base/{time,random}
+ *   raw-rand            libc/std nondeterministic RNG outside src/base/random
+ *   unordered-iteration iteration over unordered containers (order feeds
+ *                       simulator state or merge order)
+ *   raw-new-delete      raw new/delete instead of RAII ownership
+ *   float-literal       float literals/types in statistics kernels
+ *   rng-seed-plumbing   default-seeded Rng, or Rng state stored inside a
+ *                       Distribution (breaks per-slave seed derivation)
+ */
+
+#ifndef BIGHOUSE_TOOLS_LINT_CORE_HH
+#define BIGHOUSE_TOOLS_LINT_CORE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bighouse::lint {
+
+/** One rule violation at a specific source line. */
+struct Finding
+{
+    std::string file;
+    std::size_t line = 0;  ///< 1-based
+    std::string rule;
+    std::string message;
+    std::string snippet;  ///< trimmed source text of the offending line
+};
+
+/** Static description of one lint rule. */
+struct RuleInfo
+{
+    std::string name;
+    std::string summary;
+};
+
+/** All rules this linter knows, in reporting order. */
+const std::vector<RuleInfo>& ruleCatalog();
+
+/** True when `name` names a known rule. */
+bool knownRule(const std::string& name);
+
+/**
+ * Lint one translation unit given its contents. `path` determines
+ * path-scoped rules (base exemptions, stats-only float rule) and is
+ * normalized with forward slashes before matching. `enabledRules`
+ * empty means all rules.
+ */
+std::vector<Finding> lintSource(const std::string& path,
+                                const std::string& contents,
+                                const std::vector<std::string>&
+                                    enabledRules = {});
+
+/** Lint a file from disk; fatal() if unreadable. */
+std::vector<Finding> lintFile(const std::string& path,
+                              const std::vector<std::string>&
+                                  enabledRules = {});
+
+/**
+ * Recursively collect lintable sources (.cc/.hh/.cpp/.hpp/.h) under each
+ * path (files are taken as-is), sorted lexicographically so reports are
+ * stable across filesystems.
+ */
+std::vector<std::string> collectSources(
+    const std::vector<std::string>& paths);
+
+/** Human-readable report: "file:line: [rule] message" lines + summary. */
+std::string formatText(const std::vector<Finding>& findings,
+                       std::size_t filesChecked);
+
+/** Machine-readable JSON report (stable key order). */
+std::string formatJson(const std::vector<Finding>& findings,
+                       std::size_t filesChecked);
+
+} // namespace bighouse::lint
+
+#endif // BIGHOUSE_TOOLS_LINT_CORE_HH
