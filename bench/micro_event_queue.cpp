@@ -25,9 +25,9 @@ BM_PushPopRandom(benchmark::State& state)
     for (std::size_t i = 0; i < depth; ++i)
         queue.push(clock + rng.uniform(0.0, 100.0), [] {});
     for (auto _ : state) {
-        auto [time, fn] = queue.pop();
-        clock = time;
-        benchmark::DoNotOptimize(fn);
+        auto popped = queue.pop();
+        clock = popped.time;
+        benchmark::DoNotOptimize(popped.callback);
         queue.push(clock + rng.uniform(0.0, 100.0), [] {});
     }
     state.SetItemsProcessed(state.iterations());
@@ -42,8 +42,8 @@ BM_PushPopFifoTies(benchmark::State& state)
     for (int i = 0; i < 1024; ++i)
         queue.push(1.0, [] {});
     for (auto _ : state) {
-        auto [time, fn] = queue.pop();
-        benchmark::DoNotOptimize(time);
+        auto popped = queue.pop();
+        benchmark::DoNotOptimize(popped.time);
         queue.push(1.0, [] {});
     }
     state.SetItemsProcessed(state.iterations());
@@ -64,8 +64,8 @@ BM_CancelHeavy(benchmark::State& state)
         const bighouse::EventId id =
             queue.push(clock + rng.uniform(0.0, 10.0), [] {});
         queue.cancel(id);
-        auto [time, fn] = queue.pop();
-        clock = time;
+        auto popped = queue.pop();
+        clock = popped.time;
         queue.push(clock + rng.uniform(0.0, 10.0), [] {});
     }
     state.SetItemsProcessed(state.iterations());

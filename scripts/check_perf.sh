@@ -1,0 +1,61 @@
+#!/bin/sh
+# The perf-smoke gate: build bh_perf in Release, run the fixed-seed
+# baseline scenarios in --quick mode, and validate the emitted JSON
+# against the bighouse-bench-v1 schema. Usage:
+#
+#   scripts/check_perf.sh [--full] [bh_perf args...]
+#
+# --full runs the full-length scenarios (minutes, the numbers that go
+# into the committed BENCH_*.json); the default --quick run is a CI
+# smoke (~1s of measured work) that proves the driver and the hot path
+# still function, not a statistically careful measurement. Extra
+# arguments are forwarded to bh_perf (e.g. --scenario micro_engine).
+# Exit status is nonzero when the driver fails or the JSON is invalid.
+set -eu
+
+SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$(mktemp -d "${TMPDIR:-/tmp}/bighouse-perf.XXXXXX")"
+trap 'rm -rf "${BUILD_DIR}"' EXIT INT TERM
+
+MODE="--quick"
+if [ "${1:-}" = "--full" ]; then
+    MODE=""
+    shift
+fi
+
+echo "== Release build of bh_perf"
+cmake -B "${BUILD_DIR}" -S "${SOURCE_DIR}" \
+    -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bh_perf >/dev/null
+
+OUT="${BUILD_DIR}/BENCH.json"
+echo "== bh_perf ${MODE:-(full)}"
+# shellcheck disable=SC2086  # MODE is intentionally word-split
+"${BUILD_DIR}/bench/bh_perf" ${MODE} --out "${OUT}" "$@"
+
+echo "== validating ${OUT}"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "${OUT}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+assert doc["schema"] == "bighouse-bench-v1", doc.get("schema")
+scenarios = doc["scenarios"]
+assert scenarios, "no scenarios in report"
+for entry in scenarios:
+    unit = "events" if "events" in entry else "observations"
+    assert entry[unit] > 0, entry["name"]
+    assert entry["wall_seconds"] > 0, entry["name"]
+    assert entry[unit + "_per_sec"] > 0, entry["name"]
+print("   %d scenarios OK" % len(scenarios))
+EOF
+else
+    # Containers without python3: at least require the schema marker
+    # and a non-empty scenario list.
+    grep -q '"bighouse-bench-v1"' "${OUT}"
+    grep -q '"name"' "${OUT}"
+    echo "   schema marker present (python3 unavailable for full check)"
+fi
+echo "perf smoke passed"

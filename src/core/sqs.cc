@@ -107,7 +107,12 @@ SqsSimulation::run()
     while (true) {
         const std::uint64_t ran_now = sim.run(cfg.batchEvents);
         executed += ran_now;
-        if (collection.allConverged()) {
+        // Convergence cannot hold before the global warm-up gate opens
+        // (accepted counts are zero), so skip the all-metrics poll for
+        // the warm-up batches; each sample already flowed through the
+        // inlined record chain, and this keeps the batch loop's per-batch
+        // work proportional to what can actually have changed.
+        if (collection.warmedUp() && collection.allConverged()) {
             reason = TerminationReason::Converged;
             break;
         }

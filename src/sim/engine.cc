@@ -17,11 +17,14 @@ Engine::schedule(Time at, EventCallback callback)
 void
 Engine::dispatchOne()
 {
-    auto [time, callback] = events.pop();
-    BH_INVARIANT(time >= currentTime, "event queue returned stale time");
-    currentTime = time;
+    EventQueue::Popped event = events.pop();
+    BH_INVARIANT(event.time >= currentTime,
+                 "event queue returned stale time");
+    currentTime = event.time;
     ++executedCount;
-    callback();
+    if (traceFn != nullptr)
+        traceFn(traceCtx, event.time, event.seq);
+    event.callback();
 }
 
 std::uint64_t

@@ -68,6 +68,28 @@ class Engine
     /** Live pending events. */
     std::size_t pendingEvents() const { return events.size(); }
 
+    /** Time of the next pending event (const query; kTimeNever if none). */
+    Time nextEventTime() const { return events.nextTime(); }
+
+    /** Release tombstoned (cancelled) event storage now. */
+    void pruneEvents() { events.prune(); }
+
+    /**
+     * Per-dispatch observer: called with (ctx, time, seq) before each
+     * event executes. A plain function pointer so the disabled case is a
+     * single predicted branch; used by the bit-reproducibility tests to
+     * diff popped (time, seq) traces.
+     */
+    using TraceFn = void (*)(void* ctx, Time time, std::uint64_t seq);
+
+    /** Install (or clear, with nullptr) the dispatch trace observer. */
+    void
+    setTraceHook(TraceFn fn, void* ctx)
+    {
+        traceFn = fn;
+        traceCtx = ctx;
+    }
+
   private:
     /** Pop and run one event; advances the clock. */
     void dispatchOne();
@@ -76,6 +98,8 @@ class Engine
     Time currentTime = 0.0;
     std::uint64_t executedCount = 0;
     bool stopRequested = false;
+    TraceFn traceFn = nullptr;
+    void* traceCtx = nullptr;
 };
 
 } // namespace bighouse

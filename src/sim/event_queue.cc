@@ -6,6 +6,12 @@
 
 namespace bighouse {
 
+namespace {
+
+constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+} // namespace
+
 #ifdef BIGHOUSE_AUDIT
 bool
 EventQueue::heapOrdered() const
@@ -18,79 +24,144 @@ EventQueue::heapOrdered() const
 }
 #endif
 
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (freeHead != kNoSlot) {
+        const std::uint32_t index = freeHead;
+        freeHead = slots[index].nextFree;
+        return index;
+    }
+    slots.emplace_back();
+    return static_cast<std::uint32_t>(slots.size() - 1);
+}
+
+void
+EventQueue::freeSlot(std::uint32_t index)
+{
+    slots[index].nextFree = freeHead;
+    freeHead = index;
+}
+
 EventId
 EventQueue::push(Time time, EventCallback callback)
 {
     BH_REQUIRE(time >= 0.0, "event scheduled at negative time");
-    const std::uint64_t seq = nextSeq++;
-    heap.push_back(Entry{time, seq, std::move(callback)});
-    live.insert(seq);
+    const std::uint64_t seq = seqCounter++;
+    const std::uint32_t slot = allocSlot();
+    Slot& s = slots[slot];
+    s.seq = seq;
+    s.live = true;
+    s.callback = std::move(callback);
+    heap.push_back(Entry{time, seq, slot});
     siftUp(heap.size() - 1);
+    ++liveCount;
     BH_AUDIT(heapOrdered(), "heap order broken after push of t=", time);
-    return EventId{seq};
+    return EventId{seq, slot};
 }
 
 void
 EventQueue::siftUp(std::size_t index)
 {
+    // Entries are small PODs, so hole percolation (shift, then place)
+    // beats the classic swap chain: one store per level instead of three.
+    const Entry moving = heap[index];
     while (index > 0) {
         const std::size_t parent = (index - 1) / 2;
-        if (!later(heap[parent], heap[index]))
+        if (!later(heap[parent], moving))
             break;
-        std::swap(heap[parent], heap[index]);
+        heap[index] = heap[parent];
         index = parent;
     }
+    heap[index] = moving;
 }
 
 void
 EventQueue::siftDown(std::size_t index)
 {
     const std::size_t n = heap.size();
+    const Entry moving = heap[index];
     while (true) {
         const std::size_t left = 2 * index + 1;
+        if (left >= n)
+            break;
         const std::size_t right = left + 1;
-        std::size_t smallest = index;
-        if (left < n && later(heap[smallest], heap[left]))
-            smallest = left;
-        if (right < n && later(heap[smallest], heap[right]))
+        std::size_t smallest = left;
+        if (right < n && later(heap[left], heap[right]))
             smallest = right;
-        if (smallest == index)
-            return;
-        std::swap(heap[index], heap[smallest]);
+        if (!later(moving, heap[smallest]))
+            break;
+        heap[index] = heap[smallest];
         index = smallest;
+    }
+    heap[index] = moving;
+}
+
+void
+EventQueue::removeTop()
+{
+    heap.front() = heap.back();
+    heap.pop_back();
+    if (!heap.empty())
+        siftDown(0);
+}
+
+void
+EventQueue::pruneTop()
+{
+    while (!heap.empty() && !isLive(heap.front())) {
+        --deadCount;
+        removeTop();
     }
 }
 
 void
-EventQueue::skipCancelled()
+EventQueue::compact()
 {
-    while (!heap.empty() && cancelled.count(heap.front().seq) > 0) {
-        cancelled.erase(heap.front().seq);
-        std::swap(heap.front(), heap.back());
-        heap.pop_back();
-        if (!heap.empty())
-            siftDown(0);
+    std::size_t write = 0;
+    for (const Entry& entry : heap) {
+        if (isLive(entry))
+            heap[write++] = entry;
     }
+    heap.resize(write);
+    deadCount = 0;
+    // Floyd re-heapify. The comparator's (time, seq) order is total, so
+    // the pop sequence — and therefore the simulation — is unchanged by
+    // the internal array shuffle.
+    for (std::size_t i = heap.size() / 2; i-- > 0;)
+        siftDown(i);
+    BH_AUDIT(heapOrdered(), "heap order broken after compaction");
 }
 
-Time
-EventQueue::nextTime()
+std::uint64_t
+EventQueue::nextSeq() const
 {
-    skipCancelled();
-    return heap.empty() ? kTimeNever : heap.front().time;
+    BH_REQUIRE(!heap.empty(), "nextSeq() on an empty event queue");
+    return heap.front().seq;
 }
 
-std::pair<Time, EventCallback>
+void
+EventQueue::prune()
+{
+    pruneTop();
+    if (deadCount > 0)
+        compact();
+}
+
+EventQueue::Popped
 EventQueue::pop()
 {
-    skipCancelled();
-    BH_REQUIRE(!heap.empty(), "pop() on an empty event queue");
-    Entry top = std::move(heap.front());
-    std::swap(heap.front(), heap.back());
-    heap.pop_back();
-    if (!heap.empty())
-        siftDown(0);
-    live.erase(top.seq);
+    // pruneTop() keeps the heap top live, so liveCount == 0 implies the
+    // heap is physically empty and vice versa.
+    BH_REQUIRE(liveCount > 0, "pop() on an empty event queue");
+    const Entry top = heap.front();
+    removeTop();
+    Slot& s = slots[top.slot];
+    Popped out{top.time, top.seq, std::move(s.callback)};
+    s.live = false;
+    freeSlot(top.slot);
+    --liveCount;
+    pruneTop();
     // Monotonic delivery is what makes runs bit-reproducible: once an
     // event at time t is handed out, nothing earlier may ever surface.
     BH_INVARIANT(top.time >= lastPopped,
@@ -98,16 +169,27 @@ EventQueue::pop()
                  " after t=", lastPopped);
     lastPopped = top.time;
     BH_AUDIT(heapOrdered(), "heap order broken after pop of t=", top.time);
-    return {top.time, std::move(top.callback)};
+    return out;
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    if (!live.contains(id.seq))
+    if (id.slot >= slots.size())
         return false;
-    live.erase(id.seq);
-    cancelled.insert(id.seq);
+    Slot& s = slots[id.slot];
+    if (!s.live || s.seq != id.seq)
+        return false;
+    s.live = false;
+    // Release the captured state now — a cancelled completion must not
+    // pin its resources until the tombstone drifts to the heap top.
+    s.callback.reset();
+    freeSlot(id.slot);
+    --liveCount;
+    ++deadCount;
+    pruneTop();
+    if (deadCount > liveCount && deadCount >= kCompactMin)
+        compact();
     return true;
 }
 

@@ -7,30 +7,44 @@
  * whole simulations bit-reproducible under a fixed seed — a property the
  * regression tests and the master/slave protocol rely on.
  *
+ * Hot-path layout: heap entries are 24-byte PODs (time, seq, slot); the
+ * callback lives in a side slot table indexed by the entry. Sift
+ * operations therefore move trivially-copyable records, push/pop never
+ * hash, and no path allocates (callbacks are InlineCallback, not
+ * std::function).
+ *
  * Cancellation (needed for preempted service completions under DVFS
- * throttling and sleep-state transitions) is lazy: a cancelled sequence
- * number is tombstoned and skipped at pop time.
+ * throttling and sleep-state transitions) is an O(1) slot invalidation:
+ * the callback — and everything it captured — is destroyed immediately,
+ * and the slot's sequence tag turns the still-heaped entry into a
+ * tombstone that pop() recognizes without hashing. Tombstones are swept
+ * two ways: the heap top is kept live eagerly (so nextTime() is a const
+ * O(1) query), and when dead entries outnumber live ones the heap is
+ * compacted wholesale, bounding memory under cancel-heavy policies.
  */
 
 #ifndef BIGHOUSE_SIM_EVENT_QUEUE_HH
 #define BIGHOUSE_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
 #include "base/time.hh"
+#include "sim/inline_callback.hh"
 
 namespace bighouse {
 
-/** Action executed when an event fires. */
-using EventCallback = std::function<void()>;
+/** Action executed when an event fires. Allocation-free; see above. */
+using EventCallback = InlineCallback;
 
-/** Opaque handle identifying a scheduled event for cancellation. */
+/**
+ * Opaque handle identifying a scheduled event for cancellation. The
+ * default-constructed handle is invalid: cancelling it is a no-op.
+ */
 struct EventId
 {
-    std::uint64_t seq = 0;
+    std::uint64_t seq = ~std::uint64_t{0};
+    std::uint32_t slot = ~std::uint32_t{0};
 
     bool operator==(const EventId&) const = default;
 };
@@ -39,40 +53,85 @@ struct EventId
 class EventQueue
 {
   public:
+    /** An event handed out by pop(). */
+    struct Popped
+    {
+        Time time = 0.0;
+        std::uint64_t seq = 0;
+        EventCallback callback;
+    };
+
     /** Insert an event; returns a handle usable with cancel(). */
     EventId push(Time time, EventCallback callback);
 
     /** Earliest pending (non-cancelled) event time; kTimeNever if empty. */
-    Time nextTime();
+    Time
+    nextTime() const
+    {
+        return heap.empty() ? kTimeNever : heap.front().time;
+    }
+
+    /** Sequence number of the earliest pending event. @pre !empty() */
+    std::uint64_t nextSeq() const;
 
     /**
      * Remove and return the earliest pending event.
      * @pre !empty()
      */
-    std::pair<Time, EventCallback> pop();
+    Popped pop();
 
     /**
-     * Cancel a scheduled event.
-     * @return true when the event was pending, false when it already fired
-     *         or was cancelled before.
+     * Cancel a scheduled event. The callback (and its captured state) is
+     * destroyed immediately; only a 24-byte tombstone lingers in the
+     * heap until swept.
+     * @return true when the event was pending, false when it already
+     *         fired or was cancelled before.
      */
     bool cancel(EventId id);
 
+    /**
+     * Explicit tombstone maintenance: compact the heap regardless of the
+     * automatic threshold. Never required for correctness — cancel() and
+     * pop() keep the top live and compaction triggers automatically —
+     * but lets long-pause callers (checkpointing, audits) release memory
+     * deterministically.
+     */
+    void prune();
+
     /** Number of live (non-cancelled) pending events. */
-    std::size_t size() const { return live.size(); }
+    std::size_t size() const { return liveCount; }
 
     /** True when no live events remain. */
-    bool empty() const { return size() == 0; }
+    bool empty() const { return liveCount == 0; }
+
+    /** Physical heap entries, live + tombstoned (bounded-memory tests). */
+    std::size_t heapSize() const { return heap.size(); }
+
+    /** Tombstoned entries still physically in the heap. */
+    std::size_t deadEntries() const { return deadCount; }
 
     /** Total events ever pushed (also the next sequence number). */
-    std::uint64_t pushCount() const { return nextSeq; }
+    std::uint64_t pushCount() const { return seqCounter; }
 
   private:
+    /** 24-byte POD heap record; the callback lives in slots[slot]. */
     struct Entry
     {
         Time time;
         std::uint64_t seq;
+        std::uint32_t slot;
+    };
+
+    /** Callback storage for one pending event; reused via a free list. */
+    struct Slot
+    {
         EventCallback callback;
+        /// Sequence of the event currently (or last) using this slot; a
+        /// heap entry whose seq differs is a tombstone of a prior tenant.
+        std::uint64_t seq = 0;
+        std::uint32_t nextFree = ~std::uint32_t{0};
+        /// False once cancelled or popped (tombstones the heap entry).
+        bool live = false;
     };
 
     /** Heap ordering: earlier time first, then earlier sequence. */
@@ -82,23 +141,42 @@ class EventQueue
         return a.time > b.time || (a.time == b.time && a.seq > b.seq);
     }
 
+    /** True when `entry` still denotes a pending (uncancelled) event. */
+    bool
+    isLive(const Entry& entry) const
+    {
+        const Slot& s = slots[entry.slot];
+        return s.live && s.seq == entry.seq;
+    }
+
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t index);
     void siftUp(std::size_t index);
     void siftDown(std::size_t index);
-    /** Drop cancelled entries from the top of the heap. */
-    void skipCancelled();
+    /** Remove the heap top (no slot bookkeeping). */
+    void removeTop();
+    /** Restore the invariant that the heap top (if any) is live. */
+    void pruneTop();
+    /** Drop every tombstone and re-heapify in O(n). */
+    void compact();
 #ifdef BIGHOUSE_AUDIT
     /** Full O(n) heap-property verification (audit builds only). */
     bool heapOrdered() const;
 #endif
 
+    /// Compaction floor: below this many tombstones the sweep would cost
+    /// more than the memory it reclaims.
+    static constexpr std::size_t kCompactMin = 64;
+
     std::vector<Entry> heap;
+    std::vector<Slot> slots;
+    std::uint32_t freeHead = ~std::uint32_t{0};
     /// Time of the most recently popped event (monotonicity contract).
     Time lastPopped = 0.0;
-    /// Sequence numbers currently in the heap and not cancelled.
-    std::unordered_set<std::uint64_t> live;
-    /// Tombstoned sequence numbers still physically in the heap.
-    std::unordered_set<std::uint64_t> cancelled;
-    std::uint64_t nextSeq = 0;
+    std::size_t liveCount = 0;
+    /// Tombstoned entries still physically in the heap.
+    std::size_t deadCount = 0;
+    std::uint64_t seqCounter = 0;
 };
 
 } // namespace bighouse

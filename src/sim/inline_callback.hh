@@ -1,0 +1,157 @@
+/**
+ * @file
+ * InlineCallback: a fixed-capacity, allocation-free `void()` callable.
+ *
+ * Every simulated event carries one callback, and with std::function each
+ * push paid a heap allocation (the captures of the queueing/policy
+ * lambdas exceed libstdc++'s tiny SBO for non-trivially-copyable states).
+ * InlineCallback stores the capture inline in a small buffer, so the DES
+ * hot path never touches the allocator. Oversized captures are a
+ * compile-time error (static_assert), not a silent fallback to the heap:
+ * a capture that big belongs in an owning model object, with the event
+ * capturing a pointer to it.
+ *
+ * Unlike std::function, InlineCallback is move-only and supports
+ * move-only captures (e.g. std::unique_ptr), which the event queue needs
+ * so cancel() can destroy captured state eagerly.
+ */
+
+#ifndef BIGHOUSE_SIM_INLINE_CALLBACK_HH
+#define BIGHOUSE_SIM_INLINE_CALLBACK_HH
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+/** Allocation-free, move-only `void()` callable with inline storage. */
+class InlineCallback
+{
+  public:
+    /**
+     * Inline capture budget, in bytes. Sized for the simulator's largest
+     * real capture (`[this, record]` in TraceSource: 24 bytes) with
+     * headroom; six pointers covers any reasonable event closure.
+     */
+    static constexpr std::size_t kCapacity = 48;
+
+    /** Whether callable F can be stored (size, alignment, noexcept-move). */
+    template <typename F>
+    static constexpr bool
+    canHold()
+    {
+        using Fn = std::remove_cvref_t<F>;
+        return sizeof(Fn) <= kCapacity
+               && alignof(Fn) <= alignof(std::max_align_t)
+               && std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    /** Empty (non-callable) callback. */
+    InlineCallback() noexcept = default;
+
+    /** Wrap a callable. Rejects oversized captures at compile time. */
+    template <typename F>
+        requires(!std::is_same_v<std::remove_cvref_t<F>, InlineCallback>
+                 && std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+    InlineCallback(F&& fn) noexcept  // NOLINT(bugprone-forwarding-reference-overload)
+    {
+        using Fn = std::remove_cvref_t<F>;
+        static_assert(sizeof(Fn) <= kCapacity,
+                      "event-callback capture exceeds "
+                      "InlineCallback::kCapacity; capture a pointer to "
+                      "long-lived model state instead of copying it into "
+                      "the event");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "event-callback capture is over-aligned for "
+                      "InlineCallback's inline storage");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "event-callback captures must be nothrow-movable so "
+                      "heap sifts cannot throw mid-swap");
+        // Placement-new into the inline buffer: the whole point of this
+        // type is that ownership never leaves the object.
+        ::new (static_cast<void*>(storage)) Fn(std::forward<F>(fn));  // bh-lint: allow(raw-new-delete)
+        ops = opsFor<Fn>();
+    }
+
+    InlineCallback(InlineCallback&& other) noexcept : ops(other.ops)
+    {
+        if (ops != nullptr) {
+            ops->relocate(other.storage, storage);
+            other.ops = nullptr;
+        }
+    }
+
+    InlineCallback&
+    operator=(InlineCallback&& other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            if (other.ops != nullptr) {
+                ops = other.ops;
+                ops->relocate(other.storage, storage);
+                other.ops = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback&) = delete;
+    InlineCallback& operator=(const InlineCallback&) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    /** Invoke the wrapped callable. @pre bool(*this) */
+    void
+    operator()()
+    {
+        BH_ASSERT(ops != nullptr, "invoking an empty InlineCallback");
+        ops->invoke(storage);
+    }
+
+    /** True when a callable is stored. */
+    explicit operator bool() const noexcept { return ops != nullptr; }
+
+    /** Destroy the stored callable (and everything it captured) now. */
+    void
+    reset() noexcept
+    {
+        if (ops != nullptr) {
+            ops->destroy(storage);
+            ops = nullptr;
+        }
+    }
+
+  private:
+    /** Per-capture-type manual vtable (one static instance per Fn). */
+    struct Ops
+    {
+        void (*invoke)(void* self);
+        void (*relocate)(void* src, void* dst) noexcept;
+        void (*destroy)(void* self) noexcept;
+    };
+
+    template <typename Fn>
+    static const Ops*
+    opsFor() noexcept
+    {
+        static constexpr Ops table{
+            [](void* self) { (*static_cast<Fn*>(self))(); },
+            [](void* src, void* dst) noexcept {
+                ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));  // bh-lint: allow(raw-new-delete)
+                static_cast<Fn*>(src)->~Fn();
+            },
+            [](void* self) noexcept { static_cast<Fn*>(self)->~Fn(); },
+        };
+        return &table;
+    }
+
+    alignas(std::max_align_t) std::byte storage[kCapacity];
+    const Ops* ops = nullptr;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_SIM_INLINE_CALLBACK_HH

@@ -17,35 +17,24 @@ StatsCollection::addMetric(MetricSpec spec)
     }
     warmupTarget.push_back(spec.warmupSamples);
     warmupSeen.push_back(0);
+    if (spec.warmupSamples > 0)
+        ++coldMetrics;
     // The collection owns warm-up (constraint 1); the metric starts at
     // calibration as soon as observations reach it.
     spec.warmupSamples = 0;
     metrics.push_back(std::make_unique<OutputMetric>(std::move(spec)));
-    warm = false;
-    checkWarmGate();
+    warm = coldMetrics == 0;
     return metrics.size() - 1;
 }
 
 void
-StatsCollection::checkWarmGate()
+StatsCollection::recordDuringWarmup(MetricId id)
 {
-    for (std::size_t i = 0; i < metrics.size(); ++i) {
-        if (warmupSeen[i] < warmupTarget[i])
-            return;
-    }
-    warm = true;
-}
-
-void
-StatsCollection::record(MetricId id, double x)
-{
-    BH_ASSERT(id < metrics.size(), "unknown metric id ", id);
-    if (!warm) {
-        ++warmupSeen[id];
-        checkWarmGate();
-        return;
-    }
-    metrics[id]->record(x);
+    // Crossing the target exactly once retires this metric from the cold
+    // set; observations past the target (while siblings warm up) only
+    // bump the counter.
+    if (++warmupSeen[id] == warmupTarget[id] && --coldMetrics == 0)
+        warm = true;
 }
 
 bool

@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "base/logging.hh"
 #include "stats/metric.hh"
 
 namespace bighouse {
@@ -38,8 +39,25 @@ class StatsCollection
      */
     MetricId addMetric(MetricSpec spec);
 
-    /** Offer an observation for one metric. */
-    void record(MetricId id, double x);
+    /**
+     * Offer an observation for one metric.
+     *
+     * Inline fast path: once the global warm-up gate is open (the steady
+     * state for the whole measured run) this is a bounds check and a
+     * direct dispatch into OutputMetric::record()'s inline path — the
+     * full record-one-sample chain runs without a single out-of-line
+     * call. Warm-up counting is the cold branch.
+     */
+    void
+    record(MetricId id, double x)
+    {
+        BH_ASSERT(id < metrics.size(), "unknown metric id ", id);
+        if (warm) [[likely]] {
+            metrics[id]->record(x);
+            return;
+        }
+        recordDuringWarmup(id);
+    }
 
     /** True once every metric has seen its Nw warm-up observations. */
     bool warmedUp() const { return warm; }
@@ -66,11 +84,16 @@ class StatsCollection
     std::string report() const;
 
   private:
-    void checkWarmGate();
+    /** Count one warm-up observation for `id`; opens the gate when every
+     * metric has reached its target (cold path of record()). */
+    void recordDuringWarmup(MetricId id);
 
     std::vector<std::unique_ptr<OutputMetric>> metrics;
     std::vector<std::uint64_t> warmupTarget;
     std::vector<std::uint64_t> warmupSeen;
+    /// Metrics still short of their warm-up target; warm iff zero. A
+    /// counter instead of a per-observation scan over all metrics.
+    std::size_t coldMetrics = 0;
     bool warm = false;
 };
 

@@ -43,10 +43,18 @@ BinScheme::deserialize(const std::string& text)
     std::string tag;
     BinScheme scheme;
     iss >> tag >> scheme.lo >> scheme.hi >> scheme.bins;
-    if (!iss || tag != "binscheme" || scheme.bins == 0
-        || scheme.hi <= scheme.lo) {
-        fatal("malformed BinScheme: '", text, "'");
+    bool ok = static_cast<bool>(iss) && tag == "binscheme"
+              && scheme.bins > 0 && scheme.hi > scheme.lo
+              && std::isfinite(scheme.lo) && std::isfinite(scheme.hi);
+    if (ok) {
+        // Reject trailing garbage: a truncated or corrupted master->slave
+        // broadcast (or checkpoint line) must fail loudly, not merge a
+        // scheme that happens to have a parsable prefix.
+        iss >> std::ws;
+        ok = iss.eof();
     }
+    if (!ok)
+        fatal("malformed BinScheme: '", text, "'");
     return scheme;
 }
 
@@ -72,31 +80,13 @@ suggestBinScheme(std::span<const double> calibration, std::size_t bins,
 
 Histogram::Histogram(BinScheme scheme)
     : layout(scheme),
+      width(scheme.binWidth()),
       counts(scheme.bins, 0),
       minValue(std::numeric_limits<double>::infinity()),
       maxValue(-std::numeric_limits<double>::infinity())
 {
     if (scheme.bins == 0 || scheme.hi <= scheme.lo)
         fatal("Histogram needs bins >= 1 and hi > lo");
-}
-
-void
-Histogram::add(double x)
-{
-    if (x < layout.lo) {
-        ++underflow;
-    } else if (x >= layout.hi) {
-        ++overflow;
-    } else {
-        auto bin = static_cast<std::size_t>((x - layout.lo)
-                                            / layout.binWidth());
-        if (bin >= counts.size())
-            bin = counts.size() - 1;  // x just below hi with rounding
-        ++counts[bin];
-    }
-    ++total;
-    minValue = std::min(minValue, x);
-    maxValue = std::max(maxValue, x);
 }
 
 double
@@ -229,6 +219,9 @@ Histogram::deserialize(const std::string& text)
         iss >> c;
     if (!iss)
         fatal("truncated Histogram serialization");
+    iss >> std::ws;
+    if (!iss.eof())
+        fatal("trailing garbage in Histogram serialization");
     if (hist.total == 0) {
         hist.minValue = std::numeric_limits<double>::infinity();
         hist.maxValue = -std::numeric_limits<double>::infinity();

@@ -59,8 +59,32 @@ class Histogram
   public:
     explicit Histogram(BinScheme scheme);
 
-    /** Record one observation. */
-    void add(double x);
+    /**
+     * Record one observation. Inline and branch-light: this sits on the
+     * per-accepted-observation hot path of every output metric. The bin
+     * width is precomputed once at construction (same `(hi-lo)/bins`
+     * value binWidth() yields, so bin assignment is bit-identical to
+     * dividing by a freshly computed width).
+     */
+    void
+    add(double x)
+    {
+        if (x < layout.lo) {
+            ++underflow;
+        } else if (x >= layout.hi) {
+            ++overflow;
+        } else {
+            auto bin = static_cast<std::size_t>((x - layout.lo) / width);
+            if (bin >= counts.size())
+                bin = counts.size() - 1;  // x just below hi with rounding
+            ++counts[bin];
+        }
+        ++total;
+        if (x < minValue)
+            minValue = x;
+        if (x > maxValue)
+            maxValue = x;
+    }
 
     /** Total recorded observations. */
     std::uint64_t count() const { return total; }
@@ -101,6 +125,8 @@ class Histogram
 
   private:
     BinScheme layout;
+    /// Cached layout.binWidth(), so add() divides without recomputing it.
+    double width = 1.0;
     std::vector<std::uint64_t> counts;
     std::uint64_t underflow = 0;
     std::uint64_t overflow = 0;

@@ -49,9 +49,8 @@ OutputMetric::adoptBinScheme(const BinScheme& scheme)
 }
 
 void
-OutputMetric::record(double x)
+OutputMetric::recordPreMeasurement(double x)
 {
-    ++offered;
     switch (currentPhase) {
       case Phase::Warmup:
         if (++warmupSeen >= spec.warmupSamples)
@@ -64,12 +63,7 @@ OutputMetric::record(double x)
         return;
       case Phase::Measurement:
       case Phase::Converged:
-        // Keep every lag-th observation; extra post-convergence
-        // observations only sharpen the estimate.
-        if (++sinceAccepted >= lagSpacing) {
-            sinceAccepted = 0;
-            acceptObservation(x);
-        }
+        // Unreachable: record() routes these phases inline.
         return;
     }
 }
@@ -133,19 +127,6 @@ OutputMetric::completeCalibration()
     calibrationBuffer.clear();
     calibrationBuffer.shrink_to_fit();
     currentPhase = Phase::Measurement;
-}
-
-void
-OutputMetric::acceptObservation(double x)
-{
-    accumulator.add(x);
-    hist->add(x);
-    if (currentPhase == Phase::Converged || !selfConvergence)
-        return;
-    if (++sinceChecked >= spec.checkInterval) {
-        sinceChecked = 0;
-        evaluateConvergence();
-    }
 }
 
 std::uint64_t

@@ -97,8 +97,31 @@ class OutputMetric
   public:
     explicit OutputMetric(MetricSpec spec);
 
-    /** Offer one observation; routed according to the current phase. */
-    void record(double x);
+    /**
+     * Offer one observation; routed according to the current phase.
+     *
+     * Inline fast path: in the Measurement/Converged steady state (where
+     * a converged-length run spends virtually all observations) this is
+     * a lag-counter bump, and every lag-th call flows straight into the
+     * accumulator and histogram without leaving the header. The cold
+     * warm-up/calibration routing lives in recordPreMeasurement().
+     */
+    void
+    record(double x)
+    {
+        ++offered;
+        if (static_cast<int>(currentPhase)
+            >= static_cast<int>(Phase::Measurement)) [[likely]] {
+            // Keep every lag-th observation; extra post-convergence
+            // observations only sharpen the estimate.
+            if (++sinceAccepted >= lagSpacing) {
+                sinceAccepted = 0;
+                acceptObservation(x);
+            }
+            return;
+        }
+        recordPreMeasurement(x);
+    }
 
     /** Current phase. */
     Phase phase() const { return currentPhase; }
@@ -164,8 +187,28 @@ class OutputMetric
     const Accumulator& sampleAccumulator() const { return accumulator; }
 
   private:
+    /** Warm-up and calibration routing (cold; called until measurement). */
+    void recordPreMeasurement(double x);
     void completeCalibration();
-    void acceptObservation(double x);
+
+    /**
+     * Fold an accepted observation into the estimate. Inline: together
+     * with record() this flattens the whole per-sample chain
+     * (lag filter -> Welford update -> histogram bin) into one call-free
+     * sequence; only the periodic convergence check leaves the header.
+     */
+    void
+    acceptObservation(double x)
+    {
+        accumulator.add(x);
+        hist->add(x);
+        if (currentPhase == Phase::Converged || !selfConvergence)
+            return;
+        if (++sinceChecked >= spec.checkInterval) {
+            sinceChecked = 0;
+            evaluateConvergence();
+        }
+    }
 
     MetricSpec spec;
     Phase currentPhase;

@@ -1,12 +1,13 @@
 /**
  * @file
- * Unit tests for the event queue: ordering, FIFO tie-breaking, and lazy
- * cancellation.
+ * Unit tests for the event queue: ordering, FIFO tie-breaking, O(1)
+ * cancellation with eager callback release, and tombstone compaction.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "base/random.hh"
@@ -23,7 +24,7 @@ TEST(EventQueue, PopsInTimeOrder)
     q.push(1.0, [&] { order.push_back(1); });
     q.push(2.0, [&] { order.push_back(2); });
     while (!q.empty())
-        q.pop().second();
+        q.pop().callback();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -34,7 +35,7 @@ TEST(EventQueue, SameTimeIsFifo)
     for (int i = 0; i < 10; ++i)
         q.push(5.0, [&order, i] { order.push_back(i); });
     while (!q.empty())
-        q.pop().second();
+        q.pop().callback();
     for (int i = 0; i < 10; ++i)
         EXPECT_EQ(order[i], i);
 }
@@ -47,9 +48,22 @@ TEST(EventQueue, RandomizedOrderProperty)
         q.push(rng.uniform(0.0, 100.0), [] {});
     double previous = -1.0;
     while (!q.empty()) {
-        const auto [time, fn] = q.pop();
-        ASSERT_GE(time, previous);
-        previous = time;
+        const auto popped = q.pop();
+        ASSERT_GE(popped.time, previous);
+        previous = popped.time;
+    }
+}
+
+TEST(EventQueue, PopReportsMonotoneSequenceForTies)
+{
+    EventQueue q;
+    for (int i = 0; i < 16; ++i)
+        q.push(1.0, [] {});
+    std::uint64_t expected = 0;
+    while (!q.empty()) {
+        EXPECT_EQ(q.nextSeq(), expected);
+        EXPECT_EQ(q.pop().seq, expected);
+        ++expected;
     }
 }
 
@@ -58,11 +72,13 @@ TEST(EventQueue, NextTimeMatchesPop)
     EventQueue q;
     q.push(7.0, [] {});
     q.push(4.0, [] {});
-    EXPECT_DOUBLE_EQ(q.nextTime(), 4.0);
-    EXPECT_DOUBLE_EQ(q.pop().first, 4.0);
-    EXPECT_DOUBLE_EQ(q.nextTime(), 7.0);
+    // nextTime() is a const query on purpose (no lazy pruning inside).
+    const EventQueue& constQ = q;
+    EXPECT_DOUBLE_EQ(constQ.nextTime(), 4.0);
+    EXPECT_DOUBLE_EQ(q.pop().time, 4.0);
+    EXPECT_DOUBLE_EQ(constQ.nextTime(), 7.0);
     q.pop();
-    EXPECT_DOUBLE_EQ(q.nextTime(), kTimeNever);
+    EXPECT_DOUBLE_EQ(constQ.nextTime(), kTimeNever);
 }
 
 TEST(EventQueue, CancelRemovesEvent)
@@ -76,7 +92,7 @@ TEST(EventQueue, CancelRemovesEvent)
     EXPECT_TRUE(q.cancel(id));
     EXPECT_EQ(q.size(), 2u);
     while (!q.empty())
-        q.pop().second();
+        q.pop().callback();
     EXPECT_EQ(fired, 2);
 }
 
@@ -96,6 +112,25 @@ TEST(EventQueue, CancelAfterFireFails)
     EXPECT_FALSE(q.cancel(id));
 }
 
+TEST(EventQueue, CancelDefaultIdIsNoop)
+{
+    EventQueue q;
+    q.push(1.0, [] {});
+    EXPECT_FALSE(q.cancel(EventId{}));
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelStaleIdAfterSlotReuseFails)
+{
+    EventQueue q;
+    const EventId first = q.push(1.0, [] {});
+    q.pop();  // frees first's slot
+    const EventId second = q.push(2.0, [] {});  // reuses it
+    EXPECT_FALSE(q.cancel(first));
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_TRUE(q.cancel(second));
+}
+
 TEST(EventQueue, CancelEarliestAdvancesNextTime)
 {
     EventQueue q;
@@ -103,7 +138,7 @@ TEST(EventQueue, CancelEarliestAdvancesNextTime)
     q.push(2.0, [] {});
     q.cancel(first);
     EXPECT_DOUBLE_EQ(q.nextTime(), 2.0);
-    EXPECT_DOUBLE_EQ(q.pop().first, 2.0);
+    EXPECT_DOUBLE_EQ(q.pop().time, 2.0);
     EXPECT_TRUE(q.empty());
 }
 
@@ -117,6 +152,78 @@ TEST(EventQueue, CancelAllLeavesEmptyQueue)
         EXPECT_TRUE(q.cancel(id));
     EXPECT_TRUE(q.empty());
     EXPECT_DOUBLE_EQ(q.nextTime(), kTimeNever);
+    // Cancelling everything must also drain the physical heap: with no
+    // live event left there is nothing for tombstones to wait behind.
+    EXPECT_EQ(q.heapSize(), 0u);
+}
+
+TEST(EventQueue, CancelReleasesCallbackStateImmediately)
+{
+    // Regression: cancel() used to leave the Entry (and its captured
+    // callback state) alive until the tombstone reached the heap top.
+    EventQueue q;
+    auto token = std::make_shared<int>(42);
+    q.push(1.0, [] {});  // keeps the cancelled event off the heap top
+    const EventId id = q.push(2.0, [token] { (void)*token; });
+    EXPECT_EQ(token.use_count(), 2);
+    EXPECT_TRUE(q.cancel(id));
+    // The capture must be destroyed at cancel time, tombstone or not.
+    EXPECT_EQ(token.use_count(), 1);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelHeavyChurnKeepsHeapBounded)
+{
+    // DVFS-style workload: every speed change cancels a scheduled
+    // completion and reschedules it. The heap may carry tombstones, but
+    // dead entries must never outgrow the live set by more than the
+    // compaction threshold.
+    EventQueue q;
+    Rng rng(7);
+    std::vector<EventId> pending;
+    double clock = 0.0;
+    for (int step = 0; step < 50000; ++step) {
+        const EventId id =
+            q.push(clock + rng.uniform(0.0, 10.0), [] {});
+        pending.push_back(id);
+        if (pending.size() > 8) {
+            // Cancel-then-reschedule: the dominant DVFS pattern.
+            const std::size_t pick = rng.below(pending.size() - 1);
+            if (q.cancel(pending[pick]))
+                pending[pick] = q.push(clock + rng.uniform(0.0, 10.0),
+                                       [] {});
+        }
+        if (step % 3 == 0 && !q.empty()) {
+            clock = q.pop().time;
+        }
+        ASSERT_LE(q.heapSize(), 2 * q.size() + 64)
+            << "tombstones outgrew the live set at step " << step;
+    }
+}
+
+TEST(EventQueue, PruneCompactsTombstonesOnDemand)
+{
+    EventQueue q;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 32; ++i)
+        ids.push_back(q.push(static_cast<Time>(i + 1), [] {}));
+    // Cancel the back half: few enough to stay under the automatic
+    // compaction floor, so the tombstones linger...
+    for (int i = 16; i < 32; ++i)
+        EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+    EXPECT_EQ(q.size(), 16u);
+    EXPECT_GT(q.deadEntries(), 0u);
+    // ...until prune() sweeps them explicitly.
+    q.prune();
+    EXPECT_EQ(q.deadEntries(), 0u);
+    EXPECT_EQ(q.heapSize(), 16u);
+    double previous = 0.0;
+    while (!q.empty()) {
+        const auto popped = q.pop();
+        EXPECT_GT(popped.time, previous);
+        previous = popped.time;
+    }
+    EXPECT_DOUBLE_EQ(previous, 16.0);
 }
 
 TEST(EventQueue, StressInterleavedPushPopCancel)
@@ -137,17 +244,17 @@ TEST(EventQueue, StressInterleavedPushPopCancel)
             pending.erase(pending.begin()
                           + static_cast<std::ptrdiff_t>(pick));
         } else {
-            const auto [time, fn] = q.pop();
-            ASSERT_GE(time, clock);
-            clock = time;
-            fn();
+            auto popped = q.pop();
+            ASSERT_GE(popped.time, clock);
+            clock = popped.time;
+            popped.callback();
         }
     }
     while (!q.empty()) {
-        const auto [time, fn] = q.pop();
-        ASSERT_GE(time, clock);
-        clock = time;
-        fn();
+        auto popped = q.pop();
+        ASSERT_GE(popped.time, clock);
+        clock = popped.time;
+        popped.callback();
     }
     EXPECT_GT(fired, 0);
     EXPECT_GT(cancelled, 0);

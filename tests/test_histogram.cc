@@ -45,6 +45,40 @@ TEST(BinScheme, DeserializeRejectsGarbage)
                 ::testing::ExitedWithCode(1), "malformed");
 }
 
+TEST(BinScheme, DeserializeRejectsTrailingGarbage)
+{
+    // A prefix that parses must not hide a corrupted broadcast line.
+    EXPECT_EXIT(BinScheme::deserialize("binscheme 0 1 4 junk"),
+                ::testing::ExitedWithCode(1), "malformed");
+    EXPECT_EXIT(BinScheme::deserialize("binscheme 0 1 4 5"),
+                ::testing::ExitedWithCode(1), "malformed");
+    // ...but pure trailing whitespace (a protocol framing artifact, not
+    // corruption) still round-trips.
+    const BinScheme padded = BinScheme::deserialize("binscheme 0 1 4 \t");
+    EXPECT_EQ(padded, (BinScheme{0.0, 1.0, 4}));
+}
+
+TEST(BinScheme, DeserializeRejectsNonFiniteEdges)
+{
+    EXPECT_EXIT(BinScheme::deserialize("binscheme inf 1 4"),
+                ::testing::ExitedWithCode(1), "malformed");
+    EXPECT_EXIT(BinScheme::deserialize("binscheme 0 inf 4"),
+                ::testing::ExitedWithCode(1), "malformed");
+    EXPECT_EXIT(BinScheme::deserialize("binscheme nan 1 4"),
+                ::testing::ExitedWithCode(1), "malformed");
+    EXPECT_EXIT(BinScheme::deserialize("binscheme 0 1e999 4"),
+                ::testing::ExitedWithCode(1), "malformed");
+}
+
+TEST(Histogram, DeserializeRejectsTrailingGarbage)
+{
+    Histogram h(BinScheme{0.0, 1.0, 4});
+    h.add(0.5);
+    const std::string line = h.serialize();
+    EXPECT_EXIT(Histogram::deserialize(line + " 99"),
+                ::testing::ExitedWithCode(1), "trailing garbage");
+}
+
 TEST(SuggestBinScheme, ExpandsRangeAndClampsAtZero)
 {
     const std::vector<double> sample = {1.0, 2.0, 3.0};

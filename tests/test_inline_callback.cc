@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for InlineCallback, the allocation-free event-callback type:
+ * capture-size limits, move-only captures, eager destruction, and move
+ * semantics (the properties the event queue's slot table relies on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+#include "sim/inline_callback.hh"
+
+namespace bighouse {
+namespace {
+
+// ---------------------------------------------------------------------
+// Capacity limits are compile-time properties; check them as such.
+
+struct SmallCapture
+{
+    void* a;
+    void* b;
+    void operator()() {}
+};
+
+struct OversizedCapture
+{
+    std::array<std::byte, InlineCallback::kCapacity + 1> blob;
+    void operator()() {}
+};
+
+struct ThrowingMoveCapture
+{
+    ThrowingMoveCapture() = default;
+    ThrowingMoveCapture(ThrowingMoveCapture&&) noexcept(false) {}
+    void operator()() {}
+};
+
+static_assert(InlineCallback::canHold<SmallCapture>(),
+              "a two-pointer capture must fit inline");
+static_assert(!InlineCallback::canHold<OversizedCapture>(),
+              "captures past kCapacity must be rejected");
+static_assert(!InlineCallback::canHold<ThrowingMoveCapture>(),
+              "captures with throwing moves must be rejected");
+
+TEST(InlineCallback, EmptyIsFalsy)
+{
+    InlineCallback cb;
+    EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallback, InvokesStoredLambda)
+{
+    int hits = 0;
+    InlineCallback cb([&hits] { ++hits; });
+    EXPECT_TRUE(static_cast<bool>(cb));
+    cb();
+    cb();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, SupportsMoveOnlyCaptures)
+{
+    auto owned = std::make_unique<int>(7);
+    int seen = 0;
+    InlineCallback cb([p = std::move(owned), &seen] { seen = *p; });
+    EXPECT_EQ(owned, nullptr);
+    cb();
+    EXPECT_EQ(seen, 7);
+}
+
+TEST(InlineCallback, ResetDestroysCapturedStateImmediately)
+{
+    auto token = std::make_shared<int>(1);
+    InlineCallback cb([token] { (void)*token; });
+    EXPECT_EQ(token.use_count(), 2);
+    cb.reset();
+    EXPECT_EQ(token.use_count(), 1);
+    EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallback, DestructorDestroysCapturedState)
+{
+    auto token = std::make_shared<int>(1);
+    {
+        InlineCallback cb([token] { (void)*token; });
+        EXPECT_EQ(token.use_count(), 2);
+    }
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineCallback, MoveTransfersOwnershipWithoutCopying)
+{
+    auto token = std::make_shared<int>(5);
+    int seen = 0;
+    InlineCallback a([token, &seen] { seen = *token; });
+    EXPECT_EQ(token.use_count(), 2);
+
+    InlineCallback b(std::move(a));
+    // Relocation moves the capture; it must not duplicate it.
+    EXPECT_EQ(token.use_count(), 2);
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(seen, 5);
+}
+
+TEST(InlineCallback, MoveAssignmentReleasesPreviousCapture)
+{
+    auto first = std::make_shared<int>(1);
+    auto second = std::make_shared<int>(2);
+    InlineCallback a([first] { (void)*first; });
+    InlineCallback b([second] { (void)*second; });
+    EXPECT_EQ(first.use_count(), 2);
+    EXPECT_EQ(second.use_count(), 2);
+
+    a = std::move(b);
+    // a's original capture is gone; b's moved into a.
+    EXPECT_EQ(first.use_count(), 1);
+    EXPECT_EQ(second.use_count(), 2);
+    EXPECT_FALSE(static_cast<bool>(b));
+    a.reset();
+    EXPECT_EQ(second.use_count(), 1);
+}
+
+TEST(InlineCallbackDeathTest, InvokingEmptyPanics)
+{
+    InlineCallback cb;
+    EXPECT_DEATH(cb(), "empty InlineCallback");
+}
+
+} // namespace
+} // namespace bighouse
