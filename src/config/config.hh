@@ -71,6 +71,17 @@ class Config
     JsonValue tree;
 };
 
+/**
+ * Strict-schema guard: fatal() when `node` (an object) carries a key
+ * outside `allowed`, naming the offender and suggesting the nearest
+ * allowed key. A misspelled sweep axis or metric switch then fails fast
+ * instead of silently running the base configuration. Loaders expose a
+ * `--lax` escape hatch by simply not calling this.
+ */
+void rejectUnknownKeys(const JsonValue& node,
+                       const std::vector<std::string_view>& allowed,
+                       std::string_view context);
+
 } // namespace bighouse
 
 #endif // BIGHOUSE_CONFIG_CONFIG_HH

@@ -461,6 +461,40 @@ class Parser
 
 } // namespace
 
+void
+jsonSetPath(JsonValue& root, std::string_view dottedPath, JsonValue value)
+{
+    if (dottedPath.empty())
+        fatal("jsonSetPath needs a non-empty path");
+    if (!root.isObject())
+        fatal("jsonSetPath root must be an object");
+    JsonValue* node = &root;
+    std::string_view rest = dottedPath;
+    while (true) {
+        const std::size_t dot = rest.find('.');
+        const std::string_view segment = rest.substr(0, dot);
+        if (segment.empty())
+            fatal("empty segment in config path '", std::string(dottedPath),
+                  "'");
+        JsonValue::Object& obj = node->asObject();
+        if (dot == std::string_view::npos) {
+            obj[std::string(segment)] = std::move(value);
+            return;
+        }
+        JsonValue& child = obj[std::string(segment)];
+        // A fresh map entry is null; promote it to an object. An existing
+        // scalar here means the path contradicts the document shape.
+        if (child.isNull())
+            child = JsonValue(JsonValue::Object{});
+        else if (!child.isObject())
+            fatal("config path '", std::string(dottedPath),
+                  "' traverses non-object segment '", std::string(segment),
+                  "'");
+        node = &child;
+        rest = rest.substr(dot + 1);
+    }
+}
+
 JsonParseResult
 parseJson(std::string_view text)
 {

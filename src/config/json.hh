@@ -78,6 +78,15 @@ struct JsonParseResult
     std::string error;  ///< "line L, column C: message" when !ok
 };
 
+/**
+ * Set the value at a dotted path (e.g. "workload.interarrival.cv"),
+ * creating intermediate objects as needed — the primitive campaign sweep
+ * axes use to overlay one sweep value onto a base experiment config.
+ * fatal() when a path segment traverses an existing non-object value.
+ */
+void jsonSetPath(JsonValue& root, std::string_view dottedPath,
+                 JsonValue value);
+
 /** Parse a complete JSON document (with // comment extension). */
 JsonParseResult parseJson(std::string_view text);
 

@@ -297,9 +297,22 @@ Experiment::run(std::uint64_t seed) const
     return sim.run();
 }
 
-ExperimentSpec
-Experiment::specFromConfig(const Config& config)
+const std::vector<std::string_view>&
+Experiment::configKeys()
 {
+    static const std::vector<std::string_view> keys = {
+        "workload",   "cluster",     "serverModel", "dreamweaver",
+        "powernap",   "dispatch",    "loadFactor",  "cpuSlowdown",
+        "metrics",    "sqs",         "capping",
+    };
+    return keys;
+}
+
+ExperimentSpec
+Experiment::specFromConfig(const Config& config, bool strict)
+{
+    if (strict)
+        rejectUnknownKeys(config.root(), configKeys(), "experiment config");
     ExperimentSpec spec;
 
     // Workload: either a Table-1 name or explicit two-moment blocks.

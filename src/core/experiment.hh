@@ -17,6 +17,8 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "config/config.hh"
 #include "core/sqs.hh"
@@ -90,8 +92,17 @@ class Experiment
      * Parse a spec from a JSON config (see docs/ and examples/ for the
      * schema): workload by Table-1 name or explicit mean/cv moments,
      * cluster shape, metric switches, sqs block, capping block.
+     *
+     * `strict` (the default) rejects unknown top-level keys, so a
+     * misspelled key — or a typo'd campaign sweep axis — fails fast
+     * instead of silently running the base configuration; pass false
+     * (the CLI's --lax) to accept and ignore unknown keys.
      */
-    static ExperimentSpec specFromConfig(const Config& config);
+    static ExperimentSpec specFromConfig(const Config& config,
+                                         bool strict = true);
+
+    /** Top-level keys specFromConfig() understands (the strict schema). */
+    static const std::vector<std::string_view>& configKeys();
 
     /** Construct the model and metrics inside an existing simulation. */
     void buildInto(SqsSimulation& sim) const;

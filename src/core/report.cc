@@ -89,6 +89,16 @@ formatG(double value, int precision)
     return buf;
 }
 
+std::vector<MetricEstimate>
+sortedEstimates(std::vector<MetricEstimate> estimates)
+{
+    std::sort(estimates.begin(), estimates.end(),
+              [](const MetricEstimate& a, const MetricEstimate& b) {
+                  return a.name < b.name;
+              });
+    return estimates;
+}
+
 std::string
 summarizeRun(const SqsResult& result)
 {

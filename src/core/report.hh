@@ -44,6 +44,15 @@ class TextTable
 /** Format a double with %.*g. */
 std::string formatG(double value, int precision = 6);
 
+/**
+ * Name-sorted copy of a set of estimates. Registration order is a
+ * protocol detail (parallel merges depend on it); exports sort by metric
+ * name instead so reports and campaign CSVs diff cleanly across runs and
+ * across configs that register metrics in different orders.
+ */
+std::vector<MetricEstimate>
+sortedEstimates(std::vector<MetricEstimate> estimates);
+
 /** One-paragraph summary of an SQS run (convergence, events, wall time). */
 std::string summarizeRun(const SqsResult& result);
 

@@ -341,4 +341,182 @@ readCheckpoint(const std::string& path)
     return checkpointFromJson(parseJsonFile(path));
 }
 
+// ---------------------------------------------------------------------
+// Campaign manifest
+// ---------------------------------------------------------------------
+
+const char*
+pointStatusName(PointStatus status)
+{
+    switch (status) {
+      case PointStatus::Pending: return "pending";
+      case PointStatus::Cached: return "cached";
+      case PointStatus::Ran: return "ran";
+      case PointStatus::Failed: return "failed";
+    }
+    return "unknown";
+}
+
+PointStatus
+pointStatusFromName(std::string_view name)
+{
+    if (name == "pending")
+        return PointStatus::Pending;
+    if (name == "cached")
+        return PointStatus::Cached;
+    if (name == "ran")
+        return PointStatus::Ran;
+    if (name == "failed")
+        return PointStatus::Failed;
+    fatal("unknown point status '", std::string(name), "' in manifest");
+}
+
+namespace {
+
+/**
+ * Seeds are full 64-bit values (golden-ratio mixes use the whole word),
+ * so they travel as decimal strings — JSON numbers are doubles and
+ * would silently drop the low bits past 2^53.
+ */
+std::string
+u64ToString(std::uint64_t value)
+{
+    return std::to_string(value);
+}
+
+std::uint64_t
+u64FromString(const JsonValue& json, const char* field)
+{
+    const JsonValue* node = json.find(field);
+    if (node == nullptr || !node->isString())
+        fatal("manifest field '", field, "' must be a decimal string");
+    const std::string& text = node->asString();
+    std::uint64_t value = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9')
+            fatal("manifest field '", field, "' is not a decimal string: '",
+                  text, "'");
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return value;
+}
+
+JsonValue
+manifestPointToJson(const ManifestPoint& point)
+{
+    JsonValue::Object obj;
+    obj.emplace("index", JsonValue(static_cast<double>(point.index)));
+    obj.emplace("key", JsonValue(point.key));
+    obj.emplace("keyHash", JsonValue(point.keyHash));
+    obj.emplace("seed", JsonValue(u64ToString(point.seed)));
+    obj.emplace("slaves", JsonValue(static_cast<double>(point.slaves)));
+    obj.emplace("status",
+                JsonValue(std::string(pointStatusName(point.status))));
+    obj.emplace("converged", JsonValue(point.converged));
+    obj.emplace("events", JsonValue(static_cast<double>(point.events)));
+    obj.emplace("wallSeconds", JsonValue(point.wallSeconds));
+    JsonValue::Object axes;
+    for (const auto& [path, value] : point.axes)
+        axes.emplace(path, JsonValue(value));
+    obj.emplace("axes", JsonValue(std::move(axes)));
+    return JsonValue(std::move(obj));
+}
+
+ManifestPoint
+manifestPointFromJson(const JsonValue& json)
+{
+    ManifestPoint point;
+    point.index = static_cast<std::uint64_t>(requireNumber(json, "index"));
+    const JsonValue* key = json.find("key");
+    const JsonValue* hash = json.find("keyHash");
+    const JsonValue* status = json.find("status");
+    if (key == nullptr || !key->isString() || hash == nullptr
+        || !hash->isString() || status == nullptr || !status->isString()) {
+        fatal("manifest point missing key/keyHash/status");
+    }
+    point.key = key->asString();
+    point.keyHash = hash->asString();
+    point.status = pointStatusFromName(status->asString());
+    point.seed = u64FromString(json, "seed");
+    point.slaves =
+        static_cast<std::uint64_t>(requireNumber(json, "slaves"));
+    const JsonValue* converged = json.find("converged");
+    if (converged == nullptr || !converged->isBool())
+        fatal("manifest point missing 'converged'");
+    point.converged = converged->asBool();
+    point.events =
+        static_cast<std::uint64_t>(requireNumber(json, "events"));
+    point.wallSeconds = requireNumber(json, "wallSeconds");
+    const JsonValue* axes = json.find("axes");
+    if (axes != nullptr && axes->isObject()) {
+        for (const auto& [path, value] : axes->asObject()) {
+            if (!value.isString())
+                fatal("manifest point axis '", path, "' must be a string");
+            point.axes.emplace(path, value.asString());
+        }
+    }
+    return point;
+}
+
+} // namespace
+
+JsonValue
+manifestToJson(const CampaignManifest& manifest)
+{
+    JsonValue::Object obj;
+    obj.emplace("format", JsonValue(std::string("bighouse-campaign-v1")));
+    obj.emplace("campaign", JsonValue(manifest.campaign));
+    obj.emplace("rootSeed", JsonValue(u64ToString(manifest.rootSeed)));
+    JsonValue::Array points;
+    points.reserve(manifest.points.size());
+    for (const ManifestPoint& point : manifest.points)
+        points.push_back(manifestPointToJson(point));
+    obj.emplace("points", JsonValue(std::move(points)));
+    return JsonValue(std::move(obj));
+}
+
+CampaignManifest
+manifestFromJson(const JsonValue& json)
+{
+    const JsonValue* format = json.find("format");
+    if (format == nullptr || !format->isString()
+        || format->asString() != "bighouse-campaign-v1") {
+        fatal("not a BigHouse campaign manifest (missing/unknown "
+              "'format')");
+    }
+    CampaignManifest manifest;
+    const JsonValue* campaign = json.find("campaign");
+    if (campaign == nullptr || !campaign->isString())
+        fatal("campaign manifest missing 'campaign'");
+    manifest.campaign = campaign->asString();
+    manifest.rootSeed = u64FromString(json, "rootSeed");
+    for (const JsonValue& point : requireArray(json, "points"))
+        manifest.points.push_back(manifestPointFromJson(point));
+    return manifest;
+}
+
+void
+writeManifest(const std::string& path, const CampaignManifest& manifest)
+{
+    // Same atomic write-then-rename discipline as checkpoints: a kill
+    // mid-write never corrupts the last good ledger.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            fatal("cannot open ", tmp, " for writing");
+        out << manifestToJson(manifest).dump(2) << "\n";
+        if (!out)
+            fatal("write error on ", tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("cannot rename ", tmp, " to ", path);
+}
+
+CampaignManifest
+readManifest(const std::string& path)
+{
+    return manifestFromJson(parseJsonFile(path));
+}
+
 } // namespace bighouse

@@ -15,7 +15,9 @@
 #define BIGHOUSE_CORE_RESULTS_IO_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "config/json.hh"
@@ -90,6 +92,67 @@ void writeCheckpoint(const std::string& path,
 
 /** Read a checkpoint written by writeCheckpoint(). */
 ParallelCheckpoint readCheckpoint(const std::string& path);
+
+// ---------------------------------------------------------------------
+// Campaign manifest format ("bighouse-campaign-v1")
+// ---------------------------------------------------------------------
+
+/** Lifecycle of one sweep point within a campaign generation. */
+enum class PointStatus
+{
+    Pending,  ///< expanded, no cached result yet
+    Cached,   ///< served from the content-addressed cache
+    Ran,      ///< simulated (and cached) by this generation
+    Failed,   ///< execution raised; no result cached
+};
+
+/** Render a PointStatus as text ("pending", "cached", ...). */
+const char* pointStatusName(PointStatus status);
+
+/** Inverse of pointStatusName(); fatal() on unknown names. */
+PointStatus pointStatusFromName(std::string_view name);
+
+/** One sweep point's ledger entry in a campaign manifest. */
+struct ManifestPoint
+{
+    std::uint64_t index = 0;     ///< position in expansion order
+    std::string key;             ///< canonical content key (config+seed)
+    std::string keyHash;         ///< 16-hex-digit FNV-1a of `key`
+    std::uint64_t seed = 0;      ///< derived per-point root seed
+    std::uint64_t slaves = 0;    ///< 0/1 = serial point; >1 = parallel
+    PointStatus status = PointStatus::Pending;
+    bool converged = false;      ///< valid when a result exists
+    std::uint64_t events = 0;
+    double wallSeconds = 0.0;
+    /// Sweep coordinates: axis path -> rendered value (sorted by path).
+    std::map<std::string, std::string> axes;
+};
+
+/**
+ * The resumable ledger of a campaign: every expanded point, its content
+ * hash (which names its cache entry), and how far execution got. Written
+ * atomically after every point completes, so a killed campaign resumes
+ * by re-expanding and skipping every key the cache already holds.
+ */
+struct CampaignManifest
+{
+    std::string campaign;        ///< campaign name from the spec
+    std::uint64_t rootSeed = 0;  ///< campaign root seed (pre-derivation)
+    std::vector<ManifestPoint> points;  ///< in expansion order
+};
+
+/** Full-fidelity JSON rendering of a manifest. */
+JsonValue manifestToJson(const CampaignManifest& manifest);
+
+/** Inverse of manifestToJson(); fatal() on schema violations. */
+CampaignManifest manifestFromJson(const JsonValue& json);
+
+/** Write a manifest atomically (tmp file + rename). */
+void writeManifest(const std::string& path,
+                   const CampaignManifest& manifest);
+
+/** Read a manifest written by writeManifest(). */
+CampaignManifest readManifest(const std::string& path);
 
 } // namespace bighouse
 

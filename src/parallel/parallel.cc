@@ -64,6 +64,10 @@ ParallelRunner::ParallelRunner(ModelBuilder modelBuilder,
               "disable straggler detection)");
     if (!cfg.checkpointPath.empty() && cfg.checkpointIntervalSeconds <= 0.0)
         fatal("ParallelConfig checkpointIntervalSeconds must be > 0");
+    if (cfg.pool != nullptr && cfg.pool->workerCount() < cfg.slaves)
+        fatal("ParallelConfig pool has ", cfg.pool->workerCount(),
+              " workers for ", cfg.slaves,
+              " slaves; queued slaves would look dead to the watchdog");
 }
 
 namespace {
@@ -458,9 +462,18 @@ ParallelRunner::execute(std::uint64_t rootSeed,
             report.totalEvents = events;
             if (report.status == SlaveStatus::Running)
                 report.status = SlaveStatus::Ok;
+            // Decrement under mtx: the pool-mode completion wait checks
+            // this count under the same lock, so the paired notify can
+            // never slip between its predicate check and its sleep.
+            activeSlaves.fetch_sub(1, std::memory_order_relaxed);
+            // Notify while STILL holding mtx. In pool mode the waiter
+            // may destroy progressCv (it lives in this frame) as soon
+            // as it observes the zero count, and it can only observe it
+            // after this unlock — so the unlock must be this thread's
+            // last touch of the frame. A notify after the unlock would
+            // race with that destruction.
+            progressCv.notify_all();
         }
-        activeSlaves.fetch_sub(1, std::memory_order_relaxed);
-        progressCv.notify_all();
     };
 
     std::vector<std::thread> threads;
@@ -474,8 +487,12 @@ ParallelRunner::execute(std::uint64_t rootSeed,
         for (auto& p : progress)
             p.lastBeat = spawnTime;
     }
-    for (std::size_t s = 0; s < cfg.slaves; ++s)
-        threads.emplace_back(slaveMain, s);
+    for (std::size_t s = 0; s < cfg.slaves; ++s) {
+        if (cfg.pool != nullptr)
+            cfg.pool->submit([&slaveMain, s] { slaveMain(s); });
+        else
+            threads.emplace_back(slaveMain, s);
+    }
 
     // Supervision monitor. Convergence is normally tripped by the slave
     // that publishes the sufficient sample (the condition variable only
@@ -597,6 +614,14 @@ ParallelRunner::execute(std::uint64_t rootSeed,
                 lastCheckpoint = now;
             }
         }
+    }
+    if (cfg.pool != nullptr) {
+        // Pool threads outlive this run; wait for *these* slaves only.
+        // wait_for (not wait) mirrors the monitor loop's tolerance of a
+        // notify landing between predicate check and sleep.
+        std::unique_lock<std::mutex> lock(mtx);
+        while (activeSlaves.load(std::memory_order_relaxed) != 0)
+            progressCv.wait_for(lock, std::chrono::milliseconds(10));
     }
     for (auto& thread : threads)
         thread.join();

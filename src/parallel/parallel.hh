@@ -42,6 +42,7 @@
 #include "base/fault_injection.hh"
 #include "core/results_io.hh"
 #include "core/sqs.hh"
+#include "parallel/slave_pool.hh"
 
 namespace bighouse {
 
@@ -74,6 +75,15 @@ struct ParallelConfig
     bool abandonStragglers = false;
     /// Deterministic fault injection (tests / chaos soaks).
     FaultPlan faults;
+
+    // --- execution substrate ---
+    /// Non-owning. When set, slave simulations run as tasks on this
+    /// shared pool instead of freshly spawned threads — a campaign
+    /// (src/campaign) reuses one pool across every sweep point. The pool
+    /// must have at least `slaves` workers (fewer would let the watchdog
+    /// abandon slaves that were only ever queued). Results are identical
+    /// either way; the pool only changes thread ownership.
+    SlavePool* pool = nullptr;
 
     // --- checkpointing ---
     /// Non-empty -> periodic resumable snapshots are written here (and

@@ -1,0 +1,83 @@
+#include "parallel/slave_pool.hh"
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+SlavePool::SlavePool(std::size_t workers)
+{
+    if (workers == 0)
+        fatal("SlavePool needs at least one worker");
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        threads.emplace_back([this] { workerMain(); });
+}
+
+SlavePool::~SlavePool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    taskReady.notify_all();
+    for (std::thread& thread : threads)
+        thread.join();
+}
+
+void
+SlavePool::submit(std::function<void()> task)
+{
+    if (!task)
+        fatal("SlavePool::submit needs a callable task");
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (stopping)
+            fatal("SlavePool::submit on a pool that is shutting down");
+        queue.push_back(std::move(task));
+    }
+    taskReady.notify_one();
+}
+
+void
+SlavePool::drain()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    allIdle.wait(lock, [this] { return queue.empty() && busy == 0; });
+}
+
+void
+SlavePool::workerMain()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            taskReady.wait(lock,
+                           [this] { return stopping || !queue.empty(); });
+            // Drain the queue even when stopping: destruction must not
+            // drop accepted work (a campaign's last points).
+            if (queue.empty())
+                return;
+            task = std::move(queue.front());
+            queue.pop_front();
+            ++busy;
+        }
+        // Tasks are expected to capture their own failures (supervised
+        // slaves do); an escaped exception must still not take down the
+        // pool and every task queued behind it.
+        try {
+            task();
+        } catch (const std::exception& e) {
+            warn("SlavePool task threw: ", e.what());
+        } catch (...) {
+            warn("SlavePool task threw an unknown exception");
+        }
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            --busy;
+        }
+        allIdle.notify_all();
+    }
+}
+
+} // namespace bighouse

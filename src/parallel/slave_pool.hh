@@ -1,0 +1,71 @@
+/**
+ * @file
+ * SlavePool — a fixed set of long-lived worker threads shared across many
+ * simulation runs.
+ *
+ * The Fig. 3 master/slave protocol is one *run*; a campaign (src/campaign)
+ * is hundreds of runs. Spinning a fresh thread set per run wastes startup
+ * latency and, worse, hides the resource envelope: a 12-point sweep on a
+ * 4-wide pool should never hold more than 4 slave threads alive. The pool
+ * makes that envelope explicit — ParallelRunner dispatches its slave loops
+ * onto a caller-supplied pool (ParallelConfig::pool), and the campaign
+ * scheduler feeds whole serial sweep points through the same threads.
+ *
+ * Tasks are executed FIFO. The pool makes no fairness or affinity
+ * guarantees beyond that; simulation determinism never depends on which
+ * worker runs a task (every task owns its simulation and derives its
+ * seeds from content, not thread identity).
+ */
+
+#ifndef BIGHOUSE_PARALLEL_SLAVE_POOL_HH
+#define BIGHOUSE_PARALLEL_SLAVE_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bighouse {
+
+/** Fixed-width worker-thread pool with a FIFO task queue. */
+class SlavePool
+{
+  public:
+    /** Spawn `workers` threads (>= 1; fatal() on 0). */
+    explicit SlavePool(std::size_t workers);
+
+    /** Drains outstanding tasks, then joins every worker. */
+    ~SlavePool();
+
+    SlavePool(const SlavePool&) = delete;
+    SlavePool& operator=(const SlavePool&) = delete;
+
+    std::size_t workerCount() const { return threads.size(); }
+
+    /**
+     * Enqueue one task. Tasks must not block waiting for later-queued
+     * tasks (FIFO execution on a fixed width would deadlock).
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and every worker is idle. */
+    void drain();
+
+  private:
+    void workerMain();
+
+    std::mutex mtx;
+    std::condition_variable taskReady;  ///< workers wait for work
+    std::condition_variable allIdle;    ///< drain()/dtor wait for quiesce
+    std::deque<std::function<void()>> queue;  ///< guarded by mtx
+    std::size_t busy = 0;                     ///< tasks mid-execution
+    bool stopping = false;                    ///< guarded by mtx
+    std::vector<std::thread> threads;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_PARALLEL_SLAVE_POOL_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * bh_campaign — declarative parameter sweeps over one shared slave pool.
+ *
+ * Usage:
+ *   bh_campaign run <campaign.json> [--seed N] [--dry-run] [--lax]
+ *                   [--max-points N] [--csv]
+ *   bh_campaign status <campaign.json> [--lax] [--csv]
+ *   bh_campaign export <campaign.json> [--lax] [--csv | --json]
+ *                      [--out FILE]
+ *
+ * `run` expands the campaign, probes the content-addressed result cache,
+ * and simulates only the missing points (across one shared slave pool);
+ * the manifest under the cache directory is rewritten after every point,
+ * so a killed campaign resumes by simply running again. `--dry-run`
+ * prints the plan — points, seeds, cache hits — without simulating or
+ * touching the cache. `--max-points N` stops after N uncached points
+ * (the deterministic stand-in for an interrupted sweep). `status` shows
+ * the per-point cache state; `export` emits every cached result as CSV
+ * (default) or JSON, metrics in sorted, stable order.
+ *
+ * Exit status: 0 when every point has a converged-or-cached result, 1
+ * when any point is pending or failed, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "base/logging.hh"
+#include "campaign/campaign.hh"
+#include "campaign/runner.hh"
+#include "config/config.hh"
+
+using namespace bighouse;
+
+namespace {
+
+void
+usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s run <campaign.json> [--seed N] [--dry-run] "
+                 "[--lax] [--max-points N] [--csv]\n"
+                 "       %s status <campaign.json> [--lax] [--csv]\n"
+                 "       %s export <campaign.json> [--lax] "
+                 "[--csv | --json] [--out FILE]\n",
+                 argv0, argv0, argv0);
+    std::exit(2);
+}
+
+void
+printSummary(const CampaignReport& report, std::size_t points)
+{
+    std::printf("campaign %s: %zu point(s) — %zu cached, %zu ran, "
+                "%zu failed, %zu pending\n",
+                report.complete() ? "complete" : "INCOMPLETE", points,
+                report.cached, report.ran, report.failed,
+                report.pending);
+}
+
+void
+emit(const std::string& text, const char* outPath)
+{
+    if (outPath == nullptr) {
+        std::printf("%s", text.c_str());
+        return;
+    }
+    std::ofstream out(outPath);
+    if (!out)
+        fatal("cannot open ", outPath, " for writing");
+    out << text;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 3)
+        usage(argv[0]);
+    const std::string command = argv[1];
+    const char* configPath = nullptr;
+    const char* outPath = nullptr;
+    CampaignOptions options;
+    bool csv = false;
+    bool json = false;
+
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            options.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--max-points") == 0
+                   && i + 1 < argc) {
+            options.maxPoints = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--dry-run") == 0) {
+            options.dryRun = true;
+        } else if (std::strcmp(argv[i], "--lax") == 0) {
+            options.strict = false;
+        } else if (std::strcmp(argv[i], "--csv") == 0) {
+            csv = true;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
+        } else if (argv[i][0] == '-') {
+            usage(argv[0]);
+        } else if (configPath == nullptr) {
+            configPath = argv[i];
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (configPath == nullptr || (csv && json))
+        usage(argv[0]);
+
+    const Config config = Config::fromFile(configPath);
+    CampaignSpec spec = campaignSpecFromConfig(config, options.strict);
+
+    if (command == "run") {
+        CampaignRunner runner(std::move(spec), options);
+        const CampaignReport report = runner.run();
+        const TextTable table =
+            campaignStatusTable(runner.points(), report);
+        std::printf("%s", csv ? table.toCsv().c_str()
+                              : table.toText().c_str());
+        if (options.dryRun) {
+            std::printf("dry run: %zu point(s), %zu cache hit(s), "
+                        "%zu to simulate — nothing simulated\n",
+                        runner.points().size(), report.cached,
+                        report.pending);
+            return 0;
+        }
+        printSummary(report, runner.points().size());
+        for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+            const PointOutcome& outcome = report.outcomes[i];
+            if (outcome.status == PointStatus::Failed)
+                std::printf("point %zu failed: %s\n", i,
+                            outcome.error.c_str());
+        }
+        return report.complete() ? 0 : 1;
+    }
+
+    if (command == "status") {
+        options.dryRun = true;
+        CampaignRunner runner(std::move(spec), options);
+        const CampaignReport report = runner.plan();
+        const TextTable table =
+            campaignStatusTable(runner.points(), report);
+        std::printf("%s", csv ? table.toCsv().c_str()
+                              : table.toText().c_str());
+        printSummary(report, runner.points().size());
+        return report.complete() ? 0 : 1;
+    }
+
+    if (command == "export") {
+        options.dryRun = true;
+        CampaignRunner runner(std::move(spec), options);
+        const CampaignReport report = runner.plan();
+        if (json) {
+            emit(campaignExportJson(runner.points(), report).dump(2)
+                     + "\n",
+                 outPath);
+        } else {
+            emit(campaignExportTable(runner.points(), report).toCsv(),
+                 outPath);
+        }
+        return report.complete() ? 0 : 1;
+    }
+
+    usage(argv[0]);
+    return 2;
+}

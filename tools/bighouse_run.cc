@@ -9,6 +9,11 @@
  *                [--replications R] [--json out.json] [--csv]
  *                [--min-healthy Q] [--watchdog SECONDS]
  *                [--checkpoint file.json] [--resume file.json]
+ *                [--dry-run] [--lax]
+ *
+ * --dry-run parses and validates the config, prints what would run, and
+ * exits without simulating. Config keys outside the known schema are a
+ * hard error unless --lax is given.
  *
  * With --slaves K the measurement phase is split across K in-process
  * slave simulations with unique seeds and merged histograms (Fig. 3).
@@ -47,7 +52,8 @@ usage(const char* argv0)
                  "usage: %s <config.json> [--seed N] [--slaves K] "
                  "[--replications R] [--json out.json] [--csv] "
                  "[--min-healthy Q] [--watchdog SECONDS] "
-                 "[--checkpoint file.json] [--resume file.json]\n",
+                 "[--checkpoint file.json] [--resume file.json] "
+                 "[--dry-run] [--lax]\n",
                  argv0);
     std::exit(2);
 }
@@ -57,7 +63,9 @@ printEstimates(const std::vector<MetricEstimate>& estimates, bool csv)
 {
     TextTable table({"metric", "mean", "ci-halfwidth", "p-quantile",
                      "quantile value", "quantile CI", "samples", "lag"});
-    for (const MetricEstimate& est : estimates) {
+    // Name-sorted, so reports diff cleanly regardless of metric
+    // registration order.
+    for (const MetricEstimate& est : sortedEstimates(estimates)) {
         if (est.quantiles.empty()) {
             table.addRow({est.name, formatG(est.mean, 6),
                           formatG(est.meanHalfWidth, 4), "-", "-", "-",
@@ -66,12 +74,15 @@ printEstimates(const std::vector<MetricEstimate>& estimates, bool csv)
             continue;
         }
         for (const QuantileEstimate& qe : est.quantiles) {
+            std::string ci = "[";
+            ci += formatG(qe.lower, 5);
+            ci += ", ";
+            ci += formatG(qe.upper, 5);
+            ci += "]";
             table.addRow({est.name, formatG(est.mean, 6),
                           formatG(est.meanHalfWidth, 4),
                           formatG(qe.q, 4), formatG(qe.value, 6),
-                          "[" + formatG(qe.lower, 5) + ", "
-                              + formatG(qe.upper, 5) + "]",
-                          std::to_string(est.accepted),
+                          std::move(ci), std::to_string(est.accepted),
                           std::to_string(est.lag)});
         }
     }
@@ -94,6 +105,8 @@ main(int argc, char** argv)
     double watchdogSeconds = 0.0;
     std::size_t replications = 0;
     bool csv = false;
+    bool dryRun = false;
+    bool strict = true;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
@@ -119,6 +132,10 @@ main(int argc, char** argv)
             jsonPath = argv[++i];
         } else if (std::strcmp(argv[i], "--csv") == 0) {
             csv = true;
+        } else if (std::strcmp(argv[i], "--dry-run") == 0) {
+            dryRun = true;
+        } else if (std::strcmp(argv[i], "--lax") == 0) {
+            strict = false;
         } else if (argv[i][0] == '-') {
             usage(argv[0]);
         } else if (configPath == nullptr) {
@@ -140,7 +157,32 @@ main(int argc, char** argv)
               "runs; add --slaves K");
 
     const Config config = Config::fromFile(configPath);
-    ExperimentSpec spec = Experiment::specFromConfig(config);
+    ExperimentSpec spec = Experiment::specFromConfig(config, strict);
+
+    if (dryRun) {
+        const char* model = "fcfs";
+        switch (spec.serverModel) {
+          case ServerModel::Fcfs: model = "fcfs"; break;
+          case ServerModel::ProcessorSharing: model = "ps"; break;
+          case ServerModel::DreamWeaver: model = "dreamweaver"; break;
+          case ServerModel::PowerNap: model = "powernap"; break;
+        }
+        std::printf("dry run: %s\n", configPath);
+        std::printf("  cluster: %zu x %u-core %s server(s), "
+                    "loadFactor %.6g\n",
+                    spec.servers, spec.coresPerServer, model,
+                    spec.loadFactor);
+        std::printf("  sqs: accuracy %.6g, confidence %.6g, seed %llu, "
+                    "%s\n",
+                    spec.sqs.accuracy, spec.sqs.confidence,
+                    static_cast<unsigned long long>(seed),
+                    slaves == 0 ? "serial"
+                                : "parallel (see --slaves)");
+        std::printf("  capping: %s\n",
+                    spec.capping.has_value() ? "enabled" : "none");
+        std::printf("validated; nothing simulated\n");
+        return 0;
+    }
 
     if (replications > 0) {
         const Experiment experiment(std::move(spec));
