@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "base/build_info.hh"
 #include "base/random.hh"
 #include "config/json.hh"
 #include "core/experiment.hh"
@@ -275,6 +276,7 @@ main(int argc, char** argv)
             printUsage();
             return 0;
         } else {
+            // bh-lint: allow(raw-stderr) CLI front-end, not library code
             std::fprintf(stderr, "bh_perf: unknown argument '%s'\n",
                          arg.c_str());
             printUsage();
@@ -322,6 +324,7 @@ main(int argc, char** argv)
         results.push_back(toJson(result));
     }
     if (!ranAny) {
+        // bh-lint: allow(raw-stderr) CLI front-end, not library code
         std::fprintf(stderr, "bh_perf: no scenario matched\n");
         return 2;
     }
@@ -329,10 +332,21 @@ main(int argc, char** argv)
     JsonValue::Object doc;
     doc["schema"] = JsonValue("bighouse-bench-v1");
     doc["quick"] = JsonValue(quick);
+    // Same key set as the telemetry document's "build" object, so every
+    // provenance surface agrees byte for byte.
+    const BuildInfo& build = buildInfo();
+    JsonValue::Object buildObj;
+    buildObj["compiler"] = JsonValue(build.compiler);
+    buildObj["flags"] = JsonValue(build.flags);
+    buildObj["gitDescribe"] = JsonValue(build.gitDescribe);
+    buildObj["sanitizer"] = JsonValue(build.sanitizer);
+    buildObj["type"] = JsonValue(build.buildType);
+    doc["build"] = JsonValue(std::move(buildObj));
     doc["scenarios"] = JsonValue(std::move(results));
 
     std::ofstream out(outPath);
     if (!out) {
+        // bh-lint: allow(raw-stderr) CLI front-end, not library code
         std::fprintf(stderr, "bh_perf: cannot write '%s'\n",
                      outPath.c_str());
         return 1;

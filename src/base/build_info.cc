@@ -1,0 +1,48 @@
+#include "base/build_info.hh"
+
+#include "bighouse_build_stamp.hh"
+
+namespace bighouse {
+
+const BuildInfo&
+buildInfo()
+{
+    static const BuildInfo info = [] {
+        BuildInfo stamped;
+        stamped.gitDescribe = BIGHOUSE_BUILD_GIT_DESCRIBE;
+        stamped.buildType = BIGHOUSE_BUILD_TYPE;
+        stamped.compiler = BIGHOUSE_BUILD_COMPILER;
+        stamped.flags = BIGHOUSE_BUILD_CXX_FLAGS;
+        stamped.sanitizer = BIGHOUSE_BUILD_SANITIZE;
+        auto fallback = [](std::string& value, const char* instead) {
+            if (value.empty())
+                value = instead;
+        };
+        fallback(stamped.gitDescribe, "unknown");
+        fallback(stamped.buildType, "unspecified");
+        fallback(stamped.compiler, "unknown");
+        fallback(stamped.flags, "default");
+        fallback(stamped.sanitizer, "none");
+        return stamped;
+    }();
+    return info;
+}
+
+std::string
+buildInfoLine(std::string_view tool)
+{
+    const BuildInfo& info = buildInfo();
+    std::string line(tool);
+    line += " (bighouse ";
+    line += info.gitDescribe;
+    line += ", ";
+    line += info.compiler;
+    line += ", ";
+    line += info.buildType;
+    line += ", sanitizer ";
+    line += info.sanitizer;
+    line += ")";
+    return line;
+}
+
+} // namespace bighouse

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Build provenance: which sources, compiler, flags, and sanitizer mode
+ * produced this binary. CMake stamps the values into a generated header
+ * (src/base/build_stamp.hh.in) at configure time; this accessor is the
+ * only consumer, so every surface that reports provenance — the four
+ * CLI --version flags, `bighouse-telemetry-v1` documents, and the
+ * `bighouse-bench-v1` reports — agrees byte for byte.
+ */
+
+#ifndef BIGHOUSE_BASE_BUILD_INFO_HH
+#define BIGHOUSE_BASE_BUILD_INFO_HH
+
+#include <string>
+#include <string_view>
+
+namespace bighouse {
+
+/** The stamped build facts (all plain strings, never empty). */
+struct BuildInfo
+{
+    std::string gitDescribe;  ///< `git describe --always --dirty` or "unknown"
+    std::string buildType;    ///< CMAKE_BUILD_TYPE (e.g. "Release")
+    std::string compiler;     ///< compiler id + version
+    std::string flags;        ///< CXX flags + hardening options
+    std::string sanitizer;    ///< BIGHOUSE_SANITIZE mode or "none"
+};
+
+/** The build this binary was produced by (stamped at configure time). */
+const BuildInfo& buildInfo();
+
+/**
+ * One-line rendering for --version output:
+ * "<tool> (bighouse <describe>, <compiler>, <type>, sanitizer <mode>)".
+ */
+std::string buildInfoLine(std::string_view tool);
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_BASE_BUILD_INFO_HH

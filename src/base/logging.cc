@@ -2,12 +2,42 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace bighouse {
 
 namespace {
 
 LogLevel globalLevel = LogLevel::Info;
+
+/// Per-thread tag included in every emitted line. A fixed char buffer
+/// (not std::string) so reading it during thread teardown is safe.
+constexpr std::size_t kTagCapacity = 32;
+thread_local char threadTag[kTagCapacity] = {0};
+
+/**
+ * Render one complete log line ("[tag] (thread-tag) message\n") and hand
+ * it to stderr as a SINGLE fwrite. stdio locks the stream per call, so
+ * one write is one atomic line: concurrent SlavePool workers can no
+ * longer interleave fragments of each other's messages.
+ */
+void
+writeLine(std::string_view tag, const std::string& message)
+{
+    std::string line;
+    line.reserve(tag.size() + message.size() + kTagCapacity + 8);
+    line += '[';
+    line += tag;
+    line += "] ";
+    if (threadTag[0] != '\0') {
+        line += '(';
+        line += threadTag;
+        line += ") ";
+    }
+    line += message;
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
 
 } // namespace
 
@@ -23,6 +53,34 @@ logLevel()
     return globalLevel;
 }
 
+void
+setThreadLogTag(std::string_view tag)
+{
+    const std::size_t n = tag.size() < kTagCapacity - 1
+                              ? tag.size()
+                              : kTagCapacity - 1;
+    if (n != 0)
+        std::memcpy(threadTag, tag.data(), n);
+    threadTag[n] = '\0';
+}
+
+std::string_view
+threadLogTag()
+{
+    return {threadTag};
+}
+
+ScopedLogTag::ScopedLogTag(std::string_view tag)
+    : previous(threadLogTag())
+{
+    setThreadLogTag(tag);
+}
+
+ScopedLogTag::~ScopedLogTag()
+{
+    setThreadLogTag(previous);
+}
+
 namespace detail {
 
 void
@@ -30,21 +88,20 @@ emit(LogLevel level, std::string_view tag, const std::string& message)
 {
     if (static_cast<int>(level) < static_cast<int>(globalLevel))
         return;
-    std::fprintf(stderr, "[%.*s] %s\n", static_cast<int>(tag.size()),
-                 tag.data(), message.c_str());
+    writeLine(tag, message);
 }
 
 void
 fatalExit(const std::string& message)
 {
-    std::fprintf(stderr, "[fatal] %s\n", message.c_str());
+    writeLine("fatal", message);
     std::exit(1);
 }
 
 void
 panicAbort(const std::string& message)
 {
-    std::fprintf(stderr, "[panic] %s\n", message.c_str());
+    writeLine("panic", message);
     std::abort();
 }
 

@@ -32,6 +32,30 @@ void setLogLevel(LogLevel level);
 /** Current global verbosity threshold. */
 LogLevel logLevel();
 
+/**
+ * Tag every log line emitted by the calling thread, e.g. "slave-3" or
+ * "pool-0", so interleaved output from SlavePool workers and parallel
+ * slaves stays attributable. Pass "" to clear. Tags longer than 31
+ * characters are truncated.
+ */
+void setThreadLogTag(std::string_view tag);
+
+/** The calling thread's current log tag ("" when untagged). */
+std::string_view threadLogTag();
+
+/** RAII thread log tag: sets on construction, restores on destruction. */
+class ScopedLogTag
+{
+  public:
+    explicit ScopedLogTag(std::string_view tag);
+    ~ScopedLogTag();
+    ScopedLogTag(const ScopedLogTag&) = delete;
+    ScopedLogTag& operator=(const ScopedLogTag&) = delete;
+
+  private:
+    std::string previous;
+};
+
 namespace detail {
 
 /** Emit one formatted log line to stderr if `level` passes the threshold. */

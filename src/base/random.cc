@@ -14,7 +14,16 @@ rotl(std::uint64_t x, int k)
     return (x << k) | (x >> (64 - k));
 }
 
+/// Per-thread draw tally; see threadRngDraws() in random.hh.
+thread_local std::uint64_t tlsDrawCount = 0;
+
 } // namespace
+
+std::uint64_t
+threadRngDraws()
+{
+    return tlsDrawCount;
+}
 
 Rng::Rng(std::uint64_t seed)
     : pendingGaussian(std::nan(""))
@@ -31,6 +40,7 @@ Rng::Rng(std::uint64_t seed)
 std::uint64_t
 Rng::next()
 {
+    ++tlsDrawCount;
     const std::uint64_t result = rotl(s[0] + s[3], 23) + s[0];
     const std::uint64_t t = s[1] << 17;
     s[2] ^= s[0];

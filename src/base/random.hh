@@ -98,6 +98,16 @@ class Rng
     double pendingGaussian;
 };
 
+/**
+ * Raw Rng draws made by the calling thread since it started (every
+ * Rng::next() across every stream the thread touches). A plain
+ * thread_local counter: one register increment per draw, no atomics, no
+ * branches — cheap enough to stay on unconditionally, and exact for the
+ * telemetry registry because each simulation instance runs on one
+ * thread.
+ */
+std::uint64_t threadRngDraws();
+
 } // namespace bighouse
 
 #endif // BIGHOUSE_BASE_RANDOM_HH

@@ -30,7 +30,11 @@ recount(CampaignReport& report)
     report.cached = report.ran = report.failed = report.pending = 0;
     for (const PointOutcome& outcome : report.outcomes) {
         switch (outcome.status) {
+          // Running counts as pending: it has no result yet, and a
+          // report is only complete() once every Running point resolved
+          // to Cached/Ran/Failed (terminal totals never change).
           case PointStatus::Pending: ++report.pending; break;
+          case PointStatus::Running: ++report.pending; break;
           case PointStatus::Cached: ++report.cached; break;
           case PointStatus::Ran: ++report.ran; break;
           case PointStatus::Failed: ++report.failed; break;
@@ -240,11 +244,20 @@ CampaignRunner::run()
         report.outcomes[index] = std::move(outcome);
         recount(report);
         writeManifest(manifestPath(), buildManifest(report));
+        if (opts.progress)
+            opts.progress(report, false);
     };
 
     {
         std::lock_guard<std::mutex> lock(ledger);
+        // Points this invocation will execute show as Running in the
+        // manifest and the progress surface until they finish.
+        for (const std::size_t index : misses)
+            report.outcomes[index].status = PointStatus::Running;
+        recount(report);
         writeManifest(manifestPath(), buildManifest(report));
+        if (opts.progress)
+            opts.progress(report, false);
     }
 
     // One shared pool for the whole campaign: serial points fan out
@@ -334,6 +347,8 @@ CampaignRunner::run()
         std::chrono::duration<double>(std::chrono::steady_clock::now()
                                       - start)
             .count();
+    if (opts.progress)
+        opts.progress(report, true);
     return report;
 }
 

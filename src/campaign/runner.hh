@@ -31,6 +31,7 @@
 #define BIGHOUSE_CAMPAIGN_RUNNER_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,6 +41,8 @@
 #include "core/results_io.hh"
 
 namespace bighouse {
+
+struct CampaignReport;
 
 /** Execution knobs (CLI flags, test harness hooks). */
 struct CampaignOptions
@@ -54,6 +57,12 @@ struct CampaignOptions
     std::size_t maxPoints = 0;
     /// Override the spec's campaign root seed (the CLI's --seed).
     std::optional<std::uint64_t> seed;
+    /// Live progress surface (the CLI's --status-file / TTY line):
+    /// called under the runner's ledger lock with the current report
+    /// after scheduling (points marked Running) and after every point
+    /// completes; `terminal` is true exactly once, for the final report.
+    /// Keep it quick — point workers block on the ledger while it runs.
+    std::function<void(const CampaignReport&, bool terminal)> progress;
 };
 
 /** What happened to one sweep point this invocation. */

@@ -297,6 +297,17 @@ Experiment::run(std::uint64_t seed) const
     return sim.run();
 }
 
+SqsResult
+Experiment::run(std::uint64_t seed,
+                const std::function<void(SqsSimulation&)>& instrument) const
+{
+    SqsSimulation sim(spec.sqs, seed);
+    buildInto(sim);
+    if (instrument)
+        instrument(sim);
+    return sim.run();
+}
+
 const std::vector<std::string_view>&
 Experiment::configKeys()
 {

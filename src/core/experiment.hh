@@ -110,6 +110,17 @@ class Experiment
     /** Build a fresh simulation, run to convergence, return the result. */
     SqsResult run(std::uint64_t seed) const;
 
+    /**
+     * Like run(seed), but invokes `instrument` on the fully built
+     * simulation before the event loop starts — the seam the
+     * observability layer uses to attach trace buffers, batch observers
+     * and convergence recorders. The instrument must not perturb model
+     * state or RNG streams if bit-identical results are expected.
+     */
+    SqsResult run(std::uint64_t seed,
+                  const std::function<void(SqsSimulation&)>& instrument)
+        const;
+
     const ExperimentSpec& specification() const { return spec; }
 
   private:

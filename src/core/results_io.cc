@@ -350,6 +350,7 @@ pointStatusName(PointStatus status)
 {
     switch (status) {
       case PointStatus::Pending: return "pending";
+      case PointStatus::Running: return "running";
       case PointStatus::Cached: return "cached";
       case PointStatus::Ran: return "ran";
       case PointStatus::Failed: return "failed";
@@ -362,6 +363,8 @@ pointStatusFromName(std::string_view name)
 {
     if (name == "pending")
         return PointStatus::Pending;
+    if (name == "running")
+        return PointStatus::Running;
     if (name == "cached")
         return PointStatus::Cached;
     if (name == "ran")

@@ -101,6 +101,7 @@ ParallelCheckpoint readCheckpoint(const std::string& path);
 enum class PointStatus
 {
     Pending,  ///< expanded, no cached result yet
+    Running,  ///< scheduled by this generation, not yet finished
     Cached,   ///< served from the content-addressed cache
     Ran,      ///< simulated (and cached) by this generation
     Failed,   ///< execution raised; no result cached

@@ -76,6 +76,12 @@ SqsSimulation::holdModel(std::shared_ptr<void> m)
     model.push_back(std::move(m));
 }
 
+void
+SqsSimulation::setBatchObserver(BatchObserver observer)
+{
+    batchObserver = std::move(observer);
+}
+
 std::uint64_t
 SqsSimulation::runBatch(std::uint64_t events)
 {
@@ -107,6 +113,8 @@ SqsSimulation::run()
     while (true) {
         const std::uint64_t ran_now = sim.run(cfg.batchEvents);
         executed += ran_now;
+        if (batchObserver)
+            batchObserver(*this, executed);
         // Convergence cannot hold before the global warm-up gate opens
         // (accepted counts are zero), so skip the all-metrics poll for
         // the warm-up batches; each sample already flowed through the

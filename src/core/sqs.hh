@@ -91,9 +91,25 @@ class SqsSimulation
     SqsSimulation(SqsConfig config, std::uint64_t seed);
 
     Engine& engine() { return sim; }
+    const Engine& engine() const { return sim; }
     StatsCollection& stats() { return collection; }
+    const StatsCollection& stats() const { return collection; }
     Rng& rootRng() { return root; }
     const SqsConfig& config() const { return cfg; }
+
+    /**
+     * Observer invoked after every batch of run() with (simulation,
+     * events executed so far). Runs between batches — never inside event
+     * callbacks — so it may inspect engine and stats freely; it must not
+     * mutate them. Used by the observability layer (telemetry sampling,
+     * convergence recording). Empty by default: the batch loop pays one
+     * bool test per 20k events when no observer is installed.
+     */
+    using BatchObserver =
+        std::function<void(const SqsSimulation&, std::uint64_t)>;
+
+    /** Install (or clear, with {}) the batch-boundary observer. */
+    void setBatchObserver(BatchObserver observer);
 
     /** A MetricSpec pre-filled with this run's configured defaults. */
     MetricSpec defaultMetricSpec(std::string name) const;
@@ -131,6 +147,7 @@ class SqsSimulation
     StatsCollection collection;
     Rng root;
     std::vector<std::shared_ptr<void>> model;
+    BatchObserver batchObserver;
     bool ran = false;
 };
 

@@ -1,0 +1,114 @@
+#include "obs/convergence.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "core/sqs.hh"
+#include "obs/status.hh"
+#include "stats/collection.hh"
+
+namespace bighouse {
+
+void
+ConvergenceRecorder::observe(const StatsCollection& stats,
+                             std::uint64_t events)
+{
+    if (!samples.empty()) {
+        const std::uint64_t last = samples.back().first;
+        if (events == last)
+            return;  // duplicate boundary (e.g. drained batch)
+        if (cadence > 0 && events < last + cadence)
+            return;
+    }
+    samples.emplace_back(events, stats.estimates());
+}
+
+void
+ConvergenceRecorder::attachTo(SqsSimulation& sim)
+{
+    sim.setBatchObserver(
+        [this](const SqsSimulation& s, std::uint64_t events) {
+            observe(s.stats(), events);
+        });
+}
+
+std::string
+ConvergenceRecorder::bottleneck() const
+{
+    if (samples.empty())
+        return "";
+    std::string worst;
+    std::uint64_t worstDeficit = 0;
+    for (const MetricEstimate& estimate : samples.back().second) {
+        if (estimate.converged)
+            continue;
+        // required can trail accepted transiently (the estimate of the
+        // requirement sharpens as the sample grows); clamp to zero and
+        // still surface the metric — unconverged with no deficit means
+        // the convergence poll simply has not caught up.
+        const std::uint64_t deficit =
+            estimate.required > estimate.accepted
+                ? estimate.required - estimate.accepted
+                : 0;
+        if (worst.empty() || deficit > worstDeficit) {
+            worst = estimate.name;
+            worstDeficit = deficit;
+        }
+    }
+    return worst;
+}
+
+JsonValue
+ConvergenceRecorder::toJson() const
+{
+    // name -> sample array; std::map keeps metrics name-sorted.
+    std::map<std::string, JsonValue::Array> series;
+    for (const auto& [events, estimates] : samples) {
+        for (const MetricEstimate& estimate : estimates) {
+            JsonValue::Object point;
+            point.emplace("events",
+                          JsonValue(static_cast<double>(events)));
+            point.emplace("phase", JsonValue(std::string(
+                                       phaseName(estimate.phase))));
+            point.emplace("converged", JsonValue(estimate.converged));
+            point.emplace("accepted", JsonValue(static_cast<double>(
+                                          estimate.accepted)));
+            point.emplace("offered", JsonValue(static_cast<double>(
+                                         estimate.offered)));
+            point.emplace("required", JsonValue(static_cast<double>(
+                                          estimate.required)));
+            point.emplace("lag", JsonValue(static_cast<double>(
+                                     estimate.lag)));
+            point.emplace("mean", JsonValue(estimate.mean));
+            point.emplace("meanHalfWidth",
+                          JsonValue(estimate.meanHalfWidth));
+            point.emplace("relativeHalfWidth",
+                          JsonValue(estimate.relativeHalfWidth));
+            series[estimate.name].emplace_back(std::move(point));
+        }
+    }
+    JsonValue::Object metrics;
+    for (auto& [name, points] : series) {
+        JsonValue::Object metric;
+        metric.emplace("samples", JsonValue(std::move(points)));
+        metrics.emplace(name, JsonValue(std::move(metric)));
+    }
+    JsonValue::Object root;
+    root.emplace("format",
+                 JsonValue(std::string("bighouse-convergence-v1")));
+    root.emplace("cadenceEvents",
+                 JsonValue(static_cast<double>(cadence)));
+    root.emplace("sampleCount",
+                 JsonValue(static_cast<double>(samples.size())));
+    root.emplace("bottleneck", JsonValue(bottleneck()));
+    root.emplace("metrics", JsonValue(std::move(metrics)));
+    return JsonValue(std::move(root));
+}
+
+void
+ConvergenceRecorder::write(const std::string& path) const
+{
+    writeFileAtomic(path, toJson().dump(2) + "\n");
+}
+
+} // namespace bighouse

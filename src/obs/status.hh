@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Live status surfaces: machine-readable `--status-file` documents and
+ * one-line TTY progress rendering for the CLIs.
+ *
+ * A status file is a single `bighouse-status-v1` JSON document rewritten
+ * atomically (write-then-rename, like checkpoints and manifests) on
+ * every progress tick — a watcher process always reads a complete,
+ * parseable document, never a torn write. The `kind` field selects the
+ * payload shape: "serial" (one simulation's metric state), "parallel"
+ * (per-slave supervision state), or "campaign" (per-point lifecycle).
+ * The terminal rewrite sets `"terminal": true`, so `jq .terminal` is the
+ * liveness probe CI uses.
+ */
+
+#ifndef BIGHOUSE_OBS_STATUS_HH
+#define BIGHOUSE_OBS_STATUS_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/runner.hh"
+#include "config/json.hh"
+#include "parallel/parallel.hh"
+#include "stats/metric.hh"
+
+namespace bighouse {
+
+/**
+ * Write `text` to `path` atomically: staged to `path + ".tmp"`, then
+ * renamed over the target. fatal() on I/O errors.
+ */
+void writeFileAtomic(const std::string& path, std::string_view text);
+
+/** Serialize (2-space indent, trailing newline) and write atomically. */
+void writeStatusFile(const std::string& path, const JsonValue& status);
+
+/**
+ * Status document for a serial run in flight (or finished).
+ * @param termination terminationReasonName(...) once decided, nullptr
+ *        while the run is still going (serialized as JSON null).
+ */
+JsonValue serialStatusJson(const std::vector<MetricEstimate>& estimates,
+                           std::uint64_t events, double elapsedSeconds,
+                           bool terminal, bool converged,
+                           const char* termination);
+
+/**
+ * Status document for a parallel run. Slave states render as the
+ * supervision status name ("running", "ok", "failed", "timed-out",
+ * "straggler"); on the terminal snapshot of a converged run, Ok slaves
+ * render as "converged".
+ */
+JsonValue parallelStatusJson(const ParallelProgressSnapshot& snapshot,
+                             bool terminal);
+
+/**
+ * Status document for a campaign. Point states: "cache-hit", "ran",
+ * "failed", "running", "pending".
+ */
+JsonValue campaignStatusJson(const std::vector<SweepPoint>& points,
+                             const CampaignReport& report, bool terminal);
+
+/** One-line TTY progress: worst metric's accepted/required and events. */
+std::string serialProgressLine(
+    const std::vector<MetricEstimate>& estimates, std::uint64_t events);
+
+/** One-line TTY progress for a parallel snapshot. */
+std::string parallelProgressLine(const ParallelProgressSnapshot& snapshot);
+
+/** One-line TTY progress for a campaign report. */
+std::string campaignProgressLine(const CampaignReport& report);
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_OBS_STATUS_HH

@@ -147,10 +147,22 @@ ParallelRunner::execute(std::uint64_t rootSeed,
     Rng seeder(rootSeed);
     SqsSimulation master(cfg.sqs, seeder.next());
     builder(master);
+    if (cfg.instrument)
+        cfg.instrument(master, 0, true);
     const std::size_t metricCount = master.stats().metricCount();
     BH_ASSERT(metricCount > 0, "parallel run with no metrics");
     result.masterCalibrationEvents =
         runToMeasurement(master, cfg.sqs.batchEvents, nullptr);
+    if (cfg.progress) {
+        // Calibration-phase snapshot: the slaves exist only on paper yet.
+        ParallelProgressSnapshot snap;
+        snap.phase = "calibration";
+        snap.healthySlaves = cfg.slaves;
+        snap.totalEvents = result.masterCalibrationEvents;
+        snap.elapsedSeconds = secondsSince(wallStart, clock::now());
+        snap.slaves.resize(cfg.slaves);
+        cfg.progress(snap);
+    }
 
     // The broadcast payload: one serialized scheme per metric (the same
     // bytes a networked deployment would ship to remote slaves).
@@ -367,9 +379,32 @@ ParallelRunner::execute(std::uint64_t rootSeed,
         return cp;
     };
 
+    // Runs under mtx: live view of the slave phase for cfg.progress.
+    auto buildProgress = [&](clock::time_point now) {
+        ParallelProgressSnapshot snap;
+        snap.phase = "measurement";
+        snap.healthySlaves = healthyCount();
+        snap.totalEvents = publishedEvents();
+        snap.elapsedSeconds = secondsSince(wallStart, now);
+        snap.slaves.resize(cfg.slaves);
+        for (std::size_t s = 0; s < cfg.slaves; ++s) {
+            snap.slaves[s].status = result.slaveReports[s].status;
+            snap.slaves[s].abandoned = result.slaveReports[s].abandoned;
+            snap.slaves[s].events = progress[s].events;
+            snap.slaves[s].secondsSinceBeat =
+                secondsSince(progress[s].lastBeat, now);
+        }
+        return snap;
+    };
+
     std::atomic<std::size_t> activeSlaves{cfg.slaves};
     auto slaveMain = [&](std::size_t index) {
+        // Tag this thread's log lines so interleaved slave output is
+        // attributable (satellite of the single-write logging fix).
+        ScopedLogTag logTag("slave-" + std::to_string(index));
         SqsSimulation& sim = *slaves[index];
+        if (cfg.instrument)
+            cfg.instrument(sim, index, false);
         SlaveReport& report = result.slaveReports[index];
         std::uint64_t events = 0;
         auto cancelled = [&]() {
@@ -457,6 +492,11 @@ ParallelRunner::execute(std::uint64_t rootSeed,
             progress[index].histograms.assign(metricCount, std::string());
             progress[index].measured = false;
         }
+        // Telemetry hook before the active-count decrement: in pool mode
+        // the waiter may tear down this frame (cfg, slaves) the moment it
+        // observes the zero count. The sim is quiescent here.
+        if (cfg.onSlaveDone)
+            cfg.onSlaveDone(sim, index);
         {
             std::lock_guard<std::mutex> lock(mtx);
             report.totalEvents = events;
@@ -501,6 +541,7 @@ ParallelRunner::execute(std::uint64_t rootSeed,
     {
         std::unique_lock<std::mutex> lock(mtx);
         auto lastCheckpoint = wallStart;
+        auto lastProgress = wallStart;
         while (!reasonSet) {
             if (activeSlaves.load(std::memory_order_relaxed) == 0)
                 break;
@@ -612,6 +653,14 @@ ParallelRunner::execute(std::uint64_t rootSeed,
                        >= cfg.checkpointIntervalSeconds) {
                 writeCheckpoint(cfg.checkpointPath, buildCheckpoint());
                 lastCheckpoint = now;
+            }
+            if (cfg.progress
+                && secondsSince(lastProgress, now)
+                       >= cfg.progressIntervalSeconds) {
+                // Under mtx, like the checkpoint write above: the
+                // callback is a quick status-file rewrite.
+                cfg.progress(buildProgress(now));
+                lastProgress = now;
             }
         }
     }
@@ -743,6 +792,24 @@ ParallelRunner::execute(std::uint64_t rootSeed,
     result.wallSeconds = std::chrono::duration<double>(
                              clock::now() - wallStart)
                              .count();
+
+    if (cfg.progress) {
+        // Terminal snapshot: final per-slave outcomes and the merge
+        // verdict — the record a status-file consumer is left with.
+        ParallelProgressSnapshot snap;
+        snap.phase = "merged";
+        snap.converged = result.converged;
+        snap.healthySlaves = result.healthySlaves;
+        snap.totalEvents = result.totalEvents;
+        snap.elapsedSeconds = result.wallSeconds;
+        snap.slaves.resize(cfg.slaves);
+        for (std::size_t s = 0; s < cfg.slaves; ++s) {
+            snap.slaves[s].status = result.slaveReports[s].status;
+            snap.slaves[s].abandoned = result.slaveReports[s].abandoned;
+            snap.slaves[s].events = result.slaveReports[s].totalEvents;
+        }
+        cfg.progress(snap);
+    }
     return result;
 }
 

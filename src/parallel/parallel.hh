@@ -51,6 +51,44 @@ namespace bighouse {
  *  identical metric ids. */
 using ModelBuilder = std::function<void(SqsSimulation&)>;
 
+/** Supervision outcome for one slave. */
+enum class SlaveStatus
+{
+    Running,   ///< still measuring (transient; never in a final report)
+    Ok,        ///< finished cleanly; sample merged
+    Failed,    ///< exception escaped the batch loop; sample discarded
+    TimedOut,  ///< watchdog abandoned it; sample discarded
+    Straggler, ///< lagged the median event rate; sample still merged
+};
+
+/** Render a SlaveStatus as text. */
+const char* slaveStatusName(SlaveStatus status);
+
+/**
+ * Live view of one slave while a parallel run is in flight — the
+ * machine-readable progress surface behind `bighouse_run --status-file`.
+ */
+struct ParallelSlaveProgress
+{
+    SlaveStatus status = SlaveStatus::Running;
+    bool abandoned = false;
+    std::uint64_t events = 0;          ///< events published so far
+    double secondsSinceBeat = 0.0;     ///< staleness of the last heartbeat
+};
+
+/** Periodic snapshot of a whole parallel run's progress. */
+struct ParallelProgressSnapshot
+{
+    /// Phase label: "calibration" while the master runs, "measurement"
+    /// during the slave phase, "merged" on the terminal snapshot.
+    std::string phase;
+    bool converged = false;
+    std::size_t healthySlaves = 0;
+    std::uint64_t totalEvents = 0;     ///< published events, all slaves
+    double elapsedSeconds = 0.0;
+    std::vector<ParallelSlaveProgress> slaves;
+};
+
 /** Cluster shape and supervision policy of a parallel run. */
 struct ParallelConfig
 {
@@ -90,20 +128,23 @@ struct ParallelConfig
     /// a final one whenever the run stops unconverged).
     std::string checkpointPath;
     double checkpointIntervalSeconds = 1.0;
-};
 
-/** Supervision outcome for one slave. */
-enum class SlaveStatus
-{
-    Running,   ///< still measuring (transient; never in a final report)
-    Ok,        ///< finished cleanly; sample merged
-    Failed,    ///< exception escaped the batch loop; sample discarded
-    TimedOut,  ///< watchdog abandoned it; sample discarded
-    Straggler, ///< lagged the median event rate; sample still merged
+    // --- observability (all optional; empty = zero overhead) ---
+    /// Called once per simulation instance right after the model is
+    /// built, before any event executes: (sim, slaveIndex, isMaster).
+    /// The master is index 0 with isMaster == true. Runs on the thread
+    /// that will drive the instance; must not perturb model state or
+    /// RNG draws if bit-identical results are expected.
+    std::function<void(SqsSimulation&, std::size_t, bool)> instrument;
+    /// Called on the slave's own thread after its batch loop ends and
+    /// the sample is published — the instance is quiescent, so the hook
+    /// may sample engine/stats state (telemetry) freely.
+    std::function<void(const SqsSimulation&, std::size_t)> onSlaveDone;
+    /// Periodic progress publication from the monitor thread, plus one
+    /// terminal snapshot (phase "merged") after the merge completes.
+    std::function<void(const ParallelProgressSnapshot&)> progress;
+    double progressIntervalSeconds = 0.5;
 };
-
-/** Render a SlaveStatus as text. */
-const char* slaveStatusName(SlaveStatus status);
 
 /** Per-slave supervision record (the failure roster of a run). */
 struct SlaveReport

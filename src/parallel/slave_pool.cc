@@ -1,5 +1,7 @@
 #include "parallel/slave_pool.hh"
 
+#include <string>
+
 #include "base/logging.hh"
 
 namespace bighouse {
@@ -10,7 +12,7 @@ SlavePool::SlavePool(std::size_t workers)
         fatal("SlavePool needs at least one worker");
     threads.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w)
-        threads.emplace_back([this] { workerMain(); });
+        threads.emplace_back([this, w] { workerMain(w); });
 }
 
 SlavePool::~SlavePool()
@@ -46,8 +48,11 @@ SlavePool::drain()
 }
 
 void
-SlavePool::workerMain()
+SlavePool::workerMain(std::size_t worker)
 {
+    // Baseline tag for this worker's log lines; tasks that know better
+    // (supervised slaves) override it with their own ScopedLogTag.
+    setThreadLogTag("pool-" + std::to_string(worker));
     while (true) {
         std::function<void()> task;
         {

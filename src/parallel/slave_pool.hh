@@ -55,7 +55,7 @@ class SlavePool
     void drain();
 
   private:
-    void workerMain();
+    void workerMain(std::size_t worker);
 
     std::mutex mtx;
     std::condition_variable taskReady;  ///< workers wait for work

@@ -68,6 +68,9 @@ class Engine
     /** Live pending events. */
     std::size_t pendingEvents() const { return events.size(); }
 
+    /** Read-only view of the pending-event set (telemetry sampling). */
+    const EventQueue& eventQueue() const { return events; }
+
     /** Time of the next pending event (const query; kTimeNever if none). */
     Time nextEventTime() const { return events.nextTime(); }
 

@@ -118,6 +118,7 @@ EventQueue::pruneTop()
 void
 EventQueue::compact()
 {
+    ++compactCount;
     std::size_t write = 0;
     for (const Entry& entry : heap) {
         if (isLive(entry))

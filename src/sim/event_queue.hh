@@ -113,6 +113,9 @@ class EventQueue
     /** Total events ever pushed (also the next sequence number). */
     std::uint64_t pushCount() const { return seqCounter; }
 
+    /** Tombstone sweeps run so far (threshold-triggered or prune()). */
+    std::uint64_t compactions() const { return compactCount; }
+
   private:
     /** 24-byte POD heap record; the callback lives in slots[slot]. */
     struct Entry
@@ -177,6 +180,8 @@ class EventQueue
     /// Tombstoned entries still physically in the heap.
     std::size_t deadCount = 0;
     std::uint64_t seqCounter = 0;
+    /// Lifetime count of compact() sweeps (cold path; telemetry).
+    std::uint64_t compactCount = 0;
 };
 
 } // namespace bighouse

@@ -1,0 +1,18 @@
+// Fixture: every line marked VIOLATION must trip the raw-stderr rule.
+#include <cstdio>
+#include <iostream>
+
+void
+fixtureRawStderr(const char* what)
+{
+    std::cerr << "boom: " << what << "\n";              // VIOLATION
+    fprintf(stderr, "boom again\n");                    // VIOLATION
+    std::fprintf(stderr, "and again: %s\n", what);      // VIOLATION
+    perror("open");                                     // VIOLATION
+    // Writing to stdout is a program's actual output, not logging:
+    std::cout << "fine\n";
+    printf("also fine\n");
+    // The blessed path (would be base/logging in real code):
+    fprintf(stdout, "%s\n", what);
+    std::cerr << "tolerated";  // bh-lint: allow(raw-stderr)
+}

@@ -130,6 +130,26 @@ TEST(BhLint, RngSeedPlumbingFiresOnMarkedLinesOnly)
               markedLines(fixture("distribution/rng_member.cc")));
 }
 
+TEST(BhLint, RawStderrFiresOnMarkedLinesOnly)
+{
+    const auto findings = lint("raw_stderr.cc");
+    expectAllRule(findings, "raw-stderr");
+    EXPECT_EQ(findingLines(findings),
+              markedLines(fixture("raw_stderr.cc")));
+}
+
+TEST(BhLint, RawStderrExemptsLoggingSinkAndTools)
+{
+    const std::string source = "std::cerr << \"usage: ...\\n\";\n";
+    // The logging sink and CLI front-ends own the stream...
+    EXPECT_TRUE(lintSource("src/base/logging.cc", source).empty());
+    EXPECT_TRUE(lintSource("tools/bighouse_run.cc", source).empty());
+    // ...library code does not.
+    const auto findings = lintSource("src/parallel/parallel.cc", source);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "raw-stderr");
+}
+
 TEST(BhLint, InlineSuppressionSilencesRule)
 {
     EXPECT_TRUE(lint("suppressed.cc").empty());
@@ -185,7 +205,7 @@ TEST(BhLint, CommentsAndStringsAreScrubbed)
 TEST(BhLint, RuleCatalogIsCompleteAndSorted)
 {
     const auto& catalog = ruleCatalog();
-    EXPECT_EQ(catalog.size(), 6u);
+    EXPECT_EQ(catalog.size(), 7u);
     EXPECT_TRUE(std::is_sorted(catalog.begin(), catalog.end(),
                                [](const RuleInfo& a, const RuleInfo& b) {
                                    return a.name < b.name;

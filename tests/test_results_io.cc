@@ -84,6 +84,19 @@ TEST(ResultsIo, SerializedFormIsPlainJson)
     EXPECT_NE(text.find("\"quantiles\""), std::string::npos);
 }
 
+TEST(ResultsIo, PointStatusNamesRoundTrip)
+{
+    // Running is the live-status addition: a point claimed by a worker
+    // but not yet finished. It must survive a name round trip like the
+    // ledgered states do.
+    for (const PointStatus status :
+         {PointStatus::Pending, PointStatus::Running, PointStatus::Cached,
+          PointStatus::Ran, PointStatus::Failed}) {
+        EXPECT_EQ(pointStatusFromName(pointStatusName(status)), status);
+    }
+    EXPECT_STREQ(pointStatusName(PointStatus::Running), "running");
+}
+
 TEST(ResultsIoDeathTest, RejectsMalformedDocuments)
 {
     EXPECT_EXIT(resultFromJson(parseJson("{}").value),

@@ -31,6 +31,9 @@
 #include "core/sqs.hh"
 #include "distribution/basic.hh"
 #include "distribution/fit.hh"
+#include "obs/convergence.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "queueing/server.hh"
 #include "queueing/source.hh"
 #include "sim/event_queue.hh"
@@ -186,6 +189,92 @@ TEST(TraceReproducibility, PhasesRunIsBitIdenticalAcrossReplays)
         EXPECT_EQ(a.estimates[i].mean, b.estimates[i].mean);
         EXPECT_EQ(a.estimates[i].stddev, b.estimates[i].stddev);
     }
+}
+
+/**
+ * Run the phases scenario with an arbitrary pre-run instrument; returns
+ * the result and the response-time histogram's serialized bytes (the
+ * strongest observable: every bin count must match).
+ */
+SqsResult
+runInstrumented(const std::function<void(SqsSimulation&)>& instrument,
+                std::string& histogramBytes)
+{
+    SqsConfig config;
+    config.warmupSamples = 500;
+    config.calibrationSamples = 1000;
+    config.accuracy = 0.10;
+    config.maxEvents = 400000;
+    SqsSimulation sim(config, 2024);
+    const auto id = sim.addMetric("response_time");
+
+    auto server = std::make_shared<Server>(sim.engine(), 1);
+    StatsCollection& stats = sim.stats();
+    server->setCompletionHandler([&stats, id](const Task& task) {
+        stats.record(id, task.responseTime());
+    });
+    auto source = std::make_shared<Source>(
+        sim.engine(), *server, std::make_unique<Exponential>(0.8),
+        fitMeanCv(1.0, 2.0), sim.rootRng().split());
+    source->start();
+    sim.holdModel(server);
+    sim.holdModel(source);
+    if (instrument)
+        instrument(sim);
+    SqsResult result = sim.run();
+    histogramBytes =
+        sim.stats().metricByName("response_time").histogram().serialize();
+    return result;
+}
+
+/**
+ * The whole observability stack — trace ring, batch-boundary telemetry
+ * sampling, convergence recording — attached at once must leave the
+ * simulation bit-identical to a bare run: same event count, same
+ * simulated clock, same estimates, same histogram bytes.
+ */
+TEST(TraceReproducibility, ObservabilityHooksDoNotPerturbResults)
+{
+    std::string bareHistogram;
+    const SqsResult bare = runInstrumented({}, bareHistogram);
+
+    TraceSet traces;
+    TelemetryRegistry telemetry;
+    ConvergenceRecorder recorder;
+    std::string observedHistogram;
+    const SqsResult observed = runInstrumented(
+        [&](SqsSimulation& sim) {
+            traces.attach(sim.engine(), "serial");
+            TelemetrySlab& slab = telemetry.slab("serial");
+            sim.setBatchObserver([&recorder, &slab](
+                                     const SqsSimulation& s,
+                                     std::uint64_t events) {
+                recorder.observe(s.stats(), events);
+                sampleEngineTelemetry(slab, s.engine());
+                sampleStatsTelemetry(slab, s.stats());
+            });
+        },
+        observedHistogram);
+
+    EXPECT_GT(recorder.sampleCount(), 0u);
+    EXPECT_GT(traces.trackCount(), 0u);
+    EXPECT_EQ(bare.events, observed.events);
+    EXPECT_EQ(bare.simulatedTime, observed.simulatedTime);
+    EXPECT_EQ(bare.converged, observed.converged);
+    ASSERT_EQ(bare.estimates.size(), observed.estimates.size());
+    for (std::size_t i = 0; i < bare.estimates.size(); ++i) {
+        EXPECT_EQ(bare.estimates[i].accepted,
+                  observed.estimates[i].accepted);
+        EXPECT_EQ(bare.estimates[i].offered,
+                  observed.estimates[i].offered);
+        EXPECT_EQ(bare.estimates[i].mean, observed.estimates[i].mean);
+        EXPECT_EQ(bare.estimates[i].stddev,
+                  observed.estimates[i].stddev);
+        EXPECT_EQ(bare.estimates[i].meanHalfWidth,
+                  observed.estimates[i].meanHalfWidth);
+    }
+    // Histograms agree bin for bin.
+    EXPECT_EQ(bareHistogram, observedHistogram);
 }
 
 } // namespace

@@ -27,12 +27,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
+#include "base/build_info.hh"
 #include "base/logging.hh"
 #include "campaign/campaign.hh"
 #include "campaign/runner.hh"
 #include "config/config.hh"
+#include "obs/status.hh"
+#include "obs/telemetry.hh"
 
 using namespace bighouse;
 
@@ -43,12 +47,23 @@ usage(const char* argv0)
 {
     std::fprintf(stderr,
                  "usage: %s run <campaign.json> [--seed N] [--dry-run] "
-                 "[--lax] [--max-points N] [--csv]\n"
+                 "[--lax] [--max-points N] [--csv] "
+                 "[--status-file file.json] [--telemetry-out file.json] "
+                 "[--progress]\n"
                  "       %s status <campaign.json> [--lax] [--csv]\n"
                  "       %s export <campaign.json> [--lax] "
-                 "[--csv | --json] [--out FILE]\n",
-                 argv0, argv0, argv0);
+                 "[--csv | --json] [--out FILE]\n"
+                 "       %s --version\n",
+                 argv0, argv0, argv0, argv0);
     std::exit(2);
+}
+
+/** Erase-and-rewrite a TTY progress line on stderr. */
+void
+printProgressLine(const std::string& line)
+{
+    std::fprintf(stderr, "\r\033[K%s", line.c_str());
+    std::fflush(stderr);
 }
 
 void
@@ -79,11 +94,18 @@ emit(const std::string& text, const char* outPath)
 int
 main(int argc, char** argv)
 {
+    if (argc >= 2 && std::strcmp(argv[1], "--version") == 0) {
+        std::printf("%s\n", buildInfoLine("bh_campaign").c_str());
+        return 0;
+    }
     if (argc < 3)
         usage(argv[0]);
     const std::string command = argv[1];
     const char* configPath = nullptr;
     const char* outPath = nullptr;
+    const char* statusPath = nullptr;
+    const char* telemetryPath = nullptr;
+    bool progress = false;
     CampaignOptions options;
     bool csv = false;
     bool json = false;
@@ -96,6 +118,14 @@ main(int argc, char** argv)
             options.maxPoints = std::strtoull(argv[++i], nullptr, 10);
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             outPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--status-file") == 0
+                   && i + 1 < argc) {
+            statusPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--telemetry-out") == 0
+                   && i + 1 < argc) {
+            telemetryPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--progress") == 0) {
+            progress = true;
         } else if (std::strcmp(argv[i], "--dry-run") == 0) {
             options.dryRun = true;
         } else if (std::strcmp(argv[i], "--lax") == 0) {
@@ -118,21 +148,56 @@ main(int argc, char** argv)
     const Config config = Config::fromFile(configPath);
     CampaignSpec spec = campaignSpecFromConfig(config, options.strict);
 
+    if (statusPath != nullptr || telemetryPath != nullptr || progress) {
+        if (command != "run")
+            fatal("--status-file/--telemetry-out/--progress apply to "
+                  "`run` only");
+    }
+
     if (command == "run") {
-        CampaignRunner runner(std::move(spec), options);
-        const CampaignReport report = runner.run();
+        // The progress callback needs runner.points() for the per-point
+        // axes, so the runner is built after the callback captures the
+        // (stable) pointer slot. The runner never invokes progress from
+        // its constructor.
+        std::unique_ptr<CampaignRunner> runner;
+        if (statusPath != nullptr || progress) {
+            options.progress = [&runner, statusPath, progress](
+                                   const CampaignReport& report,
+                                   bool terminal) {
+                if (statusPath != nullptr)
+                    writeStatusFile(statusPath,
+                                    campaignStatusJson(runner->points(),
+                                                       report, terminal));
+                if (progress)
+                    printProgressLine(campaignProgressLine(report));
+            };
+        }
+        runner = std::make_unique<CampaignRunner>(std::move(spec),
+                                                  options);
+        const CampaignReport report = runner->run();
+        if (progress)
+            std::fprintf(stderr, "\r\033[K");
+        if (telemetryPath != nullptr) {
+            TelemetryRegistry telemetry;
+            TelemetrySlab& slab = telemetry.slab("campaign");
+            slab.set(TelemetryCounter::PointsCached, report.cached);
+            slab.set(TelemetryCounter::PointsRan, report.ran);
+            slab.set(TelemetryCounter::PointsFailed, report.failed);
+            slab.set(TelemetryCounter::PointsPending, report.pending);
+            telemetry.write(telemetryPath);
+        }
         const TextTable table =
-            campaignStatusTable(runner.points(), report);
+            campaignStatusTable(runner->points(), report);
         std::printf("%s", csv ? table.toCsv().c_str()
                               : table.toText().c_str());
         if (options.dryRun) {
             std::printf("dry run: %zu point(s), %zu cache hit(s), "
                         "%zu to simulate — nothing simulated\n",
-                        runner.points().size(), report.cached,
+                        runner->points().size(), report.cached,
                         report.pending);
             return 0;
         }
-        printSummary(report, runner.points().size());
+        printSummary(report, runner->points().size());
         for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
             const PointOutcome& outcome = report.outcomes[i];
             if (outcome.status == PointStatus::Failed)

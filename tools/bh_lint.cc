@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "base/build_info.hh"
 #include "lint_core.hh"
 
 namespace {
@@ -49,6 +50,10 @@ main(int argc, char** argv)
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (arg == "--version") {
+            std::cout << bighouse::buildInfoLine("bh_lint") << "\n";
+            return 0;
+        }
         if (arg == "--list-rules") {
             for (const RuleInfo& rule : ruleCatalog())
                 std::cout << rule.name << ": " << rule.summary << "\n";

@@ -25,20 +25,36 @@
  * sets the merge quorum, --watchdog abandons slaves that stop publishing
  * progress, --checkpoint writes periodic resumable snapshots, and
  * --resume continues an interrupted run from such a snapshot.
+ *
+ * Observability (docs/observability.md): --trace records event dispatches
+ * into bounded ring buffers and writes Chrome trace-event JSON (or JSONL
+ * with --trace-format jsonl), --telemetry-out dumps the counter/gauge
+ * registry, --convergence-out (serial runs) writes the per-metric
+ * convergence time series, --status-file keeps a machine-readable status
+ * document refreshed atomically while the run is in flight, and
+ * --progress prints a live one-line progress indicator to stderr. All of
+ * these attach through pull-based hooks, so the simulated event stream —
+ * and therefore every estimate — is bit-identical with or without them.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 
+#include "base/build_info.hh"
 #include "base/logging.hh"
 #include "config/config.hh"
 #include "core/experiment.hh"
 #include "core/replications.hh"
 #include "core/report.hh"
 #include "core/results_io.hh"
+#include "obs/convergence.hh"
+#include "obs/status.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "parallel/parallel.hh"
 
 using namespace bighouse;
@@ -53,9 +69,29 @@ usage(const char* argv0)
                  "[--replications R] [--json out.json] [--csv] "
                  "[--min-healthy Q] [--watchdog SECONDS] "
                  "[--checkpoint file.json] [--resume file.json] "
-                 "[--dry-run] [--lax]\n",
+                 "[--trace file.json] [--trace-format chrome|jsonl] "
+                 "[--telemetry-out file.json] "
+                 "[--convergence-out file.json] "
+                 "[--status-file file.json] [--progress] "
+                 "[--dry-run] [--lax] [--version]\n",
                  argv0);
     std::exit(2);
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Erase-and-rewrite a TTY progress line on stderr. */
+void
+printProgressLine(const std::string& line)
+{
+    std::fprintf(stderr, "\r\033[K%s", line.c_str());
+    std::fflush(stderr);
 }
 
 void
@@ -99,6 +135,12 @@ main(int argc, char** argv)
     const char* jsonPath = nullptr;
     const char* checkpointPath = nullptr;
     const char* resumePath = nullptr;
+    const char* tracePath = nullptr;
+    const char* telemetryPath = nullptr;
+    const char* convergencePath = nullptr;
+    const char* statusPath = nullptr;
+    TraceFormat traceFormat = TraceFormat::Chrome;
+    bool progress = false;
     std::uint64_t seed = 1;
     std::size_t slaves = 0;
     std::size_t minHealthy = 1;
@@ -109,6 +151,10 @@ main(int argc, char** argv)
     bool strict = true;
 
     for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--version") == 0) {
+            std::printf("%s\n", buildInfoLine("bighouse_run").c_str());
+            return 0;
+        }
         if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
             seed = std::strtoull(argv[++i], nullptr, 10);
         } else if (std::strcmp(argv[i], "--slaves") == 0 && i + 1 < argc) {
@@ -130,6 +176,22 @@ main(int argc, char** argv)
             replications = std::strtoull(argv[++i], nullptr, 10);
         } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             jsonPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            tracePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-format") == 0
+                   && i + 1 < argc) {
+            traceFormat = traceFormatFromName(argv[++i]);
+        } else if (std::strcmp(argv[i], "--telemetry-out") == 0
+                   && i + 1 < argc) {
+            telemetryPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--convergence-out") == 0
+                   && i + 1 < argc) {
+            convergencePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--status-file") == 0
+                   && i + 1 < argc) {
+            statusPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--progress") == 0) {
+            progress = true;
         } else if (std::strcmp(argv[i], "--csv") == 0) {
             csv = true;
         } else if (std::strcmp(argv[i], "--dry-run") == 0) {
@@ -155,6 +217,14 @@ main(int argc, char** argv)
         && slaves == 0)
         fatal("--checkpoint/--min-healthy/--watchdog apply to parallel "
               "runs; add --slaves K");
+    if (convergencePath != nullptr && slaves > 0)
+        fatal("--convergence-out records a single simulation's series; "
+              "it applies to serial runs only");
+    if (replications > 0
+        && (tracePath != nullptr || telemetryPath != nullptr
+            || convergencePath != nullptr || statusPath != nullptr))
+        fatal("--trace/--telemetry-out/--convergence-out/--status-file "
+              "are not supported with --replications");
 
     const Config config = Config::fromFile(configPath);
     ExperimentSpec spec = Experiment::specFromConfig(config, strict);
@@ -204,7 +274,79 @@ main(int argc, char** argv)
 
     if (slaves == 0) {
         const Experiment experiment(std::move(spec));
-        const SqsResult result = experiment.run(seed);
+        TraceSet traces;
+        TelemetryRegistry telemetry;
+        ConvergenceRecorder recorder;
+        const auto wallStart = std::chrono::steady_clock::now();
+        auto lastTick = wallStart;
+
+        // One batch observer multiplexes every surface; estimates are
+        // snapshotted once per tick, never inside event callbacks.
+        const auto instrument = [&](SqsSimulation& sim) {
+            if (tracePath != nullptr)
+                traces.attach(sim.engine(), "serial");
+            if (convergencePath == nullptr && statusPath == nullptr
+                && telemetryPath == nullptr && !progress)
+                return;
+            sim.setBatchObserver([&](const SqsSimulation& s,
+                                     std::uint64_t events) {
+                if (convergencePath != nullptr)
+                    recorder.observe(s.stats(), events);
+                if (telemetryPath != nullptr) {
+                    // Absolute-value samples: re-running every batch
+                    // just refreshes the same cells.
+                    TelemetrySlab& slab = telemetry.slab("serial");
+                    sampleEngineTelemetry(slab, s.engine());
+                    sampleStatsTelemetry(slab, s.stats());
+                    slab.add(TelemetryCounter::BatchesObserved);
+                }
+                if (statusPath == nullptr && !progress)
+                    return;
+                // Status/TTY ticks are wall-clock throttled; the
+                // simulated stream is untouched either way.
+                const auto now = std::chrono::steady_clock::now();
+                if (std::chrono::duration<double>(now - lastTick).count()
+                        < 0.25
+                    && events != 0)
+                    return;
+                lastTick = now;
+                const auto estimates = s.stats().estimates();
+                if (statusPath != nullptr)
+                    writeStatusFile(
+                        statusPath,
+                        serialStatusJson(estimates, events,
+                                         secondsSince(wallStart), false,
+                                         false, nullptr));
+                if (progress)
+                    printProgressLine(
+                        serialProgressLine(estimates, events));
+            });
+        };
+
+        const SqsResult result = experiment.run(seed, instrument);
+        if (progress)
+            std::fprintf(stderr, "\r\033[K");
+        if (statusPath != nullptr)
+            writeStatusFile(
+                statusPath,
+                serialStatusJson(result.estimates, result.events,
+                                 secondsSince(wallStart), true,
+                                 result.converged,
+                                 terminationReasonName(
+                                     result.termination)));
+        if (tracePath != nullptr)
+            traces.write(tracePath, traceFormat);
+        if (convergencePath != nullptr)
+            recorder.write(convergencePath);
+        if (telemetryPath != nullptr) {
+            // The run is quiescent; pull the final engine/stats state.
+            TelemetrySlab& slab = telemetry.slab("serial");
+            sampleRngTelemetry(slab);
+            slab.set(TelemetryCounter::EventsExecuted, result.events);
+            slab.setGauge(TelemetryGauge::RunSeconds,
+                          result.wallSeconds);
+            telemetry.write(telemetryPath);
+        }
         if (!csv)
             std::printf("%s\n", summarizeRun(result).c_str());
         if (jsonPath != nullptr)
@@ -221,12 +363,57 @@ main(int argc, char** argv)
     parallel.watchdogSeconds = watchdogSeconds;
     if (checkpointPath != nullptr)
         parallel.checkpointPath = checkpointPath;
+
+    TraceSet traces;
+    TelemetryRegistry telemetry;
+    const auto trackLabel = [](std::size_t index, bool isMaster) {
+        return isMaster ? std::string("master")
+                        : "slave-" + std::to_string(index);
+    };
+    if (tracePath != nullptr) {
+        parallel.instrument = [&traces, &trackLabel](SqsSimulation& sim,
+                                                     std::size_t index,
+                                                     bool isMaster) {
+            traces.attach(sim.engine(), trackLabel(index, isMaster));
+        };
+    }
+    if (telemetryPath != nullptr) {
+        // Runs on the slave's own thread after it quiesces, so the
+        // thread-local RNG tally is the slave's own.
+        parallel.onSlaveDone = [&telemetry,
+                                &trackLabel](const SqsSimulation& sim,
+                                             std::size_t index) {
+            TelemetrySlab& slab =
+                telemetry.slab(trackLabel(index, false));
+            sampleEngineTelemetry(slab, sim.engine());
+            sampleStatsTelemetry(slab, sim.stats());
+            sampleRngTelemetry(slab);
+        };
+    }
+    if (statusPath != nullptr || progress) {
+        parallel.progress =
+            [statusPath, progress](const ParallelProgressSnapshot& snap) {
+                const bool terminal = snap.phase == "merged";
+                if (statusPath != nullptr)
+                    writeStatusFile(statusPath,
+                                    parallelStatusJson(snap, terminal));
+                if (progress)
+                    printProgressLine(parallelProgressLine(snap));
+            };
+    }
+
     ParallelRunner runner(
         [experiment](SqsSimulation& sim) { experiment->buildInto(sim); },
         parallel);
     const ParallelResult result =
         resumePath != nullptr ? runner.resume(readCheckpoint(resumePath))
                               : runner.run(seed);
+    if (progress)
+        std::fprintf(stderr, "\r\033[K");
+    if (tracePath != nullptr)
+        traces.write(tracePath, traceFormat);
+    if (telemetryPath != nullptr)
+        telemetry.write(telemetryPath);
     if (!csv) {
         std::printf("parallel run: %zu slaves (%zu healthy), %llu total "
                     "events, %.3fs wall, %s [%s]%s\n",

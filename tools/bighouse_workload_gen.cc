@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "base/build_info.hh"
 #include "base/random.hh"
 #include "workload/library.hh"
 
@@ -30,6 +31,11 @@ main(int argc, char** argv)
     std::uint64_t seed = 0xB16B01;
 
     for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--version") == 0) {
+            std::printf("%s\n",
+                        buildInfoLine("bighouse_workload_gen").c_str());
+            return 0;
+        }
         if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
             samples = std::strtoull(argv[++i], nullptr, 10);
         } else if (std::strcmp(argv[i], "--bins") == 0 && i + 1 < argc) {

@@ -223,6 +223,13 @@ inBaseRandom(const std::string& path)
     return normalized(path).find("base/random.") != std::string::npos;
 }
 
+/** The logging sink itself: src/base/logging.{hh,cc}. */
+bool
+inBaseLogging(const std::string& path)
+{
+    return normalized(path).find("base/logging.") != std::string::npos;
+}
+
 // ---------------------------------------------------------------------
 // Rules
 
@@ -299,6 +306,22 @@ patternRules()
             "statistics kernels are double-precision end to end; float "
             "truncation biases Welford updates and CI half-widths",
             [](const std::string& p) { return hasComponent(p, "stats"); }});
+        r.push_back(PatternRule{
+            "raw-stderr",
+            "direct stderr writes outside src/base/logging and tools/",
+            {
+                std::regex(R"(\bstd::cerr\b)"),
+                std::regex(R"(\bfprintf\s*\(\s*stderr\b)"),
+                std::regex(R"(\bperror\s*\()"),
+            },
+            "raw stderr write: library code must log through "
+            "base/logging (single atomic write per line, thread-tagged) "
+            "so multi-slave output never interleaves mid-line",
+            [](const std::string& p) {
+                // CLI front-ends own their terminal; the logging sink is
+                // the one place that legitimately writes the stream.
+                return !inBaseLogging(p) && !hasComponent(p, "tools");
+            }});
         return r;
     }();
     return rules;
