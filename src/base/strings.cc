@@ -1,8 +1,11 @@
 #include "base/strings.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
+
+#include "base/logging.hh"
 
 namespace bighouse {
 
@@ -122,6 +125,59 @@ join(const std::vector<std::string>& items, std::string_view separator)
         out += items[i];
     }
     return out;
+}
+
+std::size_t
+editDistance(std::string_view a, std::string_view b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diagonal = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t substitute =
+                diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diagonal = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+        }
+    }
+    return row[b.size()];
+}
+
+std::string_view
+nearestCandidate(std::string_view name,
+                 const std::vector<std::string_view>& candidates)
+{
+    std::string_view nearest;
+    std::size_t best = name.size();  // suggestions beyond this are noise
+    for (std::string_view candidate : candidates) {
+        const std::size_t distance = editDistance(name, candidate);
+        if (distance < best) {
+            best = distance;
+            nearest = candidate;
+        }
+    }
+    return nearest;
+}
+
+void
+fatalUnknownName(std::string_view what, std::string_view name,
+                 const std::vector<std::string_view>& candidates)
+{
+    const std::string_view nearest = nearestCandidate(name, candidates);
+    std::string accepted;
+    for (std::string_view candidate : candidates) {
+        if (!accepted.empty())
+            accepted += ", ";
+        accepted += candidate;
+    }
+    fatal("unknown ", what, " '", std::string(name), "'",
+          nearest.empty()
+              ? std::string()
+              : " (did you mean '" + std::string(nearest) + "'?)",
+          "; accepted: ", accepted);
 }
 
 } // namespace bighouse

@@ -42,6 +42,26 @@ std::optional<long long> parseInt(std::string_view text);
 std::string join(const std::vector<std::string>& items,
                  std::string_view separator);
 
+/** Levenshtein edit distance (for did-you-mean suggestions). */
+std::size_t editDistance(std::string_view a, std::string_view b);
+
+/**
+ * The candidate nearest to `name` by edit distance, or empty when every
+ * candidate is further away than `name`'s own length (a suggestion that
+ * different would be noise, not help).
+ */
+std::string_view nearestCandidate(
+    std::string_view name, const std::vector<std::string_view>& candidates);
+
+/**
+ * fatal() for an unknown enum/config name, in the same did-you-mean
+ * style as strict config loading: names the offender, suggests the
+ * nearest candidate, and lists everything that is accepted.
+ */
+[[noreturn]] void fatalUnknownName(
+    std::string_view what, std::string_view name,
+    const std::vector<std::string_view>& candidates);
+
 } // namespace bighouse
 
 #endif // BIGHOUSE_BASE_STRINGS_HH

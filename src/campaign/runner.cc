@@ -65,6 +65,7 @@ fromParallel(const ParallelResult& parallel)
     result.simulatedTime = 0;  // per-slave clocks do not aggregate
     result.wallSeconds = parallel.wallSeconds;
     result.estimates = parallel.estimates;
+    result.failures = parallel.failures;
     return result;
 }
 

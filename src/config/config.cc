@@ -171,30 +171,6 @@ Config::requireSection(std::string_view path) const
     return Config(*node);
 }
 
-namespace {
-
-/** Levenshtein distance, for did-you-mean suggestions on typo'd keys. */
-std::size_t
-editDistance(std::string_view a, std::string_view b)
-{
-    std::vector<std::size_t> row(b.size() + 1);
-    for (std::size_t j = 0; j <= b.size(); ++j)
-        row[j] = j;
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-        std::size_t diagonal = row[0];
-        row[0] = i;
-        for (std::size_t j = 1; j <= b.size(); ++j) {
-            const std::size_t substitute =
-                diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
-            diagonal = row[j];
-            row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
-        }
-    }
-    return row[b.size()];
-}
-
-} // namespace
-
 void
 rejectUnknownKeys(const JsonValue& node,
                   const std::vector<std::string_view>& allowed,
@@ -213,15 +189,7 @@ rejectUnknownKeys(const JsonValue& node,
         }
         if (known)
             continue;
-        std::string_view nearest;
-        std::size_t best = key.size();  // suggestions beyond this are noise
-        for (std::string_view candidate : allowed) {
-            const std::size_t distance = editDistance(key, candidate);
-            if (distance < best) {
-                best = distance;
-                nearest = candidate;
-            }
-        }
+        const std::string_view nearest = nearestCandidate(key, allowed);
         std::string allowedList;
         for (std::string_view candidate : allowed) {
             if (!allowedList.empty())

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "base/strings.hh"
+#include "core/dist_config.hh"
 #include "distribution/fit.hh"
 #include "policy/powernap.hh"
 #include "queueing/ps_server.hh"
@@ -26,8 +27,8 @@ parseServerModel(std::string_view name)
         return ServerModel::DreamWeaver;
     if (key == "powernap")
         return ServerModel::PowerNap;
-    fatal("unknown server model '", std::string(name),
-          "' (expected fcfs, ps, dreamweaver, or powernap)");
+    fatalUnknownName("server model", name,
+                     {"fcfs", "ps", "dreamweaver", "powernap"});
 }
 
 ExperimentSpec
@@ -45,6 +46,11 @@ ExperimentSpec::clone() const
     copy.cpuSlowdown = cpuSlowdown;
     copy.recordResponseTime = recordResponseTime;
     copy.recordWaitingTime = recordWaitingTime;
+    if (failures.has_value())
+        copy.failures = failures->clone();
+    copy.recordAvailability = recordAvailability;
+    copy.recordGoodput = recordGoodput;
+    copy.recordDowntime = recordDowntime;
     copy.capping = capping;
     copy.recordCappingLevel = recordCappingLevel;
     copy.recordServerPower = recordServerPower;
@@ -86,13 +92,43 @@ Experiment::Experiment(ExperimentSpec s)
     if (spec.recordServerPower && !spec.capping.has_value())
         fatal("recordServerPower requires a capping block (it supplies "
               "the power model)");
+    if (spec.failures.has_value()) {
+        if (spec.serverModel != ServerModel::Fcfs)
+            fatal("failure injection requires the FCFS server model "
+                  "(the Up/Down lifecycle lives on Server)");
+        if (!spec.failures->uptime || !spec.failures->downtime)
+            fatal("failures block is missing an uptime or downtime "
+                  "distribution");
+        if (spec.failures->detectionInterval < 0.0)
+            fatal("failures.detectionInterval must be >= 0");
+        if (spec.failures->probeInterval < 0.0)
+            fatal("failures.probeInterval must be >= 0");
+    } else if (spec.recordAvailability || spec.recordGoodput
+               || spec.recordDowntime) {
+        fatal("availability/goodput/downtime metrics require a failures "
+              "block (nothing fails without one)");
+    }
     if (!spec.recordResponseTime && !spec.recordWaitingTime
-        && !spec.recordCappingLevel && !spec.recordServerPower) {
+        && !spec.recordCappingLevel && !spec.recordServerPower
+        && !spec.recordAvailability && !spec.recordGoodput
+        && !spec.recordDowntime) {
         fatal("experiment records no metrics; nothing to converge on");
     }
 }
 
 namespace {
+
+/** The failure path's objects (present only when the spec asks). */
+struct FailureRuntime
+{
+    FailureCounters counters;
+    /// One per source path: a single queue in front of the balancer, or
+    /// one per server in the per-server-source topology.
+    std::vector<std::unique_ptr<RetryQueue>> retries;
+    std::vector<std::unique_ptr<FailureProcess>> processes;
+    std::unique_ptr<HealthChecker> checker;
+    std::unique_ptr<AvailabilityProbe> probe;
+};
 
 /** Everything buildInto() allocates, kept alive by the simulation. */
 struct Model
@@ -104,6 +140,7 @@ struct Model
     std::unique_ptr<LoadBalancer> balancer;
     std::vector<std::unique_ptr<Source>> sources;
     std::unique_ptr<PowerCappingCoordinator> coordinator;
+    std::unique_ptr<FailureRuntime> failures;
 };
 
 } // namespace
@@ -135,8 +172,23 @@ Experiment::buildInto(SqsSimulation& sim) const
         cappingId = sim.addMetric(epochMetricSpec(kCappingLevelMetric));
     if (spec.recordServerPower)
         powerId = sim.addMetric(epochMetricSpec(kServerPowerMetric));
+    // Failure metrics are scarce the same way epoch metrics are: one
+    // downtime observation per repair, one availability observation per
+    // probe. Goodput observes every terminal task, so it keeps the
+    // standard calibration.
+    StatsCollection::MetricId availabilityId = 0, goodputId = 0,
+                              downtimeId = 0;
+    if (spec.recordAvailability)
+        availabilityId = sim.addMetric(epochMetricSpec(kAvailabilityMetric));
+    if (spec.recordGoodput)
+        goodputId = sim.addMetric(kGoodputMetric);
+    if (spec.recordDowntime)
+        downtimeId = sim.addMetric(epochMetricSpec(kDowntimeMetric));
 
+    const bool failing = spec.failures.has_value();
     auto model = std::make_shared<Model>();
+    if (failing)
+        model->failures = std::make_unique<FailureRuntime>();
     StatsCollection& stats = sim.stats();
 
     // Waiting time is a *wait event* metric: it is only observed when a
@@ -173,6 +225,8 @@ Experiment::buildInto(SqsSimulation& sim) const
                 server->setCompletionHandler(completion);
             if (spec.cpuSlowdown != 1.0)
                 server->setSpeed(1.0 / spec.cpuSlowdown);
+            if (failing)
+                server->setRejectWhenDown(true);
             intakes.push_back(server.get());
             model->servers.push_back(std::move(server));
             break;
@@ -218,8 +272,19 @@ Experiment::buildInto(SqsSimulation& sim) const
             pointers.push_back(server.get());
         model->balancer = std::make_unique<LoadBalancer>(
             std::move(pointers), *spec.dispatch, sim.rootRng().split());
+        // With failures, the retry queue sits between source and
+        // balancer; without, the source feeds the balancer directly and
+        // the construction sequence is exactly the pre-failure one.
+        TaskAcceptor* entry = model->balancer.get();
+        if (failing) {
+            auto retry = std::make_unique<RetryQueue>(
+                sim.engine(), *model->balancer, spec.failures->retry,
+                model->failures->counters);
+            entry = retry.get();
+            model->failures->retries.push_back(std::move(retry));
+        }
         auto source = std::make_unique<Source>(
-            sim.engine(), *model->balancer,
+            sim.engine(), *entry,
             spec.workload.interarrival->clone(),
             spec.workload.service->clone(), sim.rootRng().split());
         source->setLoadFactor(spec.loadFactor
@@ -230,8 +295,16 @@ Experiment::buildInto(SqsSimulation& sim) const
         // Per-server sources (the paper's cluster experiments).
         model->sources.reserve(spec.servers);
         for (std::size_t i = 0; i < spec.servers; ++i) {
+            TaskAcceptor* entry = intakes[i];
+            if (failing) {
+                auto retry = std::make_unique<RetryQueue>(
+                    sim.engine(), *intakes[i], spec.failures->retry,
+                    model->failures->counters);
+                entry = retry.get();
+                model->failures->retries.push_back(std::move(retry));
+            }
             auto source = std::make_unique<Source>(
-                sim.engine(), *intakes[i],
+                sim.engine(), *entry,
                 spec.workload.interarrival->clone(),
                 spec.workload.service->clone(), sim.rootRng().split(),
                 static_cast<std::uint32_t>(i));
@@ -286,6 +359,146 @@ Experiment::buildInto(SqsSimulation& sim) const
         model->coordinator->start();
     }
 
+    if (failing) {
+        FailureRuntime& runtime = *model->failures;
+        const FailureSpec& fspec = *spec.failures;
+        Model* m = model.get();
+
+        // Each server's lost tasks are ledgered, then handed to its
+        // retry path (the balancer topology shares one queue).
+        auto retryFor = [&runtime](std::size_t i) {
+            return runtime.retries.size() == 1 ? runtime.retries[0].get()
+                                               : runtime.retries[i].get();
+        };
+        FailureCounters* counters = &runtime.counters;
+        for (std::size_t i = 0; i < model->servers.size(); ++i) {
+            RetryQueue* retry = retryFor(i);
+            model->servers[i]->setLostHandler(
+                [retry, counters](Task task, TaskLoss loss) {
+                    if (loss == TaskLoss::ServerFailure)
+                        ++counters->tasksDropped;
+                    else if (loss == TaskLoss::RejectedDown)
+                        ++counters->tasksRejected;
+                    retry->onLost(std::move(task), loss);
+                });
+            // Completions resolve the retry entry first; stale (zombie)
+            // completions are excluded from the latency metrics — the
+            // client already gave up on them.
+            model->servers[i]->setCompletionHandler(
+                [retry, completion](const Task& task) {
+                    if (retry->onCompleted(task) && completion)
+                        completion(task);
+                });
+        }
+
+        if (spec.recordGoodput) {
+            for (auto& retry : runtime.retries) {
+                retry->setOutcomeHandler(
+                    [&stats, goodputId](const Task&, bool ok) {
+                        stats.record(goodputId, ok ? 1.0 : 0.0);
+                    });
+            }
+        }
+
+        if (model->balancer != nullptr) {
+            RetryQueue* retry = runtime.retries[0].get();
+            model->balancer->setOverflowHandler(
+                [retry](Task task, TaskLoss loss) {
+                    retry->onLost(std::move(task), loss);
+                });
+        }
+
+        // Per-server failure processes. These splits come *after* every
+        // split the failure-free build performs, so a spec with failures
+        // removed replays the original stream draw for draw.
+        runtime.processes.reserve(model->servers.size());
+        for (std::size_t i = 0; i < model->servers.size(); ++i) {
+            runtime.processes.push_back(std::make_unique<FailureProcess>(
+                sim.engine(), *model->servers[i], fspec.uptime->clone(),
+                fspec.downtime->clone(), fspec.disposition,
+                runtime.counters, sim.rootRng().split(), i));
+        }
+
+        // Health wiring: instant when detectionInterval == 0 (the
+        // balancer learns of each edge the moment it happens), else a
+        // HealthChecker reconciles on its period and detection lags.
+        LoadBalancer* balancer = model->balancer.get();
+        const bool instantHealth =
+            balancer != nullptr && fspec.detectionInterval == 0.0;
+        const bool wantDowntime = spec.recordDowntime;
+        for (auto& process : runtime.processes) {
+            process->setStateHandler(
+                [balancer, instantHealth, &stats, downtimeId,
+                 wantDowntime](std::size_t index, bool up, Time outage) {
+                    if (instantHealth)
+                        balancer->setServerHealth(index, up);
+                    if (up && wantDowntime)
+                        stats.record(downtimeId, outage);
+                });
+        }
+        if (balancer != nullptr && fspec.detectionInterval > 0.0) {
+            std::vector<Server*> pointers;
+            pointers.reserve(model->servers.size());
+            for (const auto& server : model->servers)
+                pointers.push_back(server.get());
+            runtime.checker = std::make_unique<HealthChecker>(
+                sim.engine(), *balancer, std::move(pointers),
+                fspec.detectionInterval);
+            runtime.checker->start();
+        }
+
+        if (spec.recordAvailability) {
+            double interval = fspec.probeInterval;
+            if (interval <= 0.0) {
+                // Default to a tenth of the mean failure cycle: ~10
+                // probes per Up/Down period, cheap relative to task
+                // events yet dense enough to converge quickly.
+                interval = (fspec.uptime->mean() + fspec.downtime->mean())
+                           / 10.0;
+            }
+            runtime.probe = std::make_unique<AvailabilityProbe>(
+                sim.engine(),
+                [m] {
+                    std::size_t up = 0;
+                    for (const auto& server : m->servers) {
+                        if (server->isUp())
+                            ++up;
+                    }
+                    return static_cast<double>(up)
+                           / static_cast<double>(m->servers.size());
+                },
+                interval,
+                [&stats, availabilityId](double fraction) {
+                    stats.record(availabilityId, fraction);
+                },
+                sim.rootRng().split());
+            runtime.probe->start();
+        }
+
+        for (auto& process : runtime.processes)
+            process->start();
+
+        // Exact totals for snapshots, report lines, result JSON, and
+        // the telemetry samplers. Raw Model pointer: the simulation owns
+        // the model (holdModel below) and the probe together, so the
+        // pointer cannot dangle — and a shared_ptr here would cycle.
+        sim.setFailureProbe([m] {
+            FailureTotals totals;
+            totals.counters = m->failures->counters;
+            if (m->balancer != nullptr) {
+                totals.counters.backendsEjected =
+                    m->balancer->ejectionCount();
+                totals.counters.backendsReadmitted =
+                    m->balancer->readmissionCount();
+            }
+            for (const auto& server : m->servers) {
+                totals.serverSecondsUp += server->upSeconds();
+                totals.serverSecondsDown += server->downSeconds();
+            }
+            return totals;
+        });
+    }
+
     sim.holdModel(std::move(model));
 }
 
@@ -314,7 +527,7 @@ Experiment::configKeys()
     static const std::vector<std::string_view> keys = {
         "workload",   "cluster",     "serverModel", "dreamweaver",
         "powernap",   "dispatch",    "loadFactor",  "cpuSlowdown",
-        "metrics",    "sqs",         "capping",
+        "metrics",    "sqs",         "capping",     "failures",
     };
     return keys;
 }
@@ -364,10 +577,64 @@ Experiment::specFromConfig(const Config& config, bool strict)
     spec.loadFactor = config.getDouble("loadFactor", 1.0);
     spec.cpuSlowdown = config.getDouble("cpuSlowdown", 1.0);
 
+    if (config.has("failures")) {
+        const JsonValue* node = config.resolve("failures");
+        if (node == nullptr || !node->isObject())
+            fatal("config key 'failures' must be an object");
+        if (strict) {
+            static const std::vector<std::string_view> failureKeys = {
+                "uptime",        "downtime",      "disposition",
+                "detectionInterval", "probeInterval", "retry",
+            };
+            rejectUnknownKeys(*node, failureKeys, "failures block");
+        }
+        FailureSpec failures;
+        failures.uptime = distFromConfig(config, "failures.uptime");
+        failures.downtime = distFromConfig(config, "failures.downtime");
+        failures.disposition = parseTaskDisposition(
+            config.getString("failures.disposition", "drop"));
+        failures.detectionInterval =
+            config.getDouble("failures.detectionInterval", 0.0);
+        failures.probeInterval =
+            config.getDouble("failures.probeInterval", 0.0);
+        if (config.has("failures.retry")) {
+            const JsonValue* retryNode = config.resolve("failures.retry");
+            if (retryNode == nullptr || !retryNode->isObject())
+                fatal("config key 'failures.retry' must be an object");
+            if (strict) {
+                static const std::vector<std::string_view> retryKeys = {
+                    "maxRetries",    "timeout",    "backoffBase",
+                    "backoffFactor", "backoffMax",
+                };
+                rejectUnknownKeys(*retryNode, retryKeys,
+                                  "failures.retry block");
+            }
+            failures.retry.maxRetries = static_cast<std::uint32_t>(
+                config.getInt("failures.retry.maxRetries", 0));
+            failures.retry.timeout =
+                config.getDouble("failures.retry.timeout", 0.0);
+            failures.retry.backoffBase =
+                config.getDouble("failures.retry.backoffBase", 0.001);
+            failures.retry.backoffFactor =
+                config.getDouble("failures.retry.backoffFactor", 2.0);
+            failures.retry.backoffMax =
+                config.getDouble("failures.retry.backoffMax", 1.0);
+        }
+        spec.failures = std::move(failures);
+    }
+
     spec.recordResponseTime = config.getBool("metrics.response", true);
     spec.recordWaitingTime = config.getBool("metrics.waiting", false);
     spec.recordCappingLevel = config.getBool("metrics.capping", false);
     spec.recordServerPower = config.getBool("metrics.power", false);
+    // Availability and goodput default on whenever failures are modeled
+    // (they are the point of a failure experiment); downtime is scarcer
+    // and stays opt-in.
+    const bool failing = spec.failures.has_value();
+    spec.recordAvailability =
+        config.getBool("metrics.availability", failing);
+    spec.recordGoodput = config.getBool("metrics.goodput", failing);
+    spec.recordDowntime = config.getBool("metrics.downtime", false);
 
     spec.sqs.accuracy = config.getDouble("sqs.accuracy", 0.05);
     spec.sqs.confidence = config.getDouble("sqs.confidence", 0.95);

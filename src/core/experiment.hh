@@ -26,6 +26,7 @@
 #include "policy/dreamweaver.hh"
 #include "policy/power_capping.hh"
 #include "power/sleep_state.hh"
+#include "queueing/retry.hh"
 #include "workload/workload.hh"
 
 namespace bighouse {
@@ -35,6 +36,9 @@ inline constexpr const char* kResponseTimeMetric = "response_time";
 inline constexpr const char* kWaitingTimeMetric = "waiting_time";
 inline constexpr const char* kCappingLevelMetric = "capping_level";
 inline constexpr const char* kServerPowerMetric = "server_power";
+inline constexpr const char* kAvailabilityMetric = "availability";
+inline constexpr const char* kGoodputMetric = "goodput";
+inline constexpr const char* kDowntimeMetric = "downtime";
 
 /** Which station model each server in the cluster uses. */
 enum class ServerModel
@@ -47,6 +51,42 @@ enum class ServerModel
 
 /** Parse "fcfs" | "ps" | "dreamweaver" | "powernap"; fatal() otherwise. */
 ServerModel parseServerModel(std::string_view name);
+
+/**
+ * Failure injection for the cluster: every server gets its own
+ * alternating Up/Down renewal process, the balancer (when present)
+ * ejects down backends, and a client-side retry path re-offers lost
+ * work. The whole block is opt-in — a spec without one builds the exact
+ * pre-failure model, event for event.
+ */
+struct FailureSpec
+{
+    DistPtr uptime;    ///< time-to-failure draws (MTBF scale)
+    DistPtr downtime;  ///< time-to-repair draws (MTTR scale)
+    TaskDisposition disposition = TaskDisposition::Drop;
+    /// Balancer health-check period; 0 wires health instantly (the
+    /// balancer learns of every edge the moment it happens), > 0 routes
+    /// through a HealthChecker so detection lags by up to one period.
+    double detectionInterval = 0.0;
+    /// Mean gap of the Poisson availability probe; 0 picks a default
+    /// from the failure time scale (one tenth of MTBF + MTTR).
+    double probeInterval = 0.0;
+    RetrySpec retry;   ///< client timeout/backoff policy
+
+    /** Deep copy (distributions cloned). */
+    FailureSpec
+    clone() const
+    {
+        FailureSpec copy;
+        copy.uptime = uptime ? uptime->clone() : nullptr;
+        copy.downtime = downtime ? downtime->clone() : nullptr;
+        copy.disposition = disposition;
+        copy.detectionInterval = detectionInterval;
+        copy.probeInterval = probeInterval;
+        copy.retry = retry;
+        return copy;
+    }
+};
 
 /** Full description of a cluster experiment. */
 struct ExperimentSpec
@@ -69,6 +109,14 @@ struct ExperimentSpec
     double cpuSlowdown = 1.0;
     bool recordResponseTime = true;
     bool recordWaitingTime = false;
+    /// Present -> servers fail and repair; see FailureSpec. FCFS only.
+    std::optional<FailureSpec> failures;
+    /// Availability (probe-sampled up-fraction), goodput (terminal
+    /// success indicator), and downtime (per-outage duration) metrics;
+    /// all require a failures block.
+    bool recordAvailability = false;
+    bool recordGoodput = false;
+    bool recordDowntime = false;
     /// Present -> power capping runs and (optionally) its level metric.
     std::optional<PowerCappingSpec> capping;
     bool recordCappingLevel = false;

@@ -109,6 +109,22 @@ summarizeRun(const SqsResult& result)
         << formatG(result.wallSeconds, 3) << "s)";
     if (!result.converged)
         oss << " [" << terminationReasonName(result.termination) << "]";
+    if (result.failures.has_value())
+        oss << "\n" << summarizeFailures(*result.failures);
+    return oss.str();
+}
+
+std::string
+summarizeFailures(const FailureTotals& totals)
+{
+    std::ostringstream oss;
+    oss << "failures: availability " << formatG(totals.availability(), 6)
+        << " (" << totals.counters.failuresInjected << " failures, "
+        << totals.counters.repairsCompleted << " repairs), goodput "
+        << formatG(totals.goodput(), 6) << " ("
+        << totals.counters.tasksCompletedOk << " ok, "
+        << totals.counters.tasksLost << " lost, "
+        << totals.counters.tasksRetried << " retried)";
     return oss.str();
 }
 

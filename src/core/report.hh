@@ -56,6 +56,9 @@ sortedEstimates(std::vector<MetricEstimate> estimates);
 /** One-paragraph summary of an SQS run (convergence, events, wall time). */
 std::string summarizeRun(const SqsResult& result);
 
+/** One-line availability/goodput summary of a run's failure totals. */
+std::string summarizeFailures(const FailureTotals& totals);
+
 } // namespace bighouse
 
 #endif // BIGHOUSE_CORE_REPORT_HH

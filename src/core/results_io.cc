@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "base/logging.hh"
+#include "base/strings.hh"
 
 namespace bighouse {
 
@@ -110,6 +111,60 @@ estimateFromJson(const JsonValue& json)
     return est;
 }
 
+// The "failures" object's counter fields, in serialization order.
+// Shared by the writer and the reader so the two cannot drift.
+struct CounterField
+{
+    const char* key;
+    std::uint64_t FailureCounters::* member;
+};
+
+constexpr CounterField kCounterFields[] = {
+    {"failuresInjected", &FailureCounters::failuresInjected},
+    {"repairsCompleted", &FailureCounters::repairsCompleted},
+    {"tasksDropped", &FailureCounters::tasksDropped},
+    {"tasksRequeued", &FailureCounters::tasksRequeued},
+    {"tasksRejected", &FailureCounters::tasksRejected},
+    {"tasksRetried", &FailureCounters::tasksRetried},
+    {"tasksLost", &FailureCounters::tasksLost},
+    {"tasksCompletedOk", &FailureCounters::tasksCompletedOk},
+    {"tasksTimedOut", &FailureCounters::tasksTimedOut},
+    {"staleCompletions", &FailureCounters::staleCompletions},
+    {"backendsEjected", &FailureCounters::backendsEjected},
+    {"backendsReadmitted", &FailureCounters::backendsReadmitted},
+};
+
+JsonValue
+failureTotalsToJson(const FailureTotals& totals)
+{
+    JsonValue::Object obj;
+    for (const CounterField& field : kCounterFields) {
+        obj.emplace(field.key,
+                    JsonValue(static_cast<double>(
+                        totals.counters.*(field.member))));
+    }
+    obj.emplace("serverSecondsUp", JsonValue(totals.serverSecondsUp));
+    obj.emplace("serverSecondsDown", JsonValue(totals.serverSecondsDown));
+    // Derived, for humans and schema checks; the reader recomputes from
+    // the integrals, so round-trips stay exact.
+    obj.emplace("availability", JsonValue(totals.availability()));
+    obj.emplace("goodput", JsonValue(totals.goodput()));
+    return JsonValue(std::move(obj));
+}
+
+FailureTotals
+failureTotalsFromJson(const JsonValue& json)
+{
+    FailureTotals totals;
+    for (const CounterField& field : kCounterFields) {
+        totals.counters.*(field.member) =
+            static_cast<std::uint64_t>(requireNumber(json, field.key));
+    }
+    totals.serverSecondsUp = requireNumber(json, "serverSecondsUp");
+    totals.serverSecondsDown = requireNumber(json, "serverSecondsDown");
+    return totals;
+}
+
 } // namespace
 
 JsonValue
@@ -127,6 +182,10 @@ resultToJson(const SqsResult& result)
     for (const MetricEstimate& est : result.estimates)
         estimates.push_back(estimateToJson(est));
     obj.emplace("estimates", JsonValue(std::move(estimates)));
+    // Absent for failure-free runs: their files stay byte-identical to
+    // the pre-failure schema.
+    if (result.failures.has_value())
+        obj.emplace("failures", failureTotalsToJson(*result.failures));
     return JsonValue(std::move(obj));
 }
 
@@ -158,6 +217,9 @@ resultFromJson(const JsonValue& json)
         fatal("result JSON missing 'estimates' array");
     for (const JsonValue& entry : estimates->asArray())
         result.estimates.push_back(estimateFromJson(entry));
+    const JsonValue* failures = json.find("failures");
+    if (failures != nullptr && failures->isObject())
+        result.failures = failureTotalsFromJson(*failures);
     return result;
 }
 
@@ -371,7 +433,8 @@ pointStatusFromName(std::string_view name)
         return PointStatus::Ran;
     if (name == "failed")
         return PointStatus::Failed;
-    fatal("unknown point status '", std::string(name), "' in manifest");
+    fatalUnknownName("point status", name,
+                     {"pending", "running", "cached", "ran", "failed"});
 }
 
 namespace {

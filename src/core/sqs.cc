@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "base/logging.hh"
+#include "base/strings.hh"
 
 namespace bighouse {
 
@@ -35,7 +36,9 @@ terminationReasonFromName(std::string_view name)
         return TerminationReason::Degraded;
     if (name == "drained")
         return TerminationReason::Drained;
-    fatal("unknown termination reason '", std::string(name), "'");
+    fatalUnknownName("termination reason", name,
+                     {"converged", "max-events", "max-sim-time",
+                      "deadline", "degraded", "drained"});
 }
 
 SqsSimulation::SqsSimulation(SqsConfig config, std::uint64_t seed)
@@ -82,6 +85,12 @@ SqsSimulation::setBatchObserver(BatchObserver observer)
     batchObserver = std::move(observer);
 }
 
+void
+SqsSimulation::setFailureProbe(FailureProbe probe)
+{
+    failureTotals = std::move(probe);
+}
+
 std::uint64_t
 SqsSimulation::runBatch(std::uint64_t events)
 {
@@ -96,6 +105,8 @@ SqsSimulation::snapshot() const
     result.events = sim.eventsExecuted();
     result.simulatedTime = sim.now();
     result.estimates = collection.estimates();
+    if (failureTotals)
+        result.failures = failureTotals();
     return result;
 }
 

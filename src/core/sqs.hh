@@ -18,7 +18,10 @@
 #include <string_view>
 #include <vector>
 
+#include <optional>
+
 #include "base/random.hh"
+#include "queueing/failure.hh"
 #include "sim/engine.hh"
 #include "stats/collection.hh"
 
@@ -76,6 +79,10 @@ struct SqsResult
     Time simulatedTime = 0;         ///< final simulated clock
     double wallSeconds = 0;         ///< host time spent inside run()
     std::vector<MetricEstimate> estimates;
+    /// Exact failure/availability totals — present only when the model
+    /// simulates failures (absent totals keep the result JSON schema
+    /// byte-identical to failure-free runs).
+    std::optional<FailureTotals> failures;
 };
 
 /** One simulation instance (the master's, or one slave's). */
@@ -110,6 +117,21 @@ class SqsSimulation
 
     /** Install (or clear, with {}) the batch-boundary observer. */
     void setBatchObserver(BatchObserver observer);
+
+    /**
+     * Answers "what are the exact failure totals right now?" — installed
+     * by model builders that simulate failures (Experiment::buildInto).
+     * When set, every snapshot()/run() result carries the totals; the
+     * parallel harness and the telemetry samplers read them through the
+     * same probe.
+     */
+    using FailureProbe = std::function<FailureTotals()>;
+
+    /** Install the failure-totals probe (model-build time only). */
+    void setFailureProbe(FailureProbe probe);
+
+    /** The installed probe ({} when the model has no failures). */
+    const FailureProbe& failureProbe() const { return failureTotals; }
 
     /** A MetricSpec pre-filled with this run's configured defaults. */
     MetricSpec defaultMetricSpec(std::string name) const;
@@ -148,6 +170,7 @@ class SqsSimulation
     Rng root;
     std::vector<std::shared_ptr<void>> model;
     BatchObserver batchObserver;
+    FailureProbe failureTotals;
     bool ran = false;
 };
 

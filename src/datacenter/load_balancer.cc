@@ -18,7 +18,8 @@ parseDispatch(std::string_view name)
         return Dispatch::JoinShortestQueue;
     if (key == "p2c" || key == "poweroftwo" || key == "power-of-two")
         return Dispatch::PowerOfTwo;
-    fatal("unknown dispatch policy '", std::string(name), "'");
+    fatalUnknownName("dispatch policy", name,
+                     {"random", "roundrobin", "jsq", "p2c"});
 }
 
 LoadBalancer::LoadBalancer(std::vector<Server*> serverList, Dispatch policy,
@@ -32,23 +33,64 @@ LoadBalancer::LoadBalancer(std::vector<Server*> serverList, Dispatch policy,
             fatal("LoadBalancer given a null server");
     }
     counts.assign(servers.size(), 0);
+    healthy.assign(servers.size(), 1);
+    healthyIndices.resize(servers.size());
+    for (std::size_t i = 0; i < servers.size(); ++i)
+        healthyIndices[i] = i;
+}
+
+void
+LoadBalancer::setServerHealth(std::size_t index, bool nowHealthy)
+{
+    BH_ASSERT(index < servers.size(), "health update for server ", index,
+              " of ", servers.size());
+    if ((healthy[index] != 0) == nowHealthy)
+        return;
+    healthy[index] = nowHealthy ? 1 : 0;
+    if (nowHealthy)
+        ++readmissions;
+    else
+        ++ejections;
+    // Rebuild the dense admitted list in ascending order, so the full-
+    // health list is exactly [0..N) and every discipline's scan order is
+    // deterministic.
+    healthyIndices.clear();
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        if (healthy[i])
+            healthyIndices.push_back(i);
+    }
+}
+
+void
+LoadBalancer::setOverflowHandler(OverflowHandler handler)
+{
+    onOverflow = std::move(handler);
 }
 
 std::size_t
 LoadBalancer::pick()
 {
+    BH_ASSERT(!healthyIndices.empty(), "pick() with every backend down");
     switch (policy) {
       case Dispatch::Random:
-        return static_cast<std::size_t>(rng.below(servers.size()));
+        return healthyIndices[static_cast<std::size_t>(
+            rng.below(healthyIndices.size()))];
       case Dispatch::RoundRobin: {
+        // The cursor walks server indices (not healthy-list positions),
+        // skipping ejected backends — so a backend that flaps doesn't
+        // shift everyone else's turn, and a full-health cluster cycles
+        // exactly as an unaware balancer would.
+        while (!healthy[nextIndex])
+            nextIndex = (nextIndex + 1) % servers.size();
         const std::size_t index = nextIndex;
         nextIndex = (nextIndex + 1) % servers.size();
         return index;
       }
       case Dispatch::JoinShortestQueue: {
-        std::size_t best = 0;
-        std::size_t bestDepth = servers[0]->outstanding();
-        for (std::size_t i = 1; i < servers.size(); ++i) {
+        std::size_t best = healthyIndices[0];
+        std::size_t bestDepth = servers[best]->outstanding();
+        for (std::size_t h = 1; h < healthyIndices.size(); ++h) {
+            const std::size_t i = healthyIndices[h];
             const std::size_t depth = servers[i]->outstanding();
             if (depth < bestDepth) {
                 best = i;
@@ -58,20 +100,17 @@ LoadBalancer::pick()
         return best;
       }
       case Dispatch::PowerOfTwo: {
-        const std::size_t first =
-            static_cast<std::size_t>(rng.below(servers.size()));
-        std::size_t second =
-            static_cast<std::size_t>(rng.below(servers.size()));
-        if (servers.size() > 1) {
-            while (second == first) {
-                second =
-                    static_cast<std::size_t>(rng.below(servers.size()));
-            }
+        const std::size_t n = healthyIndices.size();
+        const std::size_t first = static_cast<std::size_t>(rng.below(n));
+        std::size_t second = static_cast<std::size_t>(rng.below(n));
+        if (n > 1) {
+            while (second == first)
+                second = static_cast<std::size_t>(rng.below(n));
         }
-        return servers[first]->outstanding()
-                       <= servers[second]->outstanding()
-                   ? first
-                   : second;
+        const std::size_t a = healthyIndices[first];
+        const std::size_t b = healthyIndices[second];
+        return servers[a]->outstanding() <= servers[b]->outstanding() ? a
+                                                                      : b;
       }
     }
     panic("unreachable dispatch policy");
@@ -80,10 +119,47 @@ LoadBalancer::pick()
 void
 LoadBalancer::accept(Task task)
 {
+    if (healthyIndices.empty()) [[unlikely]] {
+        ++unroutable;
+        if (onOverflow) {
+            onOverflow(std::move(task), TaskLoss::Unroutable);
+            return;
+        }
+        return;  // no retry path wired: the task is simply gone
+    }
     const std::size_t target = pick();
     ++routed;
     ++counts[target];
     servers[target]->accept(std::move(task));
+}
+
+HealthChecker::HealthChecker(Engine& engine, LoadBalancer& balancer,
+                             std::vector<Server*> serverList, Time interval)
+    : engine(engine),
+      balancer(balancer),
+      servers(std::move(serverList)),
+      interval(interval)
+{
+    if (interval <= 0.0)
+        fatal("HealthChecker interval must be > 0, got ", interval);
+}
+
+void
+HealthChecker::start()
+{
+    engine.scheduleAfter(interval, [this] { probe(); });
+}
+
+void
+HealthChecker::probe()
+{
+    ++probes;
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        const bool actual = servers[i]->isUp();
+        if (actual != balancer.serverHealthy(i))
+            balancer.setServerHealth(i, actual);
+    }
+    engine.scheduleAfter(interval, [this] { probe(); });
 }
 
 } // namespace bighouse

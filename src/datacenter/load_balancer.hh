@@ -4,6 +4,14 @@
  * studies investigating load balancing, power management, resource
  * allocation, hardware provisioning" — the balancer is the load-balancing
  * building block: random, round-robin, or join-shortest-queue dispatch.
+ *
+ * The balancer is *health-aware*: backends marked down are ejected from
+ * every dispatch discipline and re-admitted on repair. Health can be
+ * wired instantly (a FailureProcess state handler) or through a
+ * HealthChecker that probes on an interval, so detection lags failure
+ * the way a real health-check loop does. When every backend is down,
+ * tasks flow to the overflow handler (the source's retry path) or are
+ * counted lost — they never hit a modulo-by-zero.
  */
 
 #ifndef BIGHOUSE_DATACENTER_LOAD_BALANCER_HH
@@ -13,11 +21,11 @@
 #include <vector>
 
 #include "base/random.hh"
+#include "queueing/server.hh"
 #include "queueing/task.hh"
+#include "sim/engine.hh"
 
 namespace bighouse {
-
-class Server;
 
 /**
  * Dispatch disciplines. PowerOfTwo samples two servers uniformly and
@@ -26,24 +34,56 @@ class Server;
  */
 enum class Dispatch { Random, RoundRobin, JoinShortestQueue, PowerOfTwo };
 
-/** Parse "random" | "roundrobin" | "jsq" | "p2c"; fatal() otherwise. */
+/** Parse "random" | "roundrobin" | "jsq" | "p2c"; did-you-mean fatal()
+ *  otherwise. */
 Dispatch parseDispatch(std::string_view name);
 
-/** Routes arriving tasks to one of several servers. */
+/** Routes arriving tasks to one of several healthy servers. */
 class LoadBalancer : public TaskAcceptor
 {
   public:
+    /** Receives tasks that could not be routed (all backends down). */
+    using OverflowHandler = std::function<void(Task, TaskLoss)>;
+
     /**
      * @param servers non-owning targets (must outlive the balancer)
      * @param policy dispatch discipline
-     * @param rng stream for Random dispatch
+     * @param rng stream for Random/PowerOfTwo dispatch
      */
     LoadBalancer(std::vector<Server*> servers, Dispatch policy, Rng rng);
 
     void accept(Task task) override;
 
-    /** Tasks routed so far. */
+    /**
+     * Mark one backend healthy or not. Unhealthy backends receive no
+     * traffic from any discipline until re-admitted. Idempotent.
+     */
+    void setServerHealth(std::size_t index, bool healthy);
+
+    /** Install the all-backends-down task handler (retry wiring).
+     *  Without one, unroutable tasks are dropped (and counted). */
+    void setOverflowHandler(OverflowHandler handler);
+
+    /** Backends currently admitted. */
+    std::size_t healthyCount() const { return healthyIndices.size(); }
+
+    /** True when `index` is currently admitted. */
+    bool serverHealthy(std::size_t index) const
+    {
+        return healthy[index] != 0;
+    }
+
+    /** Tasks routed so far (excludes unroutable tasks). */
     std::uint64_t routedCount() const { return routed; }
+
+    /** Tasks that arrived with every backend down. */
+    std::uint64_t unroutableCount() const { return unroutable; }
+
+    /** Health Up->Down edges seen so far. */
+    std::uint64_t ejectionCount() const { return ejections; }
+
+    /** Health Down->Up edges seen so far. */
+    std::uint64_t readmissionCount() const { return readmissions; }
 
     /** Per-server routed counts (same order as construction). */
     const std::vector<std::uint64_t>& perServerCounts() const
@@ -57,9 +97,48 @@ class LoadBalancer : public TaskAcceptor
     std::vector<Server*> servers;
     Dispatch policy;
     Rng rng;
+    OverflowHandler onOverflow;
+    /// Admitted flags plus a dense index list. All disciplines draw from
+    /// healthyIndices, so with every backend admitted (the common, no-
+    /// failure case) the RNG draw sequence is identical to a health-
+    /// unaware balancer — the health layer is bit-invisible until a
+    /// backend is actually ejected.
+    std::vector<std::uint8_t> healthy;
+    std::vector<std::size_t> healthyIndices;
     std::size_t nextIndex = 0;
     std::uint64_t routed = 0;
+    std::uint64_t unroutable = 0;
+    std::uint64_t ejections = 0;
+    std::uint64_t readmissions = 0;
     std::vector<std::uint64_t> counts;
+};
+
+/**
+ * Periodic health prober: every `interval` seconds, compares each
+ * server's actual Up/Down state with the balancer's admitted set and
+ * reconciles. Detection (and re-admission) therefore lags the truth by
+ * up to one interval — the window in which a health-lagged balancer
+ * keeps routing to a dead backend.
+ */
+class HealthChecker
+{
+  public:
+    HealthChecker(Engine& engine, LoadBalancer& balancer,
+                  std::vector<Server*> servers, Time interval);
+
+    /** Schedule the first probe (one interval from now). */
+    void start();
+
+    std::uint64_t probeCount() const { return probes; }
+
+  private:
+    void probe();
+
+    Engine& engine;
+    LoadBalancer& balancer;
+    std::vector<Server*> servers;
+    Time interval;
+    std::uint64_t probes = 0;
 };
 
 } // namespace bighouse

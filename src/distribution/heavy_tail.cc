@@ -64,6 +64,14 @@ Weibull::Weibull(double shape, double scale)
         fatal("Weibull shape and scale must be > 0");
 }
 
+Weibull
+Weibull::fromMeanShape(double mean, double shape)
+{
+    if (mean <= 0 || shape <= 0)
+        fatal("Weibull::fromMeanShape needs mean > 0 and shape > 0");
+    return Weibull(shape, mean / std::tgamma(1.0 + 1.0 / shape));
+}
+
 double
 Weibull::sample(Rng& rng) const
 {

@@ -40,6 +40,14 @@ class Weibull : public Distribution
   public:
     Weibull(double shape, double scale);
 
+    /**
+     * Weibull with a prescribed mean and shape: scale = mean / G(1+1/k).
+     * The natural MTBF/MTTR parameterization for failure processes —
+     * shape < 1 models infant-mortality hazard (failures cluster early),
+     * shape > 1 wear-out hazard, shape == 1 the memoryless exponential.
+     */
+    static Weibull fromMeanShape(double mean, double shape);
+
     double sample(Rng& rng) const override;
     double mean() const override;
     double variance() const override;

@@ -7,6 +7,7 @@
 #include "base/logging.hh"
 #include "base/random.hh"
 #include "obs/status.hh"
+#include "queueing/failure.hh"
 #include "sim/engine.hh"
 #include "stats/collection.hh"
 
@@ -48,6 +49,22 @@ telemetryCounterName(TelemetryCounter counter)
         return "campaign.pointsFailed";
       case TelemetryCounter::PointsPending:
         return "campaign.pointsPending";
+      case TelemetryCounter::FailuresInjected:
+        return "failures.injected";
+      case TelemetryCounter::RepairsCompleted:
+        return "failures.repaired";
+      case TelemetryCounter::TasksDropped:
+        return "failures.tasksDropped";
+      case TelemetryCounter::TasksRequeued:
+        return "failures.tasksRequeued";
+      case TelemetryCounter::TasksRetried:
+        return "failures.tasksRetried";
+      case TelemetryCounter::TasksLost:
+        return "failures.tasksLost";
+      case TelemetryCounter::BackendsEjected:
+        return "failures.backendsEjected";
+      case TelemetryCounter::BackendsReadmitted:
+        return "failures.backendsReadmitted";
       case TelemetryCounter::kCount:
         break;
     }
@@ -206,6 +223,24 @@ void
 sampleRngTelemetry(TelemetrySlab& slab)
 {
     slab.set(TelemetryCounter::RngDraws, threadRngDraws());
+}
+
+void
+sampleFailureTelemetry(TelemetrySlab& slab, const FailureTotals& totals)
+{
+    slab.set(TelemetryCounter::FailuresInjected,
+             totals.counters.failuresInjected);
+    slab.set(TelemetryCounter::RepairsCompleted,
+             totals.counters.repairsCompleted);
+    slab.set(TelemetryCounter::TasksDropped, totals.counters.tasksDropped);
+    slab.set(TelemetryCounter::TasksRequeued,
+             totals.counters.tasksRequeued);
+    slab.set(TelemetryCounter::TasksRetried, totals.counters.tasksRetried);
+    slab.set(TelemetryCounter::TasksLost, totals.counters.tasksLost);
+    slab.set(TelemetryCounter::BackendsEjected,
+             totals.counters.backendsEjected);
+    slab.set(TelemetryCounter::BackendsReadmitted,
+             totals.counters.backendsReadmitted);
 }
 
 } // namespace bighouse

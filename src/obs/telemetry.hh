@@ -43,6 +43,7 @@ namespace bighouse {
 
 class Engine;
 class StatsCollection;
+struct FailureTotals;
 
 /** Monotonic counters a slab carries (one atomic cell each). */
 enum class TelemetryCounter
@@ -63,6 +64,14 @@ enum class TelemetryCounter
     PointsRan,          ///< campaign.pointsRan
     PointsFailed,       ///< campaign.pointsFailed
     PointsPending,      ///< campaign.pointsPending
+    FailuresInjected,   ///< failures.injected (server Up -> Down edges)
+    RepairsCompleted,   ///< failures.repaired (server Down -> Up edges)
+    TasksDropped,       ///< failures.tasksDropped (lost to Drop crashes)
+    TasksRequeued,      ///< failures.tasksRequeued (demoted by Requeue)
+    TasksRetried,       ///< failures.tasksRetried (retry-path re-offers)
+    TasksLost,          ///< failures.tasksLost (terminally lost)
+    BackendsEjected,    ///< failures.backendsEjected (balancer health)
+    BackendsReadmitted, ///< failures.backendsReadmitted
     kCount,
 };
 
@@ -197,6 +206,15 @@ void sampleEngineTelemetry(TelemetrySlab& slab, const Engine& engine);
 /** Pull per-metric offered/accepted totals into a slab. */
 void sampleStatsTelemetry(TelemetrySlab& slab,
                           const StatsCollection& stats);
+
+/**
+ * Pull a run's failure totals into a slab (absolute values, idempotent
+ * per instant). Serial runs sample once at the end; parallel runs
+ * sample each slave's totals from ParallelConfig::onSlaveDone, so the
+ * registry's cross-slab totals carry the ensemble counters.
+ */
+void sampleFailureTelemetry(TelemetrySlab& slab,
+                            const FailureTotals& totals);
 
 /**
  * Record the calling thread's cumulative Rng draw tally into the slab.

@@ -153,6 +153,15 @@ ParallelRunner::execute(std::uint64_t rootSeed,
     BH_ASSERT(metricCount > 0, "parallel run with no metrics");
     result.masterCalibrationEvents =
         runToMeasurement(master, cfg.sqs.batchEvents, nullptr);
+    // Failure-totals aggregation: the master's calibration segment plus
+    // every slave's full run. Guarded by mtx on the slave side; the
+    // master contribution happens before any slave exists.
+    FailureTotals aggregateFailures;
+    bool failuresPresent = false;
+    if (master.failureProbe()) {
+        aggregateFailures.accumulate(master.failureProbe()());
+        failuresPresent = true;
+    }
     if (cfg.progress) {
         // Calibration-phase snapshot: the slaves exist only on paper yet.
         ParallelProgressSnapshot snap;
@@ -492,6 +501,15 @@ ParallelRunner::execute(std::uint64_t rootSeed,
             progress[index].histograms.assign(metricCount, std::string());
             progress[index].measured = false;
         }
+        // The sim is quiescent here: fold its failure totals into the
+        // run aggregate. Failed slaves contribute too — their estimates
+        // are discarded, but their failure events did happen, and
+        // ensemble conservation is checked against what actually ran.
+        if (sim.failureProbe()) {
+            const FailureTotals totals = sim.failureProbe()();
+            std::lock_guard<std::mutex> lock(mtx);
+            aggregateFailures.accumulate(totals);
+        }
         // Telemetry hook before the active-count decrement: in pool mode
         // the waiter may tear down this frame (cfg, slaves) the moment it
         // observes the zero count. The sim is quiescent here.
@@ -744,6 +762,8 @@ ParallelRunner::execute(std::uint64_t rootSeed,
     result.estimates = master.stats().estimates();
     result.slaveCalibrationEvents.resize(cfg.slaves);
     result.slaveTotalEvents.resize(cfg.slaves);
+    if (failuresPresent)
+        result.failures = aggregateFailures;
     result.totalEvents = result.masterCalibrationEvents;
     for (std::size_t s = 0; s < cfg.slaves; ++s) {
         result.slaveCalibrationEvents[s] =

@@ -162,6 +162,9 @@ struct ParallelResult
     bool converged = false;
     TerminationReason termination = TerminationReason::Converged;
     std::vector<MetricEstimate> estimates;  ///< merged across slaves
+    /// Summed failure totals (master + every slave that ran); present
+    /// only when the model installs a failure probe.
+    std::optional<FailureTotals> failures;
 
     /// True when at least one slave's sample was excluded from the
     /// merge (the estimate is built from a reduced quorum).

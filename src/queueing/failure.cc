@@ -1,0 +1,144 @@
+#include "queueing/failure.hh"
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "queueing/server.hh"
+
+namespace bighouse {
+
+TaskDisposition
+parseTaskDisposition(std::string_view name)
+{
+    const std::string key = toLower(name);
+    if (key == "drop")
+        return TaskDisposition::Drop;
+    if (key == "requeue")
+        return TaskDisposition::Requeue;
+    if (key == "resume")
+        return TaskDisposition::Resume;
+    fatalUnknownName("task disposition", name,
+                     {"drop", "requeue", "resume"});
+}
+
+const char*
+taskDispositionName(TaskDisposition disposition)
+{
+    switch (disposition) {
+      case TaskDisposition::Drop: return "drop";
+      case TaskDisposition::Requeue: return "requeue";
+      case TaskDisposition::Resume: return "resume";
+    }
+    return "unknown";
+}
+
+FailureProcess::FailureProcess(Engine& engine, Server& server,
+                               DistPtr uptimeDist, DistPtr downtimeDist,
+                               TaskDisposition disposition,
+                               FailureCounters& counters, Rng rng,
+                               std::size_t serverIndex)
+    : engine(engine),
+      server(server),
+      uptime(std::move(uptimeDist)),
+      downtime(std::move(downtimeDist)),
+      disposition(disposition),
+      counters(counters),
+      rng(rng),
+      serverIndex(serverIndex)
+{
+    if (!this->uptime || !this->downtime)
+        fatal("FailureProcess needs both an uptime and a downtime "
+              "distribution");
+}
+
+void
+FailureProcess::start()
+{
+    BH_ASSERT(!running, "FailureProcess started twice");
+    running = true;
+    scheduleFailure();
+}
+
+void
+FailureProcess::setStateHandler(StateHandler handler)
+{
+    onState = std::move(handler);
+}
+
+void
+FailureProcess::scheduleFailure()
+{
+    engine.scheduleAfter(uptime->sample(rng), [this] { fail(); });
+}
+
+void
+FailureProcess::scheduleRepair()
+{
+    engine.scheduleAfter(downtime->sample(rng), [this] { repair(); });
+}
+
+void
+FailureProcess::fail()
+{
+    BH_ASSERT(up, "failure event on a down server");
+    up = false;
+    ++failures;
+    downSince = engine.now();
+    ++counters.failuresInjected;
+    // Count the in-flight work the disposition is about to disturb
+    // before fail() moves it; the lost handler fires per task inside.
+    const std::uint64_t onCores = server.busyCores();
+    server.fail(disposition);
+    if (disposition == TaskDisposition::Requeue)
+        counters.tasksRequeued += onCores;
+    if (onState)
+        onState(serverIndex, false, 0.0);
+    scheduleRepair();
+}
+
+void
+FailureProcess::repair()
+{
+    BH_ASSERT(!up, "repair event on an up server");
+    up = true;
+    ++counters.repairsCompleted;
+    const Time outage = engine.now() - downSince;
+    server.repair();
+    if (onState)
+        onState(serverIndex, true, outage);
+    scheduleFailure();
+}
+
+AvailabilityProbe::AvailabilityProbe(Engine& engine,
+                                     std::function<double()> upFraction,
+                                     double meanInterval, Sink sink,
+                                     Rng rng)
+    : engine(engine),
+      upFraction(std::move(upFraction)),
+      meanInterval(meanInterval),
+      sink(std::move(sink)),
+      rng(rng)
+{
+    if (meanInterval <= 0.0)
+        fatal("AvailabilityProbe mean interval must be > 0, got ",
+              meanInterval);
+    if (!this->upFraction || !this->sink)
+        fatal("AvailabilityProbe needs an up-fraction source and a sink");
+}
+
+void
+AvailabilityProbe::start()
+{
+    engine.scheduleAfter(rng.exponential(1.0 / meanInterval),
+                         [this] { probe(); });
+}
+
+void
+AvailabilityProbe::probe()
+{
+    ++probes;
+    sink(upFraction());
+    engine.scheduleAfter(rng.exponential(1.0 / meanInterval),
+                         [this] { probe(); });
+}
+
+} // namespace bighouse

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Failure/repair processes for the *simulated* machines.
+ *
+ * PR-1 made the simulator fault-tolerant; this subsystem models failure
+ * of the machines being simulated — SPECI-2's "normal failure" regime,
+ * where at cloud scale some component is always dying. A FailureProcess
+ * drives one server through an Up/Down lifecycle with time-to-failure
+ * and time-to-repair draws from arbitrary distributions (exponential for
+ * the memoryless M/M/1-with-breakdowns baseline, Weibull for
+ * infant-mortality or wear-out hazard), an AvailabilityProbe turns the
+ * cluster's up/down state into a convergent SQS metric, and
+ * FailureCounters is the shared ledger every component of the failure
+ * path (servers, balancer, retry queue) writes its events into.
+ *
+ * Everything here is strictly opt-in: a simulation that constructs no
+ * FailureProcess executes the exact event stream it always did.
+ */
+
+#ifndef BIGHOUSE_QUEUEING_FAILURE_HH
+#define BIGHOUSE_QUEUEING_FAILURE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "base/random.hh"
+#include "distribution/distribution.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+
+class Server;
+
+/**
+ * What happens to work a server holds at the instant it fails.
+ *  - Drop:    everything in flight (cores and queue) is lost; the lost
+ *             handler decides whether it re-enters via the retry path.
+ *             Models a crash that loses all request state.
+ *  - Requeue: tasks on cores fall back to the head of the queue with
+ *             their full service demand restored (progress lost); queued
+ *             tasks survive. Service restarts after repair. Models a
+ *             process restart with a durable accept queue.
+ *  - Resume:  all progress is conserved; service continues where it
+ *             stopped once repaired. Models a transparent migration or a
+ *             power-loss-tolerant suspend.
+ */
+enum class TaskDisposition { Drop, Requeue, Resume };
+
+/** Parse "drop" | "requeue" | "resume"; did-you-mean fatal() otherwise. */
+TaskDisposition parseTaskDisposition(std::string_view name);
+
+/** Render a TaskDisposition as text. */
+const char* taskDispositionName(TaskDisposition disposition);
+
+/**
+ * Shared event ledger for one simulation's failure path. Single-threaded
+ * (one simulation instance runs on one thread), so plain integers; the
+ * telemetry layer copies these into atomic slab cells at quiesce points.
+ */
+struct FailureCounters
+{
+    std::uint64_t failuresInjected = 0;   ///< server Up -> Down edges
+    std::uint64_t repairsCompleted = 0;   ///< server Down -> Up edges
+    std::uint64_t tasksDropped = 0;       ///< in-flight work lost to Drop
+    std::uint64_t tasksRequeued = 0;      ///< core tasks demoted by Requeue
+    std::uint64_t tasksRejected = 0;      ///< arrivals bounced off a down server
+    std::uint64_t tasksRetried = 0;       ///< re-offers by the retry path
+    std::uint64_t tasksLost = 0;          ///< terminally lost (retries spent)
+    std::uint64_t tasksCompletedOk = 0;   ///< terminally successful
+    std::uint64_t tasksTimedOut = 0;      ///< per-task timeouts fired
+    std::uint64_t staleCompletions = 0;   ///< completions of abandoned attempts
+    std::uint64_t backendsEjected = 0;    ///< balancer health Up -> Down edges
+    std::uint64_t backendsReadmitted = 0; ///< balancer health Down -> Up edges
+};
+
+/**
+ * End-of-run failure/availability summary attached to SqsResult when a
+ * simulation models failures: the event counters plus the exact
+ * time-integrated server-seconds split. `availability` here is the
+ * *exact* per-run time average; the `availability` SQS metric is the
+ * probe-sampled estimate of the same quantity, with a confidence
+ * interval and convergence control.
+ */
+struct FailureTotals
+{
+    FailureCounters counters;
+    double serverSecondsUp = 0.0;
+    double serverSecondsDown = 0.0;
+
+    /** Fraction of server-seconds spent up (1.0 for an all-up run). */
+    double
+    availability() const
+    {
+        const double total = serverSecondsUp + serverSecondsDown;
+        return total > 0.0 ? serverSecondsUp / total : 1.0;
+    }
+
+    /**
+     * Fold another instance's totals into this one — the parallel
+     * harness sums the master's and every slave's totals, so ensemble
+     * conservation (offered == ok + lost + outstanding) holds for the
+     * aggregate exactly as it does per instance.
+     */
+    void
+    accumulate(const FailureTotals& other)
+    {
+        counters.failuresInjected += other.counters.failuresInjected;
+        counters.repairsCompleted += other.counters.repairsCompleted;
+        counters.tasksDropped += other.counters.tasksDropped;
+        counters.tasksRequeued += other.counters.tasksRequeued;
+        counters.tasksRejected += other.counters.tasksRejected;
+        counters.tasksRetried += other.counters.tasksRetried;
+        counters.tasksLost += other.counters.tasksLost;
+        counters.tasksCompletedOk += other.counters.tasksCompletedOk;
+        counters.tasksTimedOut += other.counters.tasksTimedOut;
+        counters.staleCompletions += other.counters.staleCompletions;
+        counters.backendsEjected += other.counters.backendsEjected;
+        counters.backendsReadmitted += other.counters.backendsReadmitted;
+        serverSecondsUp += other.serverSecondsUp;
+        serverSecondsDown += other.serverSecondsDown;
+    }
+
+    /** Fraction of terminally resolved tasks that succeeded. */
+    double
+    goodput() const
+    {
+        const double resolved =
+            static_cast<double>(counters.tasksCompletedOk)
+            + static_cast<double>(counters.tasksLost);
+        return resolved > 0.0
+                   ? static_cast<double>(counters.tasksCompletedOk)
+                         / resolved
+                   : 1.0;
+    }
+};
+
+/**
+ * Drives one server through alternating Up and Down periods.
+ *
+ * Lifecycle: start() draws a time-to-failure and schedules the failure
+ * event; the failure calls Server::fail(disposition) and draws a
+ * time-to-repair; the repair calls Server::repair() and draws the next
+ * time-to-failure — forever. Both draws come from this process's own Rng
+ * stream, so two same-seed runs inject the identical failure schedule.
+ */
+class FailureProcess
+{
+  public:
+    /** (serverIndex, up, downtime) on every state edge; `downtime` is
+     *  the completed outage length on repair edges, 0.0 on failures. */
+    using StateHandler =
+        std::function<void(std::size_t, bool, Time)>;
+
+    /**
+     * @param engine the simulation this process lives in
+     * @param server the station whose lifecycle it drives
+     * @param uptime time-to-failure distribution (seconds)
+     * @param downtime time-to-repair distribution (seconds)
+     * @param disposition fate of in-flight work at failure instants
+     * @param counters shared ledger (outlives the process)
+     * @param rng dedicated stream (split from the experiment root)
+     * @param serverIndex reported to the state handler
+     */
+    FailureProcess(Engine& engine, Server& server, DistPtr uptime,
+                   DistPtr downtime, TaskDisposition disposition,
+                   FailureCounters& counters, Rng rng,
+                   std::size_t serverIndex = 0);
+
+    /** Schedule the first failure (one time-to-failure draw from now). */
+    void start();
+
+    /** Notify on every Up/Down edge (health wiring, downtime metrics). */
+    void setStateHandler(StateHandler handler);
+
+    bool serverUp() const { return up; }
+    std::uint64_t failureCount() const { return failures; }
+
+  private:
+    void scheduleFailure();
+    void scheduleRepair();
+    void fail();
+    void repair();
+
+    Engine& engine;
+    Server& server;
+    DistPtr uptime;
+    DistPtr downtime;
+    TaskDisposition disposition;
+    FailureCounters& counters;
+    Rng rng;
+    std::size_t serverIndex;
+    StateHandler onState;
+    Time downSince = 0.0;
+    std::uint64_t failures = 0;
+    bool up = true;
+    bool running = false;
+};
+
+/**
+ * Samples the cluster's up-fraction at exponentially distributed probe
+ * instants and reports each sample to a sink — the bridge from the
+ * continuous-time Up/Down state to a convergent SQS observation stream.
+ *
+ * Poisson sampling makes the observation mean an unbiased estimator of
+ * the time-average availability (PASTA), so the standard calibration /
+ * lag / confidence machinery applies unchanged; an M/M/1-with-breakdowns
+ * run converges to MTBF/(MTBF+MTTR) within the configured interval.
+ */
+class AvailabilityProbe
+{
+  public:
+    /** Receives the fraction of probed servers that are up, in [0, 1]. */
+    using Sink = std::function<void(double)>;
+
+    /**
+     * @param engine the simulation to probe in
+     * @param upFraction answers "what fraction of servers is up now?"
+     * @param meanInterval mean of the exponential probe gaps (seconds)
+     * @param sink observation consumer (a stats.record() closure)
+     * @param rng dedicated stream for the probe gaps
+     */
+    AvailabilityProbe(Engine& engine, std::function<double()> upFraction,
+                      double meanInterval, Sink sink, Rng rng);
+
+    /** Schedule the first probe (one gap from now). */
+    void start();
+
+    std::uint64_t probeCount() const { return probes; }
+
+  private:
+    void probe();
+
+    Engine& engine;
+    std::function<double()> upFraction;
+    double meanInterval;
+    Sink sink;
+    Rng rng;
+    std::uint64_t probes = 0;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_QUEUEING_FAILURE_HH

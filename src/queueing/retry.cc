@@ -1,0 +1,155 @@
+#include "queueing/retry.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+RetryQueue::RetryQueue(Engine& engine, TaskAcceptor& downstream,
+                       RetrySpec spec, FailureCounters& counters)
+    : engine(engine), downstream(downstream), spec(spec),
+      counters(counters)
+{
+    if (spec.timeout < 0.0)
+        fatal("RetrySpec timeout must be >= 0, got ", spec.timeout);
+    if (spec.backoffBase <= 0.0 || spec.backoffFactor < 1.0
+        || spec.backoffMax < spec.backoffBase) {
+        fatal("RetrySpec backoff needs base > 0, factor >= 1, "
+              "max >= base");
+    }
+}
+
+void
+RetryQueue::setOutcomeHandler(OutcomeHandler handler)
+{
+    onOutcome = std::move(handler);
+}
+
+Time
+RetryQueue::backoffDelay(std::uint32_t attempt) const
+{
+    BH_ASSERT(attempt >= 1, "backoff before the first retry");
+    double delay = spec.backoffBase;
+    for (std::uint32_t k = 1; k < attempt; ++k)
+        delay *= spec.backoffFactor;
+    return std::min(delay, spec.backoffMax);
+}
+
+void
+RetryQueue::accept(Task task)
+{
+    BH_ASSERT(task.attempts == 0, "fresh task with a nonzero attempt");
+    Flight flight;
+    flight.original = task;
+    flight.attempt = 0;
+    const std::uint64_t id = task.id;
+    auto [it, inserted] = inflight.emplace(id, std::move(flight));
+    BH_ASSERT(inserted, "duplicate task id ", id, " offered to RetryQueue");
+    (void)it;
+    offer(std::move(task));
+}
+
+void
+RetryQueue::offer(Task task)
+{
+    const std::uint64_t id = task.id;
+    if (spec.timeout > 0.0) {
+        Flight& flight = inflight.at(id);
+        flight.timeout = engine.scheduleAfter(
+            spec.timeout, [this, id] { timeoutFired(id); });
+        flight.hasTimeout = true;
+    }
+    // No member access after this call: a synchronous loss path (e.g.
+    // an all-down balancer) may re-enter onLost() and mutate the map.
+    downstream.accept(std::move(task));
+}
+
+void
+RetryQueue::resolve(std::uint64_t id, const Task& task, bool ok)
+{
+    auto it = inflight.find(id);
+    BH_ASSERT(it != inflight.end(), "resolve of unknown task ", id);
+    if (it->second.hasTimeout)
+        engine.cancel(it->second.timeout);
+    inflight.erase(it);
+    if (ok)
+        ++counters.tasksCompletedOk;
+    else
+        ++counters.tasksLost;
+    if (onOutcome)
+        onOutcome(task, ok);
+}
+
+void
+RetryQueue::onLost(Task task, TaskLoss loss)
+{
+    (void)loss;
+    auto it = inflight.find(task.id);
+    if (it == inflight.end() || it->second.attempt != task.attempts)
+        return;  // an abandoned attempt's copy died later; already handled
+    Flight& flight = it->second;
+    if (flight.hasTimeout) {
+        engine.cancel(flight.timeout);
+        flight.hasTimeout = false;
+    }
+    if (flight.attempt >= spec.maxRetries) {
+        resolve(task.id, task, false);
+        return;
+    }
+    scheduleReoffer(task.id, flight);
+}
+
+void
+RetryQueue::scheduleReoffer(std::uint64_t id, Flight& flight)
+{
+    ++flight.attempt;
+    ++counters.tasksRetried;
+    // Capture only the id (the event callback's inline budget is small);
+    // the re-offered copy is rebuilt from the stored original at fire
+    // time — if the task resolved while backing off, the entry is gone.
+    engine.scheduleAfter(backoffDelay(flight.attempt), [this, id] {
+        auto it = inflight.find(id);
+        if (it == inflight.end())
+            return;  // resolved while backing off
+        Task again = it->second.original;
+        again.remaining = again.size;
+        again.startTime = kTimeNever;
+        again.finishTime = kTimeNever;
+        again.attempts = it->second.attempt;
+        offer(std::move(again));
+    });
+}
+
+bool
+RetryQueue::onCompleted(const Task& task)
+{
+    auto it = inflight.find(task.id);
+    if (it == inflight.end() || it->second.attempt != task.attempts) {
+        // Zombie work: a copy the client had already abandoned (timeout
+        // fired, retry in flight) completed anyway. The server paid for
+        // it; the client-visible outcome was decided elsewhere.
+        ++counters.staleCompletions;
+        return false;
+    }
+    resolve(task.id, task, true);
+    return true;
+}
+
+void
+RetryQueue::timeoutFired(std::uint64_t id)
+{
+    auto it = inflight.find(id);
+    if (it == inflight.end())
+        return;  // resolved in the same instant
+    Flight& flight = it->second;
+    flight.hasTimeout = false;
+    ++counters.tasksTimedOut;
+    if (flight.attempt >= spec.maxRetries) {
+        resolve(id, flight.original, false);
+        return;
+    }
+    scheduleReoffer(id, flight);
+}
+
+} // namespace bighouse

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Client-side retry: the piece that keeps lost work from silently
+ * vanishing when the simulated data center fails underneath it.
+ *
+ * A RetryQueue sits between a Source and its downstream (balancer or
+ * server). Every task flows through it; when the downstream reports a
+ * loss (server crash, rejection by a down backend, no routable backend)
+ * — or the per-task timeout fires first — the task is re-offered after
+ * an exponential backoff, up to a bounded number of retries, and only
+ * then declared terminally lost. Terminal outcomes (success or loss)
+ * feed the goodput metric and the lost/retried counters.
+ */
+
+#ifndef BIGHOUSE_QUEUEING_RETRY_HH
+#define BIGHOUSE_QUEUEING_RETRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "queueing/failure.hh"
+#include "queueing/server.hh"
+#include "queueing/task.hh"
+#include "sim/engine.hh"
+
+namespace bighouse {
+
+/** Timeout/backoff policy for one retry path. */
+struct RetrySpec
+{
+    /// Re-offers allowed after the first attempt; 0 = no retries (the
+    /// retry queue still resolves terminal outcomes for goodput).
+    std::uint32_t maxRetries = 0;
+    /// Client-side per-task timeout in seconds; 0 disables timeouts.
+    /// A timed-out attempt is abandoned: if the abandoned copy later
+    /// completes, that completion is stale (zombie work — the server
+    /// paid for it, the client no longer wants it).
+    double timeout = 0.0;
+    /// First backoff delay (seconds); attempt k waits
+    /// min(backoffBase * backoffFactor^(k-1), backoffMax).
+    double backoffBase = 0.001;
+    double backoffFactor = 2.0;
+    double backoffMax = 1.0;
+};
+
+/**
+ * Bounded-retry re-offer queue with per-task timeout.
+ *
+ * Ownership protocol: callers wire the downstream's lost handler to
+ * onLost() and its completion handler to onCompleted(). Both look the
+ * task up by id; completions of abandoned (timed-out, already-resolved)
+ * attempts are recognized as stale and ignored for goodput.
+ */
+class RetryQueue : public TaskAcceptor
+{
+  public:
+    /** Terminal outcome: (task, succeeded). */
+    using OutcomeHandler = std::function<void(const Task&, bool)>;
+
+    /**
+     * @param engine the simulation this queue lives in
+     * @param downstream where offered tasks go
+     * @param spec timeout/backoff policy
+     * @param counters shared failure ledger (outlives the queue)
+     */
+    RetryQueue(Engine& engine, TaskAcceptor& downstream, RetrySpec spec,
+               FailureCounters& counters);
+
+    /** First offer of a fresh task (from a Source). */
+    void accept(Task task) override;
+
+    /**
+     * Downstream reported this task lost. Re-offers after backoff while
+     * retries remain, else resolves the task as terminally lost.
+     */
+    void onLost(Task task, TaskLoss loss);
+
+    /**
+     * Downstream completed this task. Resolves it as successful unless
+     * the attempt was already abandoned (stale completion).
+     * @return true when the completion was fresh (the client was still
+     *         waiting on it) — callers gate latency metrics on this, so
+     *         zombie work doesn't pollute response-time statistics.
+     */
+    bool onCompleted(const Task& task);
+
+    /** Observe terminal outcomes (goodput metric wiring). */
+    void setOutcomeHandler(OutcomeHandler handler);
+
+    /** Tasks currently in flight (offered, not yet resolved). */
+    std::size_t outstanding() const { return inflight.size(); }
+
+  private:
+    struct Flight
+    {
+        Task original;               ///< pristine copy for re-offers
+        std::uint32_t attempt = 0;   ///< attempt the client still waits on
+        bool hasTimeout = false;
+        EventId timeout{};
+    };
+
+    /** Deliver (or re-deliver) an attempt downstream. */
+    void offer(Task task);
+
+    /** Bump the attempt and schedule the backed-off re-offer. */
+    void scheduleReoffer(std::uint64_t id, Flight& flight);
+
+    /** Backoff delay before re-offering attempt `attempt` (>= 1). */
+    Time backoffDelay(std::uint32_t attempt) const;
+
+    void resolve(std::uint64_t id, const Task& task, bool ok);
+
+    void timeoutFired(std::uint64_t id);
+
+    Engine& engine;
+    TaskAcceptor& downstream;
+    RetrySpec spec;
+    FailureCounters& counters;
+    OutcomeHandler onOutcome;
+    std::unordered_map<std::uint64_t, Flight> inflight;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_QUEUEING_RETRY_HH

@@ -6,6 +6,18 @@
 
 namespace bighouse {
 
+const char*
+taskLossName(TaskLoss loss)
+{
+    switch (loss) {
+      case TaskLoss::ServerFailure: return "server-failure";
+      case TaskLoss::RejectedDown: return "rejected-down";
+      case TaskLoss::Unroutable: return "unroutable";
+      case TaskLoss::TimedOut: return "timed-out";
+    }
+    return "unknown";
+}
+
 Server::Server(Engine& engine, unsigned coreCount)
     : engine(engine), cores(coreCount), lastAccounting(engine.now())
 {
@@ -26,6 +38,12 @@ Server::setStartHandler(StartHandler handler)
 }
 
 void
+Server::setLostHandler(LostHandler handler)
+{
+    onLost = std::move(handler);
+}
+
+void
 Server::settleAccounting()
 {
     const Time now = engine.now();
@@ -34,6 +52,10 @@ Server::settleAccounting()
         occupiedIntegral += static_cast<double>(busyCount) * dt;
         if (busyCount == 0)
             idleIntegral += dt;
+        if (serverUp)
+            upIntegral += dt;
+        else
+            downIntegral += dt;
         lastAccounting = now;
     }
 }
@@ -52,6 +74,20 @@ Server::idleSeconds()
     return idleIntegral;
 }
 
+double
+Server::upSeconds()
+{
+    settleAccounting();
+    return upIntegral;
+}
+
+double
+Server::downSeconds()
+{
+    settleAccounting();
+    return downIntegral;
+}
+
 Time
 Server::oldestQueuedArrival() const
 {
@@ -59,10 +95,25 @@ Server::oldestQueuedArrival() const
 }
 
 void
+Server::lose(Task task, TaskLoss loss)
+{
+    if (onLost)
+        onLost(std::move(task), loss);
+}
+
+void
 Server::accept(Task task)
 {
     settleAccounting();
     ++arrived;
+    if (!serverUp) [[unlikely]] {
+        if (rejectWhenDown) {
+            lose(std::move(task), TaskLoss::RejectedDown);
+            return;
+        }
+        queue.push_back(std::move(task));
+        return;
+    }
     // Invariant: a non-empty queue implies no free core.
     if (busyCount < cores.size()) {
         BH_ASSERT(queue.empty(), "free core with a non-empty queue");
@@ -97,8 +148,8 @@ void
 Server::scheduleCompletion(std::size_t coreIndex)
 {
     Core& core = cores[coreIndex];
-    if (speedFactor <= 0.0) {
-        core.hasCompletionEvent = false;  // paused; resumes on setSpeed
+    if (speedFactor <= 0.0 || !serverUp) {
+        core.hasCompletionEvent = false;  // resumes on setSpeed / repair
         return;
     }
     const Time eta = core.task.remaining / speedFactor;
@@ -144,6 +195,78 @@ Server::setSpeed(double newSpeed)
 }
 
 void
+Server::fail(TaskDisposition disposition)
+{
+    if (!serverUp)
+        return;
+    settleAccounting();
+    serverUp = false;
+    // Freeze every core: settle progress, cancel the pending completion.
+    for (auto& core : cores) {
+        if (!core.busy)
+            continue;
+        settleProgress(core);
+        if (core.hasCompletionEvent) {
+            engine.cancel(core.completion);
+            core.hasCompletionEvent = false;
+        }
+    }
+    switch (disposition) {
+      case TaskDisposition::Drop: {
+        // A crash loses all request state: cores and queue alike.
+        for (auto& core : cores) {
+            if (!core.busy)
+                continue;
+            core.busy = false;
+            lose(std::move(core.task), TaskLoss::ServerFailure);
+        }
+        busyCount = 0;
+        while (!queue.empty()) {
+            Task task = std::move(queue.front());
+            queue.pop_front();
+            lose(std::move(task), TaskLoss::ServerFailure);
+        }
+        break;
+      }
+      case TaskDisposition::Requeue: {
+        // Core tasks restart from scratch, ahead of the queued backlog
+        // (they arrived first); queued tasks survive untouched. Reverse
+        // core order keeps the push_front sequence arrival-ordered.
+        for (std::size_t i = cores.size(); i-- > 0;) {
+            Core& core = cores[i];
+            if (!core.busy)
+                continue;
+            core.busy = false;
+            Task task = std::move(core.task);
+            task.remaining = task.size;
+            task.startTime = kTimeNever;  // restart: wait ends at redispatch
+            queue.push_front(std::move(task));
+        }
+        busyCount = 0;
+        break;
+      }
+      case TaskDisposition::Resume:
+        // Progress conserved on the cores; nothing moves.
+        break;
+    }
+}
+
+void
+Server::repair()
+{
+    if (serverUp)
+        return;
+    settleAccounting();
+    serverUp = true;
+    // Resume-disposition work continues where it stopped.
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        if (cores[i].busy)
+            scheduleCompletion(i);
+    }
+    dispatch();
+}
+
+void
 Server::finish(std::size_t coreIndex)
 {
     Core& core = cores[coreIndex];
@@ -164,6 +287,8 @@ Server::finish(std::size_t coreIndex)
 void
 Server::dispatch()
 {
+    if (!serverUp) [[unlikely]]
+        return;
     while (!queue.empty() && busyCount < cores.size()) {
         for (std::size_t i = 0; i < cores.size(); ++i) {
             if (!cores[i].busy) {

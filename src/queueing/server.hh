@@ -9,6 +9,12 @@
  * (speed 0, work conserved). Each running task tracks remaining work; a
  * speed change folds elapsed progress into `remaining` and reschedules the
  * completion event — no per-tick simulation needed.
+ *
+ * The server also carries an Up/Down lifecycle (driven externally by a
+ * FailureProcess): fail() takes it down — with a configurable disposition
+ * for in-flight work — and repair() brings it back. A server that is
+ * never failed executes the exact event stream it always did; the
+ * lifecycle costs one predictable branch on the hot paths.
  */
 
 #ifndef BIGHOUSE_QUEUEING_SERVER_HH
@@ -19,10 +25,23 @@
 #include <functional>
 #include <vector>
 
+#include "queueing/failure.hh"
 #include "queueing/task.hh"
 #include "sim/engine.hh"
 
 namespace bighouse {
+
+/** Why a task left the system without completing. */
+enum class TaskLoss
+{
+    ServerFailure,  ///< in flight on (or queued at) a server that failed
+    RejectedDown,   ///< arrived at a down server that rejects while down
+    Unroutable,     ///< balancer had no healthy backend to route to
+    TimedOut,       ///< the client-side per-task timeout fired
+};
+
+/** Render a TaskLoss as text ("server-failure", ...). */
+const char* taskLossName(TaskLoss loss);
 
 /** Multi-core FCFS server with modulated service rate. */
 class Server : public TaskAcceptor
@@ -32,6 +51,8 @@ class Server : public TaskAcceptor
     using CompletionHandler = std::function<void(const Task&)>;
     /** Called when a task is first placed on a core. */
     using StartHandler = std::function<void(const Task&)>;
+    /** Called for every task the server loses (drop or reject). */
+    using LostHandler = std::function<void(Task, TaskLoss)>;
 
     Server(Engine& engine, unsigned cores);
 
@@ -44,6 +65,10 @@ class Server : public TaskAcceptor
     /** Install the service-start callback (scheduling policies). */
     void setStartHandler(StartHandler handler);
 
+    /** Install the lost-task callback (retry/goodput wiring). Without
+     *  one, lost tasks silently leave the system. */
+    void setLostHandler(LostHandler handler);
+
     /**
      * Change the service speed multiplier.
      *  - 1.0 is nominal; 0.5 means tasks take twice as long.
@@ -54,6 +79,35 @@ class Server : public TaskAcceptor
 
     /** Current speed multiplier. */
     double speed() const { return speedFactor; }
+
+    /// @name Up/Down lifecycle (driven by a FailureProcess).
+    /// @{
+    /** True while the server is up (the initial state). */
+    bool isUp() const { return serverUp; }
+
+    /**
+     * Take the server down. Pending completions are cancelled and the
+     * disposition decides the fate of in-flight work (see
+     * TaskDisposition); lost tasks flow through the lost handler. No-op
+     * when already down.
+     */
+    void fail(TaskDisposition disposition);
+
+    /**
+     * Bring the server back up: Resume-disposition work continues where
+     * it stopped, and queued tasks dispatch onto free cores. No-op when
+     * already up.
+     */
+    void repair();
+
+    /**
+     * When set, tasks arriving while down bounce to the lost handler
+     * (TaskLoss::RejectedDown) instead of queueing until repair — the
+     * behavior a health-lagged load balancer exposes: requests routed to
+     * a dead backend fail fast rather than waiting it out.
+     */
+    void setRejectWhenDown(bool reject) { rejectWhenDown = reject; }
+    /// @}
 
     unsigned coreCount() const { return static_cast<unsigned>(cores.size()); }
 
@@ -75,6 +129,10 @@ class Server : public TaskAcceptor
     double occupiedCoreSeconds();
     /** Total time with zero occupied cores. */
     double idleSeconds();
+    /** Total time spent up (availability numerator). */
+    double upSeconds();
+    /** Total time spent down. */
+    double downSeconds();
     /// @}
 
     std::uint64_t arrivedCount() const { return arrived; }
@@ -90,7 +148,7 @@ class Server : public TaskAcceptor
         EventId completion{};
     };
 
-    /** Advance the busy/idle time integrals to now. */
+    /** Advance the busy/idle/up time integrals to now. */
     void settleAccounting();
 
     /** Fold progress since lastUpdate (at the current speed) into task. */
@@ -99,27 +157,35 @@ class Server : public TaskAcceptor
     /** Put a task on a free core and schedule its completion. */
     void beginService(std::size_t coreIndex, Task task);
 
-    /** Schedule (or skip, when paused) the completion event. */
+    /** Schedule (or skip, when paused or down) the completion event. */
     void scheduleCompletion(std::size_t coreIndex);
 
     /** Completion event body. */
     void finish(std::size_t coreIndex);
 
-    /** Move queued tasks onto free cores. */
+    /** Move queued tasks onto free cores (no-op while down). */
     void dispatch();
+
+    /** Hand a task to the lost handler (or let it vanish). */
+    void lose(Task task, TaskLoss loss);
 
     Engine& engine;
     std::vector<Core> cores;
     std::deque<Task> queue;
     CompletionHandler onComplete;
     StartHandler onStart;
+    LostHandler onLost;
     double speedFactor = 1.0;
     std::size_t busyCount = 0;
     std::uint64_t arrived = 0;
     std::uint64_t completed = 0;
+    bool serverUp = true;
+    bool rejectWhenDown = false;
     Time lastAccounting = 0.0;
     double occupiedIntegral = 0.0;
     double idleIntegral = 0.0;
+    double upIntegral = 0.0;
+    double downIntegral = 0.0;
 };
 
 } // namespace bighouse

@@ -28,6 +28,9 @@ struct Task
     Time finishTime = kTimeNever;
     /// Work left to do (seconds at nominal speed); maintained by servers.
     double remaining = 0.0;
+    /// Delivery attempt, counted from 0; bumped by the retry path each
+    /// time the task is re-offered after a loss or timeout.
+    std::uint32_t attempts = 0;
 
     /** Sojourn (response) time; only valid after completion. */
     Time responseTime() const { return finishTime - arrivalTime; }

@@ -345,6 +345,8 @@ main(int argc, char** argv)
             slab.set(TelemetryCounter::EventsExecuted, result.events);
             slab.setGauge(TelemetryGauge::RunSeconds,
                           result.wallSeconds);
+            if (result.failures.has_value())
+                sampleFailureTelemetry(slab, *result.failures);
             telemetry.write(telemetryPath);
         }
         if (!csv)
@@ -388,6 +390,8 @@ main(int argc, char** argv)
             sampleEngineTelemetry(slab, sim.engine());
             sampleStatsTelemetry(slab, sim.stats());
             sampleRngTelemetry(slab);
+            if (sim.failureProbe())
+                sampleFailureTelemetry(slab, sim.failureProbe()());
         };
     }
     if (statusPath != nullptr || progress) {
@@ -423,6 +427,10 @@ main(int argc, char** argv)
                     result.converged ? "converged" : "NOT converged",
                     terminationReasonName(result.termination),
                     result.degraded ? " (degraded)" : "");
+        if (result.failures.has_value()) {
+            std::printf("%s\n",
+                        summarizeFailures(*result.failures).c_str());
+        }
         if (result.resumedBaseEvents != 0) {
             std::printf("resumed: %llu events inherited from the "
                         "checkpoint\n",
