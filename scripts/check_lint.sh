@@ -5,8 +5,11 @@
 #
 #   scripts/check_lint.sh [bh_lint args...]
 #
-# Extra arguments are forwarded to bh_lint (e.g. --format=json
-# --output=lint.json). Exit status is nonzero on any finding.
+# Extra arguments are forwarded to bh_lint after the defaults (e.g.
+# --sarif --output=lint.sarif, or --baseline-write to regenerate
+# tools/lint_baseline.txt). bh_lint runs in ratchet mode against the
+# committed baseline with repo-relative paths, so its keys match on
+# every checkout. Exit status is nonzero on any fresh finding.
 set -eu
 
 SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
@@ -25,8 +28,10 @@ if grep -q 'warning:' "${WARN_LOG}"; then
 fi
 echo "   clean"
 
-echo "== bh_lint"
-"${BUILD_DIR}/tools/bh_lint" "$@" \
+echo "== bh_lint (baseline: tools/lint_baseline.txt)"
+"${BUILD_DIR}/tools/bh_lint" \
+    --strip-prefix="${SOURCE_DIR}/" \
+    --baseline="${SOURCE_DIR}/tools/lint_baseline.txt" "$@" \
     "${SOURCE_DIR}/src" "${SOURCE_DIR}/tools" "${SOURCE_DIR}/bench"
 
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -147,6 +147,7 @@ HealthChecker::HealthChecker(Engine& engine, LoadBalancer& balancer,
 void
 HealthChecker::start()
 {
+    // bh-lint: allow(callback-lifetime) -- checker is sim-lifetime
     engine.scheduleAfter(interval, [this] { probe(); });
 }
 
@@ -159,6 +160,7 @@ HealthChecker::probe()
         if (actual != balancer.serverHealthy(i))
             balancer.setServerHealth(i, actual);
     }
+    // bh-lint: allow(callback-lifetime) -- checker is sim-lifetime
     engine.scheduleAfter(interval, [this] { probe(); });
 }
 

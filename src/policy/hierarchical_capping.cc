@@ -46,6 +46,7 @@ HierarchicalCappingCoordinator::start()
         for (std::size_t s = 0; s < racks[r].size(); ++s)
             occupiedSnapshot[r][s] = racks[r][s]->occupiedCoreSeconds();
     }
+    // bh-lint: allow(callback-lifetime) -- coordinator is sim-lifetime
     engine.scheduleAfter(spec.epoch, [this] { runEpoch(); });
 }
 
@@ -131,6 +132,7 @@ HierarchicalCappingCoordinator::runEpoch()
         if (onRack)
             onRack(r, obs);
     }
+    // bh-lint: allow(callback-lifetime) -- coordinator is sim-lifetime
     engine.scheduleAfter(spec.epoch, [this] { runEpoch(); });
 }
 

@@ -36,6 +36,7 @@ PowerCappingCoordinator::start()
 {
     for (std::size_t i = 0; i < servers.size(); ++i)
         occupiedSnapshot[i] = servers[i]->occupiedCoreSeconds();
+    // bh-lint: allow(callback-lifetime) -- coordinator is sim-lifetime
     engine.scheduleAfter(spec.epoch, [this] { runEpoch(); });
 }
 
@@ -88,6 +89,7 @@ PowerCappingCoordinator::runEpoch()
         if (onEpoch)
             onEpoch(i, obs);
     }
+    // bh-lint: allow(callback-lifetime) -- coordinator is sim-lifetime
     engine.scheduleAfter(spec.epoch, [this] { runEpoch(); });
 }
 

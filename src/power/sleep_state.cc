@@ -38,6 +38,7 @@ SleepController::requestWake()
     sleepIntegral += engine.now() - sleepStarted;
     ++naps;
     current = State::Waking;
+    // bh-lint: allow(callback-lifetime) -- sleep unit is sim-lifetime
     engine.scheduleAfter(spec.wakeLatency, [this] { finishWake(); });
 }
 

@@ -1,5 +1,10 @@
 #include "queueing/failure.hh"
 
+// bh-lint: allow-file(callback-lifetime) -- FailureProcess and
+// AvailabilityProbe are owned by the experiment for the whole run and
+// destroyed only after the engine drains, so bare-this captures in
+// their self-rescheduling events cannot dangle.
+
 #include "base/logging.hh"
 #include "base/strings.hh"
 #include "queueing/server.hh"

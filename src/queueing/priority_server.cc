@@ -88,6 +88,7 @@ PriorityServer::beginService(std::size_t coreIndex, Task task,
         core.task.startTime = engine.now();
     ++busyCount;
     engine.scheduleAfter(core.task.remaining,
+                         // bh-lint: allow(callback-lifetime) -- server is sim-lifetime
                          [this, coreIndex] { finish(coreIndex); });
 }
 

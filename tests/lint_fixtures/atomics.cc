@@ -1,0 +1,11 @@
+// Fixture: atomics misuse outside src/obs.
+volatile bool ready = false;  // VIOLATION
+
+long
+tally(long& total)
+{
+    std::atomic_ref<long> view(total);
+    view.fetch_add(1);
+    total += 1;  // VIOLATION
+    return view.load(std::memory_order_relaxed);  // VIOLATION
+}

@@ -1,0 +1,9 @@
+// Fixture: atomics usage the discipline rule accepts outside obs/.
+long
+tally(long& total)
+{
+    std::atomic_ref<long> view(total);
+    view.fetch_add(1, std::memory_order_acq_rel);
+    long snapshot = view.load(std::memory_order_acquire);
+    return snapshot;
+}

@@ -1,0 +1,15 @@
+// Fixture: every way a scheduled callback can outlive what it captured.
+// No cancel discipline anywhere in this file, so bare-this is flagged
+// too.
+struct Widget
+{
+    void
+    arm()
+    {
+        engine.scheduleAfter(1.5, [this] { fire(); });  // VIOLATION
+        double amount = 2.5;
+        engine.schedule(4.5, [&amount] { sink(amount); });  // VIOLATION
+        engine.schedule(6.5, [&] { fire(); });  // VIOLATION
+        EventCallback cb = [&] { fire(); };  // VIOLATION
+    }
+};

@@ -1,0 +1,22 @@
+// Fixture: capture patterns the callback-lifetime rule must accept.
+struct Widget
+{
+    void
+    arm()
+    {
+        // Bare this is fine here: the file has cancel-on-destroy
+        // discipline (see the destructor).
+        pending = engine.scheduleAfter(1.5, [this] { fire(); });
+        // Value captures own their state.
+        engine.schedule(4.5, [copy = held] { sink(copy); });
+        // Subscripts and attributes are not lambda introducers.
+        held = samples[cursor];
+        [[maybe_unused]] int probe = 0;
+        // Reference captures not handed to the event queue are the
+        // caller's business.
+        auto fold = [&](int v) { held += v; };
+        fold(3);
+    }
+
+    ~Widget() { engine.cancel(pending); }
+};

@@ -1,0 +1,7 @@
+// Pin: a backslash-newline splice extends // comments and preprocessor
+// directives across physical lines; spliced-out text is not code.
+// this comment continues onto the next physical line \
+rand(); time(NULL); delete ptr;
+#define SEED_ALL(x) \
+    applySeed(rand(), (x))
+int live = rand();  // VIOLATION

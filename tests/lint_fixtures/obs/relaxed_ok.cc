@@ -1,0 +1,7 @@
+// Fixture: under an obs/ component, relaxed counters are the audited
+// idiom for the telemetry slabs.
+void
+tick(std::atomic<unsigned long>& counter)
+{
+    counter.fetch_add(1, std::memory_order_relaxed);
+}

@@ -1,0 +1,10 @@
+// Pin: raw string literals are literals. Nothing inside R"(...)" is
+// code, however hostile the contents — including quotes, fake
+// terminators under a custom delimiter, and newlines.
+const char* plain = R"(rand() time(NULL) new int[4])";
+const char* tricky = R"x(ends with )" but not here: srand(7))x";
+const char* multi = R"(first line rand()
+second line time(NULL)
+)";
+const char* prefixed = uR"(delete this; std::random_device d;)";
+int live = rand();  // VIOLATION

@@ -1,0 +1,20 @@
+// Fixture: shared RNG stream shapes. Each breaks per-slave seed
+// independence in its own way.
+static Rng processWide;  // VIOLATION
+
+namespace detail {
+Rng fileScope;  // VIOLATION
+}
+
+struct Sampler
+{
+    Rng& borrowed;  // VIOLATION
+    Rng* aliased;   // VIOLATION
+    std::shared_ptr<Rng> pool;  // VIOLATION
+};
+
+void
+draw()
+{
+    thread_local Rng perThread;  // VIOLATION
+}

@@ -1,0 +1,20 @@
+// Fixture: RNG ownership patterns the rng-stream-sharing rule accepts.
+struct Sampler
+{
+    // Owning a stream by value is the point of split().
+    Rng stream;
+
+    // The caller-supplies-the-stream idiom: Rng& as a parameter.
+    double sample(Rng& rng);
+
+    // A function returning a stream by value mints one, not shares one.
+    Rng child();
+};
+
+double
+use(Rng& rng)
+{
+    // Local value copies are their own streams.
+    Rng scratch = rng.split();
+    return scratch.uniform();
+}

@@ -1,0 +1,6 @@
+// Fixture: suppressions that no longer earn their keep. (The earning
+// annotation sits last: an allow also covers the line below it, so an
+// unmatched one directly above a real finding would count as used.)
+int earning = rand();  // bh-lint: allow(raw-rand) -- still matching
+int typod();  // bh-lint: allow(raw-randd) // VIOLATION unknown rule
+int unmatched();  // bh-lint: allow(raw-rand) // VIOLATION nothing fires

@@ -19,6 +19,8 @@
 #include <gtest/gtest.h>
 
 #include "lint_core.hh"
+#include "lint_report.hh"
+#include "lint_tokenizer.hh"
 
 #ifndef LINT_FIXTURE_DIR
 #error "build must define LINT_FIXTURE_DIR"
@@ -167,12 +169,14 @@ TEST(BhLint, CleanFileHasNoFindings)
 
 TEST(BhLint, SuppressionIsRuleSpecific)
 {
-    // Allowing one rule must not silence a different rule on that line.
+    // Allowing one rule must not silence a different rule on that
+    // line — and since PR 7 the useless annotation is itself flagged.
     const std::string source =
         "int f() { return rand(); }  // bh-lint: allow(wall-clock)\n";
     const auto findings = lintSource("src/sim/sample.cc", source);
-    ASSERT_EQ(findings.size(), 1u);
+    ASSERT_EQ(findings.size(), 2u);
     EXPECT_EQ(findings[0].rule, "raw-rand");
+    EXPECT_EQ(findings[1].rule, "stale-suppression");
 }
 
 TEST(BhLint, ExemptPathsAreNotFlagged)
@@ -205,7 +209,7 @@ TEST(BhLint, CommentsAndStringsAreScrubbed)
 TEST(BhLint, RuleCatalogIsCompleteAndSorted)
 {
     const auto& catalog = ruleCatalog();
-    EXPECT_EQ(catalog.size(), 7u);
+    EXPECT_EQ(catalog.size(), 11u);
     EXPECT_TRUE(std::is_sorted(catalog.begin(), catalog.end(),
                                [](const RuleInfo& a, const RuleInfo& b) {
                                    return a.name < b.name;
@@ -261,6 +265,298 @@ TEST(BhLint, CollectSourcesIsRecursiveSortedUnique)
     EXPECT_TRUE(contains("float_literal.cc"));
     EXPECT_TRUE(contains("rng_member.cc"));
     EXPECT_TRUE(contains("clean.cc"));
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer
+
+/** First token whose text is `text` (asserts it exists). */
+const Token&
+token(const ScanResult& scan, const std::string& text)
+{
+    for (const Token& t : scan.tokens) {
+        if (t.text == text)
+            return t;
+    }
+    ADD_FAILURE() << "no token '" << text << "'";
+    static const Token missing{};
+    return missing;
+}
+
+bool
+hasToken(const ScanResult& scan, const std::string& text)
+{
+    for (const Token& t : scan.tokens) {
+        if (t.text == text)
+            return true;
+    }
+    return false;
+}
+
+TEST(BhLintTokenizer, ClassifiesKeywordsSeparatelyFromIdentifiers)
+{
+    const ScanResult scan =
+        scanSource("void frob() { return this; }\n");
+    EXPECT_EQ(token(scan, "void").kind, TokenKind::Keyword);
+    EXPECT_EQ(token(scan, "this").kind, TokenKind::Keyword);
+    EXPECT_EQ(token(scan, "return").kind, TokenKind::Keyword);
+    EXPECT_EQ(token(scan, "frob").kind, TokenKind::Identifier);
+}
+
+TEST(BhLintTokenizer, DigitSeparatorsStayOneNumberToken)
+{
+    const ScanResult scan = scanSource("long n = 1'000'000;\n");
+    const Token& t = token(scan, "1'000'000");
+    EXPECT_EQ(t.kind, TokenKind::Number);
+    // The separator must not start a character literal.
+    EXPECT_TRUE(hasToken(scan, ";"));
+}
+
+TEST(BhLintTokenizer, RawStringWithCustomDelimiterIsOneLiteral)
+{
+    const ScanResult scan = scanSource(
+        "const char* s = R\"x(fake end )\" keeps going)x\";\n"
+        "int after = 1;\n");
+    // The literal is a single String token; the fake )" inside the
+    // custom delimiter does not end it.
+    EXPECT_FALSE(hasToken(scan, "fake"));
+    EXPECT_FALSE(hasToken(scan, "keeps"));
+    EXPECT_TRUE(hasToken(scan, "after"));
+    // Scrubbed view: the body is blanked.
+    EXPECT_EQ(scan.scrubbed[0].find("fake"), std::string::npos);
+}
+
+TEST(BhLintTokenizer, MultiLineRawStringBlanksEveryLine)
+{
+    const ScanResult scan = scanSource(
+        "const char* s = R\"(line one rand()\n"
+        "line two time(NULL)\n"
+        ")\";\n"
+        "int after = 1;\n");
+    EXPECT_EQ(scan.scrubbed[0].find("rand"), std::string::npos);
+    EXPECT_EQ(scan.scrubbed[1].find("time"), std::string::npos);
+    EXPECT_TRUE(hasToken(scan, "after"));
+}
+
+TEST(BhLintTokenizer, IfZeroRegionsAreInert)
+{
+    const ScanResult scan = scanSource("#if 0\n"
+                                       "int dead = rand();\n"
+                                       "#else\n"
+                                       "int alive = 1;\n"
+                                       "#endif\n");
+    EXPECT_FALSE(hasToken(scan, "dead"));
+    EXPECT_TRUE(hasToken(scan, "alive"));
+    EXPECT_EQ(scan.scrubbed[1].find("rand"), std::string::npos);
+}
+
+TEST(BhLintTokenizer, NestedIfZeroTracksDepth)
+{
+    const ScanResult scan = scanSource("#if 0\n"
+                                       "#ifdef OTHER\n"
+                                       "int dead = 1;\n"
+                                       "#endif\n"
+                                       "int alsoDead = 2;\n"
+                                       "#endif\n"
+                                       "int alive = 3;\n");
+    EXPECT_FALSE(hasToken(scan, "dead"));
+    EXPECT_FALSE(hasToken(scan, "alsoDead"));
+    EXPECT_TRUE(hasToken(scan, "alive"));
+}
+
+TEST(BhLintTokenizer, BlockCommentEndingMidLineResumesCode)
+{
+    const ScanResult scan = scanSource("/* one\n"
+                                       "   two */ int alive = 1;\n");
+    EXPECT_TRUE(hasToken(scan, "alive"));
+    EXPECT_EQ(token(scan, "alive").line, 2u);
+    EXPECT_EQ(scan.scrubbed[1].find("two"), std::string::npos);
+}
+
+TEST(BhLintTokenizer, DirectiveBodiesAreScrubbedAcrossContinuations)
+{
+    const ScanResult scan = scanSource("#define SEED(x) \\\n"
+                                       "    apply(rand(), (x))\n"
+                                       "int alive = 1;\n");
+    EXPECT_EQ(scan.scrubbed[1].find("rand"), std::string::npos);
+    EXPECT_FALSE(hasToken(scan, "apply"));
+    EXPECT_TRUE(hasToken(scan, "alive"));
+}
+
+TEST(BhLintTokenizer, TracksBraceAndParenDepth)
+{
+    const ScanResult scan = scanSource("void f(int a) { g(a); }\n");
+    EXPECT_EQ(token(scan, "a").parenDepth, 1);
+    EXPECT_EQ(token(scan, "g").braceDepth, 1);
+}
+
+// ---------------------------------------------------------------------
+// Raw-string / line-continuation pins (fixture level)
+
+TEST(BhLint, RawStringLiteralsAreInert)
+{
+    const auto findings = lint("raw_string.cc");
+    expectAllRule(findings, "raw-rand");
+    EXPECT_EQ(findingLines(findings),
+              markedLines(fixture("raw_string.cc")));
+}
+
+TEST(BhLint, LineContinuationsExtendCommentsAndDirectives)
+{
+    const auto findings = lint("line_continuation.cc");
+    expectAllRule(findings, "raw-rand");
+    EXPECT_EQ(findingLines(findings),
+              markedLines(fixture("line_continuation.cc")));
+}
+
+// ---------------------------------------------------------------------
+// Semantic rule families
+
+TEST(BhLint, CallbackLifetimeFiresOnMarkedLinesOnly)
+{
+    const auto findings = lint("callback_lifetime.cc");
+    expectAllRule(findings, "callback-lifetime");
+    EXPECT_EQ(findingLines(findings),
+              markedLines(fixture("callback_lifetime.cc")));
+}
+
+TEST(BhLint, CallbackLifetimeAcceptsDisciplinedCaptures)
+{
+    EXPECT_TRUE(lint("callback_lifetime_ok.cc").empty());
+}
+
+TEST(BhLint, RngStreamSharingFiresOnMarkedLinesOnly)
+{
+    const auto findings = lint("rng_sharing.cc");
+    expectAllRule(findings, "rng-stream-sharing");
+    EXPECT_EQ(findingLines(findings),
+              markedLines(fixture("rng_sharing.cc")));
+}
+
+TEST(BhLint, RngStreamSharingAcceptsOwnedStreams)
+{
+    EXPECT_TRUE(lint("rng_sharing_ok.cc").empty());
+}
+
+TEST(BhLint, AtomicsDisciplineFiresOnMarkedLinesOnly)
+{
+    const auto findings = lint("atomics.cc");
+    expectAllRule(findings, "atomics-discipline");
+    EXPECT_EQ(findingLines(findings),
+              markedLines(fixture("atomics.cc")));
+}
+
+TEST(BhLint, AtomicsDisciplineAcceptsOrderedAtomics)
+{
+    EXPECT_TRUE(lint("atomics_ok.cc").empty());
+}
+
+TEST(BhLint, RelaxedAtomicsAreAllowedUnderObs)
+{
+    EXPECT_TRUE(lint("obs/relaxed_ok.cc").empty());
+}
+
+TEST(BhLint, StaleSuppressionAuditFiresOnMarkedLinesOnly)
+{
+    const auto findings = lint("stale_suppression.cc");
+    expectAllRule(findings, "stale-suppression");
+    EXPECT_EQ(findingLines(findings),
+              markedLines(fixture("stale_suppression.cc")));
+}
+
+TEST(BhLint, StaleSuppressionAuditHasFileWideOptOut)
+{
+    // Files that document the annotation syntax opt out of the audit.
+    const std::string source =
+        "// bh-lint: allow-file(stale-suppression) -- doc examples\n"
+        "int f();  // bh-lint: allow(no-such-rule)\n";
+    EXPECT_TRUE(lintSource("src/sim/doc.cc", source).empty());
+}
+
+// ---------------------------------------------------------------------
+// Baseline ratchet
+
+TEST(BhLintBaseline, KeyIsWhitespaceInsensitiveButContentSensitive)
+{
+    Finding a{"src/a.cc", 10, "raw-rand", "m", "x  =  rand();"};
+    Finding b{"src/a.cc", 99, "raw-rand", "m", "x = rand();"};
+    Finding c{"src/a.cc", 10, "raw-rand", "m", "y = rand();"};
+    EXPECT_EQ(baselineKey(a), baselineKey(b));  // line moves forgiven
+    EXPECT_NE(baselineKey(a), baselineKey(c));
+}
+
+TEST(BhLintBaseline, RatchetForgivesBaselinedAndFlagsFresh)
+{
+    Finding olde{"src/a.cc", 10, "raw-rand", "m", "x = rand();"};
+    Finding fresh{"src/b.cc", 20, "wall-clock", "m", "t = clock();"};
+    const Baseline baseline =
+        parseBaseline("# comment\n" + baselineKey(olde) + "\n");
+    const RatchetResult result =
+        applyBaseline({olde, fresh}, baseline);
+    EXPECT_EQ(result.baselined, 1u);
+    ASSERT_EQ(result.fresh.size(), 1u);
+    EXPECT_EQ(result.fresh[0].rule, "wall-clock");
+    EXPECT_TRUE(result.stale.empty());
+}
+
+TEST(BhLintBaseline, RatchetReportsStaleKeys)
+{
+    const Baseline baseline = parseBaseline("gone|raw-rand|0000\n");
+    const RatchetResult result = applyBaseline({}, baseline);
+    ASSERT_EQ(result.stale.size(), 1u);
+    EXPECT_EQ(result.stale[0], "gone|raw-rand|0000");
+}
+
+TEST(BhLintBaseline, DuplicateKeysCountOccurrences)
+{
+    // Two identical snippets need two baseline entries; a third
+    // occurrence is fresh.
+    Finding f{"src/a.cc", 1, "raw-rand", "m", "x = rand();"};
+    const std::string key = baselineKey(f);
+    const Baseline baseline = parseBaseline(key + "\n" + key + "\n");
+    const RatchetResult result = applyBaseline({f, f, f}, baseline);
+    EXPECT_EQ(result.baselined, 2u);
+    EXPECT_EQ(result.fresh.size(), 1u);
+}
+
+TEST(BhLintBaseline, FormatIsSortedAndRoundTrips)
+{
+    Finding a{"src/z.cc", 1, "raw-rand", "m", "x = rand();"};
+    Finding b{"src/a.cc", 2, "wall-clock", "m", "t = clock();"};
+    const std::string text = formatBaseline({a, b});
+    // Keys are sorted regardless of finding order.
+    EXPECT_LT(text.find(baselineKey(b)), text.find(baselineKey(a)));
+    const Baseline parsed = parseBaseline(text);
+    EXPECT_EQ(parsed.allowed.size(), 2u);
+    EXPECT_TRUE(applyBaseline({a, b}, parsed).fresh.empty());
+}
+
+// ---------------------------------------------------------------------
+// SARIF
+
+TEST(BhLintSarif, ReportIsWellFormedAndDeterministic)
+{
+    const auto findings = lint("raw_rand.cc");
+    ASSERT_FALSE(findings.empty());
+    const std::string sarif = formatSarif(findings, "test-version");
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+    EXPECT_NE(sarif.find("\"name\": \"bh_lint\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleId\": \"raw-rand\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"bhLintKey/v1\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\""), std::string::npos);
+    // Every catalog rule is described in the driver.
+    for (const RuleInfo& rule : ruleCatalog())
+        EXPECT_NE(sarif.find("\"id\": \"" + rule.name + "\""),
+                  std::string::npos);
+    EXPECT_EQ(sarif, formatSarif(lint("raw_rand.cc"), "test-version"));
+}
+
+TEST(BhLintSarif, CleanRunHasEmptyResults)
+{
+    const std::string sarif = formatSarif({}, "test-version");
+    EXPECT_NE(sarif.find("\"results\": []"), std::string::npos);
 }
 
 } // namespace

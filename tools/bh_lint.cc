@@ -7,14 +7,26 @@
  *   bh_lint [options] <file-or-dir>...
  *
  * Options:
- *   --format=text|json   report style (default text)
- *   --output=FILE        also write the report to FILE
- *   --rules=a,b,c        run only the named rules
- *   --list-rules         print the rule catalog and exit
+ *   --format=text|json|sarif  report style (default text)
+ *   --sarif                   shorthand for --format=sarif
+ *   --output=FILE             also write the report to FILE
+ *   --rules=a,b,c             run only the named rules
+ *   --strip-prefix=PREFIX     strip PREFIX from reported paths (makes
+ *                             reports, SARIF URIs, and baseline keys
+ *                             machine-independent)
+ *   --baseline=FILE           ratchet mode: findings whose key is in
+ *                             FILE are forgiven; only fresh findings
+ *                             fail. Stale keys are warned about.
+ *   --baseline-write          with --baseline=FILE: regenerate FILE
+ *                             from the current findings (sorted,
+ *                             content-stable) and exit 0
+ *   --quiet                   no report output; exit code only
+ *   --list-rules              print the rule catalog and exit
  *
- * Exit status: 0 clean, 1 findings reported, 2 usage/IO error.
- * Registered as the `lint.sources` ctest entry so `ctest` fails when a
- * violation lands; scripts/check_lint.sh is the standalone wrapper.
+ * Exit status: 0 clean (or all findings baselined), 1 findings
+ * reported, 2 usage/IO error. Registered as the `lint.sources` ctest
+ * entry so `ctest` fails when a violation lands; scripts/check_lint.sh
+ * is the standalone wrapper.
  */
 
 #include <fstream>
@@ -24,15 +36,19 @@
 
 #include "base/build_info.hh"
 #include "lint_core.hh"
+#include "lint_report.hh"
 
 namespace {
 
 int
 usage()
 {
-    std::cerr << "usage: bh_lint [--format=text|json] [--output=FILE]\n"
-                 "               [--rules=a,b,c] [--list-rules] "
-                 "<file-or-dir>...\n";
+    std::cerr
+        << "usage: bh_lint [--format=text|json|sarif] [--sarif]\n"
+           "               [--output=FILE] [--rules=a,b,c]\n"
+           "               [--strip-prefix=PREFIX] [--baseline=FILE]\n"
+           "               [--baseline-write] [--quiet] [--list-rules]\n"
+           "               <file-or-dir>...\n";
     return 2;
 }
 
@@ -45,6 +61,10 @@ main(int argc, char** argv)
 
     std::string format = "text";
     std::string outputPath;
+    std::string stripPrefix;
+    std::string baselinePath;
+    bool baselineWrite = false;
+    bool quiet = false;
     std::vector<std::string> rules;
     std::vector<std::string> paths;
 
@@ -59,12 +79,23 @@ main(int argc, char** argv)
                 std::cout << rule.name << ": " << rule.summary << "\n";
             return 0;
         }
-        if (arg.rfind("--format=", 0) == 0) {
+        if (arg == "--sarif") {
+            format = "sarif";
+        } else if (arg.rfind("--format=", 0) == 0) {
             format = arg.substr(9);
-            if (format != "text" && format != "json")
+            if (format != "text" && format != "json"
+                && format != "sarif")
                 return usage();
         } else if (arg.rfind("--output=", 0) == 0) {
             outputPath = arg.substr(9);
+        } else if (arg.rfind("--strip-prefix=", 0) == 0) {
+            stripPrefix = arg.substr(15);
+        } else if (arg.rfind("--baseline=", 0) == 0) {
+            baselinePath = arg.substr(11);
+        } else if (arg == "--baseline-write") {
+            baselineWrite = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
         } else if (arg.rfind("--rules=", 0) == 0) {
             std::string list = arg.substr(8);
             std::size_t start = 0;
@@ -93,6 +124,10 @@ main(int argc, char** argv)
     }
     if (paths.empty())
         return usage();
+    if (baselineWrite && baselinePath.empty()) {
+        std::cerr << "bh_lint: --baseline-write needs --baseline=FILE\n";
+        return 2;
+    }
 
     const std::vector<std::string> sources = collectSources(paths);
     std::vector<Finding> findings;
@@ -101,11 +136,61 @@ main(int argc, char** argv)
         findings.insert(findings.end(), fileFindings.begin(),
                         fileFindings.end());
     }
+    if (!stripPrefix.empty()) {
+        for (Finding& f : findings) {
+            const std::string norm = normalizedPath(f.file);
+            if (norm.rfind(stripPrefix, 0) == 0)
+                f.file = norm.substr(stripPrefix.size());
+        }
+    }
+
+    if (baselineWrite) {
+        std::ofstream out(baselinePath);
+        if (!out) {
+            std::cerr << "bh_lint: cannot write " << baselinePath
+                      << "\n";
+            return 2;
+        }
+        out << formatBaseline(findings);
+        if (!quiet)
+            std::cout << "bh_lint: wrote " << findings.size()
+                      << " baseline key"
+                      << (findings.size() == 1 ? "" : "s") << " to "
+                      << baselinePath << "\n";
+        return 0;
+    }
+
+    std::size_t baselined = 0;
+    std::vector<std::string> stale;
+    if (!baselinePath.empty()) {
+        Baseline baseline;
+        if (!loadBaselineFile(baselinePath, baseline)) {
+            std::cerr << "bh_lint: cannot read baseline "
+                      << baselinePath << "\n";
+            return 2;
+        }
+        RatchetResult ratchet = applyBaseline(findings, baseline);
+        findings = std::move(ratchet.fresh);
+        baselined = ratchet.baselined;
+        stale = std::move(ratchet.stale);
+    }
 
     const std::string report =
-        format == "json" ? formatJson(findings, sources.size())
-                         : formatText(findings, sources.size());
-    std::cout << report;
+        format == "json"    ? formatJson(findings, sources.size())
+        : format == "sarif" ? formatSarif(findings,
+                                          bighouse::buildInfo()
+                                              .gitDescribe)
+                            : formatText(findings, sources.size());
+    if (!quiet)
+        std::cout << report;
+    if (!quiet && !baselinePath.empty()) {
+        std::cout << "bh_lint: " << baselined << " baselined finding"
+                  << (baselined == 1 ? "" : "s") << " forgiven\n";
+        for (const std::string& key : stale)
+            std::cout << "bh_lint: warning: stale baseline entry "
+                      << key << " (fixed? regenerate with "
+                         "--baseline-write)\n";
+    }
     if (!outputPath.empty()) {
         std::ofstream out(outputPath);
         if (!out) {

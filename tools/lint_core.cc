@@ -2,217 +2,30 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <regex>
 #include <set>
 #include <sstream>
 
 #include "base/logging.hh"
+#include "lint_semantics.hh"
+#include "lint_suppress.hh"
+#include "lint_tokenizer.hh"
 
 namespace bighouse::lint {
 
 namespace {
 
 // ---------------------------------------------------------------------
-// Source preprocessing
-
-/** Per-line view of a file: raw text plus a comment/string-scrubbed copy. */
-struct Lines
-{
-    std::vector<std::string> raw;
-    std::vector<std::string> scrubbed;
-};
-
-/**
- * Split into lines and blank out comments, string literals, and char
- * literals in the scrubbed copy (replaced with spaces so columns keep
- * their position). Tracks block comments and raw strings across lines.
- */
-Lines
-preprocess(const std::string& contents)
-{
-    Lines out;
-    std::string line;
-    std::istringstream stream(contents);
-    bool inBlockComment = false;
-    bool inRawString = false;
-    std::string rawDelimiter;  // the )delim" that ends the raw string
-    while (std::getline(stream, line)) {
-        out.raw.push_back(line);
-        std::string scrub = line;
-        std::size_t i = 0;
-        const std::size_t n = line.size();
-        while (i < n) {
-            if (inBlockComment) {
-                if (line.compare(i, 2, "*/") == 0) {
-                    scrub[i] = scrub[i + 1] = ' ';
-                    i += 2;
-                    inBlockComment = false;
-                } else {
-                    scrub[i++] = ' ';
-                }
-                continue;
-            }
-            if (inRawString) {
-                if (line.compare(i, rawDelimiter.size(), rawDelimiter)
-                    == 0) {
-                    for (std::size_t k = 0; k < rawDelimiter.size(); ++k)
-                        scrub[i + k] = ' ';
-                    i += rawDelimiter.size();
-                    inRawString = false;
-                } else {
-                    scrub[i++] = ' ';
-                }
-                continue;
-            }
-            const char c = line[i];
-            if (c == '/' && i + 1 < n && line[i + 1] == '/') {
-                for (std::size_t k = i; k < n; ++k)
-                    scrub[k] = ' ';
-                break;
-            }
-            if (c == '/' && i + 1 < n && line[i + 1] == '*') {
-                scrub[i] = scrub[i + 1] = ' ';
-                i += 2;
-                inBlockComment = true;
-                continue;
-            }
-            if (c == 'R' && i + 1 < n && line[i + 1] == '"') {
-                // Raw string R"delim( ... )delim"
-                std::size_t open = line.find('(', i + 2);
-                if (open != std::string::npos) {
-                    rawDelimiter =
-                        ")" + line.substr(i + 2, open - (i + 2)) + "\"";
-                    for (std::size_t k = i; k <= open; ++k)
-                        scrub[k] = ' ';
-                    i = open + 1;
-                    inRawString = true;
-                    continue;
-                }
-            }
-            if (c == '"' || c == '\'') {
-                const char quote = c;
-                scrub[i++] = ' ';
-                while (i < n) {
-                    if (line[i] == '\\' && i + 1 < n) {
-                        scrub[i] = scrub[i + 1] = ' ';
-                        i += 2;
-                        continue;
-                    }
-                    const bool done = line[i] == quote;
-                    scrub[i++] = ' ';
-                    if (done)
-                        break;
-                }
-                continue;
-            }
-            ++i;
-        }
-        out.scrubbed.push_back(std::move(scrub));
-    }
-    return out;
-}
-
-// ---------------------------------------------------------------------
-// Suppressions
-
-/** Suppression state parsed from bh-lint annotations. */
-struct Suppressions
-{
-    std::set<std::string> fileWide;
-    /// line index (0-based) -> rules allowed on that line and the next
-    std::map<std::size_t, std::set<std::string>> byLine;
-
-    bool
-    allows(const std::string& rule, std::size_t lineIndex) const
-    {
-        if (fileWide.count(rule) > 0)
-            return true;
-        auto hit = [&](std::size_t idx) {
-            auto it = byLine.find(idx);
-            return it != byLine.end() && it->second.count(rule) > 0;
-        };
-        return hit(lineIndex)
-               || (lineIndex > 0 && hit(lineIndex - 1));
-    }
-};
-
-/** Split "a, b ,c" into trimmed tokens. */
-std::vector<std::string>
-splitList(const std::string& text)
-{
-    std::vector<std::string> out;
-    std::string token;
-    std::istringstream stream(text);
-    while (std::getline(stream, token, ',')) {
-        const auto first = token.find_first_not_of(" \t");
-        const auto last = token.find_last_not_of(" \t");
-        if (first != std::string::npos)
-            out.push_back(token.substr(first, last - first + 1));
-    }
-    return out;
-}
-
-Suppressions
-parseSuppressions(const std::vector<std::string>& rawLines)
-{
-    static const std::regex allowRe(
-        R"(bh-lint:\s*(allow|allow-file)\(([^)]*)\))");
-    Suppressions sup;
-    for (std::size_t i = 0; i < rawLines.size(); ++i) {
-        auto begin = std::sregex_iterator(rawLines[i].begin(),
-                                          rawLines[i].end(), allowRe);
-        for (auto it = begin; it != std::sregex_iterator(); ++it) {
-            const bool fileWide = (*it)[1].str() == "allow-file";
-            for (const std::string& rule : splitList((*it)[2].str())) {
-                if (fileWide)
-                    sup.fileWide.insert(rule);
-                else
-                    sup.byLine[i].insert(rule);
-            }
-        }
-    }
-    return sup;
-}
-
-// ---------------------------------------------------------------------
 // Path predicates
-
-/** Normalize separators so path rules behave the same everywhere. */
-std::string
-normalized(const std::string& path)
-{
-    std::string out = path;
-    std::replace(out.begin(), out.end(), '\\', '/');
-    return out;
-}
-
-/** True when the normalized path contains `component` as a directory or
- * file-stem component (e.g. hasComponent("a/stats/b.cc", "stats")). */
-bool
-hasComponent(const std::string& path, const std::string& component)
-{
-    const std::string p = normalized(path);
-    std::size_t pos = 0;
-    while ((pos = p.find(component, pos)) != std::string::npos) {
-        const bool startOk = pos == 0 || p[pos - 1] == '/';
-        const std::size_t end = pos + component.size();
-        const bool endOk = end == p.size() || p[end] == '/'
-                           || p[end] == '.';
-        if (startOk && endOk)
-            return true;
-        pos = end;
-    }
-    return false;
-}
 
 /** The deterministic-time/RNG home: src/base/time.*, src/base/random.*. */
 bool
 inBaseTimeOrRandom(const std::string& path)
 {
-    const std::string p = normalized(path);
+    const std::string p = normalizedPath(path);
     return p.find("base/time.") != std::string::npos
            || p.find("base/random.") != std::string::npos;
 }
@@ -220,20 +33,22 @@ inBaseTimeOrRandom(const std::string& path)
 bool
 inBaseRandom(const std::string& path)
 {
-    return normalized(path).find("base/random.") != std::string::npos;
+    return normalizedPath(path).find("base/random.")
+           != std::string::npos;
 }
 
 /** The logging sink itself: src/base/logging.{hh,cc}. */
 bool
 inBaseLogging(const std::string& path)
 {
-    return normalized(path).find("base/logging.") != std::string::npos;
+    return normalizedPath(path).find("base/logging.")
+           != std::string::npos;
 }
 
 // ---------------------------------------------------------------------
 // Rules
 
-/** A simple regex-per-line rule. */
+/** A simple regex-per-line rule over the scrubbed line view. */
 struct PatternRule
 {
     std::string name;
@@ -305,7 +120,9 @@ patternRules()
             },
             "statistics kernels are double-precision end to end; float "
             "truncation biases Welford updates and CI half-widths",
-            [](const std::string& p) { return hasComponent(p, "stats"); }});
+            [](const std::string& p) {
+                return hasPathComponent(p, "stats");
+            }});
         r.push_back(PatternRule{
             "raw-stderr",
             "direct stderr writes outside src/base/logging and tools/",
@@ -320,7 +137,7 @@ patternRules()
             [](const std::string& p) {
                 // CLI front-ends own their terminal; the logging sink is
                 // the one place that legitimately writes the stream.
-                return !inBaseLogging(p) && !hasComponent(p, "tools");
+                return !inBaseLogging(p) && !hasPathComponent(p, "tools");
             }});
         return r;
     }();
@@ -336,6 +153,16 @@ compositeRuleInfo()
          "iteration over unordered containers feeding simulator state"},
         {"rng-seed-plumbing",
          "default-seeded Rng, or Rng stored inside a Distribution"},
+        {"callback-lifetime",
+         "by-reference or bare-this lambda captures scheduled into the "
+         "event queue"},
+        {"rng-stream-sharing",
+         "static, global, aliased, or reference-counted Rng streams"},
+        {"atomics-discipline",
+         "relaxed atomics outside src/obs, volatile-as-sync, plain "
+         "access racing an atomic_ref"},
+        {"stale-suppression",
+         "bh-lint allow() annotations that no longer match anything"},
     };
     return info;
 }
@@ -347,8 +174,8 @@ compositeRuleInfo()
  * aliasing is out of scope for a heuristic linter.
  */
 void
-checkUnorderedIteration(const std::string& path, const Lines& lines,
-                        const Suppressions& sup,
+checkUnorderedIteration(const std::string& path, const ScanResult& scan,
+                        Suppressions& sup,
                         std::vector<Finding>& findings)
 {
     static const std::regex declRe(
@@ -359,7 +186,7 @@ checkUnorderedIteration(const std::string& path, const Lines& lines,
         R"(for\s*\([^:;)]*:[^)]*unordered_)");
 
     std::set<std::string> unorderedNames;
-    for (const std::string& line : lines.scrubbed) {
+    for (const std::string& line : scan.scrubbed) {
         auto begin =
             std::sregex_iterator(line.begin(), line.end(), declRe);
         for (auto it = begin; it != std::sregex_iterator(); ++it)
@@ -376,10 +203,10 @@ checkUnorderedIteration(const std::string& path, const Lines& lines,
                 + "': hash-order feeds downstream state and varies "
                   "across libstdc++ versions; use a sorted container "
                   "or sort the keys first",
-            lines.raw[i]});
+            scan.raw[i]});
     };
-    for (std::size_t i = 0; i < lines.scrubbed.size(); ++i) {
-        const std::string& line = lines.scrubbed[i];
+    for (std::size_t i = 0; i < scan.scrubbed.size(); ++i) {
+        const std::string& line = scan.scrubbed[i];
         auto tryMatches = [&](const std::regex& re) {
             auto begin = std::sregex_iterator(line.begin(), line.end(), re);
             for (auto it = begin; it != std::sregex_iterator(); ++it) {
@@ -401,8 +228,8 @@ checkUnorderedIteration(const std::string& path, const Lines& lines,
  * the caller-supplies-the-stream design the per-slave seeding relies on.
  */
 void
-checkRngSeedPlumbing(const std::string& path, const Lines& lines,
-                     const Suppressions& sup,
+checkRngSeedPlumbing(const std::string& path, const ScanResult& scan,
+                     Suppressions& sup,
                      std::vector<Finding>& findings)
 {
     // Explicit default construction is always wrong: the fallback seed
@@ -417,28 +244,75 @@ checkRngSeedPlumbing(const std::string& path, const Lines& lines,
 
     if (inBaseRandom(path))
         return;
-    const bool distribution = hasComponent(path, "distribution");
+    const bool distribution = hasPathComponent(path, "distribution");
     const std::string rule = "rng-seed-plumbing";
-    for (std::size_t i = 0; i < lines.scrubbed.size(); ++i) {
-        const std::string& line = lines.scrubbed[i];
-        if (sup.allows(rule, i))
-            continue;
+    for (std::size_t i = 0; i < scan.scrubbed.size(); ++i) {
+        const std::string& line = scan.scrubbed[i];
         if (std::regex_search(line, defaultCtorRe)
             || std::regex_search(line, bareTempRe)) {
-            findings.push_back(Finding{
-                path, i + 1, rule,
-                "default-seeded Rng: every default-constructed stream is "
-                "identical; derive seeds from the experiment root via "
-                "Rng::split() or SplitMix64",
-                lines.raw[i]});
+            if (!sup.allows(rule, i))
+                findings.push_back(Finding{
+                    path, i + 1, rule,
+                    "default-seeded Rng: every default-constructed "
+                    "stream is identical; derive seeds from the "
+                    "experiment root via Rng::split() or SplitMix64",
+                    scan.raw[i]});
         } else if (distribution && std::regex_search(line, memberRe)) {
-            findings.push_back(Finding{
-                path, i + 1, rule,
-                "Rng state inside a Distribution: distributions must "
-                "draw from the caller-supplied stream (sample(Rng&)) so "
-                "per-slave seed derivation stays intact",
-                lines.raw[i]});
+            if (!sup.allows(rule, i))
+                findings.push_back(Finding{
+                    path, i + 1, rule,
+                    "Rng state inside a Distribution: distributions "
+                    "must draw from the caller-supplied stream "
+                    "(sample(Rng&)) so per-slave seed derivation stays "
+                    "intact",
+                    scan.raw[i]});
         }
+    }
+}
+
+/**
+ * stale-suppression: every annotation must still be earning its keep.
+ * Judged only for rules that actually ran this pass; unknown rule
+ * names are always findings (they suppress nothing and usually mean a
+ * typo silently disabled the protection someone intended).
+ *
+ * `allow-file(stale-suppression)` opts a file out of the audit — the
+ * escape hatch for files (like the linter's own headers) whose doc
+ * comments show example annotations. Such meta-entries are themselves
+ * exempt from the audit, so they are never reported stale.
+ */
+void
+auditSuppressions(const std::string& path, const ScanResult& scan,
+                  Suppressions& sup,
+                  const std::vector<std::string>& enabledRules,
+                  std::vector<Finding>& findings)
+{
+    auto ruleRan = [&](const std::string& rule) {
+        return enabledRules.empty()
+               || std::find(enabledRules.begin(), enabledRules.end(),
+                            rule)
+                      != enabledRules.end();
+    };
+    const std::string rule = "stale-suppression";
+    for (const Suppressions::Entry& entry : sup.entries) {
+        if (entry.used || entry.rule == rule)
+            continue;
+        std::string message;
+        if (!knownRule(entry.rule)) {
+            message = "suppression names unknown rule '" + entry.rule
+                      + "' (try --list-rules): it suppresses nothing";
+        } else if (ruleRan(entry.rule)) {
+            message = "stale suppression: no '" + entry.rule
+                      + "' finding matches this allow"
+                      + (entry.fileWide ? "-file" : "")
+                      + " annotation any more — delete it so the rule "
+                        "protects this code again";
+        } else {
+            continue;  // rule did not run; unjudgeable this pass
+        }
+        if (!sup.allows(rule, entry.line))
+            findings.push_back(Finding{path, entry.line + 1, rule,
+                                       message, scan.raw[entry.line]});
     }
 }
 
@@ -450,6 +324,33 @@ trimmed(const std::string& text)
         return "";
     const auto last = text.find_last_not_of(" \t");
     return text.substr(first, last - first + 1);
+}
+
+} // namespace
+
+std::string
+normalizedPath(const std::string& path)
+{
+    std::string out = path;
+    std::replace(out.begin(), out.end(), '\\', '/');
+    return out;
+}
+
+bool
+hasPathComponent(const std::string& path, const std::string& component)
+{
+    const std::string p = normalizedPath(path);
+    std::size_t pos = 0;
+    while ((pos = p.find(component, pos)) != std::string::npos) {
+        const bool startOk = pos == 0 || p[pos - 1] == '/';
+        const std::size_t end = pos + component.size();
+        const bool endOk = end == p.size() || p[end] == '/'
+                           || p[end] == '.';
+        if (startOk && endOk)
+            return true;
+        pos = end;
+    }
+    return false;
 }
 
 std::string
@@ -476,8 +377,6 @@ jsonEscape(const std::string& text)
     }
     return out;
 }
-
-} // namespace
 
 const std::vector<RuleInfo>&
 ruleCatalog()
@@ -518,30 +417,40 @@ lintSource(const std::string& path, const std::string& contents,
                       != enabledRules.end();
     };
 
-    const Lines lines = preprocess(contents);
-    const Suppressions sup = parseSuppressions(lines.raw);
+    const ScanResult scan = scanSource(contents);
+    Suppressions sup = parseSuppressions(scan.raw);
     std::vector<Finding> findings;
 
     for (const PatternRule& rule : patternRules()) {
         if (!enabled(rule.name) || !rule.applies(path))
             continue;
-        for (std::size_t i = 0; i < lines.scrubbed.size(); ++i) {
-            if (sup.allows(rule.name, i))
-                continue;
+        for (std::size_t i = 0; i < scan.scrubbed.size(); ++i) {
             for (const std::regex& pattern : rule.patterns) {
-                if (std::regex_search(lines.scrubbed[i], pattern)) {
-                    findings.push_back(Finding{path, i + 1, rule.name,
-                                               rule.message,
-                                               lines.raw[i]});
+                if (std::regex_search(scan.scrubbed[i], pattern)) {
+                    // Consult suppressions only after a match, so the
+                    // stale audit never sees phantom usage.
+                    if (!sup.allows(rule.name, i))
+                        findings.push_back(Finding{path, i + 1,
+                                                   rule.name,
+                                                   rule.message,
+                                                   scan.raw[i]});
                     break;  // one finding per rule per line
                 }
             }
         }
     }
     if (enabled("unordered-iteration"))
-        checkUnorderedIteration(path, lines, sup, findings);
+        checkUnorderedIteration(path, scan, sup, findings);
     if (enabled("rng-seed-plumbing"))
-        checkRngSeedPlumbing(path, lines, sup, findings);
+        checkRngSeedPlumbing(path, scan, sup, findings);
+    if (enabled("callback-lifetime"))
+        checkCallbackLifetime(path, scan, sup, findings);
+    if (enabled("rng-stream-sharing"))
+        checkRngStreamSharing(path, scan, sup, findings);
+    if (enabled("atomics-discipline"))
+        checkAtomicsDiscipline(path, scan, sup, findings);
+    if (enabled("stale-suppression"))
+        auditSuppressions(path, scan, sup, enabledRules, findings);
 
     for (Finding& finding : findings)
         finding.snippet = trimmed(finding.snippet);

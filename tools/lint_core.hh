@@ -2,23 +2,36 @@
  * @file
  * bh_lint: BigHouse's project-specific determinism and discipline linter.
  *
- * General-purpose analyzers cannot know that a single `rand()` call or an
- * iteration over an `unordered_map` feeding event order silently breaks
- * SQS termination (paper Eqs. 2-3) and per-slave seed independence. This
- * linter encodes exactly those project rules and runs as a ctest target,
- * so every change lands against them.
+ * General-purpose analyzers cannot know that a single `rand()` call, an
+ * iteration over an `unordered_map` feeding event order, or a lambda
+ * that captures a stack frame by reference into the event queue
+ * silently breaks SQS termination (paper Eqs. 2-3) and per-slave seed
+ * independence. This linter encodes exactly those project rules and
+ * runs as a ctest target, so every change lands against them.
  *
- * The scanner is deliberately line-based and heuristic: it scrubs
- * comments and string literals, then pattern-matches the remainder. False
- * positives are expected to be rare and are silenced in place with an
- * auditable annotation:
+ * The engine (since PR 7) is a real tokenizer pass (lint_tokenizer.hh:
+ * comments, string/char/raw-string literals, preprocessor logical
+ * lines, `#if 0` regions, brace/paren tracking, identifier
+ * classification) feeding two rule tiers:
  *
- *     codeThatLooksBad();  // bh-lint: allow(rule-name)
+ *   - the legacy pattern rules, which run regexes over the
+ *     literal-scrubbed line view (now with strictly fewer false
+ *     positives than the PR-2 line scanner), and
+ *   - token-aware semantic rules (lint_semantics.hh) for callback
+ *     lifetime, RNG stream sharing, and atomics discipline.
+ *
+ * False positives are silenced in place with an auditable annotation:
+ *
+ *     codeThatLooksBad();  // bh-lint: allow(rule-name) -- why
  *
  * which suppresses `rule-name` on that line and the line directly below
  * (so the annotation can sit on its own line above a long statement).
  * `// bh-lint: allow-file(rule-name)` anywhere in a file suppresses the
  * rule for the whole file. Multiple rules: allow(rule-a, rule-b).
+ * Annotations that stop matching anything become `stale-suppression`
+ * findings themselves; a file whose comments merely *show* annotation
+ * syntax (like this one) opts out of that audit with
+ * `allow-file(stale-suppression)`.
  *
  * Rules (see docs/static_analysis.md for the full rationale):
  *   wall-clock          wall-clock reads outside src/base/{time,random}
@@ -29,7 +42,17 @@
  *   float-literal       float literals/types in statistics kernels
  *   rng-seed-plumbing   default-seeded Rng, or Rng state stored inside a
  *                       Distribution (breaks per-slave seed derivation)
+ *   raw-stderr          direct stderr writes outside base/logging, tools/
+ *   callback-lifetime   by-reference or bare-this captures scheduled
+ *                       into the event queue
+ *   rng-stream-sharing  static/global/aliased/shared Rng streams
+ *   atomics-discipline  relaxed atomics outside src/obs, volatile-as-
+ *                       sync, racing past an atomic_ref
+ *   stale-suppression   allow() annotations that match nothing
  */
+
+// bh-lint: allow-file(stale-suppression) -- the doc comment above shows
+// example annotations with placeholder rule names
 
 #ifndef BIGHOUSE_TOOLS_LINT_CORE_HH
 #define BIGHOUSE_TOOLS_LINT_CORE_HH
@@ -65,9 +88,10 @@ bool knownRule(const std::string& name);
 
 /**
  * Lint one translation unit given its contents. `path` determines
- * path-scoped rules (base exemptions, stats-only float rule) and is
- * normalized with forward slashes before matching. `enabledRules`
- * empty means all rules.
+ * path-scoped rules (base exemptions, stats-only float rule, obs-only
+ * relaxed atomics) and is normalized with forward slashes before
+ * matching. `enabledRules` empty means all rules; the
+ * stale-suppression audit judges only annotations for rules that ran.
  */
 std::vector<Finding> lintSource(const std::string& path,
                                 const std::string& contents,
@@ -94,6 +118,19 @@ std::string formatText(const std::vector<Finding>& findings,
 /** Machine-readable JSON report (stable key order). */
 std::string formatJson(const std::vector<Finding>& findings,
                        std::size_t filesChecked);
+
+// Shared helpers for the rule modules and report writers.
+
+/** `path` with backslashes normalized to forward slashes. */
+std::string normalizedPath(const std::string& path);
+
+/** True when the normalized path contains `component` as a directory
+ * or file-stem component (hasPathComponent("a/stats/b.cc", "stats")). */
+bool hasPathComponent(const std::string& path,
+                      const std::string& component);
+
+/** Minimal JSON string escaping. */
+std::string jsonEscape(const std::string& text);
 
 } // namespace bighouse::lint
 

@@ -1,0 +1,192 @@
+#include "lint_report.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "lint_core.hh"
+
+namespace bighouse::lint {
+
+namespace {
+
+/** FNV-1a 64 over `text` (same constants as the campaign key hash). */
+std::uint64_t
+fnv1a64(const std::string& text)
+{
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+/** Collapse whitespace runs to single spaces and trim. */
+std::string
+normalizeSnippet(const std::string& text)
+{
+    std::string out;
+    bool pendingSpace = false;
+    for (char c : text) {
+        if (c == ' ' || c == '\t' || c == '\r') {
+            pendingSpace = !out.empty();
+            continue;
+        }
+        if (pendingSpace) {
+            out += ' ';
+            pendingSpace = false;
+        }
+        out += c;
+    }
+    return out;
+}
+
+std::string
+hex16(std::uint64_t value)
+{
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+        value >>= 4;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+baselineKey(const Finding& finding)
+{
+    return normalizedPath(finding.file) + "|" + finding.rule + "|"
+           + hex16(fnv1a64(normalizeSnippet(finding.snippet)));
+}
+
+Baseline
+parseBaseline(const std::string& text)
+{
+    Baseline out;
+    std::istringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line)) {
+        const std::size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        const std::size_t last = line.find_last_not_of(" \t\r");
+        ++out.allowed[line.substr(first, last - first + 1)];
+    }
+    return out;
+}
+
+bool
+loadBaselineFile(const std::string& path, Baseline& out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    out = parseBaseline(contents.str());
+    return true;
+}
+
+std::string
+formatBaseline(const std::vector<Finding>& findings)
+{
+    std::vector<std::string> keys;
+    keys.reserve(findings.size());
+    for (const Finding& f : findings)
+        keys.push_back(baselineKey(f));
+    std::sort(keys.begin(), keys.end());
+    std::ostringstream out;
+    out << "# bh_lint baseline (bighouse-lint-baseline-v1)\n"
+        << "# One key per forgiven finding: file|rule|snippet-hash.\n"
+        << "# Regenerate with: bh_lint --baseline=FILE --baseline-write "
+           "<paths>\n";
+    for (const std::string& key : keys)
+        out << key << "\n";
+    return out.str();
+}
+
+RatchetResult
+applyBaseline(const std::vector<Finding>& findings,
+              const Baseline& baseline)
+{
+    RatchetResult result;
+    std::map<std::string, std::size_t> remaining = baseline.allowed;
+    for (const Finding& f : findings) {
+        auto it = remaining.find(baselineKey(f));
+        if (it != remaining.end() && it->second > 0) {
+            --it->second;
+            ++result.baselined;
+        } else {
+            result.fresh.push_back(f);
+        }
+    }
+    for (const auto& [key, count] : remaining) {
+        for (std::size_t k = 0; k < count; ++k)
+            result.stale.push_back(key);
+    }
+    return result;
+}
+
+std::string
+formatSarif(const std::vector<Finding>& findings,
+            const std::string& toolVersion)
+{
+    const auto& catalog = ruleCatalog();
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [\n    {\n"
+        << "      \"tool\": {\n        \"driver\": {\n"
+        << "          \"name\": \"bh_lint\",\n"
+        << "          \"version\": \"" << jsonEscape(toolVersion)
+        << "\",\n"
+        << "          \"informationUri\": "
+           "\"https://github.com/bighouse/bighouse/blob/main/docs/"
+           "static_analysis.md\",\n"
+        << "          \"rules\": [";
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        out << (i == 0 ? "" : ",") << "\n            {\"id\": \""
+            << jsonEscape(catalog[i].name)
+            << "\", \"shortDescription\": {\"text\": \""
+            << jsonEscape(catalog[i].summary) << "\"}}";
+    }
+    out << (catalog.empty() ? "" : "\n          ") << "]\n"
+        << "        }\n      },\n"
+        << "      \"columnKind\": \"utf16CodeUnits\",\n"
+        << "      \"results\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding& f = findings[i];
+        std::size_t ruleIndex = 0;
+        for (std::size_t r = 0; r < catalog.size(); ++r) {
+            if (catalog[r].name == f.rule)
+                ruleIndex = r;
+        }
+        out << (i == 0 ? "" : ",") << "\n        {\n"
+            << "          \"ruleId\": \"" << jsonEscape(f.rule)
+            << "\",\n"
+            << "          \"ruleIndex\": " << ruleIndex << ",\n"
+            << "          \"level\": \"error\",\n"
+            << "          \"message\": {\"text\": \""
+            << jsonEscape(f.message) << "\"},\n"
+            << "          \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \""
+            << jsonEscape(normalizedPath(f.file))
+            << "\"}, \"region\": {\"startLine\": " << f.line
+            << "}}}],\n"
+            << "          \"partialFingerprints\": "
+               "{\"bhLintKey/v1\": \""
+            << jsonEscape(baselineKey(f)) << "\"}\n        }";
+    }
+    out << (findings.empty() ? "" : "\n      ") << "]\n"
+        << "    }\n  ]\n}\n";
+    return out.str();
+}
+
+} // namespace bighouse::lint

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Output and workflow layers for bh_lint: SARIF 2.1.0 export (GitHub
+ * code-scanning annotations) and the committed-baseline ratchet.
+ *
+ * Baseline keys are content-stable, not line-stable:
+ *
+ *     <file>|<rule>|<fnv1a64 of the whitespace-normalized snippet>
+ *
+ * so moving a baselined finding up or down a file does not break the
+ * ratchet, while editing the offending line (or writing a new
+ * violation) produces a fresh key and fails. Identical findings are
+ * counted: the baseline lists one line per occurrence. The file format
+ * is sorted text, one key per line, '#' comments ignored — stable
+ * bytes for a given finding set, so `--baseline-write` regenerations
+ * diff cleanly.
+ */
+
+#ifndef BIGHOUSE_TOOLS_LINT_REPORT_HH
+#define BIGHOUSE_TOOLS_LINT_REPORT_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bighouse::lint {
+
+struct Finding;
+
+/** Content-stable baseline key for one finding. */
+std::string baselineKey(const Finding& finding);
+
+/** A loaded baseline: key -> allowed occurrence count. */
+struct Baseline
+{
+    std::map<std::string, std::size_t> allowed;
+};
+
+/** Parse baseline text (sorted keys, '#' comments, blank lines ok). */
+Baseline parseBaseline(const std::string& text);
+
+/** Load from disk. Returns false (and leaves `out` empty) when the
+ * file cannot be read. */
+bool loadBaselineFile(const std::string& path, Baseline& out);
+
+/** Serialize findings into baseline text: sorted, one line per
+ * occurrence, deterministic bytes. */
+std::string formatBaseline(const std::vector<Finding>& findings);
+
+/** Result of ratcheting findings against a baseline. */
+struct RatchetResult
+{
+    std::vector<Finding> fresh;      ///< not in the baseline: failures
+    std::size_t baselined = 0;       ///< matched and forgiven
+    std::vector<std::string> stale;  ///< baseline keys nothing matched
+};
+
+RatchetResult applyBaseline(const std::vector<Finding>& findings,
+                            const Baseline& baseline);
+
+/** SARIF 2.1.0 report (stable key order, deterministic bytes). Every
+ * result carries its baseline key as a partial fingerprint. */
+std::string formatSarif(const std::vector<Finding>& findings,
+                        const std::string& toolVersion);
+
+} // namespace bighouse::lint
+
+#endif // BIGHOUSE_TOOLS_LINT_REPORT_HH

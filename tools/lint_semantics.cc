@@ -1,0 +1,551 @@
+#include "lint_semantics.hh"
+
+#include <cstddef>
+#include <set>
+
+#include "lint_core.hh"
+
+namespace bighouse::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool
+isPunct(const Token& t, const char* text)
+{
+    return t.kind == TokenKind::Punct && t.text == text;
+}
+
+/** Index of the previous non-directive token, or npos. */
+std::size_t
+prevTok(const Tokens& toks, std::size_t i)
+{
+    while (i > 0) {
+        --i;
+        if (toks[i].kind != TokenKind::Directive)
+            return i;
+    }
+    return std::string::npos;
+}
+
+/** Index of the next non-directive token, or npos. */
+std::size_t
+nextTok(const Tokens& toks, std::size_t i)
+{
+    for (++i; i < toks.size(); ++i) {
+        if (toks[i].kind != TokenKind::Directive)
+            return i;
+    }
+    return std::string::npos;
+}
+
+void
+emit(const std::string& path, const std::string& rule,
+     const Token& at, const std::string& message, Suppressions& sup,
+     const ScanResult& scan, std::vector<Finding>& findings)
+{
+    const std::size_t lineIndex = at.line - 1;
+    if (sup.allows(rule, lineIndex))
+        return;
+    findings.push_back(Finding{
+        path, at.line, rule, message,
+        lineIndex < scan.raw.size() ? scan.raw[lineIndex] : ""});
+}
+
+// ---------------------------------------------------------------------
+// callback-lifetime
+
+/** One parsed lambda capture list. */
+struct CaptureList
+{
+    std::size_t open = 0;   ///< index of '['
+    std::size_t close = 0;  ///< index of matching ']'
+    bool refDefault = false;
+    bool bareThis = false;
+    std::vector<std::string> refNames;  ///< named by-reference captures
+};
+
+/**
+ * Parse the capture list of a lambda whose '[' sits at `i`; returns
+ * false when `[` is not a lambda introducer (subscript, attribute).
+ */
+bool
+parseCaptures(const Tokens& toks, std::size_t i, CaptureList& out)
+{
+    const std::size_t p = prevTok(toks, i);
+    if (p != std::string::npos) {
+        const Token& prev = toks[p];
+        // After an expression, '[' is a subscript; "[[" is an
+        // attribute.
+        if (prev.kind == TokenKind::Identifier
+            || prev.kind == TokenKind::Number
+            || prev.kind == TokenKind::String || isPunct(prev, ")")
+            || isPunct(prev, "]") || isPunct(prev, "["))
+            return false;
+    }
+    const std::size_t n1 = nextTok(toks, i);
+    if (n1 != std::string::npos && isPunct(toks[n1], "["))
+        return false;  // attribute [[...]]
+
+    out.open = i;
+    int depth = 0;
+    bool entryStart = true;
+    std::size_t k = i;
+    while (true) {
+        k = nextTok(toks, k);
+        if (k == std::string::npos)
+            return false;
+        const Token& t = toks[k];
+        if (depth == 0 && isPunct(t, "]")) {
+            out.close = k;
+            break;
+        }
+        if (isPunct(t, "(") || isPunct(t, "[") || isPunct(t, "{")) {
+            ++depth;
+            entryStart = false;
+            continue;
+        }
+        if (isPunct(t, ")") || isPunct(t, "]") || isPunct(t, "}")) {
+            --depth;
+            continue;
+        }
+        if (depth > 0)
+            continue;
+        if (isPunct(t, ",")) {
+            entryStart = true;
+            continue;
+        }
+        if (entryStart && isPunct(t, "&")) {
+            const std::size_t nn = nextTok(toks, k);
+            if (nn != std::string::npos
+                && toks[nn].kind == TokenKind::Identifier) {
+                out.refNames.push_back(toks[nn].text);
+                k = nn;
+            } else {
+                out.refDefault = true;
+            }
+            entryStart = false;
+            continue;
+        }
+        if (entryStart && t.kind == TokenKind::Keyword
+            && t.text == "this") {
+            out.bareThis = true;
+            entryStart = false;
+            continue;
+        }
+        entryStart = false;
+    }
+    // A lambda introducer is followed by its parameter list or body.
+    const std::size_t after = nextTok(toks, out.close);
+    if (after == std::string::npos)
+        return false;
+    const Token& t = toks[after];
+    return isPunct(t, "(") || isPunct(t, "{") || isPunct(t, "<")
+           || isPunct(t, "->")
+           || (t.kind == TokenKind::Keyword
+               && (t.text == "mutable" || t.text == "noexcept"
+                   || t.text == "constexpr"));
+}
+
+/**
+ * Name of the call this lambda is a direct argument of ("" if none):
+ * walk back from the '[' to the unmatched '(' and take the identifier
+ * before it.
+ */
+std::string
+enclosingCallee(const Tokens& toks, std::size_t lambdaOpen)
+{
+    int depth = 0;
+    std::size_t k = lambdaOpen;
+    while (true) {
+        k = prevTok(toks, k);
+        if (k == std::string::npos)
+            return "";
+        const Token& t = toks[k];
+        if (isPunct(t, ")") || isPunct(t, "]") || isPunct(t, "}")) {
+            ++depth;
+            continue;
+        }
+        if (isPunct(t, "(")) {
+            if (depth == 0) {
+                const std::size_t c = prevTok(toks, k);
+                if (c != std::string::npos
+                    && toks[c].kind == TokenKind::Identifier)
+                    return toks[c].text;
+                return "";
+            }
+            --depth;
+            continue;
+        }
+        if (isPunct(t, "[") || isPunct(t, "{")) {
+            if (depth == 0)
+                return "";
+            --depth;
+            continue;
+        }
+        if (depth == 0 && isPunct(t, ";"))
+            return "";
+    }
+}
+
+/** True when the lambda at '[' initializes an EventCallback or
+ * InlineCallback variable: `EventCallback cb = [..]` / `cb{[..]}`. */
+bool
+initializesEventCallback(const Tokens& toks, std::size_t lambdaOpen)
+{
+    std::size_t p = prevTok(toks, lambdaOpen);
+    if (p == std::string::npos)
+        return false;
+    if (!isPunct(toks[p], "=") && !isPunct(toks[p], "{")
+        && !isPunct(toks[p], "("))
+        return false;
+    std::size_t name = prevTok(toks, p);
+    if (name == std::string::npos
+        || toks[name].kind != TokenKind::Identifier)
+        return false;
+    std::size_t type = prevTok(toks, name);
+    if (type == std::string::npos)
+        return false;
+    return toks[type].text == "EventCallback"
+           || toks[type].text == "InlineCallback";
+}
+
+} // namespace
+
+void
+checkCallbackLifetime(const std::string& path, const ScanResult& scan,
+                      Suppressions& sup, std::vector<Finding>& findings)
+{
+    const std::string rule = "callback-lifetime";
+    const Tokens& toks = scan.tokens;
+
+    bool fileHasCancel = false;
+    for (const Token& t : toks) {
+        if (t.kind == TokenKind::Identifier
+            && (t.text == "cancel" || t.text == "cancelEvent")) {
+            fileHasCancel = true;
+            break;
+        }
+    }
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!isPunct(toks[i], "["))
+            continue;
+        CaptureList cap;
+        if (!parseCaptures(toks, i, cap))
+            continue;
+        if (!cap.refDefault && cap.refNames.empty() && !cap.bareThis)
+            continue;
+
+        const std::string callee = enclosingCallee(toks, i);
+        const bool scheduled =
+            callee == "schedule" || callee == "scheduleAfter";
+        if (!scheduled && !initializesEventCallback(toks, i))
+            continue;
+
+        if (cap.refDefault || !cap.refNames.empty()) {
+            std::string what =
+                cap.refDefault ? "[&]" : "'" + cap.refNames.front() + "'";
+            emit(path, rule, toks[i],
+                 "scheduled callback captures " + what
+                     + " by reference: the event queue invokes (or "
+                       "destroys, on cancel/teardown) the callback "
+                       "long after this frame is gone — capture by "
+                       "value",
+                 sup, scan, findings);
+        } else if (cap.bareThis && !fileHasCancel) {
+            emit(path, rule, toks[i],
+                 "scheduled callback captures `this` but this file "
+                 "never cancels an event: if *this is destroyed "
+                 "before the event fires, the callback dangles — "
+                 "store the EventId and cancel it on destroy, or "
+                 "capture the needed state by value",
+                 sup, scan, findings);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// rng-stream-sharing
+
+void
+checkRngStreamSharing(const std::string& path, const ScanResult& scan,
+                      Suppressions& sup, std::vector<Finding>& findings)
+{
+    const std::string rule = "rng-stream-sharing";
+    if (normalizedPath(path).find("base/random.") != std::string::npos)
+        return;
+    const Tokens& toks = scan.tokens;
+
+    // Scope stack: what kind of brace region each '{' opened. For this
+    // rule only three classifications matter: namespace/top level
+    // (static duration), class body (member), anything else (local).
+    enum class Scope { Namespace, Class, Other };
+    std::vector<Scope> stack;
+    auto classify = [&](std::size_t open) {
+        // Walk the span back to the previous statement boundary.
+        std::size_t k = open;
+        bool sawParen = false;
+        while (true) {
+            k = prevTok(toks, k);
+            if (k == std::string::npos)
+                break;
+            const Token& t = toks[k];
+            if (isPunct(t, ";") || isPunct(t, "{") || isPunct(t, "}"))
+                break;
+            if (isPunct(t, ")"))
+                sawParen = true;
+            if (t.kind == TokenKind::Keyword) {
+                if (t.text == "namespace")
+                    return Scope::Namespace;
+                if (t.text == "class" || t.text == "struct"
+                    || t.text == "union" || t.text == "enum")
+                    return Scope::Class;
+            }
+        }
+        (void)sawParen;
+        return Scope::Other;
+    };
+    auto currentScope = [&]() {
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            if (*it == Scope::Class)
+                return Scope::Class;
+            if (*it == Scope::Other)
+                return Scope::Other;
+        }
+        return Scope::Namespace;
+    };
+
+    static const std::set<std::string> qualifiers = {
+        "static",   "thread_local", "inline", "constexpr",
+        "mutable",  "extern",       "const",  "constinit",
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (isPunct(t, "{")) {
+            stack.push_back(classify(i));
+            continue;
+        }
+        if (isPunct(t, "}")) {
+            if (!stack.empty())
+                stack.pop_back();
+            continue;
+        }
+
+        // shared_ptr<Rng>: a reference-counted stream is a shared
+        // stream no matter where it lives.
+        if (t.kind == TokenKind::Identifier && t.text == "shared_ptr") {
+            const std::size_t lt = nextTok(toks, i);
+            const std::size_t arg =
+                lt == std::string::npos ? lt : nextTok(toks, lt);
+            if (lt != std::string::npos && isPunct(toks[lt], "<")
+                && arg != std::string::npos
+                && toks[arg].text == "Rng") {
+                emit(path, rule, t,
+                     "shared_ptr<Rng>: a reference-counted stream is "
+                     "drawn from by every holder, so draw order (and "
+                     "results) depend on scheduling — each component "
+                     "owns its own split stream",
+                     sup, scan, findings);
+            }
+            continue;
+        }
+
+        if (t.kind != TokenKind::Identifier || t.text != "Rng")
+            continue;
+
+        const std::size_t p = prevTok(toks, i);
+        if (p != std::string::npos
+            && (isPunct(toks[p], "(") || isPunct(toks[p], ",")
+                || isPunct(toks[p], "<")))
+            continue;  // parameter or template argument, not a decl
+
+        // Leading qualifiers: static / thread_local make the stream
+        // shared across every slave that touches this code.
+        bool staticDuration = false;
+        for (std::size_t q = p; q != std::string::npos;
+             q = prevTok(toks, q)) {
+            const Token& qt = toks[q];
+            if (qt.kind == TokenKind::Keyword
+                && qualifiers.count(qt.text) > 0) {
+                if (qt.text == "static" || qt.text == "thread_local")
+                    staticDuration = true;
+                continue;
+            }
+            break;
+        }
+
+        // Parse the declarator: Rng [&|*] name <terminator>.
+        bool aliasing = false;
+        std::size_t k = nextTok(toks, i);
+        while (k != std::string::npos
+               && (isPunct(toks[k], "&") || isPunct(toks[k], "*")
+                   || isPunct(toks[k], "&&")
+                   || (toks[k].kind == TokenKind::Keyword
+                       && toks[k].text == "const"))) {
+            if (!isPunct(toks[k], "const"))
+                aliasing = aliasing || isPunct(toks[k], "&")
+                           || isPunct(toks[k], "*")
+                           || isPunct(toks[k], "&&");
+            k = nextTok(toks, k);
+        }
+        if (k == std::string::npos
+            || toks[k].kind != TokenKind::Identifier)
+            continue;  // temporary, cast, or other non-declaration use
+        const std::size_t after = nextTok(toks, k);
+        if (after == std::string::npos || isPunct(toks[after], "("))
+            continue;  // function returning Rng(&): not a stream object
+        if (!isPunct(toks[after], ";") && !isPunct(toks[after], "=")
+            && !isPunct(toks[after], "{") && !isPunct(toks[after], "["))
+            continue;
+
+        const Scope scope = currentScope();
+        if (staticDuration) {
+            emit(path, rule, t,
+                 "static-duration Rng '" + toks[k].text
+                     + "': one stream shared by every slave breaks "
+                       "per-slave seed independence (paper §3) — "
+                       "derive a per-owner stream from the experiment "
+                       "root seed",
+                 sup, scan, findings);
+        } else if (scope == Scope::Namespace) {
+            emit(path, rule, t,
+                 "global Rng '" + toks[k].text
+                     + "': a file-scope stream is shared by every "
+                       "slave context — thread the stream in from the "
+                       "per-slave seed derivation instead",
+                 sup, scan, findings);
+        } else if (scope == Scope::Class && aliasing) {
+            emit(path, rule, t,
+                 "Rng reference/pointer member '" + toks[k].text
+                     + "' aliases a stream owned elsewhere: two owners "
+                       "interleave draws nondeterministically — own an "
+                       "Rng by value, seeded from the owner's split "
+                       "stream",
+                 sup, scan, findings);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// atomics-discipline
+
+void
+checkAtomicsDiscipline(const std::string& path, const ScanResult& scan,
+                       Suppressions& sup, std::vector<Finding>& findings)
+{
+    const std::string rule = "atomics-discipline";
+    const Tokens& toks = scan.tokens;
+    const bool inObs = hasPathComponent(path, "obs");
+
+    // Names wrapped by std::atomic_ref anywhere in this file, and the
+    // token indices of those wrapped occurrences.
+    std::set<std::string> refNames;
+    std::set<std::size_t> refUses;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokenKind::Identifier
+            || toks[i].text != "atomic_ref")
+            continue;
+        std::size_t k = nextTok(toks, i);
+        int angle = 0;
+        // Skip template arguments and an optional CTAD variable name.
+        while (k != std::string::npos) {
+            if (isPunct(toks[k], "<"))
+                ++angle;
+            else if (isPunct(toks[k], ">"))
+                --angle;
+            else if (angle == 0 && isPunct(toks[k], "("))
+                break;
+            else if (angle == 0 && isPunct(toks[k], ";"))
+                break;
+            k = nextTok(toks, k);
+        }
+        if (k == std::string::npos || !isPunct(toks[k], "("))
+            continue;
+        std::size_t arg = nextTok(toks, k);
+        while (arg != std::string::npos
+               && (isPunct(toks[arg], "&") || isPunct(toks[arg], "*")))
+            arg = nextTok(toks, arg);
+        if (arg != std::string::npos
+            && toks[arg].kind == TokenKind::Identifier) {
+            refNames.insert(toks[arg].text);
+            refUses.insert(arg);
+        }
+    }
+
+    static const std::set<std::string> mutators = {
+        "=",  "+=", "-=", "*=", "/=", "%=",
+        "&=", "|=", "^=", "<<=", ">>=", "++", "--"};
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+
+        if (t.kind == TokenKind::Keyword && t.text == "volatile") {
+            emit(path, rule, t,
+                 "`volatile` is not a synchronization primitive: it "
+                 "orders nothing and is not atomic — use std::atomic "
+                 "(or a mutex) for cross-thread state",
+                 sup, scan, findings);
+            continue;
+        }
+
+        if (t.kind == TokenKind::Identifier
+            && (t.text == "memory_order_relaxed"
+                || (t.text == "memory_order"
+                    && [&] {
+                           const std::size_t a = nextTok(toks, i);
+                           const std::size_t b =
+                               a == std::string::npos ? a
+                                                      : nextTok(toks, a);
+                           return a != std::string::npos
+                                  && isPunct(toks[a], "::")
+                                  && b != std::string::npos
+                                  && toks[b].text == "relaxed";
+                       }()))) {
+            if (!inObs) {
+                emit(path, rule, t,
+                     "std::memory_order_relaxed outside src/obs: "
+                     "relaxed atomics are only audited as sound in the "
+                     "telemetry slabs (monotonic counters, no "
+                     "inter-thread ordering) — use acquire/release or "
+                     "seq_cst, or justify with an allow annotation",
+                     sup, scan, findings);
+            }
+            continue;
+        }
+
+        // Plain mutation of a variable elsewhere accessed through
+        // std::atomic_ref: the unwrapped access races the wrapped one.
+        if (t.kind == TokenKind::Identifier && refNames.count(t.text) > 0
+            && refUses.count(i) == 0) {
+            const std::size_t p = prevTok(toks, i);
+            const std::size_t q = nextTok(toks, i);
+            const bool declLike =
+                p != std::string::npos
+                && (toks[p].kind == TokenKind::Identifier
+                    || toks[p].kind == TokenKind::Keyword
+                    || isPunct(toks[p], ">") || isPunct(toks[p], "&")
+                    || isPunct(toks[p], "*"));
+            const bool mutated =
+                (q != std::string::npos
+                 && toks[q].kind == TokenKind::Punct
+                 && mutators.count(toks[q].text) > 0)
+                || (p != std::string::npos
+                    && (isPunct(toks[p], "++")
+                        || isPunct(toks[p], "--")));
+            if (!declLike && mutated) {
+                emit(path, rule, t,
+                     "non-atomic mutation of '" + t.text
+                         + "', which is also accessed through "
+                           "std::atomic_ref in this file: the plain "
+                           "access races the atomic one — go through "
+                           "the atomic_ref everywhere",
+                     sup, scan, findings);
+            }
+        }
+    }
+}
+
+} // namespace bighouse::lint

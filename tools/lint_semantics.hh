@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Token-aware semantic rule families for bh_lint.
+ *
+ * These rules consume the token stream from lint_tokenizer.hh rather
+ * than scrubbed-line regexes, because what they flag is structural:
+ *
+ *   callback-lifetime    lambdas handed to Engine::schedule /
+ *                        scheduleAfter (or stored into an
+ *                        EventCallback/InlineCallback) that capture
+ *                        locals by reference, or capture a bare `this`
+ *                        in a file with no cancel-on-destroy
+ *                        discipline. A 48-byte InlineCallback happily
+ *                        outlives the frame it captured; the event
+ *                        queue may fire it — or destroy it on cancel /
+ *                        teardown — long after the frame is gone.
+ *
+ *   rng-stream-sharing   static/global/thread_local Rng streams, Rng
+ *                        reference or pointer members (aliasing a
+ *                        stream owned elsewhere), and shared_ptr<Rng>.
+ *                        Per-slave seed independence (paper §3) holds
+ *                        only while every component draws from its own
+ *                        split stream; a shared stream makes results
+ *                        depend on slave interleaving.
+ *
+ *   atomics-discipline   std::memory_order_relaxed outside src/obs
+ *                        (the telemetry slabs are the one audited home
+ *                        for relaxed counters), `volatile` used where
+ *                        std::atomic is meant, and plain mutation of a
+ *                        variable that is elsewhere accessed through
+ *                        std::atomic_ref (a data race the type system
+ *                        no longer prevents).
+ *
+ * All heuristics are file-local and deliberately conservative; false
+ * positives are silenced in place with `// bh-lint: allow(...)`.
+ */
+
+// bh-lint: allow-file(stale-suppression) -- the doc comment above shows
+// an example annotation with a placeholder rule list
+
+#ifndef BIGHOUSE_TOOLS_LINT_SEMANTICS_HH
+#define BIGHOUSE_TOOLS_LINT_SEMANTICS_HH
+
+#include <string>
+#include <vector>
+
+#include "lint_suppress.hh"
+#include "lint_tokenizer.hh"
+
+namespace bighouse::lint {
+
+struct Finding;
+
+void checkCallbackLifetime(const std::string& path,
+                           const ScanResult& scan, Suppressions& sup,
+                           std::vector<Finding>& findings);
+
+void checkRngStreamSharing(const std::string& path,
+                           const ScanResult& scan, Suppressions& sup,
+                           std::vector<Finding>& findings);
+
+void checkAtomicsDiscipline(const std::string& path,
+                            const ScanResult& scan, Suppressions& sup,
+                            std::vector<Finding>& findings);
+
+} // namespace bighouse::lint
+
+#endif // BIGHOUSE_TOOLS_LINT_SEMANTICS_HH

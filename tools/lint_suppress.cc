@@ -1,0 +1,65 @@
+#include "lint_suppress.hh"
+
+#include <regex>
+#include <sstream>
+
+namespace bighouse::lint {
+
+namespace {
+
+/** Split "a, b ,c" into trimmed tokens. */
+std::vector<std::string>
+splitList(const std::string& text)
+{
+    std::vector<std::string> out;
+    std::string token;
+    std::istringstream stream(text);
+    while (std::getline(stream, token, ',')) {
+        const auto first = token.find_first_not_of(" \t");
+        const auto last = token.find_last_not_of(" \t");
+        if (first != std::string::npos)
+            out.push_back(token.substr(first, last - first + 1));
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+Suppressions::allows(const std::string& rule, std::size_t lineIndex)
+{
+    bool allowed = false;
+    for (Entry& entry : entries) {
+        if (entry.rule != rule)
+            continue;
+        const bool hit =
+            entry.fileWide || entry.line == lineIndex
+            || (lineIndex > 0 && entry.line == lineIndex - 1);
+        if (hit) {
+            entry.used = true;
+            allowed = true;
+        }
+    }
+    return allowed;
+}
+
+Suppressions
+parseSuppressions(const std::vector<std::string>& rawLines)
+{
+    static const std::regex allowRe(
+        R"(bh-lint:\s*(allow|allow-file)\(([^)]*)\))");
+    Suppressions sup;
+    for (std::size_t i = 0; i < rawLines.size(); ++i) {
+        auto begin = std::sregex_iterator(rawLines[i].begin(),
+                                          rawLines[i].end(), allowRe);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            const bool fileWide = (*it)[1].str() == "allow-file";
+            for (const std::string& rule : splitList((*it)[2].str()))
+                sup.entries.push_back(
+                    Suppressions::Entry{rule, i, fileWide, false});
+        }
+    }
+    return sup;
+}
+
+} // namespace bighouse::lint

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * In-source suppression annotations for bh_lint.
+ *
+ *     offendingLine();  // bh-lint: allow(rule-name) -- justification
+ *
+ * silences `rule-name` on that line and the line directly below;
+ * `// bh-lint: allow-file(rule-name)` silences it for the whole file.
+ * Every consulted annotation is marked used so the stale-suppression
+ * audit can flag annotations that no longer match any finding — dead
+ * suppressions are how real violations sneak back in.
+ */
+
+// bh-lint: allow-file(stale-suppression) -- the doc comment above shows
+// example annotations with placeholder rule names
+
+#ifndef BIGHOUSE_TOOLS_LINT_SUPPRESS_HH
+#define BIGHOUSE_TOOLS_LINT_SUPPRESS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bighouse::lint {
+
+struct Suppressions
+{
+    struct Entry
+    {
+        std::string rule;
+        std::size_t line = 0;  ///< 0-based annotation line
+        bool fileWide = false;
+        bool used = false;
+    };
+
+    std::vector<Entry> entries;
+
+    /**
+     * True when `rule` is suppressed at 0-based line `lineIndex`; every
+     * entry that grants the suppression is marked used. Call only after
+     * a rule has actually matched, never as a pre-filter, or the audit
+     * sees phantom usage.
+     */
+    bool allows(const std::string& rule, std::size_t lineIndex);
+};
+
+/** Parse all bh-lint annotations out of the raw source lines. */
+Suppressions parseSuppressions(const std::vector<std::string>& rawLines);
+
+} // namespace bighouse::lint
+
+#endif // BIGHOUSE_TOOLS_LINT_SUPPRESS_HH

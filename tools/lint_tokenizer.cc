@@ -1,0 +1,587 @@
+#include "lint_tokenizer.hh"
+
+#include <array>
+#include <cctype>
+#include <set>
+
+namespace bighouse::lint {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isDigit(char c)
+{
+    return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/** Raw-string literal prefixes: the encoding prefix is optional but the
+ * trailing R is what commits the next '"' to raw-string rules. */
+bool
+isRawPrefix(const std::string& word)
+{
+    return word == "R" || word == "LR" || word == "uR" || word == "UR"
+           || word == "u8R";
+}
+
+/**
+ * Cursor over the physical lines of a file. End-of-line is modelled as
+ * a virtual '\n' so scanners can treat newlines as ordinary
+ * terminators; advancing past it moves to the next line.
+ */
+struct Cursor
+{
+    const std::vector<std::string>& lines;
+    std::vector<std::string>& scrub;
+    std::size_t li = 0;
+    std::size_t ci = 0;
+
+    bool
+    atEnd() const
+    {
+        return li >= lines.size();
+    }
+
+    bool
+    atEol() const
+    {
+        return ci >= lines[li].size();
+    }
+
+    char
+    ch() const
+    {
+        return atEol() ? '\n' : lines[li][ci];
+    }
+
+    /** Character `k` ahead on the same line ('\n' past the end). */
+    char
+    peek(std::size_t k = 1) const
+    {
+        return ci + k >= lines[li].size() ? '\n' : lines[li][ci + k];
+    }
+
+    void
+    next()
+    {
+        if (atEol()) {
+            ++li;
+            ci = 0;
+        } else {
+            ++ci;
+        }
+    }
+
+    /** Blank the current character in the scrubbed view. */
+    void
+    blank()
+    {
+        if (!atEol())
+            scrub[li][ci] = ' ';
+    }
+
+    void
+    blankNext()
+    {
+        blank();
+        next();
+    }
+
+    /** True at a backslash-newline splice (optional trailing CR). */
+    bool
+    atSplice() const
+    {
+        if (atEol() || ch() != '\\')
+            return false;
+        std::size_t k = ci + 1;
+        if (k < lines[li].size() && lines[li][k] == '\r')
+            ++k;
+        return k >= lines[li].size();
+    }
+
+    /** Blank the splice backslash (and CR) and move to the next line. */
+    void
+    skipSplice()
+    {
+        while (!atEol())
+            blankNext();
+        next();  // past the virtual newline
+    }
+};
+
+struct Tokenizer
+{
+    Cursor cur;
+    std::vector<Token>& tokens;
+    int braceDepth = 0;
+    int parenDepth = 0;
+
+    void
+    emit(TokenKind kind, std::string text, std::size_t line,
+         std::size_t col)
+    {
+        Token t;
+        t.kind = kind;
+        t.text = std::move(text);
+        t.line = line + 1;
+        t.col = col;
+        t.braceDepth = braceDepth;
+        t.parenDepth = parenDepth;
+        tokens.push_back(std::move(t));
+    }
+
+    /** `//` comment: blanked to end of logical line (splices continue
+     * the comment onto the next physical line). */
+    void
+    lineComment()
+    {
+        while (!cur.atEnd() && !cur.atEol()) {
+            if (cur.atSplice()) {
+                cur.skipSplice();
+                continue;
+            }
+            cur.blankNext();
+        }
+    }
+
+    /** Block comment, possibly spanning lines or ending mid-line. */
+    void
+    blockComment()
+    {
+        cur.blankNext();  // '/'
+        cur.blankNext();  // '*'
+        while (!cur.atEnd()) {
+            if (cur.atEol()) {
+                cur.next();
+                continue;
+            }
+            if (cur.ch() == '*' && cur.peek() == '/') {
+                cur.blankNext();
+                cur.blankNext();
+                return;
+            }
+            cur.blankNext();
+        }
+    }
+
+    /**
+     * Ordinary string or char literal starting at the quote. Escapes
+     * and splices are honored; an unterminated literal closes at end
+     * of line so one bad line cannot scrub the rest of the file.
+     */
+    void
+    quotedLiteral(char quote)
+    {
+        const std::size_t line = cur.li;
+        const std::size_t col = cur.ci;
+        cur.blankNext();  // opening quote
+        while (!cur.atEnd() && !cur.atEol()) {
+            if (cur.atSplice()) {
+                cur.skipSplice();
+                if (cur.atEnd())
+                    break;
+                continue;
+            }
+            if (cur.ch() == '\\') {
+                cur.blankNext();
+                if (!cur.atEol())
+                    cur.blankNext();
+                continue;
+            }
+            if (cur.ch() == quote) {
+                cur.blankNext();
+                break;
+            }
+            cur.blankNext();
+        }
+        emit(quote == '"' ? TokenKind::String : TokenKind::CharLiteral,
+             std::string(1, quote), line, col);
+    }
+
+    /**
+     * Raw string literal; cursor sits on the opening '"' after an
+     * R-suffixed prefix. No escape or splice processing inside (the
+     * standard un-splices raw-string bodies). Returns false when the
+     * delimiter is malformed, in which case nothing was consumed.
+     */
+    bool
+    rawString(std::size_t line, std::size_t col)
+    {
+        const std::string& text = cur.lines[cur.li];
+        const std::size_t open = text.find('(', cur.ci + 1);
+        if (open == std::string::npos || open - cur.ci - 1 > 16)
+            return false;
+        const std::string closing =
+            ")" + text.substr(cur.ci + 1, open - cur.ci - 1) + "\"";
+        while (cur.ci <= open)
+            cur.blankNext();
+        while (!cur.atEnd()) {
+            if (cur.atEol()) {
+                cur.next();
+                continue;
+            }
+            if (cur.lines[cur.li].compare(cur.ci, closing.size(),
+                                          closing)
+                == 0) {
+                for (std::size_t k = 0; k < closing.size(); ++k)
+                    cur.blankNext();
+                break;
+            }
+            cur.blankNext();
+        }
+        emit(TokenKind::String, "R\"", line, col);
+        return true;
+    }
+
+    /** pp-number: integers, floats, hex floats, digit separators, and
+     * user-defined-literal suffixes as one token. */
+    void
+    number()
+    {
+        const std::size_t line = cur.li;
+        const std::size_t col = cur.ci;
+        std::string text;
+        char prev = 0;
+        while (!cur.atEnd() && !cur.atEol()) {
+            const char c = cur.ch();
+            const bool expSign = (c == '+' || c == '-')
+                                 && (prev == 'e' || prev == 'E'
+                                     || prev == 'p' || prev == 'P');
+            const bool separator = c == '\'' && identChar(cur.peek());
+            if (!identChar(c) && c != '.' && !expSign && !separator)
+                break;
+            text += c;
+            prev = c;
+            cur.next();
+        }
+        emit(TokenKind::Number, std::move(text), line, col);
+    }
+
+    /** Identifier or keyword; commits to a raw string when the word is
+     * an R prefix directly followed by '"'. Tokens are emitted unless
+     * `silent` (directive bodies). */
+    void
+    word(bool silent)
+    {
+        const std::size_t line = cur.li;
+        const std::size_t col = cur.ci;
+        std::string text;
+        while (!cur.atEnd() && !cur.atEol() && identChar(cur.ch())) {
+            text += cur.ch();
+            if (silent)
+                cur.blankNext();  // directive bodies leave no scrubbed text
+            else
+                cur.next();
+        }
+        if (isRawPrefix(text) && !cur.atEol() && cur.ch() == '"') {
+            if (rawString(line, col)) {
+                if (silent && !tokens.empty())
+                    tokens.pop_back();
+                return;
+            }
+        }
+        if (!silent) {
+            // Classify before the move: argument evaluation order is
+            // unspecified, so isCppKeyword(text) inside the emit call
+            // could observe the moved-from string.
+            const TokenKind kind = isCppKeyword(text)
+                                       ? TokenKind::Keyword
+                                       : TokenKind::Identifier;
+            emit(kind, std::move(text), line, col);
+        }
+    }
+
+    /** Maximal-munch punctuator. */
+    void
+    punct()
+    {
+        static const std::array<const char*, 4> three = {"<<=", ">>=",
+                                                         "...", "->*"};
+        static const std::array<const char*, 17> two = {
+            "::", "->", "++", "--", "+=", "-=", "*=", "/=", "%=",
+            "&=", "|=", "^=", "==", "!=", "<=", ">=", "&&"};
+        static const std::array<const char*, 2> two2 = {"||", "<<"};
+        const std::size_t line = cur.li;
+        const std::size_t col = cur.ci;
+        std::string text(1, cur.ch());
+        text += cur.peek(1) == '\n' ? ' ' : cur.peek(1);
+        text += cur.peek(2) == '\n' ? ' ' : cur.peek(2);
+        std::size_t len = 1;
+        for (const char* p : three) {
+            if (text.compare(0, 3, p) == 0)
+                len = 3;
+        }
+        if (len == 1) {
+            for (const char* p : two) {
+                if (text.compare(0, 2, p) == 0)
+                    len = 2;
+            }
+            for (const char* p : two2) {
+                if (text.compare(0, 2, p) == 0)
+                    len = 2;
+            }
+        }
+        // ">>" is left as two tokens so template argument lists close
+        // correctly for the scope tracker; "<<" stays fused.
+        if (len == 2 && text.compare(0, 2, ">>") == 0)
+            len = 1;
+        text.resize(len);
+        const char c = text[0];
+        if (len == 1 && c == '}')
+            braceDepth = braceDepth > 0 ? braceDepth - 1 : 0;
+        if (len == 1 && c == ')')
+            parenDepth = parenDepth > 0 ? parenDepth - 1 : 0;
+        emit(TokenKind::Punct, text, line, col);
+        if (len == 1 && c == '{')
+            ++braceDepth;
+        if (len == 1 && c == '(')
+            ++parenDepth;
+        for (std::size_t k = 0; k < len; ++k)
+            cur.next();
+    }
+
+    /** True when every character before `ci` on this line is blank. */
+    bool
+    onlyWhitespaceBefore() const
+    {
+        const std::string& text = cur.lines[cur.li];
+        for (std::size_t k = 0; k < cur.ci; ++k) {
+            if (text[k] != ' ' && text[k] != '\t')
+                return false;
+        }
+        return true;
+    }
+
+    /** Directive name on the raw line at `li` ("" if not a directive). */
+    static std::string
+    directiveName(const std::string& text)
+    {
+        std::size_t k = text.find_first_not_of(" \t");
+        if (k == std::string::npos || text[k] != '#')
+            return "";
+        k = text.find_first_not_of(" \t", k + 1);
+        std::string name;
+        while (k != std::string::npos && k < text.size()
+               && identChar(text[k]))
+            name += text[k++];
+        return name;
+    }
+
+    /** Condition text of an `#if` line, comments stripped, trimmed. */
+    static std::string
+    ifCondition(const std::string& text)
+    {
+        std::size_t k = text.find('#');
+        k = text.find("if", k);
+        if (k == std::string::npos)
+            return "";
+        k += 2;
+        std::string rest = text.substr(k);
+        for (const char* comment : {"//", "/*"}) {
+            const std::size_t c = rest.find(comment);
+            if (c != std::string::npos)
+                rest.resize(c);
+        }
+        const std::size_t first = rest.find_first_not_of(" \t\r");
+        if (first == std::string::npos)
+            return "";
+        const std::size_t last = rest.find_last_not_of(" \t\r");
+        return rest.substr(first, last - first + 1);
+    }
+
+    /** Blank an entire physical line and step past it. */
+    void
+    blankLine()
+    {
+        while (!cur.atEol())
+            cur.blankNext();
+        cur.next();
+    }
+
+    /**
+     * `#if 0` region: everything through the matching `#endif` is
+     * inert — blanked, no tokens. Nested conditionals tracked; an
+     * `#else` at the outermost inactive level reactivates (an `#elif`
+     * stays inactive: its condition is unknowable here).
+     */
+    void
+    inactiveRegion()
+    {
+        int depth = 1;
+        blankLine();  // the `#if 0` line itself
+        while (!cur.atEnd() && depth > 0) {
+            const std::string name = directiveName(cur.lines[cur.li]);
+            if (name == "if" || name == "ifdef" || name == "ifndef") {
+                ++depth;
+            } else if (name == "endif") {
+                --depth;
+            } else if (name == "else" && depth == 1) {
+                depth = 0;
+            }
+            blankLine();
+        }
+    }
+
+    /**
+     * Active preprocessor directive: one Directive token, the whole
+     * logical line — including backslash-continued physical lines —
+     * blanked in the scrubbed view (macro bodies are not reliable
+     * rule input), comments and literals given their usual handling
+     * so a block comment opened in a directive still closes.
+     */
+    void
+    directive()
+    {
+        const std::size_t line = cur.li;
+        const std::size_t col = cur.ci;
+        const std::string name = directiveName(cur.lines[cur.li]);
+        if (name == "if") {
+            const std::string cond = ifCondition(cur.lines[cur.li]);
+            if (cond == "0" || cond == "false") {
+                inactiveRegion();
+                return;
+            }
+        }
+        emit(TokenKind::Directive, name, line, col);
+        while (!cur.atEnd() && !cur.atEol()) {
+            if (cur.atSplice()) {
+                cur.skipSplice();
+                continue;
+            }
+            const char c = cur.ch();
+            if (c == '/' && cur.peek() == '/') {
+                lineComment();
+                break;
+            }
+            if (c == '/' && cur.peek() == '*') {
+                blockComment();
+                continue;
+            }
+            if (c == '"') {
+                quotedLiteral('"');
+                tokens.pop_back();
+                continue;
+            }
+            if (c == '\'') {
+                quotedLiteral('\'');
+                tokens.pop_back();
+                continue;
+            }
+            if (identStart(c)) {
+                word(/*silent=*/true);
+                continue;
+            }
+            cur.blankNext();
+        }
+    }
+
+    void
+    run()
+    {
+        while (!cur.atEnd()) {
+            if (cur.atEol()) {
+                cur.next();
+                continue;
+            }
+            const char c = cur.ch();
+            if (c == ' ' || c == '\t' || c == '\r'
+                || c == '\f' || c == '\v') {
+                cur.next();
+                continue;
+            }
+            if (c == '#' && onlyWhitespaceBefore()) {
+                directive();
+                continue;
+            }
+            if (c == '/' && cur.peek() == '/') {
+                lineComment();
+                continue;
+            }
+            if (c == '/' && cur.peek() == '*') {
+                blockComment();
+                continue;
+            }
+            if (c == '"') {
+                quotedLiteral('"');
+                continue;
+            }
+            if (c == '\'') {
+                quotedLiteral('\'');
+                continue;
+            }
+            if (cur.atSplice()) {
+                cur.skipSplice();
+                continue;
+            }
+            if (identStart(c)) {
+                word(/*silent=*/false);
+                continue;
+            }
+            if (isDigit(c) || (c == '.' && isDigit(cur.peek()))) {
+                number();
+                continue;
+            }
+            punct();
+        }
+    }
+};
+
+} // namespace
+
+bool
+isCppKeyword(const std::string& word)
+{
+    static const std::set<std::string> keywords = {
+        "alignas", "alignof", "and", "and_eq", "asm", "auto", "bitand",
+        "bitor", "bool", "break", "case", "catch", "char", "char8_t",
+        "char16_t", "char32_t", "class", "compl", "concept", "const",
+        "consteval", "constexpr", "constinit", "const_cast", "continue",
+        "co_await", "co_return", "co_yield", "decltype", "default",
+        "delete", "do", "double", "dynamic_cast", "else", "enum",
+        "explicit", "export", "extern", "false", "float", "for",
+        "friend", "goto", "if", "inline", "int", "long", "mutable",
+        "namespace", "new", "noexcept", "not", "not_eq", "nullptr",
+        "operator", "or", "or_eq", "private", "protected", "public",
+        "register", "reinterpret_cast", "requires", "return", "short",
+        "signed", "sizeof", "static", "static_assert", "static_cast",
+        "struct", "switch", "template", "this", "thread_local", "throw",
+        "true", "try", "typedef", "typeid", "typename", "union",
+        "unsigned", "using", "virtual", "void", "volatile", "wchar_t",
+        "while", "xor", "xor_eq",
+    };
+    return keywords.count(word) > 0;
+}
+
+ScanResult
+scanSource(const std::string& contents)
+{
+    ScanResult out;
+    std::size_t start = 0;
+    while (start <= contents.size()) {
+        const std::size_t nl = contents.find('\n', start);
+        if (nl == std::string::npos) {
+            if (start < contents.size())
+                out.raw.push_back(contents.substr(start));
+            break;
+        }
+        out.raw.push_back(contents.substr(start, nl - start));
+        start = nl + 1;
+    }
+    out.scrubbed = out.raw;
+    Tokenizer tok{Cursor{out.raw, out.scrubbed}, out.tokens};
+    tok.run();
+    return out;
+}
+
+} // namespace bighouse::lint
