@@ -91,18 +91,22 @@ nsPerUnit(std::uint64_t units, double seconds)
 
 /**
  * Event-queue churn at steady depth 16384 plus a cancel-heavy phase —
- * the micro_event_queue scenarios, fixed-length.
+ * the micro_event_queue scenarios, fixed-length. Runs once per queue
+ * backend; the checksum must agree across them (scripts/check_perf.sh
+ * enforces it).
  */
 ScenarioResult
-runMicroEventQueue(bool quick)
+runMicroEventQueueOn(bool quick, QueueBackend backend)
 {
     const std::uint64_t churn = quick ? 300000 : 4000000;
     const std::uint64_t cancelChurn = churn / 2;
     ScenarioResult result;
-    result.name = "micro_event_queue";
+    result.name = backend == QueueBackend::Calendar
+                      ? "micro_event_queue"
+                      : "micro_event_queue_heap";
     result.unitName = "events";
 
-    EventQueue queue;
+    EventQueue queue(backend);
     Rng rng(1);
     double clock = 0.0;
     double checksum = 0.0;
@@ -130,19 +134,36 @@ runMicroEventQueue(bool quick)
     result.units = churn + cancelChurn;
     result.checksum = checksum;
     result.extra["steady_depth"] = JsonValue(16384);
+    result.extra["backend"] = JsonValue(queueBackendName(backend));
     return result;
 }
 
-/** Full-engine M/M/4 station at 70% utilization (micro_engine's BM_Mmk). */
 ScenarioResult
-runMicroEngine(bool quick)
+runMicroEventQueue(bool quick)
+{
+    return runMicroEventQueueOn(quick, QueueBackend::Calendar);
+}
+
+ScenarioResult
+runMicroEventQueueHeap(bool quick)
+{
+    return runMicroEventQueueOn(quick, QueueBackend::BinaryHeap);
+}
+
+/**
+ * Full-engine M/M/4 station at 70% utilization (micro_engine's BM_Mmk),
+ * once per queue backend; checksums must agree across backends.
+ */
+ScenarioResult
+runMicroEngineOn(bool quick, QueueBackend backend)
 {
     const std::uint64_t target = quick ? 200000 : 4000000;
     ScenarioResult result;
-    result.name = "micro_engine";
+    result.name = backend == QueueBackend::Calendar ? "micro_engine"
+                                                    : "micro_engine_heap";
     result.unitName = "events";
 
-    Engine sim;
+    Engine sim(backend);
     Server server(sim, 4);
     Source source(sim, server, std::make_unique<Exponential>(0.7 * 4),
                   std::make_unique<Exponential>(1.0), Rng(1));
@@ -156,7 +177,20 @@ runMicroEngine(bool quick)
     result.units = events;
     result.checksum = sim.now();
     result.extra["cores"] = JsonValue(4);
+    result.extra["backend"] = JsonValue(queueBackendName(backend));
     return result;
+}
+
+ScenarioResult
+runMicroEngine(bool quick)
+{
+    return runMicroEngineOn(quick, QueueBackend::Calendar);
+}
+
+ScenarioResult
+runMicroEngineHeap(bool quick)
+{
+    return runMicroEngineOn(quick, QueueBackend::BinaryHeap);
 }
 
 /**
@@ -252,8 +286,8 @@ printUsage()
 {
     std::printf(
         "usage: bh_perf [--quick] [--out PATH] [--scenario NAME ...]\n"
-        "scenarios: micro_event_queue micro_engine micro_stats "
-        "fig7_scaling\n");
+        "scenarios: micro_event_queue micro_event_queue_heap "
+        "micro_engine micro_engine_heap micro_stats fig7_scaling\n");
 }
 
 } // namespace
@@ -262,7 +296,7 @@ int
 main(int argc, char** argv)
 {
     bool quick = false;
-    std::string outPath = "BENCH_3.json";
+    std::string outPath = "BENCH_4.json";
     std::vector<std::string> selected;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -289,9 +323,15 @@ main(int argc, char** argv)
         const char* name;
         ScenarioResult (*run)(bool quick);
     };
+    // The *_heap twins re-run the same fixed workload on the reference
+    // binary-heap backend: check_perf.sh asserts their checksums match
+    // the calendar scenarios exactly (semantic equivalence), while the
+    // timing columns show the backends' relative cost.
     const Scenario scenarios[] = {
         {"micro_event_queue", runMicroEventQueue},
+        {"micro_event_queue_heap", runMicroEventQueueHeap},
         {"micro_engine", runMicroEngine},
+        {"micro_engine_heap", runMicroEngineHeap},
         {"micro_stats", runMicroStats},
         {"fig7_scaling", runFig7Scaling},
     };
@@ -307,7 +347,7 @@ main(int argc, char** argv)
     };
 
     JsonValue::Array results;
-    std::printf("%-18s %14s %10s %14s %12s\n", "scenario", "units",
+    std::printf("%-22s %14s %10s %14s %12s\n", "scenario", "units",
                 "wall (s)", "units/sec", "ns/unit");
     bool ranAny = false;
     for (const Scenario& scenario : scenarios) {
@@ -315,7 +355,7 @@ main(int argc, char** argv)
             continue;
         ranAny = true;
         const ScenarioResult result = scenario.run(quick);
-        std::printf("%-18s %14llu %10.3f %14.0f %12.1f\n",
+        std::printf("%-22s %14llu %10.3f %14.0f %12.1f\n",
                     result.name.c_str(),
                     static_cast<unsigned long long>(result.units),
                     result.wallSeconds,

@@ -49,6 +49,21 @@ for entry in scenarios:
     assert entry[unit] > 0, entry["name"]
     assert entry["wall_seconds"] > 0, entry["name"]
     assert entry[unit + "_per_sec"] > 0, entry["name"]
+
+# Backend equivalence: the *_heap twins replay the identical fixed-seed
+# workload on the reference binary heap, so their checksums (and event
+# counts) must match the calendar scenarios bit for bit.
+by_name = {entry["name"]: entry for entry in scenarios}
+for calendar_name in ("micro_event_queue", "micro_engine"):
+    heap_name = calendar_name + "_heap"
+    if calendar_name not in by_name or heap_name not in by_name:
+        continue
+    calendar, heap = by_name[calendar_name], by_name[heap_name]
+    assert calendar["checksum"] == heap["checksum"], (
+        "backend checksum mismatch for %s: calendar=%r heap=%r"
+        % (calendar_name, calendar["checksum"], heap["checksum"]))
+    assert calendar["events"] == heap["events"], calendar_name
+    print("   %s: calendar/heap checksums agree" % calendar_name)
 print("   %d scenarios OK" % len(scenarios))
 EOF
 else

@@ -1,10 +1,12 @@
 #include "base/random.hh"
 
-#include <cmath>
-
-#include "base/logging.hh"
-
 namespace bighouse {
+
+namespace detail {
+
+thread_local std::uint64_t tlsRngDraws = 0;
+
+} // namespace detail
 
 namespace {
 
@@ -14,15 +16,12 @@ rotl(std::uint64_t x, int k)
     return (x << k) | (x >> (64 - k));
 }
 
-/// Per-thread draw tally; see threadRngDraws() in random.hh.
-thread_local std::uint64_t tlsDrawCount = 0;
-
 } // namespace
 
 std::uint64_t
 threadRngDraws()
 {
-    return tlsDrawCount;
+    return detail::tlsRngDraws;
 }
 
 Rng::Rng(std::uint64_t seed)
@@ -37,26 +36,31 @@ Rng::Rng(std::uint64_t seed)
         s[0] = 0x9e3779b97f4a7c15ULL;
 }
 
-std::uint64_t
-Rng::next()
+void
+Rng::refill()
 {
-    ++tlsDrawCount;
-    const std::uint64_t result = rotl(s[0] + s[3], 23) + s[0];
-    const std::uint64_t t = s[1] << 17;
-    s[2] ^= s[0];
-    s[3] ^= s[1];
-    s[1] ^= s[2];
-    s[0] ^= s[3];
-    s[2] ^= t;
-    s[3] = rotl(s[3], 45);
-    return result;
-}
-
-double
-Rng::uniform01()
-{
-    // 53 random mantissa bits; add half an ulp so the result is in (0, 1).
-    return (static_cast<double>(next() >> 11) + 0.5) * 0x1.0p-53;
+    // Keep the four state words in locals so the compiler can software-
+    // pipeline the recurrence across the whole block; outputs land in the
+    // buffer in exactly the order the unbatched generator produced them.
+    std::uint64_t s0 = s[0];
+    std::uint64_t s1 = s[1];
+    std::uint64_t s2 = s[2];
+    std::uint64_t s3 = s[3];
+    for (std::size_t i = 0; i < kBlock; ++i) {
+        block[i] = rotl(s0 + s3, 23) + s0;
+        const std::uint64_t t = s1 << 17;
+        s2 ^= s0;
+        s3 ^= s1;
+        s1 ^= s2;
+        s0 ^= s3;
+        s2 ^= t;
+        s3 = rotl(s3, 45);
+    }
+    s[0] = s0;
+    s[1] = s1;
+    s[2] = s2;
+    s[3] = s3;
+    blockPos = 0;
 }
 
 double
@@ -102,13 +106,6 @@ Rng::gaussian()
     const double mag = std::sqrt(-2.0 * std::log(r2) / r2);
     pendingGaussian = v * mag;
     return u * mag;
-}
-
-double
-Rng::exponential(double rate)
-{
-    BH_ASSERT(rate > 0, "exponential rate must be positive");
-    return -std::log(uniform01()) / rate;
 }
 
 Rng

@@ -10,16 +10,32 @@
  *
  * The core generator is xoshiro256++, a fast, high-quality 256-bit-state
  * generator suitable for the billions of draws a converged SQS run makes.
+ * Raw outputs are generated a block at a time into a small per-stream
+ * buffer: the state-update recurrence then pipelines across iterations in
+ * one tight refill loop instead of being re-entered draw by draw, and the
+ * common-case next() inlines to a load and an increment. Batching is
+ * invisible to callers — the draw sequence is exactly the unbatched one,
+ * so all golden results hold.
  */
 
 #ifndef BIGHOUSE_BASE_RANDOM_HH
 #define BIGHOUSE_BASE_RANDOM_HH
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
+#include "base/logging.hh"
+
 namespace bighouse {
+
+namespace detail {
+
+/// Per-thread tally of *consumed* draws; see threadRngDraws() below.
+extern thread_local std::uint64_t tlsRngDraws;
+
+} // namespace detail
 
 /**
  * SplitMix64 stream: used only to expand seeds into generator state and to
@@ -53,11 +69,23 @@ class Rng
   public:
     using result_type = std::uint64_t;
 
+    /** Raw outputs generated per buffer refill. */
+    static constexpr std::size_t kBlock = 64;
+
     /** Construct from a 64-bit seed, expanded through SplitMix64. */
     explicit Rng(std::uint64_t seed = 0x8c0fe9a1d2b347c5ULL);
 
     /** Next raw 64-bit draw. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        // The tally counts draws handed to callers, not blocks generated,
+        // so telemetry stays exact under batching.
+        ++detail::tlsRngDraws;
+        if (blockPos == kBlock) [[unlikely]]
+            refill();
+        return block[blockPos++];
+    }
 
     std::uint64_t operator()() { return next(); }
 
@@ -69,7 +97,12 @@ class Rng
     }
 
     /** Uniform double in the open interval (0, 1). Never returns 0 or 1. */
-    double uniform01();
+    double
+    uniform01()
+    {
+        // 53 random mantissa bits; half an ulp keeps the result in (0, 1).
+        return (static_cast<double>(next() >> 11) + 0.5) * 0x1.0p-53;
+    }
 
     /** Uniform double in [lo, hi). */
     double uniform(double lo, double hi);
@@ -81,7 +114,12 @@ class Rng
     double gaussian();
 
     /** Exponential draw with the given rate (inverse transform). */
-    double exponential(double rate);
+    double
+    exponential(double rate)
+    {
+        BH_ASSERT(rate > 0, "exponential rate must be positive");
+        return -std::log(uniform01()) / rate;
+    }
 
     /** Bernoulli draw with success probability p. */
     bool bernoulli(double p) { return uniform01() < p; }
@@ -93,9 +131,16 @@ class Rng
     Rng split();
 
   private:
+    /** Run the xoshiro recurrence kBlock times into the buffer. */
+    void refill();
+
     std::array<std::uint64_t, 4> s;
     /// Cached second output of the polar method, NaN when absent.
     double pendingGaussian;
+    /// Next unconsumed buffer index; kBlock means "buffer exhausted".
+    std::uint32_t blockPos = kBlock;
+    /// Pre-generated raw outputs, consumed in generation order.
+    std::array<std::uint64_t, kBlock> block;
 };
 
 /**

@@ -219,8 +219,8 @@ Experiment::buildInto(SqsSimulation& sim) const
     for (std::size_t i = 0; i < spec.servers; ++i) {
         switch (spec.serverModel) {
           case ServerModel::Fcfs: {
-            auto server = std::make_unique<Server>(sim.engine(),
-                                                   spec.coresPerServer);
+            auto server = std::make_unique<Server>(
+                sim.engine(), spec.coresPerServer, sim.taskArena());
             if (completion)
                 server->setCompletionHandler(completion);
             if (spec.cpuSlowdown != 1.0)
@@ -279,7 +279,7 @@ Experiment::buildInto(SqsSimulation& sim) const
         if (failing) {
             auto retry = std::make_unique<RetryQueue>(
                 sim.engine(), *model->balancer, spec.failures->retry,
-                model->failures->counters);
+                model->failures->counters, sim.taskArena());
             entry = retry.get();
             model->failures->retries.push_back(std::move(retry));
         }
@@ -299,7 +299,7 @@ Experiment::buildInto(SqsSimulation& sim) const
             if (failing) {
                 auto retry = std::make_unique<RetryQueue>(
                     sim.engine(), *intakes[i], spec.failures->retry,
-                    model->failures->counters);
+                    model->failures->counters, sim.taskArena());
                 entry = retry.get();
                 model->failures->retries.push_back(std::move(retry));
             }
@@ -528,6 +528,7 @@ Experiment::configKeys()
         "workload",   "cluster",     "serverModel", "dreamweaver",
         "powernap",   "dispatch",    "loadFactor",  "cpuSlowdown",
         "metrics",    "sqs",         "capping",     "failures",
+        "engine",
     };
     return keys;
 }
@@ -648,6 +649,12 @@ Experiment::specFromConfig(const Config& config, bool strict)
         config.getInt("sqs.maxEvents", 0));
     spec.sqs.maxSimTime = config.getDouble("sqs.maxSimTime", 0.0);
     spec.sqs.maxWallSeconds = config.getDouble("sqs.maxWallSeconds", 0.0);
+
+    // Engine tuning knobs: simulation results are identical for every
+    // combination; these trade speed only.
+    spec.sqs.queueBackend = queueBackendFromName(
+        config.getString("engine.queueBackend", "calendar"));
+    spec.sqs.taskArena = config.getBool("engine.taskArena", true);
 
     if (config.has("capping")) {
         PowerCappingSpec capping;

@@ -42,7 +42,7 @@ terminationReasonFromName(std::string_view name)
 }
 
 SqsSimulation::SqsSimulation(SqsConfig config, std::uint64_t seed)
-    : cfg(config), root(seed)
+    : cfg(config), sim(config.queueBackend), root(seed)
 {
     if (cfg.batchEvents == 0)
         fatal("SqsConfig batchEvents must be >= 1");

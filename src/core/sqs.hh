@@ -22,6 +22,7 @@
 
 #include "base/random.hh"
 #include "queueing/failure.hh"
+#include "queueing/task_arena.hh"
 #include "sim/engine.hh"
 #include "stats/collection.hh"
 
@@ -47,6 +48,15 @@ struct SqsConfig
     /// Wall-clock deadline in seconds; 0 disables. Checked at batch
     /// granularity — a run is cut at the first batch boundary past it.
     double maxWallSeconds = 0.0;
+
+    /// Pending-event structure for the Engine. Calendar is the fast
+    /// default; BinaryHeap is the differential-testing reference. Both
+    /// produce bit-identical simulations on shared seeds.
+    QueueBackend queueBackend = QueueBackend::Calendar;
+    /// Back task containers (server queues, retry maps) with a
+    /// per-simulation TaskArena instead of the global heap. Changes only
+    /// where memory comes from, never simulation results.
+    bool taskArena = true;
 };
 
 /**
@@ -99,6 +109,13 @@ class SqsSimulation
 
     Engine& engine() { return sim; }
     const Engine& engine() const { return sim; }
+
+    /**
+     * The per-simulation task pool, or nullptr when the config disables
+     * it — model builders pass this straight to Server/RetryQueue.
+     */
+    TaskArena* taskArena() { return cfg.taskArena ? &arena : nullptr; }
+
     StatsCollection& stats() { return collection; }
     const StatsCollection& stats() const { return collection; }
     Rng& rootRng() { return root; }
@@ -166,6 +183,9 @@ class SqsSimulation
   private:
     SqsConfig cfg;
     Engine sim;
+    /// Outlives every model object held by holdModel (declared before
+    /// `model` so containers drain back into it before it is destroyed).
+    TaskArena arena;
     StatsCollection collection;
     Rng root;
     std::vector<std::shared_ptr<void>> model;

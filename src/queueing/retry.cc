@@ -1,15 +1,19 @@
 #include "queueing/retry.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "base/logging.hh"
 
 namespace bighouse {
 
 RetryQueue::RetryQueue(Engine& engine, TaskAcceptor& downstream,
-                       RetrySpec spec, FailureCounters& counters)
+                       RetrySpec spec, FailureCounters& counters,
+                       TaskArena* arena)
     : engine(engine), downstream(downstream), spec(spec),
-      counters(counters)
+      counters(counters),
+      inflight(FlightMap::allocator_type(arena))
 {
     if (spec.timeout < 0.0)
         fatal("RetrySpec timeout must be >= 0, got ", spec.timeout);
@@ -18,6 +22,10 @@ RetryQueue::RetryQueue(Engine& engine, TaskAcceptor& downstream,
         fatal("RetrySpec backoff needs base > 0, factor >= 1, "
               "max >= base");
     }
+    clampExponent = spec.backoffFactor > 1.0
+                        ? std::log(spec.backoffMax / spec.backoffBase)
+                              / std::log(spec.backoffFactor)
+                        : std::numeric_limits<double>::infinity();
 }
 
 void
@@ -30,10 +38,15 @@ Time
 RetryQueue::backoffDelay(std::uint32_t attempt) const
 {
     BH_ASSERT(attempt >= 1, "backoff before the first retry");
-    double delay = spec.backoffBase;
-    for (std::uint32_t k = 1; k < attempt; ++k)
-        delay *= spec.backoffFactor;
-    return std::min(delay, spec.backoffMax);
+    // Clamp decided *before* the power is computed: the historical
+    // multiply loop was O(attempt) and could overflow to inf ahead of
+    // its clamp once attempt grew past ~1000.
+    const double exponent = static_cast<double>(attempt - 1);
+    if (exponent >= clampExponent)
+        return spec.backoffMax;
+    return std::min(spec.backoffBase
+                        * std::pow(spec.backoffFactor, exponent),
+                    spec.backoffMax);
 }
 
 void

@@ -63,9 +63,11 @@ class RetryQueue : public TaskAcceptor
      * @param downstream where offered tasks go
      * @param spec timeout/backoff policy
      * @param counters shared failure ledger (outlives the queue)
+     * @param arena optional per-simulation pool backing the in-flight
+     *        map's storage; null means the global heap
      */
     RetryQueue(Engine& engine, TaskAcceptor& downstream, RetrySpec spec,
-               FailureCounters& counters);
+               FailureCounters& counters, TaskArena* arena = nullptr);
 
     /** First offer of a fresh task (from a Source). */
     void accept(Task task) override;
@@ -91,6 +93,13 @@ class RetryQueue : public TaskAcceptor
     /** Tasks currently in flight (offered, not yet resolved). */
     std::size_t outstanding() const { return inflight.size(); }
 
+    /**
+     * Backoff delay before re-offering attempt `attempt` (>= 1):
+     * min(base * factor^(attempt-1), max), computed in closed form so it
+     * is O(1) and finite for any attempt count.
+     */
+    Time backoffDelay(std::uint32_t attempt) const;
+
   private:
     struct Flight
     {
@@ -106,9 +115,6 @@ class RetryQueue : public TaskAcceptor
     /** Bump the attempt and schedule the backed-off re-offer. */
     void scheduleReoffer(std::uint64_t id, Flight& flight);
 
-    /** Backoff delay before re-offering attempt `attempt` (>= 1). */
-    Time backoffDelay(std::uint32_t attempt) const;
-
     void resolve(std::uint64_t id, const Task& task, bool ok);
 
     void timeoutFired(std::uint64_t id);
@@ -116,9 +122,17 @@ class RetryQueue : public TaskAcceptor
     Engine& engine;
     TaskAcceptor& downstream;
     RetrySpec spec;
+    /// Smallest exponent at which base * factor^e reaches backoffMax
+    /// (+inf when factor == 1); attempts past it skip the power entirely,
+    /// so backoffDelay never overflows and costs O(1) at any attempt.
+    double clampExponent;
     FailureCounters& counters;
     OutcomeHandler onOutcome;
-    std::unordered_map<std::uint64_t, Flight> inflight;
+    using FlightMap =
+        std::unordered_map<std::uint64_t, Flight, std::hash<std::uint64_t>,
+                           std::equal_to<std::uint64_t>,
+                           ArenaAlloc<std::pair<const std::uint64_t, Flight>>>;
+    FlightMap inflight;
 };
 
 } // namespace bighouse

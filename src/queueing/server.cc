@@ -1,6 +1,7 @@
 #include "queueing/server.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "base/logging.hh"
 
@@ -18,11 +19,16 @@ taskLossName(TaskLoss loss)
     return "unknown";
 }
 
-Server::Server(Engine& engine, unsigned coreCount)
-    : engine(engine), cores(coreCount), lastAccounting(engine.now())
+Server::Server(Engine& engine, unsigned coreCount, TaskArena* arena)
+    : engine(engine), cores(coreCount), queue(ArenaAlloc<Task>(arena)),
+      lastAccounting(engine.now())
 {
     if (coreCount == 0)
         fatal("Server needs at least one core");
+    if (coreCount <= 64) {
+        idleMask = coreCount == 64 ? ~std::uint64_t{0}
+                                   : (std::uint64_t{1} << coreCount) - 1;
+    }
 }
 
 void
@@ -41,23 +47,6 @@ void
 Server::setLostHandler(LostHandler handler)
 {
     onLost = std::move(handler);
-}
-
-void
-Server::settleAccounting()
-{
-    const Time now = engine.now();
-    const Time dt = now - lastAccounting;
-    if (dt > 0) {
-        occupiedIntegral += static_cast<double>(busyCount) * dt;
-        if (busyCount == 0)
-            idleIntegral += dt;
-        if (serverUp)
-            upIntegral += dt;
-        else
-            downIntegral += dt;
-        lastAccounting = now;
-    }
 }
 
 double
@@ -99,63 +88,6 @@ Server::lose(Task task, TaskLoss loss)
 {
     if (onLost)
         onLost(std::move(task), loss);
-}
-
-void
-Server::accept(Task task)
-{
-    settleAccounting();
-    ++arrived;
-    if (!serverUp) [[unlikely]] {
-        if (rejectWhenDown) {
-            lose(std::move(task), TaskLoss::RejectedDown);
-            return;
-        }
-        queue.push_back(std::move(task));
-        return;
-    }
-    // Invariant: a non-empty queue implies no free core.
-    if (busyCount < cores.size()) {
-        BH_ASSERT(queue.empty(), "free core with a non-empty queue");
-        for (std::size_t i = 0; i < cores.size(); ++i) {
-            if (!cores[i].busy) {
-                beginService(i, std::move(task));
-                return;
-            }
-        }
-        panic("busyCount claims a free core but none found");
-    }
-    queue.push_back(std::move(task));
-}
-
-void
-Server::beginService(std::size_t coreIndex, Task task)
-{
-    Core& core = cores[coreIndex];
-    BH_ASSERT(!core.busy, "beginService on a busy core");
-    core.busy = true;
-    core.task = std::move(task);
-    if (core.task.startTime == kTimeNever)
-        core.task.startTime = engine.now();
-    core.lastUpdate = engine.now();
-    ++busyCount;
-    scheduleCompletion(coreIndex);
-    if (onStart)
-        onStart(core.task);
-}
-
-void
-Server::scheduleCompletion(std::size_t coreIndex)
-{
-    Core& core = cores[coreIndex];
-    if (speedFactor <= 0.0 || !serverUp) {
-        core.hasCompletionEvent = false;  // resumes on setSpeed / repair
-        return;
-    }
-    const Time eta = core.task.remaining / speedFactor;
-    core.completion =
-        engine.scheduleAfter(eta, [this, coreIndex] { finish(coreIndex); });
-    core.hasCompletionEvent = true;
 }
 
 void
@@ -214,10 +146,12 @@ Server::fail(TaskDisposition disposition)
     switch (disposition) {
       case TaskDisposition::Drop: {
         // A crash loses all request state: cores and queue alike.
-        for (auto& core : cores) {
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+            Core& core = cores[i];
             if (!core.busy)
                 continue;
             core.busy = false;
+            markIdle(i);
             lose(std::move(core.task), TaskLoss::ServerFailure);
         }
         busyCount = 0;
@@ -237,6 +171,7 @@ Server::fail(TaskDisposition disposition)
             if (!core.busy)
                 continue;
             core.busy = false;
+            markIdle(i);
             Task task = std::move(core.task);
             task.remaining = task.size;
             task.startTime = kTimeNever;  // restart: wait ends at redispatch
@@ -264,41 +199,6 @@ Server::repair()
             scheduleCompletion(i);
     }
     dispatch();
-}
-
-void
-Server::finish(std::size_t coreIndex)
-{
-    Core& core = cores[coreIndex];
-    BH_ASSERT(core.busy, "completion event on an idle core");
-    settleAccounting();
-    core.busy = false;
-    core.hasCompletionEvent = false;
-    --busyCount;
-    ++completed;
-    Task done = std::move(core.task);
-    done.remaining = 0.0;
-    done.finishTime = engine.now();
-    dispatch();
-    if (onComplete)
-        onComplete(done);
-}
-
-void
-Server::dispatch()
-{
-    if (!serverUp) [[unlikely]]
-        return;
-    while (!queue.empty() && busyCount < cores.size()) {
-        for (std::size_t i = 0; i < cores.size(); ++i) {
-            if (!cores[i].busy) {
-                Task next = std::move(queue.front());
-                queue.pop_front();
-                beginService(i, std::move(next));
-                break;
-            }
-        }
-    }
 }
 
 } // namespace bighouse

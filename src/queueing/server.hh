@@ -20,13 +20,16 @@
 #ifndef BIGHOUSE_QUEUEING_SERVER_HH
 #define BIGHOUSE_QUEUEING_SERVER_HH
 
+#include <bit>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <vector>
 
+#include "base/logging.hh"
 #include "queueing/failure.hh"
 #include "queueing/task.hh"
+#include "queueing/task_arena.hh"
 #include "sim/engine.hh"
 
 namespace bighouse {
@@ -54,7 +57,13 @@ class Server : public TaskAcceptor
     /** Called for every task the server loses (drop or reject). */
     using LostHandler = std::function<void(Task, TaskLoss)>;
 
-    Server(Engine& engine, unsigned cores);
+    /**
+     * @param engine the simulation this server lives in
+     * @param cores identical execution contexts sharing the FCFS queue
+     * @param arena optional per-simulation pool backing the wait queue's
+     *        storage; null means the global heap (identical behavior)
+     */
+    Server(Engine& engine, unsigned cores, TaskArena* arena = nullptr);
 
     /** Deliver a task: dispatched immediately if a core is free. */
     void accept(Task task) override;
@@ -166,12 +175,38 @@ class Server : public TaskAcceptor
     /** Move queued tasks onto free cores (no-op while down). */
     void dispatch();
 
+    /**
+     * Lowest-index idle core — the same core the historical linear scan
+     * picked, found in one bit-scan via idleMask when the machine has at
+     * most 64 cores (Core is ~100 bytes, so the old scan touched a cache
+     * line per core on the arrival fast path).
+     * @pre busyCount < cores.size()
+     */
+    std::size_t firstIdleCore() const;
+
+    void
+    markIdle(std::size_t coreIndex)
+    {
+        if (cores.size() <= 64)
+            idleMask |= std::uint64_t{1} << coreIndex;
+    }
+
+    void
+    markBusy(std::size_t coreIndex)
+    {
+        if (cores.size() <= 64)
+            idleMask &= ~(std::uint64_t{1} << coreIndex);
+    }
+
     /** Hand a task to the lost handler (or let it vanish). */
     void lose(Task task, TaskLoss loss);
 
     Engine& engine;
     std::vector<Core> cores;
-    std::deque<Task> queue;
+    /// Bit i set = cores[i] idle; maintained only while cores.size() <=
+    /// 64 (larger machines fall back to scanning core flags).
+    std::uint64_t idleMask = 0;
+    std::deque<Task, ArenaAlloc<Task>> queue;
     CompletionHandler onComplete;
     StartHandler onStart;
     LostHandler onLost;
@@ -187,6 +222,130 @@ class Server : public TaskAcceptor
     double upIntegral = 0.0;
     double downIntegral = 0.0;
 };
+
+// The arrival/completion cycle below is the per-task hot path of every
+// simulation. The build links plain static libraries without LTO, so these
+// definitions live here as `inline`: the compiler can then fold the whole
+// source -> accept -> beginService -> scheduleCompletion chain (and the
+// completion lambda's finish -> dispatch) into the instantiating TU
+// instead of paying a cross-TU call and a 56-byte Task copy per hop.
+
+inline void
+Server::settleAccounting()
+{
+    const Time now = engine.now();
+    const Time dt = now - lastAccounting;
+    if (dt > 0) {
+        occupiedIntegral += static_cast<double>(busyCount) * dt;
+        if (busyCount == 0)
+            idleIntegral += dt;
+        if (serverUp)
+            upIntegral += dt;
+        else
+            downIntegral += dt;
+        lastAccounting = now;
+    }
+}
+
+inline std::size_t
+Server::firstIdleCore() const
+{
+    if (cores.size() <= 64) {
+        BH_ASSERT(idleMask != 0, "busyCount claims a free core but the "
+                                 "idle mask is empty");
+        return static_cast<std::size_t>(std::countr_zero(idleMask));
+    }
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        if (!cores[i].busy)
+            return i;
+    }
+    panic("busyCount claims a free core but none found");
+}
+
+inline void
+Server::scheduleCompletion(std::size_t coreIndex)
+{
+    Core& core = cores[coreIndex];
+    if (speedFactor <= 0.0 || !serverUp) {
+        core.hasCompletionEvent = false;  // resumes on setSpeed / repair
+        return;
+    }
+    const Time eta = core.task.remaining / speedFactor;
+    core.completion =
+        // bh-lint: allow(callback-lifetime) -- cancelled by setSpeed/fail
+        engine.scheduleAfter(eta, [this, coreIndex] { finish(coreIndex); });
+    core.hasCompletionEvent = true;
+}
+
+inline void
+Server::beginService(std::size_t coreIndex, Task task)
+{
+    Core& core = cores[coreIndex];
+    BH_ASSERT(!core.busy, "beginService on a busy core");
+    core.busy = true;
+    markBusy(coreIndex);
+    core.task = std::move(task);
+    if (core.task.startTime == kTimeNever)
+        core.task.startTime = engine.now();
+    core.lastUpdate = engine.now();
+    ++busyCount;
+    scheduleCompletion(coreIndex);
+    if (onStart)
+        onStart(core.task);
+}
+
+inline void
+Server::accept(Task task)
+{
+    settleAccounting();
+    ++arrived;
+    if (!serverUp) [[unlikely]] {
+        if (rejectWhenDown) {
+            lose(std::move(task), TaskLoss::RejectedDown);
+            return;
+        }
+        queue.push_back(std::move(task));
+        return;
+    }
+    // Invariant: a non-empty queue implies no free core.
+    if (busyCount < cores.size()) {
+        BH_ASSERT(queue.empty(), "free core with a non-empty queue");
+        beginService(firstIdleCore(), std::move(task));
+        return;
+    }
+    queue.push_back(std::move(task));
+}
+
+inline void
+Server::dispatch()
+{
+    if (!serverUp) [[unlikely]]
+        return;
+    while (!queue.empty() && busyCount < cores.size()) {
+        Task next = std::move(queue.front());
+        queue.pop_front();
+        beginService(firstIdleCore(), std::move(next));
+    }
+}
+
+inline void
+Server::finish(std::size_t coreIndex)
+{
+    Core& core = cores[coreIndex];
+    BH_ASSERT(core.busy, "completion event on an idle core");
+    settleAccounting();
+    core.busy = false;
+    markIdle(coreIndex);
+    core.hasCompletionEvent = false;
+    --busyCount;
+    ++completed;
+    Task done = std::move(core.task);
+    done.remaining = 0.0;
+    done.finishTime = engine.now();
+    dispatch();
+    if (onComplete)
+        onComplete(done);
+}
 
 } // namespace bighouse
 

@@ -1,6 +1,10 @@
 #include "queueing/source.hh"
 
+#include <typeinfo>
+
 #include "base/logging.hh"
+#include "distribution/basic.hh"
+#include "queueing/server.hh"
 
 namespace bighouse {
 
@@ -16,6 +20,16 @@ Source::Source(Engine& engine, TaskAcceptor& target, DistPtr interarrival,
     if (!this->interarrival || !this->service)
         fatal("Source needs both an inter-arrival and a service "
               "distribution");
+    if (const auto* exp =
+            dynamic_cast<const Exponential*>(this->interarrival.get()))
+        expInterarrivalRate = exp->rateParam();
+    if (const auto* exp =
+            dynamic_cast<const Exponential*>(this->service.get()))
+        expServiceRate = exp->rateParam();
+    // Exactly Server (not a subclass): subclasses override accept and must
+    // keep their virtual dispatch.
+    if (typeid(target) == typeid(Server))
+        directTarget = static_cast<Server*>(&target);
 }
 
 void
@@ -46,8 +60,10 @@ Source::setLoadFactor(double factor)
 void
 Source::scheduleNext()
 {
-    const double gap = interarrival->sample(rng) / loadFactor;
-    pending = engine.scheduleAfter(gap, [this] { emit(); });
+    const double raw = expInterarrivalRate > 0.0
+                           ? rng.exponential(expInterarrivalRate)
+                           : interarrival->sample(rng);
+    pending = engine.scheduleAfter(raw / loadFactor, [this] { emit(); });
 }
 
 void
@@ -56,13 +72,17 @@ Source::emit()
     Task task;
     task.id = idBase | ++count;
     task.arrivalTime = engine.now();
-    task.size = service->sample(rng);
+    task.size = expServiceRate > 0.0 ? rng.exponential(expServiceRate)
+                                     : service->sample(rng);
     task.remaining = task.size;
     // Schedule the next arrival before delivery so a target that inspects
     // the engine sees a consistent pending-arrival state.
     if (running)
         scheduleNext();
-    target.accept(task);
+    if (directTarget != nullptr)
+        directTarget->accept(std::move(task));
+    else
+        target.accept(std::move(task));
 }
 
 TraceSource::TraceSource(Engine& engine, TaskAcceptor& target,

@@ -21,6 +21,8 @@
 
 namespace bighouse {
 
+class Server;
+
 /**
  * Draws i.i.d. inter-arrival gaps and service demands from a workload's
  * distributions and pushes the resulting tasks into a TaskAcceptor.
@@ -61,9 +63,20 @@ class Source
 
     Engine& engine;
     TaskAcceptor& target;
+    /// Non-null when `target` is exactly a Server: delivery then calls
+    /// Server::accept directly (it inlines into emit()) instead of going
+    /// through the TaskAcceptor vtable. Identical behavior either way.
+    Server* directTarget = nullptr;
     DistPtr interarrival;
     DistPtr service;
     Rng rng;
+    /// Devirtualized fast path: when a distribution is Exponential (the
+    /// dominant case — every M/M/k experiment draws two exponentials per
+    /// arrival), its rate is cached here and sampling inlines to
+    /// rng.exponential(rate), bit-identical to the virtual call. 0 means
+    /// "not exponential, go through the vtable".
+    double expInterarrivalRate = 0.0;
+    double expServiceRate = 0.0;
     double loadFactor = 1.0;
     std::uint64_t count = 0;
     std::uint64_t idBase;

@@ -1,0 +1,22 @@
+#include "queueing/task_arena.hh"
+
+namespace bighouse {
+
+void
+TaskArena::refill(std::size_t cls)
+{
+    BH_ASSERT(cls < kNumClasses, "size class out of range");
+    const std::size_t blockBytes = kMinBlockBytes << cls;
+    chunks.push_back(std::make_unique<std::byte[]>(kChunkBytes));
+    std::byte* base = chunks.back().get();
+    // Thread the chunk onto the free list back to front so the list pops
+    // in address order — consecutive queue nodes stay cache-adjacent.
+    for (std::size_t off = kChunkBytes; off >= blockBytes;) {
+        off -= blockBytes;
+        auto* block = reinterpret_cast<FreeBlock*>(base + off);
+        block->next = freeLists[cls];
+        freeLists[cls] = block;
+    }
+}
+
+} // namespace bighouse

@@ -6,60 +6,15 @@
 
 namespace bighouse {
 
+// The dispatch loop (run / runUntil / dispatchOne) is defined inline in
+// engine.hh; only the type-erased schedule overload stays out of line.
+
 EventId
 Engine::schedule(Time at, EventCallback callback)
 {
     BH_REQUIRE(at >= currentTime, "scheduling into the past: at=", at,
                " now=", currentTime);
     return events.push(at, std::move(callback));
-}
-
-void
-Engine::dispatchOne()
-{
-    EventQueue::Popped event = events.pop();
-    BH_INVARIANT(event.time >= currentTime,
-                 "event queue returned stale time");
-    currentTime = event.time;
-    ++executedCount;
-    if (traceFn != nullptr)
-        traceFn(traceCtx, event.time, event.seq);
-    event.callback();
-}
-
-std::uint64_t
-Engine::run(std::uint64_t maxEvents)
-{
-    stopRequested = false;
-    std::uint64_t executed = 0;
-    while (!events.empty()) {
-        dispatchOne();
-        ++executed;
-        if (stopRequested || (maxEvents != 0 && executed >= maxEvents))
-            break;
-    }
-    stopRequested = false;
-    return executed;
-}
-
-std::uint64_t
-Engine::runUntil(Time horizon)
-{
-    stopRequested = false;
-    std::uint64_t executed = 0;
-    while (!events.empty()) {
-        const Time next = events.nextTime();
-        if (next == kTimeNever || next > horizon)
-            break;
-        dispatchOne();
-        ++executed;
-        if (stopRequested)
-            break;
-    }
-    stopRequested = false;
-    if (currentTime < horizon)
-        currentTime = horizon;
-    return executed;
 }
 
 } // namespace bighouse

@@ -14,6 +14,8 @@
 #define BIGHOUSE_SIM_ENGINE_HH
 
 #include <cstdint>
+#include <type_traits>
+#include <utility>
 
 #include "sim/event_queue.hh"
 
@@ -23,17 +25,56 @@ namespace bighouse {
 class Engine
 {
   public:
+    /**
+     * @param backend pending-event structure; the calendar queue is the
+     *        fast default, the binary heap the differential-testing
+     *        reference. Both deliver bit-identical event orders.
+     */
+    explicit Engine(QueueBackend backend = QueueBackend::Calendar)
+        : events(backend)
+    {}
+
+    /** The pending-event backend selected at construction. */
+    QueueBackend queueBackend() const { return events.backend(); }
+
     /** Current simulated time. */
     Time now() const { return currentTime; }
 
     /** Schedule a callback at an absolute simulated time (>= now). */
     EventId schedule(Time at, EventCallback callback);
 
+    /**
+     * Schedule any callable at an absolute simulated time (>= now).
+     * Routes to the queue's emplacing push, which constructs the
+     * callable directly in the event slot's storage — no intermediate
+     * EventCallback, no relocation.
+     */
+    template <typename Fn,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<Fn>, EventCallback>>>
+    EventId
+    schedule(Time at, Fn&& fn)
+    {
+        BH_REQUIRE(at >= currentTime, "scheduling into the past: at=", at,
+                   " now=", currentTime);
+        return events.push(at, std::forward<Fn>(fn));
+    }
+
     /** Schedule a callback `delay` seconds from now. */
     EventId
     scheduleAfter(Time delay, EventCallback callback)
     {
         return schedule(currentTime + delay, std::move(callback));
+    }
+
+    /** Schedule any callable `delay` seconds from now. */
+    template <typename Fn,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<Fn>, EventCallback>>>
+    EventId
+    scheduleAfter(Time delay, Fn&& fn)
+    {
+        return schedule(currentTime + delay, std::forward<Fn>(fn));
     }
 
     /**
@@ -104,6 +145,58 @@ class Engine
     TraceFn traceFn = nullptr;
     void* traceCtx = nullptr;
 };
+
+// Dispatch loop, inline for the same reason as the EventQueue hot path:
+// the build has no LTO, and keeping pop + clock advance + callback invoke
+// in one frame is worth a few ns on every simulated event.
+
+inline void
+Engine::dispatchOne()
+{
+    EventQueue::Popped event = events.pop();
+    BH_INVARIANT(event.time >= currentTime,
+                 "event queue returned stale time");
+    currentTime = event.time;
+    ++executedCount;
+    if (traceFn != nullptr)
+        traceFn(traceCtx, event.time, event.seq);
+    event.callback();
+}
+
+inline std::uint64_t
+Engine::run(std::uint64_t maxEvents)
+{
+    stopRequested = false;
+    std::uint64_t executed = 0;
+    while (!events.empty()) {
+        dispatchOne();
+        ++executed;
+        if (stopRequested || (maxEvents != 0 && executed >= maxEvents))
+            break;
+    }
+    stopRequested = false;
+    return executed;
+}
+
+inline std::uint64_t
+Engine::runUntil(Time horizon)
+{
+    stopRequested = false;
+    std::uint64_t executed = 0;
+    while (!events.empty()) {
+        const Time next = events.nextTime();
+        if (next == kTimeNever || next > horizon)
+            break;
+        dispatchOne();
+        ++executed;
+        if (stopRequested)
+            break;
+    }
+    stopRequested = false;
+    if (currentTime < horizon)
+        currentTime = horizon;
+    return executed;
+}
 
 } // namespace bighouse
 

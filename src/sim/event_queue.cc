@@ -1,176 +1,53 @@
 #include "sim/event_queue.hh"
 
+#include <cmath>
 #include <utility>
 
-#include "base/contracts.hh"
+#include "base/strings.hh"
 
 namespace bighouse {
 
-namespace {
-
-constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
-
-} // namespace
-
-#ifdef BIGHOUSE_AUDIT
-bool
-EventQueue::heapOrdered() const
+const char*
+queueBackendName(QueueBackend backend)
 {
-    for (std::size_t i = 1; i < heap.size(); ++i) {
-        if (later(heap[(i - 1) / 2], heap[i]))
-            return false;
+    switch (backend) {
+      case QueueBackend::BinaryHeap: return "heap";
+      case QueueBackend::Calendar: return "calendar";
     }
-    return true;
+    return "unknown";
 }
-#endif
+
+QueueBackend
+queueBackendFromName(std::string_view name)
+{
+    if (name == "heap")
+        return QueueBackend::BinaryHeap;
+    if (name == "calendar")
+        return QueueBackend::Calendar;
+    fatalUnknownName("queue backend", name, {"heap", "calendar"});
+}
+
+EventQueue::EventQueue(QueueBackend backend) : kind(backend) {}
 
 std::uint32_t
-EventQueue::allocSlot()
+EventQueue::checkedSlotIndex(std::size_t slotCount)
 {
-    if (freeHead != kNoSlot) {
-        const std::uint32_t index = freeHead;
-        freeHead = slots[index].nextFree;
-        return index;
-    }
-    slots.emplace_back();
-    return static_cast<std::uint32_t>(slots.size() - 1);
-}
-
-void
-EventQueue::freeSlot(std::uint32_t index)
-{
-    slots[index].nextFree = freeHead;
-    freeHead = index;
-}
-
-EventId
-EventQueue::push(Time time, EventCallback callback)
-{
-    BH_REQUIRE(time >= 0.0, "event scheduled at negative time");
-    const std::uint64_t seq = seqCounter++;
-    const std::uint32_t slot = allocSlot();
-    Slot& s = slots[slot];
-    s.seq = seq;
-    s.live = true;
-    s.callback = std::move(callback);
-    heap.push_back(Entry{time, seq, slot});
-    siftUp(heap.size() - 1);
-    ++liveCount;
-    BH_AUDIT(heapOrdered(), "heap order broken after push of t=", time);
-    return EventId{seq, slot};
-}
-
-void
-EventQueue::siftUp(std::size_t index)
-{
-    // Entries are small PODs, so hole percolation (shift, then place)
-    // beats the classic swap chain: one store per level instead of three.
-    const Entry moving = heap[index];
-    while (index > 0) {
-        const std::size_t parent = (index - 1) / 2;
-        if (!later(heap[parent], moving))
-            break;
-        heap[index] = heap[parent];
-        index = parent;
-    }
-    heap[index] = moving;
-}
-
-void
-EventQueue::siftDown(std::size_t index)
-{
-    const std::size_t n = heap.size();
-    const Entry moving = heap[index];
-    while (true) {
-        const std::size_t left = 2 * index + 1;
-        if (left >= n)
-            break;
-        const std::size_t right = left + 1;
-        std::size_t smallest = left;
-        if (right < n && later(heap[left], heap[right]))
-            smallest = right;
-        if (!later(moving, heap[smallest]))
-            break;
-        heap[index] = heap[smallest];
-        index = smallest;
-    }
-    heap[index] = moving;
-}
-
-void
-EventQueue::removeTop()
-{
-    heap.front() = heap.back();
-    heap.pop_back();
-    if (!heap.empty())
-        siftDown(0);
-}
-
-void
-EventQueue::pruneTop()
-{
-    while (!heap.empty() && !isLive(heap.front())) {
-        --deadCount;
-        removeTop();
-    }
-}
-
-void
-EventQueue::compact()
-{
-    ++compactCount;
-    std::size_t write = 0;
-    for (const Entry& entry : heap) {
-        if (isLive(entry))
-            heap[write++] = entry;
-    }
-    heap.resize(write);
-    deadCount = 0;
-    // Floyd re-heapify. The comparator's (time, seq) order is total, so
-    // the pop sequence — and therefore the simulation — is unchanged by
-    // the internal array shuffle.
-    for (std::size_t i = heap.size() / 2; i-- > 0;)
-        siftDown(i);
-    BH_AUDIT(heapOrdered(), "heap order broken after compaction");
+    // kNoSlot is the free-list terminator / invalid-EventId sentinel, so
+    // the table tops out one below the uint32_t range. Without the guard
+    // the old cast silently wrapped to slot 0 past 2^32 entries,
+    // corrupting whichever event lived there.
+    BH_REQUIRE(slotCount < kNoSlot,
+               "event queue slot table exhausted: ", slotCount,
+               " slots in flight (max ", kNoSlot - 1, ")");
+    return static_cast<std::uint32_t>(slotCount);
 }
 
 std::uint64_t
 EventQueue::nextSeq() const
 {
-    BH_REQUIRE(!heap.empty(), "nextSeq() on an empty event queue");
-    return heap.front().seq;
-}
-
-void
-EventQueue::prune()
-{
-    pruneTop();
-    if (deadCount > 0)
-        compact();
-}
-
-EventQueue::Popped
-EventQueue::pop()
-{
-    // pruneTop() keeps the heap top live, so liveCount == 0 implies the
-    // heap is physically empty and vice versa.
-    BH_REQUIRE(liveCount > 0, "pop() on an empty event queue");
-    const Entry top = heap.front();
-    removeTop();
-    Slot& s = slots[top.slot];
-    Popped out{top.time, top.seq, std::move(s.callback)};
-    s.live = false;
-    freeSlot(top.slot);
-    --liveCount;
-    pruneTop();
-    // Monotonic delivery is what makes runs bit-reproducible: once an
-    // event at time t is handed out, nothing earlier may ever surface.
-    BH_INVARIANT(top.time >= lastPopped,
-                 "event times went backwards: popped t=", top.time,
-                 " after t=", lastPopped);
-    lastPopped = top.time;
-    BH_AUDIT(heapOrdered(), "heap order broken after pop of t=", top.time);
-    return out;
+    BH_REQUIRE(liveCount > 0, "nextSeq() on an empty event queue");
+    return kind == QueueBackend::BinaryHeap ? heapIx.nextSeq()
+                                            : calIx.nextSeq();
 }
 
 bool
@@ -183,15 +60,209 @@ EventQueue::cancel(EventId id)
         return false;
     s.live = false;
     // Release the captured state now — a cancelled completion must not
-    // pin its resources until the tombstone drifts to the heap top.
+    // pin its resources until the entry is reclaimed.
     s.callback.reset();
     freeSlot(id.slot);
     --liveCount;
-    ++deadCount;
-    pruneTop();
-    if (deadCount > liveCount && deadCount >= kCompactMin)
-        compact();
+    if (kind == QueueBackend::BinaryHeap) {
+        ++deadCount;
+        heapIx.afterCancel(*this);
+    } else {
+        calIx.removeCancelled(*this, s.time, id.seq);
+    }
     return true;
+}
+
+void
+EventQueue::prune()
+{
+    // Only the heap carries tombstones; the calendar removes cancelled
+    // entries at cancel() time, so there is never anything to sweep.
+    if (deadCount > 0)
+        heapIx.compact(*this);
+    shrinkSlots();
+}
+
+void
+EventQueue::shrinkSlots()
+{
+    // Only safe once every tombstone is gone: tombstoned ordering entries
+    // still index into the slot table, so dropping their slots would turn
+    // isLive() into an out-of-bounds read.
+    BH_INVARIANT(deadCount == 0, "slot shrink with tombstones outstanding");
+    // Live slots can never be renumbered — outstanding EventId handles
+    // hold their indices — so only the free tail above the highest live
+    // slot is releasable.
+    std::size_t keep = 0;
+    for (std::size_t i = slots.size(); i-- > 0;) {
+        if (slots[i].live) {
+            keep = i + 1;
+            break;
+        }
+    }
+    if (keep == slots.size())
+        return;
+    slots.resize(keep);
+    slots.shrink_to_fit();
+    // The free list may reference dropped slots; rebuild it (ascending,
+    // so reuse fills the table bottom-up) over the survivors.
+    freeHead = kNoSlot;
+    for (std::size_t i = keep; i-- > 0;) {
+        if (!slots[i].live) {
+            slots[i].nextFree = freeHead;
+            freeHead = static_cast<std::uint32_t>(i);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// BinaryHeap backend
+// ---------------------------------------------------------------------
+
+#ifdef BIGHOUSE_AUDIT
+bool
+EventQueue::HeapIndex::ordered() const
+{
+    for (std::size_t i = 1; i < heap.size(); ++i) {
+        if (later(heap[(i - 1) / 2], heap[i]))
+            return false;
+    }
+    return true;
+}
+#endif
+
+void
+EventQueue::HeapIndex::afterCancel(EventQueue& q)
+{
+    pruneTop(q);
+    if (q.deadCount > q.liveCount && q.deadCount >= kCompactMin)
+        compact(q);
+}
+
+void
+EventQueue::HeapIndex::compact(EventQueue& q)
+{
+    ++q.compactCount;
+    std::size_t write = 0;
+    for (const Entry& entry : heap) {
+        if (q.isLive(entry))
+            heap[write++] = entry;
+    }
+    heap.resize(write);
+    q.deadCount = 0;
+    // Floyd re-heapify. The comparator's (time, seq) order is total, so
+    // the pop sequence — and therefore the simulation — is unchanged by
+    // the internal array shuffle.
+    for (std::size_t i = heap.size() / 2; i-- > 0;)
+        siftDown(i);
+    BH_AUDIT(ordered(), "heap order broken after compaction");
+}
+
+// ---------------------------------------------------------------------
+// Calendar backend
+// ---------------------------------------------------------------------
+
+void
+EventQueue::CalendarIndex::removeCancelled(EventQueue& q, Time time,
+                                           std::uint64_t cancelledSeq)
+{
+    const std::uint64_t vb = vbOf(time);
+    std::vector<Entry>& list = listFor(vb);
+    // Scan back-to-front: cancellation overwhelmingly hits the youngest
+    // entry in its bucket (a preempted completion is rescheduled, not
+    // aged), and pushes append — so the common case is the last element.
+    std::size_t i = list.size();
+    while (true) {
+        BH_INVARIANT(i > 0, "cancelled event not in its bucket");
+        --i;
+        if (list[i].seq == cancelledSeq)
+            break;
+    }
+    list[i] = list.back();
+    list.pop_back();
+    --physical;
+    if (vb != kOverflowVb)
+        --inBuckets;
+    if (q.liveCount == 0)
+        return;
+    if (cancelledSeq == head.seq) {
+        // The head died; every surviving event is >= its time, so the
+        // windowed scan may resume from there.
+        findHead(time);
+    } else if (&list == &listFor(headVb) && headIdx == list.size()) {
+        // The swap-remove relocated the list's back entry — which was
+        // the head — into position i.
+        headIdx = i;
+    }
+    if (buckets.size() > kMinBuckets && q.liveCount < buckets.size() / 4)
+        rebuild(q.liveCount);
+}
+
+void
+EventQueue::CalendarIndex::rebuild(std::size_t targetLive)
+{
+    // Everything physically present is live (the calendar never holds
+    // tombstones), so harvesting is a plain collect.
+    scratch.clear();
+    for (std::vector<Entry>& list : buckets) {
+        scratch.insert(scratch.end(), list.begin(), list.end());
+        list.clear();
+    }
+    scratch.insert(scratch.end(), overflow.begin(), overflow.end());
+    overflow.clear();
+
+    std::size_t nb = kMinBuckets;
+    while (nb < targetLive)
+        nb <<= 1;
+    if (buckets.size() != nb)
+        buckets.resize(nb);
+    mask = nb - 1;
+    physical = 0;
+    inBuckets = 0;
+    popsSinceRebuild = 0;
+
+    if (scratch.empty()) {
+        base = 0.0;
+        width = 1.0;
+        invWidth = 1.0;
+        return;
+    }
+
+    Time minTime = scratch.front().time;
+    Time maxTime = scratch.front().time;
+    for (const Entry& entry : scratch) {
+        if (entry.time < minTime)
+            minTime = entry.time;
+        if (entry.time > maxTime)
+            maxTime = entry.time;
+    }
+    // Aim for a few entries per occupied bucket: spread the occupied
+    // span over live/3 windows. Degenerate spans (all ties, or so tiny
+    // the reciprocal blows up) fall back to unit width — correctness is
+    // width-independent, only scan length suffers.
+    double w = scratch.size() >= 2
+                   ? 3.0 * (maxTime - minTime)
+                         / static_cast<double>(scratch.size())
+                   : 1.0;
+    if (!(w > 0.0) || !std::isfinite(w) || !std::isfinite(1.0 / w))
+        w = 1.0;
+    width = w;
+    invWidth = 1.0 / w;
+    base = minTime;
+
+    const Entry* best = &scratch.front();
+    for (const Entry& entry : scratch) {
+        if (later(*best, entry))
+            best = &entry;
+    }
+    head = *best;
+    for (const Entry& entry : scratch) {
+        const std::uint64_t vb = insert(entry);
+        if (entry.seq == head.seq) {
+            headVb = vb;
+            headIdx = listFor(vb).size() - 1;
+        }
+    }
 }
 
 } // namespace bighouse

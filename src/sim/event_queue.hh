@@ -2,33 +2,54 @@
  * @file
  * The pending-event set of the discrete-event simulator.
  *
- * A hand-rolled binary min-heap ordered by (time, sequence number): events
- * scheduled for the same instant execute in scheduling order, which makes
- * whole simulations bit-reproducible under a fixed seed — a property the
- * regression tests and the master/slave protocol rely on.
+ * Two interchangeable ordering backends live behind one facade, selected
+ * at construction and bit-identical in what they deliver:
  *
- * Hot-path layout: heap entries are 24-byte PODs (time, seq, slot); the
- * callback lives in a side slot table indexed by the entry. Sift
- * operations therefore move trivially-copyable records, push/pop never
- * hash, and no path allocates (callbacks are InlineCallback, not
- * std::function).
+ *  - **BinaryHeap** — the reference implementation: a hand-rolled binary
+ *    min-heap over (time, seq). O(log n) push/pop, simple, and the
+ *    backend every differential test replays against.
+ *  - **Calendar** — a calendar queue (Brown 1988): an open-hashed array
+ *    of time-bucketed, sorted lists. For the near-uniform event horizons
+ *    a queuing simulation produces, push and pop are O(1) amortized,
+ *    which is what makes deep pending sets (16k+ events under high
+ *    fan-out) cheap. This is the default backend.
+ *
+ * Both order events by (time, sequence number): events scheduled for the
+ * same instant execute in scheduling order, which makes whole simulations
+ * bit-reproducible under a fixed seed — a property the regression tests
+ * and the master/slave protocol rely on. The pop sequence of the two
+ * backends is identical by construction and enforced by differential
+ * replay tests (tests/test_trace_reproducibility.cc).
+ *
+ * Hot-path layout: ordering entries are 24-byte PODs (time, seq, slot);
+ * the callback lives in a side slot table indexed by the entry and shared
+ * by both backends. Ordering operations therefore move trivially-copyable
+ * records, never hash, and no path allocates in steady state (callbacks
+ * are InlineCallback, not std::function).
  *
  * Cancellation (needed for preempted service completions under DVFS
- * throttling and sleep-state transitions) is an O(1) slot invalidation:
- * the callback — and everything it captured — is destroyed immediately,
- * and the slot's sequence tag turns the still-heaped entry into a
- * tombstone that pop() recognizes without hashing. Tombstones are swept
- * two ways: the heap top is kept live eagerly (so nextTime() is a const
- * O(1) query), and when dead entries outnumber live ones the heap is
- * compacted wholesale, bounding memory under cancel-heavy policies.
+ * throttling and sleep-state transitions) releases the callback — and
+ * everything it captured — immediately, and the generation-tagged slot
+ * table makes stale or reused EventIds detectably invalid. What happens
+ * to the ordering entry differs per backend: the heap turns it into a
+ * tombstone (O(1)) swept lazily — when dead entries outnumber live ones
+ * the heap is compacted wholesale, bounding memory under cancel-heavy
+ * policies; the calendar removes it from its bucket outright (expected
+ * O(1): the bucket is located directly from the slot's stored time), so
+ * calendar scans never pay per-entry liveness lookups. Both backends
+ * keep their head live, so nextTime() is a const O(1) query.
  */
 
 #ifndef BIGHOUSE_SIM_EVENT_QUEUE_HH
 #define BIGHOUSE_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
+#include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "base/contracts.hh"
 #include "base/time.hh"
 #include "sim/inline_callback.hh"
 
@@ -36,6 +57,19 @@ namespace bighouse {
 
 /** Action executed when an event fires. Allocation-free; see above. */
 using EventCallback = InlineCallback;
+
+/** Which pending-event ordering structure an EventQueue uses. */
+enum class QueueBackend
+{
+    BinaryHeap,  ///< reference O(log n) binary min-heap
+    Calendar,    ///< O(1)-amortized calendar queue (default)
+};
+
+/** Render a QueueBackend as text ("heap", "calendar"). */
+const char* queueBackendName(QueueBackend backend);
+
+/** Inverse of queueBackendName(); fatal() with did-you-mean on unknowns. */
+QueueBackend queueBackendFromName(std::string_view name);
 
 /**
  * Opaque handle identifying a scheduled event for cancellation. The
@@ -49,7 +83,7 @@ struct EventId
     bool operator==(const EventId&) const = default;
 };
 
-/** Min-heap of time-stamped callbacks with FIFO tie-breaking. */
+/** Pending-event set ordered by (time, seq) with FIFO tie-breaking. */
 class EventQueue
 {
   public:
@@ -61,21 +95,47 @@ class EventQueue
         EventCallback callback;
     };
 
+    explicit EventQueue(QueueBackend backend = QueueBackend::Calendar);
+
+    /** The ordering backend selected at construction. */
+    QueueBackend backend() const { return kind; }
+
     /** Insert an event; returns a handle usable with cancel(). */
     EventId push(Time time, EventCallback callback);
+
+    /**
+     * Insert an event built from any callable, constructing it directly
+     * in the slot's callback storage — the zero-relocation hot path the
+     * engine's schedule() templates route through.
+     */
+    template <typename Fn,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<Fn>, EventCallback>>>
+    EventId
+    push(Time time, Fn&& fn)
+    {
+        const EventId id = allocEntry(time);
+        slots[id.slot].callback.emplace(std::forward<Fn>(fn));
+        return id;
+    }
 
     /** Earliest pending (non-cancelled) event time; kTimeNever if empty. */
     Time
     nextTime() const
     {
-        return heap.empty() ? kTimeNever : heap.front().time;
+        if (liveCount == 0)
+            return kTimeNever;
+        return kind == QueueBackend::BinaryHeap ? heapIx.nextTime()
+                                                : calIx.nextTime();
     }
 
     /** Sequence number of the earliest pending event. @pre !empty() */
     std::uint64_t nextSeq() const;
 
     /**
-     * Remove and return the earliest pending event.
+     * Remove and return the earliest pending event. The slot's callback
+     * storage is released eagerly — once pop() returns, the queue holds
+     * no reference to the callback or anything it captured.
      * @pre !empty()
      */
     Popped pop();
@@ -83,18 +143,23 @@ class EventQueue
     /**
      * Cancel a scheduled event. The callback (and its captured state) is
      * destroyed immediately; only a 24-byte tombstone lingers in the
-     * heap until swept.
+     * ordering structure until swept.
      * @return true when the event was pending, false when it already
      *         fired or was cancelled before.
      */
     bool cancel(EventId id);
 
     /**
-     * Explicit tombstone maintenance: compact the heap regardless of the
-     * automatic threshold. Never required for correctness — cancel() and
-     * pop() keep the top live and compaction triggers automatically —
+     * Explicit storage maintenance: sweep every tombstone regardless of
+     * the automatic threshold and release slot-table high-water storage
+     * where possible. Never required for correctness — cancel() and
+     * pop() keep the head live and compaction triggers automatically —
      * but lets long-pause callers (checkpointing, audits) release memory
      * deterministically.
+     *
+     * Live slots cannot be renumbered (outstanding EventId handles index
+     * into the table), so the slot vector only shrinks down to the
+     * highest live slot index; free slots above it are released.
      */
     void prune();
 
@@ -104,10 +169,15 @@ class EventQueue
     /** True when no live events remain. */
     bool empty() const { return liveCount == 0; }
 
-    /** Physical heap entries, live + tombstoned (bounded-memory tests). */
-    std::size_t heapSize() const { return heap.size(); }
+    /** Physical ordering entries, live + tombstoned (memory tests). */
+    std::size_t
+    heapSize() const
+    {
+        return kind == QueueBackend::BinaryHeap ? heapIx.heap.size()
+                                                : calIx.physical;
+    }
 
-    /** Tombstoned entries still physically in the heap. */
+    /** Tombstoned entries still physically in the ordering structure. */
     std::size_t deadEntries() const { return deadCount; }
 
     /** Total events ever pushed (also the next sequence number). */
@@ -116,8 +186,21 @@ class EventQueue
     /** Tombstone sweeps run so far (threshold-triggered or prune()). */
     std::uint64_t compactions() const { return compactCount; }
 
+    /** Slot-table size (high-water pending events until prune()). */
+    std::size_t slotCapacity() const { return slots.size(); }
+
+    /**
+     * The slot-index overflow guard, exposed so the guard path is unit
+     * testable without allocating 2^32 slots: returns `slotCount` as the
+     * next slot index, or dies when the table is exhausted.
+     */
+    static std::uint32_t checkedSlotIndex(std::size_t slotCount);
+
   private:
-    /** 24-byte POD heap record; the callback lives in slots[slot]. */
+    /// Free-list terminator / invalid-EventId sentinel slot index.
+    static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+    /** 24-byte POD ordering record; the callback lives in slots[slot]. */
     struct Entry
     {
         Time time;
@@ -125,19 +208,30 @@ class EventQueue
         std::uint32_t slot;
     };
 
-    /** Callback storage for one pending event; reused via a free list. */
-    struct Slot
+    /**
+     * Callback storage for one pending event; reused via a free list.
+     * Cache-line aligned and exactly one line big (the static_assert
+     * below), so every push/pop touches one line of the slot table.
+     */
+    struct alignas(64) Slot
     {
         EventCallback callback;
-        /// Sequence of the event currently (or last) using this slot; a
-        /// heap entry whose seq differs is a tombstone of a prior tenant.
+        /// Sequence of the event currently (or last) using this slot; an
+        /// ordering entry whose seq differs is a tombstone of a prior
+        /// tenant.
         std::uint64_t seq = 0;
+        /// The event's scheduled time — how cancel() locates the entry's
+        /// calendar bucket for direct removal. Fits in what was padding.
+        Time time = 0.0;
         std::uint32_t nextFree = ~std::uint32_t{0};
-        /// False once cancelled or popped (tombstones the heap entry).
+        /// False once cancelled or popped (tombstones the entry).
         bool live = false;
     };
+    static_assert(sizeof(Slot) == 64,
+                  "Slot outgrew one cache line — rebalance "
+                  "InlineCallback::kCapacity against the bookkeeping");
 
-    /** Heap ordering: earlier time first, then earlier sequence. */
+    /** Ordering: earlier time first, then earlier sequence. */
     static bool
     later(const Entry& a, const Entry& b)
     {
@@ -152,37 +246,465 @@ class EventQueue
         return s.live && s.seq == entry.seq;
     }
 
+    /**
+     * Reference backend: binary min-heap over Entry. Pure ordering index;
+     * all slot/liveness bookkeeping lives in the enclosing EventQueue.
+     */
+    struct HeapIndex
+    {
+        std::vector<Entry> heap;
+
+        void push(Entry entry);
+        /** Remove the top (already read by the caller) and restore the
+         *  top-live invariant. */
+        void removeMin(EventQueue& q);
+        /** Re-establish top-live + threshold compaction after a cancel. */
+        void afterCancel(EventQueue& q);
+        /** Drop every tombstone and re-heapify in O(n). */
+        void compact(EventQueue& q);
+
+        Time nextTime() const { return heap.front().time; }
+        std::uint64_t nextSeq() const { return heap.front().seq; }
+
+        void siftUp(std::size_t index);
+        void siftDown(std::size_t index);
+        void removeTop();
+        /** Drop tombstones off the heap top until the top is live. */
+        void pruneTop(EventQueue& q);
+#ifdef BIGHOUSE_AUDIT
+        bool ordered() const;
+#endif
+    };
+
+    /**
+     * Default backend: a calendar queue. Entries hash open-addressed into
+     * `buckets` by virtual bucket number vb = floor((time - base) /
+     * width). Buckets are *unsorted*: push is a plain append (one cache
+     * touch, no shifting, immune to bucket crowding), and pop finds the
+     * minimum by scanning the current window's bucket — a handful of
+     * entries that stay cache-hot across the consecutive pops draining
+     * the window. The scan compares with the same (time, seq) total
+     * order as the heap, so delivery is bit-identical by construction.
+     *
+     * The cached head (the global live minimum) makes nextTime() a const
+     * O(1) query; after each pop the next head is found by scanning
+     * forward one window at a time from the popped time — O(1) amortized
+     * when width tracks the mean event spacing, with a full direct
+     * search as the fallback for sparse regions. Window membership is
+     * decided by the same vbOf() mapping insertion used, so float
+     * rounding at window boundaries can never reorder delivery.
+     *
+     * Entries further than kOverflowVb windows past `base` live in a
+     * single `overflow` list so bucket indices never lose integer
+     * precision; they are only consulted when the buckets drain.
+     *
+     * The calendar holds no tombstones — cancel() removes entries from
+     * their buckets directly — so every entry physically present is
+     * live. The structure is rebuilt (resized, re-based) when the live
+     * count outgrows or undershoots the bucket array. Rebuild
+     * parameters affect only performance, never pop order.
+     */
+    struct CalendarIndex
+    {
+        /// Entries with vb >= this go to `overflow` (keeps the
+        /// double->integer bucket mapping exact).
+        static constexpr std::uint64_t kOverflowVb = 1ULL << 53;
+        static constexpr std::size_t kMinBuckets = 16;
+        /// Head-bucket length that flags the width as miscalibrated
+        /// (rebuild() aims for ~3 entries per occupied bucket).
+        static constexpr std::size_t kCrowdedBucket = 24;
+
+        std::vector<std::vector<Entry>> buckets;
+        std::vector<Entry> overflow;  ///< unsorted, like the buckets
+        std::vector<Entry> scratch;   ///< rebuild workspace (reused)
+        double width = 1.0;
+        double invWidth = 1.0;
+        Time base = 0.0;
+        std::size_t mask = kMinBuckets - 1;  ///< buckets.size() - 1
+        /// Physical entries (live + tombstones), incl. overflow.
+        std::size_t physical = 0;
+        /// Physical entries in `buckets` only (fast all-overflow check).
+        std::size_t inBuckets = 0;
+        /// Cached global live minimum; meaningful while liveCount > 0.
+        Entry head{};
+        /// Virtual bucket of `head` (kOverflowVb when it overflowed).
+        std::uint64_t headVb = 0;
+        /// Index of `head` within its list. Stays valid between head
+        /// recomputations: pushes only append, and no other path mutates
+        /// lists in between — so extractHead() is O(1), no rescan.
+        std::size_t headIdx = 0;
+        /// Pops since the last rebuild; gates the crowding-triggered
+        /// recalibration so rebuilds stay amortized O(1).
+        std::size_t popsSinceRebuild = 0;
+
+        CalendarIndex() : buckets(kMinBuckets) {}
+
+        /** Virtual bucket of `time` (clamped into [0, kOverflowVb]). */
+        std::uint64_t
+        vbOf(Time time) const
+        {
+            const double q = (time - base) * invWidth;
+            if (!(q > 0.0))
+                return 0;
+            if (q >= static_cast<double>(kOverflowVb))
+                return kOverflowVb;
+            return static_cast<std::uint64_t>(q);
+        }
+
+        std::vector<Entry>&
+        listFor(std::uint64_t vb)
+        {
+            return vb == kOverflowVb ? overflow : buckets[vb & mask];
+        }
+
+        void push(EventQueue& q, Entry entry);
+        /** Physically remove `head` from its list in O(1) via headIdx. */
+        void extractHead();
+        /** Locate the next head after a pop; shrinks or empties the
+         *  structure when warranted. Call after the pop's bookkeeping. */
+        void settleAfterPop(EventQueue& q, Time poppedTime);
+        /**
+         * Remove a cancelled event physically, right now. The calendar
+         * keeps NO tombstones: the cancelled entry's bucket is known
+         * from the slot's stored time, so removal is a short scan of
+         * one O(1)-expected-size list — and in exchange every hot-path
+         * scan is spared a liveness check (a cold slot-table load) per
+         * entry visited.
+         */
+        void removeCancelled(EventQueue& q, Time time,
+                             std::uint64_t cancelledSeq);
+
+        Time nextTime() const { return head.time; }
+        std::uint64_t nextSeq() const { return head.seq; }
+
+        /** Append into the right bucket; returns the vb used. */
+        std::uint64_t insert(Entry entry);
+        /** Locate the live minimum >= floor; caches it as `head`.
+         *  @pre q.liveCount > 0 and no live entry is earlier than floor */
+        void findHead(Time floor);
+        /** Re-bucket everything: new size, width, and base. */
+        void rebuild(std::size_t targetLive);
+    };
+
+    /** Shared push bookkeeping: everything except the callback. */
+    EventId allocEntry(Time time);
+
     std::uint32_t allocSlot();
     void freeSlot(std::uint32_t index);
-    void siftUp(std::size_t index);
-    void siftDown(std::size_t index);
-    /** Remove the heap top (no slot bookkeeping). */
-    void removeTop();
-    /** Restore the invariant that the heap top (if any) is live. */
-    void pruneTop();
-    /** Drop every tombstone and re-heapify in O(n). */
-    void compact();
-#ifdef BIGHOUSE_AUDIT
-    /** Full O(n) heap-property verification (audit builds only). */
-    bool heapOrdered() const;
-#endif
+    /** Release free slot storage above the highest live slot. */
+    void shrinkSlots();
 
     /// Compaction floor: below this many tombstones the sweep would cost
     /// more than the memory it reclaims.
     static constexpr std::size_t kCompactMin = 64;
 
-    std::vector<Entry> heap;
+    QueueBackend kind;
+    HeapIndex heapIx;
+    CalendarIndex calIx;
     std::vector<Slot> slots;
     std::uint32_t freeHead = ~std::uint32_t{0};
     /// Time of the most recently popped event (monotonicity contract).
     Time lastPopped = 0.0;
     std::size_t liveCount = 0;
-    /// Tombstoned entries still physically in the heap.
+    /// Tombstoned entries still physically in the ordering structure.
     std::size_t deadCount = 0;
     std::uint64_t seqCounter = 0;
-    /// Lifetime count of compact() sweeps (cold path; telemetry).
+    /// Lifetime count of tombstone sweeps (cold path; telemetry).
     std::uint64_t compactCount = 0;
 };
+
+// ---------------------------------------------------------------------
+// Hot-path definitions. push()/pop() and the backend operations they
+// dispatch to are header-inline so the engine's dispatch loop (and the
+// benches) compile them into the call site — the build uses no LTO, so
+// an out-of-line definition would cost an opaque call per event op.
+// Cold paths (cancel sweeps, rebuilds, pruning) stay in the .cc.
+// ---------------------------------------------------------------------
+
+inline std::uint32_t
+EventQueue::allocSlot()
+{
+    if (freeHead != kNoSlot) {
+        const std::uint32_t index = freeHead;
+        freeHead = slots[index].nextFree;
+        return index;
+    }
+    const std::uint32_t index = checkedSlotIndex(slots.size());
+    slots.emplace_back();
+    return index;
+}
+
+inline void
+EventQueue::freeSlot(std::uint32_t index)
+{
+    slots[index].nextFree = freeHead;
+    freeHead = index;
+}
+
+inline EventId
+EventQueue::allocEntry(Time time)
+{
+    BH_REQUIRE(time >= 0.0, "event scheduled at negative time");
+    const std::uint64_t seq = seqCounter++;
+    const std::uint32_t slot = allocSlot();
+    Slot& s = slots[slot];
+    s.seq = seq;
+    s.time = time;
+    s.live = true;
+    ++liveCount;
+    const Entry entry{time, seq, slot};
+    if (kind == QueueBackend::BinaryHeap)
+        heapIx.push(entry);
+    else
+        calIx.push(*this, entry);
+    return EventId{seq, slot};
+}
+
+inline EventId
+EventQueue::push(Time time, EventCallback callback)
+{
+    const EventId id = allocEntry(time);
+    slots[id.slot].callback = std::move(callback);
+    return id;
+}
+
+inline EventQueue::Popped
+EventQueue::pop()
+{
+    // Both backends keep their minimum live, so liveCount == 0 implies
+    // the structure is physically empty and vice versa.
+    BH_REQUIRE(liveCount > 0, "pop() on an empty event queue");
+    const Entry top = kind == QueueBackend::BinaryHeap ? heapIx.heap.front()
+                                                       : calIx.head;
+    // Remove the entry while its slot still reads as live — the calendar
+    // flushes tombstones sitting behind the head by liveness, and must
+    // not mistake the head itself for one.
+    if (kind == QueueBackend::BinaryHeap)
+        heapIx.removeMin(*this);
+    else
+        calIx.extractHead();
+    Slot& s = slots[top.slot];
+    Popped out{top.time, top.seq, std::move(s.callback)};
+    // A moved-from InlineCallback is valid-but-unspecified: it may still
+    // own its captures. Destroy explicitly so the queue provably drops
+    // every captured resource before the slot returns to the free list —
+    // the same eager release cancel() performs.
+    s.callback.reset();
+    s.live = false;
+    freeSlot(top.slot);
+    --liveCount;
+    if (kind == QueueBackend::Calendar)
+        calIx.settleAfterPop(*this, top.time);
+    // Monotonic delivery is what makes runs bit-reproducible: once an
+    // event at time t is handed out, nothing earlier may ever surface.
+    BH_INVARIANT(top.time >= lastPopped,
+                 "event times went backwards: popped t=", top.time,
+                 " after t=", lastPopped);
+    lastPopped = top.time;
+    return out;
+}
+
+inline void
+EventQueue::HeapIndex::push(Entry entry)
+{
+    heap.push_back(entry);
+    siftUp(heap.size() - 1);
+    BH_AUDIT(ordered(), "heap order broken after push of t=", entry.time);
+}
+
+inline void
+EventQueue::HeapIndex::siftUp(std::size_t index)
+{
+    // Entries are small PODs, so hole percolation (shift, then place)
+    // beats the classic swap chain: one store per level instead of three.
+    const Entry moving = heap[index];
+    while (index > 0) {
+        const std::size_t parent = (index - 1) / 2;
+        if (!later(heap[parent], moving))
+            break;
+        heap[index] = heap[parent];
+        index = parent;
+    }
+    heap[index] = moving;
+}
+
+inline void
+EventQueue::HeapIndex::siftDown(std::size_t index)
+{
+    const std::size_t n = heap.size();
+    const Entry moving = heap[index];
+    while (true) {
+        const std::size_t left = 2 * index + 1;
+        if (left >= n)
+            break;
+        const std::size_t right = left + 1;
+        std::size_t smallest = left;
+        if (right < n && later(heap[left], heap[right]))
+            smallest = right;
+        if (!later(moving, heap[smallest]))
+            break;
+        heap[index] = heap[smallest];
+        index = smallest;
+    }
+    heap[index] = moving;
+}
+
+inline void
+EventQueue::HeapIndex::removeTop()
+{
+    heap.front() = heap.back();
+    heap.pop_back();
+    if (!heap.empty())
+        siftDown(0);
+}
+
+inline void
+EventQueue::HeapIndex::pruneTop(EventQueue& q)
+{
+    while (!heap.empty() && !q.isLive(heap.front())) {
+        --q.deadCount;
+        removeTop();
+    }
+}
+
+inline void
+EventQueue::HeapIndex::removeMin(EventQueue& q)
+{
+    removeTop();
+    pruneTop(q);
+    BH_AUDIT(ordered(), "heap order broken after pop");
+}
+
+inline std::uint64_t
+EventQueue::CalendarIndex::insert(Entry entry)
+{
+    const std::uint64_t vb = vbOf(entry.time);
+    // Plain append: buckets are unsorted, so push never shifts entries
+    // and stays O(1) even when a workload phase change crowds a window.
+    listFor(vb).push_back(entry);
+    ++physical;
+    if (vb != kOverflowVb)
+        ++inBuckets;
+    return vb;
+}
+
+inline void
+EventQueue::CalendarIndex::push(EventQueue& q, Entry entry)
+{
+    const std::uint64_t vb = insert(entry);
+    // liveCount was already bumped by the facade; when this is the only
+    // live event the head is unconditionally ours. Ties keep the cached
+    // head (its seq is necessarily smaller — FIFO).
+    if (q.liveCount == 1 || later(head, entry)) {
+        head = entry;
+        headVb = vb;
+        headIdx = listFor(vb).size() - 1;
+    }
+    if (q.liveCount > 2 * buckets.size())
+        rebuild(q.liveCount);
+}
+
+inline void
+EventQueue::CalendarIndex::extractHead()
+{
+    std::vector<Entry>& list = listFor(headVb);
+    BH_INVARIANT(headIdx < list.size() && list[headIdx].seq == head.seq,
+                 "calendar head out of sync");
+    list[headIdx] = list.back();
+    list.pop_back();
+    --physical;
+    if (headVb != kOverflowVb)
+        --inBuckets;
+}
+
+inline void
+EventQueue::CalendarIndex::settleAfterPop(EventQueue& q, Time poppedTime)
+{
+    if (q.liveCount == 0) {
+        // No tombstones means empty is empty — nothing to flush.
+        BH_AUDIT(physical == 0, "drained calendar still holds entries");
+        return;
+    }
+    if (buckets.size() > kMinBuckets && q.liveCount < buckets.size() / 4) {
+        rebuild(q.liveCount);
+        return;
+    }
+    // Width recalibration: the count-triggered rebuilds above never fire
+    // when the population is steady, but a workload phase change (e.g. a
+    // DVFS policy compressing its event horizon 10x) can crowd the active
+    // window while liveCount stays flat, making every head scan pay for a
+    // long bucket. The popped head's bucket is an unbiased sample of the
+    // lists scans actually walk, so recalibrate when it is far above the
+    // ~3-entry occupancy rebuild() aims for. Requiring a pop per live
+    // event between rebuilds keeps the O(n) rebuild amortized O(1) even
+    // when a skewed distribution stays crowded after recalibration.
+    ++popsSinceRebuild;
+    if (popsSinceRebuild > q.liveCount && headVb != kOverflowVb
+        && listFor(headVb).size() > kCrowdedBucket) {
+        rebuild(q.liveCount);
+        return;
+    }
+    findHead(poppedTime);
+}
+
+inline void
+EventQueue::CalendarIndex::findHead(Time floor)
+{
+    if (inBuckets > 0) {
+        // Bucket entries are strictly earlier than overflow entries (the
+        // overflow threshold is a time cutoff), so the minimum is here.
+        const std::size_t nb = buckets.size();
+        std::uint64_t vb = vbOf(floor);
+        // One "year": each physical bucket visited once, windows in
+        // ascending time order. The minimum over entries belonging to
+        // the first non-empty window is the global bucket minimum (all
+        // later windows hold strictly later times). Membership uses
+        // vbOf() itself, so float rounding at a window boundary can
+        // never mis-order — an entry is "in" the window exactly when
+        // insertion said so.
+        for (std::size_t step = 0; step < nb && vb < kOverflowVb;
+             ++step, ++vb) {
+            const std::vector<Entry>& list = buckets[vb & mask];
+            std::size_t bestIdx = list.size();
+            for (std::size_t i = 0; i < list.size(); ++i) {
+                const Entry e = list[i];
+                if (vbOf(e.time) == vb
+                    && (bestIdx == list.size() || later(list[bestIdx], e)))
+                    bestIdx = i;
+            }
+            if (bestIdx != list.size()) {
+                head = list[bestIdx];
+                headVb = vb;
+                headIdx = bestIdx;
+                return;
+            }
+        }
+        // Sparse region (next event more than a year out): direct
+        // search over everything resident in the buckets.
+        bool found = false;
+        for (const std::vector<Entry>& list : buckets) {
+            for (std::size_t i = 0; i < list.size(); ++i) {
+                if (!found || later(head, list[i])) {
+                    head = list[i];
+                    headIdx = i;
+                    found = true;
+                }
+            }
+        }
+        BH_INVARIANT(found, "calendar lost its live entries");
+        headVb = vbOf(head.time);
+        return;
+    }
+    BH_INVARIANT(!overflow.empty(), "calendar lost its live entries");
+    std::size_t bestIdx = 0;
+    for (std::size_t j = 1; j < overflow.size(); ++j) {
+        if (later(overflow[bestIdx], overflow[j]))
+            bestIdx = j;
+    }
+    head = overflow[bestIdx];
+    headVb = kOverflowVb;
+    headIdx = bestIdx;
+}
 
 } // namespace bighouse
 

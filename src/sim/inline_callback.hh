@@ -20,6 +20,7 @@
 #define BIGHOUSE_SIM_INLINE_CALLBACK_HH
 
 #include <cstddef>
+#include <cstring>
 #include <type_traits>
 #include <utility>
 
@@ -33,10 +34,21 @@ class InlineCallback
   public:
     /**
      * Inline capture budget, in bytes. Sized for the simulator's largest
-     * real capture (`[this, record]` in TraceSource: 24 bytes) with
-     * headroom; six pointers covers any reasonable event closure.
+     * real capture (`[this, record]` in TraceSource: 24 bytes) with one
+     * pointer of headroom — and so that an EventQueue slot (callback +
+     * bookkeeping) packs into a single 64-byte cache line, which the
+     * push/pop hot path touches once per event.
      */
-    static constexpr std::size_t kCapacity = 48;
+    static constexpr std::size_t kCapacity = 32;
+
+    /**
+     * Storage alignment. Pointer alignment suffices for every event
+     * closure the simulator builds (captures are pointers, indices, and
+     * doubles); anything over-aligned is rejected at compile time. Kept
+     * at 8 so sizeof(InlineCallback) is 40, which is what lets an
+     * EventQueue slot pack into one cache line.
+     */
+    static constexpr std::size_t kAlignment = 8;
 
     /** Whether callable F can be stored (size, alignment, noexcept-move). */
     template <typename F>
@@ -45,7 +57,7 @@ class InlineCallback
     {
         using Fn = std::remove_cvref_t<F>;
         return sizeof(Fn) <= kCapacity
-               && alignof(Fn) <= alignof(std::max_align_t)
+               && alignof(Fn) <= kAlignment
                && std::is_nothrow_move_constructible_v<Fn>;
     }
 
@@ -64,7 +76,7 @@ class InlineCallback
                       "InlineCallback::kCapacity; capture a pointer to "
                       "long-lived model state instead of copying it into "
                       "the event");
-        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+        static_assert(alignof(Fn) <= kAlignment,
                       "event-callback capture is over-aligned for "
                       "InlineCallback's inline storage");
         static_assert(std::is_nothrow_move_constructible_v<Fn>,
@@ -79,7 +91,7 @@ class InlineCallback
     InlineCallback(InlineCallback&& other) noexcept : ops(other.ops)
     {
         if (ops != nullptr) {
-            ops->relocate(other.storage, storage);
+            relocateFrom(other);
             other.ops = nullptr;
         }
     }
@@ -91,7 +103,7 @@ class InlineCallback
             reset();
             if (other.ops != nullptr) {
                 ops = other.ops;
-                ops->relocate(other.storage, storage);
+                relocateFrom(other);
                 other.ops = nullptr;
             }
         }
@@ -114,12 +126,34 @@ class InlineCallback
     /** True when a callable is stored. */
     explicit operator bool() const noexcept { return ops != nullptr; }
 
+    /**
+     * Construct a callable directly in this object's storage, replacing
+     * any current one. This is the zero-relocation path the event queue
+     * uses to build an event's callback in its slot in place, instead of
+     * constructing a temporary and moving it there.
+     */
+    template <typename F>
+        requires(!std::is_same_v<std::remove_cvref_t<F>, InlineCallback>
+                 && std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+    void
+    emplace(F&& fn) noexcept
+    {
+        using Fn = std::remove_cvref_t<F>;
+        static_assert(canHold<F>(),
+                      "event-callback capture exceeds InlineCallback's "
+                      "inline storage (size, alignment, or noexcept-move)");
+        reset();
+        ::new (static_cast<void*>(storage)) Fn(std::forward<F>(fn));  // bh-lint: allow(raw-new-delete)
+        ops = opsFor<Fn>();
+    }
+
     /** Destroy the stored callable (and everything it captured) now. */
     void
     reset() noexcept
     {
         if (ops != nullptr) {
-            ops->destroy(storage);
+            if (!ops->trivial)
+                ops->destroy(storage);
             ops = nullptr;
         }
     }
@@ -131,7 +165,27 @@ class InlineCallback
         void (*invoke)(void* self);
         void (*relocate)(void* src, void* dst) noexcept;
         void (*destroy)(void* self) noexcept;
+        /// Trivially copyable captures (plain lambdas over pointers and
+        /// numbers — every simulator hot-path event) relocate as a fixed
+        /// memcpy and destroy as a no-op, skipping both indirect calls.
+        bool trivial;
     };
+
+    /**
+     * Move other's capture into our storage. @pre ops == other.ops and
+     * other holds a callable; the caller clears other.ops afterwards.
+     */
+    void
+    relocateFrom(InlineCallback& other) noexcept
+    {
+        if (ops->trivial) {
+            // Fixed-size copy: branchless, inlines to a few vector moves,
+            // and reading the unused storage tail is harmless.
+            std::memcpy(storage, other.storage, kCapacity);
+        } else {
+            ops->relocate(other.storage, storage);
+        }
+    }
 
     template <typename Fn>
     static const Ops*
@@ -144,11 +198,12 @@ class InlineCallback
                 static_cast<Fn*>(src)->~Fn();
             },
             [](void* self) noexcept { static_cast<Fn*>(self)->~Fn(); },
+            std::is_trivially_copyable_v<Fn>,
         };
         return &table;
     }
 
-    alignas(std::max_align_t) std::byte storage[kCapacity];
+    alignas(kAlignment) std::byte storage[kCapacity];
     const Ops* ops = nullptr;
 };
 

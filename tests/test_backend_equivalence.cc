@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Backend equivalence: the calendar queue, the binary heap, and the task
+ * arena are pure performance features — on a shared seed every
+ * combination must produce the SAME simulation, bit for bit.
+ *
+ * Three referees:
+ *  1. A randomized push/cancel/pop differential replay: both backends
+ *     consume an identical recorded workload; popped (time, seq) traces
+ *     must match element for element.
+ *  2. A fig2-style convergence-terminated M/G/1 run per configuration:
+ *     dispatched (time, seq) traces, final estimates, and the response
+ *     time histogram's serialized bytes must be bit-identical across
+ *     backends and across arena-on/arena-off.
+ *  3. A failure/retry scenario (cancel-heavy by construction) replayed
+ *     across backends through the experiment layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/random.hh"
+#include "config/config.hh"
+#include "core/experiment.hh"
+#include "core/sqs.hh"
+#include "distribution/basic.hh"
+#include "distribution/fit.hh"
+#include "queueing/server.hh"
+#include "queueing/source.hh"
+#include "sim/event_queue.hh"
+
+namespace bighouse {
+namespace {
+
+using TimeSeq = std::pair<Time, std::uint64_t>;
+
+/** One recorded queue operation (time used by Push only). */
+struct QueueOp
+{
+    enum Kind
+    {
+        Push,
+        Cancel,  ///< cancels the op.index-th pushed event
+        Pop,
+    };
+    Kind kind;
+    Time time = 0.0;
+    std::size_t index = 0;
+};
+
+/** Replay a recorded workload; returns the popped (time, seq) trace. */
+std::vector<TimeSeq>
+replay(QueueBackend backend, const std::vector<QueueOp>& ops)
+{
+    EventQueue q(backend);
+    std::vector<EventId> pushed;
+    std::vector<TimeSeq> trace;
+    for (const QueueOp& op : ops) {
+        switch (op.kind) {
+          case QueueOp::Push:
+            pushed.push_back(q.push(op.time, [] {}));
+            break;
+          case QueueOp::Cancel:
+            q.cancel(pushed[op.index]);
+            break;
+          case QueueOp::Pop: {
+            const auto popped = q.pop();
+            trace.emplace_back(popped.time, popped.seq);
+            break;
+          }
+        }
+    }
+    while (!q.empty()) {
+        const auto popped = q.pop();
+        trace.emplace_back(popped.time, popped.seq);
+    }
+    return trace;
+}
+
+TEST(BackendEquivalence, DifferentialReplayPopsIdentically)
+{
+    // Record one randomized workload against a scratch queue (so pops
+    // only happen when events are pending), then replay the recording
+    // against both backends. Coarse times force FIFO tie-breaks; the
+    // cancel mix — including cancels of already-popped ids, which must be
+    // no-ops — keeps both the tombstone path (heap) and the swap-remove
+    // path (calendar) hot.
+    Rng rng(31415);
+    std::vector<QueueOp> ops;
+    EventQueue scratch(QueueBackend::BinaryHeap);
+    std::vector<EventId> pushed;
+    double clock = 0.0;
+    for (int step = 0; step < 40000; ++step) {
+        const double roll = rng.uniform01();
+        if (roll < 0.5 || scratch.empty()) {
+            const Time at = clock + static_cast<double>(rng.below(16));
+            ops.push_back({QueueOp::Push, at, 0});
+            pushed.push_back(scratch.push(at, [] {}));
+        } else if (roll < 0.75) {
+            const std::size_t index = rng.below(pushed.size());
+            ops.push_back({QueueOp::Cancel, 0.0, index});
+            scratch.cancel(pushed[index]);
+        } else {
+            ops.push_back({QueueOp::Pop, 0.0, 0});
+            clock = scratch.pop().time;
+        }
+    }
+
+    const std::vector<TimeSeq> heapTrace =
+        replay(QueueBackend::BinaryHeap, ops);
+    const std::vector<TimeSeq> calendarTrace =
+        replay(QueueBackend::Calendar, ops);
+    ASSERT_GT(heapTrace.size(), 1000u);
+    ASSERT_EQ(heapTrace.size(), calendarTrace.size());
+    for (std::size_t i = 0; i < heapTrace.size(); ++i) {
+        ASSERT_EQ(heapTrace[i], calendarTrace[i])
+            << "backends diverge at pop " << i;
+    }
+}
+
+/**
+ * One fig2-style M/G/1 run (autocorrelated response times, convergence
+ * logic live, hard event cap so the trace is the product). Returns the
+ * result; fills the dispatched (time, seq) trace and the response-time
+ * histogram's serialized bytes — the strongest observable, every bin
+ * count must match.
+ */
+SqsResult
+runPhasesScenario(QueueBackend backend, bool arena,
+                  std::vector<TimeSeq>& trace, std::string& histogramBytes)
+{
+    SqsConfig config;
+    config.warmupSamples = 500;
+    config.calibrationSamples = 1000;
+    config.accuracy = 0.10;
+    config.maxEvents = 400000;
+    config.queueBackend = backend;
+    config.taskArena = arena;
+    SqsSimulation sim(config, 2024);
+    const auto id = sim.addMetric("response_time");
+
+    auto server =
+        std::make_shared<Server>(sim.engine(), 1, sim.taskArena());
+    StatsCollection& stats = sim.stats();
+    server->setCompletionHandler([&stats, id](const Task& task) {
+        stats.record(id, task.responseTime());
+    });
+    auto source = std::make_shared<Source>(
+        sim.engine(), *server, std::make_unique<Exponential>(0.8),
+        fitMeanCv(1.0, 2.0), sim.rootRng().split());
+    source->start();
+    sim.holdModel(server);
+    sim.holdModel(source);
+
+    sim.engine().setTraceHook(
+        [](void* ctx, Time time, std::uint64_t seq) {
+            static_cast<std::vector<TimeSeq>*>(ctx)->emplace_back(time,
+                                                                  seq);
+        },
+        &trace);
+    SqsResult result = sim.run();
+    histogramBytes =
+        sim.stats().metricByName("response_time").histogram().serialize();
+    return result;
+}
+
+void
+expectIdenticalRuns(const SqsResult& a, const std::vector<TimeSeq>& aTrace,
+                    const std::string& aHist, const SqsResult& b,
+                    const std::vector<TimeSeq>& bTrace,
+                    const std::string& bHist)
+{
+    ASSERT_GT(aTrace.size(), 10000u);
+    ASSERT_EQ(aTrace.size(), bTrace.size());
+    for (std::size_t i = 0; i < aTrace.size(); ++i) {
+        // Bitwise time equality on purpose: equivalence is exact.
+        ASSERT_EQ(aTrace[i], bTrace[i]) << "traces diverge at event " << i;
+    }
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.simulatedTime, b.simulatedTime);
+    EXPECT_EQ(a.converged, b.converged);
+    ASSERT_EQ(a.estimates.size(), b.estimates.size());
+    for (std::size_t i = 0; i < a.estimates.size(); ++i) {
+        EXPECT_EQ(a.estimates[i].accepted, b.estimates[i].accepted);
+        EXPECT_EQ(a.estimates[i].mean, b.estimates[i].mean);
+        EXPECT_EQ(a.estimates[i].stddev, b.estimates[i].stddev);
+        EXPECT_EQ(a.estimates[i].meanHalfWidth,
+                  b.estimates[i].meanHalfWidth);
+    }
+    EXPECT_EQ(aHist, bHist);  // histograms agree byte for byte
+}
+
+TEST(BackendEquivalence, PhasesRunIsBitIdenticalAcrossQueueBackends)
+{
+    std::vector<TimeSeq> heapTrace, calendarTrace;
+    std::string heapHist, calendarHist;
+    const SqsResult heap = runPhasesScenario(QueueBackend::BinaryHeap,
+                                             true, heapTrace, heapHist);
+    const SqsResult calendar = runPhasesScenario(
+        QueueBackend::Calendar, true, calendarTrace, calendarHist);
+    expectIdenticalRuns(heap, heapTrace, heapHist, calendar, calendarTrace,
+                        calendarHist);
+}
+
+TEST(BackendEquivalence, PhasesRunIsBitIdenticalAcrossArenaModes)
+{
+    std::vector<TimeSeq> onTrace, offTrace;
+    std::string onHist, offHist;
+    const SqsResult on = runPhasesScenario(QueueBackend::Calendar, true,
+                                           onTrace, onHist);
+    const SqsResult off = runPhasesScenario(QueueBackend::Calendar, false,
+                                            offTrace, offHist);
+    expectIdenticalRuns(on, onTrace, onHist, off, offTrace, offHist);
+}
+
+/** A failure/retry cluster run through the experiment layer. */
+SqsResult
+runFailureScenario(const char* backendName)
+{
+    const std::string json = std::string(R"({
+        "workload": {
+            "name": "synthetic",
+            "interarrival": {"mean": 0.02, "cv": 1.0},
+            "service": {"mean": 0.01, "cv": 1.0}
+        },
+        "cluster": {"servers": 4, "cores": 1},
+        "dispatch": "jsq",
+        "engine": {"queueBackend": ")") + backendName + R"("},
+        "failures": {
+            "uptime": {"dist": "exponential", "mean": 10.0},
+            "downtime": {"dist": "exponential", "mean": 2.0},
+            "disposition": "drop",
+            "retry": {"maxRetries": 3, "backoffBase": 0.01,
+                      "timeout": 0.5}
+        },
+        "sqs": {"maxEvents": 150000, "accuracy": 0.2}
+    })";
+    const Config config = Config::fromString(json);
+    const Experiment experiment(Experiment::specFromConfig(config));
+    return experiment.run(7);
+}
+
+TEST(BackendEquivalence, FailureRetryRunMatchesAcrossQueueBackends)
+{
+    // Failures cancel completions wholesale and retries churn timeouts:
+    // the cancel-heavy regime where backend divergence would hide.
+    const SqsResult heap = runFailureScenario("heap");
+    const SqsResult calendar = runFailureScenario("calendar");
+    EXPECT_EQ(heap.events, calendar.events);
+    EXPECT_EQ(heap.simulatedTime, calendar.simulatedTime);
+    ASSERT_TRUE(heap.failures.has_value());
+    ASSERT_TRUE(calendar.failures.has_value());
+    EXPECT_EQ(heap.failures->counters.tasksLost,
+              calendar.failures->counters.tasksLost);
+    EXPECT_EQ(heap.failures->counters.tasksRetried,
+              calendar.failures->counters.tasksRetried);
+    ASSERT_EQ(heap.estimates.size(), calendar.estimates.size());
+    for (std::size_t i = 0; i < heap.estimates.size(); ++i) {
+        EXPECT_EQ(heap.estimates[i].mean, calendar.estimates[i].mean);
+        EXPECT_EQ(heap.estimates[i].stddev,
+                  calendar.estimates[i].stddev);
+    }
+}
+
+} // namespace
+} // namespace bighouse

@@ -1,7 +1,11 @@
 /**
  * @file
  * Unit tests for the event queue: ordering, FIFO tie-breaking, O(1)
- * cancellation with eager callback release, and tombstone compaction.
+ * cancellation with eager callback release, tombstone compaction, and
+ * slot-table lifecycle. The semantic tests run against BOTH pending-event
+ * backends (binary heap and calendar queue) via the parameterized
+ * fixture — the two must be observationally identical; only the
+ * tombstone-accounting tests are backend-specific.
  */
 
 #include <gtest/gtest.h>
@@ -16,9 +20,26 @@
 namespace bighouse {
 namespace {
 
-TEST(EventQueue, PopsInTimeOrder)
+class EventQueueBackends : public testing::TestWithParam<QueueBackend>
 {
-    EventQueue q;
+  protected:
+    EventQueue
+    makeQueue() const
+    {
+        return EventQueue(GetParam());
+    }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, EventQueueBackends,
+    testing::Values(QueueBackend::BinaryHeap, QueueBackend::Calendar),
+    [](const testing::TestParamInfo<QueueBackend>& info) {
+        return info.param == QueueBackend::BinaryHeap ? "Heap" : "Calendar";
+    });
+
+TEST_P(EventQueueBackends, PopsInTimeOrder)
+{
+    EventQueue q = makeQueue();
     std::vector<int> order;
     q.push(3.0, [&] { order.push_back(3); });
     q.push(1.0, [&] { order.push_back(1); });
@@ -28,9 +49,9 @@ TEST(EventQueue, PopsInTimeOrder)
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueue, SameTimeIsFifo)
+TEST_P(EventQueueBackends, SameTimeIsFifo)
 {
-    EventQueue q;
+    EventQueue q = makeQueue();
     std::vector<int> order;
     for (int i = 0; i < 10; ++i)
         q.push(5.0, [&order, i] { order.push_back(i); });
@@ -40,9 +61,9 @@ TEST(EventQueue, SameTimeIsFifo)
         EXPECT_EQ(order[i], i);
 }
 
-TEST(EventQueue, RandomizedOrderProperty)
+TEST_P(EventQueueBackends, RandomizedOrderProperty)
 {
-    EventQueue q;
+    EventQueue q = makeQueue();
     Rng rng(99);
     for (int i = 0; i < 5000; ++i)
         q.push(rng.uniform(0.0, 100.0), [] {});
@@ -54,9 +75,9 @@ TEST(EventQueue, RandomizedOrderProperty)
     }
 }
 
-TEST(EventQueue, PopReportsMonotoneSequenceForTies)
+TEST_P(EventQueueBackends, PopReportsMonotoneSequenceForTies)
 {
-    EventQueue q;
+    EventQueue q = makeQueue();
     for (int i = 0; i < 16; ++i)
         q.push(1.0, [] {});
     std::uint64_t expected = 0;
@@ -67,9 +88,9 @@ TEST(EventQueue, PopReportsMonotoneSequenceForTies)
     }
 }
 
-TEST(EventQueue, NextTimeMatchesPop)
+TEST_P(EventQueueBackends, NextTimeMatchesPop)
 {
-    EventQueue q;
+    EventQueue q = makeQueue();
     q.push(7.0, [] {});
     q.push(4.0, [] {});
     // nextTime() is a const query on purpose (no lazy pruning inside).
@@ -81,9 +102,9 @@ TEST(EventQueue, NextTimeMatchesPop)
     EXPECT_DOUBLE_EQ(constQ.nextTime(), kTimeNever);
 }
 
-TEST(EventQueue, CancelRemovesEvent)
+TEST_P(EventQueueBackends, CancelRemovesEvent)
 {
-    EventQueue q;
+    EventQueue q = makeQueue();
     int fired = 0;
     q.push(1.0, [&] { ++fired; });
     const EventId id = q.push(2.0, [&] { fired += 100; });
@@ -96,33 +117,33 @@ TEST(EventQueue, CancelRemovesEvent)
     EXPECT_EQ(fired, 2);
 }
 
-TEST(EventQueue, CancelTwiceFails)
+TEST_P(EventQueueBackends, CancelTwiceFails)
 {
-    EventQueue q;
+    EventQueue q = makeQueue();
     const EventId id = q.push(1.0, [] {});
     EXPECT_TRUE(q.cancel(id));
     EXPECT_FALSE(q.cancel(id));
 }
 
-TEST(EventQueue, CancelAfterFireFails)
+TEST_P(EventQueueBackends, CancelAfterFireFails)
 {
-    EventQueue q;
+    EventQueue q = makeQueue();
     const EventId id = q.push(1.0, [] {});
     q.pop();
     EXPECT_FALSE(q.cancel(id));
 }
 
-TEST(EventQueue, CancelDefaultIdIsNoop)
+TEST_P(EventQueueBackends, CancelDefaultIdIsNoop)
 {
-    EventQueue q;
+    EventQueue q = makeQueue();
     q.push(1.0, [] {});
     EXPECT_FALSE(q.cancel(EventId{}));
     EXPECT_EQ(q.size(), 1u);
 }
 
-TEST(EventQueue, CancelStaleIdAfterSlotReuseFails)
+TEST_P(EventQueueBackends, CancelStaleIdAfterSlotReuseFails)
 {
-    EventQueue q;
+    EventQueue q = makeQueue();
     const EventId first = q.push(1.0, [] {});
     q.pop();  // frees first's slot
     const EventId second = q.push(2.0, [] {});  // reuses it
@@ -131,9 +152,9 @@ TEST(EventQueue, CancelStaleIdAfterSlotReuseFails)
     EXPECT_TRUE(q.cancel(second));
 }
 
-TEST(EventQueue, CancelEarliestAdvancesNextTime)
+TEST_P(EventQueueBackends, CancelEarliestAdvancesNextTime)
 {
-    EventQueue q;
+    EventQueue q = makeQueue();
     const EventId first = q.push(1.0, [] {});
     q.push(2.0, [] {});
     q.cancel(first);
@@ -142,9 +163,9 @@ TEST(EventQueue, CancelEarliestAdvancesNextTime)
     EXPECT_TRUE(q.empty());
 }
 
-TEST(EventQueue, CancelAllLeavesEmptyQueue)
+TEST_P(EventQueueBackends, CancelAllLeavesEmptyQueue)
 {
-    EventQueue q;
+    EventQueue q = makeQueue();
     std::vector<EventId> ids;
     for (int i = 0; i < 100; ++i)
         ids.push_back(q.push(static_cast<Time>(i), [] {}));
@@ -152,16 +173,16 @@ TEST(EventQueue, CancelAllLeavesEmptyQueue)
         EXPECT_TRUE(q.cancel(id));
     EXPECT_TRUE(q.empty());
     EXPECT_DOUBLE_EQ(q.nextTime(), kTimeNever);
-    // Cancelling everything must also drain the physical heap: with no
-    // live event left there is nothing for tombstones to wait behind.
+    // Cancelling everything must also drain the physical structure: with
+    // no live event left there is nothing for tombstones to wait behind.
     EXPECT_EQ(q.heapSize(), 0u);
 }
 
-TEST(EventQueue, CancelReleasesCallbackStateImmediately)
+TEST_P(EventQueueBackends, CancelReleasesCallbackStateImmediately)
 {
     // Regression: cancel() used to leave the Entry (and its captured
     // callback state) alive until the tombstone reached the heap top.
-    EventQueue q;
+    EventQueue q = makeQueue();
     auto token = std::make_shared<int>(42);
     q.push(1.0, [] {});  // keeps the cancelled event off the heap top
     const EventId id = q.push(2.0, [token] { (void)*token; });
@@ -172,13 +193,33 @@ TEST(EventQueue, CancelReleasesCallbackStateImmediately)
     EXPECT_EQ(q.size(), 1u);
 }
 
-TEST(EventQueue, CancelHeavyChurnKeepsHeapBounded)
+TEST_P(EventQueueBackends, PopDoesNotPinCallbackState)
+{
+    // pop() hands the callback to the caller and must leave NOTHING in
+    // the slot: a moved-from callback with valid-but-unspecified state
+    // could otherwise pin captured resources until the slot is reused.
+    EventQueue q = makeQueue();
+    auto token = std::make_shared<int>(7);
+    q.push(1.0, [token] { (void)*token; });
+    EXPECT_EQ(token.use_count(), 2);
+    {
+        auto popped = q.pop();
+        // Exactly one live copy outside the test: the popped callback.
+        EXPECT_EQ(token.use_count(), 2);
+    }
+    // Destroying the popped event releases the last capture; the freed
+    // slot (never reused here) holds no residue.
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST_P(EventQueueBackends, CancelHeavyChurnKeepsHeapBounded)
 {
     // DVFS-style workload: every speed change cancels a scheduled
     // completion and reschedules it. The heap may carry tombstones, but
     // dead entries must never outgrow the live set by more than the
-    // compaction threshold.
-    EventQueue q;
+    // compaction threshold. (The calendar removes at cancel() time, so
+    // for it this bound is trivially tight.)
+    EventQueue q = makeQueue();
     Rng rng(7);
     std::vector<EventId> pending;
     double clock = 0.0;
@@ -201,34 +242,41 @@ TEST(EventQueue, CancelHeavyChurnKeepsHeapBounded)
     }
 }
 
-TEST(EventQueue, PruneCompactsTombstonesOnDemand)
+TEST_P(EventQueueBackends, PruneReleasesSlotHighWaterStorage)
 {
-    EventQueue q;
+    // The slot table grows to the high-water mark of pending events and
+    // stays there; prune() must give the unused tail back so a burst
+    // does not pin its peak memory for the rest of the simulation.
+    EventQueue q = makeQueue();
     std::vector<EventId> ids;
-    for (int i = 0; i < 32; ++i)
-        ids.push_back(q.push(static_cast<Time>(i + 1), [] {}));
-    // Cancel the back half: few enough to stay under the automatic
-    // compaction floor, so the tombstones linger...
-    for (int i = 16; i < 32; ++i)
-        EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
-    EXPECT_EQ(q.size(), 16u);
-    EXPECT_GT(q.deadEntries(), 0u);
-    // ...until prune() sweeps them explicitly.
+    for (int i = 0; i < 4096; ++i)
+        ids.push_back(q.push(1.0 + static_cast<Time>(i), [] {}));
+    EXPECT_GE(q.slotCapacity(), 4096u);
+    // Cancel everything but the earliest 8 events.
+    for (std::size_t i = 8; i < ids.size(); ++i)
+        EXPECT_TRUE(q.cancel(ids[i]));
+    EXPECT_EQ(q.size(), 8u);
+    EXPECT_GE(q.slotCapacity(), 4096u);  // high-water still held
     q.prune();
     EXPECT_EQ(q.deadEntries(), 0u);
-    EXPECT_EQ(q.heapSize(), 16u);
+    EXPECT_LE(q.slotCapacity(), 8u);  // tail released
+    // The queue still works after the shrink.
+    for (int i = 0; i < 64; ++i)
+        q.push(100.0 + static_cast<Time>(i), [] {});
     double previous = 0.0;
+    std::size_t drained = 0;
     while (!q.empty()) {
         const auto popped = q.pop();
-        EXPECT_GT(popped.time, previous);
+        ASSERT_GE(popped.time, previous);
         previous = popped.time;
+        ++drained;
     }
-    EXPECT_DOUBLE_EQ(previous, 16.0);
+    EXPECT_EQ(drained, 72u);
 }
 
-TEST(EventQueue, StressInterleavedPushPopCancel)
+TEST_P(EventQueueBackends, StressInterleavedPushPopCancel)
 {
-    EventQueue q;
+    EventQueue q = makeQueue();
     Rng rng(123);
     std::vector<EventId> pending;
     double clock = 0.0;
@@ -258,6 +306,70 @@ TEST(EventQueue, StressInterleavedPushPopCancel)
     }
     EXPECT_GT(fired, 0);
     EXPECT_GT(cancelled, 0);
+}
+
+// ---------------------------------------------------------------------
+// Backend-specific tombstone accounting
+// ---------------------------------------------------------------------
+
+TEST(EventQueue, HeapPruneCompactsTombstonesOnDemand)
+{
+    // Only the binary heap defers removal: cancelled entries tombstone in
+    // place until a sweep. The calendar variant of this test is below.
+    EventQueue q(QueueBackend::BinaryHeap);
+    std::vector<EventId> ids;
+    for (int i = 0; i < 32; ++i)
+        ids.push_back(q.push(static_cast<Time>(i + 1), [] {}));
+    // Cancel the back half: few enough to stay under the automatic
+    // compaction floor, so the tombstones linger...
+    for (int i = 16; i < 32; ++i)
+        EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+    EXPECT_EQ(q.size(), 16u);
+    EXPECT_GT(q.deadEntries(), 0u);
+    // ...until prune() sweeps them explicitly.
+    q.prune();
+    EXPECT_EQ(q.deadEntries(), 0u);
+    EXPECT_EQ(q.heapSize(), 16u);
+    double previous = 0.0;
+    while (!q.empty()) {
+        const auto popped = q.pop();
+        EXPECT_GT(popped.time, previous);
+        previous = popped.time;
+    }
+    EXPECT_DOUBLE_EQ(previous, 16.0);
+}
+
+TEST(EventQueue, CalendarNeverHoldsTombstones)
+{
+    // The calendar's buckets are unsorted, so cancel() can swap-remove
+    // the entry immediately — dead entries never exist.
+    EventQueue q(QueueBackend::Calendar);
+    std::vector<EventId> ids;
+    for (int i = 0; i < 32; ++i)
+        ids.push_back(q.push(static_cast<Time>(i + 1), [] {}));
+    for (int i = 16; i < 32; ++i)
+        EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+    EXPECT_EQ(q.deadEntries(), 0u);
+    EXPECT_EQ(q.heapSize(), 16u);
+    EXPECT_EQ(q.compactions(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Slot-table overflow guard
+// ---------------------------------------------------------------------
+
+TEST(EventQueueDeathTest, SlotIndexGuardDiesInsteadOfTruncating)
+{
+    // Below the sentinel the index passes through unchanged...
+    EXPECT_EQ(EventQueue::checkedSlotIndex(0), 0u);
+    EXPECT_EQ(EventQueue::checkedSlotIndex(0xFFFFFFFEu), 0xFFFFFFFEu);
+    // ...at or past it the old code silently wrapped to a low index,
+    // corrupting a live slot; now it must die loudly.
+    EXPECT_DEATH(EventQueue::checkedSlotIndex(0xFFFFFFFFu),
+                 "slot table exhausted");
+    EXPECT_DEATH(
+        EventQueue::checkedSlotIndex(std::size_t{1} << 32),
+        "slot table exhausted");
 }
 
 TEST(EventQueueDeathTest, PopEmptyPanics)

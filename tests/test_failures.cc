@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -378,6 +379,46 @@ struct BlackHoleAcceptor : TaskAcceptor
 
     std::vector<Task> swallowed;
 };
+
+TEST(RetryQueueTest, BackoffIsClosedFormAndFiniteForHugeAttemptCounts)
+{
+    Engine sim;
+    BlackHoleAcceptor hole;
+    RetrySpec spec;
+    spec.backoffBase = 0.01;
+    spec.backoffFactor = 2.0;
+    spec.backoffMax = 30.0;
+    FailureCounters counters;
+    RetryQueue retry(sim, hole, spec, counters);
+    // Exact values below the clamp...
+    EXPECT_DOUBLE_EQ(retry.backoffDelay(1), 0.01);
+    EXPECT_DOUBLE_EQ(retry.backoffDelay(2), 0.02);
+    EXPECT_DOUBLE_EQ(retry.backoffDelay(11), 10.24);
+    // ...exactly backoffMax at and past it (base * 2^12 = 40.96 > 30)...
+    EXPECT_DOUBLE_EQ(retry.backoffDelay(13), 30.0);
+    EXPECT_DOUBLE_EQ(retry.backoffDelay(64), 30.0);
+    // ...and still exactly backoffMax for attempt counts where the naive
+    // factor^attempt product overflows to inf long before it is clamped.
+    EXPECT_DOUBLE_EQ(retry.backoffDelay(2000), 30.0);
+    EXPECT_DOUBLE_EQ(retry.backoffDelay(1'000'000'000u), 30.0);
+    EXPECT_DOUBLE_EQ(
+        retry.backoffDelay(std::numeric_limits<std::uint32_t>::max()),
+        30.0);
+}
+
+TEST(RetryQueueTest, BackoffWithUnitFactorStaysAtBaseForever)
+{
+    Engine sim;
+    BlackHoleAcceptor hole;
+    RetrySpec spec;
+    spec.backoffBase = 0.25;
+    spec.backoffFactor = 1.0;  // degenerate: log(factor) == 0
+    spec.backoffMax = 5.0;
+    FailureCounters counters;
+    RetryQueue retry(sim, hole, spec, counters);
+    EXPECT_DOUBLE_EQ(retry.backoffDelay(1), 0.25);
+    EXPECT_DOUBLE_EQ(retry.backoffDelay(1'000'000'000u), 0.25);
+}
 
 TEST(RetryQueueTest, TimeoutAbandonsAttemptAndStaleCompletionIsIgnored)
 {

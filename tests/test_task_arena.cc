@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the TaskArena pool and its STL allocator adapter:
+ * size-class recycling, the large-request heap fallthrough, and
+ * steady-state container churn staying inside reserved chunks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "queueing/task.hh"
+#include "queueing/task_arena.hh"
+
+namespace bighouse {
+namespace {
+
+TEST(TaskArena, RecyclesBlocksOfTheSameClass)
+{
+    TaskArena arena;
+    void* first = arena.allocate(sizeof(Task));
+    EXPECT_EQ(arena.blocksOutstanding(), 1u);
+    arena.deallocate(first, sizeof(Task));
+    EXPECT_EQ(arena.blocksOutstanding(), 0u);
+    // Same size class -> the freed block comes straight back.
+    void* second = arena.allocate(sizeof(Task));
+    EXPECT_EQ(second, first);
+    arena.deallocate(second, sizeof(Task));
+}
+
+TEST(TaskArena, SteadyChurnNeverGrowsPastTheFirstChunks)
+{
+    // Allocate/free in waves: after the first wave has carved its
+    // chunks, later waves must be served entirely from the free lists.
+    TaskArena arena;
+    std::vector<void*> blocks;
+    for (int wave = 0; wave < 50; ++wave) {
+        for (int i = 0; i < 500; ++i)
+            blocks.push_back(arena.allocate(sizeof(Task)));
+        const std::size_t reservedAfterFirstWave = arena.bytesReserved();
+        for (void* p : blocks)
+            arena.deallocate(p, sizeof(Task));
+        blocks.clear();
+        EXPECT_EQ(arena.bytesReserved(), reservedAfterFirstWave)
+            << "arena kept reserving during steady-state churn";
+    }
+    EXPECT_EQ(arena.blocksOutstanding(), 0u);
+}
+
+TEST(TaskArena, DistinctSizeClassesDoNotAlias)
+{
+    TaskArena arena;
+    void* small = arena.allocate(24);
+    void* medium = arena.allocate(200);
+    void* large = arena.allocate(3000);
+    EXPECT_NE(small, medium);
+    EXPECT_NE(medium, large);
+    // Each went to its own class: freeing one leaves the others live.
+    arena.deallocate(medium, 200);
+    void* medium2 = arena.allocate(200);
+    EXPECT_EQ(medium2, medium);
+    arena.deallocate(small, 24);
+    arena.deallocate(medium2, 200);
+    arena.deallocate(large, 3000);
+    EXPECT_EQ(arena.blocksOutstanding(), 0u);
+}
+
+TEST(TaskArena, OversizedRequestsFallThroughToTheHeap)
+{
+    TaskArena arena;
+    const std::size_t reserved = arena.bytesReserved();
+    void* big = arena.allocate(1 << 20);
+    // A one-off megabyte must not become pool chunks...
+    EXPECT_EQ(arena.bytesReserved(), reserved);
+    // ...and is not tracked as an outstanding pooled block.
+    EXPECT_EQ(arena.blocksOutstanding(), 0u);
+    arena.deallocate(big, 1 << 20);
+}
+
+TEST(TaskArena, BacksStandardContainers)
+{
+    TaskArena arena;
+    {
+        std::deque<Task, ArenaAlloc<Task>> queue{ArenaAlloc<Task>(&arena)};
+        for (std::uint64_t i = 0; i < 10000; ++i) {
+            Task task;
+            task.id = i;
+            queue.push_back(task);
+        }
+        for (int i = 0; i < 5000; ++i)
+            queue.pop_front();
+        EXPECT_EQ(queue.size(), 5000u);
+        EXPECT_EQ(queue.front().id, 5000u);
+        EXPECT_GT(arena.bytesReserved(), 0u);
+    }
+    // Container destruction returns every block.
+    EXPECT_EQ(arena.blocksOutstanding(), 0u);
+}
+
+TEST(TaskArena, NullArenaAllocatorUsesTheHeap)
+{
+    // "Arena off" is the same container type with a null pool.
+    std::deque<Task, ArenaAlloc<Task>> queue{ArenaAlloc<Task>(nullptr)};
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        Task task;
+        task.id = i;
+        queue.push_back(task);
+    }
+    EXPECT_EQ(queue.size(), 100u);
+    EXPECT_EQ(queue.back().id, 99u);
+}
+
+} // namespace
+} // namespace bighouse
