@@ -37,10 +37,13 @@
 #include "config/json.hh"
 #include "core/experiment.hh"
 #include "distribution/basic.hh"
+#include "distribution/fit.hh"
 #include "queueing/server.hh"
 #include "queueing/source.hh"
 #include "sim/engine.hh"
 #include "sim/event_queue.hh"
+#include "sim/recurrence_backend.hh"
+#include "stats/collection.hh"
 #include "stats/metric.hh"
 #include "workload/library.hh"
 
@@ -70,7 +73,7 @@ struct ScenarioResult
 {
     std::string name;
     std::uint64_t units = 0;     ///< events or observations processed
-    std::string unitName;        ///< "events" | "observations"
+    std::string unitName;        ///< "events" | "observations" | "tasks"
     double wallSeconds = 0.0;
     double checksum = 0.0;       ///< deterministic workload fingerprint
     JsonValue::Object extra;     ///< scenario-specific fields
@@ -261,6 +264,112 @@ runFig7Scaling(bool quick)
     return result;
 }
 
+/**
+ * Raw RecurrenceBackend throughput: one M/M/4 station at 70% utilization
+ * streaming pre-sampled blocks through the bulk statistics path — the
+ * per-task cost floor of the vectorized backend (compare ns/task against
+ * micro_engine's ns/event for the same model under event dispatch).
+ */
+ScenarioResult
+runMicroRecurrence(bool quick)
+{
+    const std::uint64_t tasks = quick ? 2000000 : 40000000;
+    ScenarioResult result;
+    result.name = "micro_recurrence";
+    result.unitName = "tasks";
+
+    StatsCollection stats;
+    MetricSpec spec;
+    spec.name = "bench";
+    spec.warmupSamples = 0;
+    spec.calibrationSamples = 5000;
+    spec.target = ConfidenceSpec{1e-9, 0.95};  // never converges
+    const auto id = stats.addMetric(spec);
+    RecurrenceBackend backend(stats);
+    RecurrenceStationSpec station;
+    station.interarrival = std::make_unique<Exponential>(0.7 * 4);
+    station.service = std::make_unique<Exponential>(1.0);
+    station.rng = Rng(1);
+    station.cores = 4;
+    backend.addStation(std::move(station));
+    backend.recordResponseTime(id);
+
+    const Stopwatch watch;
+    backend.step(tasks);
+    result.wallSeconds = watch.seconds();
+    result.units = tasks;
+    result.checksum = backend.now();
+    result.extra["cores"] = JsonValue(4);
+    result.extra["accepted"] = JsonValue(
+        static_cast<double>(stats.metric(id).acceptedCount()));
+    return result;
+}
+
+/**
+ * The recurrence-eligible scaling twins: the Fig. 7 scaling axis (big
+ * FCFS cluster, one source per server) with the workload reduced to its
+ * exponential-moment equivalent (M/M/1 stations at 90% utilization) so
+ * both backends draw through the same devirtualized sampling fast path
+ * and the ratio isolates the engines rather than the distributions.
+ * Both twins run the same fixed event budget (accuracy is set far below
+ * reach so the maxEvents valve is the stop, making wall time long enough
+ * to measure and identical in work across runs). Units are completed
+ * tasks (the response-time metric's offered count) so the twin ns/task
+ * columns compare like for like; check_perf.sh gates the recurrence twin
+ * at >= 10x the DES twin. Checksums are per-twin only: the two backends
+ * stop at different simulated instants (the budget counts engine events
+ * for the DES but tasks for the recurrence), so cross-twin checksum
+ * equality is NOT expected — the distributional referee lives in
+ * tests/test_recurrence.cc.
+ */
+ScenarioResult
+runFig7ScalingTwin(bool quick, SimBackend backend)
+{
+    const std::size_t servers = 1000;
+    const std::uint64_t budget = quick ? 4000000 : 16000000;
+    ScenarioResult result;
+    result.name = backend == SimBackend::Des ? "fig7_scaling_fcfs"
+                                             : "fig7_scaling_recurrence";
+    result.unitName = "tasks";
+
+    ExperimentSpec spec;
+    spec.workload.name = "expo90";
+    spec.workload.interarrival = fitMeanCv(1.0 / 0.9, 1.0);
+    spec.workload.service = fitMeanCv(1.0, 1.0);
+    spec.servers = servers;
+    spec.coresPerServer = 1;
+    spec.simBackend = backend;
+    spec.sqs.accuracy = 1e-6;  // unreachable: the valve fixes the work
+    spec.sqs.maxEvents = budget;
+    spec.sqs.batchEvents = 500000;
+
+    const Stopwatch watch;
+    const SqsResult run = Experiment(std::move(spec))
+                              .run(7100 + static_cast<std::uint64_t>(servers));
+    result.wallSeconds = watch.seconds();
+    result.units = run.estimates[0].offered;
+    result.checksum = run.simulatedTime;
+    result.extra["servers"] = JsonValue(static_cast<double>(servers));
+    result.extra["converged"] = JsonValue(run.converged);
+    result.extra["backend"] =
+        JsonValue(std::string(simBackendName(run.backend)));
+    result.extra["engine_units"] =
+        JsonValue(static_cast<double>(run.events));
+    return result;
+}
+
+ScenarioResult
+runFig7ScalingFcfs(bool quick)
+{
+    return runFig7ScalingTwin(quick, SimBackend::Des);
+}
+
+ScenarioResult
+runFig7ScalingRecurrence(bool quick)
+{
+    return runFig7ScalingTwin(quick, SimBackend::Recurrence);
+}
+
 JsonValue
 toJson(const ScenarioResult& result)
 {
@@ -271,9 +380,10 @@ toJson(const ScenarioResult& result)
     obj["wall_seconds"] = JsonValue(result.wallSeconds);
     obj[result.unitName + "_per_sec"] =
         JsonValue(ratePerSec(result.units, result.wallSeconds));
-    obj["ns_per_" + (result.unitName == "events"
-                         ? std::string("event")
-                         : std::string("observation"))] =
+    // "events" -> ns_per_event, "observations" -> ns_per_observation,
+    // "tasks" -> ns_per_task.
+    obj["ns_per_"
+        + result.unitName.substr(0, result.unitName.size() - 1)] =
         JsonValue(nsPerUnit(result.units, result.wallSeconds));
     obj["checksum"] = JsonValue(result.checksum);
     for (const auto& [key, value] : result.extra)
@@ -287,7 +397,8 @@ printUsage()
     std::printf(
         "usage: bh_perf [--quick] [--out PATH] [--scenario NAME ...]\n"
         "scenarios: micro_event_queue micro_event_queue_heap "
-        "micro_engine micro_engine_heap micro_stats fig7_scaling\n");
+        "micro_engine micro_engine_heap micro_stats micro_recurrence "
+        "fig7_scaling fig7_scaling_fcfs fig7_scaling_recurrence\n");
 }
 
 } // namespace
@@ -296,7 +407,7 @@ int
 main(int argc, char** argv)
 {
     bool quick = false;
-    std::string outPath = "BENCH_4.json";
+    std::string outPath = "BENCH_5.json";
     std::vector<std::string> selected;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -333,7 +444,10 @@ main(int argc, char** argv)
         {"micro_engine", runMicroEngine},
         {"micro_engine_heap", runMicroEngineHeap},
         {"micro_stats", runMicroStats},
+        {"micro_recurrence", runMicroRecurrence},
         {"fig7_scaling", runFig7Scaling},
+        {"fig7_scaling_fcfs", runFig7ScalingFcfs},
+        {"fig7_scaling_recurrence", runFig7ScalingRecurrence},
     };
 
     const auto wants = [&selected](const char* name) {

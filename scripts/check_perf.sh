@@ -33,19 +33,28 @@ echo "== bh_perf ${MODE:-(full)}"
 # shellcheck disable=SC2086  # MODE is intentionally word-split
 "${BUILD_DIR}/bench/bh_perf" ${MODE} --out "${OUT}" "$@"
 
+# The committed full-mode baseline, used for the DES-checksum drift gate
+# (only comparable when this run is also full-mode: --quick shrinks the
+# workloads, so quick checksums legitimately differ).
+BASELINE="${SOURCE_DIR}/BENCH_4.json"
+
 echo "== validating ${OUT}"
 if command -v python3 >/dev/null 2>&1; then
-    python3 - "${OUT}" <<'EOF'
+    python3 - "${OUT}" "${MODE:-full}" "${BASELINE}" <<'EOF'
 import json
+import os
 import sys
 
 with open(sys.argv[1]) as fh:
     doc = json.load(fh)
+full_mode = sys.argv[2] == "full"
+baseline_path = sys.argv[3]
 assert doc["schema"] == "bighouse-bench-v1", doc.get("schema")
 scenarios = doc["scenarios"]
 assert scenarios, "no scenarios in report"
 for entry in scenarios:
-    unit = "events" if "events" in entry else "observations"
+    unit = next(u for u in ("events", "observations", "tasks")
+                if u in entry)
     assert entry[unit] > 0, entry["name"]
     assert entry["wall_seconds"] > 0, entry["name"]
     assert entry[unit + "_per_sec"] > 0, entry["name"]
@@ -64,6 +73,46 @@ for calendar_name in ("micro_event_queue", "micro_engine"):
         % (calendar_name, calendar["checksum"], heap["checksum"]))
     assert calendar["events"] == heap["events"], calendar_name
     print("   %s: calendar/heap checksums agree" % calendar_name)
+
+# Recurrence speedup gate: the vectorized backend must beat event
+# dispatch by >= 10x ns/task on the eligible FCFS scaling twin. The twin
+# checksums are NOT compared — the backends stop at different simulated
+# instants; distributional equivalence is tests/test_recurrence.cc's job.
+if "fig7_scaling_fcfs" in by_name and "fig7_scaling_recurrence" in by_name:
+    des = by_name["fig7_scaling_fcfs"]
+    rec = by_name["fig7_scaling_recurrence"]
+    assert des["ns_per_task"] > 0 and rec["ns_per_task"] > 0
+    speedup = des["ns_per_task"] / rec["ns_per_task"]
+    assert speedup >= 10.0, (
+        "recurrence twin speedup %.1fx < 10x (des %.1f ns/task, "
+        "recurrence %.1f ns/task)"
+        % (speedup, des["ns_per_task"], rec["ns_per_task"]))
+    print("   fig7 twin: recurrence %.1fx faster per task" % speedup)
+
+# DES drift gate (full mode only): every fixed-seed DES scenario shared
+# with the committed baseline must reproduce its checksum exactly — a
+# perf PR must not silently change event-path semantics.
+if full_mode and os.path.exists(baseline_path):
+    with open(baseline_path) as fh:
+        base = json.load(fh)
+    if base.get("quick"):
+        print("   baseline is quick-mode; skipping checksum drift gate")
+    else:
+        base_by_name = {e["name"]: e for e in base["scenarios"]}
+        checked = 0
+        for name in ("micro_event_queue", "micro_event_queue_heap",
+                     "micro_engine", "micro_engine_heap", "micro_stats",
+                     "fig7_scaling"):
+            if name not in by_name or name not in base_by_name:
+                continue
+            assert by_name[name]["checksum"] == \
+                base_by_name[name]["checksum"], (
+                "DES checksum drift in %s: baseline=%r current=%r"
+                % (name, base_by_name[name]["checksum"],
+                   by_name[name]["checksum"]))
+            checked += 1
+        print("   %d DES checksums match the committed baseline"
+              % checked)
 print("   %d scenarios OK" % len(scenarios))
 EOF
 else

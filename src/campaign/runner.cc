@@ -196,6 +196,7 @@ CampaignRunner::buildManifest(const CampaignReport& report) const
         if (outcome.status == PointStatus::Cached
             || outcome.status == PointStatus::Ran) {
             entry.converged = outcome.result.converged;
+            entry.backend = simBackendName(outcome.result.backend);
             entry.events = outcome.result.events;
             entry.wallSeconds = outcome.result.wallSeconds;
         }
@@ -362,7 +363,7 @@ campaignStatusTable(const std::vector<SweepPoint>& points,
     header.insert(header.end(), axes.begin(), axes.end());
     header.insert(header.end(),
                   {"slaves", "seed", "key", "status", "converged",
-                   "events"});
+                   "backend", "events"});
     TextTable table(std::move(header));
     for (std::size_t i = 0; i < points.size(); ++i) {
         const SweepPoint& point = points[i];
@@ -379,6 +380,9 @@ campaignStatusTable(const std::vector<SweepPoint>& points,
         row.push_back(!haveResult ? "-"
                       : outcome.result.converged ? "yes"
                                                  : "no");
+        row.push_back(haveResult
+                          ? simBackendName(outcome.result.backend)
+                          : "-");
         row.push_back(haveResult
                           ? std::to_string(outcome.result.events)
                           : "-");

@@ -5,12 +5,14 @@
 
 #include "base/logging.hh"
 #include "base/strings.hh"
+#include "core/backend_select.hh"
 #include "core/dist_config.hh"
 #include "distribution/fit.hh"
 #include "policy/powernap.hh"
 #include "queueing/ps_server.hh"
 #include "queueing/server.hh"
 #include "queueing/source.hh"
+#include "sim/recurrence_backend.hh"
 #include "workload/library.hh"
 
 namespace bighouse {
@@ -54,6 +56,7 @@ ExperimentSpec::clone() const
     copy.capping = capping;
     copy.recordCappingLevel = recordCappingLevel;
     copy.recordServerPower = recordServerPower;
+    copy.simBackend = simBackend;
     copy.sqs = sqs;
     return copy;
 }
@@ -184,6 +187,32 @@ Experiment::buildInto(SqsSimulation& sim) const
         goodputId = sim.addMetric(kGoodputMetric);
     if (spec.recordDowntime)
         downtimeId = sim.addMetric(epochMetricSpec(kDowntimeMetric));
+
+    // Backend selection happens here, after metric registration (the ids
+    // and their order are part of the parallel protocol and must not
+    // depend on the backend). The recurrence path replaces the entire
+    // event-driven model below: stations split their streams from the
+    // root in the same per-server order the DES sources would, so both
+    // backends consume identical draws on a shared seed.
+    if (resolveSimBackend(spec) == SimBackend::Recurrence) {
+        auto recurrence = std::make_unique<RecurrenceBackend>(sim.stats());
+        for (std::size_t i = 0; i < spec.servers; ++i) {
+            RecurrenceStationSpec station;
+            station.interarrival = spec.workload.interarrival->clone();
+            station.service = spec.workload.service->clone();
+            station.rng = sim.rootRng().split();
+            station.cores = spec.coresPerServer;
+            station.loadFactor = spec.loadFactor;
+            station.speed = 1.0 / spec.cpuSlowdown;
+            recurrence->addStation(std::move(station));
+        }
+        if (spec.recordResponseTime)
+            recurrence->recordResponseTime(responseId);
+        if (spec.recordWaitingTime)
+            recurrence->recordWaitingTime(waitingId);
+        sim.setStepper(std::move(recurrence));
+        return;
+    }
 
     const bool failing = spec.failures.has_value();
     auto model = std::make_shared<Model>();
@@ -528,7 +557,7 @@ Experiment::configKeys()
         "workload",   "cluster",     "serverModel", "dreamweaver",
         "powernap",   "dispatch",    "loadFactor",  "cpuSlowdown",
         "metrics",    "sqs",         "capping",     "failures",
-        "engine",
+        "engine",     "sim",
     };
     return keys;
 }
@@ -655,6 +684,23 @@ Experiment::specFromConfig(const Config& config, bool strict)
     spec.sqs.queueBackend = queueBackendFromName(
         config.getString("engine.queueBackend", "calendar"));
     spec.sqs.taskArena = config.getBool("engine.taskArena", true);
+
+    // The sim block picks *what simulates* (see core/backend_select.hh);
+    // unlike the engine block it can change observation order, so it is
+    // part of the campaign cache key like every other config key.
+    if (config.has("sim")) {
+        const JsonValue* simNode = config.resolve("sim");
+        if (simNode == nullptr || !simNode->isObject())
+            fatal("config key 'sim' must be an object");
+        if (strict) {
+            static const std::vector<std::string_view> simKeys = {
+                "backend",
+            };
+            rejectUnknownKeys(*simNode, simKeys, "sim block");
+        }
+        spec.simBackend =
+            simBackendFromName(config.getString("sim.backend", "auto"));
+    }
 
     if (config.has("capping")) {
         PowerCappingSpec capping;

@@ -124,6 +124,11 @@ struct ExperimentSpec
     /// output of the paper's Fig. 1. Requires a capping block (it
     /// supplies the Eq. 4-6 power model).
     bool recordServerPower = false;
+    /// Which simulation backend executes the model (config `sim.backend`).
+    /// Auto resolves against the eligibility analyzer at build time; a
+    /// forced Recurrence on an inexpressible network is fatal (see
+    /// core/backend_select.hh).
+    SimBackend simBackend = SimBackend::Auto;
     SqsConfig sqs;
 
     /** Deep copy (distributions cloned). */

@@ -175,6 +175,8 @@ resultToJson(const SqsResult& result)
     obj.emplace("termination",
                 JsonValue(std::string(
                     terminationReasonName(result.termination))));
+    obj.emplace("backend",
+                JsonValue(std::string(simBackendName(result.backend))));
     obj.emplace("events", JsonValue(static_cast<double>(result.events)));
     obj.emplace("simulatedTime", JsonValue(result.simulatedTime));
     obj.emplace("wallSeconds", JsonValue(result.wallSeconds));
@@ -208,6 +210,12 @@ resultFromJson(const JsonValue& json)
                                  ? TerminationReason::Converged
                                  : TerminationReason::Drained;
     }
+    // Legacy files predate the backend field; everything before it was
+    // event-driven.
+    const JsonValue* backend = json.find("backend");
+    result.backend = backend != nullptr && backend->isString()
+                         ? simBackendFromName(backend->asString())
+                         : SimBackend::Des;
     result.events =
         static_cast<std::uint64_t>(requireNumber(json, "events"));
     result.simulatedTime = requireNumber(json, "simulatedTime");
@@ -479,6 +487,7 @@ manifestPointToJson(const ManifestPoint& point)
     obj.emplace("status",
                 JsonValue(std::string(pointStatusName(point.status))));
     obj.emplace("converged", JsonValue(point.converged));
+    obj.emplace("backend", JsonValue(point.backend));
     obj.emplace("events", JsonValue(static_cast<double>(point.events)));
     obj.emplace("wallSeconds", JsonValue(point.wallSeconds));
     JsonValue::Object axes;
@@ -510,6 +519,9 @@ manifestPointFromJson(const JsonValue& json)
     if (converged == nullptr || !converged->isBool())
         fatal("manifest point missing 'converged'");
     point.converged = converged->asBool();
+    const JsonValue* backend = json.find("backend");
+    if (backend != nullptr && backend->isString())
+        point.backend = backend->asString();
     point.events =
         static_cast<std::uint64_t>(requireNumber(json, "events"));
     point.wallSeconds = requireNumber(json, "wallSeconds");

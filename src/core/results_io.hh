@@ -125,6 +125,9 @@ struct ManifestPoint
     bool converged = false;      ///< valid when a result exists
     std::uint64_t events = 0;
     double wallSeconds = 0.0;
+    /// Resolved sim backend name ("des"/"recurrence"); empty for points
+    /// without a result and for manifests predating the field.
+    std::string backend;
     /// Sweep coordinates: axis path -> rendered value (sorted by path).
     std::map<std::string, std::string> axes;
 };

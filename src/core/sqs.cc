@@ -41,6 +41,29 @@ terminationReasonFromName(std::string_view name)
                       "deadline", "degraded", "drained"});
 }
 
+const char*
+simBackendName(SimBackend backend)
+{
+    switch (backend) {
+      case SimBackend::Des: return "des";
+      case SimBackend::Recurrence: return "recurrence";
+      case SimBackend::Auto: return "auto";
+    }
+    return "unknown";
+}
+
+SimBackend
+simBackendFromName(std::string_view name)
+{
+    if (name == "des")
+        return SimBackend::Des;
+    if (name == "recurrence")
+        return SimBackend::Recurrence;
+    if (name == "auto")
+        return SimBackend::Auto;
+    fatalUnknownName("sim backend", name, {"des", "recurrence", "auto"});
+}
+
 SqsSimulation::SqsSimulation(SqsConfig config, std::uint64_t seed)
     : cfg(config), sim(config.queueBackend), root(seed)
 {
@@ -91,9 +114,18 @@ SqsSimulation::setFailureProbe(FailureProbe probe)
     failureTotals = std::move(probe);
 }
 
+void
+SqsSimulation::setStepper(std::unique_ptr<SimStepper> s)
+{
+    BH_ASSERT(!ran, "setStepper() after run()");
+    stepperImpl = std::move(s);
+}
+
 std::uint64_t
 SqsSimulation::runBatch(std::uint64_t events)
 {
+    if (stepperImpl)
+        return stepperImpl->step(events);
     return sim.run(events);
 }
 
@@ -102,8 +134,14 @@ SqsSimulation::snapshot() const
 {
     SqsResult result;
     result.converged = collection.allConverged();
-    result.events = sim.eventsExecuted();
-    result.simulatedTime = sim.now();
+    result.backend = backend();
+    if (stepperImpl) {
+        result.events = stepperImpl->executed();
+        result.simulatedTime = stepperImpl->now();
+    } else {
+        result.events = sim.eventsExecuted();
+        result.simulatedTime = sim.now();
+    }
     result.estimates = collection.estimates();
     if (failureTotals)
         result.failures = failureTotals();
@@ -122,7 +160,9 @@ SqsSimulation::run()
     std::uint64_t executed = 0;
     TerminationReason reason = TerminationReason::Converged;
     while (true) {
-        const std::uint64_t ran_now = sim.run(cfg.batchEvents);
+        const std::uint64_t ran_now = stepperImpl
+                                          ? stepperImpl->step(cfg.batchEvents)
+                                          : sim.run(cfg.batchEvents);
         executed += ran_now;
         if (batchObserver)
             batchObserver(*this, executed);
@@ -146,7 +186,8 @@ SqsSimulation::run()
             reason = TerminationReason::MaxEvents;
             break;
         }
-        if (cfg.maxSimTime != 0 && sim.now() >= cfg.maxSimTime) {
+        const Time simNow = stepperImpl ? stepperImpl->now() : sim.now();
+        if (cfg.maxSimTime != 0 && simNow >= cfg.maxSimTime) {
             warn("maxSimTime safety valve tripped before convergence");
             reason = TerminationReason::MaxSimTime;
             break;

@@ -24,9 +24,32 @@
 #include "queueing/failure.hh"
 #include "queueing/task_arena.hh"
 #include "sim/engine.hh"
+#include "sim/stepper.hh"
 #include "stats/collection.hh"
 
 namespace bighouse {
+
+/**
+ * Which simulation backend executes the model. Orthogonal to
+ * QueueBackend (the DES's pending-event structure): SimBackend picks
+ * *what simulates* — event dispatch or the vectorized Lindley
+ * recurrence — while QueueBackend only tunes the DES. Auto resolves to
+ * Recurrence when the built network is expressible (FCFS, no dispatch /
+ * failures / capping; see core/backend_select.hh) and to Des otherwise;
+ * results always carry the resolved choice, never Auto.
+ */
+enum class SimBackend
+{
+    Des,         ///< the reference discrete-event engine
+    Recurrence,  ///< vectorized FCFS G/G/k Lindley recurrence
+    Auto,        ///< pick Recurrence when eligible, else Des
+};
+
+/** Render a SimBackend as text ("des", "recurrence", "auto"). */
+const char* simBackendName(SimBackend backend);
+
+/** Inverse of simBackendName(); fatal() on unknown names. */
+SimBackend simBackendFromName(std::string_view name);
 
 /** Sampling defaults and safety valves for one SQS run. */
 struct SqsConfig
@@ -85,7 +108,10 @@ struct SqsResult
 {
     bool converged = false;
     TerminationReason termination = TerminationReason::Converged;
+    /// The backend that actually ran (never Auto).
+    SimBackend backend = SimBackend::Des;
     std::uint64_t events = 0;       ///< events executed by run()
+                                    ///< (tasks, under the recurrence)
     Time simulatedTime = 0;         ///< final simulated clock
     double wallSeconds = 0;         ///< host time spent inside run()
     std::vector<MetricEstimate> estimates;
@@ -147,6 +173,25 @@ class SqsSimulation
     /** Install the failure-totals probe (model-build time only). */
     void setFailureProbe(FailureProbe probe);
 
+    /**
+     * Replace the event engine as the thing run() advances: batches come
+     * from `stepper->step(batchEvents)` instead of Engine::run(), and
+     * events/simulatedTime in results are the stepper's units and clock.
+     * Everything else — warm-up, convergence polling, safety valves,
+     * batch observers — is unchanged. Model-build time only; the
+     * simulation owns the stepper.
+     */
+    void setStepper(std::unique_ptr<SimStepper> s);
+
+    /** The installed stepper (nullptr when the DES runs). */
+    const SimStepper* stepper() const { return stepperImpl.get(); }
+
+    /** The backend run()/snapshot() results will report. */
+    SimBackend backend() const
+    {
+        return stepperImpl ? SimBackend::Recurrence : SimBackend::Des;
+    }
+
     /** The installed probe ({} when the model has no failures). */
     const FailureProbe& failureProbe() const { return failureTotals; }
 
@@ -189,6 +234,7 @@ class SqsSimulation
     StatsCollection collection;
     Rng root;
     std::vector<std::shared_ptr<void>> model;
+    std::unique_ptr<SimStepper> stepperImpl;
     BatchObserver batchObserver;
     FailureProbe failureTotals;
     bool ran = false;

@@ -65,6 +65,8 @@ telemetryCounterName(TelemetryCounter counter)
         return "failures.backendsEjected";
       case TelemetryCounter::BackendsReadmitted:
         return "failures.backendsReadmitted";
+      case TelemetryCounter::RecurrenceTasks:
+        return "sim.recurrenceTasks";
       case TelemetryCounter::kCount:
         break;
     }

@@ -72,6 +72,7 @@ enum class TelemetryCounter
     TasksLost,          ///< failures.tasksLost (terminally lost)
     BackendsEjected,    ///< failures.backendsEjected (balancer health)
     BackendsReadmitted, ///< failures.backendsReadmitted
+    RecurrenceTasks,    ///< sim.recurrenceTasks (0 under the DES)
     kCount,
 };
 

@@ -1,0 +1,243 @@
+#include "sim/recurrence_backend.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "distribution/basic.hh"
+
+namespace bighouse {
+
+namespace {
+
+/// Threshold between the two k-slot min-structures in runStation: up to
+/// this many cores the earliest-free core is found by a branch-free
+/// linear scan; beyond it a binary min-heap bounds the per-task cost at
+/// O(log k). The crossover is generous because the scan's cmov chain is
+/// ~1 ns/slot while each heap level costs a data-dependent branch.
+constexpr std::size_t kScanCores = 16;
+
+} // namespace
+
+RecurrenceBackend::RecurrenceBackend(StatsCollection& stats,
+                                     std::size_t blockTasks)
+    : stats(stats), blockTasks(blockTasks)
+{
+    if (blockTasks == 0)
+        fatal("RecurrenceBackend blockTasks must be >= 1");
+    gaps.reserve(blockTasks);
+    demands.reserve(blockTasks);
+    sojourns.reserve(blockTasks);
+    waits.reserve(blockTasks);
+}
+
+void
+RecurrenceBackend::addStation(RecurrenceStationSpec spec)
+{
+    if (!spec.interarrival || !spec.service)
+        fatal("recurrence station needs both an inter-arrival and a "
+              "service distribution");
+    if (spec.cores == 0)
+        fatal("recurrence station needs at least one core");
+    if (spec.loadFactor <= 0.0)
+        fatal("recurrence station load factor must be > 0");
+    if (spec.speed <= 0.0)
+        fatal("recurrence station speed must be > 0 (the recurrence "
+              "cannot express paused or time-varying speed)");
+    Station station;
+    station.interarrival = std::move(spec.interarrival);
+    station.service = std::move(spec.service);
+    station.rng = spec.rng;
+    station.loadFactor = spec.loadFactor;
+    station.speed = spec.speed;
+    if (const auto* exp = dynamic_cast<const Exponential*>(
+            station.interarrival.get()))
+        station.expInterarrivalRate = exp->rateParam();
+    if (const auto* exp =
+            dynamic_cast<const Exponential*>(station.service.get()))
+        station.expServiceRate = exp->rateParam();
+    station.freeAt.assign(spec.cores, 0.0);
+    stations.push_back(std::move(station));
+}
+
+void
+RecurrenceBackend::recordResponseTime(StatsCollection::MetricId id)
+{
+    wantResponse = true;
+    responseId = id;
+}
+
+void
+RecurrenceBackend::recordWaitingTime(StatsCollection::MetricId id)
+{
+    wantWaiting = true;
+    waitingId = id;
+}
+
+Time
+RecurrenceBackend::now() const
+{
+    Time latest = 0.0;
+    for (const Station& station : stations)
+        latest = std::max(latest, station.clock);
+    return latest;
+}
+
+std::uint64_t
+RecurrenceBackend::step(std::uint64_t units)
+{
+    BH_ASSERT(!stations.empty(), "recurrence backend has no stations");
+    // Spread the batch evenly: station i gets floor(units/S) tasks plus
+    // one of the remainder. Stations are statistically independent, so
+    // the split only shapes how observations interleave within a batch.
+    const std::uint64_t count = stations.size();
+    const std::uint64_t base = units / count;
+    const std::uint64_t extra = units % count;
+    for (std::uint64_t i = 0; i < count; ++i)
+        runStation(stations[i], base + (i < extra ? 1 : 0));
+    tasksProcessed += units;
+    return units;
+}
+
+void
+RecurrenceBackend::runStation(Station& station, std::uint64_t tasks)
+{
+    // Bind the station's stream once: the fill loops below draw from a
+    // local reference, the same ownership shape Source::emit() has.
+    Rng& stream = station.rng;
+    const double arrivalRate = station.expInterarrivalRate;
+    const double serviceRate = station.expServiceRate;
+    const double loadFactor = station.loadFactor;
+    const double speed = station.speed;
+    const std::size_t cores = station.freeAt.size();
+    double* const freeAt = station.freeAt.data();
+
+    while (tasks > 0) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(tasks, blockTasks));
+        tasks -= n;
+
+        // Pre-sample the block. Draw order per task is (gap, demand),
+        // exactly the order Source consumes its stream in, so a station
+        // replays the DES source's draws value for value. Gaps are
+        // divided by the load factor and demands by the speed with the
+        // same expressions the DES uses (Source::scheduleNext, Server
+        // beginService) — bit-identical arithmetic, not just equivalent.
+        gaps.resize(n);
+        demands.resize(n);
+        if (arrivalRate > 0.0 && serviceRate > 0.0) {
+            // Both streams exponential: a branch-free loop whose only
+            // calls are the inlined Rng fast path, so the generator
+            // state stays in registers across the whole block. The
+            // draw order (gap, demand) and the arithmetic are the same
+            // as the general loop below — this is a code-shape
+            // specialization, not a numerical one.
+            for (std::size_t j = 0; j < n; ++j) {
+                gaps[j] = stream.exponential(arrivalRate) / loadFactor;
+                demands[j] = stream.exponential(serviceRate) / speed;
+            }
+        } else {
+            for (std::size_t j = 0; j < n; ++j) {
+                const double rawGap =
+                    arrivalRate > 0.0
+                        ? stream.exponential(arrivalRate)
+                        : station.interarrival->sample(stream);
+                gaps[j] = rawGap / loadFactor;
+                const double rawDemand =
+                    serviceRate > 0.0 ? stream.exponential(serviceRate)
+                                      : station.service->sample(stream);
+                demands[j] = rawDemand / speed;
+            }
+        }
+
+        // The Lindley pass. freeAt is a binary min-heap over the cores'
+        // next-free instants: the root is the earliest-free core, and
+        // replacing it with the new departure re-heapifies by one
+        // sift-down — O(log k) per task, O(1) for the G/G/1 case. Wait
+        // tracking is hoisted out of the loop: when no waiting-time
+        // metric is registered the per-task filter-and-append is dead
+        // work, so the loop runs without it.
+        sojourns.resize(n);
+        waits.clear();
+        double clock = station.clock;
+        if (cores == 1) {
+            double free0 = freeAt[0];
+            for (std::size_t j = 0; j < n; ++j) {
+                clock += gaps[j];
+                const double start = std::max(clock, free0);
+                free0 = start + demands[j];
+                sojourns[j] = free0 - clock;
+                if (wantWaiting) {
+                    // Wait events only: the DES records waiting time
+                    // only when a task actually queued (start > arrival).
+                    const double wait = start - clock;
+                    if (wait > 0.0)
+                        waits.push_back(wait);
+                }
+            }
+            freeAt[0] = free0;
+        } else if (cores <= kScanCores) {
+            // Small k: the k slots are an unordered array and the
+            // earliest-free core is found by a linear argmin scan. The
+            // comparisons compile to branch-free min/cmov chains, which
+            // beats a binary heap whose sift-down branches are
+            // data-dependent (≈50% mispredict under random departure
+            // order). Only the min *value* feeds the recurrence, so
+            // slot order never affects results.
+            for (std::size_t j = 0; j < n; ++j) {
+                clock += gaps[j];
+                std::size_t argmin = 0;
+                double minFree = freeAt[0];
+                for (std::size_t c = 1; c < cores; ++c) {
+                    const bool less = freeAt[c] < minFree;
+                    argmin = less ? c : argmin;
+                    minFree = less ? freeAt[c] : minFree;
+                }
+                const double start = std::max(clock, minFree);
+                const double depart = start + demands[j];
+                freeAt[argmin] = depart;
+                sojourns[j] = depart - clock;
+                if (wantWaiting) {
+                    const double wait = start - clock;
+                    if (wait > 0.0)
+                        waits.push_back(wait);
+                }
+            }
+        } else {
+            for (std::size_t j = 0; j < n; ++j) {
+                clock += gaps[j];
+                const double start = std::max(clock, freeAt[0]);
+                const double depart = start + demands[j];
+                std::size_t hole = 0;
+                for (;;) {
+                    const std::size_t left = 2 * hole + 1;
+                    if (left >= cores)
+                        break;
+                    const std::size_t right = left + 1;
+                    const std::size_t child =
+                        right < cores && freeAt[right] < freeAt[left]
+                            ? right
+                            : left;
+                    if (freeAt[child] >= depart)
+                        break;
+                    freeAt[hole] = freeAt[child];
+                    hole = child;
+                }
+                freeAt[hole] = depart;
+                sojourns[j] = depart - clock;
+                if (wantWaiting) {
+                    const double wait = start - clock;
+                    if (wait > 0.0)
+                        waits.push_back(wait);
+                }
+            }
+        }
+        station.clock = clock;
+
+        if (wantResponse)
+            stats.recordMany(responseId, sojourns);
+        if (wantWaiting)
+            stats.recordMany(waitingId, waits);
+    }
+}
+
+} // namespace bighouse

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * RecurrenceBackend — the vectorized Lindley-recurrence fast path for
+ * FCFS G/G/k stations (the queuecomputer reduction: FCFS queue
+ * simulation as a recurrence over pre-sampled arrival/service arrays).
+ *
+ * For a k-core FCFS server, services start in arrival order, so per-task
+ * times follow the Kiefer-Wolfowitz recurrence
+ *
+ *     start_j  = max(arrival_j, min_i freeAt[i])
+ *     depart_j = start_j + demand_j          (the min slot <- depart_j)
+ *     wait_j   = start_j - arrival_j,  sojourn_j = depart_j - arrival_j
+ *
+ * with freeAt a fixed k-slot min-structure over the cores' next-free
+ * times. No events, no queue, no callbacks — just array fills and one
+ * sequential pass — which is why this backend is an order of magnitude
+ * faster than event dispatch on the networks it can express.
+ *
+ * Stream discipline matches the DES exactly: each station owns the same
+ * split-per-source Rng the event-driven Source would own, and draws the
+ * identical (gap, demand) pairs in the identical order (gap_1, demand_1,
+ * gap_2, ...). On a single-core single-station model the per-task times
+ * — and therefore the entire observation sequence fed to the statistics
+ * pipeline — are bit-identical to the DES; with k > 1 or multiple
+ * stations only the observation *order* differs (the DES records in
+ * completion order, the recurrence in arrival order), so cross-backend
+ * agreement is distributional, not bitwise (see docs/backends.md).
+ *
+ * Eligibility (what this backend cannot express — time-varying speed,
+ * non-FCFS disciplines, failures, central dispatch) is decided statically
+ * by the analyzer in src/core/backend_select.hh.
+ */
+
+#ifndef BIGHOUSE_SIM_RECURRENCE_BACKEND_HH
+#define BIGHOUSE_SIM_RECURRENCE_BACKEND_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/time.hh"
+#include "distribution/distribution.hh"
+#include "sim/stepper.hh"
+#include "stats/collection.hh"
+
+namespace bighouse {
+
+/** One FCFS G/G/k station of the recurrence model (a Source + Server
+ *  pair in the DES). */
+struct RecurrenceStationSpec
+{
+    DistPtr interarrival;   ///< gap distribution (seconds)
+    DistPtr service;        ///< per-task demand at nominal speed
+    Rng rng;                ///< the station's dedicated stream
+    unsigned cores = 1;     ///< k
+    double loadFactor = 1.0;  ///< gaps are divided by this (load knob)
+    double speed = 1.0;       ///< constant speed factor (1/cpuSlowdown)
+};
+
+/** Vectorized FCFS G/G/k simulation over pre-sampled arrays. */
+class RecurrenceBackend : public SimStepper
+{
+  public:
+    /**
+     * @param stats destination for the generated observations
+     * @param blockTasks pre-sampling block size (scratch-array length);
+     *        batches are processed in blocks of at most this many tasks
+     */
+    explicit RecurrenceBackend(StatsCollection& stats,
+                               std::size_t blockTasks = 4096);
+
+    /** Add one station (call once per server, in server order, so the
+     *  Rng split sequence matches the DES build). */
+    void addStation(RecurrenceStationSpec spec);
+
+    /** Record each task's sojourn time under this metric id. */
+    void recordResponseTime(StatsCollection::MetricId id);
+
+    /** Record each queued task's wait (only waits > 0, matching the DES
+     *  wait-event convention) under this metric id. */
+    void recordWaitingTime(StatsCollection::MetricId id);
+
+    /**
+     * Process up to `units` tasks, spread evenly across stations, and
+     * feed their observations to the statistics collection. Open-loop
+     * stations never drain, so the return value always equals `units`.
+     */
+    std::uint64_t step(std::uint64_t units) override;
+
+    std::uint64_t executed() const override { return tasksProcessed; }
+
+    /** Latest arrival clock across stations (the recurrence analogue of
+     *  the DES engine clock; see docs/backends.md). */
+    Time now() const override;
+
+    std::size_t stationCount() const { return stations.size(); }
+
+  private:
+    struct Station
+    {
+        DistPtr interarrival;
+        DistPtr service;
+        Rng rng;
+        double loadFactor;
+        double speed;
+        /// Devirtualized fast path mirroring Source: when a distribution
+        /// is Exponential its rate is cached and sampling inlines to
+        /// rng.exponential(rate) — bit-identical to the virtual call.
+        double expInterarrivalRate = 0.0;
+        double expServiceRate = 0.0;
+        /// Min-heap over the k cores' next-free instants (root = the
+        /// earliest-free core). Slots are interchangeable, so the heap
+        /// stores bare times.
+        std::vector<double> freeAt;
+        Time clock = 0.0;  ///< last generated arrival instant
+    };
+
+    /** Run `tasks` tasks through one station, block by block. */
+    void runStation(Station& station, std::uint64_t tasks);
+
+    StatsCollection& stats;
+    std::vector<Station> stations;
+    const std::size_t blockTasks;
+    bool wantResponse = false;
+    bool wantWaiting = false;
+    StatsCollection::MetricId responseId = 0;
+    StatsCollection::MetricId waitingId = 0;
+    std::uint64_t tasksProcessed = 0;
+    /// Scratch arrays reused across blocks (the "flat arrays" of the
+    /// pre-sampling formulation).
+    std::vector<double> gaps;
+    std::vector<double> demands;
+    std::vector<double> sojourns;
+    std::vector<double> waits;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_SIM_RECURRENCE_BACKEND_HH

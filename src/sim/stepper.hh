@@ -1,0 +1,47 @@
+/**
+ * @file
+ * SimStepper — the seam that lets SqsSimulation drive something other
+ * than the discrete-event Engine between convergence polls.
+ *
+ * The SQS loop is backend-agnostic: it advances the simulation one batch
+ * at a time and asks the statistics layer whether every metric has
+ * converged. A stepper is whatever produces those batches — the event
+ * engine (the default, driven directly), or a vectorized backend like the
+ * Lindley-recurrence fast path that generates observations without
+ * dispatching events. Batch/valve/observer semantics are identical either
+ * way; only the meaning of a "unit" changes (events for the DES, tasks
+ * for the recurrence).
+ */
+
+#ifndef BIGHOUSE_SIM_STEPPER_HH
+#define BIGHOUSE_SIM_STEPPER_HH
+
+#include <cstdint>
+
+#include "base/time.hh"
+
+namespace bighouse {
+
+/** One batch-steppable simulation backend. */
+class SimStepper
+{
+  public:
+    virtual ~SimStepper() = default;
+
+    /**
+     * Advance up to `units` work units. @return units actually executed
+     * (< requested only when the backend has no more work to generate —
+     * the SQS loop treats that as a drained model).
+     */
+    virtual std::uint64_t step(std::uint64_t units) = 0;
+
+    /** Total units executed across all step() calls. */
+    virtual std::uint64_t executed() const = 0;
+
+    /** Simulated clock after the last step. */
+    virtual Time now() const = 0;
+};
+
+} // namespace bighouse
+
+#endif // BIGHOUSE_SIM_STEPPER_HH

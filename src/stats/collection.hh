@@ -16,6 +16,7 @@
 #define BIGHOUSE_STATS_COLLECTION_HH
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -57,6 +58,30 @@ class StatsCollection
             return;
         }
         recordDuringWarmup(id);
+    }
+
+    /**
+     * Offer a block of observations for one metric — bit-identical to
+     * calling record() per element, including the global warm-up gate
+     * opening anywhere inside the block (the observation that opens the
+     * gate is discarded, exactly as in the per-sample path; everything
+     * after it flows into the metric's bulk fast path).
+     */
+    void
+    recordMany(MetricId id, std::span<const double> xs)
+    {
+        BH_ASSERT(id < metrics.size(), "unknown metric id ", id);
+        if (warm) [[likely]] {
+            metrics[id]->recordMany(xs);
+            return;
+        }
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            if (warm) {
+                metrics[id]->recordMany(xs.subspan(i));
+                return;
+            }
+            recordDuringWarmup(id);
+        }
     }
 
     /** True once every metric has seen its Nw warm-up observations. */

@@ -153,6 +153,47 @@ Histogram::approximateMean() const
 }
 
 double
+Histogram::cdfAt(double x) const
+{
+    if (total == 0)
+        return 0.0;
+    if (x < minValue)
+        return 0.0;
+    if (x >= maxValue)
+        return 1.0;
+
+    double below = 0.0;
+    // Underflow mass: uniform over [minValue, lo), mirroring quantile().
+    if (x < layout.lo) {
+        if (underflow > 0 && layout.lo > minValue) {
+            below = static_cast<double>(underflow) * (x - minValue)
+                    / (layout.lo - minValue);
+        }
+        return below / static_cast<double>(total);
+    }
+    below = static_cast<double>(underflow);
+    if (x >= layout.hi) {
+        // Overflow mass: uniform over [hi, maxValue].
+        for (const std::uint64_t c : counts)
+            below += static_cast<double>(c);
+        if (overflow > 0 && maxValue > layout.hi) {
+            below += static_cast<double>(overflow) * (x - layout.hi)
+                     / (maxValue - layout.hi);
+        }
+        return below / static_cast<double>(total);
+    }
+    const double width = layout.binWidth();
+    auto bin = static_cast<std::size_t>((x - layout.lo) / width);
+    if (bin >= counts.size())
+        bin = counts.size() - 1;
+    for (std::size_t i = 0; i < bin; ++i)
+        below += static_cast<double>(counts[i]);
+    const double binLo = layout.lo + static_cast<double>(bin) * width;
+    below += static_cast<double>(counts[bin]) * (x - binLo) / width;
+    return below / static_cast<double>(total);
+}
+
+double
 Histogram::outOfRangeFraction() const
 {
     if (total == 0)

@@ -100,6 +100,16 @@ class Histogram
     /** Mean approximated from bin midpoints (useful for sanity checks). */
     double approximateMean() const;
 
+    /**
+     * Empirical CDF at x — the fraction of observations <= x, with mass
+     * spread uniformly within each bin (the same piecewise-uniform model
+     * quantile() inverts; underflow/overflow mass spreads between the
+     * observed extremes and the regular range). The backend-agreement
+     * tests compute Kolmogorov-Smirnov distances through this.
+     * Returns 0 on an empty histogram.
+     */
+    double cdfAt(double x) const;
+
     /** Fraction of observations outside the regular bins. */
     double outOfRangeFraction() const;
 

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -121,6 +122,46 @@ class OutputMetric
             return;
         }
         recordPreMeasurement(x);
+    }
+
+    /**
+     * Offer a block of observations — semantically `for (x : xs)
+     * record(x)`, bit-identical in every accumulator, histogram, and
+     * phase transition, but with the lag filter amortized per block: in
+     * the measurement steady state the loop jumps straight from one
+     * accepted observation to the next (lag-spacing stride) instead of
+     * bumping a counter per sample. The vectorized recurrence backend
+     * records whole batches through this path.
+     */
+    void
+    recordMany(std::span<const double> xs)
+    {
+        std::size_t i = 0;
+        const std::size_t n = xs.size();
+        // Cold prefix: route per-sample until calibration completes (the
+        // phase can flip to Measurement anywhere inside the block).
+        while (i < n
+               && static_cast<int>(currentPhase)
+                      < static_cast<int>(Phase::Measurement)) {
+            record(xs[i]);
+            ++i;
+        }
+        if (i == n)
+            return;
+        offered += n - i;
+        while (i < n) {
+            // record() accepts when ++sinceAccepted reaches lagSpacing;
+            // the next accepted element is therefore `need` samples in.
+            const std::uint64_t need = lagSpacing - sinceAccepted;
+            if (need > n - i) {
+                sinceAccepted += n - i;
+                return;
+            }
+            i += static_cast<std::size_t>(need) - 1;
+            sinceAccepted = 0;
+            acceptObservation(xs[i]);
+            ++i;
+        }
     }
 
     /** Current phase. */

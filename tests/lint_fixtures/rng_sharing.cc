@@ -18,3 +18,19 @@ draw()
 {
     thread_local Rng perThread;  // VIOLATION
 }
+
+// Pre-sampling loops must not reach through a stream owned by another
+// component — bind it once outside the loop and draw from the local
+// reference.
+void
+fill(Station& station, double* gaps, int n)
+{
+    for (int i = 0; i < n; ++i)
+        gaps[i] = station.rng.exponential(1.0);  // VIOLATION
+
+    int j = 0;
+    while (j < n) {
+        gaps[j] += station.rng.uniform01();  // VIOLATION
+        ++j;
+    }
+}

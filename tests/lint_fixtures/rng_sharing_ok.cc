@@ -18,3 +18,27 @@ use(Rng& rng)
     Rng scratch = rng.split();
     return scratch.uniform();
 }
+
+// The sanctioned pre-sampling shape: bind the owner's stream once,
+// draw from the local reference inside the loop.
+void
+fill(Station& station, double* gaps, int n)
+{
+    Rng& stream = station.rng;
+    for (int i = 0; i < n; ++i)
+        gaps[i] = stream.exponential(1.0);
+}
+
+struct Source
+{
+    Rng rng;
+
+    // Drawing from one's own member stream in a loop is ownership,
+    // not sharing.
+    void
+    emit(double* out, int n)
+    {
+        for (int i = 0; i < n; ++i)
+            out[i] = this->rng.uniform01();
+    }
+};

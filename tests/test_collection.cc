@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 #include "base/random.hh"
 #include "stats/collection.hh"
 
@@ -149,6 +152,43 @@ TEST(StatsCollection, EstimatesSnapshotHasAllMetrics)
     ASSERT_EQ(snapshot.size(), 2u);
     EXPECT_EQ(snapshot[0].name, "a");
     EXPECT_EQ(snapshot[1].name, "b");
+}
+
+/**
+ * The collection-level bulk path must match per-sample recording even
+ * when the global warm-up gate opens in the middle of a block (the
+ * opening observation is discarded either way).
+ */
+TEST(StatsCollection, RecordManyMatchesPerSampleAcrossWarmupGate)
+{
+    std::vector<double> sequence;
+    Rng rng(271);
+    for (int i = 0; i < 5000; ++i)
+        sequence.push_back(rng.exponential(1.0));
+
+    StatsCollection perSample;
+    const auto idA = perSample.addMetric(spec("latency", 137));
+    for (double x : sequence)
+        perSample.record(idA, x);
+
+    StatsCollection bulk;
+    const auto idB = bulk.addMetric(spec("latency", 137));
+    // 100-element blocks: the 137-sample warm-up target opens the gate
+    // inside the second block.
+    const std::span<const double> all(sequence);
+    for (std::size_t i = 0; i < sequence.size(); i += 100)
+        bulk.recordMany(idB, all.subspan(i, std::min<std::size_t>(
+                                                100, sequence.size() - i)));
+
+    EXPECT_TRUE(perSample.warmedUp());
+    EXPECT_TRUE(bulk.warmedUp());
+    const OutputMetric& a = perSample.metric(idA);
+    const OutputMetric& b = bulk.metric(idB);
+    EXPECT_EQ(a.offeredCount(), b.offeredCount());
+    EXPECT_EQ(a.acceptedCount(), b.acceptedCount());
+    EXPECT_EQ(a.phase(), b.phase());
+    EXPECT_EQ(a.estimate().mean, b.estimate().mean);
+    EXPECT_EQ(a.estimate().stddev, b.estimate().stddev);
 }
 
 } // namespace

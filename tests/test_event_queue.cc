@@ -33,8 +33,9 @@ class EventQueueBackends : public testing::TestWithParam<QueueBackend>
 INSTANTIATE_TEST_SUITE_P(
     Backends, EventQueueBackends,
     testing::Values(QueueBackend::BinaryHeap, QueueBackend::Calendar),
-    [](const testing::TestParamInfo<QueueBackend>& info) {
-        return info.param == QueueBackend::BinaryHeap ? "Heap" : "Calendar";
+    [](const testing::TestParamInfo<QueueBackend>& paramInfo) {
+        return paramInfo.param == QueueBackend::BinaryHeap ? "Heap"
+                                                           : "Calendar";
     });
 
 TEST_P(EventQueueBackends, PopsInTimeOrder)

@@ -615,6 +615,7 @@ TEST(FailureExperiment, DisabledPathPinnedToPreFailureGolden)
         },
         "cluster": {"servers": 1, "cores": 1},
         "metrics": {"response": true, "waiting": true},
+        "sim": {"backend": "des"},
         "sqs": {"accuracy": 0.1, "confidence": 0.95, "quantile": 0.95}
     })");
     const SqsResult result =

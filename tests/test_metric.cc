@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
+#include <vector>
 
 #include "base/random.hh"
 #include "stats/metric.hh"
@@ -276,6 +278,84 @@ TEST(OutputMetricDeathTest, InvalidSpecs)
     badQ.quantiles = {1.5};
     EXPECT_EXIT(OutputMetric{badQ}, ::testing::ExitedWithCode(1),
                 "quantile");
+}
+
+/**
+ * recordMany() must be bit-identical to a per-sample record() loop: same
+ * phase transitions, same lag arithmetic, same accumulator and histogram
+ * state — for every way the block boundaries can straddle the warm-up,
+ * calibration, and measurement transitions.
+ */
+TEST(OutputMetric, RecordManyIsBitIdenticalToPerSampleLoop)
+{
+    // Autocorrelated positives so calibration picks a lag > 1 and the
+    // stride arithmetic is actually exercised.
+    std::vector<double> sequence;
+    Rng rng(814);
+    double level = 1.0;
+    for (int i = 0; i < 60000; ++i) {
+        level = 0.9 * level + 0.1 * rng.exponential(1.0);
+        sequence.push_back(level);
+    }
+
+    OutputMetric perSample(quickSpec());
+    for (double x : sequence)
+        perSample.record(x);
+
+    // Odd, co-prime chunk sizes so block boundaries land on every phase
+    // edge and at every lag offset over the run.
+    OutputMetric bulk(quickSpec());
+    const std::size_t chunks[] = {1, 3, 7, 50, 641, 4096};
+    std::size_t i = 0, pick = 0;
+    const std::span<const double> all(sequence);
+    while (i < sequence.size()) {
+        const std::size_t n =
+            std::min(chunks[pick++ % std::size(chunks)],
+                     sequence.size() - i);
+        bulk.recordMany(all.subspan(i, n));
+        i += n;
+    }
+
+    EXPECT_EQ(perSample.phase(), bulk.phase());
+    EXPECT_EQ(perSample.lag(), bulk.lag());
+    EXPECT_EQ(perSample.offeredCount(), bulk.offeredCount());
+    EXPECT_EQ(perSample.acceptedCount(), bulk.acceptedCount());
+    const MetricEstimate a = perSample.estimate();
+    const MetricEstimate b = bulk.estimate();
+    EXPECT_EQ(a.mean, b.mean);
+    EXPECT_EQ(a.stddev, b.stddev);
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+    ASSERT_EQ(a.quantiles.size(), b.quantiles.size());
+    EXPECT_EQ(a.quantiles[0].value, b.quantiles[0].value);
+    EXPECT_EQ(perSample.histogram().serialize(),
+              bulk.histogram().serialize());
+}
+
+TEST(OutputMetric, RecordManyPartialBlockLeavesLagMidStride)
+{
+    // A block that ends between accepted samples must leave the lag
+    // counter exactly where the per-sample loop would.
+    OutputMetric perSample(quickSpec());
+    OutputMetric bulk(quickSpec());
+    std::vector<double> sequence;
+    Rng rng(11);
+    double level = 1.0;
+    for (int i = 0; i < 2000; ++i) {
+        level = 0.9 * level + 0.1 * rng.exponential(1.0);
+        sequence.push_back(level);
+    }
+    for (double x : sequence)
+        perSample.record(x);
+    bulk.recordMany(std::span<const double>(sequence));
+    ASSERT_GE(static_cast<int>(perSample.phase()),
+              static_cast<int>(Phase::Measurement));
+    EXPECT_EQ(perSample.offeredCount(), bulk.offeredCount());
+    EXPECT_EQ(perSample.acceptedCount(), bulk.acceptedCount());
+    // One more element lands both on the same side of the next accept.
+    perSample.record(5.0);
+    bulk.record(5.0);
+    EXPECT_EQ(perSample.acceptedCount(), bulk.acceptedCount());
 }
 
 } // namespace

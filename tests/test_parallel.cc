@@ -27,6 +27,10 @@ googleBuilder(double accuracy)
     spec.servers = 1;
     spec.coresPerServer = 16;
     spec.sqs.accuracy = accuracy;
+    // These tests assert event-denominated expectations (batch sizes,
+    // valve promptness, per-slave event shares), so pin the event engine
+    // rather than letting `auto` pick the recurrence fast path.
+    spec.simBackend = SimBackend::Des;
     auto experiment = std::make_shared<Experiment>(std::move(spec));
     return [experiment](SqsSimulation& sim) {
         experiment->buildInto(sim);
@@ -51,6 +55,7 @@ TEST(Parallel, MergedEstimateMatchesSerial)
     serialSpec.workload = scaledToLoad(makeWorkload("google"), 16, 0.5);
     serialSpec.coresPerServer = 16;
     serialSpec.sqs.accuracy = accuracy;
+    serialSpec.simBackend = SimBackend::Des;
     const SqsResult serial = Experiment(serialSpec.clone()).run(101);
     ASSERT_TRUE(serial.converged);
 

@@ -343,6 +343,13 @@ main(int argc, char** argv)
             TelemetrySlab& slab = telemetry.slab("serial");
             sampleRngTelemetry(slab);
             slab.set(TelemetryCounter::EventsExecuted, result.events);
+            // Under the recurrence backend "events" are tasks; surface
+            // them under their own name so dashboards can tell which
+            // execution path produced the run.
+            slab.set(TelemetryCounter::RecurrenceTasks,
+                     result.backend == SimBackend::Recurrence
+                         ? result.events
+                         : 0);
             slab.setGauge(TelemetryGauge::RunSeconds,
                           result.wallSeconds);
             if (result.failures.has_value())

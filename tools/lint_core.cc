@@ -157,7 +157,9 @@ compositeRuleInfo()
          "by-reference or bare-this lambda captures scheduled into the "
          "event queue"},
         {"rng-stream-sharing",
-         "static, global, aliased, or reference-counted Rng streams"},
+         "static, global, aliased, or reference-counted Rng streams; "
+         "pre-sampling loops drawing through another component's "
+         "stream"},
         {"atomics-discipline",
          "relaxed atomics outside src/obs, volatile-as-sync, plain "
          "access racing an atomic_ref"},

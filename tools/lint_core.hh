@@ -45,7 +45,9 @@
  *   raw-stderr          direct stderr writes outside base/logging, tools/
  *   callback-lifetime   by-reference or bare-this captures scheduled
  *                       into the event queue
- *   rng-stream-sharing  static/global/aliased/shared Rng streams
+ *   rng-stream-sharing  static/global/aliased/shared Rng streams, and
+ *                       pre-sampling loops drawing through another
+ *                       component's rng member
  *   atomics-discipline  relaxed atomics outside src/obs, volatile-as-
  *                       sync, racing past an atomic_ref
  *   stale-suppression   allow() annotations that match nothing

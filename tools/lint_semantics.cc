@@ -427,6 +427,102 @@ checkRngStreamSharing(const std::string& path, const ScanResult& scan,
                  sup, scan, findings);
         }
     }
+
+    // Pre-sampling loops that reach through another component's stream:
+    // `station.rng.exponential(...)` inside a for/while body draws from
+    // a stream the loop does not own. Even when the draw *order* works
+    // out today, the reach-through couples the loop to the owner's
+    // stream discipline (and re-resolves the member chain per
+    // iteration). The sanctioned shape — used by the recurrence
+    // backend's array fills — binds the owner's stream once outside
+    // the loop (`Rng& stream = station.rng;`) and draws from the local
+    // reference, keeping one visible owner per stream per scope.
+    static const std::set<std::string> drawMethods = {
+        "next",        "uniform01", "uniform",  "below",
+        "gaussian",    "exponential", "bernoulli", "split",
+    };
+    std::vector<std::pair<std::size_t, std::size_t>> loopBodies;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind != TokenKind::Keyword
+            || (t.text != "for" && t.text != "while"))
+            continue;
+        std::size_t k = nextTok(toks, i);
+        if (k == std::string::npos || !isPunct(toks[k], "("))
+            continue;
+        int parens = 0;
+        while (k != std::string::npos) {
+            if (isPunct(toks[k], "("))
+                ++parens;
+            else if (isPunct(toks[k], ")") && --parens == 0)
+                break;
+            k = nextTok(toks, k);
+        }
+        const std::size_t body =
+            k == std::string::npos ? k : nextTok(toks, k);
+        if (body == std::string::npos)
+            continue;
+        std::size_t end = body;
+        if (isPunct(toks[body], "{")) {
+            int braces = 0;
+            while (end != std::string::npos) {
+                if (isPunct(toks[end], "{"))
+                    ++braces;
+                else if (isPunct(toks[end], "}") && --braces == 0)
+                    break;
+                end = nextTok(toks, end);
+            }
+        } else {
+            while (end != std::string::npos && !isPunct(toks[end], ";"))
+                end = nextTok(toks, end);
+        }
+        if (end != std::string::npos)
+            loopBodies.emplace_back(body, end);
+    }
+    std::set<std::size_t> flagged;  // nested loops see a site twice
+    for (const auto& [lo, hi] : loopBodies) {
+        for (std::size_t j = lo;
+             j != std::string::npos && j <= hi; j = nextTok(toks, j)) {
+            if (toks[j].kind != TokenKind::Identifier
+                || toks[j].text != "rng")
+                continue;
+            const std::size_t dot = prevTok(toks, j);
+            if (dot == std::string::npos
+                || (!isPunct(toks[dot], ".") && !isPunct(toks[dot], "->")))
+                continue;
+            const std::size_t owner = prevTok(toks, dot);
+            // `this->rng` (keyword owner) is the component drawing from
+            // its own member; `foo().rng` chains are out of heuristic
+            // reach. Only a plain identifier owner is flaggable.
+            if (owner == std::string::npos
+                || toks[owner].kind != TokenKind::Identifier)
+                continue;
+            const std::size_t m = nextTok(toks, j);
+            if (m == std::string::npos || !isPunct(toks[m], "."))
+                continue;
+            const std::size_t method = nextTok(toks, m);
+            if (method == std::string::npos
+                || toks[method].kind != TokenKind::Identifier
+                || drawMethods.count(toks[method].text) == 0)
+                continue;
+            const std::size_t call = nextTok(toks, method);
+            if (call == std::string::npos || !isPunct(toks[call], "("))
+                continue;
+            if (!flagged.insert(j).second)
+                continue;
+            emit(path, rule, toks[j],
+                 "pre-sampling loop draws through '" + toks[owner].text
+                     + ".rng." + toks[method].text
+                     + "()': the loop reaches into a stream owned by "
+                       "another component on every iteration — bind it "
+                       "once outside the loop (Rng& stream = "
+                     + toks[owner].text
+                     + ".rng) and draw from the local reference, the "
+                       "per-source discipline the DES and the "
+                       "recurrence backend's array fills share",
+                 sup, scan, findings);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

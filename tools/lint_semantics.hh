@@ -17,7 +17,10 @@
  *
  *   rng-stream-sharing   static/global/thread_local Rng streams, Rng
  *                        reference or pointer members (aliasing a
- *                        stream owned elsewhere), and shared_ptr<Rng>.
+ *                        stream owned elsewhere), shared_ptr<Rng>, and
+ *                        pre-sampling loops that draw through another
+ *                        component's `rng` member per iteration
+ *                        (bind the stream once outside the loop).
  *                        Per-slave seed independence (paper §3) holds
  *                        only while every component draws from its own
  *                        split stream; a shared stream makes results
