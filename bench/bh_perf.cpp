@@ -23,11 +23,13 @@
  * seeds, ~1s total); --scenario limits the run to the named scenarios.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,6 +40,7 @@
 #include "core/experiment.hh"
 #include "distribution/basic.hh"
 #include "distribution/fit.hh"
+#include "obs/timeline.hh"
 #include "queueing/server.hh"
 #include "queueing/source.hh"
 #include "sim/engine.hh"
@@ -157,6 +160,14 @@ runMicroEventQueueHeap(bool quick)
  * Full-engine M/M/4 station at 70% utilization (micro_engine's BM_Mmk),
  * once per queue backend; checksums must agree across backends.
  */
+// The micro_engine / micro_timeline pair feeds a ratio gate (timeline
+// overhead <= 5%), so a single timing sample is not good enough:
+// scheduler jitter on a ~0.2 s run is itself several percent. Both
+// scenarios run kEngineReps fresh replays of the identical fixed-seed
+// workload and report the *fastest* — the standard minimum-of-N
+// estimator for the noise-free cost.
+constexpr int kEngineReps = 5;
+
 ScenarioResult
 runMicroEngineOn(bool quick, QueueBackend backend)
 {
@@ -166,21 +177,25 @@ runMicroEngineOn(bool quick, QueueBackend backend)
                                                     : "micro_engine_heap";
     result.unitName = "events";
 
-    Engine sim(backend);
-    Server server(sim, 4);
-    Source source(sim, server, std::make_unique<Exponential>(0.7 * 4),
-                  std::make_unique<Exponential>(1.0), Rng(1));
-    source.start();
+    result.wallSeconds = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kEngineReps; ++rep) {
+        Engine sim(backend);
+        Server server(sim, 4);
+        Source source(sim, server, std::make_unique<Exponential>(0.7 * 4),
+                      std::make_unique<Exponential>(1.0), Rng(1));
+        source.start();
 
-    const Stopwatch watch;
-    std::uint64_t events = 0;
-    while (events < target)
-        events += sim.run(target - events);
-    result.wallSeconds = watch.seconds();
-    result.units = events;
-    result.checksum = sim.now();
+        const Stopwatch watch;
+        std::uint64_t events = 0;
+        while (events < target)
+            events += sim.run(target - events);
+        result.wallSeconds = std::min(result.wallSeconds, watch.seconds());
+        result.units = events;
+        result.checksum = sim.now();
+    }
     result.extra["cores"] = JsonValue(4);
     result.extra["backend"] = JsonValue(queueBackendName(backend));
+    result.extra["reps"] = JsonValue(kEngineReps);
     return result;
 }
 
@@ -188,6 +203,85 @@ ScenarioResult
 runMicroEngine(bool quick)
 {
     return runMicroEngineOn(quick, QueueBackend::Calendar);
+}
+
+/**
+ * micro_engine with the timeline probes live: the identical fixed-seed
+ * M/M/4 workload with a Timeline collecting queue-depth / busy-core /
+ * availability gauges from the server state probe. The checksum must
+ * equal micro_engine's exactly (probes draw no RNG and schedule no
+ * events), and check_perf.sh gates the ns/event overhead against the
+ * uninstrumented twin.
+ */
+ScenarioResult
+runMicroTimeline(bool quick)
+{
+    const std::uint64_t target = quick ? 200000 : 4000000;
+    ScenarioResult result;
+    result.name = "micro_timeline";
+    result.unitName = "events";
+
+    // The overhead ratio needs a *paired* measurement: bare and
+    // instrumented replays alternate within this one scenario so both
+    // minimums sample the same few seconds of host frequency / steal
+    // time. Comparing against the separately-run micro_engine number
+    // would fold minutes of drift into a single-digit-percent gate.
+    result.wallSeconds = std::numeric_limits<double>::infinity();
+    double bareSeconds = std::numeric_limits<double>::infinity();
+    std::uint64_t windows = 0;
+    double tracks = 0.0;
+    for (int rep = 0; rep < kEngineReps; ++rep) {
+        {
+            Engine sim(QueueBackend::Calendar);
+            Server server(sim, 4);
+            Source source(sim, server,
+                          std::make_unique<Exponential>(0.7 * 4),
+                          std::make_unique<Exponential>(1.0), Rng(1));
+            source.start();
+            const Stopwatch watch;
+            std::uint64_t events = 0;
+            while (events < target)
+                events += sim.run(target - events);
+            bareSeconds = std::min(bareSeconds, watch.seconds());
+        }
+
+        TimelineSpec tlSpec;
+        // ~2.8 tasks/simulated-second: 1000 s windows keep the harvest
+        // a few dozen windows in full mode without tripping the
+        // maxWindows valve.
+        tlSpec.window = 1000.0;
+        Timeline timeline(tlSpec);
+        timeline.registerServers(1);
+
+        Engine sim(QueueBackend::Calendar);
+        Server server(sim, 4);
+        server.setStateProbe(&Timeline::serverProbe, &timeline, 0);
+        Source source(sim, server, std::make_unique<Exponential>(0.7 * 4),
+                      std::make_unique<Exponential>(1.0), Rng(1));
+        source.start();
+
+        const Stopwatch watch;
+        std::uint64_t events = 0;
+        while (events < target)
+            events += sim.run(target - events);
+        result.wallSeconds = std::min(result.wallSeconds, watch.seconds());
+        result.units = events;
+        result.checksum = sim.now();
+        const TimelineData data = timeline.harvest(sim.now());
+        tracks = static_cast<double>(data.tracks.size());
+        for (const TimelineTrackData& track : data.tracks)
+            windows =
+                std::max<std::uint64_t>(windows, track.windows.size());
+    }
+    result.extra["bare_ns_per_event"] =
+        JsonValue(bareSeconds * 1e9 / static_cast<double>(target));
+    result.extra["cores"] = JsonValue(4);
+    result.extra["backend"] =
+        JsonValue(queueBackendName(QueueBackend::Calendar));
+    result.extra["tracks"] = JsonValue(tracks);
+    result.extra["windows"] = JsonValue(static_cast<double>(windows));
+    result.extra["reps"] = JsonValue(kEngineReps);
+    return result;
 }
 
 ScenarioResult
@@ -397,8 +491,9 @@ printUsage()
     std::printf(
         "usage: bh_perf [--quick] [--out PATH] [--scenario NAME ...]\n"
         "scenarios: micro_event_queue micro_event_queue_heap "
-        "micro_engine micro_engine_heap micro_stats micro_recurrence "
-        "fig7_scaling fig7_scaling_fcfs fig7_scaling_recurrence\n");
+        "micro_engine micro_engine_heap micro_timeline micro_stats "
+        "micro_recurrence fig7_scaling fig7_scaling_fcfs "
+        "fig7_scaling_recurrence\n");
 }
 
 } // namespace
@@ -407,7 +502,7 @@ int
 main(int argc, char** argv)
 {
     bool quick = false;
-    std::string outPath = "BENCH_5.json";
+    std::string outPath = "BENCH_6.json";
     std::vector<std::string> selected;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -443,6 +538,7 @@ main(int argc, char** argv)
         {"micro_event_queue_heap", runMicroEventQueueHeap},
         {"micro_engine", runMicroEngine},
         {"micro_engine_heap", runMicroEngineHeap},
+        {"micro_timeline", runMicroTimeline},
         {"micro_stats", runMicroStats},
         {"micro_recurrence", runMicroRecurrence},
         {"fig7_scaling", runFig7Scaling},

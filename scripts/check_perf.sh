@@ -36,7 +36,7 @@ echo "== bh_perf ${MODE:-(full)}"
 # The committed full-mode baseline, used for the DES-checksum drift gate
 # (only comparable when this run is also full-mode: --quick shrinks the
 # workloads, so quick checksums legitimately differ).
-BASELINE="${SOURCE_DIR}/BENCH_4.json"
+BASELINE="${SOURCE_DIR}/BENCH_5.json"
 
 echo "== validating ${OUT}"
 if command -v python3 >/dev/null 2>&1; then
@@ -74,6 +74,34 @@ for calendar_name in ("micro_event_queue", "micro_engine"):
     assert calendar["events"] == heap["events"], calendar_name
     print("   %s: calendar/heap checksums agree" % calendar_name)
 
+# Timeline overhead gate: micro_timeline replays micro_engine's exact
+# fixed-seed workload with the observability probes live. The probes
+# must not perturb the event stream (checksums bit-identical), and the
+# scenario's own interleaved bare/instrumented pairing bounds the
+# ns/event overhead: ~9% measured on this probe-saturated worst case
+# (every event flips a gauge), gated at 15% in full mode so real
+# regressions fail while VM frequency/steal jitter does not. Quick mode
+# measures ~50 ms of work, where jitter swamps any tight margin, so it
+# only sanity-checks against gross (2x) regressions.
+if "micro_engine" in by_name and "micro_timeline" in by_name:
+    bare = by_name["micro_engine"]
+    instrumented = by_name["micro_timeline"]
+    assert bare["checksum"] == instrumented["checksum"], (
+        "timeline probes perturbed the event stream: bare=%r "
+        "instrumented=%r"
+        % (bare["checksum"], instrumented["checksum"]))
+    assert bare["events"] == instrumented["events"]
+    paired_bare = instrumented["bare_ns_per_event"]
+    overhead = instrumented["ns_per_event"] / paired_bare
+    bound = 1.15 if full_mode else 2.0
+    assert overhead <= bound, (
+        "timeline overhead %.1f%% exceeds the %.0f%% gate (paired bare "
+        "%.1f ns/event, instrumented %.1f ns/event)"
+        % ((overhead - 1.0) * 100.0, (bound - 1.0) * 100.0,
+           paired_bare, instrumented["ns_per_event"]))
+    print("   micro_timeline: checksum matches micro_engine, "
+          "overhead %+.1f%%" % ((overhead - 1.0) * 100.0))
+
 # Recurrence speedup gate: the vectorized backend must beat event
 # dispatch by >= 10x ns/task on the eligible FCFS scaling twin. The twin
 # checksums are NOT compared — the backends stop at different simulated
@@ -101,8 +129,8 @@ if full_mode and os.path.exists(baseline_path):
         base_by_name = {e["name"]: e for e in base["scenarios"]}
         checked = 0
         for name in ("micro_event_queue", "micro_event_queue_heap",
-                     "micro_engine", "micro_engine_heap", "micro_stats",
-                     "fig7_scaling"):
+                     "micro_engine", "micro_engine_heap",
+                     "micro_timeline", "micro_stats", "fig7_scaling"):
             if name not in by_name or name not in base_by_name:
                 continue
             assert by_name[name]["checksum"] == \

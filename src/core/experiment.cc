@@ -7,6 +7,7 @@
 #include "base/strings.hh"
 #include "core/backend_select.hh"
 #include "core/dist_config.hh"
+#include "obs/timeline.hh"
 #include "distribution/fit.hh"
 #include "policy/powernap.hh"
 #include "queueing/ps_server.hh"
@@ -57,6 +58,7 @@ ExperimentSpec::clone() const
     copy.recordCappingLevel = recordCappingLevel;
     copy.recordServerPower = recordServerPower;
     copy.simBackend = simBackend;
+    copy.timeline = timeline;
     copy.sqs = sqs;
     return copy;
 }
@@ -210,6 +212,19 @@ Experiment::buildInto(SqsSimulation& sim) const
             recurrence->recordResponseTime(responseId);
         if (spec.recordWaitingTime)
             recurrence->recordWaitingTime(waitingId);
+        if (spec.timeline.has_value()) {
+            // The recurrence has no event stream; the timeline degrades
+            // to per-task wait/sojourn sample windows keyed by arrival,
+            // with the limitation recorded in the output header.
+            auto timeline = std::make_shared<Timeline>(*spec.timeline);
+            timeline->enableRecurrenceTracks();
+            timeline->setNote(
+                "recurrence backend: per-task wait/sojourn sample "
+                "windows only (no event stream to probe)");
+            recurrence->setSampleProbe(&Timeline::recurrenceProbe,
+                                       timeline.get());
+            sim.setTimeline(std::move(timeline));
+        }
         sim.setStepper(std::move(recurrence));
         return;
     }
@@ -528,6 +543,41 @@ Experiment::buildInto(SqsSimulation& sim) const
         });
     }
 
+    if (spec.timeline.has_value()) {
+        // Attached last: probes observe the fully wired network, and the
+        // attachment itself touches no RNG stream and schedules no event,
+        // so an instrumented build replays the bare build draw for draw.
+        auto timeline = std::make_shared<Timeline>(*spec.timeline);
+        if (!model->servers.empty()) {
+            timeline->registerServers(model->servers.size());
+            for (std::size_t i = 0; i < model->servers.size(); ++i) {
+                model->servers[i]->setStateProbe(&Timeline::serverProbe,
+                                                 timeline.get(), i);
+            }
+        } else {
+            timeline->setNote("server-state tracks require the fcfs "
+                              "server model");
+        }
+        if (model->balancer != nullptr) {
+            timeline->enableBalancerTracks();
+            model->balancer->setProbes(&sim.engine(),
+                                       &Timeline::dispatchProbe,
+                                       &Timeline::healthProbe,
+                                       timeline.get());
+        }
+        if (failing && !model->failures->retries.empty()) {
+            timeline->enableRetryTracks();
+            timeline->registerRetryQueues(model->failures->retries.size());
+            for (std::size_t i = 0; i < model->failures->retries.size();
+                 ++i) {
+                model->failures->retries[i]->setProbes(
+                    &Timeline::retryProbe, &Timeline::outcomeProbe,
+                    timeline.get(), i);
+            }
+        }
+        sim.setTimeline(std::move(timeline));
+    }
+
     sim.holdModel(std::move(model));
 }
 
@@ -557,7 +607,7 @@ Experiment::configKeys()
         "workload",   "cluster",     "serverModel", "dreamweaver",
         "powernap",   "dispatch",    "loadFactor",  "cpuSlowdown",
         "metrics",    "sqs",         "capping",     "failures",
-        "engine",     "sim",
+        "engine",     "sim",         "timeline",
     };
     return keys;
 }
@@ -700,6 +750,34 @@ Experiment::specFromConfig(const Config& config, bool strict)
         }
         spec.simBackend =
             simBackendFromName(config.getString("sim.backend", "auto"));
+    }
+
+    if (config.has("timeline")) {
+        const JsonValue* node = config.resolve("timeline");
+        if (node == nullptr || !node->isObject())
+            fatal("config key 'timeline' must be an object");
+        if (strict) {
+            static const std::vector<std::string_view> timelineKeys = {
+                "window",       "maxWindows", "queueDepth", "busyCores",
+                "availability", "dispatch",   "retries",
+            };
+            rejectUnknownKeys(*node, timelineKeys, "timeline block");
+        }
+        TimelineSpec timeline;
+        timeline.window = config.getDouble("timeline.window", 1.0);
+        timeline.maxWindows = static_cast<std::uint64_t>(
+            config.getInt("timeline.maxWindows", 65536));
+        if (timeline.window <= 0.0)
+            fatal("timeline.window must be > 0, got ", timeline.window);
+        if (timeline.maxWindows == 0)
+            fatal("timeline.maxWindows must be >= 1");
+        timeline.queueDepth = config.getBool("timeline.queueDepth", true);
+        timeline.busyCores = config.getBool("timeline.busyCores", true);
+        timeline.availability =
+            config.getBool("timeline.availability", true);
+        timeline.dispatch = config.getBool("timeline.dispatch", true);
+        timeline.retries = config.getBool("timeline.retries", true);
+        spec.timeline = timeline;
     }
 
     if (config.has("capping")) {

@@ -129,6 +129,11 @@ struct ExperimentSpec
     /// forced Recurrence on an inexpressible network is fatal (see
     /// core/backend_select.hh).
     SimBackend simBackend = SimBackend::Auto;
+    /// Present -> a Timeline is attached: simulated-time windowed series
+    /// of queue depth, busy cores, availability, dispatch/ejection waves
+    /// and retry occupancy (config `timeline` block). Probes are read-
+    /// only and draw no RNG, so results stay bit-identical.
+    std::optional<TimelineSpec> timeline;
     SqsConfig sqs;
 
     /** Deep copy (distributions cloned). */

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "base/strings.hh"
+#include "obs/timeline.hh"
 
 namespace bighouse {
 
@@ -188,6 +189,9 @@ resultToJson(const SqsResult& result)
     // the pre-failure schema.
     if (result.failures.has_value())
         obj.emplace("failures", failureTotalsToJson(*result.failures));
+    // Absent for timeline-off runs, for the same reason.
+    if (result.timeline.has_value())
+        obj.emplace("timeline", timelineDataToJson(*result.timeline));
     return JsonValue(std::move(obj));
 }
 
@@ -228,6 +232,9 @@ resultFromJson(const JsonValue& json)
     const JsonValue* failures = json.find("failures");
     if (failures != nullptr && failures->isObject())
         result.failures = failureTotalsFromJson(*failures);
+    const JsonValue* timeline = json.find("timeline");
+    if (timeline != nullptr && timeline->isObject())
+        result.timeline = timelineDataFromJson(*timeline);
     return result;
 }
 

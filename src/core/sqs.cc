@@ -121,6 +121,13 @@ SqsSimulation::setStepper(std::unique_ptr<SimStepper> s)
     stepperImpl = std::move(s);
 }
 
+void
+SqsSimulation::setTimeline(std::shared_ptr<Timeline> t)
+{
+    BH_ASSERT(!ran, "setTimeline() after run()");
+    timelineImpl = std::move(t);
+}
+
 std::uint64_t
 SqsSimulation::runBatch(std::uint64_t events)
 {
@@ -145,6 +152,8 @@ SqsSimulation::snapshot() const
     result.estimates = collection.estimates();
     if (failureTotals)
         result.failures = failureTotals();
+    if (timelineImpl)
+        result.timeline = timelineImpl->harvest(result.simulatedTime);
     return result;
 }
 

@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "base/random.hh"
+#include "obs/timeline.hh"
 #include "queueing/failure.hh"
 #include "queueing/task_arena.hh"
 #include "sim/engine.hh"
@@ -119,6 +120,10 @@ struct SqsResult
     /// simulates failures (absent totals keep the result JSON schema
     /// byte-identical to failure-free runs).
     std::optional<FailureTotals> failures;
+    /// Simulated-time observability timeline — present only when a
+    /// Timeline was attached to the simulation (absence keeps the
+    /// result JSON byte-identical to timeline-off runs).
+    std::optional<TimelineData> timeline;
 };
 
 /** One simulation instance (the master's, or one slave's). */
@@ -195,6 +200,19 @@ class SqsSimulation
     /** The installed probe ({} when the model has no failures). */
     const FailureProbe& failureProbe() const { return failureTotals; }
 
+    /**
+     * Attach the observability timeline. The model builder wires the
+     * instance's probes into the network it constructs; once attached,
+     * every snapshot()/run() result carries the harvested windows.
+     * Probes are read-only and draw no RNG, so an attached timeline
+     * never perturbs simulation results. Model-build time only.
+     */
+    void setTimeline(std::shared_ptr<Timeline> t);
+
+    /** The attached timeline (nullptr when observability is off). */
+    Timeline* timeline() { return timelineImpl.get(); }
+    const Timeline* timeline() const { return timelineImpl.get(); }
+
     /** A MetricSpec pre-filled with this run's configured defaults. */
     MetricSpec defaultMetricSpec(std::string name) const;
 
@@ -235,6 +253,7 @@ class SqsSimulation
     Rng root;
     std::vector<std::shared_ptr<void>> model;
     std::unique_ptr<SimStepper> stepperImpl;
+    std::shared_ptr<Timeline> timelineImpl;
     BatchObserver batchObserver;
     FailureProbe failureTotals;
     bool ran = false;

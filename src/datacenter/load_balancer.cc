@@ -51,6 +51,8 @@ LoadBalancer::setServerHealth(std::size_t index, bool nowHealthy)
         ++readmissions;
     else
         ++ejections;
+    if (healthProbe != nullptr)
+        healthProbe(probeCtx, probeEngine->now(), nowHealthy);
     // Rebuild the dense admitted list in ascending order, so the full-
     // health list is exactly [0..N) and every discipline's scan order is
     // deterministic.
@@ -130,6 +132,8 @@ LoadBalancer::accept(Task task)
     const std::size_t target = pick();
     ++routed;
     ++counts[target];
+    if (dispatchProbe != nullptr) [[unlikely]]
+        dispatchProbe(probeCtx, probeEngine->now());
     servers[target]->accept(std::move(task));
 }
 

@@ -91,6 +91,26 @@ class LoadBalancer : public TaskAcceptor
         return counts;
     }
 
+    /// Timeline probes: plain function pointers (never std::function —
+    /// dispatch is on the per-task hot path), timestamped from the
+    /// engine the probes were installed with. Read-only observers: they
+    /// must not mutate the simulation, schedule events, or draw RNG.
+
+    /** Called after every successful route. */
+    using DispatchProbe = void (*)(void* ctx, Time now);
+    /** Called on every admit/eject edge (admitted = new state). */
+    using HealthProbe = void (*)(void* ctx, Time now, bool admitted);
+
+    /** Install the timeline probes (model-build time only). */
+    void setProbes(const Engine* engine, DispatchProbe onDispatch,
+                   HealthProbe onHealth, void* ctx)
+    {
+        probeEngine = engine;
+        dispatchProbe = onDispatch;
+        healthProbe = onHealth;
+        probeCtx = ctx;
+    }
+
   private:
     std::size_t pick();
 
@@ -111,6 +131,10 @@ class LoadBalancer : public TaskAcceptor
     std::uint64_t ejections = 0;
     std::uint64_t readmissions = 0;
     std::vector<std::uint64_t> counts;
+    const Engine* probeEngine = nullptr;
+    DispatchProbe dispatchProbe = nullptr;
+    HealthProbe healthProbe = nullptr;
+    void* probeCtx = nullptr;
 };
 
 /**

@@ -760,6 +760,30 @@ ParallelRunner::execute(std::uint64_t rootSeed,
     result.degraded = result.healthySlaves < cfg.slaves;
 
     result.estimates = master.stats().estimates();
+
+    // Timelines of every merged contributor. All slave threads have
+    // joined (or drained from the pool), so the sims are quiescent; the
+    // lock only satisfies the helpers' contract, like the block above.
+    if (master.timeline() != nullptr) {
+        std::lock_guard<std::mutex> lock(mtx);
+        auto harvestTimeline = [](const SqsSimulation& sim,
+                                  std::string label) {
+            TimelineData data = sim.timeline()->harvest(
+                sim.stepper() != nullptr ? sim.stepper()->now()
+                                         : sim.engine().now());
+            data.source = std::move(label);
+            return data;
+        };
+        result.timelines.reserve(1 + cfg.slaves);
+        result.timelines.push_back(harvestTimeline(master, "master"));
+        for (std::size_t s = 0; s < cfg.slaves; ++s) {
+            if (healthy(s)) {
+                result.timelines.push_back(harvestTimeline(
+                    *slaves[s], "slave-" + std::to_string(s)));
+            }
+        }
+    }
+
     result.slaveCalibrationEvents.resize(cfg.slaves);
     result.slaveTotalEvents.resize(cfg.slaves);
     if (failuresPresent)

@@ -165,6 +165,12 @@ struct ParallelResult
     /// Summed failure totals (master + every slave that ran); present
     /// only when the model installs a failure probe.
     std::optional<FailureTotals> failures;
+    /// One timeline per merged contributor (master first, then each
+    /// healthy slave as "slave-N"), all over master-aligned windows;
+    /// empty when the model attaches no Timeline. Kept as separate
+    /// tracks rather than pre-merged: per-slave series are the whole
+    /// point (straggler onset, divergent failure waves).
+    std::vector<TimelineData> timelines;
 
     /// True when at least one slave's sample was excluded from the
     /// merge (the estimate is built from a reduced quorum).

@@ -60,6 +60,8 @@ RetryQueue::accept(Task task)
     auto [it, inserted] = inflight.emplace(id, std::move(flight));
     BH_ASSERT(inserted, "duplicate task id ", id, " offered to RetryQueue");
     (void)it;
+    if (occupancyProbe != nullptr)
+        occupancyProbe(probeCtx, probeId, engine.now(), inflight.size());
     offer(std::move(task));
 }
 
@@ -90,6 +92,10 @@ RetryQueue::resolve(std::uint64_t id, const Task& task, bool ok)
         ++counters.tasksCompletedOk;
     else
         ++counters.tasksLost;
+    if (occupancyProbe != nullptr)
+        occupancyProbe(probeCtx, probeId, engine.now(), inflight.size());
+    if (outcomeProbe != nullptr)
+        outcomeProbe(probeCtx, engine.now(), ok);
     if (onOutcome)
         onOutcome(task, ok);
 }

@@ -93,6 +93,26 @@ class RetryQueue : public TaskAcceptor
     /** Tasks currently in flight (offered, not yet resolved). */
     std::size_t outstanding() const { return inflight.size(); }
 
+    /// Timeline probes (read-only observers; plain function pointers so
+    /// the unset case costs one predictable branch per transition).
+
+    /** Called whenever the in-flight population changes. The id lets a
+     *  collector aggregate across the cluster's retry queues. */
+    using OccupancyProbe = void (*)(void* ctx, std::size_t id, Time now,
+                                    std::size_t outstanding);
+    /** Called on every terminal outcome (ok = completed successfully). */
+    using OutcomeProbe = void (*)(void* ctx, Time now, bool ok);
+
+    /** Install the timeline probes (model-build time only). */
+    void setProbes(OccupancyProbe onOccupancy, OutcomeProbe onOutcomeEdge,
+                   void* ctx, std::size_t id)
+    {
+        occupancyProbe = onOccupancy;
+        outcomeProbe = onOutcomeEdge;
+        probeCtx = ctx;
+        probeId = id;
+    }
+
     /**
      * Backoff delay before re-offering attempt `attempt` (>= 1):
      * min(base * factor^(attempt-1), max), computed in closed form so it
@@ -128,6 +148,10 @@ class RetryQueue : public TaskAcceptor
     double clampExponent;
     FailureCounters& counters;
     OutcomeHandler onOutcome;
+    OccupancyProbe occupancyProbe = nullptr;
+    OutcomeProbe outcomeProbe = nullptr;
+    void* probeCtx = nullptr;
+    std::size_t probeId = 0;
     using FlightMap =
         std::unordered_map<std::uint64_t, Flight, std::hash<std::uint64_t>,
                            std::equal_to<std::uint64_t>,

@@ -184,6 +184,7 @@ Server::fail(TaskDisposition disposition)
         // Progress conserved on the cores; nothing moves.
         break;
     }
+    notifyProbe();
 }
 
 void
@@ -199,6 +200,7 @@ Server::repair()
             scheduleCompletion(i);
     }
     dispatch();
+    notifyProbe();
 }
 
 } // namespace bighouse

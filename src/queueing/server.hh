@@ -147,6 +147,27 @@ class Server : public TaskAcceptor
     std::uint64_t arrivedCount() const { return arrived; }
     std::uint64_t completedCount() const { return completed; }
 
+    /**
+     * Read-only state probe for the timeline observability layer: a
+     * plain function pointer (no std::function allocation on the hot
+     * path) invoked after every state-changing entry point — accept,
+     * finish, fail, repair — with the server's externally visible state.
+     * The probe must not mutate the simulation, schedule events, or
+     * draw RNG: instrumented runs stay bit-identical to bare runs.
+     * Costs one predictable null test per event when unset.
+     */
+    using StateProbe = void (*)(void* ctx, std::size_t id, Time now,
+                                std::size_t queued, unsigned busy,
+                                bool up);
+
+    /** Install the state probe (model-build time only). */
+    void setStateProbe(StateProbe fn, void* ctx, std::size_t id)
+    {
+        probe = fn;
+        probeCtx = ctx;
+        probeId = id;
+    }
+
   private:
     struct Core
     {
@@ -201,6 +222,16 @@ class Server : public TaskAcceptor
     /** Hand a task to the lost handler (or let it vanish). */
     void lose(Task task, TaskLoss loss);
 
+    /** Report post-event state to the timeline probe, if installed. */
+    void
+    notifyProbe()
+    {
+        if (probe != nullptr) [[unlikely]] {
+            probe(probeCtx, probeId, engine.now(), queue.size(),
+                  static_cast<unsigned>(busyCount), serverUp);
+        }
+    }
+
     Engine& engine;
     std::vector<Core> cores;
     /// Bit i set = cores[i] idle; maintained only while cores.size() <=
@@ -216,6 +247,9 @@ class Server : public TaskAcceptor
     std::uint64_t completed = 0;
     bool serverUp = true;
     bool rejectWhenDown = false;
+    StateProbe probe = nullptr;
+    void* probeCtx = nullptr;
+    std::size_t probeId = 0;
     Time lastAccounting = 0.0;
     double occupiedIntegral = 0.0;
     double idleIntegral = 0.0;
@@ -305,15 +339,18 @@ Server::accept(Task task)
             return;
         }
         queue.push_back(std::move(task));
+        notifyProbe();
         return;
     }
     // Invariant: a non-empty queue implies no free core.
     if (busyCount < cores.size()) {
         BH_ASSERT(queue.empty(), "free core with a non-empty queue");
         beginService(firstIdleCore(), std::move(task));
+        notifyProbe();
         return;
     }
     queue.push_back(std::move(task));
+    notifyProbe();
 }
 
 inline void
@@ -343,6 +380,9 @@ Server::finish(std::size_t coreIndex)
     done.remaining = 0.0;
     done.finishTime = engine.now();
     dispatch();
+    // Probe before onComplete: the handler may synchronously feed other
+    // stations, whose own probes should observe this one settled first.
+    notifyProbe();
     if (onComplete)
         onComplete(done);
 }

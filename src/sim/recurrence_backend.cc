@@ -159,6 +159,7 @@ RecurrenceBackend::runStation(Station& station, std::uint64_t tasks)
         sojourns.resize(n);
         waits.clear();
         double clock = station.clock;
+        const double blockStart = clock;
         if (cores == 1) {
             double free0 = freeAt[0];
             for (std::size_t j = 0; j < n; ++j) {
@@ -232,6 +233,21 @@ RecurrenceBackend::runStation(Station& station, std::uint64_t tasks)
             }
         }
         station.clock = clock;
+
+        if (sampleProbe != nullptr) {
+            // Timeline degradation path, off the hot loops: arrivals are
+            // reconstructed by re-accumulating the gaps the pass already
+            // consumed, and wait falls out as sojourn - demand (clamped
+            // at 0 against rounding). Identical arithmetic order to the
+            // pass itself, so the reconstruction is exact.
+            double arrival = blockStart;
+            for (std::size_t j = 0; j < n; ++j) {
+                arrival += gaps[j];
+                sampleProbe(sampleCtx, arrival,
+                            std::max(0.0, sojourns[j] - demands[j]),
+                            sojourns[j]);
+            }
+        }
 
         if (wantResponse)
             stats.recordMany(responseId, sojourns);

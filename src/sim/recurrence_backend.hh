@@ -81,6 +81,23 @@ class RecurrenceBackend : public SimStepper
     void recordWaitingTime(StatsCollection::MetricId id);
 
     /**
+     * Timeline degradation hook: the recurrence has no event stream to
+     * probe, so the timeline layer receives (arrival, wait, sojourn)
+     * per task instead — derived from arrays the recurrence already
+     * fills, after each block, off the hot loop. Plain function
+     * pointer; must not mutate the backend or draw RNG.
+     */
+    using SampleProbe = void (*)(void* ctx, Time arrival, double wait,
+                                 double sojourn);
+
+    /** Install the per-task sample probe (model-build time only). */
+    void setSampleProbe(SampleProbe fn, void* ctx)
+    {
+        sampleProbe = fn;
+        sampleCtx = ctx;
+    }
+
+    /**
      * Process up to `units` tasks, spread evenly across stations, and
      * feed their observations to the statistics collection. Open-loop
      * stations never drain, so the return value always equals `units`.
@@ -132,6 +149,8 @@ class RecurrenceBackend : public SimStepper
     std::vector<double> demands;
     std::vector<double> sojourns;
     std::vector<double> waits;
+    SampleProbe sampleProbe = nullptr;
+    void* sampleCtx = nullptr;
 };
 
 } // namespace bighouse

@@ -1,0 +1,149 @@
+#include "stats/time_weighted.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace bighouse {
+
+void
+TimeWeightedStat::observe(Time t, double value)
+{
+    if (!tracking) {
+        tracking = true;
+        lastTime = t;
+        currentValue = value;
+        return;
+    }
+    BH_REQUIRE(t >= lastTime, "gauge observation out of order (", t,
+               " after ", lastTime, ")");
+    if (t > lastTime)
+        addWeighted(currentValue, t - lastTime);
+    lastTime = t;
+    currentValue = value;
+}
+
+void
+TimeWeightedStat::settle(Time t)
+{
+    BH_REQUIRE(tracking, "settle() before the first observe()");
+    BH_REQUIRE(t >= lastTime, "gauge settle out of order (", t, " after ",
+               lastTime, ")");
+    if (t > lastTime)
+        addWeighted(currentValue, t - lastTime);
+    lastTime = t;
+}
+
+double
+TimeWeightedStat::binLo(std::size_t bin)
+{
+    BH_REQUIRE(bin < kBins, "bin ", bin, " out of range");
+    return bin == 0 ? 0.0
+                    : std::ldexp(1.0, static_cast<int>(bin) - kExpOffset);
+}
+
+double
+TimeWeightedStat::binHi(std::size_t bin)
+{
+    BH_REQUIRE(bin < kBins, "bin ", bin, " out of range");
+    return std::ldexp(1.0, static_cast<int>(bin) + 1 - kExpOffset);
+}
+
+double
+TimeWeightedStat::sketchWeight() const
+{
+    double sum = 0.0;
+    for (double w : bins)
+        sum += w;
+    return sum;
+}
+
+double
+TimeWeightedStat::quantile(double q) const
+{
+    BH_REQUIRE(q >= 0.0 && q <= 1.0, "quantile ", q, " outside [0, 1]");
+    if (observations == 0)
+        return 0.0;
+    // Walk the sketch to the bin containing the target mass, then
+    // interpolate piecewise-uniformly inside it — the same model
+    // Histogram::quantile uses, on log2 bins.
+    const double target = q * sketchWeight();
+    double below = 0.0;
+    for (std::size_t b = 0; b < kBins; ++b) {
+        if (bins[b] <= 0.0)
+            continue;
+        if (below + bins[b] >= target) {
+            const double lo = binLo(b);
+            const double hi = binHi(b);
+            const double frac = (target - below) / bins[b];
+            const double value = lo + (hi - lo) * frac;
+            // The exact envelope beats the bin edges: a window whose
+            // signal never left 3 must report every quantile as 3.
+            return std::min(std::max(value, minValue), maxValue);
+        }
+        below += bins[b];
+    }
+    return maxValue;
+}
+
+void
+TimeWeightedStat::merge(const TimeWeightedStat& other)
+{
+    if (other.observations == 0)
+        return;
+    if (observations == 0) {
+        minValue = other.minValue;
+        maxValue = other.maxValue;
+    } else {
+        minValue = std::min(minValue, other.minValue);
+        maxValue = std::max(maxValue, other.maxValue);
+    }
+    observations += other.observations;
+    weightTotal += other.weightTotal;
+    weightedSum += other.weightedSum;
+    for (std::size_t b = 0; b < kBins; ++b)
+        bins[b] += other.bins[b];
+    // Weight conservation: the sketch must account for exactly the
+    // weight the moments claim (modulo float-summation noise).
+    BH_AUDIT(std::abs(sketchWeight() - weightTotal)
+                 <= 1e-9 * (1.0 + weightTotal),
+             "merge lost weight: sketch ", sketchWeight(), " vs total ",
+             weightTotal);
+}
+
+std::string
+TimeWeightedStat::serialize() const
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    std::size_t used = kBins;
+    while (used > 0 && bins[used - 1] == 0.0)
+        --used;
+    oss << "twstat-v1 " << observations << " " << weightTotal << " "
+        << weightedSum << " " << min() << " " << max() << " " << used;
+    for (std::size_t b = 0; b < used; ++b)
+        oss << " " << bins[b];
+    return oss.str();
+}
+
+TimeWeightedStat
+TimeWeightedStat::deserialize(const std::string& text)
+{
+    std::istringstream iss(text);
+    std::string tag;
+    TimeWeightedStat stat;
+    std::size_t used = 0;
+    if (!(iss >> tag >> stat.observations >> stat.weightTotal
+          >> stat.weightedSum >> stat.minValue >> stat.maxValue >> used)
+        || tag != "twstat-v1" || used > kBins) {
+        fatal("malformed TimeWeightedStat: ", text);
+    }
+    for (std::size_t b = 0; b < used; ++b) {
+        if (!(iss >> stat.bins[b]))
+            fatal("truncated TimeWeightedStat bins: ", text);
+    }
+    return stat;
+}
+
+} // namespace bighouse

@@ -202,22 +202,33 @@ TEST(ParallelFaults, AllSlavesCrashingLosesQuorum)
 
 TEST(ParallelFaults, HungSlaveIsTimedOutAndAbandoned)
 {
-    // Tight accuracy keeps the healthy slaves busy well past the
-    // watchdog deadline, so the hang is detected before convergence.
-    const double accuracy = 0.002;
+    // The run is engineered to end *through* the watchdog, not race it:
+    // the accuracy target is unreachable (see DeadlineValve), the quorum
+    // requires all four slaves, and the deadline backstop only catches a
+    // broken watchdog. Abandoning the hung slave is therefore the only
+    // path to termination, no matter how loaded the host is — the old
+    // 50 ms deadline misfired on healthy slaves under a parallel ctest.
+    const double accuracy = 0.0002;
     ParallelConfig cfg;
     cfg.slaves = 4;
     cfg.sqs = parallelSqs(accuracy);
-    cfg.watchdogSeconds = 0.05 * timeScale();
+    cfg.sqs.maxWallSeconds = 20.0 * timeScale();  // watchdog-bug backstop
+    cfg.slaveBatchEvents = 10000;  // frequent heartbeats from the healthy
+    cfg.watchdogSeconds = 1.0 * timeScale();
+    cfg.minHealthySlaves = 4;  // abandonment must trip quorum loss
     cfg.faults.faults.push_back(faultOn(1, FaultKind::Hang));
     const ParallelResult result =
         ParallelRunner(googleBuilder(accuracy), cfg).run(404);
 
-    ASSERT_TRUE(result.converged);
+    EXPECT_FALSE(result.converged);
+    EXPECT_EQ(result.termination, TerminationReason::Degraded);
     EXPECT_EQ(result.slaveReports[1].status, SlaveStatus::TimedOut);
     EXPECT_TRUE(result.slaveReports[1].abandoned);
     EXPECT_EQ(result.healthySlaves, 3u);
     EXPECT_TRUE(result.degraded);
+    // The healthy slaves ran for a full watchdog period before the trip,
+    // so their partial sample survives the degraded merge.
+    ASSERT_FALSE(result.estimates.empty());
     EXPECT_GT(result.estimates[0].accepted, 0u);
 }
 
@@ -230,8 +241,15 @@ TEST(ParallelFaults, SlowSlaveIsFlaggedStragglerButStillMerged)
     cfg.slaveBatchEvents = 10000;
     cfg.stragglerFactor = 3.0;
     cfg.abandonStragglers = true;
+    // The stall must dwarf a *loaded* batch time, or the victim keeps
+    // pace with the median and is never flagged (the old 30 ms stall
+    // lost that race under a parallel ctest). One second per batch means
+    // the victim publishes at most a batch or two before the healthy
+    // slaves clear the 4-batch detection grace — stalls only hit
+    // measurement batches, so calibration still finishes promptly and
+    // the victim is eligible for straggler detection from the start.
     cfg.faults.faults.push_back(
-        faultOn(0, FaultKind::Slowdown, 1, 0.03 * timeScale()));
+        faultOn(0, FaultKind::Slowdown, 1, 1.0 * timeScale()));
     const ParallelResult result =
         ParallelRunner(googleBuilder(accuracy), cfg).run(505);
 

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for TimeWeightedStat: weighted moments, the log2 quantile
+ * sketch's bin geometry, gauge-clock contract enforcement, merge
+ * conservation, and bit-stable serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "stats/time_weighted.hh"
+
+namespace bighouse {
+namespace {
+
+TEST(TimeWeightedStat, StartsEmpty)
+{
+    const TimeWeightedStat stat;
+    EXPECT_TRUE(stat.empty());
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_EQ(stat.totalWeight(), 0.0);
+    EXPECT_EQ(stat.mean(), 0.0);
+    EXPECT_EQ(stat.min(), 0.0);
+    EXPECT_EQ(stat.max(), 0.0);
+    EXPECT_EQ(stat.quantile(0.5), 0.0);
+}
+
+TEST(TimeWeightedStat, WeightedMomentsAreExact)
+{
+    TimeWeightedStat stat;
+    // 3 held for 2s, 7 held for 6s: mean = (6 + 42) / 8 = 6.
+    stat.addWeighted(3.0, 2.0);
+    stat.addWeighted(7.0, 6.0);
+    EXPECT_EQ(stat.count(), 2u);
+    EXPECT_DOUBLE_EQ(stat.totalWeight(), 8.0);
+    EXPECT_DOUBLE_EQ(stat.mean(), 6.0);
+    EXPECT_EQ(stat.min(), 3.0);
+    EXPECT_EQ(stat.max(), 7.0);
+}
+
+TEST(TimeWeightedStat, MinMaxTrackZeroValues)
+{
+    // Zero is a legitimate gauge value (an idle cluster) and must not
+    // be confused with the empty-stat sentinel.
+    TimeWeightedStat stat;
+    stat.addWeighted(5.0, 1.0);
+    stat.addWeighted(0.0, 1.0);
+    EXPECT_EQ(stat.min(), 0.0);
+    EXPECT_EQ(stat.max(), 5.0);
+    EXPECT_DOUBLE_EQ(stat.mean(), 2.5);
+}
+
+TEST(TimeWeightedStat, BinGeometryIsConsistent)
+{
+    // The shifted-exponent scheme: value exponent e lands in bin
+    // e + 32, so 1.0 sits at the first edge of bin 32 and sub-second
+    // values spread across the lower half instead of collapsing.
+    EXPECT_EQ(TimeWeightedStat::binFor(0.0), 0u);
+    EXPECT_EQ(TimeWeightedStat::binFor(1.0), 32u);
+    EXPECT_EQ(TimeWeightedStat::binFor(0.5), 31u);
+    EXPECT_EQ(TimeWeightedStat::binFor(0.25), 30u);
+    EXPECT_EQ(TimeWeightedStat::binFor(2.0), 33u);
+    // Floor bin absorbs everything below 2^-31, ceiling everything
+    // at or above 2^31 (including values past the nominal top edge).
+    EXPECT_EQ(TimeWeightedStat::binFor(std::ldexp(1.0, -32)), 0u);
+    EXPECT_EQ(TimeWeightedStat::binFor(std::ldexp(1.0, -31)), 1u);
+    EXPECT_EQ(TimeWeightedStat::binFor(std::ldexp(1.0, 31)), 63u);
+    EXPECT_EQ(TimeWeightedStat::binFor(std::ldexp(1.0, 40)), 63u);
+
+    // Every bin's own edges map back into it (half-open intervals).
+    for (std::size_t b = 0; b < TimeWeightedStat::kBins; ++b) {
+        EXPECT_EQ(TimeWeightedStat::binFor(TimeWeightedStat::binLo(b)),
+                  b == 0 ? 0u : b)
+            << "lo edge of bin " << b;
+        if (b + 1 < TimeWeightedStat::kBins) {
+            EXPECT_DOUBLE_EQ(TimeWeightedStat::binHi(b),
+                             TimeWeightedStat::binLo(b + 1))
+                << "bins " << b << "/" << b + 1 << " must tile";
+        }
+    }
+}
+
+TEST(TimeWeightedStat, QuantilesInterpolateWithinTheEnvelope)
+{
+    TimeWeightedStat stat;
+    // Sub-second latencies — the regression case: under the unshifted
+    // scheme these all landed in one bin and p50 clamped to max.
+    stat.addWeighted(0.010, 1.0);
+    stat.addWeighted(0.020, 1.0);
+    stat.addWeighted(0.080, 1.0);
+    stat.addWeighted(0.160, 1.0);
+    const double p50 = stat.quantile(0.5);
+    EXPECT_GE(p50, stat.min());
+    EXPECT_LT(p50, stat.max());
+    EXPECT_LE(stat.quantile(0.25), p50);
+    EXPECT_LE(p50, stat.quantile(0.9));
+    EXPECT_EQ(stat.quantile(1.0), stat.max());
+    EXPECT_EQ(stat.quantile(0.0), stat.min());
+}
+
+TEST(TimeWeightedStat, ConstantSignalReportsEveryQuantileExactly)
+{
+    TimeWeightedStat stat;
+    stat.addWeighted(3.0, 10.0);
+    for (double q : {0.0, 0.25, 0.5, 0.95, 1.0})
+        EXPECT_EQ(stat.quantile(q), 3.0) << "q=" << q;
+}
+
+TEST(TimeWeightedStat, GaugeChargesThePreviousValue)
+{
+    TimeWeightedStat stat;
+    stat.observe(0.0, 2.0);   // anchors the clock, no weight yet
+    stat.observe(4.0, 10.0);  // 2 held for [0, 4)
+    stat.settle(6.0);         // 10 held for [4, 6)
+    EXPECT_EQ(stat.count(), 2u);
+    EXPECT_DOUBLE_EQ(stat.totalWeight(), 6.0);
+    EXPECT_DOUBLE_EQ(stat.mean(), (2.0 * 4.0 + 10.0 * 2.0) / 6.0);
+}
+
+TEST(TimeWeightedStat, SameInstantTransitionsCarryNoWeight)
+{
+    TimeWeightedStat stat;
+    stat.observe(1.0, 5.0);
+    stat.observe(1.0, 9.0);  // zero-width: value replaced, no weight
+    stat.settle(2.0);
+    EXPECT_EQ(stat.count(), 1u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 9.0);
+}
+
+TEST(TimeWeightedStatDeathTest, RejectsContractViolations)
+{
+    TimeWeightedStat stat;
+    EXPECT_DEATH(stat.addWeighted(1.0, 0.0), "weight");
+    EXPECT_DEATH(stat.addWeighted(1.0, -2.0), "weight");
+    EXPECT_DEATH(stat.addWeighted(-1.0, 1.0), "non-negative");
+    TimeWeightedStat gauge;
+    gauge.observe(5.0, 1.0);
+    EXPECT_DEATH(gauge.observe(4.0, 2.0), "out of order");
+    EXPECT_DEATH(gauge.settle(3.0), "out of order");
+    TimeWeightedStat unsettled;
+    EXPECT_DEATH(unsettled.settle(1.0), "before the first");
+}
+
+TEST(TimeWeightedStat, MergeConservesMassAndEnvelope)
+{
+    TimeWeightedStat a;
+    a.addWeighted(0.5, 2.0);
+    a.addWeighted(8.0, 1.0);
+    TimeWeightedStat b;
+    b.addWeighted(0.125, 4.0);
+    b.addWeighted(100.0, 0.5);
+
+    TimeWeightedStat merged = a;
+    merged.merge(b);
+    EXPECT_EQ(merged.count(), 4u);
+    EXPECT_DOUBLE_EQ(merged.totalWeight(),
+                     a.totalWeight() + b.totalWeight());
+    EXPECT_DOUBLE_EQ(merged.mean() * merged.totalWeight(),
+                     a.mean() * a.totalWeight()
+                         + b.mean() * b.totalWeight());
+    EXPECT_EQ(merged.min(), 0.125);
+    EXPECT_EQ(merged.max(), 100.0);
+    // The merged sketch is the sum of the parts: serializing the merge
+    // of deserialized halves reproduces it bit for bit.
+    const TimeWeightedStat viaText =
+        TimeWeightedStat::deserialize(merged.serialize());
+    EXPECT_EQ(viaText.serialize(), merged.serialize());
+}
+
+TEST(TimeWeightedStat, MergeWithEmptyIsIdentity)
+{
+    TimeWeightedStat a;
+    a.addWeighted(3.0, 2.0);
+    const std::string before = a.serialize();
+    a.merge(TimeWeightedStat{});
+    EXPECT_EQ(a.serialize(), before);
+
+    TimeWeightedStat empty;
+    TimeWeightedStat other;
+    other.addWeighted(3.0, 2.0);
+    empty.merge(other);
+    EXPECT_EQ(empty.serialize(), before);
+    EXPECT_EQ(empty.min(), 3.0);
+}
+
+TEST(TimeWeightedStat, SerializationIsBitStableAcrossReruns)
+{
+    // The same accumulation sequence must serialize identically — the
+    // timeline's JSONL diffs clean across reruns only if this holds.
+    const auto build = [] {
+        TimeWeightedStat stat;
+        for (int i = 1; i <= 64; ++i)
+            stat.addWeighted(0.001 * i * i, 0.25 * i);
+        return stat;
+    };
+    const std::string first = build().serialize();
+    const std::string second = build().serialize();
+    EXPECT_EQ(first, second);
+    const TimeWeightedStat loaded = TimeWeightedStat::deserialize(first);
+    EXPECT_EQ(loaded.serialize(), first);
+    EXPECT_EQ(loaded.count(), build().count());
+    EXPECT_DOUBLE_EQ(loaded.quantile(0.5), build().quantile(0.5));
+}
+
+TEST(TimeWeightedStat, DeserializeRejectsGarbage)
+{
+    EXPECT_EXIT(TimeWeightedStat::deserialize("nonsense 1 2 3"),
+                ::testing::ExitedWithCode(1), "malformed");
+    EXPECT_EXIT(TimeWeightedStat::deserialize("twstat-v1 1 1 1 0 1 999"),
+                ::testing::ExitedWithCode(1), "malformed");
+    EXPECT_EXIT(TimeWeightedStat::deserialize("twstat-v1 1 1 1 0 1 3 0.5"),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+} // namespace
+} // namespace bighouse

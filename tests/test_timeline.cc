@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the simulated-time timeline layer: gauge windowing, the
+ * maxWindows truncation valve, counter clamping, cluster-wide probe
+ * aggregation (multi-server, multi-retry-queue), harvest repeatability,
+ * the JSON round trip, and the bighouse-timeline-v1 export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.hh"
+#include "stats/time_weighted.hh"
+
+namespace bighouse {
+namespace {
+
+TimeWeightedStat
+window(const TimelineTrackData& track, std::size_t index)
+{
+    EXPECT_LT(index, track.windows.size()) << track.name;
+    return TimeWeightedStat::deserialize(track.windows[index]);
+}
+
+const TimelineTrackData&
+trackNamed(const TimelineData& data, const std::string& name)
+{
+    for (const TimelineTrackData& track : data.tracks) {
+        if (track.name == name)
+            return track;
+    }
+    ADD_FAILURE() << "no track named " << name;
+    static const TimelineTrackData missing;
+    return missing;
+}
+
+TEST(TimelineGauge, SplitsTheSignalAcrossAlignedWindows)
+{
+    TimelineGauge gauge(1.0, 64);
+    gauge.set(0.0, 2.0);
+    gauge.set(0.5, 4.0);  // window 0: 2 for [0, 0.5), 4 for [0.5, 1)
+    bool truncated = true;
+    const auto windows = gauge.harvest(2.0, &truncated);
+    EXPECT_FALSE(truncated);
+    ASSERT_EQ(windows.size(), 2u);
+    EXPECT_DOUBLE_EQ(windows[0].mean(), 3.0);
+    EXPECT_DOUBLE_EQ(windows[0].totalWeight(), 1.0);
+    EXPECT_DOUBLE_EQ(windows[1].mean(), 4.0);  // held through [1, 2)
+    EXPECT_DOUBLE_EQ(windows[1].totalWeight(), 1.0);
+}
+
+TEST(TimelineGauge, HarvestLeavesTheLiveGaugeRunning)
+{
+    TimelineGauge gauge(1.0, 64);
+    gauge.set(0.0, 1.0);
+    const auto early = gauge.harvest(1.5, nullptr);
+    const auto earlyAgain = gauge.harvest(1.5, nullptr);
+    ASSERT_EQ(early.size(), earlyAgain.size());
+    for (std::size_t w = 0; w < early.size(); ++w)
+        EXPECT_EQ(early[w].serialize(), earlyAgain[w].serialize());
+    // A later harvest extends the series; the earlier windows are a
+    // bit-identical prefix (the parallel harness depends on this).
+    const auto late = gauge.harvest(3.0, nullptr);
+    ASSERT_GT(late.size(), early.size());
+    EXPECT_EQ(late[0].serialize(), early[0].serialize());
+}
+
+TEST(TimelineGauge, TruncationValveAbsorbsTheRemainder)
+{
+    TimelineGauge gauge(1.0, 2);
+    gauge.set(0.0, 1.0);
+    bool truncated = false;
+    const auto windows = gauge.harvest(10.0, &truncated);
+    EXPECT_TRUE(truncated);
+    ASSERT_EQ(windows.size(), 2u);
+    // No weight is lost: the final window holds everything past the
+    // valve, so the total mass still covers the whole [0, 10) span.
+    double total = 0.0;
+    for (const TimeWeightedStat& stat : windows)
+        total += stat.totalWeight();
+    EXPECT_DOUBLE_EQ(total, 10.0);
+}
+
+TEST(TimelineCounter, ClampsPastTheValve)
+{
+    TimelineCounter counter(1.0, 4);
+    counter.add(0.5);
+    counter.add(10.5);  // far past the last window
+    EXPECT_TRUE(counter.hitLimit());
+    ASSERT_EQ(counter.values().size(), 4u);
+    EXPECT_EQ(counter.values()[0], 1u);
+    EXPECT_EQ(counter.values()[3], 1u);
+}
+
+TEST(Timeline, AggregatesServerStateAcrossTheCluster)
+{
+    TimelineSpec spec;
+    spec.window = 1.0;
+    Timeline timeline(spec);
+    timeline.registerServers(2);
+    timeline.serverState(0, 0.5, 3, 2, true);
+    timeline.serverState(1, 0.75, 1, 1, true);
+    timeline.serverState(0, 1.5, 0, 1, false);
+
+    const TimelineData data = timeline.harvest(2.0);
+    EXPECT_EQ(data.servers, 2u);
+    EXPECT_DOUBLE_EQ(data.window, 1.0);
+    EXPECT_DOUBLE_EQ(data.end, 2.0);
+    EXPECT_FALSE(data.truncated);
+    ASSERT_EQ(data.tracks.size(), 3u);
+    // Name-sorted export order.
+    EXPECT_EQ(data.tracks[0].name, "busy_cores");
+    EXPECT_EQ(data.tracks[1].name, "queue_depth");
+    EXPECT_EQ(data.tracks[2].name, "servers_up");
+
+    // queue_depth is the cluster total (0 -> 3 -> 4 -> 1), not one
+    // server's view: window 0 = 0*0.5 + 3*0.25 + 4*0.25 = 1.75.
+    const TimelineTrackData& queue = trackNamed(data, "queue_depth");
+    EXPECT_EQ(queue.kind, "gauge");
+    EXPECT_DOUBLE_EQ(window(queue, 0).mean(), 1.75);
+    EXPECT_DOUBLE_EQ(window(queue, 1).mean(), 2.5);
+
+    // servers_up drops from 2 to 1 mid-window-1.
+    const TimelineTrackData& up = trackNamed(data, "servers_up");
+    EXPECT_DOUBLE_EQ(window(up, 0).mean(), 2.0);
+    EXPECT_DOUBLE_EQ(window(up, 1).mean(), 1.5);
+}
+
+TEST(Timeline, RetryOccupancyIsAClusterWideTotal)
+{
+    TimelineSpec spec;
+    spec.window = 1.0;
+    Timeline timeline(spec);
+    timeline.enableRetryTracks();
+    timeline.registerRetryQueues(2);
+    timeline.retryOccupancy(0, 0.25, 2);
+    timeline.retryOccupancy(1, 0.5, 3);  // total 5, not 3
+
+    const TimelineData data = timeline.harvest(1.0);
+    const TimelineTrackData& inflight =
+        trackNamed(data, "retry_inflight");
+    // 0 for [0, 0.25), 2 for [0.25, 0.5), 5 for [0.5, 1) -> mean 3.
+    EXPECT_DOUBLE_EQ(window(inflight, 0).mean(), 3.0);
+    EXPECT_DOUBLE_EQ(window(inflight, 0).max(), 5.0);
+}
+
+TEST(Timeline, RecurrenceModeExportsSampleTracksOnly)
+{
+    TimelineSpec spec;
+    spec.window = 1.0;
+    Timeline timeline(spec);
+    timeline.enableRecurrenceTracks();
+    timeline.setNote("recurrence backend: no event stream");
+    timeline.recurrenceSample(0.5, 0.1, 0.3);
+    timeline.recurrenceSample(1.25, 0.0, 0.2);
+
+    const TimelineData data = timeline.harvest(2.0);
+    EXPECT_EQ(data.note, "recurrence backend: no event stream");
+    ASSERT_EQ(data.tracks.size(), 2u);
+    EXPECT_EQ(data.tracks[0].name, "sojourn_time");
+    EXPECT_EQ(data.tracks[0].kind, "samples");
+    EXPECT_EQ(data.tracks[1].name, "wait_time");
+    EXPECT_DOUBLE_EQ(window(data.tracks[0], 0).mean(), 0.3);
+    EXPECT_DOUBLE_EQ(window(data.tracks[1], 1).mean(), 0.0);
+}
+
+TEST(Timeline, JsonRoundTripIsLossless)
+{
+    TimelineSpec spec;
+    spec.window = 0.5;
+    Timeline timeline(spec);
+    timeline.registerServers(3);
+    timeline.serverState(0, 0.25, 2, 1, true);
+    timeline.serverState(2, 0.75, 0, 3, false);
+    TimelineData data = timeline.harvest(1.5);
+    data.source = "slave-7";
+
+    const JsonValue json = timelineDataToJson(data);
+    const TimelineData back = timelineDataFromJson(json);
+    EXPECT_EQ(back.source, "slave-7");
+    EXPECT_DOUBLE_EQ(back.window, data.window);
+    EXPECT_DOUBLE_EQ(back.end, data.end);
+    EXPECT_EQ(back.servers, data.servers);
+    EXPECT_EQ(back.truncated, data.truncated);
+    ASSERT_EQ(back.tracks.size(), data.tracks.size());
+    for (std::size_t i = 0; i < data.tracks.size(); ++i) {
+        EXPECT_EQ(back.tracks[i].name, data.tracks[i].name);
+        EXPECT_EQ(back.tracks[i].kind, data.tracks[i].kind);
+        EXPECT_EQ(back.tracks[i].windows, data.tracks[i].windows);
+        EXPECT_EQ(back.tracks[i].counts, data.tracks[i].counts);
+    }
+    // Serializing the round-tripped copy is byte-identical.
+    EXPECT_EQ(timelineDataToJson(back).dump(), json.dump());
+}
+
+TEST(Timeline, JsonlExportCarriesTheSchemaHeader)
+{
+    TimelineSpec spec;
+    spec.window = 1.0;
+    Timeline timeline(spec);
+    timeline.registerServers(1);
+    timeline.serverState(0, 0.5, 1, 1, true);
+    const std::string path =
+        ::testing::TempDir() + "/bh_timeline_test.jsonl";
+    writeTimelineJsonl(path, {timeline.harvest(2.0)});
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_NE(header.find("\"bighouse-timeline-v1\""), std::string::npos);
+    EXPECT_NE(header.find("\"sources\":1"), std::string::npos);
+    std::size_t records = 0;
+    for (std::string line; std::getline(in, line);) {
+        EXPECT_EQ(line.front(), '{');
+        ++records;
+    }
+    EXPECT_GT(records, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TimelineDeathTest, RejectsDegenerateSpecs)
+{
+    TimelineSpec zeroWidth;
+    zeroWidth.window = 0.0;
+    EXPECT_EXIT(Timeline{zeroWidth}, ::testing::ExitedWithCode(1),
+                "window");
+    TimelineSpec noWindows;
+    noWindows.maxWindows = 0;
+    EXPECT_EXIT(Timeline{noWindows}, ::testing::ExitedWithCode(1),
+                "maxWindows");
+}
+
+} // namespace
+} // namespace bighouse

@@ -33,6 +33,7 @@
 #include "distribution/fit.hh"
 #include "obs/convergence.hh"
 #include "obs/telemetry.hh"
+#include "obs/timeline.hh"
 #include "obs/trace.hh"
 #include "queueing/server.hh"
 #include "queueing/source.hh"
@@ -198,7 +199,8 @@ TEST(TraceReproducibility, PhasesRunIsBitIdenticalAcrossReplays)
  */
 SqsResult
 runInstrumented(const std::function<void(SqsSimulation&)>& instrument,
-                std::string& histogramBytes)
+                std::string& histogramBytes,
+                const std::shared_ptr<Timeline>& timeline = nullptr)
 {
     SqsConfig config;
     config.warmupSamples = 500;
@@ -219,6 +221,11 @@ runInstrumented(const std::function<void(SqsSimulation&)>& instrument,
     source->start();
     sim.holdModel(server);
     sim.holdModel(source);
+    if (timeline != nullptr) {
+        timeline->registerServers(1);
+        server->setStateProbe(&Timeline::serverProbe, timeline.get(), 0);
+        sim.setTimeline(timeline);
+    }
     if (instrument)
         instrument(sim);
     SqsResult result = sim.run();
@@ -241,6 +248,9 @@ TEST(TraceReproducibility, ObservabilityHooksDoNotPerturbResults)
     TraceSet traces;
     TelemetryRegistry telemetry;
     ConvergenceRecorder recorder;
+    TimelineSpec timelineSpec;
+    timelineSpec.window = 10.0;
+    auto timeline = std::make_shared<Timeline>(timelineSpec);
     std::string observedHistogram;
     const SqsResult observed = runInstrumented(
         [&](SqsSimulation& sim) {
@@ -254,10 +264,19 @@ TEST(TraceReproducibility, ObservabilityHooksDoNotPerturbResults)
                 sampleStatsTelemetry(slab, s.stats());
             });
         },
-        observedHistogram);
+        observedHistogram, timeline);
 
     EXPECT_GT(recorder.sampleCount(), 0u);
     EXPECT_GT(traces.trackCount(), 0u);
+    // The timeline rode along and actually recorded something...
+    ASSERT_TRUE(observed.timeline.has_value());
+    EXPECT_FALSE(observed.timeline->tracks.empty());
+    bool sawWindows = false;
+    for (const TimelineTrackData& track : observed.timeline->tracks)
+        sawWindows = sawWindows || !track.windows.empty();
+    EXPECT_TRUE(sawWindows);
+    // ...while the bare run carried none.
+    EXPECT_FALSE(bare.timeline.has_value());
     EXPECT_EQ(bare.events, observed.events);
     EXPECT_EQ(bare.simulatedTime, observed.simulatedTime);
     EXPECT_EQ(bare.converged, observed.converged);

@@ -37,6 +37,7 @@
 #include "config/config.hh"
 #include "obs/status.hh"
 #include "obs/telemetry.hh"
+#include "obs/timeline.hh"
 
 using namespace bighouse;
 
@@ -52,7 +53,8 @@ usage(const char* argv0)
                  "[--progress]\n"
                  "       %s status <campaign.json> [--lax] [--csv]\n"
                  "       %s export <campaign.json> [--lax] "
-                 "[--csv | --json] [--out FILE]\n"
+                 "[--csv | --json] [--out FILE] "
+                 "[--timeline-out FILE [--timeline-format jsonl|csv]]\n"
                  "       %s --version\n",
                  argv0, argv0, argv0, argv0);
     std::exit(2);
@@ -103,6 +105,8 @@ main(int argc, char** argv)
     const std::string command = argv[1];
     const char* configPath = nullptr;
     const char* outPath = nullptr;
+    const char* timelinePath = nullptr;
+    bool timelineCsvOut = false;
     const char* statusPath = nullptr;
     const char* telemetryPath = nullptr;
     bool progress = false;
@@ -118,6 +122,18 @@ main(int argc, char** argv)
             options.maxPoints = std::strtoull(argv[++i], nullptr, 10);
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             outPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--timeline-out") == 0
+                   && i + 1 < argc) {
+            timelinePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--timeline-format") == 0
+                   && i + 1 < argc) {
+            const char* fmt = argv[++i];
+            if (std::strcmp(fmt, "jsonl") == 0)
+                timelineCsvOut = false;
+            else if (std::strcmp(fmt, "csv") == 0)
+                timelineCsvOut = true;
+            else
+                fatal("--timeline-format must be jsonl or csv, got ", fmt);
         } else if (std::strcmp(argv[i], "--status-file") == 0
                    && i + 1 < argc) {
             statusPath = argv[++i];
@@ -153,6 +169,8 @@ main(int argc, char** argv)
             fatal("--status-file/--telemetry-out/--progress apply to "
                   "`run` only");
     }
+    if (timelinePath != nullptr && command != "export")
+        fatal("--timeline-out applies to `export` only");
 
     if (command == "run") {
         // The progress callback needs runner.points() for the per-point
@@ -230,6 +248,31 @@ main(int argc, char** argv)
         } else {
             emit(campaignExportTable(runner.points(), report).toCsv(),
                  outPath);
+        }
+        if (timelinePath != nullptr) {
+            // Timelines ride the result cache, so every cached point
+            // whose base config carries a `timeline` block contributes a
+            // "point-N" source to one concatenated export.
+            std::vector<TimelineData> sources;
+            for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+                const PointOutcome& outcome = report.outcomes[i];
+                if (outcome.status != PointStatus::Cached
+                    && outcome.status != PointStatus::Ran)
+                    continue;
+                if (!outcome.result.timeline.has_value())
+                    continue;
+                TimelineData data = *outcome.result.timeline;
+                data.source = "point-" + std::to_string(i);
+                sources.push_back(std::move(data));
+            }
+            if (sources.empty())
+                fatal("--timeline-out: no cached point carries a "
+                      "timeline (add a `timeline` block to the base "
+                      "config and re-run the campaign)");
+            if (timelineCsvOut)
+                writeTimelineCsv(timelinePath, sources);
+            else
+                writeTimelineJsonl(timelinePath, sources);
         }
         return report.complete() ? 0 : 1;
     }

@@ -30,7 +30,10 @@
  * into bounded ring buffers and writes Chrome trace-event JSON (or JSONL
  * with --trace-format jsonl), --telemetry-out dumps the counter/gauge
  * registry, --convergence-out (serial runs) writes the per-metric
- * convergence time series, --status-file keeps a machine-readable status
+ * convergence time series, --timeline-out exports the simulated-time
+ * windowed series (queue depth, busy cores, availability, dispatch and
+ * retry waves; `bighouse-timeline-v1` JSONL, or CSV with
+ * --timeline-format csv), --status-file keeps a machine-readable status
  * document refreshed atomically while the run is in flight, and
  * --progress prints a live one-line progress indicator to stderr. All of
  * these attach through pull-based hooks, so the simulated event stream —
@@ -54,6 +57,7 @@
 #include "obs/convergence.hh"
 #include "obs/status.hh"
 #include "obs/telemetry.hh"
+#include "obs/timeline.hh"
 #include "obs/trace.hh"
 #include "parallel/parallel.hh"
 
@@ -72,6 +76,7 @@ usage(const char* argv0)
                  "[--trace file.json] [--trace-format chrome|jsonl] "
                  "[--telemetry-out file.json] "
                  "[--convergence-out file.json] "
+                 "[--timeline-out file] [--timeline-format jsonl|csv] "
                  "[--status-file file.json] [--progress] "
                  "[--dry-run] [--lax] [--version]\n",
                  argv0);
@@ -138,6 +143,8 @@ main(int argc, char** argv)
     const char* tracePath = nullptr;
     const char* telemetryPath = nullptr;
     const char* convergencePath = nullptr;
+    const char* timelinePath = nullptr;
+    bool timelineCsv = false;
     const char* statusPath = nullptr;
     TraceFormat traceFormat = TraceFormat::Chrome;
     bool progress = false;
@@ -187,6 +194,18 @@ main(int argc, char** argv)
         } else if (std::strcmp(argv[i], "--convergence-out") == 0
                    && i + 1 < argc) {
             convergencePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--timeline-out") == 0
+                   && i + 1 < argc) {
+            timelinePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--timeline-format") == 0
+                   && i + 1 < argc) {
+            const char* fmt = argv[++i];
+            if (std::strcmp(fmt, "jsonl") == 0)
+                timelineCsv = false;
+            else if (std::strcmp(fmt, "csv") == 0)
+                timelineCsv = true;
+            else
+                fatal("--timeline-format must be jsonl or csv, got ", fmt);
         } else if (std::strcmp(argv[i], "--status-file") == 0
                    && i + 1 < argc) {
             statusPath = argv[++i];
@@ -222,12 +241,17 @@ main(int argc, char** argv)
               "it applies to serial runs only");
     if (replications > 0
         && (tracePath != nullptr || telemetryPath != nullptr
-            || convergencePath != nullptr || statusPath != nullptr))
-        fatal("--trace/--telemetry-out/--convergence-out/--status-file "
-              "are not supported with --replications");
+            || convergencePath != nullptr || statusPath != nullptr
+            || timelinePath != nullptr))
+        fatal("--trace/--telemetry-out/--convergence-out/--timeline-out/"
+              "--status-file are not supported with --replications");
 
     const Config config = Config::fromFile(configPath);
     ExperimentSpec spec = Experiment::specFromConfig(config, strict);
+    // --timeline-out on a config without a timeline block attaches the
+    // default spec (1 s windows, every track) — the flag is the ask.
+    if (timelinePath != nullptr && !spec.timeline.has_value())
+        spec.timeline = TimelineSpec{};
 
     if (dryRun) {
         const char* model = "fcfs";
@@ -356,6 +380,16 @@ main(int argc, char** argv)
                 sampleFailureTelemetry(slab, *result.failures);
             telemetry.write(telemetryPath);
         }
+        if (timelinePath != nullptr) {
+            if (!result.timeline.has_value())
+                fatal("--timeline-out given but the run produced no "
+                      "timeline");
+            const std::vector<TimelineData> sources = {*result.timeline};
+            if (timelineCsv)
+                writeTimelineCsv(timelinePath, sources);
+            else
+                writeTimelineJsonl(timelinePath, sources);
+        }
         if (!csv)
             std::printf("%s\n", summarizeRun(result).c_str());
         if (jsonPath != nullptr)
@@ -425,6 +459,15 @@ main(int argc, char** argv)
         traces.write(tracePath, traceFormat);
     if (telemetryPath != nullptr)
         telemetry.write(telemetryPath);
+    if (timelinePath != nullptr) {
+        if (result.timelines.empty())
+            fatal("--timeline-out given but the run produced no "
+                  "timelines");
+        if (timelineCsv)
+            writeTimelineCsv(timelinePath, result.timelines);
+        else
+            writeTimelineJsonl(timelinePath, result.timelines);
+    }
     if (!csv) {
         std::printf("parallel run: %zu slaves (%zu healthy), %llu total "
                     "events, %.3fs wall, %s [%s]%s\n",
